@@ -1,0 +1,246 @@
+//! Greedy speculative graph coloring (paper §6: color-1 on hugebubbles,
+//! color-2 on cage15; derived from GasCL).
+//!
+//! Rounds of speculate-and-resolve: every uncolored vertex picks the
+//! smallest color absent from its (possibly stale) view of its
+//! neighbours, publishes the choice to the owners of its neighbours with
+//! PUT operations, and on the next round the lower-id endpoint of any
+//! conflict retries. Like PageRank, color uses PUTs exclusively, so its
+//! remote operations are executed by the destinations' network threads —
+//! the paper's explanation for its sub-linear scaling.
+
+use gravel_cluster::{NodeStep, OpClass, StepTrace, WorkloadTrace};
+use gravel_core::GravelRuntime;
+use gravel_pgas::{Layout, Partition};
+use gravel_simt::{LaneVec, Mask};
+
+use crate::graph::Csr;
+
+/// Heap encoding: `0` = uncolored, otherwise `color + 1`.
+const UNCOLORED: u64 = 0;
+
+/// The vertex partition coloring uses.
+pub fn partition(g: &Csr, nodes: usize) -> Partition {
+    Partition::new(g.num_vertices(), nodes, Layout::Block)
+}
+
+fn smallest_free_color(taken: &mut Vec<u64>) -> u64 {
+    taken.sort_unstable();
+    taken.dedup();
+    let mut c = 0u64;
+    for &t in taken.iter() {
+        if t == c {
+            c += 1;
+        } else if t > c {
+            break;
+        }
+    }
+    c
+}
+
+/// Run speculative coloring on the live runtime. Every node's heap holds
+/// a full replica of the color array (heap_len ≥ |V|); replicas are kept
+/// in sync with PUTs. Returns the color vector.
+pub fn run_live(rt: &GravelRuntime, g: &Csr) -> Vec<u64> {
+    let g = g.symmetrized();
+    let n = g.num_vertices();
+    let nodes = rt.nodes();
+    let part = partition(&g, nodes);
+    assert!(rt.config().heap_len >= n, "coloring replicates the color array");
+    for node in 0..nodes {
+        rt.heap(node).reset(UNCOLORED);
+    }
+
+    loop {
+        // Speculation: each owner colors its currently-uncolored vertices
+        // against its replica, then publishes.
+        let mut any = false;
+        for node in 0..nodes {
+            let heap = rt.heap(node);
+            let mine: Vec<(u32, u64)> = (0..n as u32)
+                .filter(|&v| part.owner(v as usize) == node && heap.load(v as u64) == UNCOLORED)
+                .map(|v| {
+                    let mut taken: Vec<u64> = g
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&u| u != v)
+                        .map(|&u| heap.load(u as u64))
+                        .filter(|&c| c != UNCOLORED)
+                        .map(|c| c - 1)
+                        .collect();
+                    (v, smallest_free_color(&mut taken))
+                })
+                .collect();
+            if mine.is_empty() {
+                continue;
+            }
+            any = true;
+            // Publish to every replica (own store + PUTs to the rest).
+            let wg_size = rt.config().wg_size;
+            let wgs = mine.len().div_ceil(wg_size);
+            for dest in 0..nodes as u32 {
+                rt.dispatch(node, wgs, |ctx| {
+                    let gids = ctx.wg.global_ids();
+                    let w = ctx.wg.wg_size();
+                    let in_range = Mask::from_fn(w, |l| gids.get(l) < mine.len());
+                    ctx.masked(&in_range, |ctx| {
+                        let e = |l: usize| mine[gids.get(l).min(mine.len() - 1)];
+                        let dests = LaneVec::splat(w, dest);
+                        let addrs = LaneVec::from_fn(w, |l| e(l).0 as u64);
+                        let vals = LaneVec::from_fn(w, |l| e(l).1 + 1);
+                        ctx.shmem_put(&dests, &addrs, &vals);
+                    });
+                });
+            }
+        }
+        rt.quiesce();
+        if !any {
+            break;
+        }
+        // Conflict resolution: the lower-id endpoint of a same-colored
+        // edge retries next round (reset on every replica).
+        let heap0 = rt.heap(0);
+        let losers: Vec<u32> = g
+            .iter_edges()
+            .filter(|&(u, v, _)| {
+                u < v && heap0.load(u as u64) != UNCOLORED
+                    && heap0.load(u as u64) == heap0.load(v as u64)
+            })
+            .map(|(u, _, _)| u)
+            .collect();
+        if !losers.is_empty() {
+            for node in 0..nodes {
+                let heap = rt.heap(node);
+                for &u in &losers {
+                    heap.store(u as u64, UNCOLORED);
+                }
+            }
+        }
+    }
+    (0..n as u64).map(|v| rt.heap(0).load(v) - 1).collect()
+}
+
+/// Communication trace: Jones–Plassmann priority rounds, the way
+/// scalable vertex-centric coloring runs — a vertex colors itself when
+/// its (hashed) priority beats every *uncolored* neighbour's, so rounds
+/// are conflict-free and the round count is logarithmic. Per colored
+/// vertex, one PUT per neighbour ships the color to the neighbour's
+/// owner (per-edge ghost updates, matching the paper's PUT-per-edge cost
+/// profile; Table 5's 36.7 % tracks the edge cut).
+pub fn trace(name: &str, g: &Csr, nodes: usize) -> WorkloadTrace {
+    let g = g.symmetrized_multi();
+    let n = g.num_vertices();
+    let part = partition(&g, nodes);
+    let prio = |v: u32| crate::mer::kmer_hash(0x0c01_0c01 ^ v as u64);
+    let mut colors = vec![UNCOLORED; n];
+    // Scratch for the smallest-free-color search: mark[c] == tag ⇒ color
+    // c is taken by a colored neighbour.
+    let max_deg = (0..n as u32).map(|v| g.out_degree(v)).max().unwrap_or(0);
+    let mut mark = vec![0u64; max_deg + 2];
+    let mut tag = 0u64;
+    let mut uncolored: Vec<u32> = (0..n as u32).collect();
+    let mut t = WorkloadTrace::new(name, nodes);
+    while !uncolored.is_empty() {
+        let mut routed = vec![vec![0u64; nodes]; nodes];
+        let mut gpu_ops = vec![0u64; nodes];
+        let mut local_pgas = vec![0u64; nodes];
+        let mut rest = Vec::with_capacity(uncolored.len() / 2);
+        for &v in &uncolored {
+            let owner = part.owner(v as usize);
+            gpu_ops[owner] += g.out_degree(v) as u64; // neighbour scan
+            let pv = prio(v);
+            let is_max = g.neighbors(v).iter().all(|&u| {
+                u == v || colors[u as usize] != UNCOLORED || prio(u) < pv
+            });
+            if !is_max {
+                rest.push(v);
+                continue;
+            }
+            // Smallest color free among colored neighbours.
+            tag += 1;
+            for &u in g.neighbors(v) {
+                let cu = colors[u as usize];
+                if u != v && cu != UNCOLORED {
+                    mark[(cu - 1) as usize] = tag;
+                }
+            }
+            let mut free = 0u64;
+            while mark[free as usize] == tag {
+                free += 1;
+            }
+            colors[v as usize] = free + 1;
+            // Ghost updates: one PUT per neighbour.
+            for &u in g.neighbors(v) {
+                let o = part.owner(u as usize);
+                if o != owner {
+                    routed[owner][o] += 1;
+                } else {
+                    gpu_ops[owner] += 1; // local ghost store
+                    local_pgas[owner] += 1;
+                }
+            }
+        }
+        t.push_step(StepTrace {
+            per_node: (0..nodes)
+                .map(|s| NodeStep {
+                    gpu_ops: gpu_ops[s],
+                    routed: routed[s].clone(),
+                    class: OpClass::Put,
+                    local_pgas: local_pgas[s],
+                })
+                .collect(),
+        });
+        uncolored = rest;
+    }
+    debug_assert!(crate::graph::coloring_valid(
+        &g,
+        &colors.iter().map(|&c| c - 1).collect::<Vec<_>>()
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{gen, reference};
+    use gravel_core::GravelConfig;
+
+    #[test]
+    fn live_coloring_is_proper() {
+        let g = gen::hugebubbles_like(100, 21);
+        let rt = GravelRuntime::new(GravelConfig::small(2, g.num_vertices()));
+        let colors = run_live(&rt, &g);
+        rt.shutdown();
+        assert!(reference::coloring_valid(&g.symmetrized(), &colors));
+        // A triangular mesh colors with few colors.
+        let max = colors.iter().max().unwrap();
+        assert!(*max < 16, "used {} colors", max + 1);
+    }
+
+    #[test]
+    fn live_coloring_dense_graph() {
+        let g = gen::cage15_like(64, 22);
+        let rt = GravelRuntime::new(GravelConfig::small(3, g.num_vertices()));
+        let colors = run_live(&rt, &g);
+        rt.shutdown();
+        assert!(reference::coloring_valid(&g.symmetrized(), &colors));
+    }
+
+    #[test]
+    fn trace_produces_proper_coloring_and_converges() {
+        let g = gen::hugebubbles_like(900, 23);
+        let t = trace("color-1", &g, 4);
+        assert!(!t.steps.is_empty() && t.steps.len() < 64, "{} rounds", t.steps.len());
+        assert!(t.total_routed() > 0);
+    }
+
+    #[test]
+    fn trace_remote_fraction_reasonable() {
+        let g = gen::hugebubbles_like(40_000, 2);
+        let t = trace("color-1", &g, 8);
+        let f = t.remote_fraction();
+        // Table 5: color-1 is 36.7 % remote — per-edge ghost updates track
+        // the edge cut (~38 % for the generator).
+        assert!(f > 0.28 && f < 0.46, "remote fraction {f}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Compressed-sparse-row graphs.
+//!
+//! The graph applications (PageRank, SSSP, coloring — all derived from
+//! GasCL, paper §6) traverse directed graphs in CSR form: a vertex's
+//! out-edges are a contiguous slice of the edge array.
+
+/// A directed graph in CSR form, with optional per-edge weights.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    edges: Vec<u32>,
+    weights: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from an edge list. Edges are sorted by source; parallel
+    /// edges and self-loops are kept (real inputs contain them).
+    pub fn from_edges(n: usize, mut list: Vec<(u32, u32, u32)>) -> Self {
+        for &(u, v, _) in &list {
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range {n}");
+        }
+        list.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _, _) in &list {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let edges = list.iter().map(|&(_, v, _)| v).collect();
+        let weights = list.iter().map(|&(_, _, w)| w).collect();
+        Csr { offsets, edges, weights }
+    }
+
+    /// Build an unweighted graph (all weights 1).
+    pub fn from_unweighted(n: usize, list: Vec<(u32, u32)>) -> Self {
+        Self::from_edges(n, list.into_iter().map(|(u, v)| (u, v, 1)).collect())
+    }
+
+    /// Vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Directed edge count.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Out-neighbours of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.edges[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Out-edge weights of `v`, parallel to [`neighbors`](Self::neighbors).
+    pub fn weights(&self, v: u32) -> &[u32] {
+        &self.weights[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// The symmetric closure: every edge `(u, v)` gains `(v, u)` (weights
+    /// preserved), then duplicates are dropped. Graph coloring treats the
+    /// input as undirected and needs both directions for neighbour scans.
+    pub fn symmetrized(&self) -> Csr {
+        let mut list: Vec<(u32, u32, u32)> = Vec::with_capacity(2 * self.num_edges());
+        for (u, v, w) in self.iter_edges() {
+            list.push((u, v, w));
+            list.push((v, u, w));
+        }
+        list.sort_unstable();
+        list.dedup_by_key(|&mut (u, v, _)| (u, v));
+        Csr::from_edges(self.num_vertices(), list)
+    }
+
+    /// The symmetric closure *without* duplicate elimination: every edge
+    /// contributes both directions; parallel edges are kept. Built with a
+    /// counting pass (no comparison sort), so it handles paper-scale
+    /// graphs in `O(E)` — use this when duplicates are harmless (e.g.
+    /// coloring's neighbour scans).
+    pub fn symmetrized_multi(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut deg = vec![0usize; n + 1];
+        for (u, v, _) in self.iter_edges() {
+            deg[u as usize + 1] += 1;
+            deg[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let offsets = deg.clone();
+        let total = offsets[n];
+        let mut edges = vec![0u32; total];
+        let mut weights = vec![0u32; total];
+        let mut cursor = offsets.clone();
+        for (u, v, w) in self.iter_edges() {
+            let cu = cursor[u as usize];
+            edges[cu] = v;
+            weights[cu] = w;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize];
+            edges[cv] = u;
+            weights[cv] = w;
+            cursor[v as usize] += 1;
+        }
+        Csr { offsets, edges, weights }
+    }
+
+    /// Iterate all edges as `(u, v, w)`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        (0..self.num_vertices() as u32).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .zip(self.weights(u))
+                .map(move |(&v, &w)| (u, v, w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3
+        Csr::from_unweighted(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn structure() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert!((g.avg_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let g = Csr::from_unweighted(3, vec![(2, 0), (0, 2), (0, 1), (1, 0)]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn weights_parallel_to_edges() {
+        let g = Csr::from_edges(2, vec![(0, 1, 7), (0, 0, 3)]);
+        assert_eq!(g.neighbors(0), &[0, 1]);
+        assert_eq!(g.weights(0), &[3, 7]);
+    }
+
+    #[test]
+    fn iter_edges_roundtrip() {
+        let g = diamond();
+        let edges: Vec<_> = g.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        Csr::from_unweighted(2, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn symmetrized_multi_keeps_duplicates_and_both_directions() {
+        let g = Csr::from_unweighted(3, vec![(0, 1), (1, 0), (1, 2)]);
+        let s = g.symmetrized_multi();
+        assert_eq!(s.num_edges(), 6); // every directed edge mirrored
+        assert_eq!(s.neighbors(0), &[1, 1]); // duplicate kept
+        assert_eq!(s.neighbors(2), &[1]);
+        // Weights travel with both directions.
+        let w = Csr::from_edges(2, vec![(0, 1, 9)]).symmetrized_multi();
+        assert_eq!(w.weights(1), &[9]);
+    }
+
+    #[test]
+    fn symmetrized_adds_reverse_edges_once() {
+        let g = Csr::from_unweighted(3, vec![(0, 1), (1, 0), (1, 2)]);
+        let s = g.symmetrized();
+        assert_eq!(s.neighbors(0), &[1]);
+        assert_eq!(s.neighbors(1), &[0, 2]);
+        assert_eq!(s.neighbors(2), &[1]);
+        assert_eq!(s.num_edges(), 4);
+    }
+}

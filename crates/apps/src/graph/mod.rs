@@ -1,0 +1,10 @@
+//! Graph substrate: CSR storage, synthetic input generators, and
+//! sequential references.
+
+pub mod csr;
+pub mod gen;
+pub mod reference;
+
+pub use csr::Csr;
+pub use gen::{cage15_like, hugebubbles_like, remote_edge_fraction};
+pub use reference::{coloring_valid, in_degrees, pagerank, pagerank_step, sssp, FIXED_ONE};

@@ -1,0 +1,154 @@
+//! Sequential reference implementations used to verify the distributed
+//! applications.
+
+use std::collections::BinaryHeap;
+
+use super::csr::Csr;
+
+/// Fixed-point scale shared by the PageRank implementations: ranks are
+/// `u64` multiples of `1 / FIXED_ONE`. Integer arithmetic makes the
+/// distributed accumulation *exactly* reproducible (u64 adds commute).
+pub const FIXED_ONE: u64 = 1 << 32;
+
+/// One synchronous PageRank iteration in fixed point:
+/// `next[v] = base + damping × Σ_{(u,v)∈E} rank[u] / outdeg(u)`.
+/// `damping` is in fixed-point (e.g. `0.85 × FIXED_ONE`).
+pub fn pagerank_step(g: &Csr, rank: &[u64], damping: u64) -> Vec<u64> {
+    let n = g.num_vertices();
+    assert_eq!(rank.len(), n);
+    let base = (FIXED_ONE - damping) / n as u64;
+    let mut acc = vec![0u64; n];
+    for u in 0..n as u32 {
+        let deg = g.out_degree(u) as u64;
+        if deg == 0 {
+            continue;
+        }
+        let share = rank[u as usize] / deg;
+        for &v in g.neighbors(u) {
+            acc[v as usize] += share;
+        }
+    }
+    acc.iter().map(|&a| base + ((a as u128 * damping as u128) >> 32) as u64).collect()
+}
+
+/// Run `iters` PageRank iterations from the uniform distribution.
+pub fn pagerank(g: &Csr, iters: usize, damping: u64) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut rank = vec![FIXED_ONE / n as u64; n];
+    for _ in 0..iters {
+        rank = pagerank_step(g, &rank, damping);
+    }
+    rank
+}
+
+/// Dijkstra single-source shortest paths; `u64::MAX` marks unreachable.
+pub fn sssp(g: &Csr, source: u32) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut dist = vec![u64::MAX; n];
+    dist[source as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(std::cmp::Reverse((0u64, source)));
+    while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (&v, &w) in g.neighbors(u).iter().zip(g.weights(u)) {
+            let nd = d + w as u64;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(std::cmp::Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Count each vertex's in-edges (the paper's §5.1 running example).
+pub fn in_degrees(g: &Csr) -> Vec<u64> {
+    let mut counts = vec![0u64; g.num_vertices()];
+    for (_, v, _) in g.iter_edges() {
+        counts[v as usize] += 1;
+    }
+    counts
+}
+
+/// Validate a coloring: no edge may connect two same-colored vertices
+/// (self-loops exempt), and every vertex must be colored (`!= u64::MAX`).
+pub fn coloring_valid(g: &Csr, colors: &[u64]) -> bool {
+    if colors.len() != g.num_vertices() {
+        return false;
+    }
+    if colors.contains(&u64::MAX) {
+        return false;
+    }
+    g.iter_edges().all(|(u, v, _)| u == v || colors[u as usize] != colors[v as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Csr {
+        // 0 → 1 → 2 with weights 2, 3.
+        Csr::from_edges(3, vec![(0, 1, 2), (1, 2, 3)])
+    }
+
+    #[test]
+    fn sssp_on_path() {
+        let d = sssp(&path3(), 0);
+        assert_eq!(d, vec![0, 2, 5]);
+        let d1 = sssp(&path3(), 1);
+        assert_eq!(d1, vec![u64::MAX, 0, 3]);
+    }
+
+    #[test]
+    fn sssp_takes_shortcut() {
+        // 0→1 (10), 0→2 (1), 2→1 (2): best 0→1 is 3.
+        let g = Csr::from_edges(3, vec![(0, 1, 10), (0, 2, 1), (2, 1, 2)]);
+        assert_eq!(sssp(&g, 0), vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn pagerank_mass_is_conserved_approximately() {
+        let g = super::super::gen::cage15_like(200, 1);
+        let damping = (0.85 * FIXED_ONE as f64) as u64;
+        let r = pagerank(&g, 10, damping);
+        let total: u64 = r.iter().sum();
+        // Fixed-point truncation loses a little mass but stays near 1.0.
+        let frac = total as f64 / FIXED_ONE as f64;
+        assert!(frac > 0.90 && frac <= 1.001, "mass {frac}");
+    }
+
+    #[test]
+    fn pagerank_sink_heavy_vertex_ranks_higher() {
+        // Star into vertex 0.
+        let g = Csr::from_unweighted(4, vec![(1, 0), (2, 0), (3, 0), (0, 1)]);
+        let damping = (0.85 * FIXED_ONE as f64) as u64;
+        let r = pagerank(&g, 20, damping);
+        assert!(r[0] > r[2] && r[0] > r[3], "{r:?}");
+    }
+
+    #[test]
+    fn in_degrees_matches_paper_example() {
+        // Fig. 9a: v0..v3 with in-edge counts [2,3,3,2].
+        let g = Csr::from_unweighted(
+            4,
+            vec![
+                (0, 1), (0, 2), // e0, e1 (v0's out-edges)
+                (1, 0), (1, 2), (1, 3), // e2, e3, e4
+                (2, 1), (2, 3), // e5, e6
+                (3, 0), (3, 1), (3, 2), // e7, e8, e9
+            ],
+        );
+        assert_eq!(in_degrees(&g), vec![2, 3, 3, 2]);
+    }
+
+    #[test]
+    fn coloring_validation() {
+        let g = Csr::from_unweighted(3, vec![(0, 1), (1, 2)]);
+        assert!(coloring_valid(&g, &[0, 1, 0]));
+        assert!(!coloring_valid(&g, &[0, 0, 1]), "adjacent same color");
+        assert!(!coloring_valid(&g, &[0, 1, u64::MAX]), "uncolored vertex");
+        assert!(!coloring_valid(&g, &[0, 1]), "wrong length");
+    }
+}

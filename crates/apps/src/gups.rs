@@ -1,0 +1,183 @@
+//! GUPS — giga-updates per second (paper §3, Table 4: ~180 M updates).
+//!
+//! A distributed table `A` is incremented at random offsets read from a
+//! local index array (HPCC RandomAccess). Under Gravel this is the
+//! one-line kernel of Fig. 4b: every work-item issues one `shmem_inc`.
+//! With a cyclic partition and uniform random offsets, `(n-1)/n` of
+//! updates are remote — 87.5 % at eight nodes (Table 5).
+
+use gravel_cluster::{NodeStep, OpClass, StepTrace, WorkloadTrace};
+use gravel_core::GravelRuntime;
+use gravel_pgas::{Layout, Partition};
+use gravel_simt::{LaneVec, Mask};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// GUPS problem description.
+#[derive(Clone, Copy, Debug)]
+pub struct GupsInput {
+    /// Total updates across the cluster (Table 4: ~180 M; scale down for
+    /// tests).
+    pub updates: usize,
+    /// Global table length.
+    pub table_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GupsInput {
+    /// A small deterministic instance for tests/examples.
+    pub fn small() -> Self {
+        GupsInput { updates: 4096, table_len: 512, seed: 42 }
+    }
+}
+
+/// The random global indices node `node` updates (deterministic in the
+/// seed, disjoint streams per node).
+pub fn node_updates(input: &GupsInput, nodes: usize, node: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(input.seed ^ (node as u64).wrapping_mul(0x9E37_79B9));
+    let count = input.updates / nodes + usize::from(node < input.updates % nodes);
+    (0..count).map(|_| rng.gen_range(0..input.table_len)).collect()
+}
+
+/// The table partition GUPS uses (cyclic: uniform scatter).
+pub fn partition(input: &GupsInput, nodes: usize) -> Partition {
+    Partition::new(input.table_len, nodes, Layout::Cyclic)
+}
+
+/// Run GUPS on the live runtime. The runtime must have `heap_len ≥`
+/// the local table slice on every node. Returns the number of updates
+/// issued.
+pub fn run_live(rt: &GravelRuntime, input: &GupsInput) -> u64 {
+    let nodes = rt.nodes();
+    let part = partition(input, nodes);
+    for node in 0..nodes {
+        assert!(
+            rt.config().heap_len >= part.local_len(node),
+            "heap too small for table slice"
+        );
+    }
+    let mut issued = 0u64;
+    for node in 0..nodes {
+        let updates = node_updates(input, nodes, node);
+        issued += updates.len() as u64;
+        let wg_size = rt.config().wg_size;
+        let wgs = updates.len().div_ceil(wg_size).max(1);
+        rt.dispatch(node, wgs, |ctx| {
+            let gids = ctx.wg.global_ids();
+            let n = ctx.wg.wg_size();
+            let in_range = Mask::from_fn(n, |l| gids.get(l) < updates.len());
+            ctx.masked(&in_range, |ctx| {
+                // Fig. 4b line 15: shmem_inc(A + B[GRID_ID], C[GRID_ID]).
+                let dests = LaneVec::from_fn(n, |l| {
+                    let g = gids.get(l).min(updates.len() - 1);
+                    part.owner(updates[g]) as u32
+                });
+                let addrs = LaneVec::from_fn(n, |l| {
+                    let g = gids.get(l).min(updates.len() - 1);
+                    part.local_offset(updates[g])
+                });
+                let vals = LaneVec::splat(n, 1u64);
+                ctx.shmem_inc(&dests, &addrs, &vals);
+            });
+        });
+    }
+    rt.quiesce();
+    issued
+}
+
+/// Verify a finished live run: the distributed histogram must equal the
+/// sequential count of the same update streams.
+pub fn verify_live(rt: &GravelRuntime, input: &GupsInput) -> bool {
+    let nodes = rt.nodes();
+    let part = partition(input, nodes);
+    let mut expect = vec![0u64; input.table_len];
+    for node in 0..nodes {
+        for g in node_updates(input, nodes, node) {
+            expect[g] += 1;
+        }
+    }
+    (0..input.table_len).all(|g| {
+        rt.heap(part.owner(g)).load(part.local_offset(g)) == expect[g]
+    })
+}
+
+/// Communication trace for the cluster model: one superstep of uniform
+/// scatter with exact per-destination counts.
+pub fn trace(input: &GupsInput, nodes: usize) -> WorkloadTrace {
+    let part = partition(input, nodes);
+    let mut t = WorkloadTrace::new("GUPS", nodes);
+    let mut step = StepTrace::default();
+    for node in 0..nodes {
+        let mut routed = vec![0u64; nodes];
+        let updates = node_updates(input, nodes, node);
+        for &g in &updates {
+            routed[part.owner(g)] += 1;
+        }
+        step.per_node.push(NodeStep {
+            gpu_ops: updates.len() as u64, // B/C reads + index math
+            routed,
+            class: OpClass::Atomic,
+            local_pgas: 0, // every update is routed (serialized atomics)
+        });
+    }
+    t.push_step(step);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gravel_core::GravelConfig;
+
+    #[test]
+    fn live_gups_matches_sequential_histogram() {
+        let input = GupsInput::small();
+        let rt = GravelRuntime::new(GravelConfig::small(2, input.table_len));
+        let issued = run_live(&rt, &input);
+        assert_eq!(issued, input.updates as u64);
+        assert!(verify_live(&rt, &input));
+        let stats = rt.shutdown();
+        assert_eq!(stats.total_offloaded(), input.updates as u64);
+        // Cyclic partition + uniform updates ⇒ ~half remote at 2 nodes.
+        assert!((stats.remote_fraction() - 0.5).abs() < 0.05, "{}", stats.remote_fraction());
+    }
+
+    #[test]
+    fn update_streams_are_disjoint_and_cover() {
+        let input = GupsInput { updates: 1000, table_len: 64, seed: 7 };
+        let a: usize = (0..3).map(|n| node_updates(&input, 3, n).len()).sum();
+        assert_eq!(a, 1000);
+        assert_ne!(node_updates(&input, 3, 0), node_updates(&input, 3, 1));
+        // Deterministic.
+        assert_eq!(node_updates(&input, 3, 2), node_updates(&input, 3, 2));
+    }
+
+    #[test]
+    fn trace_remote_fraction_is_seven_eighths_at_8_nodes() {
+        let input = GupsInput { updates: 100_000, table_len: 1 << 16, seed: 1 };
+        let t = trace(&input, 8);
+        // Table 5: 87.5 %. gpu_ops are counted as local ops, so compute
+        // the routed-only fraction here.
+        let mut remote = 0u64;
+        let mut total = 0u64;
+        for (src, ns) in t.steps[0].per_node.iter().enumerate() {
+            for (dest, &m) in ns.routed.iter().enumerate() {
+                total += m;
+                if dest != src {
+                    remote += m;
+                }
+            }
+        }
+        let f = remote as f64 / total as f64;
+        assert!((f - 0.875).abs() < 0.01, "remote fraction {f}");
+    }
+
+    #[test]
+    fn trace_totals_match_input() {
+        let input = GupsInput { updates: 999, table_len: 128, seed: 3 };
+        let t = trace(&input, 4);
+        assert_eq!(t.total_routed(), 999);
+        assert_eq!(t.steps.len(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! GUPS with **coalesced APIs** (paper §3.3, Fig. 4c).
+//!
+//! All work-items of a work-group invoke the network API together with
+//! identical arguments, so the kernel must first sort the work-group's
+//! messages by destination in scratchpad (a counting sort, 4 kB for a
+//! 256-WI work-group) and then call the synchronous send once per
+//! destination — the per-destination loop that degrades SIMT utilization
+//! and the extra GPU code that makes this the longest kernel in Table 2.
+
+use std::sync::atomic::Ordering;
+
+use gravel_pgas::{Layout, Partition, SymmetricHeap};
+use gravel_simt::{Grid, LaneVec, Mask, SimtEngine};
+
+/// This file's source, for Table 2's line counting.
+pub const SOURCE: &str = include_str!("coalesced.rs");
+
+/// A synchronous coalesced send: the whole work-group ships one list of
+/// updates to one destination (GPUnet/GPUrdma-style `sync_inc_list`).
+fn sync_inc_list(heap: &SymmetricHeap, offsets: &[u64]) {
+    for &off in offsets {
+        heap.fetch_add(off, 1);
+    }
+}
+
+/// Run GUPS and return the global histogram.
+pub fn run(nodes: usize, updates: &[Vec<usize>], table_len: usize) -> Vec<u64> {
+    run_counted(nodes, updates, table_len).0
+}
+
+/// Run GUPS, also returning the dispatch counters.
+pub fn run_counted(
+    nodes: usize,
+    updates: &[Vec<usize>],
+    table_len: usize,
+) -> (Vec<u64>, gravel_simt::Counters) {
+    let mut counters = gravel_simt::Counters::default();
+    // --- host code ---
+    let part = Partition::new(table_len, nodes, Layout::Cyclic);
+    let heaps: Vec<SymmetricHeap> =
+        (0..nodes).map(|n| SymmetricHeap::new(part.local_len(n))).collect();
+    let engine = SimtEngine::with_cus(2);
+    for b in updates.iter() {
+        let grid = Grid::cover(b.len(), 256);
+        let r = engine.dispatch(grid, |ctx| gups_kernel(ctx, b, &part, &heaps));
+        counters.merge(&r.counters);
+    }
+    let mut out = Vec::with_capacity(table_len);
+    for g in 0..table_len {
+        out.push(heaps[part.owner(g)].load(part.local_offset(g)));
+    }
+    (out, counters)
+    // --- end host code ---
+}
+
+// --- GPU kernel ---
+fn gups_kernel(
+    ctx: &mut gravel_simt::WgCtx,
+    b: &[usize],
+    part: &Partition,
+    heaps: &[SymmetricHeap],
+) {
+    let base = ctx.wg_id() * ctx.wg_size();
+    let n = ctx.wg_size();
+    let in_range = Mask::from_fn(n, |l| base + l < b.len());
+    if in_range.is_empty() {
+        return;
+    }
+    ctx.with_mask(in_range, |ctx| {
+        // Fig. 4c lines 18-25: allocate scratchpad and counting-sort the
+        // work-group's messages by destination id.
+        let upd = |l: usize| b[(base + l).min(b.len() - 1)];
+        let dests = LaneVec::from_fn(n, |l| part.owner(upd(l)));
+        let sorted = ctx
+            .counting_sort(&dests, heaps.len())
+            .expect("4 kB of scratchpad for a 256-WI work-group");
+        // Fig. 4c lines 26-29: one synchronous coalesced send per
+        // destination the work-group targets.
+        let mut off = 0usize;
+        for (d, &cnt) in sorted.dests.iter().zip(&sorted.cnts) {
+            let offsets: Vec<u64> = sorted.order[off..off + cnt]
+                .iter()
+                .map(|&lane| part.local_offset(upd(lane)))
+                .collect();
+            // The API is invoked by every active work-item together; the
+            // engine charges a full-WG instruction per call.
+            ctx.charge(1, gravel_simt::ExecScope::WholeWorkGroup);
+            ctx.counters.messages += cnt as u64;
+            sync_inc_list(&heaps[*d], &offsets);
+            off += cnt;
+        }
+    });
+    // Keep the atomics ordering with the host's final gather.
+    std::sync::atomic::fence(Ordering::Release);
+}
+// --- end GPU kernel ---

@@ -1,0 +1,146 @@
+//! GUPS in the **coprocessor** model (paper §3.1, Fig. 4a).
+//!
+//! The GPU may not touch the network: the host chunks the update stream
+//! so the worst case (every work-item targeting one node) cannot
+//! overflow a per-node queue, launches a kernel per chunk in which
+//! work-groups reserve queue space with WG-level synchronization, then
+//! sends each per-node queue, receives the peers' queues, and applies
+//! them — all by hand, every iteration. This is the model's
+//! programmability cost that Table 2 quantifies: compare the amount of
+//! host orchestration below with `gravel_style.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gravel_pgas::{Layout, Partition, SymmetricHeap};
+use gravel_simt::{Grid, LaneVec, Mask, SimtEngine};
+
+/// This file's source, for Table 2's line counting.
+pub const SOURCE: &str = include_str!("coprocessor.rs");
+
+/// Per-node queue capacity in updates (the chunk size; Fig. 4a line 6's
+/// `Q_SZ`).
+const Q_SZ: usize = 256;
+
+struct PerNodeQueues {
+    /// `queues[dest][slot]` holds an encoded update (offset + 1; 0 empty).
+    queues: Vec<Vec<AtomicU64>>,
+    /// Fill levels, advanced by the GPU with WG-level reservations.
+    fill: Vec<AtomicU64>,
+}
+
+impl PerNodeQueues {
+    fn new(nodes: usize) -> Self {
+        PerNodeQueues {
+            queues: (0..nodes)
+                .map(|_| (0..Q_SZ).map(|_| AtomicU64::new(0)).collect())
+                .collect(),
+            fill: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn reset(&self) {
+        for q in &self.queues {
+            for c in q {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+        for f in &self.fill {
+            f.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Run GUPS and return the global histogram.
+pub fn run(nodes: usize, updates: &[Vec<usize>], table_len: usize) -> Vec<u64> {
+    run_counted(nodes, updates, table_len).0
+}
+
+/// Run GUPS, also returning the dispatch counters.
+pub fn run_counted(
+    nodes: usize,
+    updates: &[Vec<usize>],
+    table_len: usize,
+) -> (Vec<u64>, gravel_simt::Counters) {
+    let mut counters = gravel_simt::Counters::default();
+    // --- host code ---
+    let part = Partition::new(table_len, nodes, Layout::Cyclic);
+    let heaps: Vec<SymmetricHeap> =
+        (0..nodes).map(|n| SymmetricHeap::new(part.local_len(n))).collect();
+    let engine = SimtEngine::with_cus(2);
+    let queues: Vec<PerNodeQueues> = (0..nodes).map(|_| PerNodeQueues::new(nodes)).collect();
+    // Every node advances through its update stream in Q_SZ-sized chunks
+    // (the worst case sends a whole chunk to one destination queue).
+    let chunks = updates.iter().map(|b| b.len().div_ceil(Q_SZ)).max().unwrap_or(0);
+    for chunk in 0..chunks {
+        // Launch the chunk's kernel on each node's GPU.
+        for (node, b) in updates.iter().enumerate() {
+            let lo = (chunk * Q_SZ).min(b.len());
+            let hi = ((chunk + 1) * Q_SZ).min(b.len());
+            if lo == hi {
+                continue;
+            }
+            queues[node].reset();
+            let slice = &b[lo..hi];
+            let grid = Grid::cover(slice.len(), 64);
+            let r = engine.dispatch(grid, |ctx| gups_kernel(ctx, slice, &part, &queues[node]));
+            counters.merge(&r.counters);
+        }
+        // "Send" every per-node queue and apply it at the destination
+        // (lines 8-13 of Fig. 4a; the memcpy is the wire).
+        for src in 0..nodes {
+            for dest in 0..nodes {
+                let count = queues[src].fill[dest].load(Ordering::Acquire) as usize;
+                for slot in 0..count.min(Q_SZ) {
+                    let enc = queues[src].queues[dest][slot].load(Ordering::Acquire);
+                    assert!(enc != 0, "reserved slot left unwritten");
+                    heaps[dest].fetch_add(enc - 1, 1);
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(table_len);
+    for g in 0..table_len {
+        out.push(heaps[part.owner(g)].load(part.local_offset(g)));
+    }
+    (out, counters)
+    // --- end host code ---
+}
+
+// --- GPU kernel ---
+fn gups_kernel(
+    ctx: &mut gravel_simt::WgCtx,
+    b: &[usize],
+    part: &Partition,
+    queues: &PerNodeQueues,
+) {
+    let base = ctx.wg_id() * ctx.wg_size();
+    let n = ctx.wg_size();
+    let in_range = Mask::from_fn(n, |l| base + l < b.len());
+    // Fig. 4a lines 2-4: loop over the destinations this work-group
+    // targets; each visit costs a WG-level reservation (and causes the
+    // branch/memory divergence the paper calls out).
+    for dest in 0..queues.queues.len() {
+        let to_dest = in_range.and(&Mask::from_fn(n, |l| {
+            part.owner(b[(base + l).min(b.len() - 1)]) == dest
+        }));
+        if to_dest.is_empty() {
+            continue;
+        }
+        ctx.with_mask(to_dest, |ctx| {
+            let ones = LaneVec::splat(n, 1u64);
+            let my_off = ctx.prefix_sum(&ones);
+            let leader = ctx.elect_leader().unwrap();
+            let count = ctx.reduce_sum(&ones);
+            let qoff = ctx.atomic_fetch_add(&queues.fill[dest], count);
+            let qoff_reg = LaneVec::from_fn(n, |l| if l == leader { qoff } else { 0 });
+            let qbase = ctx.reduce_sum(&qoff_reg);
+            for lane in ctx.active().clone().iter() {
+                let slot = (qbase + my_off.get(lane)) as usize;
+                let offset = part.local_offset(b[base + lane]);
+                queues.queues[dest][slot].store(offset + 1, Ordering::Release);
+            }
+            ctx.charge(1, gravel_simt::ExecScope::ActiveWavefronts);
+        });
+    }
+}
+// --- end GPU kernel ---

@@ -1,0 +1,59 @@
+//! GUPS in the **Gravel** model (paper Fig. 4b).
+//!
+//! The kernel is one PGAS call per work-item; everything else — queue
+//! reservation, aggregation, sending, receiving, applying — is the
+//! runtime's job. Table 2 counts this file's code lines: the `host` and
+//! `gpu` sections are delimited by the `// ---` markers that
+//! [`super::loc`] parses.
+
+use gravel_core::{GravelConfig, GravelRuntime};
+use gravel_pgas::{Layout, Partition};
+use gravel_simt::{LaneVec, Mask};
+
+/// This file's source, for Table 2's line counting.
+pub const SOURCE: &str = include_str!("gravel_style.rs");
+
+/// Run GUPS and return the global histogram.
+pub fn run(nodes: usize, updates: &[Vec<usize>], table_len: usize) -> Vec<u64> {
+    run_counted(nodes, updates, table_len).0
+}
+
+/// Run GUPS, also returning the dispatch counters (Table 1's measured
+/// SIMT-utilization criterion).
+pub fn run_counted(
+    nodes: usize,
+    updates: &[Vec<usize>],
+    table_len: usize,
+) -> (Vec<u64>, gravel_simt::Counters) {
+    // --- host code ---
+    let part = Partition::new(table_len, nodes, Layout::Cyclic);
+    let rt = GravelRuntime::new(GravelConfig::small(nodes, table_len));
+    let mut counters = gravel_simt::Counters::default();
+    for (node, b) in updates.iter().enumerate() {
+        let wgs = b.len().div_ceil(rt.config().wg_size).max(1);
+        let r = rt.dispatch(node, wgs, |ctx| gups_kernel(ctx, b, &part));
+        counters.merge(&r.counters);
+    }
+    rt.quiesce();
+    let out = (0..table_len)
+        .map(|g| rt.heap(part.owner(g)).load(part.local_offset(g)))
+        .collect();
+    rt.shutdown();
+    (out, counters)
+    // --- end host code ---
+}
+
+// --- GPU kernel ---
+fn gups_kernel(ctx: &mut gravel_core::GravelCtx, b: &[usize], part: &Partition) {
+    let gids = ctx.wg.global_ids();
+    let n = ctx.wg.wg_size();
+    let in_range = Mask::from_fn(n, |l| gids.get(l) < b.len());
+    ctx.masked(&in_range, |ctx| {
+        let upd = |l: usize| b[gids.get(l).min(b.len() - 1)];
+        let dests = LaneVec::from_fn(n, |l| part.owner(upd(l)) as u32);
+        let addrs = LaneVec::from_fn(n, |l| part.local_offset(upd(l)));
+        let ones = LaneVec::splat(n, 1u64);
+        ctx.shmem_inc(&dests, &addrs, &ones);
+    });
+}
+// --- end GPU kernel ---

@@ -1,0 +1,94 @@
+//! GUPS in the **message-per-lane** model (paper §3.2, Fig. 4b).
+//!
+//! Work-items access the network independently: every update becomes its
+//! own network message, sent unaggregated to its destination. The GPU
+//! code is as simple as Gravel's (that is the model's selling point), but
+//! every message pays full per-message overhead on the wire — the
+//! performance collapse of Fig. 15's third bar. Here each message is
+//! delivered as its own single-message "packet" through a per-node
+//! mailbox, with the per-work-item queue providing the SIMT-safe exit
+//! from the GPU.
+
+use std::sync::Arc;
+
+use gravel_gq::{Consumed, GravelQueue, Message, QueueConfig};
+use gravel_pgas::{Layout, Partition, SymmetricHeap};
+use gravel_simt::{Grid, Mask, SimtEngine};
+
+/// This file's source, for Table 2's line counting.
+pub const SOURCE: &str = include_str!("msg_per_lane.rs");
+
+/// Run GUPS and return the global histogram.
+pub fn run(nodes: usize, updates: &[Vec<usize>], table_len: usize) -> Vec<u64> {
+    run_counted(nodes, updates, table_len).0
+}
+
+/// Run GUPS, also returning the dispatch counters.
+pub fn run_counted(
+    nodes: usize,
+    updates: &[Vec<usize>],
+    table_len: usize,
+) -> (Vec<u64>, gravel_simt::Counters) {
+    let mut counters = gravel_simt::Counters::default();
+    // --- host code ---
+    let part = Partition::new(table_len, nodes, Layout::Cyclic);
+    let heaps: Vec<Arc<SymmetricHeap>> =
+        (0..nodes).map(|n| Arc::new(SymmetricHeap::new(part.local_len(n)))).collect();
+    let engine = SimtEngine::with_cus(2);
+    for b in updates.iter() {
+        // One single-message-slot queue: the message-per-lane exit path.
+        let q = Arc::new(GravelQueue::new(QueueConfig { slots: 256, lane_width: 1, rows: 4 }));
+        let deliver = {
+            let q = q.clone();
+            let heaps = heaps.clone();
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let mut delivered = 0u64;
+                loop {
+                    buf.clear();
+                    match q.try_consume_into(&mut buf) {
+                        Consumed::Batch(_) => {
+                            // Each message is its own network send.
+                            let m = Message::decode([buf[0], buf[1], buf[2], buf[3]]).unwrap();
+                            heaps[m.dest as usize].fetch_add(m.addr, m.value);
+                            delivered += 1;
+                        }
+                        Consumed::Empty => std::thread::yield_now(),
+                        Consumed::Closed => return delivered,
+                    }
+                }
+            })
+        };
+        let grid = Grid::cover(b.len(), 64);
+        let r = engine.dispatch(grid, |ctx| gups_kernel(ctx, &q, b, &part));
+        counters.merge(&r.counters);
+        q.close();
+        deliver.join().unwrap();
+    }
+    let mut out = Vec::with_capacity(table_len);
+    for g in 0..table_len {
+        out.push(heaps[part.owner(g)].load(part.local_offset(g)));
+    }
+    (out, counters)
+    // --- end host code ---
+}
+
+// --- GPU kernel ---
+fn gups_kernel(
+    ctx: &mut gravel_simt::WgCtx,
+    q: &GravelQueue,
+    b: &[usize],
+    part: &Partition,
+) {
+    let base = ctx.wg_id() * ctx.wg_size();
+    let n = ctx.wg_size();
+    let in_range = Mask::from_fn(n, |l| base + l < b.len());
+    ctx.with_mask(in_range, |ctx| {
+        let upd = |l: usize| b[(base + l).min(b.len() - 1)];
+        q.wi_produce(ctx, |lane, row| {
+            Message::inc(part.owner(upd(lane)) as u32, part.local_offset(upd(lane)), 1)
+                .encode()[row]
+        });
+    });
+}
+// --- end GPU kernel ---

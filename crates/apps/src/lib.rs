@@ -1,0 +1,43 @@
+//! # gravel-apps — the paper's application suite
+//!
+//! The six irregular applications the Gravel paper evaluates (§6,
+//! Table 4), each in three forms:
+//!
+//! 1. **Live** (`run_live`) — a real distributed execution on the
+//!    [`gravel_core::GravelRuntime`], verified against a sequential
+//!    reference (exactly, thanks to integer arithmetic).
+//! 2. **Trace** (`trace`) — a per-superstep communication
+//!    characterisation consumed by the `gravel-cluster` performance
+//!    models for the multi-node figures.
+//! 3. **Reference** — sequential ground truth.
+//!
+//! Inputs are synthetic stand-ins for Table 4's datasets, with generator
+//! constants fitted to the communication statistics the paper reports
+//! (see [`graph::gen`] and module docs).
+//!
+//! | Module | Paper workload | Operations |
+//! |---|---|---|
+//! | [`gups`] | GUPS (~180 M updates) | atomic increments |
+//! | [`pagerank`] | PR-1 / PR-2 | PUTs |
+//! | [`sssp`] | SSSP-1 / SSSP-2 | active messages |
+//! | [`color`] | color-1 / color-2 | PUTs |
+//! | [`kmeans`] | k-means (8 × 16 M) | atomic increments |
+//! | [`mer`] | Meraculous phase 1 | active messages |
+//! | [`mer2`] | Meraculous phase 2 (paper's future work) | replying AMs |
+//! | [`gas`] | GasCL-style vertex programs (the apps' base system) | mixed |
+//! | [`gups_mod`] | GUPS-mod (§8.2) | diverged offload |
+
+pub mod color;
+pub mod gas;
+pub mod graph;
+pub mod gups;
+pub mod gups_mod;
+pub mod gups_styles;
+pub mod inputs;
+pub mod kmeans;
+pub mod mer;
+pub mod mer2;
+pub mod pagerank;
+pub mod sssp;
+
+pub use inputs::{GraphInputs, Scale, WORKLOADS};

@@ -1,0 +1,326 @@
+//! Meraculous phase 2 — distributed hash-table *traversal* (paper §6:
+//! "We evaluate phase 1 and leave phase 2, which has significant branch
+//! divergence, for future work").
+//!
+//! This module implements that future work on the reproduction's
+//! substrates. Phase 1 is extended to record each k-mer's forward
+//! extension (the base that follows it in the reads); phase 2 walks the
+//! resulting de Bruijn chains: every active walk looks up its current
+//! k-mer at the owner node and advances by the returned base. Remote
+//! lookups are *request/response active messages* — the lookup handler
+//! probes its local table slice and replies with a PUT into the
+//! requester's mailbox, riding the normal Gravel path (queue → aggregator
+//! → wire) in both directions. Walks finish at different times, which is
+//! precisely the branch divergence the paper warned about; the kernel
+//! masks finished walks off lane by lane.
+//!
+//! Heap layout per node (`heap_len = 2 × t_local + mailbox`):
+//! `[0, t_local)` k-mer cells (`kmer + 1`, 0 = empty);
+//! `[t_local, 2·t_local)` extension cells (`base + 1`);
+//! `[2·t_local, …)` reply mailbox (0 = pending, 1 = miss, `2+base` = hit).
+
+use std::collections::HashMap;
+
+use gravel_core::GravelRuntime;
+use gravel_pgas::{Layout, Partition};
+use gravel_simt::{LaneVec, Mask};
+
+use crate::mer::{kmer_hash, synthetic_reads, MerInput};
+
+/// Reply encodings in the mailbox.
+const PENDING: u64 = 0;
+const MISS: u64 = 1;
+
+/// Pack the lookup request's routing info into the AM `addr` word:
+/// local probe offset (32 bits) | reply node (8 bits) | mailbox slot
+/// (24 bits).
+fn pack_addr(probe: u64, reply_node: u32, slot: u64) -> u64 {
+    debug_assert!(probe < (1 << 32) && slot < (1 << 24) && reply_node < 256);
+    probe | ((reply_node as u64) << 32) | (slot << 40)
+}
+
+/// Register phase-2's two handlers. `t_local` is each node's table-slice
+/// length; `mailbox_base = 2 × t_local`. Returns `(insert_id, lookup_id)`.
+pub fn register(reg: &mut gravel_pgas::AmRegistry, t_local: u64) -> (u32, u32) {
+    // Insert: `addr` = probe start, `value` = (kmer << 2) | base.
+    let insert = reg.register(Box::new(move |heap, addr, value| {
+        let kmer = value >> 2;
+        let base = value & 3;
+        let mut i = addr % t_local;
+        for _ in 0..t_local {
+            let cur = heap.load(i);
+            if cur == kmer + 1 {
+                return; // present; first extension wins
+            }
+            if cur == 0 {
+                heap.store(i, kmer + 1);
+                heap.store(t_local + i, base + 1);
+                return;
+            }
+            i = (i + 1) % t_local;
+        }
+    }));
+    // Lookup: `addr` packs (probe, reply node, slot); `value` = kmer.
+    let lookup = reg.register_replying(Box::new(move |heap, addr, value, reply| {
+        let probe = addr & 0xffff_ffff;
+        let reply_node = ((addr >> 32) & 0xff) as u32;
+        let slot = addr >> 40;
+        let mailbox = 2 * t_local + slot;
+        let mut i = probe % t_local;
+        for _ in 0..t_local {
+            let cur = heap.load(i);
+            if cur == value + 1 {
+                let base = heap.load(t_local + i) - 1;
+                reply(gravel_gq::Message::put(reply_node, mailbox, 2 + base));
+                return;
+            }
+            if cur == 0 {
+                break;
+            }
+            i = (i + 1) % t_local;
+        }
+        reply(gravel_gq::Message::put(reply_node, mailbox, MISS));
+    }));
+    (insert, lookup)
+}
+
+/// Phase 1 with extensions: insert every `(k+1)`-mer of every read as
+/// `kmer → next base`.
+pub fn build_table(rt: &GravelRuntime, input: &MerInput, table_len: usize, insert_id: u32) {
+    let nodes = rt.nodes();
+    let part = Partition::new(table_len, nodes, Layout::Block);
+    for node in 0..nodes {
+        // (kmer, next base) pairs from (k+1)-mers.
+        let work: Vec<(u64, u64)> = synthetic_reads(input, nodes, node)
+            .iter()
+            .flat_map(|read| {
+                read.windows(input.k + 1)
+                    .map(|w| (crate::mer::pack_kmer(&w[..input.k]), w[input.k] as u64))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if work.is_empty() {
+            continue;
+        }
+        let wgs = work.len().div_ceil(rt.config().wg_size);
+        rt.dispatch(node, wgs, |ctx| {
+            let gids = ctx.wg.global_ids();
+            let w = ctx.wg.wg_size();
+            let in_range = Mask::from_fn(w, |l| gids.get(l) < work.len());
+            ctx.masked(&in_range, |ctx| {
+                let e = |l: usize| work[gids.get(l).min(work.len() - 1)];
+                let dests = LaneVec::from_fn(w, |l| {
+                    part.owner((kmer_hash(e(l).0) % table_len as u64) as usize) as u32
+                });
+                let addrs = LaneVec::from_fn(w, |l| {
+                    part.local_offset((kmer_hash(e(l).0) % table_len as u64) as usize)
+                });
+                let vals = LaneVec::from_fn(w, |l| (e(l).0 << 2) | e(l).1);
+                ctx.shmem_am(insert_id, &dests, &addrs, &vals);
+            });
+        });
+    }
+    rt.quiesce();
+}
+
+/// One in-flight traversal.
+#[derive(Clone, Debug)]
+pub struct Walk {
+    /// Current k-mer.
+    pub cur: u64,
+    /// Bases appended so far.
+    pub contig: Vec<u8>,
+    /// Finished (lookup missed or length cap hit).
+    pub done: bool,
+}
+
+/// Phase 2: walk the de Bruijn chains from `seeds` (one walk per seed,
+/// all owned by node 0 for simplicity — walks look up k-mers cluster-wide
+/// regardless). Returns the contigs.
+pub fn traverse(
+    rt: &GravelRuntime,
+    seeds: &[u64],
+    k: usize,
+    table_len: usize,
+    max_len: usize,
+    lookup_id: u32,
+) -> Vec<Walk> {
+    let nodes = rt.nodes();
+    let part = Partition::new(table_len, nodes, Layout::Block);
+    let t_local = (table_len / nodes) as u64;
+    let mailbox_base = 2 * t_local;
+    let kmask = (1u64 << (2 * k)) - 1;
+    let mut walks: Vec<Walk> =
+        seeds.iter().map(|&s| Walk { cur: s, contig: Vec::new(), done: false }).collect();
+    assert!(walks.len() <= rt.config().heap_len - mailbox_base as usize, "mailbox too small");
+
+    while walks.iter().any(|w| !w.done) {
+        // Reset mailbox slots for the active walks.
+        for (slot, w) in walks.iter().enumerate() {
+            if !w.done {
+                rt.heap(0).store(mailbox_base + slot as u64, PENDING);
+            }
+        }
+        // One superstep: every active walk sends its lookup (divergent —
+        // finished walks are masked off).
+        let snapshot: Vec<(u64, bool)> = walks.iter().map(|w| (w.cur, w.done)).collect();
+        let wgs = walks.len().div_ceil(rt.config().wg_size).max(1);
+        rt.dispatch(0, wgs, |ctx| {
+            let gids = ctx.wg.global_ids();
+            let w = ctx.wg.wg_size();
+            let active =
+                Mask::from_fn(w, |l| gids.get(l) < snapshot.len() && !snapshot[gids.get(l)].1);
+            ctx.masked(&active, |ctx| {
+                let walk = |l: usize| snapshot[gids.get(l).min(snapshot.len() - 1)].0;
+                let global = |l: usize| (kmer_hash(walk(l)) % table_len as u64) as usize;
+                let dests = LaneVec::from_fn(w, |l| part.owner(global(l)) as u32);
+                let addrs = LaneVec::from_fn(w, |l| {
+                    pack_addr(part.local_offset(global(l)), 0, gids.get(l) as u64)
+                });
+                let vals = LaneVec::from_fn(w, |l| walk(l));
+                ctx.shmem_am(lookup_id, &dests, &addrs, &vals);
+            });
+        });
+        // Quiesce covers the lookups *and* their replies (replies are
+        // offloaded before the lookup counts as applied).
+        rt.quiesce();
+        // Advance walks from the mailbox.
+        for (slot, w) in walks.iter_mut().enumerate() {
+            if w.done {
+                continue;
+            }
+            let r = rt.heap(0).load(mailbox_base + slot as u64);
+            assert_ne!(r, PENDING, "quiesce returned with a reply in flight");
+            if r == MISS || w.contig.len() >= max_len {
+                w.done = true;
+            } else {
+                let base = (r - 2) as u8;
+                w.contig.push(base);
+                w.cur = ((w.cur << 2) | base as u64) & kmask;
+                if w.contig.len() >= max_len {
+                    w.done = true;
+                }
+            }
+        }
+    }
+    walks
+}
+
+/// Sequential reference: the same chains walked over a `HashMap`.
+pub fn reference_contigs(
+    input: &MerInput,
+    nodes: usize,
+    seeds: &[u64],
+    max_len: usize,
+) -> Vec<Vec<u8>> {
+    let mut next: HashMap<u64, u8> = HashMap::new();
+    for node in 0..nodes {
+        for read in synthetic_reads(input, nodes, node) {
+            for w in read.windows(input.k + 1) {
+                next.entry(crate::mer::pack_kmer(&w[..input.k])).or_insert(w[input.k]);
+            }
+        }
+    }
+    let kmask = (1u64 << (2 * input.k)) - 1;
+    seeds
+        .iter()
+        .map(|&seed| {
+            let mut cur = seed;
+            let mut contig = Vec::new();
+            while contig.len() < max_len {
+                match next.get(&cur) {
+                    Some(&b) => {
+                        contig.push(b);
+                        cur = ((cur << 2) | b as u64) & kmask;
+                    }
+                    None => break,
+                }
+            }
+            contig
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mer::kmers;
+    use gravel_core::GravelConfig;
+
+    fn setup(input: &MerInput, nodes: usize, mailbox: usize) -> (GravelRuntime, usize) {
+        // Table sized at 4× the k-mer volume, divisible by node count.
+        let volume: usize = (0..nodes)
+            .map(|n| {
+                synthetic_reads(input, nodes, n)
+                    .iter()
+                    .map(|r| kmers(r, input.k).len())
+                    .sum::<usize>()
+            })
+            .sum();
+        let table_len = (volume * 4).next_multiple_of(nodes).max(nodes * 8);
+        let t_local = table_len / nodes;
+        let rt = GravelRuntime::with_handlers(
+            GravelConfig::small(nodes, 2 * t_local + mailbox),
+            |reg| {
+                register(reg, t_local as u64);
+            },
+        );
+        (rt, table_len)
+    }
+
+    #[test]
+    fn phase2_contigs_match_reference() {
+        let input = MerInput { genome_len: 1_500, reads: 150, read_len: 60, k: 21, seed: 44 };
+        let nodes = 3;
+        let (rt, table_len) = setup(&input, nodes, 64);
+        build_table(&rt, &input, table_len, 0); // handler ids: 0 insert, 1 lookup
+        // Seeds: the first k-mer of a few reads.
+        let seeds: Vec<u64> = (0..nodes)
+            .flat_map(|n| synthetic_reads(&input, nodes, n).into_iter().take(2))
+            .map(|read| crate::mer::pack_kmer(&read[..input.k]))
+            .take(8)
+            .collect();
+        let walks = traverse(&rt, &seeds, input.k, table_len, 200, 1);
+        rt.shutdown();
+        let expect = reference_contigs(&input, nodes, &seeds, 200);
+        let got: Vec<Vec<u8>> = walks.into_iter().map(|w| w.contig).collect();
+        assert_eq!(got, expect);
+        // The walks actually went somewhere.
+        assert!(got.iter().any(|c| c.len() > 10), "{got:?}");
+    }
+
+    #[test]
+    fn walks_have_divergent_lengths() {
+        // The paper's reason for deferring phase 2: walks finish at very
+        // different times. Check the divergence is real on our input.
+        let input = MerInput { genome_len: 800, reads: 80, read_len: 50, k: 15, seed: 9 };
+        let nodes = 2;
+        let (rt, table_len) = setup(&input, nodes, 64);
+        build_table(&rt, &input, table_len, 0);
+        let seeds: Vec<u64> = synthetic_reads(&input, nodes, 0)
+            .into_iter()
+            .take(6)
+            .map(|r| crate::mer::pack_kmer(&r[..input.k]))
+            .collect();
+        let walks = traverse(&rt, &seeds, input.k, table_len, 300, 1);
+        rt.shutdown();
+        let lens: Vec<usize> = walks.iter().map(|w| w.contig.len()).collect();
+        let min = lens.iter().min().unwrap();
+        let max = lens.iter().max().unwrap();
+        assert!(max > min, "walk lengths should diverge: {lens:?}");
+    }
+
+    #[test]
+    fn miss_reply_ends_a_walk_immediately() {
+        let input = MerInput { genome_len: 500, reads: 40, read_len: 40, k: 15, seed: 5 };
+        let (rt, table_len) = setup(&input, 2, 16);
+        build_table(&rt, &input, table_len, 0);
+        // A seed that is certainly absent: all-A k-mer is possible but an
+        // arbitrary high pattern is effectively impossible in 500 bases.
+        let seeds = [0x2AAA_AAAA_u64 & ((1 << 30) - 1)];
+        let walks = traverse(&rt, &seeds, input.k, table_len, 50, 1);
+        rt.shutdown();
+        assert!(walks[0].done);
+        assert!(walks[0].contig.is_empty(), "{:?}", walks[0]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation (DESIGN.md §5.5): serializing atomics through the network
+//! thread vs concurrent GPU read-modify-writes on local data.
+//!
+//! The paper routes *all* atomics — local included — through the network
+//! thread ("this approach is faster than using concurrent read-modify-
+//! write operations", §6). This bench runs an all-local GUPS under both
+//! policies on the live runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gravel_core::{GravelConfig, GravelRuntime};
+use gravel_simt::LaneVec;
+
+fn local_gups(rt: &GravelRuntime, wgs: usize) {
+    rt.dispatch(0, wgs, |ctx| {
+        let n = ctx.wg.wg_size();
+        let gids = ctx.wg.global_ids();
+        let dests = LaneVec::splat(n, 0u32);
+        let addrs = LaneVec::from_fn(n, |l| (gids.get(l) % 64) as u64);
+        let ones = LaneVec::splat(n, 1u64);
+        ctx.shmem_inc(&dests, &addrs, &ones);
+    });
+    rt.quiesce();
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_atomics");
+    group.sample_size(20);
+    for (name, serialize) in [("serialized", true), ("concurrent_rmw", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &serialize, |b, &serialize| {
+            let mut cfg = GravelConfig::small(1, 64);
+            cfg.serialize_atomics = serialize;
+            let rt = GravelRuntime::new(cfg);
+            b.iter(|| local_gups(&rt, 4));
+            rt.shutdown();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

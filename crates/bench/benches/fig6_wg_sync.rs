@@ -1,0 +1,54 @@
+//! Criterion bench for Figure 6: queue offload cost vs work-group size
+//! (32-byte messages). Complements `--bin fig6`, which prints the
+//! figure's series; this measures the same operations under criterion's
+//! statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gravel_gq::{GravelQueue, QueueConfig};
+use std::sync::Arc;
+
+fn wg_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_wg_sync");
+    for &batch in &[64usize, 128, 256] {
+        group.throughput(Throughput::Bytes((batch * 32) as u64));
+        group.bench_with_input(BenchmarkId::new("wg_batch", batch), &batch, |b, &batch| {
+            // Fresh queue per measurement set; a consumer thread drains.
+            let q = Arc::new(GravelQueue::new(QueueConfig::for_bytes(1 << 20, batch, 4)));
+            let consumer = {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    while q.consume_blocking(&mut out).is_some() {
+                        out.clear();
+                    }
+                })
+            };
+            let words: Vec<u64> = (0..batch * 4).map(|i| i as u64).collect();
+            b.iter(|| q.produce_batch(&words, batch));
+            q.close();
+            consumer.join().unwrap();
+        });
+    }
+    // The work-item-granularity strawman (one reservation per message).
+    group.throughput(Throughput::Bytes(32));
+    group.bench_function("wi_level", |b| {
+        let q = Arc::new(GravelQueue::new(QueueConfig { slots: 4096, lane_width: 1, rows: 4 }));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                while q.consume_blocking(&mut out).is_some() {
+                    out.clear();
+                }
+            })
+        };
+        let words = [1u64, 2, 3, 4];
+        b.iter(|| q.produce_batch(&words, 1));
+        q.close();
+        consumer.join().unwrap();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, wg_sync);
+criterion_main!(benches);

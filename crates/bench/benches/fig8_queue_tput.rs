@@ -1,0 +1,79 @@
+//! Criterion bench for Figure 8: queue throughput vs message size,
+//! Gravel's work-group-slot queue against the padded CPU SPSC and MPMC
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gravel_gq::{GravelQueue, MpmcQueue, QueueConfig, SpscQueue};
+use std::sync::Arc;
+
+const SIZES: [usize; 4] = [8, 32, 512, 4096];
+
+fn gravel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_gravel");
+    for &size in &SIZES {
+        let rows = size / 8;
+        let batch = (256 * 1024 / size).clamp(1, 256);
+        group.throughput(Throughput::Bytes((batch * size) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            let q = Arc::new(GravelQueue::new(QueueConfig::for_bytes(1 << 20, batch, rows)));
+            let consumer = {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    while q.consume_blocking(&mut out).is_some() {
+                        out.clear();
+                    }
+                })
+            };
+            let words: Vec<u64> = (0..batch * rows).map(|i| i as u64).collect();
+            b.iter(|| q.produce_batch(&words, batch));
+            q.close();
+            consumer.join().unwrap();
+        });
+    }
+    group.finish();
+}
+
+fn cpu_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_cpu");
+    for &size in &SIZES {
+        let rows = size / 8;
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("spsc", size), &size, |b, _| {
+            let q = Arc::new(SpscQueue::new(4096, rows));
+            let consumer = {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    while q.consume_blocking(&mut out).is_some() {
+                        out.clear();
+                    }
+                })
+            };
+            let words: Vec<u64> = (0..rows).map(|i| i as u64).collect();
+            b.iter(|| q.produce(&words));
+            q.close();
+            consumer.join().unwrap();
+        });
+        group.bench_with_input(BenchmarkId::new("mpmc", size), &size, |b, _| {
+            let q = Arc::new(MpmcQueue::new(4096, rows));
+            let consumer = {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    while q.consume_blocking(&mut out).is_some() {
+                        out.clear();
+                    }
+                })
+            };
+            let words: Vec<u64> = (0..rows).map(|i| i as u64).collect();
+            b.iter(|| q.produce(&words));
+            q.close();
+            consumer.join().unwrap();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gravel, cpu_baselines);
+criterion_main!(benches);

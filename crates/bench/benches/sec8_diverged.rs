@@ -1,0 +1,28 @@
+//! Criterion bench for §8.2: the GUPS-mod kernel (95 % inactive
+//! work-items) under each diverged work-group-level execution mode.
+//! Wall time tracks issued work; the canonical issue-slot speedups come
+//! from `--bin sec8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gravel_apps::gups_mod::{run, GupsModInput};
+use gravel_simt::{DivergedCosts, DivergedMode};
+
+fn diverged(c: &mut Criterion) {
+    let input =
+        GupsModInput { wis: 8192, active_fraction: 0.05, max_updates: 8, table_len: 512, seed: 7 };
+    let mut group = c.benchmark_group("sec8_diverged");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("software_predication", DivergedMode::SoftwarePredication),
+        ("wg_reconvergence", DivergedMode::WgReconvergence),
+        ("fbar_emulated", DivergedMode::FineGrainBarrier),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter(|| run(&input, mode, DivergedCosts::fbar_emulated()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, diverged);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Run every table and figure generator in sequence (passes `--quick`
+//! through to each one).
+
+use std::process::Command;
+
+fn main() {
+    let quick: Vec<String> =
+        std::env::args().skip(1).filter(|a| a == "--quick").collect();
+    let bins =
+        [
+        "table1",
+        "table2",
+        "table3_table4",
+        "fig6",
+        "fig8",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "table5",
+        "sec8",
+        "extensions",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        eprintln!("\n########## {bin} ##########");
+        let status = Command::new(dir.join(bin))
+            .args(&quick)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    eprintln!("\nall experiments complete");
+}

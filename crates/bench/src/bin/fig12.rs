@@ -1,0 +1,33 @@
+//! Figure 12 — Gravel's scalability: speedup at 1/2/4/8 nodes for the
+//! nine workloads, plus the geometric mean (paper: 5.3× at 8 nodes).
+
+use gravel_bench::experiments::{scale_from_args, TraceSet, SIZES};
+use gravel_bench::report::{f2, Table};
+use gravel_cluster::{geo_mean, scaling_curve, Style};
+
+fn main() {
+    let ts = TraceSet::new(scale_from_args());
+    let cal = ts.calibration();
+
+    let mut t = Table::new(
+        "fig12",
+        "Gravel speedup vs one node",
+        &["workload", "1 node", "2 nodes", "4 nodes", "8 nodes"],
+    );
+    let mut eights = Vec::new();
+    for w in gravel_apps::WORKLOADS {
+        eprintln!("[fig12: {w}]");
+        let curve = scaling_curve(w, Style::Gravel, &cal, &SIZES, |n| ts.trace(w, n));
+        let mut row = vec![w.to_string()];
+        for p in &curve.points {
+            row.push(f2(p.speedup));
+        }
+        eights.push(curve.points.last().unwrap().speedup);
+        t.row(row);
+    }
+    let gm = geo_mean(&eights);
+    t.row(vec!["geo. mean".into(), f2(1.0), "".into(), "".into(), f2(gm)]);
+    t.emit();
+
+    println!("\npaper: 5.3x geo-mean at 8 nodes; GUPS/kmeans/mer near-ideal, SSSP-1 worst.");
+}

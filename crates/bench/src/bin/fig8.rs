@@ -1,0 +1,48 @@
+//! Figure 8 — producer/consumer queue throughput vs message size.
+//!
+//! Sweeps 8 B – 64 kB messages through the live Gravel queue and the
+//! CPU-only SPSC and MPMC baselines; the 7 GB/s line is the paper's
+//! network bandwidth reference.
+
+use gravel_bench::queue_bench::{self, fig8_lane_width};
+use gravel_bench::report::{bytes_h, f2, Table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: Vec<usize> = if quick {
+        vec![8, 32, 256, 4096, 65536]
+    } else {
+        (3..=16).map(|p| 1usize << p).collect() // 8 B .. 64 kB
+    };
+    let budget_bytes: usize = if quick { 4 << 20 } else { 64 << 20 };
+
+    let mut t = Table::new(
+        "fig8",
+        "Queue throughput vs message size (GB/s; network reference 7.0)",
+        &["msg size", "Gravel", "CPU SPSC", "CPU MPMC", "Gravel batch"],
+    );
+    for &size in &sizes {
+        let rows = size / 8;
+        let batch = fig8_lane_width(size);
+        let messages = (budget_bytes / size).max(1024);
+        let g = queue_bench::gravel_queue(batch, rows, (messages / batch).max(4));
+        let s = queue_bench::spsc_queue(rows, messages.min(1 << 20));
+        let m = queue_bench::mpmc_queue(rows, messages.min(1 << 20));
+        t.row(vec![
+            bytes_h(size as f64),
+            f2(g.gbps()),
+            f2(s.gbps()),
+            f2(m.gbps()),
+            format!("{batch}"),
+        ]);
+    }
+    t.emit();
+
+    println!(
+        "\npaper: Gravel dominates for small messages (32 B at ~7 GB/s on the \
+         APU); padded SPSC/MPMC queues pay whole cache lines per message. \
+         This host has one hardware thread, so absolute numbers are lower \
+         and the multi-consumer large-message regime is not reproducible; \
+         the small-message ordering is the reproduced claim."
+    );
+}

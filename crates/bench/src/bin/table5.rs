@@ -1,0 +1,57 @@
+//! Table 5 — network statistics for Gravel at eight nodes: remote access
+//! frequency and average (aggregated) network message size, plus the
+//! §8.1 aggregator polling fraction measured on the live runtime.
+
+use gravel_apps::gups::{self, GupsInput};
+use gravel_bench::experiments::{scale_from_args, TraceSet};
+use gravel_bench::report::{f2, Table};
+use gravel_core::{GravelConfig, GravelRuntime};
+
+fn main() {
+    let ts = TraceSet::new(scale_from_args());
+    let cal = ts.calibration();
+
+    let mut t = Table::new(
+        "table5",
+        "Network statistics for Gravel at 8 nodes",
+        &["workload", "remote access freq (%)", "avg message size (B)"],
+    );
+    // The paper's Table 5 reference values, for side-by-side reading.
+    let paper: &[(&str, f64, u64)] = &[
+        ("GUPS", 87.5, 65_440),
+        ("PR-1", 37.7, 64_611),
+        ("PR-2", 16.5, 15_700),
+        ("SSSP-1", 30.0, 1_563),
+        ("SSSP-2", 16.2, 57_916),
+        ("color-1", 36.7, 27_258),
+        ("color-2", 16.5, 9_463),
+        ("kmeans", 87.5, 5_656),
+        ("mer", 87.5, 64_822),
+    ];
+    for (w, paper_rf, paper_sz) in paper {
+        eprintln!("[table5: {w}]");
+        let trace = ts.trace(w, 8);
+        let row = gravel_cluster::network_stats(&cal, &trace);
+        t.row(vec![
+            w.to_string(),
+            format!("{} (paper {paper_rf})", f2(row.remote_fraction * 100.0)),
+            format!("{:.0} (paper {paper_sz})", row.avg_message_bytes),
+        ]);
+    }
+    t.emit();
+
+    // §8.1: aggregator polling fraction, measured live on a small GUPS.
+    let input = GupsInput { updates: 50_000, table_len: 4096, seed: 5 };
+    let rt = GravelRuntime::new(GravelConfig::small(4, input.table_len));
+    gups::run_live(&rt, &input);
+    let stats = rt.shutdown();
+    let mut t2 = Table::new(
+        "sec8_1_polling",
+        "Aggregator poll fraction (paper §8.1: ~65% at 8 nodes)",
+        &["node", "empty polls (%)"],
+    );
+    for n in &stats.nodes {
+        t2.row(vec![format!("{}", n.node), f2(n.poll_fraction() * 100.0)]);
+    }
+    t2.emit();
+}

@@ -1,0 +1,85 @@
+//! Shared setup for the model-driven figures (12-15, Table 5).
+
+use gravel_apps::{GraphInputs, Scale};
+use gravel_cluster::{Calibration, WorkloadTrace};
+
+/// Cluster sizes evaluated in the paper.
+pub const SIZES: [usize; 4] = [1, 2, 4, 8];
+
+/// Scale selection from argv (`--quick` → test scale).
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        Scale::Test
+    } else {
+        Scale::Bench
+    }
+}
+
+/// Cached workload traces for a set of cluster sizes.
+///
+/// Traces are deterministic in (workload, scale, nodes), so they are
+/// memoized on disk under `results/trace_cache/` — the expensive ones
+/// (SSSP on the 16 M-vertex mesh) take a minute to generate and seconds
+/// to reload, and every figure binary shares the cache. Delete the
+/// directory to force regeneration.
+pub struct TraceSet {
+    scale: Scale,
+    graphs: std::cell::OnceCell<GraphInputs>,
+}
+
+impl TraceSet {
+    /// Prepare a trace set; graphs are generated lazily on the first
+    /// cache miss.
+    pub fn new(scale: Scale) -> Self {
+        TraceSet { scale, graphs: std::cell::OnceCell::new() }
+    }
+
+    fn cache_path(&self, workload: &str, nodes: usize) -> std::path::PathBuf {
+        let dir = std::env::var("GRAVEL_RESULTS_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|_| std::path::PathBuf::from("results"));
+        dir.join("trace_cache").join(format!("{:?}-{workload}-{nodes}.json", self.scale))
+    }
+
+    /// The trace for `workload` at `nodes` nodes (disk-cached).
+    pub fn trace(&self, workload: &str, nodes: usize) -> WorkloadTrace {
+        let path = self.cache_path(workload, nodes);
+        if let Ok(bytes) = std::fs::read(&path) {
+            if let Ok(trace) = serde_json::from_slice::<WorkloadTrace>(&bytes) {
+                return trace;
+            }
+        }
+        let graphs = self.graphs.get_or_init(|| {
+            eprintln!("[generating inputs at {:?} scale]", self.scale);
+            GraphInputs::generate(self.scale, 1)
+        });
+        let trace = gravel_apps::inputs::workload_trace(workload, self.scale, graphs, nodes);
+        if let Some(parent) = path.parent() {
+            if std::fs::create_dir_all(parent).is_ok() {
+                if let Ok(json) = serde_json::to_vec(&trace) {
+                    let _ = std::fs::write(&path, json);
+                }
+            }
+        }
+        trace
+    }
+
+    /// The calibration used by every figure.
+    pub fn calibration(&self) -> Calibration {
+        Calibration::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_set_builds_all_workloads_at_test_scale() {
+        let ts = TraceSet::new(Scale::Test);
+        for w in gravel_apps::WORKLOADS {
+            let t = ts.trace(w, 2);
+            assert_eq!(t.nodes, 2, "{w}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # gravel-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper, plus criterion
+//! microbenchmarks for the queue and divergence studies:
+//!
+//! | Target | Reproduces | Kind |
+//! |---|---|---|
+//! | `--bin fig6` | Fig. 6 — queue throughput vs work-group size | live queues |
+//! | `--bin fig8` | Fig. 8 — queue throughput vs message size | live queues |
+//! | `--bin fig12` | Fig. 12 — Gravel scalability, 9 workloads | trace + model |
+//! | `--bin fig13` | Fig. 13 — Gravel vs CPU systems | trace + model |
+//! | `--bin fig14` | Fig. 14 — aggregation-size sensitivity | trace + model |
+//! | `--bin fig15` | Fig. 15 — style comparison at 8 nodes | trace + model |
+//! | `--bin table1` | Table 1 — model criteria (measured) | live + model |
+//! | `--bin table2` | Table 2 — GUPS lines of code | source count |
+//! | `--bin table5` | Table 5 — network statistics at 8 nodes | trace + model |
+//! | `--bin sec8` | §8.2 — diverged WG-level operations | live SIMT |
+//! | `--bin extensions` | §10 hierarchy + §8.1 hw aggregator (future work) | model |
+//! | `--bin all_experiments` | everything above | — |
+//! | `--bench fig6_wg_sync` | Fig. 6 under criterion | live queues |
+//! | `--bench fig8_queue_tput` | Fig. 8 under criterion | live queues |
+//! | `--bench sec8_diverged` | §8.2 under criterion | live SIMT |
+//!
+//! Each binary prints an aligned table and saves JSON under `results/`
+//! (or `$GRAVEL_RESULTS_DIR`). Binaries accept `--quick` to run at test
+//! scale.
+
+pub mod experiments;
+pub mod queue_bench;
+pub mod report;
+
+pub use report::Table;

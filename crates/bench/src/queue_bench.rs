@@ -1,0 +1,169 @@
+//! Live queue throughput measurement (Figures 6 and 8).
+//!
+//! One producer thread (standing in for the GPU, whose work-group-slot
+//! batches `produce_batch` replicates exactly: one reservation RMW per
+//! batch, column-layout payload) and one consumer thread, on real shared
+//! memory. The evaluation host has a single hardware thread, so absolute
+//! GB/s are far below the paper's APU and the paper's multi-consumer
+//! large-message regime is not reproducible; what carries over — and what
+//! the figures assert — is the *relative* shape: synchronization
+//! amortization vs batch size, and Gravel vs the padded CPU queues at
+//! small sizes.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gravel_gq::{GravelQueue, MpmcQueue, QueueConfig, SpscQueue};
+
+/// Result of one throughput measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Throughput {
+    /// Payload bytes moved through the queue.
+    pub bytes: u64,
+    /// Wall time, seconds.
+    pub secs: f64,
+    /// Producer reservation RMWs per message.
+    pub rmws_per_msg: f64,
+}
+
+impl Throughput {
+    /// GB/s (decimal).
+    pub fn gbps(&self) -> f64 {
+        self.bytes as f64 / self.secs / 1e9
+    }
+}
+
+/// Gravel-queue throughput: `batches` batches of `batch` messages of
+/// `rows × 8` bytes.
+pub fn gravel_queue(batch: usize, rows: usize, batches: usize) -> Throughput {
+    let cfg = QueueConfig::for_bytes(1 << 20, batch, rows);
+    let q = Arc::new(GravelQueue::new(cfg));
+    let consumer = {
+        let q = q.clone();
+        std::thread::spawn(move || {
+            let mut out = Vec::new();
+            while q.consume_blocking(&mut out).is_some() {
+                out.clear();
+            }
+        })
+    };
+    let words: Vec<u64> = (0..batch * rows).map(|i| i as u64).collect();
+    let start = Instant::now();
+    for _ in 0..batches {
+        q.produce_batch(&words, batch);
+    }
+    q.close();
+    consumer.join().expect("consumer");
+    let secs = start.elapsed().as_secs_f64();
+    let snap = q.stats.snapshot();
+    Throughput {
+        bytes: (batches * batch * rows * 8) as u64,
+        secs,
+        rmws_per_msg: snap.rmws_per_message(),
+    }
+}
+
+/// Work-item-granularity variant: every message is its own reservation
+/// (the §4.1 strawman measured at 0.06 GB/s).
+pub fn wi_queue(rows: usize, messages: usize) -> Throughput {
+    gravel_queue(1, rows, messages)
+}
+
+/// SPSC CPU-queue throughput for `messages` messages of `rows × 8` bytes.
+pub fn spsc_queue(rows: usize, messages: usize) -> Throughput {
+    let q = Arc::new(SpscQueue::new(4096, rows));
+    let consumer = {
+        let q = q.clone();
+        std::thread::spawn(move || {
+            let mut out = Vec::new();
+            while q.consume_blocking(&mut out).is_some() {
+                out.clear();
+            }
+        })
+    };
+    let words: Vec<u64> = (0..rows).map(|i| i as u64).collect();
+    let start = Instant::now();
+    for _ in 0..messages {
+        q.produce(&words);
+    }
+    q.close();
+    consumer.join().expect("consumer");
+    Throughput {
+        bytes: (messages * rows * 8) as u64,
+        secs: start.elapsed().as_secs_f64(),
+        rmws_per_msg: 0.0, // SPSC synchronizes with plain loads/stores
+    }
+}
+
+/// MPMC CPU-queue throughput (same ticket algorithm as Gravel, one
+/// message per padded cell).
+pub fn mpmc_queue(rows: usize, messages: usize) -> Throughput {
+    let q = Arc::new(MpmcQueue::new(4096, rows));
+    let consumer = {
+        let q = q.clone();
+        std::thread::spawn(move || {
+            let mut out = Vec::new();
+            while q.consume_blocking(&mut out).is_some() {
+                out.clear();
+            }
+        })
+    };
+    let words: Vec<u64> = (0..rows).map(|i| i as u64).collect();
+    let start = Instant::now();
+    for _ in 0..messages {
+        q.produce(&words);
+    }
+    q.close();
+    consumer.join().expect("consumer");
+    let snap = q.stats.snapshot();
+    Throughput {
+        bytes: (messages * rows * 8) as u64,
+        secs: start.elapsed().as_secs_f64(),
+        rmws_per_msg: snap.rmws_per_message(),
+    }
+}
+
+/// Gravel slot width used for a given message size in the Fig. 8 sweep:
+/// full 256-lane work-groups for small messages, narrowing so a slot
+/// never exceeds 256 kB.
+pub fn fig8_lane_width(msg_bytes: usize) -> usize {
+    (256 * 1024 / msg_bytes).clamp(1, 256)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gravel_queue_moves_all_bytes() {
+        let t = gravel_queue(64, 4, 50);
+        assert_eq!(t.bytes, 50 * 64 * 4 * 8);
+        assert!(t.secs > 0.0);
+        assert!(t.gbps() > 0.0);
+        // One reservation per batch of 64.
+        assert!((t.rmws_per_msg - 1.0 / 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wg_batching_amortizes_rmws() {
+        let small = gravel_queue(64, 4, 40);
+        let large = gravel_queue(256, 4, 10);
+        assert!(large.rmws_per_msg < small.rmws_per_msg);
+    }
+
+    #[test]
+    fn baselines_run() {
+        assert!(spsc_queue(4, 2000).gbps() > 0.0);
+        let m = mpmc_queue(4, 2000);
+        assert!(m.gbps() > 0.0);
+        assert!((m.rmws_per_msg - 1.0).abs() < 0.01, "one RMW per message");
+    }
+
+    #[test]
+    fn fig8_lane_widths() {
+        assert_eq!(fig8_lane_width(8), 256);
+        assert_eq!(fig8_lane_width(1024), 256);
+        assert_eq!(fig8_lane_width(4096), 64);
+        assert_eq!(fig8_lane_width(65536), 4);
+    }
+}

@@ -1,0 +1,130 @@
+//! Report rendering shared by the figure/table generator binaries.
+//!
+//! Every experiment binary prints a human-readable table to stdout and,
+//! when `GRAVEL_RESULTS_DIR` is set (or `results/` exists), writes the
+//! same data as JSON for downstream plotting.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A rectangular report: header row + data rows.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table {
+    /// Experiment identifier, e.g. `"fig12"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout in aligned columns.
+    pub fn print(&self) {
+        println!("\n== {} — {} ==", self.id, self.title);
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let print_row = |cells: &[String]| {
+            let line: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+            println!("  {}", line.join("  "));
+        };
+        print_row(&self.columns);
+        println!("  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        for row in &self.rows {
+            print_row(row);
+        }
+    }
+
+    /// Write JSON next to the other results if a results dir is available.
+    pub fn save_json(&self) {
+        let dir = std::env::var("GRAVEL_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.id));
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = f.write_all(serde_json::to_string_pretty(self).unwrap().as_bytes());
+            eprintln!("[saved {}]", path.display());
+        }
+    }
+
+    /// Print and save.
+    pub fn emit(&self) {
+        self.print();
+        self.save_json();
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format bytes with unit suffix.
+pub fn bytes_h(b: f64) -> String {
+    if b >= 1024.0 * 1024.0 {
+        format!("{:.1} MB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.1} kB", b / 1024.0)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_must_match_columns() {
+        let mut t = Table::new("x", "t", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn bad_row_rejected() {
+        let mut t = Table::new("x", "t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f3(0.3777), "0.378");
+        assert_eq!(bytes_h(64.0 * 1024.0), "64.0 kB");
+        assert_eq!(bytes_h(100.0), "100 B");
+        assert_eq!(bytes_h(2.5 * 1024.0 * 1024.0), "2.5 MB");
+    }
+}

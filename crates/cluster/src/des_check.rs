@@ -1,0 +1,214 @@
+//! Event-granular cross-validation of the pipeline model.
+//!
+//! [`crate::model::simulate`] prices a superstep as the max over pipeline
+//! stages — an approximation that ignores transient queueing between
+//! stages. This module re-simulates a superstep *packet by packet* on the
+//! `gravel-desim` kernel: every packet is an event chain through the
+//! sender's CPU, the sender's link, the wire, and the receiver's CPU,
+//! each modelled as a FIFO [`Resource`]. The test suite asserts the two
+//! models agree within a tolerance band on random traces, which is what
+//! justifies using the fast analytic form for the figure sweeps.
+
+use gravel_desim::{Resource, Sim, SimTime};
+
+use crate::calibration::Calibration;
+use crate::trace::{OpClass, StepTrace};
+
+/// Per-node state for the event-granular run.
+struct NodeState {
+    /// The saturated CPU shared by aggregator, MPI path, and network
+    /// thread.
+    cpu: Resource,
+    /// The NIC/link send engine.
+    link: Resource,
+}
+
+/// World threaded through the DES.
+struct World {
+    nodes: Vec<NodeState>,
+    finished_at: SimTime,
+}
+
+/// One packet's itinerary, precomputed before scheduling.
+struct PacketPlan {
+    src: usize,
+    dest: usize,
+    ready_at: SimTime,
+    bytes: u64,
+    msgs: u64,
+    class: OpClass,
+}
+
+/// Event-granular simulation of one superstep under Gravel's style.
+/// Returns the virtual completion time.
+pub fn des_step_time(step: &StepTrace, cal: &Calibration) -> SimTime {
+    // Events are 'static closures: move a copy of the calibration in.
+    let cal = *cal;
+    let n = step.per_node.len();
+    let mut plans: Vec<PacketPlan> = Vec::new();
+
+    for (src, ns) in step.per_node.iter().enumerate() {
+        let routed = ns.routed_total();
+        let production_ns = (ns.gpu_ops as f64 * cal.gpu_op_ns
+            + routed as f64 * cal.gpu_offload_ns)
+            .max(routed as f64 * cal.agg_repack_ns)
+            .max(1.0);
+        for (dest, &m) in ns.routed.iter().enumerate() {
+            if m == 0 || dest == src {
+                continue;
+            }
+            let bytes = m * cal.msg_bytes as u64;
+            // Fill-rate-limited effective packet, as in the analytic
+            // model, but each packet is scheduled at the moment its
+            // share of production completes (or its timeout fires).
+            let rate = bytes as f64 / production_ns;
+            let eff = (rate * cal.flush_timeout_ns as f64)
+                .clamp(cal.msg_bytes as f64, cal.node_queue_bytes as f64);
+            let packets = (bytes as f64 / eff).ceil() as u64;
+            for k in 0..packets {
+                let pkt_bytes = (eff as u64).min(bytes - k * eff as u64);
+                let fill_done = production_ns * ((k + 1) as f64 * eff / bytes as f64).min(1.0);
+                let ready_at = if pkt_bytes < eff as u64 {
+                    // Final partial packet waits for the flush timeout.
+                    (fill_done + cal.flush_timeout_ns as f64) as SimTime
+                } else {
+                    fill_done as SimTime
+                };
+                plans.push(PacketPlan {
+                    src,
+                    dest,
+                    ready_at,
+                    bytes: pkt_bytes.max(cal.msg_bytes as u64),
+                    msgs: (pkt_bytes / cal.msg_bytes as u64).max(1),
+                    class: ns.class,
+                });
+            }
+        }
+    }
+
+    let mut world = World {
+        nodes: (0..n).map(|_| NodeState { cpu: Resource::new(), link: Resource::new() }).collect(),
+        finished_at: 0,
+    };
+
+    // Local (loopback) applies and pure GPU time set a floor even with no
+    // network traffic.
+    for (src, ns) in step.per_node.iter().enumerate() {
+        let gpu_end = (ns.gpu_ops as f64 * cal.gpu_op_ns
+            + ns.routed_total() as f64 * cal.gpu_offload_ns) as SimTime;
+        world.finished_at = world.finished_at.max(gpu_end);
+        let apply = match ns.class {
+            OpClass::Put => cal.apply_put_ns,
+            OpClass::Atomic => cal.apply_atomic_ns,
+        };
+        let local_msgs = ns.routed.get(src).copied().unwrap_or(0);
+        let (_, end) = world.nodes[src].cpu.acquire(0, (local_msgs as f64 * apply) as SimTime);
+        world.finished_at = world.finished_at.max(end);
+    }
+
+    let mut sim: Sim<World> = Sim::new();
+    for plan in plans {
+        sim.schedule_at(plan.ready_at, move |w: &mut World, sim| {
+            // Sender CPU (MPI send path + repack share).
+            let send_cpu = plan.msgs as f64 * cal.agg_repack_ns
+                + cal.cpu_per_packet_ns as f64;
+            let (_, cpu_done) = w.nodes[plan.src].cpu.acquire(sim.now(), send_cpu as SimTime);
+            // Link occupancy.
+            let wire = cal.msg_overhead_ns
+                + gravel_desim::transfer_time(plan.bytes, cal.link_bw);
+            let (_, link_done) = w.nodes[plan.src].link.acquire(cpu_done, wire);
+            let arrival = link_done + cal.wire_latency_ns;
+            sim.schedule_at(arrival, move |w: &mut World, sim| {
+                // Receiver CPU: MPI recv + message application.
+                let apply = match plan.class {
+                    OpClass::Put => cal.apply_put_ns,
+                    OpClass::Atomic => cal.apply_atomic_ns,
+                };
+                let recv_cpu =
+                    cal.cpu_per_packet_ns as f64 + plan.msgs as f64 * apply;
+                let (_, done) = w.nodes[plan.dest].cpu.acquire(sim.now(), recv_cpu as SimTime);
+                w.finished_at = w.finished_at.max(done);
+            });
+        });
+    }
+    sim.run(&mut world);
+    world.finished_at + cal.kernel_launch_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::simulate;
+    use crate::styles::Style;
+    use crate::trace::{NodeStep, WorkloadTrace};
+
+    fn step(nodes: usize, per_dest: u64, gpu_ops: u64, class: OpClass) -> StepTrace {
+        StepTrace {
+            per_node: (0..nodes)
+                .map(|_| NodeStep {
+                    gpu_ops,
+                    routed: vec![per_dest; nodes],
+                    class,
+                    local_pgas: 0,
+                })
+                .collect(),
+        }
+    }
+
+    fn analytic(step_: &StepTrace, cal: &Calibration) -> u64 {
+        let mut t = WorkloadTrace::new("x", step_.per_node.len());
+        t.push_step(step_.clone());
+        simulate(&t, cal, &Style::Gravel.params(cal)).total_ns
+    }
+
+    /// The analytic max-of-stages model and the event-granular DES must
+    /// agree within a factor band across regimes (CPU-bound, GPU-bound,
+    /// latency-bound).
+    #[test]
+    fn des_and_analytic_agree_across_regimes() {
+        let cal = Calibration::paper();
+        for (name, s) in [
+            ("cpu-bound scatter", step(8, 1 << 17, 0, OpClass::Atomic)),
+            ("gpu-bound", step(8, 1 << 10, 1 << 24, OpClass::Put)),
+            ("latency-bound", step(8, 64, 1000, OpClass::Atomic)),
+            ("put-heavy", step(4, 1 << 16, 1 << 20, OpClass::Put)),
+        ] {
+            let des = des_step_time(&s, &cal) as f64;
+            let ana = analytic(&s, &cal) as f64;
+            let ratio = des / ana;
+            assert!(
+                (0.4..=2.5).contains(&ratio),
+                "{name}: des {des} vs analytic {ana} (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    /// The DES respects obvious monotonicity: more messages, later finish.
+    #[test]
+    fn des_monotone_in_volume() {
+        let cal = Calibration::paper();
+        let a = des_step_time(&step(4, 1 << 12, 0, OpClass::Atomic), &cal);
+        let b = des_step_time(&step(4, 1 << 16, 0, OpClass::Atomic), &cal);
+        assert!(b > a, "{b} vs {a}");
+    }
+
+    /// Determinism: identical inputs, identical virtual times.
+    #[test]
+    fn des_is_deterministic() {
+        let cal = Calibration::paper();
+        let s = step(6, 12345, 999, OpClass::Atomic);
+        assert_eq!(des_step_time(&s, &cal), des_step_time(&s, &cal));
+    }
+
+    /// A compute-only step costs GPU time plus the launch tail and uses
+    /// no link at all.
+    #[test]
+    fn compute_only_floor() {
+        let cal = Calibration::paper();
+        let s = step(4, 0, 1 << 20, OpClass::Put);
+        let t = des_step_time(&s, &cal);
+        let gpu = (1u64 << 20) as f64 * cal.gpu_op_ns;
+        assert!(t as f64 >= gpu, "{t} vs {gpu}");
+        assert!((t as f64) < gpu * 1.5 + cal.kernel_launch_ns as f64 + 1.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # gravel-cluster — calibrated cluster models for GPU networking styles
+//!
+//! The paper evaluates Gravel on an eight-node InfiniBand cluster of AMD
+//! APUs; this crate reproduces those multi-node experiments (Figures
+//! 12-15, Table 5) **in simulation**: applications are characterised as
+//! per-superstep communication traces ([`trace`]), and a pipeline model
+//! ([`model`]) replays each trace under the paper's six execution styles
+//! ([`styles`]) with a single documented calibration ([`calibration`]).
+//!
+//! The model captures the mechanisms the paper attributes its results to:
+//! per-message network overhead amortized by aggregation, serialized
+//! atomics splitting across per-node network threads, remote PUTs losing
+//! GPU parallelism, coprocessor chunking starving the GPU and breaking
+//! overlap, per-work-group packets being too small, and timeout-flush
+//! latency on sparse supersteps.
+//!
+//! ```
+//! use gravel_cluster::*;
+//!
+//! // A GUPS-shaped step: every node scatters uniformly.
+//! let nodes = 8;
+//! let mut t = WorkloadTrace::new("GUPS", nodes);
+//! t.push_step(StepTrace {
+//!     per_node: (0..nodes)
+//!         .map(|_| NodeStep {
+//!             gpu_ops: 0,
+//!             routed: vec![1 << 14; nodes],
+//!             class: OpClass::Atomic,
+//!             local_pgas: 0,
+//!         })
+//!         .collect(),
+//! });
+//! let cal = Calibration::paper();
+//! let gravel = simulate(&t, &cal, &Style::Gravel.params(&cal));
+//! let mpl = simulate(&t, &cal, &Style::MsgPerLane.params(&cal));
+//! assert!(mpl.total_ns > 10 * gravel.total_ns, "aggregation is the point");
+//! assert!((t.remote_fraction() - 0.875).abs() < 1e-9);
+//! ```
+
+pub mod calibration;
+pub mod des_check;
+pub mod hierarchy;
+pub mod model;
+pub mod runner;
+pub mod styles;
+pub mod trace;
+
+pub use calibration::Calibration;
+pub use des_check::des_step_time;
+pub use hierarchy::hierarchical_trace;
+pub use model::{simulate, Packeting, RunResult, StyleParams, MIN_OCCUPANCY_WIS};
+pub use runner::{
+    geo_mean, network_stats, scaling_curve, style_comparison, NetworkStatsRow, ScalingCurve,
+    ScalingPoint, StyleRow,
+};
+pub use styles::Style;
+pub use trace::{NodeStep, OpClass, StepTrace, WorkloadTrace};

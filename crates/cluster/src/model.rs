@@ -1,0 +1,430 @@
+//! The cluster performance model.
+//!
+//! Replays a [`WorkloadTrace`] under one GPU networking style and returns
+//! virtual execution time plus network statistics. The model treats each
+//! superstep as a pipeline of stages —
+//!
+//! ```text
+//! GPU (compute + offload) → aggregator CPU → NIC/link → destination
+//! network thread (apply)
+//! ```
+//!
+//! — whose completion time is the *maximum* of the stage times when the
+//! style overlaps communication with computation (Gravel, message-per-
+//! lane, coalesced APIs), or a chunk-wise software pipeline when it does
+//! not (the coprocessor model, whose chunking both bounds GPU parallelism
+//! and adds per-chunk kernel-launch overhead). Styles differ in their
+//! *packeting* (what granularity messages hit the wire at), their GPU-side
+//! overhead, and whether a CPU-side aggregator exists; those differences
+//! are exactly the paper's §3 taxonomy.
+
+use serde::Serialize;
+
+use crate::calibration::Calibration;
+use crate::trace::{OpClass, WorkloadTrace};
+
+/// How messages are combined before hitting the wire.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Packeting {
+    /// CPU-side aggregator packs per-destination queues of the calibrated
+    /// size (Gravel; coalesced + GPU-wide aggregation).
+    Aggregator,
+    /// Messages combine only within one work-group (coalesced APIs):
+    /// a packet per (work-group, destination).
+    PerWorkGroup {
+        /// Work-items per work-group.
+        wg_size: u64,
+    },
+    /// Every application message is its own network message
+    /// (message-per-lane).
+    PerMessage,
+}
+
+/// Style-specific model parameters. Build them via [`crate::styles`].
+#[derive(Clone, Debug)]
+pub struct StyleParams {
+    /// Display name (figure legends).
+    pub name: &'static str,
+    /// Wire granularity.
+    pub packeting: Packeting,
+    /// Whether communication overlaps computation within a superstep.
+    pub overlap: bool,
+    /// Coprocessor-style chunking: per-node queue bytes bound the
+    /// work-items a kernel may launch.
+    pub chunk_queue_bytes: Option<usize>,
+    /// Override of the aggregation queue size (the coprocessor's "extra
+    /// buffering" variant uses 1 MB queues instead of the calibrated
+    /// 64 kB).
+    pub queue_bytes_override: Option<usize>,
+    /// Multiplier on GPU time (e.g. the coalesced counting sort).
+    pub gpu_factor: f64,
+    /// Multiplier on data-parallel compute (CPU-only systems).
+    pub compute_slowdown: f64,
+}
+
+/// Work-items the GPU needs in flight to be fully utilized
+/// (8 CUs × 4 SIMDs × 16 wavefronts × 64 lanes region, rounded to the
+/// paper's observation that 64 kB queues starve the GPU).
+pub const MIN_OCCUPANCY_WIS: u64 = 16 * 1024;
+
+/// Result of replaying a trace under one style.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Style name.
+    pub style: &'static str,
+    /// Nodes simulated.
+    pub nodes: usize,
+    /// Total virtual time, ns.
+    pub total_ns: u64,
+    /// Network packets sent (excluding loopback).
+    pub packets: u64,
+    /// Network payload bytes sent (excluding loopback).
+    pub bytes: u64,
+    /// Application messages routed (including loopback).
+    pub messages: u64,
+    /// Supersteps executed.
+    pub steps: usize,
+}
+
+impl RunResult {
+    /// Average network message (packet) size — Table 5's metric.
+    pub fn avg_packet_bytes(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.packets as f64
+        }
+    }
+
+    /// Operation throughput in operations/second given total ops.
+    pub fn ops_per_sec(&self, total_ops: u64) -> f64 {
+        gravel_desim::per_sec(total_ops, self.total_ns)
+    }
+}
+
+fn apply_ns(cal: &Calibration, class: OpClass) -> f64 {
+    match class {
+        OpClass::Put => cal.apply_put_ns,
+        OpClass::Atomic => cal.apply_atomic_ns,
+    }
+}
+
+/// Packets and wire bytes for `msgs` messages from one node to one
+/// destination under `params.packeting`. `total_ops` is the node's
+/// work-items this step (for per-work-group packeting); `production_ns`
+/// is how long the node takes to produce the step's messages, which sets
+/// the per-destination fill rate and thereby how large a packet grows
+/// before the flush timeout fires — the mechanism behind Table 5's
+/// workload-dependent average message sizes.
+fn packetize(
+    params: &StyleParams,
+    cal: &Calibration,
+    msgs: u64,
+    total_ops: u64,
+    production_ns: f64,
+) -> (u64, u64, bool) {
+    if msgs == 0 {
+        return (0, 0, false);
+    }
+    let bytes = msgs * cal.msg_bytes as u64;
+    match params.packeting {
+        Packeting::Aggregator => {
+            let queue_bytes = params.queue_bytes_override.unwrap_or(cal.node_queue_bytes) as f64;
+            if params.overlap {
+                // Streaming aggregation: a queue flushes when full or
+                // after the timeout, so its effective size is capped by
+                // fill-rate × timeout.
+                let rate = bytes as f64 / production_ns; // bytes per ns
+                let eff = (rate * cal.flush_timeout_ns as f64)
+                    .clamp(cal.msg_bytes as f64, queue_bytes);
+                let packets = (bytes as f64 / eff).ceil() as u64;
+                // The stream's final queue is (almost surely) partial, so
+                // the step always ends with a timeout flush.
+                (packets, bytes, true)
+            } else {
+                // Explicit sends of whole queues (coprocessor): only the
+                // final queue is partial.
+                let per = (queue_bytes as usize / cal.msg_bytes).max(1) as u64;
+                let packets = msgs.div_ceil(per);
+                (packets, bytes, !msgs.is_multiple_of(per))
+            }
+        }
+        Packeting::PerWorkGroup { wg_size } => {
+            // One packet per (work-group, destination); a work-group holds
+            // wg_size work-items, each with ~1 op this step.
+            let wgs = total_ops.div_ceil(wg_size).max(1);
+            let packets = msgs.min(wgs);
+            (packets, bytes, false)
+        }
+        Packeting::PerMessage => (msgs, bytes, false),
+    }
+}
+
+/// Replay `trace` under `params` with calibration `cal`.
+pub fn simulate(trace: &WorkloadTrace, cal: &Calibration, params: &StyleParams) -> RunResult {
+    let n = trace.nodes;
+    let mut total_ns = 0u64;
+    let mut packets_total = 0u64;
+    let mut bytes_total = 0u64;
+    let mut msgs_total = 0u64;
+
+    for step in &trace.steps {
+        assert_eq!(step.per_node.len(), n, "trace width mismatch");
+        let mut t_gpu = vec![0.0f64; n];
+        let mut t_agg = vec![0.0f64; n];
+        let mut t_cpu = vec![0.0f64; n];
+        let mut t_link_out = vec![0.0f64; n];
+        let mut any_partial = false;
+        let mut chunks_max = 1u64;
+
+        // Pass 1: GPU production and aggregator repack times (the wire
+        // pass needs production rates to size timeout-flushed packets).
+        for (src, ns) in step.per_node.iter().enumerate() {
+            let routed = ns.routed_total();
+            msgs_total += routed;
+            let ops_total = ns.gpu_ops + routed;
+            let mut gpu = ns.gpu_ops as f64 * cal.gpu_op_ns
+                + routed as f64 * cal.gpu_offload_ns;
+            gpu *= params.gpu_factor * params.compute_slowdown;
+            // Coprocessor chunking: the per-node queue bounds concurrent
+            // work-items, starving the GPU, and each chunk pays a launch.
+            if let Some(qb) = params.chunk_queue_bytes {
+                let chunk_wis = (qb / cal.msg_bytes).max(1) as u64;
+                let chunks = ops_total.div_ceil(chunk_wis).max(1);
+                let starvation =
+                    (MIN_OCCUPANCY_WIS as f64 / chunk_wis as f64).max(1.0);
+                gpu *= starvation;
+                chunks_max = chunks_max.max(chunks);
+            }
+            t_gpu[src] = gpu;
+            if params.packeting == Packeting::Aggregator {
+                t_agg[src] = routed as f64 * cal.agg_repack_ns;
+            }
+        }
+
+        // Pass 2: wire, per-packet CPU, and destination apply costs.
+        // Loopback skips the wire but not the destination's network
+        // thread.
+        for (src, ns) in step.per_node.iter().enumerate() {
+            let ops_total = ns.gpu_ops + ns.routed_total();
+            let production_ns = t_gpu[src].max(t_agg[src]).max(1.0);
+            for (dest, &m) in ns.routed.iter().enumerate() {
+                if m == 0 {
+                    continue;
+                }
+                t_cpu[dest] += m as f64 * apply_ns(cal, ns.class);
+                if dest == src {
+                    continue;
+                }
+                let (p, b, partial) =
+                    packetize(params, cal, m, ops_total, production_ns);
+                any_partial |= partial;
+                packets_total += p;
+                bytes_total += b;
+                // MPI software cost lands on both CPUs; framing and
+                // transfer occupy the sender's link.
+                t_cpu[src] += p as f64 * cal.cpu_per_packet_ns as f64;
+                t_cpu[dest] += p as f64 * cal.cpu_per_packet_ns as f64;
+                t_link_out[src] += p as f64 * cal.msg_overhead_ns as f64
+                    + b as f64 * 1e9 / cal.link_bw as f64;
+                // Coalesced APIs are *synchronous* (GPUnet/GPUrdma-style):
+                // each per-(work-group, destination) send blocks its
+                // work-group for the round trip, stalling the GPU.
+                if matches!(params.packeting, Packeting::PerWorkGroup { .. }) {
+                    t_gpu[src] +=
+                        p as f64 * (cal.wire_latency_ns + cal.msg_overhead_ns) as f64;
+                }
+            }
+        }
+        // The aggregator shares the node's saturated CPU with the network
+        // thread and the MPI path (§7.1: helper threads do not help, "the
+        // CPU is already saturated").
+        for i in 0..n {
+            t_cpu[i] += t_agg[i];
+        }
+
+        // Fixed per-step costs: a kernel launch and, when an aggregator
+        // holds a partial packet at step end, the flush timeout.
+        let mut tail = cal.kernel_launch_ns as f64 + cal.wire_latency_ns as f64;
+        if any_partial {
+            tail += cal.flush_timeout_ns as f64;
+        }
+
+        let step_ns = if params.overlap {
+            // Streaming pipeline: the step finishes when the slowest stage
+            // on the slowest node drains.
+            let mut worst = 0.0f64;
+            for i in 0..n {
+                let node_t = t_gpu[i].max(t_cpu[i]).max(t_link_out[i]);
+                worst = worst.max(node_t);
+            }
+            worst + tail
+        } else {
+            // Coprocessor software pipeline over chunks: per-chunk launch
+            // overhead is serial; compute and communication overlap only
+            // at chunk granularity, leaving one chunk's communication
+            // exposed as pipeline drain.
+            let compute: f64 = t_gpu.iter().fold(0.0, |a, &b| a.max(b));
+            let comm: f64 = (0..n).map(|i| t_link_out[i] + t_cpu[i]).fold(0.0, f64::max);
+            let drain = comm / chunks_max as f64;
+            chunks_max as f64 * cal.kernel_launch_ns as f64
+                + compute.max(comm)
+                + drain
+                + tail
+        };
+        total_ns += step_ns.ceil() as u64;
+    }
+
+    RunResult {
+        workload: trace.name.clone(),
+        style: params.name,
+        nodes: n,
+        total_ns,
+        packets: packets_total,
+        bytes: bytes_total,
+        messages: msgs_total,
+        steps: trace.steps.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{NodeStep, StepTrace};
+
+    fn uniform_trace(nodes: usize, msgs_per_node: u64, class: OpClass) -> WorkloadTrace {
+        let mut t = WorkloadTrace::new("t", nodes);
+        let per_dest = msgs_per_node / nodes as u64;
+        t.push_step(StepTrace {
+            per_node: (0..nodes)
+                .map(|_| NodeStep {
+                    gpu_ops: 0,
+                    routed: vec![per_dest; nodes],
+                    class,
+                    local_pgas: 0,
+                })
+                .collect(),
+        });
+        t
+    }
+
+    fn gravel_params() -> StyleParams {
+        StyleParams {
+            name: "gravel",
+            packeting: Packeting::Aggregator,
+            overlap: true,
+            chunk_queue_bytes: None,
+            queue_bytes_override: None,
+            gpu_factor: 1.0,
+            compute_slowdown: 1.0,
+        }
+    }
+
+    #[test]
+    fn atomic_workload_scales_by_splitting_the_network_thread() {
+        // A GUPS-like trace: N× more nodes → same total updates spread
+        // over N network threads.
+        let cal = Calibration::paper();
+        let total: u64 = 1 << 22;
+        let t1 = uniform_trace(1, total, OpClass::Atomic);
+        let t8 = uniform_trace(8, total / 8, OpClass::Atomic);
+        let r1 = simulate(&t1, &cal, &gravel_params());
+        let r8 = simulate(&t8, &cal, &gravel_params());
+        let speedup = r1.total_ns as f64 / r8.total_ns as f64;
+        assert!(speedup > 5.0 && speedup <= 8.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn per_message_packeting_is_catastrophically_slower() {
+        let cal = Calibration::paper();
+        let t8 = uniform_trace(8, 1 << 18, OpClass::Atomic);
+        let gravel = simulate(&t8, &cal, &gravel_params());
+        let mut mpl = gravel_params();
+        mpl.packeting = Packeting::PerMessage;
+        mpl.name = "msg-per-lane";
+        let r = simulate(&t8, &cal, &mpl);
+        assert!(
+            r.total_ns > 20 * gravel.total_ns,
+            "msg-per-lane {} vs gravel {}",
+            r.total_ns,
+            gravel.total_ns
+        );
+        // Per-message packets are message-sized.
+        assert!((r.avg_packet_bytes() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregator_produces_large_packets() {
+        let cal = Calibration::paper();
+        let t = uniform_trace(8, 1 << 20, OpClass::Atomic);
+        let r = simulate(&t, &cal, &gravel_params());
+        // 2048 msgs/packet × 32 B = 64 kB full packets dominate.
+        assert!(r.avg_packet_bytes() > 60_000.0, "avg {}", r.avg_packet_bytes());
+    }
+
+    #[test]
+    fn coprocessor_pays_chunking_and_starvation() {
+        let cal = Calibration::paper();
+        let t = uniform_trace(8, 1 << 20, OpClass::Atomic);
+        let gravel = simulate(&t, &cal, &gravel_params());
+        let coproc = StyleParams {
+            name: "coprocessor",
+            packeting: Packeting::Aggregator,
+            overlap: false,
+            chunk_queue_bytes: Some(cal.node_queue_bytes),
+            queue_bytes_override: None,
+            gpu_factor: 1.0,
+            compute_slowdown: 1.0,
+        };
+        let r = simulate(&t, &cal, &coproc);
+        assert!(r.total_ns > gravel.total_ns, "coprocessor must lose: {} vs {}", r.total_ns, gravel.total_ns);
+    }
+
+    #[test]
+    fn put_workloads_favor_local_execution() {
+        // Same op count, but as local GPU ops vs remote PUTs: the remote
+        // version is bottlenecked by the network thread.
+        let cal = Calibration::paper();
+        let nodes = 8;
+        let ops: u64 = 1 << 20;
+        let mut local = WorkloadTrace::new("local", nodes);
+        local.push_step(StepTrace {
+            per_node: (0..nodes).map(|_| NodeStep::compute_only(ops, nodes)).collect(),
+        });
+        let remote = uniform_trace(nodes, ops, OpClass::Put);
+        let rl = simulate(&local, &cal, &gravel_params());
+        let rr = simulate(&remote, &cal, &gravel_params());
+        assert!(rl.total_ns < rr.total_ns, "{} vs {}", rl.total_ns, rr.total_ns);
+    }
+
+    #[test]
+    fn many_small_steps_pay_timeout_latency() {
+        // SSSP-1-like: the same messages spread over many supersteps run
+        // much slower than in one step (latency-bound, Fig. 12).
+        let cal = Calibration::paper();
+        let nodes = 8;
+        let msgs: u64 = 1 << 16;
+        let one = uniform_trace(nodes, msgs, OpClass::Atomic);
+        let mut many = WorkloadTrace::new("many", nodes);
+        for _ in 0..256 {
+            let per_dest = (msgs / 256) / nodes as u64;
+            many.push_step(StepTrace {
+                per_node: (0..nodes)
+                    .map(|_| NodeStep {
+                        gpu_ops: 0,
+                        routed: vec![per_dest; nodes],
+                        class: OpClass::Atomic,
+                        local_pgas: 0,
+                    })
+                    .collect(),
+            });
+        }
+        let r_one = simulate(&one, &cal, &gravel_params());
+        let r_many = simulate(&many, &cal, &gravel_params());
+        assert!(r_many.total_ns > 10 * r_one.total_ns, "{} vs {}", r_many.total_ns, r_one.total_ns);
+        // And its packets are small (timeout flushes).
+        assert!(r_many.avg_packet_bytes() < 2048.0);
+    }
+}

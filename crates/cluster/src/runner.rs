@@ -1,0 +1,174 @@
+//! Experiment orchestration: scaling sweeps, style comparisons, and
+//! Table 5 statistics.
+
+use serde::Serialize;
+
+use crate::calibration::Calibration;
+use crate::model::{simulate, RunResult};
+use crate::styles::Style;
+use crate::trace::WorkloadTrace;
+
+/// A scalability curve for one workload (Figure 12's group of bars).
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalingCurve {
+    /// Workload name.
+    pub workload: String,
+    /// (nodes, total_ns, speedup-vs-1-node) rows.
+    pub points: Vec<ScalingPoint>,
+}
+
+/// One point of a scaling curve.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ScalingPoint {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Virtual run time.
+    pub total_ns: u64,
+    /// Speedup relative to the 1-node run.
+    pub speedup: f64,
+}
+
+/// Run `style` over traces generated for each cluster size by `gen`,
+/// producing a Figure-12-style curve. `gen(nodes)` must return a trace of
+/// the *same total problem* partitioned over `nodes` nodes.
+pub fn scaling_curve(
+    name: &str,
+    style: Style,
+    cal: &Calibration,
+    sizes: &[usize],
+    mut gen: impl FnMut(usize) -> WorkloadTrace,
+) -> ScalingCurve {
+    assert!(!sizes.is_empty(), "no cluster sizes");
+    let mut points = Vec::with_capacity(sizes.len());
+    let mut t1: Option<u64> = None;
+    for &n in sizes {
+        let trace = gen(n);
+        assert_eq!(trace.nodes, n, "trace/size mismatch");
+        let r = simulate(&trace, cal, &style.params(cal));
+        let base = *t1.get_or_insert(r.total_ns);
+        points.push(ScalingPoint {
+            nodes: n,
+            total_ns: r.total_ns,
+            speedup: base as f64 / r.total_ns as f64,
+        });
+    }
+    ScalingCurve { workload: name.to_string(), points }
+}
+
+/// One workload's row of Figure 15: speedup of each style over the
+/// 1-node Gravel baseline at the given cluster size.
+#[derive(Clone, Debug, Serialize)]
+pub struct StyleRow {
+    /// Workload name.
+    pub workload: String,
+    /// (style name, speedup) in [`Style::fig15`] order.
+    pub speedups: Vec<(String, f64)>,
+}
+
+/// Compare all Figure 15 styles on one workload. `trace_n` is the trace
+/// at the multi-node size, `trace_1` the same problem on one node.
+pub fn style_comparison(
+    name: &str,
+    cal: &Calibration,
+    trace_1: &WorkloadTrace,
+    trace_n: &WorkloadTrace,
+) -> StyleRow {
+    let base = simulate(trace_1, cal, &Style::Gravel.params(cal)).total_ns;
+    let speedups = Style::fig15()
+        .iter()
+        .map(|s| {
+            let r = simulate(trace_n, cal, &s.params(cal));
+            (s.name().to_string(), base as f64 / r.total_ns as f64)
+        })
+        .collect();
+    StyleRow { workload: name.to_string(), speedups }
+}
+
+/// Table 5's per-workload row: remote access frequency and average
+/// network message size under Gravel at `trace.nodes` nodes.
+#[derive(Clone, Debug, Serialize)]
+pub struct NetworkStatsRow {
+    /// Workload name.
+    pub workload: String,
+    /// Fraction of PGAS operations hitting a remote node.
+    pub remote_fraction: f64,
+    /// Average aggregated packet size, bytes.
+    pub avg_message_bytes: f64,
+}
+
+/// Compute the Table 5 row for a trace.
+pub fn network_stats(cal: &Calibration, trace: &WorkloadTrace) -> NetworkStatsRow {
+    let r: RunResult = simulate(trace, cal, &Style::Gravel.params(cal));
+    NetworkStatsRow {
+        workload: trace.name.clone(),
+        remote_fraction: trace.remote_fraction(),
+        avg_message_bytes: r.avg_packet_bytes(),
+    }
+}
+
+/// Geometric mean of a set of positive values (the paper reports
+/// geo-mean speedups).
+pub fn geo_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "empty geo-mean");
+    let log_sum: f64 = values.iter().map(|v| {
+        assert!(*v > 0.0, "non-positive value in geo-mean");
+        v.ln()
+    }).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{NodeStep, OpClass, StepTrace};
+
+    fn gups(nodes: usize, updates: u64) -> WorkloadTrace {
+        let mut t = WorkloadTrace::new("gups", nodes);
+        let per_dest = updates / (nodes as u64 * nodes as u64);
+        t.push_step(StepTrace {
+            per_node: (0..nodes)
+                .map(|_| NodeStep { gpu_ops: 0, routed: vec![per_dest; nodes], class: OpClass::Atomic, local_pgas: 0 })
+                .collect(),
+        });
+        t
+    }
+
+    #[test]
+    fn scaling_curve_is_monotone_for_gups() {
+        let cal = Calibration::paper();
+        let curve =
+            scaling_curve("gups", Style::Gravel, &cal, &[1, 2, 4, 8], |n| gups(n, 1 << 24));
+        assert_eq!(curve.points.len(), 4);
+        assert!((curve.points[0].speedup - 1.0).abs() < 1e-12);
+        for w in curve.points.windows(2) {
+            assert!(w[1].speedup > w[0].speedup, "{curve:?}");
+        }
+        let s8 = curve.points[3].speedup;
+        assert!(s8 > 5.0 && s8 <= 8.5, "8-node GUPS speedup {s8}");
+    }
+
+    #[test]
+    fn style_row_has_six_entries_with_gravel_best() {
+        let cal = Calibration::paper();
+        let row = style_comparison("gups", &cal, &gups(1, 1 << 22), &gups(8, 1 << 22));
+        assert_eq!(row.speedups.len(), 6);
+        let gravel = row.speedups.iter().find(|(n, _)| n == "Gravel").unwrap().1;
+        for (name, s) in &row.speedups {
+            assert!(gravel >= *s - 1e-9, "{name} beats Gravel: {s} vs {gravel}");
+        }
+    }
+
+    #[test]
+    fn network_stats_row() {
+        let cal = Calibration::paper();
+        let row = network_stats(&cal, &gups(8, 1 << 24));
+        assert!((row.remote_fraction - 0.875).abs() < 1e-12);
+        assert!(row.avg_message_bytes > 32_000.0, "{row:?}");
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geo_mean(&[5.3]) - 5.3).abs() < 1e-12);
+    }
+}

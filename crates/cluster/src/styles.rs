@@ -1,0 +1,157 @@
+//! The six execution styles of Figure 15, plus the CPU-system baseline
+//! of Figure 13, expressed as [`StyleParams`] for the pipeline model.
+
+use crate::calibration::Calibration;
+use crate::model::{Packeting, StyleParams};
+
+/// GPU-time multiplier for the coalesced-APIs counting sort and per-
+/// destination API invocation (§3.3: 1.6× more code, scratchpad pressure,
+/// degraded SIMT utilization).
+pub const COALESCED_GPU_FACTOR: f64 = 1.6;
+
+/// A GPU networking style (paper §3) or the CPU-system baseline (§7.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Style {
+    /// Gravel: GPU-wide producer/consumer queue + CPU-side aggregator.
+    Gravel,
+    /// The coprocessor model with Gravel-sized (64 kB) per-node queues.
+    Coprocessor,
+    /// The coprocessor model with 1 MB per-node queues ("+ extra
+    /// buffering", Fig. 15 bar 2).
+    CoprocessorExtraBuffering,
+    /// Message-per-lane: no aggregation at all.
+    MsgPerLane,
+    /// Coalesced APIs: aggregation within one work-group.
+    Coalesced,
+    /// Coalesced APIs + Gravel's GPU-wide (CPU-side) aggregation
+    /// (Fig. 15 bar 5).
+    CoalescedGravelAggregation,
+    /// A Grappa/UPC-class CPU-only distributed system (Fig. 13).
+    CpuSystem,
+}
+
+impl Style {
+    /// All six bars of Figure 15, in the paper's order.
+    pub fn fig15() -> [Style; 6] {
+        [
+            Style::Coprocessor,
+            Style::CoprocessorExtraBuffering,
+            Style::MsgPerLane,
+            Style::Coalesced,
+            Style::CoalescedGravelAggregation,
+            Style::Gravel,
+        ]
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Style::Gravel => "Gravel",
+            Style::Coprocessor => "coprocessor",
+            Style::CoprocessorExtraBuffering => "coprocessor + extra buffering",
+            Style::MsgPerLane => "msg-per-lane",
+            Style::Coalesced => "coalesced APIs",
+            Style::CoalescedGravelAggregation => "coalesced APIs + Gravel aggregation",
+            Style::CpuSystem => "CPU system",
+        }
+    }
+
+    /// Model parameters for this style.
+    pub fn params(&self, cal: &Calibration) -> StyleParams {
+        let base = StyleParams {
+            name: self.name(),
+            packeting: Packeting::Aggregator,
+            overlap: true,
+            chunk_queue_bytes: None,
+            queue_bytes_override: None,
+            gpu_factor: 1.0,
+            compute_slowdown: 1.0,
+        };
+        match self {
+            Style::Gravel => base,
+            Style::Coprocessor => StyleParams {
+                overlap: false,
+                chunk_queue_bytes: Some(cal.node_queue_bytes),
+                ..base
+            },
+            Style::CoprocessorExtraBuffering => StyleParams {
+                overlap: false,
+                chunk_queue_bytes: Some(1024 * 1024),
+                queue_bytes_override: Some(1024 * 1024),
+                ..base
+            },
+            Style::MsgPerLane => StyleParams { packeting: Packeting::PerMessage, ..base },
+            Style::Coalesced => StyleParams {
+                packeting: Packeting::PerWorkGroup { wg_size: 256 },
+                gpu_factor: COALESCED_GPU_FACTOR,
+                ..base
+            },
+            Style::CoalescedGravelAggregation => {
+                StyleParams { gpu_factor: COALESCED_GPU_FACTOR, ..base }
+            }
+            Style::CpuSystem => StyleParams { compute_slowdown: cal.cpu_dp_slowdown, ..base },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::simulate;
+    use crate::trace::{NodeStep, OpClass, StepTrace, WorkloadTrace};
+
+    /// GUPS-like uniform-scatter trace.
+    fn gups_trace(nodes: usize, updates: u64) -> WorkloadTrace {
+        let mut t = WorkloadTrace::new("gups", nodes);
+        let per_dest = updates / (nodes as u64 * nodes as u64);
+        t.push_step(StepTrace {
+            per_node: (0..nodes)
+                .map(|_| NodeStep { gpu_ops: 0, routed: vec![per_dest; nodes], class: OpClass::Atomic, local_pgas: 0 })
+                .collect(),
+        });
+        t
+    }
+
+    #[test]
+    fn fig15_ordering_on_gups() {
+        // The paper's headline ordering at 8 nodes:
+        // Gravel ≈ coalesced+agg > coproc+buf > coproc > coalesced > mpl.
+        let cal = Calibration::paper();
+        let t = gups_trace(8, 1 << 24);
+        let time = |s: Style| simulate(&t, &cal, &s.params(&cal)).total_ns;
+        let gravel = time(Style::Gravel);
+        let coagg = time(Style::CoalescedGravelAggregation);
+        let coproc = time(Style::Coprocessor);
+        let coproc_buf = time(Style::CoprocessorExtraBuffering);
+        let coalesced = time(Style::Coalesced);
+        let mpl = time(Style::MsgPerLane);
+        assert!(gravel <= coagg, "gravel {gravel} vs coalesced+agg {coagg}");
+        assert!(coagg < coproc, "coalesced+agg {coagg} vs coprocessor {coproc}");
+        assert!(coproc_buf <= coproc, "extra buffering helps GUPS: {coproc_buf} vs {coproc}");
+        assert!(coalesced < mpl, "WG aggregation beats none: {coalesced} vs {mpl}");
+        assert!(gravel < coalesced, "GPU-wide beats per-WG: {gravel} vs {coalesced}");
+        assert!(mpl > 10 * gravel, "msg-per-lane collapse: {mpl} vs {gravel}");
+    }
+
+    #[test]
+    fn cpu_system_loses_at_one_node() {
+        // Fig. 13: Gravel is significantly faster on one node, "where
+        // aggregation and networking are irrelevant".
+        let cal = Calibration::paper();
+        let t = gups_trace(1, 1 << 22);
+        let gravel = simulate(&t, &cal, &Style::Gravel.params(&cal)).total_ns;
+        let cpu = simulate(&t, &cal, &Style::CpuSystem.params(&cal)).total_ns;
+        let ratio = cpu as f64 / gravel as f64;
+        assert!(ratio > 2.0 && ratio < 10.0, "one-node GPU advantage {ratio}");
+    }
+
+    #[test]
+    fn style_names_are_distinct() {
+        let mut names: Vec<_> = Style::fig15().iter().map(|s| s.name()).collect();
+        names.push(Style::CpuSystem.name());
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

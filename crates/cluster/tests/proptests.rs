@@ -1,0 +1,111 @@
+//! Property tests for the cluster performance model: sanity laws that
+//! must hold for *any* trace.
+
+use gravel_cluster::{simulate, Calibration, NodeStep, OpClass, StepTrace, Style, WorkloadTrace};
+use proptest::prelude::*;
+
+/// Strategy: a random trace over `nodes` nodes.
+fn arb_trace(max_nodes: usize) -> impl Strategy<Value = WorkloadTrace> {
+    (1..=max_nodes, 1usize..6).prop_flat_map(|(nodes, steps)| {
+        prop::collection::vec(
+            prop::collection::vec(
+                (0u64..5000, prop::collection::vec(0u64..2000, nodes), any::<bool>()),
+                nodes,
+            ),
+            steps,
+        )
+        .prop_map(move |stepdata| {
+            let mut t = WorkloadTrace::new("arb", nodes);
+            for step in stepdata {
+                t.push_step(StepTrace {
+                    per_node: step
+                        .into_iter()
+                        .map(|(gpu_ops, routed, atomic)| NodeStep {
+                            gpu_ops,
+                            routed,
+                            class: if atomic { OpClass::Atomic } else { OpClass::Put },
+                            local_pgas: 0,
+                        })
+                        .collect(),
+                });
+            }
+            t
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Time is positive and deterministic; message/byte accounting is
+    /// conserved (bytes = 32 × cross-node messages).
+    #[test]
+    fn accounting_laws(trace in arb_trace(6)) {
+        let cal = Calibration::paper();
+        for style in Style::fig15() {
+            let a = simulate(&trace, &cal, &style.params(&cal));
+            let b = simulate(&trace, &cal, &style.params(&cal));
+            prop_assert_eq!(a.total_ns, b.total_ns, "{} nondeterministic", style.name());
+            prop_assert!(a.total_ns > 0 || trace.steps.is_empty());
+            prop_assert_eq!(a.messages, trace.total_routed());
+            // Wire bytes cover exactly the cross-node messages.
+            let cross: u64 = trace
+                .steps
+                .iter()
+                .flat_map(|s| s.per_node.iter().enumerate())
+                .flat_map(|(src, ns)| {
+                    ns.routed
+                        .iter()
+                        .enumerate()
+                        .filter(move |(d, _)| *d != src)
+                        .map(|(_, &m)| m)
+                })
+                .sum();
+            prop_assert_eq!(a.bytes, cross * 32, "{}", style.name());
+            // Packets never exceed messages, and exist iff bytes exist.
+            prop_assert!(a.packets <= cross.max(1) * 2);
+            prop_assert_eq!(a.packets == 0, a.bytes == 0);
+        }
+    }
+
+    /// More traffic never makes a run faster (monotonicity in volume).
+    #[test]
+    fn monotone_in_traffic(
+        base in arb_trace(4),
+        extra in 1u64..100_000,
+    ) {
+        let cal = Calibration::paper();
+        let mut bigger = base.clone();
+        if let Some(step) = bigger.steps.first_mut() {
+            if let Some(ns) = step.per_node.first_mut() {
+                let last = ns.routed.len() - 1;
+                ns.routed[last] += extra;
+            }
+        }
+        let params = Style::Gravel.params(&cal);
+        let a = simulate(&base, &cal, &params);
+        let b = simulate(&bigger, &cal, &params);
+        prop_assert!(b.total_ns >= a.total_ns, "{} vs {}", b.total_ns, a.total_ns);
+    }
+
+    /// Halving link bandwidth never speeds anything up.
+    #[test]
+    fn monotone_in_bandwidth(trace in arb_trace(4)) {
+        let mut slow = Calibration::paper();
+        slow.link_bw /= 4;
+        let fast = Calibration::paper();
+        let a = simulate(&trace, &fast, &Style::Gravel.params(&fast));
+        let b = simulate(&trace, &slow, &Style::Gravel.params(&slow));
+        prop_assert!(b.total_ns >= a.total_ns);
+    }
+
+    /// Average packet size never exceeds the configured queue size.
+    #[test]
+    fn packets_bounded_by_queue(trace in arb_trace(4)) {
+        let cal = Calibration::paper();
+        let r = simulate(&trace, &cal, &Style::Gravel.params(&cal));
+        if r.packets > 0 {
+            prop_assert!(r.avg_packet_bytes() <= cal.node_queue_bytes as f64 + 1e-9);
+        }
+    }
+}

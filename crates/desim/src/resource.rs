@@ -1,0 +1,166 @@
+//! Serial-server resources.
+//!
+//! Most of the cluster model's contention points — a network link, an
+//! aggregator CPU, a NIC send engine — are FIFO servers: work arrives,
+//! queues behind earlier work, and occupies the server for a service
+//! time. [`Resource`] does that accounting without needing events: given
+//! an arrival time and a service time it returns when the work starts and
+//! finishes, and remembers its own busy horizon. [`MultiResource`] models
+//! `k` identical servers (e.g. the paper's three in-flight per-node
+//! queues).
+
+use crate::time::SimTime;
+
+/// A single FIFO server.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Resource {
+    free_at: SimTime,
+    busy: SimTime,
+    jobs: u64,
+}
+
+impl Resource {
+    /// An idle server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue work arriving at `now` needing `service` time. Returns
+    /// `(start, end)`.
+    pub fn acquire(&mut self, now: SimTime, service: SimTime) -> (SimTime, SimTime) {
+        let start = now.max(self.free_at);
+        let end = start + service;
+        self.free_at = end;
+        self.busy += service;
+        self.jobs += 1;
+        (start, end)
+    }
+
+    /// When the server next becomes free.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Jobs served.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Utilization over a horizon (for reports like §8.1's 65 % polling).
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == 0 {
+            return 0.0;
+        }
+        self.busy as f64 / horizon as f64
+    }
+}
+
+/// `k` identical FIFO servers; work goes to whichever frees first.
+#[derive(Clone, Debug)]
+pub struct MultiResource {
+    servers: Vec<Resource>,
+}
+
+impl MultiResource {
+    /// `k` idle servers.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one server");
+        MultiResource { servers: vec![Resource::new(); k] }
+    }
+
+    /// Enqueue work arriving at `now` needing `service`; picks the
+    /// earliest-free server. Returns `(start, end)`.
+    pub fn acquire(&mut self, now: SimTime, service: SimTime) -> (SimTime, SimTime) {
+        let idx = self
+            .servers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.free_at())
+            .map(|(i, _)| i)
+            .expect("non-empty server set");
+        self.servers[idx].acquire(now, service)
+    }
+
+    /// Earliest time any server is free.
+    pub fn next_free(&self) -> SimTime {
+        self.servers.iter().map(|s| s.free_at()).min().unwrap_or(0)
+    }
+
+    /// Total busy time across servers.
+    pub fn busy_time(&self) -> SimTime {
+        self.servers.iter().map(|s| s.busy_time()).sum()
+    }
+
+    /// Total jobs served.
+    pub fn jobs(&self) -> u64 {
+        self.servers.iter().map(|s| s.jobs()).sum()
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Never empty (constructor asserts).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut r = Resource::new();
+        assert_eq!(r.acquire(100, 50), (100, 150));
+        assert_eq!(r.free_at(), 150);
+    }
+
+    #[test]
+    fn busy_server_queues_work() {
+        let mut r = Resource::new();
+        r.acquire(0, 100);
+        assert_eq!(r.acquire(10, 5), (100, 105));
+        assert_eq!(r.busy_time(), 105);
+        assert_eq!(r.jobs(), 2);
+    }
+
+    #[test]
+    fn utilization() {
+        let mut r = Resource::new();
+        r.acquire(0, 65);
+        assert!((r.utilization(100) - 0.65).abs() < 1e-12);
+        assert_eq!(Resource::new().utilization(0), 0.0);
+    }
+
+    #[test]
+    fn multi_resource_spreads_load() {
+        let mut m = MultiResource::new(2);
+        let (s1, e1) = m.acquire(0, 100);
+        let (s2, e2) = m.acquire(0, 100);
+        // Both start immediately on different servers.
+        assert_eq!((s1, s2), (0, 0));
+        assert_eq!((e1, e2), (100, 100));
+        // Third job waits for the first free server.
+        let (s3, _) = m.acquire(0, 10);
+        assert_eq!(s3, 100);
+        assert_eq!(m.jobs(), 3);
+    }
+
+    #[test]
+    fn multi_resource_next_free() {
+        let mut m = MultiResource::new(3);
+        m.acquire(0, 50);
+        assert_eq!(m.next_free(), 0); // two servers still idle
+        m.acquire(0, 60);
+        m.acquire(0, 70);
+        assert_eq!(m.next_free(), 50);
+    }
+}

@@ -1,0 +1,208 @@
+//! The event loop.
+//!
+//! A [`Sim`] is a deterministic discrete-event simulator: events are
+//! closures over a user-supplied world type `W`, ordered by (timestamp,
+//! insertion sequence) so same-time events run in FIFO order and replays
+//! are bit-identical. Events receive `&mut W` and `&mut Sim<W>` and may
+//! schedule further events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest (time, seq)
+        // pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator over world state `W`.
+pub struct Sim<W> {
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    heap: BinaryHeap<Entry<W>>,
+}
+
+impl<W> Sim<W> {
+    /// An empty simulation at time 0.
+    pub fn new() -> Self {
+        Sim { now: 0, seq: 0, executed: 0, heap: BinaryHeap::new() }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `f` at absolute time `at`. Scheduling in the past is a
+    /// bug in the model and panics.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        assert!(at >= self.now, "event scheduled in the past ({at} < {})", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, f: Box::new(f) });
+    }
+
+    /// Schedule `f` after a delay from now.
+    pub fn schedule_in(&mut self, delay: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Run one event. Returns `false` when no events remain.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        let Some(Entry { at, f, .. }) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        self.executed += 1;
+        f(world, self);
+        true
+    }
+
+    /// Run until the event queue drains. Returns the final time.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        while self.step(world) {}
+        self.now
+    }
+
+    /// Run while events exist and time has not passed `deadline`.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
+        while let Some(next) = self.heap.peek().map(|e| e.at) {
+            if next > deadline {
+                break;
+            }
+            self.step(world);
+        }
+        // Advance the clock to the deadline even if the queue went quiet
+        // earlier ("run until t" semantics).
+        self.now = self.now.max(deadline);
+        self.now
+    }
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule_at(30, |w: &mut Vec<u32>, _| w.push(3));
+        sim.schedule_at(10, |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(20, |w: &mut Vec<u32>, _| w.push(2));
+        let end = sim.run(&mut world);
+        assert_eq!(world, vec![1, 2, 3]);
+        assert_eq!(end, 30);
+        assert_eq!(sim.executed(), 3);
+    }
+
+    #[test]
+    fn same_time_events_run_fifo() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        for i in 0..10 {
+            sim.schedule_at(5, move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        sim.run(&mut world);
+        assert_eq!(world, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim: Sim<u64> = Sim::new();
+        let mut world = 0u64;
+        // A chain: each event schedules the next until the counter hits 5.
+        fn tick(w: &mut u64, sim: &mut Sim<u64>) {
+            *w += 1;
+            if *w < 5 {
+                sim.schedule_in(10, tick);
+            }
+        }
+        sim.schedule_at(0, tick);
+        let end = sim.run(&mut world);
+        assert_eq!(world, 5);
+        assert_eq!(end, 40);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule_at(10, |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(100, |w: &mut Vec<u32>, _| w.push(2));
+        sim.run_until(&mut world, 50);
+        assert_eq!(world, vec![1]);
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut world);
+        assert_eq!(world, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.schedule_at(10, |_, _| {});
+        let mut w = ();
+        sim.run(&mut w);
+        sim.schedule_at(5, |_, _| {});
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        fn build() -> (Sim<Vec<u64>>, Vec<u64>) {
+            let mut sim = Sim::new();
+            for i in 0..50u64 {
+                sim.schedule_at(i % 7, move |w: &mut Vec<u64>, s| {
+                    w.push(i * 1000 + s.now());
+                });
+            }
+            let mut w = Vec::new();
+            sim.run(&mut w);
+            (sim, w)
+        }
+        let (_, a) = build();
+        let (_, b) = build();
+        assert_eq!(a, b);
+    }
+}

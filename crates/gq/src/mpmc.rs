@@ -1,0 +1,219 @@
+//! CPU-only multi-producer/multi-consumer queue (paper §4.3 baseline).
+//!
+//! Uses *the same* ticket-based synchronization algorithm as Gravel's
+//! queue — global write/read index fetch-adds issue tickets, a per-slot
+//! current-ticket counter and full bit hand slots between producers and
+//! consumers. "The only difference is that each queue slot is organized to
+//! be written by a single CPU thread": one message per slot, padded to
+//! cache-line granularity. Synchronization therefore happens per *message*
+//! rather than per work-group, which is exactly what Figure 8 charges it
+//! for.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::pad::CachePad;
+use crate::stats::QueueStats;
+
+struct Cell {
+    round: CachePad<AtomicU64>,
+    full: AtomicBool,
+    payload: Box<[AtomicU64]>,
+}
+
+/// Bounded MPMC ring of fixed-size, cache-line-padded messages.
+pub struct MpmcQueue {
+    cells: Box<[Cell]>,
+    rows: usize,
+    capacity: usize,
+    write_idx: CachePad<AtomicU64>,
+    read_idx: CachePad<AtomicU64>,
+    closed: AtomicBool,
+    /// Synchronization instrumentation.
+    pub stats: QueueStats,
+}
+
+impl MpmcQueue {
+    /// Ring of `capacity` messages of `rows` words each.
+    pub fn new(capacity: usize, rows: usize) -> Self {
+        assert!(capacity >= 2 && rows >= 1, "degenerate ring");
+        let padded_words = rows.div_ceil(8) * 8;
+        MpmcQueue {
+            cells: (0..capacity)
+                .map(|_| Cell {
+                    round: CachePad::new(AtomicU64::new(0)),
+                    full: AtomicBool::new(false),
+                    payload: (0..padded_words).map(|_| AtomicU64::new(0)).collect(),
+                })
+                .collect(),
+            rows,
+            capacity,
+            write_idx: CachePad::new(AtomicU64::new(0)),
+            read_idx: CachePad::new(AtomicU64::new(0)),
+            closed: AtomicBool::new(false),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Words per message.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cell_ring(&self, seq: u64) -> (&Cell, u64) {
+        (&self.cells[(seq % self.capacity as u64) as usize], seq / self.capacity as u64)
+    }
+
+    /// Enqueue one message (blocking while its cell is still occupied).
+    pub fn produce(&self, words: &[u64]) {
+        assert_eq!(words.len(), self.rows, "message width mismatch");
+        let seq = self.write_idx.fetch_add(1, Ordering::AcqRel);
+        QueueStats::bump(&self.stats.producer_rmws, 1);
+        let (cell, round) = self.cell_ring(seq);
+        let mut spins = 0u64;
+        while !(cell.round.load(Ordering::Acquire) == round && !cell.full.load(Ordering::Acquire)) {
+            spins += 1;
+            std::hint::spin_loop();
+            if spins.is_multiple_of(1024) {
+                std::thread::yield_now();
+            }
+        }
+        if spins > 0 {
+            QueueStats::bump(&self.stats.producer_spins, spins);
+        }
+        for (i, &word) in words.iter().enumerate() {
+            cell.payload[i].store(word, Ordering::Relaxed);
+        }
+        cell.full.store(true, Ordering::Release);
+        QueueStats::bump(&self.stats.messages_produced, 1);
+        QueueStats::bump(&self.stats.slots_produced, 1);
+    }
+
+    /// Try to dequeue one message into `out`. Returns `true` on success.
+    pub fn try_consume_into(&self, out: &mut Vec<u64>) -> bool {
+        loop {
+            let seq = self.read_idx.load(Ordering::Acquire);
+            let (cell, round) = self.cell_ring(seq);
+            let ready =
+                cell.round.load(Ordering::Acquire) == round && cell.full.load(Ordering::Acquire);
+            if !ready {
+                QueueStats::bump(&self.stats.consumer_empty_polls, 1);
+                return false;
+            }
+            if self
+                .read_idx
+                .compare_exchange(seq, seq + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                QueueStats::bump(&self.stats.consumer_rmws, 1);
+                continue;
+            }
+            QueueStats::bump(&self.stats.consumer_rmws, 1);
+            QueueStats::bump(&self.stats.consumer_hits, 1);
+            for i in 0..self.rows {
+                out.push(cell.payload[i].load(Ordering::Relaxed));
+            }
+            cell.full.store(false, Ordering::Release);
+            cell.round.store(round + 1, Ordering::Release);
+            QueueStats::bump(&self.stats.messages_consumed, 1);
+            return true;
+        }
+    }
+
+    /// Blocking dequeue; `None` once closed and drained.
+    pub fn consume_blocking(&self, out: &mut Vec<u64>) -> Option<()> {
+        let mut spins = 0u64;
+        loop {
+            if self.try_consume_into(out) {
+                return Some(());
+            }
+            if self.closed.load(Ordering::Acquire)
+                && self.read_idx.load(Ordering::Acquire) >= self.write_idx.load(Ordering::Acquire)
+            {
+                return None;
+            }
+            spins += 1;
+            std::hint::spin_loop();
+            if spins.is_multiple_of(256) {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Mark the queue closed (after all producers finish).
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = MpmcQueue::new(4, 2);
+        q.produce(&[1, 2]);
+        q.produce(&[3, 4]);
+        let mut out = Vec::new();
+        assert!(q.try_consume_into(&mut out));
+        assert!(q.try_consume_into(&mut out));
+        assert!(!q.try_consume_into(&mut out));
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn two_producers_two_consumers_exactly_once() {
+        let q = Arc::new(MpmcQueue::new(8, 1));
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        q.produce(&[(p as u64) << 32 | i]);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while q.consume_blocking(&mut got).is_some() {}
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        assert_eq!(all.len(), 1000);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1000, "duplicate or lost messages");
+    }
+
+    #[test]
+    fn per_message_rmw_cost() {
+        let q = MpmcQueue::new(16, 1);
+        for i in 0..10 {
+            q.produce(&[i]);
+        }
+        // One RMW per message — contrast with GravelQueue's one per WG.
+        assert_eq!(q.stats.snapshot().producer_rmws, 10);
+    }
+
+    #[test]
+    fn close_then_drain() {
+        let q = MpmcQueue::new(4, 1);
+        q.produce(&[5]);
+        q.close();
+        let mut out = Vec::new();
+        assert_eq!(q.consume_blocking(&mut out), Some(()));
+        assert_eq!(q.consume_blocking(&mut out), None);
+        assert_eq!(out, vec![5]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Message representation.
+//!
+//! Gravel messages are tiny fixed-format records (paper §4.2): a command
+//! word, a destination word, and argument words (address, value). A queue
+//! slot stores one message per lane in a row-major 2-D array so that the
+//! lanes of a work-group write adjacent columns of each row — the layout
+//! that lets the GPU's coalescer merge a whole work-group's message writes
+//! into few cache-line transactions, and the reason Gravel's queue carries
+//! a half-byte of per-message overhead where padded CPU queues carry whole
+//! cache lines.
+
+/// Network commands a message can carry (paper §6: PUT, atomic increment,
+/// and a primitive active-message API).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// PGAS store: write `value` to `addr` on `dest`.
+    Put,
+    /// PGAS atomic add: add `value` to `addr` on `dest`.
+    Inc,
+    /// Active message: run registered handler `value as u32` against
+    /// `addr`/`value2` on `dest`. The handler index travels in the low
+    /// half of the command word.
+    Active(u32),
+    /// Runtime control: tells a consumer to shut down. Never produced by
+    /// application kernels.
+    Shutdown,
+}
+
+impl Command {
+    /// Encode to the slot's command word.
+    pub fn encode(self) -> u64 {
+        match self {
+            Command::Put => 0,
+            Command::Inc => 1,
+            Command::Active(h) => 2 | ((h as u64) << 32),
+            Command::Shutdown => 3,
+        }
+    }
+
+    /// Decode from a command word.
+    pub fn decode(word: u64) -> Option<Command> {
+        match word & 0xffff_ffff {
+            0 => Some(Command::Put),
+            1 => Some(Command::Inc),
+            2 => Some(Command::Active((word >> 32) as u32)),
+            3 => Some(Command::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Number of u64 rows per message in the default Gravel format:
+/// command, destination, address, value.
+pub const MSG_ROWS: usize = 4;
+
+/// Bytes per message in the default format.
+pub const MSG_BYTES: usize = MSG_ROWS * 8;
+
+/// One Gravel message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Operation to perform at the destination.
+    pub command: Command,
+    /// Destination node id.
+    pub dest: u32,
+    /// Target offset in the destination's symmetric heap (in elements).
+    pub addr: u64,
+    /// Operand (store value, increment amount, or active-message arg).
+    pub value: u64,
+}
+
+impl Message {
+    /// A PGAS store.
+    pub fn put(dest: u32, addr: u64, value: u64) -> Self {
+        Message { command: Command::Put, dest, addr, value }
+    }
+
+    /// A PGAS atomic increment by `value`.
+    pub fn inc(dest: u32, addr: u64, value: u64) -> Self {
+        Message { command: Command::Inc, dest, addr, value }
+    }
+
+    /// An active message for handler `handler`.
+    pub fn active(dest: u32, handler: u32, addr: u64, value: u64) -> Self {
+        Message { command: Command::Active(handler), dest, addr, value }
+    }
+
+    /// The consumer-shutdown sentinel.
+    pub fn shutdown() -> Self {
+        Message { command: Command::Shutdown, dest: 0, addr: 0, value: 0 }
+    }
+
+    /// Encode into 4 words (rows of the slot array).
+    pub fn encode(&self) -> [u64; MSG_ROWS] {
+        [self.command.encode(), self.dest as u64, self.addr, self.value]
+    }
+
+    /// Decode from 4 words.
+    pub fn decode(words: [u64; MSG_ROWS]) -> Option<Message> {
+        Some(Message {
+            command: Command::decode(words[0])?,
+            dest: words[1] as u32,
+            addr: words[2],
+            value: words[3],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_roundtrip() {
+        for c in [Command::Put, Command::Inc, Command::Active(7), Command::Active(u32::MAX), Command::Shutdown] {
+            assert_eq!(Command::decode(c.encode()), Some(c));
+        }
+    }
+
+    #[test]
+    fn unknown_command_decodes_to_none() {
+        assert_eq!(Command::decode(99), None);
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let msgs = [
+            Message::put(3, 0xdead_beef, 42),
+            Message::inc(7, u64::MAX, 1),
+            Message::active(0, 5, 10, 20),
+            Message::shutdown(),
+        ];
+        for m in msgs {
+            assert_eq!(Message::decode(m.encode()), Some(m));
+        }
+    }
+
+    #[test]
+    fn format_is_32_bytes() {
+        assert_eq!(MSG_BYTES, 32); // the paper's Fig. 6 message size
+    }
+}

@@ -1,0 +1,175 @@
+//! CPU-only single-producer/single-consumer queue (paper §4.3 baseline).
+//!
+//! A textbook bounded ring: one producer bumps a padded write index, one
+//! consumer bumps a padded read index, and each slot's payload is padded to
+//! cache-line granularity to avoid false sharing between the two threads.
+//! That padding is the point of the comparison — sending an 8-byte message
+//! reads/writes three cache lines (padded read index, padded write index,
+//! padded payload), where Gravel's column layout spends half a byte of
+//! overhead on the same message.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::pad::CachePad;
+use crate::stats::QueueStats;
+
+/// Bounded SPSC ring of fixed-size messages.
+pub struct SpscQueue {
+    /// Padded payloads, each `rows` words rounded up to whole cache lines.
+    slots: Box<[CachePad<Box<[AtomicU64]>>]>,
+    rows: usize,
+    capacity: usize,
+    write_idx: CachePad<AtomicU64>,
+    read_idx: CachePad<AtomicU64>,
+    closed: AtomicBool,
+    /// Synchronization instrumentation.
+    pub stats: QueueStats,
+}
+
+impl SpscQueue {
+    /// Ring of `capacity` messages of `rows` words each.
+    pub fn new(capacity: usize, rows: usize) -> Self {
+        assert!(capacity >= 2 && rows >= 1, "degenerate ring");
+        // Round each payload up to a whole number of cache lines, like the
+        // padded CPU queues the paper measures.
+        let padded_words = rows.div_ceil(8) * 8;
+        SpscQueue {
+            slots: (0..capacity)
+                .map(|_| CachePad::new((0..padded_words).map(|_| AtomicU64::new(0)).collect()))
+                .collect(),
+            rows,
+            capacity,
+            write_idx: CachePad::new(AtomicU64::new(0)),
+            read_idx: CachePad::new(AtomicU64::new(0)),
+            closed: AtomicBool::new(false),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Words per message.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Enqueue one message (blocking while full). Single producer only.
+    pub fn produce(&self, words: &[u64]) {
+        assert_eq!(words.len(), self.rows, "message width mismatch");
+        let w = self.write_idx.load(Ordering::Relaxed);
+        // Wait for space: ring full when write - read == capacity.
+        let mut spins = 0u64;
+        while w - self.read_idx.load(Ordering::Acquire) >= self.capacity as u64 {
+            spins += 1;
+            std::hint::spin_loop();
+            if spins.is_multiple_of(1024) {
+                std::thread::yield_now();
+            }
+        }
+        if spins > 0 {
+            QueueStats::bump(&self.stats.producer_spins, spins);
+        }
+        let slot = &self.slots[(w % self.capacity as u64) as usize];
+        for (i, &word) in words.iter().enumerate() {
+            slot[i].store(word, Ordering::Relaxed);
+        }
+        self.write_idx.store(w + 1, Ordering::Release);
+        QueueStats::bump(&self.stats.messages_produced, 1);
+        QueueStats::bump(&self.stats.slots_produced, 1);
+    }
+
+    /// Dequeue one message into `out` (appending `rows` words). Returns
+    /// `false` when empty. Single consumer only.
+    pub fn try_consume_into(&self, out: &mut Vec<u64>) -> bool {
+        let r = self.read_idx.load(Ordering::Relaxed);
+        if r >= self.write_idx.load(Ordering::Acquire) {
+            QueueStats::bump(&self.stats.consumer_empty_polls, 1);
+            return false;
+        }
+        let slot = &self.slots[(r % self.capacity as u64) as usize];
+        for i in 0..self.rows {
+            out.push(slot[i].load(Ordering::Relaxed));
+        }
+        self.read_idx.store(r + 1, Ordering::Release);
+        QueueStats::bump(&self.stats.consumer_hits, 1);
+        QueueStats::bump(&self.stats.messages_consumed, 1);
+        true
+    }
+
+    /// Blocking dequeue; `None` once closed and drained.
+    pub fn consume_blocking(&self, out: &mut Vec<u64>) -> Option<()> {
+        let mut spins = 0u64;
+        loop {
+            if self.try_consume_into(out) {
+                return Some(());
+            }
+            if self.closed.load(Ordering::Acquire)
+                && self.read_idx.load(Ordering::Relaxed) >= self.write_idx.load(Ordering::Acquire)
+            {
+                return None;
+            }
+            spins += 1;
+            std::hint::spin_loop();
+            if spins.is_multiple_of(256) {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Mark the queue closed (after the producer finishes).
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let q = SpscQueue::new(4, 2);
+        q.produce(&[1, 2]);
+        q.produce(&[3, 4]);
+        let mut out = Vec::new();
+        assert!(q.try_consume_into(&mut out));
+        assert!(q.try_consume_into(&mut out));
+        assert!(!q.try_consume_into(&mut out));
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn payload_is_cache_line_padded() {
+        let q = SpscQueue::new(2, 1); // 8-byte message
+        // One message's padded payload is a full line (8 words).
+        assert_eq!(q.slots[0].len(), 8);
+        let q4 = SpscQueue::new(2, 9); // 72-byte message → 2 lines
+        assert_eq!(q4.slots[0].len(), 16);
+    }
+
+    #[test]
+    fn producer_blocks_until_consumer_frees_space() {
+        let q = Arc::new(SpscQueue::new(2, 1));
+        let qp = q.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..100u64 {
+                qp.produce(&[i]);
+            }
+            qp.close();
+        });
+        let mut out = Vec::new();
+        while q.consume_blocking(&mut out).is_some() {}
+        producer.join().unwrap();
+        assert_eq!(out, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn close_then_drain() {
+        let q = SpscQueue::new(4, 1);
+        q.produce(&[9]);
+        q.close();
+        let mut out = Vec::new();
+        assert_eq!(q.consume_blocking(&mut out), Some(()));
+        assert_eq!(q.consume_blocking(&mut out), None);
+        assert_eq!(out, vec![9]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Queue instrumentation.
+//!
+//! The paper's Figure 6 plots throughput next to *dynamically profiled*
+//! atomic operations per work-item, and §8.1 reports that the aggregator's
+//! CPU spends 65 % of its time polling. Both require the queues to count
+//! their own synchronization events, which this module provides as a block
+//! of relaxed atomics shared by all queue variants.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared-memory synchronization counters for one queue.
+#[derive(Debug, Default)]
+pub struct QueueStats {
+    /// Read-modify-write operations issued by producers (reservation
+    /// fetch-adds and CAS attempts).
+    pub producer_rmws: AtomicU64,
+    /// Synchronization loads spent by producers waiting for a slot to
+    /// drain (queue-full backpressure).
+    pub producer_spins: AtomicU64,
+    /// RMWs issued by consumers (index CAS).
+    pub consumer_rmws: AtomicU64,
+    /// Polls by consumers that found nothing ready (the aggregator's
+    /// "time spent polling" proxy, §8.1).
+    pub consumer_empty_polls: AtomicU64,
+    /// Polls by consumers that found a slot ready.
+    pub consumer_hits: AtomicU64,
+    /// Messages enqueued.
+    pub messages_produced: AtomicU64,
+    /// Messages dequeued.
+    pub messages_consumed: AtomicU64,
+    /// Slots (or single-message cells) filled.
+    pub slots_produced: AtomicU64,
+}
+
+impl QueueStats {
+    /// Snapshot all counters (relaxed; callers quiesce the queue first for
+    /// exact numbers).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            producer_rmws: self.producer_rmws.load(Ordering::Relaxed),
+            producer_spins: self.producer_spins.load(Ordering::Relaxed),
+            consumer_rmws: self.consumer_rmws.load(Ordering::Relaxed),
+            consumer_empty_polls: self.consumer_empty_polls.load(Ordering::Relaxed),
+            consumer_hits: self.consumer_hits.load(Ordering::Relaxed),
+            messages_produced: self.messages_produced.load(Ordering::Relaxed),
+            messages_consumed: self.messages_consumed.load(Ordering::Relaxed),
+            slots_produced: self.slots_produced.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`QueueStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub producer_rmws: u64,
+    pub producer_spins: u64,
+    pub consumer_rmws: u64,
+    pub consumer_empty_polls: u64,
+    pub consumer_hits: u64,
+    pub messages_produced: u64,
+    pub messages_consumed: u64,
+    pub slots_produced: u64,
+}
+
+impl StatsSnapshot {
+    /// Producer RMWs per enqueued message — Figure 6's right axis (there,
+    /// one message per work-item).
+    pub fn rmws_per_message(&self) -> f64 {
+        if self.messages_produced == 0 {
+            return 0.0;
+        }
+        self.producer_rmws as f64 / self.messages_produced as f64
+    }
+
+    /// Fraction of consumer poll attempts that found nothing — the §8.1
+    /// "fraction of time polling" proxy.
+    pub fn poll_fraction(&self) -> f64 {
+        let total = self.consumer_empty_polls + self.consumer_hits;
+        if total == 0 {
+            return 0.0;
+        }
+        self.consumer_empty_polls as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_back_bumps() {
+        let s = QueueStats::default();
+        QueueStats::bump(&s.producer_rmws, 3);
+        QueueStats::bump(&s.messages_produced, 12);
+        let snap = s.snapshot();
+        assert_eq!(snap.producer_rmws, 3);
+        assert_eq!(snap.messages_produced, 12);
+        assert!((snap.rmws_per_message() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let snap = StatsSnapshot::default();
+        assert_eq!(snap.rmws_per_message(), 0.0);
+        assert_eq!(snap.poll_fraction(), 0.0);
+    }
+
+    #[test]
+    fn poll_fraction() {
+        let s = QueueStats::default();
+        QueueStats::bump(&s.consumer_empty_polls, 65);
+        QueueStats::bump(&s.consumer_hits, 35);
+        assert!((s.snapshot().poll_fraction() - 0.65).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the queue protocols.
+//!
+//! The central invariant of every queue variant: **every produced message
+//! is consumed exactly once, unmodified**, regardless of batch sizes,
+//! geometry, and thread interleavings.
+
+use std::sync::Arc;
+
+use gravel_gq::{Consumed, GravelQueue, MpmcQueue, QueueConfig, SpscQueue};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-threaded: arbitrary batch sizes through an arbitrary ring
+    /// geometry come out complete and in order.
+    #[test]
+    fn gravel_queue_preserves_batches(
+        slots in 2usize..9,
+        lane_width in 1usize..17,
+        rows in 1usize..5,
+        batch_sizes in prop::collection::vec(1usize..17, 1..20),
+    ) {
+        let cfg = QueueConfig { slots, lane_width, rows };
+        let q = GravelQueue::new(cfg);
+        let mut expected = Vec::new();
+        let mut next = 0u64;
+        let mut consumed = Vec::new();
+        for &raw in &batch_sizes {
+            let count = raw.min(lane_width);
+            let words: Vec<u64> = (0..count * rows).map(|_| { next += 1; next }).collect();
+            expected.extend_from_slice(&words);
+            q.produce_batch(&words, count);
+            // Drain eagerly so small rings never block the single thread.
+            let mut out = Vec::new();
+            while let Consumed::Batch(_) = q.try_consume_into(&mut out) {}
+            consumed.extend(out);
+        }
+        prop_assert_eq!(consumed, expected);
+    }
+
+    /// Multi-threaded Gravel queue: producers on threads, single consumer;
+    /// every tagged message arrives exactly once.
+    #[test]
+    fn gravel_queue_exactly_once_concurrent(
+        producers in 1usize..4,
+        batches_per_producer in 1usize..20,
+        lane_width in 1usize..9,
+    ) {
+        let q = Arc::new(GravelQueue::new(QueueConfig { slots: 4, lane_width, rows: 1 }));
+        let handles: Vec<_> = (0..producers).map(|p| {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for b in 0..batches_per_producer {
+                    let tag = ((p as u64) << 32) | b as u64;
+                    let words = vec![tag; lane_width];
+                    q.produce_batch(&words, lane_width);
+                }
+            })
+        }).collect();
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while q.consume_blocking(&mut got).is_some() {}
+                got
+            })
+        };
+        for h in handles { h.join().unwrap(); }
+        q.close();
+        let mut got = consumer.join().unwrap();
+        prop_assert_eq!(got.len(), producers * batches_per_producer * lane_width);
+        got.sort_unstable();
+        got.dedup();
+        prop_assert_eq!(got.len(), producers * batches_per_producer);
+    }
+
+    /// SPSC queue under concurrency keeps FIFO order and loses nothing.
+    #[test]
+    fn spsc_fifo_exactly_once(n in 1usize..400, capacity in 2usize..16) {
+        let q = Arc::new(SpscQueue::new(capacity, 1));
+        let qp = q.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..n as u64 { qp.produce(&[i]); }
+            qp.close();
+        });
+        let mut out = Vec::new();
+        while q.consume_blocking(&mut out).is_some() {}
+        producer.join().unwrap();
+        prop_assert_eq!(out, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    /// MPMC queue with 2 producers and 2 consumers delivers exactly once.
+    #[test]
+    fn mpmc_exactly_once(per_producer in 1usize..200, capacity in 2usize..16) {
+        let q = Arc::new(MpmcQueue::new(capacity, 1));
+        let producers: Vec<_> = (0..2).map(|p| {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for i in 0..per_producer as u64 {
+                    q.produce(&[(p as u64) << 32 | i]);
+                }
+            })
+        }).collect();
+        let consumers: Vec<_> = (0..2).map(|_| {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while q.consume_blocking(&mut got).is_some() {}
+                got
+            })
+        }).collect();
+        for p in producers { p.join().unwrap(); }
+        q.close();
+        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        prop_assert_eq!(all.len(), 2 * per_producer);
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), 2 * per_producer);
+    }
+
+    /// Message codec round-trips for arbitrary fields.
+    #[test]
+    fn message_codec_roundtrip(dest: u32, addr: u64, value: u64, handler: u32, kind in 0u8..4) {
+        use gravel_gq::{Command, Message};
+        let m = match kind {
+            0 => Message::put(dest, addr, value),
+            1 => Message::inc(dest, addr, value),
+            2 => Message::active(dest, handler, addr, value),
+            _ => Message::shutdown(),
+        };
+        prop_assert_eq!(Message::decode(m.encode()), Some(m));
+        prop_assert_eq!(Command::decode(m.command.encode()), Some(m.command));
+    }
+}

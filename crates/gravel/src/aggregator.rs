@@ -1,0 +1,183 @@
+//! The aggregator thread (paper §3.4, §6).
+//!
+//! One CPU thread per node drains the producer/consumer queue and repacks
+//! messages into per-destination queues, which are sent to the network
+//! when full or after the 125 µs timeout. The paper found one aggregator
+//! thread performs best on the four-thread APU, and that even at eight
+//! nodes the thread spends ~65 % of its time polling — both observable
+//! here through [`NodeShared`]'s poll counters.
+//!
+//! The aggregator *owns* the senders into every node's network thread;
+//! when the queue closes and the loop exits, dropping the senders is what
+//! lets the network threads observe cluster shutdown.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::Sender;
+use gravel_gq::Consumed;
+use gravel_pgas::{NodeQueues, Packet};
+
+use crate::node::NodeShared;
+
+/// Run the aggregation loop until the queue is closed and drained. This
+/// is the body of each node's aggregator thread `slot` (of possibly
+/// several; each owns private per-destination queues, which is safe
+/// because PGAS operations commute). `net_tx[d]` sends into node `d`'s
+/// network thread (including `d == node.id`, the loopback path that
+/// serialized local atomics take).
+pub fn run(
+    node: Arc<NodeShared>,
+    slot: usize,
+    net_tx: Vec<Sender<Packet>>,
+    queue_bytes: usize,
+    timeout: std::time::Duration,
+) {
+    assert_eq!(net_tx.len(), node.nodes, "one network sender per node");
+    let mut nodeq = NodeQueues::with_config(node.id, node.nodes, queue_bytes, timeout);
+    let mut buf: Vec<u64> = Vec::with_capacity(node.queue.config().slot_bytes() / 8);
+    let rows = node.queue.config().rows;
+    loop {
+        buf.clear();
+        match node.queue.try_consume_into(&mut buf) {
+            Consumed::Batch(_) => {
+                node.agg_polls_hit.fetch_add(1, Ordering::Relaxed);
+                let now = Instant::now();
+                let mut sent = false;
+                for msg in buf.chunks_exact(rows) {
+                    let dest = msg[1] as usize;
+                    debug_assert!(dest < node.nodes, "message to unknown node {dest}");
+                    if let Some(pkt) = nodeq.push(dest, msg, now) {
+                        send(&net_tx, pkt);
+                        sent = true;
+                    }
+                }
+                if sent {
+                    node.agg_stats.lock()[slot] = nodeq.stats;
+                }
+            }
+            Consumed::Empty => {
+                node.agg_polls_empty.fetch_add(1, Ordering::Relaxed);
+                let pkts = nodeq.poll_timeouts(Instant::now());
+                if !pkts.is_empty() {
+                    for pkt in pkts {
+                        send(&net_tx, pkt);
+                    }
+                    node.agg_stats.lock()[slot] = nodeq.stats;
+                }
+                // Idle: let other threads (GPU, network) run. On the
+                // paper's APU this is where 65 % of the core goes.
+                std::thread::yield_now();
+            }
+            Consumed::Closed => {
+                for pkt in nodeq.flush_all() {
+                    send(&net_tx, pkt);
+                }
+                break;
+            }
+        }
+    }
+    node.agg_stats.lock()[slot] = nodeq.stats;
+    // `net_tx` drops here, disconnecting this node's contribution to
+    // every network thread.
+}
+
+fn send(net_tx: &[Sender<Packet>], pkt: Packet) {
+    let dest = pkt.dest as usize;
+    // The channel is unbounded; a closed receiver means the cluster is
+    // shutting down and the packet can be dropped safely (shutdown waits
+    // for quiescence first).
+    let _ = net_tx[dest].send(pkt);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GravelConfig;
+    use crossbeam::channel::unbounded;
+    use gravel_gq::Message;
+    use gravel_pgas::AmRegistry;
+
+    fn spawn_node(
+        nodes: usize,
+    ) -> (Arc<NodeShared>, Vec<Sender<Packet>>, Vec<crossbeam::channel::Receiver<Packet>>) {
+        let cfg = GravelConfig::small(nodes, 16);
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..nodes).map(|_| unbounded()).unzip();
+        let node = Arc::new(NodeShared::new(0, &cfg, Arc::new(AmRegistry::new())));
+        (node, txs, rxs)
+    }
+
+    #[test]
+    fn aggregator_routes_by_destination_and_flushes_on_close() {
+        let (node, txs, rxs) = spawn_node(3);
+        for i in 0..5 {
+            node.host_send(Message::inc(1, i, 1));
+        }
+        node.host_send(Message::put(2, 9, 9));
+        node.queue.close();
+        let handle = {
+            let node = node.clone();
+            std::thread::spawn(move || run(node, 0, txs, 1 << 20, std::time::Duration::from_millis(10)))
+        };
+        handle.join().unwrap();
+        let p1 = rxs[1].try_recv().unwrap();
+        assert_eq!(p1.words().len(), 5 * 4);
+        let p2 = rxs[2].try_recv().unwrap();
+        assert_eq!(p2.words().len(), 4);
+        assert!(rxs[0].try_recv().is_err());
+        let stats = node.agg_stats.lock()[0];
+        assert_eq!(stats.packets, 2);
+        assert_eq!(stats.messages, 6);
+    }
+
+    #[test]
+    fn full_queue_flushes_before_close() {
+        let (node, txs, rxs) = spawn_node(2);
+        // node_queue of 64 bytes → 2 messages per packet.
+        let agg = {
+            let node = node.clone();
+            std::thread::spawn(move || run(node, 0, txs, 64, std::time::Duration::from_secs(10)))
+        };
+        for i in 0..4 {
+            node.host_send(Message::inc(1, i, 1));
+        }
+        // Two full packets must arrive even though the queue stays open.
+        let a = rxs[1].recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        let b = rxs[1].recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert_eq!(a.len(), 64);
+        assert_eq!(b.len(), 64);
+        node.queue.close();
+        agg.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_flushes_partial_packet() {
+        let (node, txs, rxs) = spawn_node(2);
+        let agg = {
+            let node = node.clone();
+            std::thread::spawn(move || run(node, 0, txs, 1 << 20, std::time::Duration::from_micros(100)))
+        };
+        node.host_send(Message::inc(1, 0, 1));
+        // One lone message must arrive via the timeout path.
+        let p = rxs[1].recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert_eq!(p.words().len(), 4);
+        node.queue.close();
+        agg.join().unwrap();
+        assert_eq!(node.agg_stats.lock()[0].timeout_flushes, 1);
+    }
+
+    #[test]
+    fn senders_disconnect_on_exit() {
+        let (node, txs, rxs) = spawn_node(2);
+        node.queue.close();
+        let agg = {
+            let node = node.clone();
+            std::thread::spawn(move || run(node, 0, txs, 1 << 20, std::time::Duration::from_millis(1)))
+        };
+        agg.join().unwrap();
+        // Receivers observe disconnect once the aggregator dropped its
+        // senders.
+        assert!(rxs[0].recv().is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Runtime configuration.
+//!
+//! Defaults mirror the paper's evaluated configuration (Table 3): a 1 MB
+//! producer/consumer queue, 64 kB per-node queues with a 125 µs timeout,
+//! one aggregator thread per node, 8 compute units, 256-work-item
+//! work-groups of 64-wide wavefronts, and atomics serialized through the
+//! network thread.
+
+use std::time::Duration;
+
+use gravel_gq::QueueConfig;
+
+/// Configuration of a [`GravelRuntime`](crate::GravelRuntime).
+#[derive(Clone, Debug)]
+pub struct GravelConfig {
+    /// Number of (in-process) nodes.
+    pub nodes: usize,
+    /// Elements in each node's symmetric heap.
+    pub heap_len: usize,
+    /// Producer/consumer queue geometry per node.
+    pub queue: QueueConfig,
+    /// Per-destination aggregation queue size in bytes (Table 3: 64 kB).
+    pub node_queue_bytes: usize,
+    /// Aggregation flush timeout (Table 3: 125 µs).
+    pub flush_timeout: Duration,
+    /// Compute units per node's GPU.
+    pub num_cus: usize,
+    /// Work-group size used by [`dispatch`](crate::GravelRuntime::dispatch)
+    /// convenience launches.
+    pub wg_size: usize,
+    /// Wavefront width.
+    pub wf_width: usize,
+    /// Aggregator threads per node. The paper found one performs best on
+    /// the 4-thread APU ("there are several background threads in the
+    /// system", §6); more threads trade queue-drain parallelism for
+    /// contention — the knob exists for that ablation.
+    pub aggregator_threads: usize,
+    /// Serialize atomic operations (increment, active messages) through
+    /// the network thread even when local (§6: "some operations that can
+    /// execute locally are still routed through the NI"). Setting this to
+    /// `false` is the concurrent-RMW ablation.
+    pub serialize_atomics: bool,
+}
+
+impl GravelConfig {
+    /// The paper's configuration for `nodes` nodes with a `heap_len`-element
+    /// symmetric heap per node.
+    pub fn paper(nodes: usize, heap_len: usize) -> Self {
+        GravelConfig {
+            nodes,
+            heap_len,
+            queue: QueueConfig::gravel_default(),
+            node_queue_bytes: gravel_pgas::DEFAULT_QUEUE_BYTES,
+            flush_timeout: gravel_pgas::DEFAULT_TIMEOUT,
+            num_cus: 8,
+            wg_size: 256,
+            wf_width: 64,
+            aggregator_threads: 1,
+            serialize_atomics: true,
+        }
+    }
+
+    /// A scaled-down configuration for unit tests and examples on small
+    /// hosts: small queues, quick timeout, narrow work-groups, 2 CUs.
+    pub fn small(nodes: usize, heap_len: usize) -> Self {
+        GravelConfig {
+            nodes,
+            heap_len,
+            queue: QueueConfig { slots: 16, lane_width: 64, rows: gravel_gq::MSG_ROWS },
+            node_queue_bytes: 1024,
+            flush_timeout: Duration::from_micros(200),
+            num_cus: 2,
+            wg_size: 64,
+            wf_width: 32,
+            aggregator_threads: 1,
+            serialize_atomics: true,
+        }
+    }
+
+    /// Validate invariants; called by the runtime constructor.
+    pub fn validate(&self) {
+        assert!(self.nodes > 0, "need at least one node");
+        assert!(self.heap_len > 0, "empty symmetric heap");
+        assert!(self.wg_size <= self.queue.lane_width, "work-group wider than queue slots");
+        assert_eq!(self.queue.rows, gravel_gq::MSG_ROWS, "runtime messages are 4 words");
+        assert!(self.node_queue_bytes >= 32, "node queue below one message");
+        assert!(self.wf_width > 0 && self.wg_size.is_multiple_of(self.wf_width), "wg/wf mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table3() {
+        let c = GravelConfig::paper(8, 1024);
+        assert_eq!(c.queue.capacity_bytes(), 1024 * 1024);
+        assert_eq!(c.node_queue_bytes, 64 * 1024);
+        assert_eq!(c.flush_timeout, Duration::from_micros(125));
+        assert_eq!(c.num_cus, 8);
+        assert_eq!(c.wg_size, 256);
+        assert_eq!(c.wf_width, 64);
+        assert!(c.serialize_atomics);
+        c.validate();
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        GravelConfig::small(4, 64).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "work-group wider")]
+    fn oversized_wg_rejected() {
+        let mut c = GravelConfig::small(2, 8);
+        c.wg_size = 1024;
+        c.validate();
+    }
+}

@@ -1,0 +1,281 @@
+//! The PGAS API kernels program against.
+//!
+//! [`GravelCtx`] wraps a work-group context with one node's Gravel state
+//! and exposes the paper's network operations (§6): `shmem_put`,
+//! `shmem_inc`, and active messages. Calls are *per-lane*: every active
+//! lane contributes one operation with its own destination/address/value,
+//! and the whole work-group's messages are offloaded through a single
+//! work-group-granularity queue reservation. This is what makes Gravel's
+//! GUPS kernel one line (Fig. 4b) — lanes never coordinate explicitly.
+//!
+//! Routing policy, as evaluated in the paper:
+//! * local PUT → executed directly by the GPU as a store;
+//! * remote PUT → offloaded to the aggregator;
+//! * INC and active messages → *always* offloaded (even local), because
+//!   Gravel serializes atomics through the network thread
+//!   (configurable: [`GravelConfig::serialize_atomics`](crate::GravelConfig)).
+
+use gravel_gq::Message;
+use gravel_simt::{LaneVec, Mask, WgCtx};
+
+use crate::node::NodeShared;
+
+/// Per-work-group handle combining SIMT execution state with the node's
+/// Gravel runtime state.
+pub struct GravelCtx<'a> {
+    /// The SIMT work-group context (masks, collectives, counters).
+    pub wg: &'a mut WgCtx,
+    node: &'a NodeShared,
+    serialize_atomics: bool,
+}
+
+impl<'a> GravelCtx<'a> {
+    /// Bind a work-group context to a node.
+    pub fn new(wg: &'a mut WgCtx, node: &'a NodeShared, serialize_atomics: bool) -> Self {
+        GravelCtx { wg, node, serialize_atomics }
+    }
+
+    /// This node's id.
+    pub fn my_node(&self) -> u32 {
+        self.node.id
+    }
+
+    /// Cluster size.
+    pub fn nodes(&self) -> usize {
+        self.node.nodes
+    }
+
+    /// Read-only access to the local symmetric heap (PGAS loads of local
+    /// data are plain GPU loads).
+    pub fn heap(&self) -> &gravel_pgas::SymmetricHeap {
+        &self.node.heap
+    }
+
+    /// Run `body` with the active mask restricted to `mask ∩ active` —
+    /// the SIMT `if` for PGAS code (kernels use it to mask off
+    /// out-of-range tail lanes and divergent branches).
+    pub fn masked(&mut self, mask: &Mask, body: impl FnOnce(&mut Self)) {
+        let m = self.wg.active().and(mask);
+        if m.is_empty() {
+            return;
+        }
+        self.wg.push_mask(m);
+        body(self);
+        self.wg.pop_mask();
+    }
+
+    fn local_mask(&self, dests: &LaneVec<u32>) -> Mask {
+        let me = self.node.id;
+        self.wg.active().and(&Mask::from_fn(self.wg.wg_size(), |l| dests.get(l) == me))
+    }
+
+    fn offload(
+        &mut self,
+        mask: &Mask,
+        dests: &LaneVec<u32>,
+        make: impl Fn(usize) -> Message,
+    ) {
+        if mask.is_empty() {
+            return;
+        }
+        let me = self.node.id;
+        let count = mask.count() as u64;
+        let mut local = 0u64;
+        for lane in mask.iter() {
+            if dests.get(lane) == me {
+                local += 1;
+            }
+        }
+        let node = self.node;
+        let mask = mask.clone();
+        self.wg.with_mask(mask, |wg| {
+            node.queue.wg_produce(wg, |lane, row| make(lane).encode()[row]);
+        });
+        node.note_offloaded(count);
+        node.local_routed.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+        node.remote_routed.fetch_add(count - local, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// PGAS store: each active lane writes `vals[lane]` to
+    /// `addrs[lane]` on node `dests[lane]`.
+    pub fn shmem_put(&mut self, dests: &LaneVec<u32>, addrs: &LaneVec<u64>, vals: &LaneVec<u64>) {
+        // Local lanes: the GPU stores directly ("A local PUT is executed
+        // by the GPU directly as a store", §7.1).
+        let local = self.local_mask(dests);
+        if !local.is_empty() {
+            let heap = &self.node.heap;
+            let base = heap as *const _ as u64;
+            let local2 = local.clone();
+            self.wg.with_mask(local2, |wg| {
+                let hw_addrs =
+                    LaneVec::from_fn(wg.wg_size(), |l| base.wrapping_add(addrs.get(l) * 8));
+                wg.mem_access(&hw_addrs, 8);
+                for lane in wg.active().clone().iter() {
+                    heap.store(addrs.get(lane), vals.get(lane));
+                }
+            });
+            self.node
+                .local_direct
+                .fetch_add(local.count() as u64, std::sync::atomic::Ordering::Relaxed);
+        }
+        // Remote lanes: offload.
+        let remote = self.wg.active().and_not(&local);
+        self.offload(&remote, dests, |lane| {
+            Message::put(dests.get(lane), addrs.get(lane), vals.get(lane))
+        });
+    }
+
+    /// PGAS atomic increment: each active lane adds `vals[lane]` to
+    /// `addrs[lane]` on node `dests[lane]`.
+    pub fn shmem_inc(&mut self, dests: &LaneVec<u32>, addrs: &LaneVec<u64>, vals: &LaneVec<u64>) {
+        if self.serialize_atomics {
+            // Everything — local included — routes through the network
+            // thread (§6).
+            let mask = self.wg.active().clone();
+            self.offload(&mask, dests, |lane| {
+                Message::inc(dests.get(lane), addrs.get(lane), vals.get(lane))
+            });
+        } else {
+            // Concurrent-RMW ablation: local lanes update the heap with
+            // GPU atomics, remote lanes offload.
+            let local = self.local_mask(dests);
+            if !local.is_empty() {
+                let heap = &self.node.heap;
+                for lane in local.iter() {
+                    heap.fetch_add(addrs.get(lane), vals.get(lane));
+                }
+                self.wg.counters.atomics += local.count() as u64;
+                self.node
+                    .local_direct
+                    .fetch_add(local.count() as u64, std::sync::atomic::Ordering::Relaxed);
+            }
+            let remote = self.wg.active().and_not(&local);
+            self.offload(&remote, dests, |lane| {
+                Message::inc(dests.get(lane), addrs.get(lane), vals.get(lane))
+            });
+        }
+    }
+
+    /// Active message: each active lane invokes handler `handler` on node
+    /// `dests[lane]` with `(addrs[lane], vals[lane])`. Always serialized
+    /// through the destination's network thread.
+    pub fn shmem_am(
+        &mut self,
+        handler: u32,
+        dests: &LaneVec<u32>,
+        addrs: &LaneVec<u64>,
+        vals: &LaneVec<u64>,
+    ) {
+        let mask = self.wg.active().clone();
+        self.offload(&mask, dests, |lane| {
+            Message::active(dests.get(lane), handler, addrs.get(lane), vals.get(lane))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GravelConfig;
+    use gravel_gq::Consumed;
+    use gravel_pgas::AmRegistry;
+    use gravel_simt::Grid;
+    use std::sync::Arc;
+
+    fn node(nodes: usize) -> NodeShared {
+        let cfg = GravelConfig::small(nodes, 32);
+        NodeShared::new(0, &cfg, Arc::new(AmRegistry::new()))
+    }
+
+    fn wg() -> WgCtx {
+        WgCtx::new(Grid { wg_count: 1, wg_size: 8, wf_width: 4 }, 0)
+    }
+
+    #[test]
+    fn local_puts_store_directly_without_offload() {
+        let n = node(2);
+        let mut w = wg();
+        let mut ctx = GravelCtx::new(&mut w, &n, true);
+        let dests = LaneVec::splat(8, 0u32); // all local
+        let addrs = LaneVec::from_fn(8, |l| l as u64);
+        let vals = LaneVec::from_fn(8, |l| 10 + l as u64);
+        ctx.shmem_put(&dests, &addrs, &vals);
+        assert_eq!(n.heap.load(3), 13);
+        assert_eq!(n.queue.backlog(), 0, "no offload for local PUTs");
+        assert_eq!(n.local_direct.load(std::sync::atomic::Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn remote_puts_offload() {
+        let n = node(2);
+        let mut w = wg();
+        let mut ctx = GravelCtx::new(&mut w, &n, true);
+        let dests = LaneVec::from_fn(8, |l| (l % 2) as u32); // half remote
+        let addrs = LaneVec::from_fn(8, |l| l as u64);
+        let vals = LaneVec::splat(8, 5u64);
+        ctx.shmem_put(&dests, &addrs, &vals);
+        // 4 local applied, 4 remote queued.
+        assert_eq!(n.local_direct.load(std::sync::atomic::Ordering::Relaxed), 4);
+        assert_eq!(n.remote_routed.load(std::sync::atomic::Ordering::Relaxed), 4);
+        let mut out = Vec::new();
+        assert_eq!(n.queue.try_consume_into(&mut out), Consumed::Batch(4));
+    }
+
+    #[test]
+    fn serialized_inc_routes_local_operations() {
+        let n = node(2);
+        let mut w = wg();
+        let mut ctx = GravelCtx::new(&mut w, &n, true);
+        let dests = LaneVec::splat(8, 0u32); // all local, but serialized
+        let addrs = LaneVec::splat(8, 0u64);
+        let vals = LaneVec::splat(8, 1u64);
+        ctx.shmem_inc(&dests, &addrs, &vals);
+        assert_eq!(n.heap.load(0), 0, "not applied yet — routed");
+        assert_eq!(n.local_routed.load(std::sync::atomic::Ordering::Relaxed), 8);
+        assert_eq!(n.queue.backlog(), 1);
+    }
+
+    #[test]
+    fn concurrent_rmw_ablation_applies_local_incs_directly() {
+        let n = node(2);
+        let mut w = wg();
+        let mut ctx = GravelCtx::new(&mut w, &n, false);
+        let dests = LaneVec::from_fn(8, |l| (l / 4) as u32); // 4 local, 4 remote
+        let addrs = LaneVec::splat(8, 0u64);
+        let vals = LaneVec::splat(8, 1u64);
+        ctx.shmem_inc(&dests, &addrs, &vals);
+        assert_eq!(n.heap.load(0), 4, "local lanes applied immediately");
+        assert_eq!(n.remote_routed.load(std::sync::atomic::Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn am_encodes_handler_id() {
+        let n = node(2);
+        let mut w = wg();
+        let mut ctx = GravelCtx::new(&mut w, &n, true);
+        let dests = LaneVec::splat(8, 1u32);
+        let addrs = LaneVec::splat(8, 2u64);
+        let vals = LaneVec::splat(8, 3u64);
+        ctx.shmem_am(7, &dests, &addrs, &vals);
+        let mut out = Vec::new();
+        assert_eq!(n.queue.try_consume_into(&mut out), Consumed::Batch(8));
+        let m = Message::decode([out[0], out[1], out[2], out[3]]).unwrap();
+        assert_eq!(m, Message::active(1, 7, 2, 3));
+    }
+
+    #[test]
+    fn masked_lanes_send_nothing() {
+        let n = node(2);
+        let mut w = wg();
+        let only_two = Mask::from_fn(8, |l| l < 2);
+        w.with_mask(only_two, |w| {
+            let mut ctx = GravelCtx::new(w, &n, true);
+            let dests = LaneVec::splat(8, 1u32);
+            let addrs = LaneVec::from_fn(8, |l| l as u64);
+            let vals = LaneVec::splat(8, 1u64);
+            ctx.shmem_inc(&dests, &addrs, &vals);
+        });
+        let mut out = Vec::new();
+        assert_eq!(n.queue.try_consume_into(&mut out), Consumed::Batch(2));
+    }
+}

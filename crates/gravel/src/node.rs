@@ -1,0 +1,146 @@
+//! Per-node shared state.
+//!
+//! Everything the GPU kernels, the aggregator thread, and the network
+//! thread of one node share: the symmetric heap, the producer/consumer
+//! queue, the active-message registry, and the counters that let the
+//! runtime detect cluster-wide quiescence.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gravel_gq::{GravelQueue, Message};
+use gravel_pgas::{AmRegistry, SymmetricHeap};
+use parking_lot::Mutex;
+
+use crate::config::GravelConfig;
+use crate::stats::NodeStats;
+
+/// Shared state of one node.
+pub struct NodeShared {
+    /// This node's id.
+    pub id: u32,
+    /// Cluster size.
+    pub nodes: usize,
+    /// This node's slice of the symmetric heap.
+    pub heap: SymmetricHeap,
+    /// GPU → aggregator producer/consumer queue.
+    pub queue: GravelQueue,
+    /// Active-message handlers (identical on every node).
+    pub ams: Arc<AmRegistry>,
+    /// Messages offloaded into the queue by this node's GPU (and host).
+    pub offloaded: AtomicU64,
+    /// Messages applied by this node's network thread.
+    pub applied: AtomicU64,
+    /// Local operations short-circuited by the GPU (direct PUT stores).
+    pub local_direct: AtomicU64,
+    /// Messages routed with a local destination (serialized atomics).
+    pub local_routed: AtomicU64,
+    /// Messages routed to remote destinations.
+    pub remote_routed: AtomicU64,
+    /// Aggregation statistics, one slot per aggregator thread.
+    pub agg_stats: Mutex<Vec<gravel_pgas::AggStats>>,
+    /// Aggregator idle/busy poll counts (§8.1's 65 %-polling metric).
+    pub agg_polls_empty: AtomicU64,
+    /// Aggregator polls that found work.
+    pub agg_polls_hit: AtomicU64,
+}
+
+impl NodeShared {
+    /// Build node `id`'s state. Network senders are owned by the
+    /// aggregator thread (see [`crate::aggregator::run`]) so that dropping
+    /// them at shutdown disconnects the network threads.
+    pub fn new(id: u32, cfg: &GravelConfig, ams: Arc<AmRegistry>) -> Self {
+        NodeShared {
+            id,
+            nodes: cfg.nodes,
+            heap: SymmetricHeap::new(cfg.heap_len),
+            queue: GravelQueue::new(cfg.queue),
+            ams,
+            offloaded: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            local_direct: AtomicU64::new(0),
+            local_routed: AtomicU64::new(0),
+            remote_routed: AtomicU64::new(0),
+            agg_stats: Mutex::new(vec![
+                gravel_pgas::AggStats::default();
+                cfg.aggregator_threads
+            ]),
+            agg_polls_empty: AtomicU64::new(0),
+            agg_polls_hit: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one offloaded message toward quiescence tracking. Called at
+    /// enqueue time by the PGAS API.
+    pub fn note_offloaded(&self, n: u64) {
+        self.offloaded.fetch_add(n, Ordering::Release);
+    }
+
+    /// Count applied messages (network thread).
+    pub fn note_applied(&self, n: u64) {
+        self.applied.fetch_add(n, Ordering::Release);
+    }
+
+    /// Inject one message from the host CPU (control paths, tests).
+    pub fn host_send(&self, msg: Message) {
+        let words = msg.encode();
+        self.queue.produce_batch(&words, 1);
+        self.note_offloaded(1);
+    }
+
+    /// Snapshot this node's statistics.
+    pub fn stats(&self) -> NodeStats {
+        let agg = self.agg_stats.lock().iter().fold(
+            gravel_pgas::AggStats::default(),
+            |mut acc, s| {
+                acc.packets += s.packets;
+                acc.bytes += s.bytes;
+                acc.messages += s.messages;
+                acc.full_flushes += s.full_flushes;
+                acc.timeout_flushes += s.timeout_flushes;
+                acc
+            },
+        );
+        NodeStats {
+            node: self.id,
+            offloaded: self.offloaded.load(Ordering::Acquire),
+            applied: self.applied.load(Ordering::Acquire),
+            local_direct: self.local_direct.load(Ordering::Acquire),
+            local_routed: self.local_routed.load(Ordering::Acquire),
+            remote_routed: self.remote_routed.load(Ordering::Acquire),
+            agg,
+            queue: self.queue.stats.snapshot(),
+            agg_polls_empty: self.agg_polls_empty.load(Ordering::Acquire),
+            agg_polls_hit: self.agg_polls_hit.load(Ordering::Acquire),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_node(nodes: usize) -> NodeShared {
+        let cfg = GravelConfig::small(nodes, 16);
+        NodeShared::new(0, &cfg, Arc::new(AmRegistry::new()))
+    }
+
+    #[test]
+    fn host_send_counts_offloaded() {
+        let node = make_node(2);
+        node.host_send(Message::inc(1, 3, 1));
+        assert_eq!(node.offloaded.load(Ordering::Relaxed), 1);
+        assert_eq!(node.queue.backlog(), 1);
+    }
+
+    #[test]
+    fn stats_snapshot_reflects_counters() {
+        let node = make_node(2);
+        node.note_offloaded(5);
+        node.note_applied(3);
+        let s = node.stats();
+        assert_eq!(s.offloaded, 5);
+        assert_eq!(s.applied, 3);
+        assert_eq!(s.node, 0);
+    }
+}

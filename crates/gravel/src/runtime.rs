@@ -1,0 +1,331 @@
+//! The Gravel runtime.
+//!
+//! [`GravelRuntime`] hosts an N-node Gravel cluster inside one process:
+//! each node gets a symmetric heap, a producer/consumer queue, an
+//! aggregator thread, and a network thread; "the network" is a set of
+//! in-memory channels. GPU kernels are dispatched onto the SIMT engine and
+//! offload PGAS operations through their node's queue exactly as on the
+//! paper's APUs — queue → aggregator → per-node queues → network thread →
+//! remote heap.
+//!
+//! ```
+//! use gravel_core::{GravelConfig, GravelRuntime};
+//! use gravel_simt::LaneVec;
+//!
+//! // 2 nodes, 16-element heaps; every work-item on node 0 increments a
+//! // counter on node 1.
+//! let rt = GravelRuntime::new(GravelConfig::small(2, 16));
+//! rt.dispatch(0, 1, |ctx| {
+//!     let dests = LaneVec::splat(ctx.wg.wg_size(), 1u32);
+//!     let addrs = LaneVec::splat(ctx.wg.wg_size(), 0u64);
+//!     let vals = LaneVec::splat(ctx.wg.wg_size(), 1u64);
+//!     ctx.shmem_inc(&dests, &addrs, &vals);
+//! });
+//! rt.quiesce();
+//! assert_eq!(rt.heap(1).load(0), 64); // one WG of 64 work-items
+//! let _stats = rt.shutdown();
+//! ```
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gravel_pgas::{AmRegistry, SymmetricHeap};
+use gravel_simt::{DispatchResult, Grid, SimtEngine};
+
+use crate::aggregator;
+use crate::config::GravelConfig;
+use crate::ctx::GravelCtx;
+use crate::netthread;
+use crate::node::NodeShared;
+use crate::stats::RuntimeStats;
+
+/// An in-process Gravel cluster.
+pub struct GravelRuntime {
+    cfg: GravelConfig,
+    nodes: Vec<Arc<NodeShared>>,
+    engine: SimtEngine,
+    threads: Vec<JoinHandle<()>>,
+    shut_down: bool,
+}
+
+impl GravelRuntime {
+    /// Start a cluster with no active-message handlers.
+    pub fn new(cfg: GravelConfig) -> Self {
+        Self::with_handlers(cfg, |_| {})
+    }
+
+    /// Start a cluster, registering active-message handlers first (the
+    /// registry is replicated logically on every node, as in SPMD codes).
+    pub fn with_handlers(cfg: GravelConfig, register: impl FnOnce(&mut AmRegistry)) -> Self {
+        cfg.validate();
+        let mut ams = AmRegistry::new();
+        register(&mut ams);
+        let ams = Arc::new(ams);
+
+        let (net_txs, net_rxs): (Vec<_>, Vec<_>) =
+            (0..cfg.nodes).map(|_| crossbeam::channel::unbounded()).unzip();
+
+        let nodes: Vec<Arc<NodeShared>> =
+            (0..cfg.nodes).map(|i| Arc::new(NodeShared::new(i as u32, &cfg, ams.clone()))).collect();
+
+        let mut threads = Vec::with_capacity(cfg.nodes * 2);
+        // Network threads first (receivers), then aggregators (senders).
+        for (i, rx) in net_rxs.into_iter().enumerate() {
+            let node = nodes[i].clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gravel-net-{i}"))
+                    .spawn(move || netthread::run(node, rx))
+                    .expect("spawn network thread"),
+            );
+        }
+        for node in &nodes {
+            for slot in 0..cfg.aggregator_threads {
+                let node = node.clone();
+                let txs = net_txs.clone();
+                let (qb, to) = (cfg.node_queue_bytes, cfg.flush_timeout);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("gravel-agg-{}-{}", node.id, slot))
+                        .spawn(move || aggregator::run(node, slot, txs, qb, to))
+                        .expect("spawn aggregator thread"),
+                );
+            }
+        }
+        drop(net_txs); // only aggregators hold senders now
+
+        GravelRuntime {
+            engine: SimtEngine::with_cus(cfg.num_cus),
+            cfg,
+            nodes,
+            threads,
+            shut_down: false,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &GravelConfig {
+        &self.cfg
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.cfg.nodes
+    }
+
+    /// Node `id`'s shared state.
+    pub fn node(&self, id: usize) -> &Arc<NodeShared> {
+        &self.nodes[id]
+    }
+
+    /// Node `id`'s symmetric heap.
+    pub fn heap(&self, id: usize) -> &SymmetricHeap {
+        &self.nodes[id].heap
+    }
+
+    /// Dispatch `kernel` on node `node_id`'s GPU over `wg_count`
+    /// work-groups of the configured work-group size. Returns the SIMT
+    /// dispatch counters. Synchronous: returns when the kernel finishes
+    /// (messages may still be in flight — see [`quiesce`](Self::quiesce)).
+    pub fn dispatch(
+        &self,
+        node_id: usize,
+        wg_count: usize,
+        kernel: impl Fn(&mut GravelCtx) + Sync,
+    ) -> DispatchResult {
+        let grid = Grid {
+            wg_count,
+            wg_size: self.cfg.wg_size,
+            wf_width: self.cfg.wf_width,
+        };
+        self.dispatch_grid(node_id, grid, kernel)
+    }
+
+    /// Dispatch with an explicit grid.
+    pub fn dispatch_grid(
+        &self,
+        node_id: usize,
+        grid: Grid,
+        kernel: impl Fn(&mut GravelCtx) + Sync,
+    ) -> DispatchResult {
+        let node = &self.nodes[node_id];
+        let serialize = self.cfg.serialize_atomics;
+        self.engine.dispatch(grid, |wg| {
+            let mut ctx = GravelCtx::new(wg, node, serialize);
+            kernel(&mut ctx);
+        })
+    }
+
+    /// Dispatch the same kernel on every node (SPMD superstep). Kernels
+    /// see their node through [`GravelCtx::my_node`]. Nodes run one after
+    /// another — on a real cluster they run concurrently, but live-mode
+    /// results here are about *correctness*; timing comes from the
+    /// `gravel-cluster` simulator.
+    pub fn dispatch_all(&self, wg_count: usize, kernel: impl Fn(&mut GravelCtx) + Sync) {
+        for id in 0..self.cfg.nodes {
+            self.dispatch(id, wg_count, &kernel);
+        }
+    }
+
+    /// Block until every offloaded message has been applied at its
+    /// destination. Call between supersteps (after `dispatch*` returns)
+    /// and before reading remote results.
+    pub fn quiesce(&self) {
+        loop {
+            let backlog: u64 = self.nodes.iter().map(|n| n.queue.backlog()).sum();
+            let offloaded: u64 = self.nodes.iter().map(|n| n.offloaded.load(Ordering::Acquire)).sum();
+            let applied: u64 = self.nodes.iter().map(|n| n.applied.load(Ordering::Acquire)).sum();
+            if backlog == 0 && offloaded == applied {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    /// Snapshot cluster statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats { nodes: self.nodes.iter().map(|n| n.stats()).collect() }
+    }
+
+    fn shutdown_impl(&mut self) -> RuntimeStats {
+        if !self.shut_down {
+            self.quiesce();
+            for node in &self.nodes {
+                node.queue.close();
+            }
+            for t in self.threads.drain(..) {
+                t.join().expect("runtime thread panicked");
+            }
+            self.shut_down = true;
+        }
+        self.stats()
+    }
+
+    /// Quiesce, stop all threads, and return final statistics.
+    pub fn shutdown(mut self) -> RuntimeStats {
+        self.shutdown_impl()
+    }
+}
+
+impl Drop for GravelRuntime {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gravel_simt::LaneVec;
+
+    #[test]
+    fn startup_and_clean_shutdown() {
+        let rt = GravelRuntime::new(GravelConfig::small(3, 8));
+        let stats = rt.shutdown();
+        assert_eq!(stats.nodes.len(), 3);
+        assert_eq!(stats.total_offloaded(), 0);
+    }
+
+    #[test]
+    fn remote_increments_land_exactly_once() {
+        let rt = GravelRuntime::new(GravelConfig::small(2, 4));
+        // Node 0: 2 work-groups × 64 lanes increment node 1's counter.
+        rt.dispatch(0, 2, |ctx| {
+            let n = ctx.wg.wg_size();
+            let dests = LaneVec::splat(n, 1u32);
+            let addrs = LaneVec::splat(n, 0u64);
+            let vals = LaneVec::splat(n, 1u64);
+            ctx.shmem_inc(&dests, &addrs, &vals);
+        });
+        rt.quiesce();
+        assert_eq!(rt.heap(1).load(0), 128);
+        let stats = rt.shutdown();
+        assert_eq!(stats.total_offloaded(), 128);
+        assert_eq!(stats.total_applied(), 128);
+        assert!((stats.remote_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_to_all_scatter() {
+        // 4 nodes; every node's work-items scatter increments across all
+        // nodes by lane id.
+        let nodes = 4;
+        let rt = GravelRuntime::new(GravelConfig::small(nodes, 4));
+        rt.dispatch_all(1, |ctx| {
+            let n = ctx.wg.wg_size();
+            let k = ctx.nodes() as u32;
+            let dests = LaneVec::from_fn(n, |l| (l as u32) % k);
+            let addrs = LaneVec::splat(n, 0u64);
+            let vals = LaneVec::splat(n, 1u64);
+            ctx.shmem_inc(&dests, &addrs, &vals);
+        });
+        rt.quiesce();
+        // 64 lanes per node / 4 dests = 16 messages per (src, dest) pair;
+        // each dest receives 16 × 4 sources = 64.
+        for id in 0..nodes {
+            assert_eq!(rt.heap(id).load(0), 64, "node {id}");
+        }
+        let stats = rt.shutdown();
+        // 3/4 of scattered messages are remote.
+        assert!((stats.remote_fraction() - 0.75).abs() < 1e-9, "{}", stats.remote_fraction());
+    }
+
+    #[test]
+    fn puts_and_ams_roundtrip() {
+        let rt = GravelRuntime::with_handlers(GravelConfig::small(2, 8), |reg| {
+            reg.register(gravel_pgas::relax_min_handler());
+        });
+        rt.heap(1).store(5, 1000);
+        rt.dispatch(0, 1, |ctx| {
+            let n = ctx.wg.wg_size();
+            // Every lane PUTs 77 into node 1 slot 3 (idempotent) and
+            // relaxes node 1 slot 5 down to 42 via the min handler.
+            let dests = LaneVec::splat(n, 1u32);
+            let addr3 = LaneVec::splat(n, 3u64);
+            let val77 = LaneVec::splat(n, 77u64);
+            ctx.shmem_put(&dests, &addr3, &val77);
+            let addr5 = LaneVec::splat(n, 5u64);
+            let val42 = LaneVec::splat(n, 42u64);
+            ctx.shmem_am(0, &dests, &addr5, &val42);
+        });
+        rt.quiesce();
+        assert_eq!(rt.heap(1).load(3), 77);
+        assert_eq!(rt.heap(1).load(5), 42);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_is_clean() {
+        let rt = GravelRuntime::new(GravelConfig::small(2, 4));
+        rt.dispatch(0, 1, |ctx| {
+            let n = ctx.wg.wg_size();
+            let dests = LaneVec::splat(n, 1u32);
+            let addrs = LaneVec::splat(n, 0u64);
+            let vals = LaneVec::splat(n, 1u64);
+            ctx.shmem_inc(&dests, &addrs, &vals);
+        });
+        drop(rt); // Drop quiesces and joins
+    }
+
+    #[test]
+    fn stats_capture_packet_sizes() {
+        let mut cfg = GravelConfig::small(2, 4);
+        cfg.node_queue_bytes = 128; // 4 messages per packet
+        let rt = GravelRuntime::new(cfg);
+        rt.dispatch(0, 1, |ctx| {
+            let n = ctx.wg.wg_size();
+            let dests = LaneVec::splat(n, 1u32);
+            let addrs = LaneVec::splat(n, 0u64);
+            let vals = LaneVec::splat(n, 1u64);
+            ctx.shmem_inc(&dests, &addrs, &vals);
+        });
+        rt.quiesce();
+        let stats = rt.shutdown();
+        let n0 = &stats.nodes[0];
+        assert_eq!(n0.agg.messages, 64);
+        assert!(n0.agg.packets >= 16, "64 msgs / 4 per packet");
+        assert!(stats.avg_packet_bytes() <= 128.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Runtime statistics.
+//!
+//! Table 5 of the paper reports, per workload at eight nodes, the remote
+//! access frequency and the average (aggregated) network message size;
+//! §8.1 reports the aggregator's polling fraction. All three are derived
+//! here from the per-node counters.
+
+use gravel_gq::StatsSnapshot;
+use gravel_pgas::AggStats;
+
+/// Statistics of one node at shutdown (or snapshot time).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeStats {
+    /// Node id.
+    pub node: u32,
+    /// Messages the GPU/host offloaded into the producer/consumer queue.
+    pub offloaded: u64,
+    /// Messages this node's network thread applied.
+    pub applied: u64,
+    /// Local PUTs executed directly by the GPU (never routed).
+    pub local_direct: u64,
+    /// Routed messages whose destination was this node (serialized
+    /// atomics on local data).
+    pub local_routed: u64,
+    /// Routed messages destined for other nodes.
+    pub remote_routed: u64,
+    /// Aggregator per-destination queue statistics.
+    pub agg: AggStats,
+    /// Producer/consumer queue statistics.
+    pub queue: StatsSnapshot,
+    /// Aggregator polls that found the queue empty.
+    pub agg_polls_empty: u64,
+    /// Aggregator polls that found work.
+    pub agg_polls_hit: u64,
+}
+
+impl NodeStats {
+    /// Fraction of PGAS operations that touched a remote node —
+    /// Table 5's "remote access frequency".
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local_direct + self.local_routed + self.remote_routed;
+        if total == 0 {
+            return 0.0;
+        }
+        self.remote_routed as f64 / total as f64
+    }
+
+    /// Fraction of aggregator polls that found nothing — §8.1's
+    /// "time spent polling" proxy.
+    pub fn poll_fraction(&self) -> f64 {
+        let total = self.agg_polls_empty + self.agg_polls_hit;
+        if total == 0 {
+            return 0.0;
+        }
+        self.agg_polls_empty as f64 / total as f64
+    }
+}
+
+/// Whole-cluster statistics.
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeStats {
+    /// One entry per node.
+    pub nodes: Vec<NodeStats>,
+}
+
+impl RuntimeStats {
+    /// Cluster-wide remote access frequency.
+    pub fn remote_fraction(&self) -> f64 {
+        let (remote, total) = self.nodes.iter().fold((0u64, 0u64), |(r, t), n| {
+            (r + n.remote_routed, t + n.local_direct + n.local_routed + n.remote_routed)
+        });
+        if total == 0 {
+            0.0
+        } else {
+            remote as f64 / total as f64
+        }
+    }
+
+    /// Cluster-wide average network packet size in bytes (Table 5).
+    pub fn avg_packet_bytes(&self) -> f64 {
+        let (bytes, packets) =
+            self.nodes.iter().fold((0u64, 0u64), |(b, p), n| (b + n.agg.bytes, p + n.agg.packets));
+        if packets == 0 {
+            0.0
+        } else {
+            bytes as f64 / packets as f64
+        }
+    }
+
+    /// Total messages offloaded across the cluster.
+    pub fn total_offloaded(&self) -> u64 {
+        self.nodes.iter().map(|n| n.offloaded).sum()
+    }
+
+    /// Total messages applied across the cluster.
+    pub fn total_applied(&self) -> u64 {
+        self.nodes.iter().map(|n| n.applied).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_fraction_single_node() {
+        let n = NodeStats {
+            local_direct: 10,
+            local_routed: 10,
+            remote_routed: 60,
+            ..Default::default()
+        };
+        assert!((n.remote_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(NodeStats::default().remote_fraction(), 0.0);
+    }
+
+    #[test]
+    fn cluster_aggregation() {
+        let mut s = RuntimeStats::default();
+        s.nodes.push(NodeStats { remote_routed: 7, local_direct: 1, offloaded: 8, ..Default::default() });
+        s.nodes.push(NodeStats { remote_routed: 0, local_routed: 2, applied: 5, ..Default::default() });
+        assert!((s.remote_fraction() - 0.7).abs() < 1e-12);
+        assert_eq!(s.total_offloaded(), 8);
+        assert_eq!(s.total_applied(), 5);
+    }
+
+    #[test]
+    fn poll_fraction() {
+        let n = NodeStats { agg_polls_empty: 65, agg_polls_hit: 35, ..Default::default() };
+        assert!((n.poll_fraction() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_packet_bytes_handles_empty() {
+        assert_eq!(RuntimeStats::default().avg_packet_bytes(), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Message application.
+//!
+//! A node's network thread receives per-node queues, iterates their
+//! messages, and "resolves \[each\] as a local memory operation" (paper §6).
+//! This module is that resolution step, shared by the live runtime's
+//! network thread and the simulated cluster's receive model.
+
+use gravel_gq::{Command, Message};
+
+use crate::am::AmRegistry;
+use crate::heap::SymmetricHeap;
+
+/// Outcome of applying one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Applied {
+    /// Message executed against the heap.
+    Done,
+    /// A shutdown sentinel was seen; the caller should stop its loop.
+    Shutdown,
+    /// The message was malformed (bad command word or unknown handler)
+    /// and was dropped.
+    Dropped,
+}
+
+/// Apply one decoded message to the local heap. Replying active-message
+/// handlers emit follow-up messages through `reply`.
+///
+/// A message addressing beyond the heap is *dropped*, not applied: the
+/// network thread must survive corrupted or misrouted traffic (handlers
+/// receive the raw `addr` and do their own interpretation, so only
+/// PUT/INC are bounds-checked here).
+pub fn apply(
+    msg: &Message,
+    heap: &SymmetricHeap,
+    ams: &AmRegistry,
+    reply: &mut dyn FnMut(Message),
+) -> Applied {
+    let in_bounds = (msg.addr as usize) < heap.len();
+    match msg.command {
+        Command::Put => {
+            if !in_bounds {
+                return Applied::Dropped;
+            }
+            heap.store(msg.addr, msg.value);
+            Applied::Done
+        }
+        Command::Inc => {
+            if !in_bounds {
+                return Applied::Dropped;
+            }
+            heap.fetch_add(msg.addr, msg.value);
+            Applied::Done
+        }
+        Command::Active(id) => {
+            if ams.invoke(id, heap, msg.addr, msg.value, reply) {
+                Applied::Done
+            } else {
+                Applied::Dropped
+            }
+        }
+        Command::Shutdown => Applied::Shutdown,
+    }
+}
+
+/// Apply a packed word stream of messages (message-major, 4 words each) to
+/// the local heap. Returns the number of messages *disposed of* — applied
+/// or dropped; a dropped message still counts, because quiescence
+/// tracking needs every routed message accounted for exactly once. Stops
+/// early on a shutdown sentinel (reported via the second tuple element).
+/// Replies from active-message handlers flow through `reply`.
+pub fn apply_words(
+    words: &[u64],
+    heap: &SymmetricHeap,
+    ams: &AmRegistry,
+    reply: &mut dyn FnMut(Message),
+) -> (usize, bool) {
+    let mut disposed = 0;
+    for chunk in words.chunks_exact(gravel_gq::MSG_ROWS) {
+        let Some(msg) = Message::decode([chunk[0], chunk[1], chunk[2], chunk[3]]) else {
+            continue;
+        };
+        match apply(&msg, heap, ams, reply) {
+            Applied::Done | Applied::Dropped => disposed += 1,
+            Applied::Shutdown => return (disposed, true),
+        }
+    }
+    (disposed, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_inc() {
+        let heap = SymmetricHeap::new(4);
+        let ams = AmRegistry::new();
+        assert_eq!(apply(&Message::put(0, 1, 9), &heap, &ams, &mut |_| {}), Applied::Done);
+        assert_eq!(apply(&Message::inc(0, 1, 3), &heap, &ams, &mut |_| {}), Applied::Done);
+        assert_eq!(heap.load(1), 12);
+    }
+
+    #[test]
+    fn active_message_runs_handler() {
+        let heap = SymmetricHeap::new(2);
+        let mut ams = AmRegistry::new();
+        let id = ams.register(Box::new(|h, a, v| h.store(a, v + 1)));
+        assert_eq!(apply(&Message::active(0, id, 0, 41), &heap, &ams, &mut |_| {}), Applied::Done);
+        assert_eq!(heap.load(0), 42);
+    }
+
+    #[test]
+    fn unknown_handler_dropped() {
+        let heap = SymmetricHeap::new(1);
+        let ams = AmRegistry::new();
+        assert_eq!(apply(&Message::active(0, 9, 0, 0), &heap, &ams, &mut |_| {}), Applied::Dropped);
+    }
+
+    #[test]
+    fn word_stream_application_stops_at_shutdown() {
+        let heap = SymmetricHeap::new(4);
+        let ams = AmRegistry::new();
+        let mut words = Vec::new();
+        words.extend(Message::inc(0, 0, 1).encode());
+        words.extend(Message::shutdown().encode());
+        words.extend(Message::inc(0, 0, 1).encode()); // after shutdown: ignored
+        let (applied, shutdown) = apply_words(&words, &heap, &ams, &mut |_| {});
+        assert_eq!(applied, 1);
+        assert!(shutdown);
+        assert_eq!(heap.load(0), 1);
+    }
+
+    #[test]
+    fn out_of_range_addresses_are_dropped_not_panicked() {
+        let heap = SymmetricHeap::new(2);
+        let ams = AmRegistry::new();
+        assert_eq!(apply(&Message::put(0, 99, 1), &heap, &ams, &mut |_| {}), Applied::Dropped);
+        assert_eq!(apply(&Message::inc(0, 2, 1), &heap, &ams, &mut |_| {}), Applied::Dropped);
+        assert_eq!(heap.snapshot(), vec![0, 0]);
+    }
+
+    #[test]
+    fn malformed_words_skipped() {
+        let heap = SymmetricHeap::new(1);
+        let ams = AmRegistry::new();
+        let words = [u64::MAX, 0, 0, 0];
+        let (applied, shutdown) = apply_words(&words, &heap, &ams, &mut |_| {});
+        assert_eq!(applied, 0);
+        assert!(!shutdown);
+    }
+}

@@ -1,0 +1,164 @@
+//! Symmetric heap.
+//!
+//! PGAS systems allocate a *symmetric heap*: an array of the same size at
+//! the same (virtual) address on every node, so a global element is named
+//! by `(node, offset)` and a remote operation ships only the offset
+//! (paper Fig. 4: "There is a slice of A, at the same virtual address, on
+//! each node"). [`SymmetricHeap`] is one node's slice, stored as atomics
+//! because the network thread, the GPU, and helper threads all touch it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One node's slice of the symmetric heap: `len` 64-bit elements.
+pub struct SymmetricHeap {
+    cells: Box<[AtomicU64]>,
+}
+
+impl SymmetricHeap {
+    /// A zero-initialised heap of `len` elements.
+    pub fn new(len: usize) -> Self {
+        SymmetricHeap { cells: (0..len).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the heap has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Read element `offset`.
+    #[inline]
+    pub fn load(&self, offset: u64) -> u64 {
+        self.cells[offset as usize].load(Ordering::Acquire)
+    }
+
+    /// PUT: store `value` at `offset`.
+    #[inline]
+    pub fn store(&self, offset: u64, value: u64) {
+        self.cells[offset as usize].store(value, Ordering::Release);
+    }
+
+    /// Atomic add: add `value` to `offset`, returning the old value.
+    #[inline]
+    pub fn fetch_add(&self, offset: u64, value: u64) -> u64 {
+        self.cells[offset as usize].fetch_add(value, Ordering::AcqRel)
+    }
+
+    /// Atomic minimum (used by SSSP's relax handler): store
+    /// `min(current, value)`, returning the old value.
+    pub fn fetch_min(&self, offset: u64, value: u64) -> u64 {
+        self.cells[offset as usize].fetch_min(value, Ordering::AcqRel)
+    }
+
+    /// Atomic compare-exchange on element `offset`.
+    pub fn compare_exchange(&self, offset: u64, current: u64, new: u64) -> Result<u64, u64> {
+        self.cells[offset as usize].compare_exchange(
+            current,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        )
+    }
+
+    /// Copy the heap into a plain vector (test/verification helper; not
+    /// atomic across elements).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.cells.iter().map(|c| c.load(Ordering::Acquire)).collect()
+    }
+
+    /// Bulk-initialise from a slice (test/setup helper).
+    pub fn fill_from(&self, values: &[u64]) {
+        assert!(values.len() <= self.len(), "initialiser longer than heap");
+        for (i, &v) in values.iter().enumerate() {
+            self.cells[i].store(v, Ordering::Release);
+        }
+    }
+
+    /// Reset every element to `value`.
+    pub fn reset(&self, value: u64) {
+        for c in self.cells.iter() {
+            c.store(value, Ordering::Release);
+        }
+    }
+}
+
+impl std::fmt::Debug for SymmetricHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SymmetricHeap({} elements)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_roundtrip() {
+        let h = SymmetricHeap::new(8);
+        h.store(3, 42);
+        assert_eq!(h.load(3), 42);
+        assert_eq!(h.load(0), 0);
+    }
+
+    #[test]
+    fn fetch_add_accumulates() {
+        let h = SymmetricHeap::new(2);
+        assert_eq!(h.fetch_add(1, 5), 0);
+        assert_eq!(h.fetch_add(1, 7), 5);
+        assert_eq!(h.load(1), 12);
+    }
+
+    #[test]
+    fn fetch_min_keeps_smaller() {
+        let h = SymmetricHeap::new(1);
+        h.store(0, 100);
+        assert_eq!(h.fetch_min(0, 50), 100);
+        assert_eq!(h.fetch_min(0, 80), 50);
+        assert_eq!(h.load(0), 50);
+    }
+
+    #[test]
+    fn compare_exchange() {
+        let h = SymmetricHeap::new(1);
+        assert_eq!(h.compare_exchange(0, 0, 9), Ok(0));
+        assert_eq!(h.compare_exchange(0, 0, 10), Err(9));
+    }
+
+    #[test]
+    fn snapshot_and_fill() {
+        let h = SymmetricHeap::new(4);
+        h.fill_from(&[1, 2, 3]);
+        assert_eq!(h.snapshot(), vec![1, 2, 3, 0]);
+        h.reset(7);
+        assert_eq!(h.snapshot(), vec![7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let h = std::sync::Arc::new(SymmetricHeap::new(1));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        h.fetch_add(0, 1);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.load(0), 4000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        SymmetricHeap::new(1).load(1);
+    }
+}

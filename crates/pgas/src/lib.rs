@@ -1,0 +1,25 @@
+//! # gravel-pgas — partitioned-global-address-space substrate
+//!
+//! The memory and messaging substrate under the Gravel runtime:
+//!
+//! * [`SymmetricHeap`] — one node's slice of the PGAS array, with the
+//!   atomic operations PUT/INC/active-message resolution needs.
+//! * [`Partition`] — global-index → (owner node, local offset) mapping,
+//!   block or cyclic.
+//! * [`AmRegistry`] — destination-side active-message handlers.
+//! * [`NodeQueues`] — the aggregator's per-destination queues (64 kB,
+//!   125 µs timeout by default, paper Table 3) producing network
+//!   [`Packet`]s.
+//! * [`command`] — applying received messages as local memory operations.
+
+pub mod am;
+pub mod command;
+pub mod heap;
+pub mod nodeq;
+pub mod partition;
+
+pub use am::{relax_min_handler, AmHandler, AmRegistry};
+pub use command::{apply, apply_words, Applied};
+pub use heap::SymmetricHeap;
+pub use nodeq::{AggStats, NodeQueues, Packet, DEFAULT_QUEUE_BYTES, DEFAULT_TIMEOUT};
+pub use partition::{Layout, Partition};

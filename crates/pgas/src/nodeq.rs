@@ -1,0 +1,303 @@
+//! Per-destination aggregation queues.
+//!
+//! The aggregator repacks GPU-initiated messages into one queue per
+//! destination node and sends a queue "after \[it\] become\[s\] full or
+//! exceed\[s\] a timeout" (paper §3.4). The paper's configuration (Table 3)
+//! is 64 kB queues with a 125 µs timeout, three in flight per destination.
+//! The queue size bounds the maximum network message and is the knob swept
+//! by Figure 14; the timeout bounds the latency a sparse destination can
+//! add, and is what keeps communication overlapped with computation
+//! (Figure 15's kmeans discussion).
+
+use std::time::{Duration, Instant};
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Default per-node queue size (Table 3).
+pub const DEFAULT_QUEUE_BYTES: usize = 64 * 1024;
+
+/// Default flush timeout (Table 3).
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_micros(125);
+
+/// A filled (or timed-out) per-node queue ready for network transmission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Sending node.
+    pub src: u32,
+    /// Destination node.
+    pub dest: u32,
+    /// Message words, little-endian, message-major.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Payload size in bytes (what Table 5's "average message size"
+    /// measures).
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when the packet carries no messages.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Decode the payload back into `u64` words.
+    pub fn words(&self) -> Vec<u64> {
+        self.payload.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+
+    /// Build a packet from words (test/model helper).
+    pub fn from_words(src: u32, dest: u32, words: &[u64]) -> Self {
+        let mut buf = BytesMut::with_capacity(words.len() * 8);
+        for &w in words {
+            buf.put_u64_le(w);
+        }
+        Packet { src, dest, payload: buf.freeze() }
+    }
+}
+
+struct AggBuffer {
+    buf: BytesMut,
+    opened_at: Option<Instant>,
+    messages: u64,
+}
+
+/// Aggregation statistics for one node (Table 5's inputs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AggStats {
+    /// Packets flushed.
+    pub packets: u64,
+    /// Total payload bytes flushed.
+    pub bytes: u64,
+    /// Messages aggregated.
+    pub messages: u64,
+    /// Packets flushed because they filled.
+    pub full_flushes: u64,
+    /// Packets flushed because they timed out.
+    pub timeout_flushes: u64,
+}
+
+impl AggStats {
+    /// Average network-message (packet) size in bytes — Table 5's metric.
+    pub fn avg_packet_bytes(&self) -> f64 {
+        if self.packets == 0 {
+            return 0.0;
+        }
+        self.bytes as f64 / self.packets as f64
+    }
+}
+
+/// One node's set of per-destination aggregation queues.
+///
+/// ```
+/// use gravel_pgas::NodeQueues;
+/// use std::time::{Duration, Instant};
+///
+/// // 64-byte queues hold two 32-byte messages each.
+/// let mut nq = NodeQueues::with_config(0, 4, 64, Duration::from_micros(125));
+/// let now = Instant::now();
+/// assert!(nq.push(2, &[1, 2, 3, 4], now).is_none()); // buffered
+/// let pkt = nq.push(2, &[5, 6, 7, 8], now).expect("second message fills it");
+/// assert_eq!(pkt.dest, 2);
+/// assert_eq!(pkt.words(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+/// ```
+pub struct NodeQueues {
+    my_node: u32,
+    nodes: usize,
+    queue_bytes: usize,
+    timeout: Duration,
+    bufs: Vec<AggBuffer>,
+    /// Aggregation statistics.
+    pub stats: AggStats,
+}
+
+impl NodeQueues {
+    /// Queues for `nodes` destinations with the paper's defaults.
+    pub fn new(my_node: u32, nodes: usize) -> Self {
+        Self::with_config(my_node, nodes, DEFAULT_QUEUE_BYTES, DEFAULT_TIMEOUT)
+    }
+
+    /// Queues with explicit size and timeout (Figure 14 sweeps the size).
+    pub fn with_config(my_node: u32, nodes: usize, queue_bytes: usize, timeout: Duration) -> Self {
+        assert!(queue_bytes >= 32, "queue must hold at least one message");
+        NodeQueues {
+            my_node,
+            nodes,
+            queue_bytes,
+            timeout,
+            bufs: (0..nodes)
+                .map(|_| AggBuffer { buf: BytesMut::new(), opened_at: None, messages: 0 })
+                .collect(),
+            stats: AggStats::default(),
+        }
+    }
+
+    /// Configured per-queue capacity in bytes.
+    pub fn queue_bytes(&self) -> usize {
+        self.queue_bytes
+    }
+
+    /// Configured flush timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    fn flush_dest(&mut self, dest: usize, timed_out: bool) -> Option<Packet> {
+        let b = &mut self.bufs[dest];
+        if b.buf.is_empty() {
+            return None;
+        }
+        let payload = b.buf.split().freeze();
+        b.opened_at = None;
+        self.stats.packets += 1;
+        self.stats.bytes += payload.len() as u64;
+        self.stats.messages += b.messages;
+        b.messages = 0;
+        if timed_out {
+            self.stats.timeout_flushes += 1;
+        } else {
+            self.stats.full_flushes += 1;
+        }
+        Some(Packet { src: self.my_node, dest: dest as u32, payload })
+    }
+
+    /// Append one message (as words) to destination `dest`'s queue.
+    /// Returns a packet when the queue filled.
+    pub fn push(&mut self, dest: usize, words: &[u64], now: Instant) -> Option<Packet> {
+        assert!(dest < self.nodes, "destination out of range");
+        let bytes = words.len() * 8;
+        assert!(bytes <= self.queue_bytes, "message larger than queue");
+        // Flush first if this message would overflow.
+        let flushed = if self.bufs[dest].buf.len() + bytes > self.queue_bytes {
+            self.flush_dest(dest, false)
+        } else {
+            None
+        };
+        let b = &mut self.bufs[dest];
+        if b.buf.is_empty() {
+            b.opened_at = Some(now);
+        }
+        for &w in words {
+            b.buf.put_u64_le(w);
+        }
+        b.messages += 1;
+        // Exactly-full queues flush immediately.
+        if self.bufs[dest].buf.len() >= self.queue_bytes {
+            debug_assert!(flushed.is_none(), "cannot fill twice in one push");
+            return self.flush_dest(dest, false);
+        }
+        flushed
+    }
+
+    /// Flush every queue whose oldest message is older than the timeout.
+    pub fn poll_timeouts(&mut self, now: Instant) -> Vec<Packet> {
+        let expired: Vec<usize> = (0..self.nodes)
+            .filter(|&d| {
+                self.bufs[d]
+                    .opened_at
+                    .is_some_and(|t| now.duration_since(t) >= self.timeout)
+            })
+            .collect();
+        expired.into_iter().filter_map(|d| self.flush_dest(d, true)).collect()
+    }
+
+    /// Flush everything (end of kernel / shutdown).
+    pub fn flush_all(&mut self) -> Vec<Packet> {
+        (0..self.nodes).filter_map(|d| self.flush_dest(d, false)).collect()
+    }
+
+    /// Bytes currently buffered for `dest`.
+    pub fn pending_bytes(&self, dest: usize) -> usize {
+        self.bufs[dest].buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(tag: u64) -> [u64; 4] {
+        [tag, tag + 1, tag + 2, tag + 3]
+    }
+
+    #[test]
+    fn push_fills_and_flushes_at_capacity() {
+        // 128-byte queue holds 4 × 32-byte messages.
+        let mut nq = NodeQueues::with_config(0, 2, 128, DEFAULT_TIMEOUT);
+        let now = Instant::now();
+        for i in 0..3 {
+            assert!(nq.push(1, &words(i), now).is_none());
+        }
+        let pkt = nq.push(1, &words(3), now).expect("fourth message fills the queue");
+        assert_eq!(pkt.dest, 1);
+        assert_eq!(pkt.len(), 128);
+        assert_eq!(pkt.words().len(), 16);
+        assert_eq!(nq.pending_bytes(1), 0);
+        assert_eq!(nq.stats.full_flushes, 1);
+    }
+
+    #[test]
+    fn packet_words_roundtrip() {
+        let pkt = Packet::from_words(3, 5, &[1, 2, 3]);
+        assert_eq!(pkt.src, 3);
+        assert_eq!(pkt.dest, 5);
+        assert_eq!(pkt.words(), vec![1, 2, 3]);
+        assert_eq!(pkt.len(), 24);
+    }
+
+    #[test]
+    fn timeout_flushes_partial_queue() {
+        let mut nq = NodeQueues::with_config(0, 2, 1024, Duration::from_millis(1));
+        let t0 = Instant::now();
+        nq.push(1, &words(0), t0);
+        assert!(nq.poll_timeouts(t0).is_empty(), "not yet expired");
+        let later = t0 + Duration::from_millis(2);
+        let pkts = nq.poll_timeouts(later);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].len(), 32);
+        assert_eq!(nq.stats.timeout_flushes, 1);
+    }
+
+    #[test]
+    fn separate_destinations_do_not_mix() {
+        let mut nq = NodeQueues::with_config(0, 3, 1024, DEFAULT_TIMEOUT);
+        let now = Instant::now();
+        nq.push(1, &words(10), now);
+        nq.push(2, &words(20), now);
+        let pkts = nq.flush_all();
+        assert_eq!(pkts.len(), 2);
+        assert_eq!(pkts[0].dest, 1);
+        assert_eq!(pkts[0].words()[0], 10);
+        assert_eq!(pkts[1].dest, 2);
+        assert_eq!(pkts[1].words()[0], 20);
+    }
+
+    #[test]
+    fn flush_all_skips_empty_queues() {
+        let mut nq = NodeQueues::new(0, 4);
+        assert!(nq.flush_all().is_empty());
+    }
+
+    #[test]
+    fn stats_track_average_packet_size() {
+        let mut nq = NodeQueues::with_config(0, 2, 64, DEFAULT_TIMEOUT);
+        let now = Instant::now();
+        for i in 0..4 {
+            nq.push(1, &words(i), now); // flushes every 2 messages
+        }
+        assert_eq!(nq.stats.packets, 2);
+        assert!((nq.stats.avg_packet_bytes() - 64.0).abs() < 1e-9);
+        assert_eq!(nq.stats.messages, 4);
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let mut nq = NodeQueues::with_config(0, 1, 32, DEFAULT_TIMEOUT);
+        let big = vec![0u64; 5];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            nq.push(0, &big, Instant::now());
+        }));
+        assert!(r.is_err());
+    }
+}

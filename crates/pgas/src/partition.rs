@@ -1,0 +1,161 @@
+//! Global-index partitioning.
+//!
+//! Gravel's applications distribute an array (or vertex set) across nodes
+//! and name elements by global index; the partition decides which node
+//! owns an element and at which local symmetric-heap offset it lives. The
+//! partition *is* the source of Table 5's remote-access frequencies —
+//! e.g. GUPS's uniformly random updates touch a remote node with
+//! probability `(n-1)/n` = 87.5 % at eight nodes.
+
+use serde::{Deserialize, Serialize};
+
+/// Partitioning strategy for a global index space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layout {
+    /// Contiguous blocks: node 0 owns `[0, ceil)`, node 1 the next block…
+    /// Preserves locality of neighbouring indices (used by the graph
+    /// applications, whose generators emit locality-friendly ids).
+    Block,
+    /// Round-robin: element `i` lives on node `i % n`. Destroys locality;
+    /// matches GUPS-style uniform scatter.
+    Cyclic,
+}
+
+/// A partition of `total` global elements over `nodes` nodes.
+///
+/// ```
+/// use gravel_pgas::{Partition, Layout};
+///
+/// let p = Partition::new(100, 4, Layout::Cyclic);
+/// assert_eq!(p.owner(6), 2);
+/// assert_eq!(p.local_offset(6), 1);
+/// assert_eq!(p.global(2, 1), 6);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    nodes: usize,
+    total: usize,
+    layout: Layout,
+}
+
+impl Partition {
+    /// Create a partition; `nodes` must be positive.
+    pub fn new(total: usize, nodes: usize, layout: Layout) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        Partition { nodes, total, layout }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Global element count.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Elements per block in [`Layout::Block`].
+    fn block(&self) -> usize {
+        self.total.div_ceil(self.nodes).max(1)
+    }
+
+    /// The node owning global element `g`.
+    pub fn owner(&self, g: usize) -> usize {
+        assert!(g < self.total, "global index {g} out of {}", self.total);
+        match self.layout {
+            Layout::Block => (g / self.block()).min(self.nodes - 1),
+            Layout::Cyclic => g % self.nodes,
+        }
+    }
+
+    /// `g`'s offset within its owner's local slice.
+    pub fn local_offset(&self, g: usize) -> u64 {
+        assert!(g < self.total, "global index {g} out of {}", self.total);
+        match self.layout {
+            Layout::Block => (g - self.owner(g) * self.block()) as u64,
+            Layout::Cyclic => (g / self.nodes) as u64,
+        }
+    }
+
+    /// Inverse of (`owner`, `local_offset`).
+    pub fn global(&self, node: usize, local: u64) -> usize {
+        match self.layout {
+            Layout::Block => node * self.block() + local as usize,
+            Layout::Cyclic => local as usize * self.nodes + node,
+        }
+    }
+
+    /// Number of elements node `node` owns (the required local heap size).
+    pub fn local_len(&self, node: usize) -> usize {
+        assert!(node < self.nodes, "node id out of range");
+        match self.layout {
+            Layout::Block => {
+                let b = self.block();
+                let start = node * b;
+                self.total.saturating_sub(start).min(b)
+            }
+            Layout::Cyclic => {
+                let base = self.total / self.nodes;
+                base + usize::from(node < self.total % self.nodes)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_partition_examples() {
+        let p = Partition::new(10, 4, Layout::Block); // blocks of 3
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(2), 0);
+        assert_eq!(p.owner(3), 1);
+        assert_eq!(p.owner(9), 3);
+        assert_eq!(p.local_offset(4), 1);
+        assert_eq!(p.local_len(0), 3);
+        assert_eq!(p.local_len(3), 1);
+    }
+
+    #[test]
+    fn cyclic_partition_examples() {
+        let p = Partition::new(10, 4, Layout::Cyclic);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(5), 1);
+        assert_eq!(p.local_offset(5), 1);
+        assert_eq!(p.local_len(0), 3); // elements 0, 4, 8
+        assert_eq!(p.local_len(3), 2); // elements 3, 7
+    }
+
+    #[test]
+    fn roundtrip_owner_offset_global() {
+        for layout in [Layout::Block, Layout::Cyclic] {
+            for total in [1usize, 7, 16, 100] {
+                for nodes in [1usize, 2, 3, 8] {
+                    let p = Partition::new(total, nodes, layout);
+                    for g in 0..total {
+                        let node = p.owner(g);
+                        let off = p.local_offset(g);
+                        assert!(node < nodes);
+                        assert!((off as usize) < p.local_len(node), "{layout:?} {total} {nodes} {g}");
+                        assert_eq!(p.global(node, off), g, "{layout:?} {total} {nodes} {g}");
+                    }
+                    // Local lengths cover the space exactly.
+                    let sum: usize = (0..nodes).map(|n| p.local_len(n)).sum();
+                    assert_eq!(sum, total, "{layout:?} {total} {nodes}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gups_remote_fraction_at_8_nodes() {
+        // Table 5: uniform random updates at 8 nodes are 87.5 % remote.
+        let p = Partition::new(8000, 8, Layout::Cyclic);
+        let me = 0usize;
+        let remote = (0..8000).filter(|&g| p.owner(g) != me).count();
+        assert_eq!(remote, 7000); // 7/8 of all indices
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the PGAS substrate.
+
+use std::time::{Duration, Instant};
+
+use gravel_pgas::{apply_words, AmRegistry, Layout, NodeQueues, Partition, SymmetricHeap};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// owner/local_offset/global round-trips and partitions cover the
+    /// space exactly, for both layouts and arbitrary sizes.
+    #[test]
+    fn partition_roundtrip_and_coverage(
+        total in 1usize..5000,
+        nodes in 1usize..16,
+        cyclic: bool,
+    ) {
+        let layout = if cyclic { Layout::Cyclic } else { Layout::Block };
+        let p = Partition::new(total, nodes, layout);
+        let mut seen = vec![0u32; total];
+        for g in 0..total {
+            let node = p.owner(g);
+            prop_assert!(node < nodes);
+            let off = p.local_offset(g);
+            prop_assert!((off as usize) < p.local_len(node));
+            prop_assert_eq!(p.global(node, off), g);
+            seen[g] += 1;
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+        let sum: usize = (0..nodes).map(|n| p.local_len(n)).sum();
+        prop_assert_eq!(sum, total);
+    }
+
+    /// Aggregation conserves messages and bytes: whatever goes into the
+    /// per-destination queues comes out in packets, exactly once, in
+    /// order per destination.
+    #[test]
+    fn nodeq_conserves_messages(
+        dests in prop::collection::vec(0usize..6, 1..300),
+        queue_msgs in 1usize..16,
+    ) {
+        let queue_bytes = queue_msgs * 32;
+        let mut nq = NodeQueues::with_config(0, 6, queue_bytes, Duration::from_secs(3600));
+        let now = Instant::now();
+        let mut packets = Vec::new();
+        for (i, &d) in dests.iter().enumerate() {
+            let words = [i as u64, d as u64, 0, 0];
+            if let Some(p) = nq.push(d, &words, now) {
+                packets.push(p);
+            }
+        }
+        packets.extend(nq.flush_all());
+        // Every message appears exactly once, tagged by its index.
+        let mut tags: Vec<u64> = packets
+            .iter()
+            .flat_map(|p| p.words().chunks_exact(4).map(|c| c[0]).collect::<Vec<_>>())
+            .collect();
+        tags.sort_unstable();
+        prop_assert_eq!(tags, (0..dests.len() as u64).collect::<Vec<_>>());
+        // Per destination, arrival order is preserved.
+        for d in 0..6u32 {
+            let per_dest: Vec<u64> = packets
+                .iter()
+                .filter(|p| p.dest == d)
+                .flat_map(|p| p.words().chunks_exact(4).map(|c| c[0]).collect::<Vec<_>>())
+                .collect();
+            prop_assert!(per_dest.windows(2).all(|w| w[0] < w[1]), "dest {}", d);
+        }
+        // No packet exceeds the queue size.
+        for p in &packets {
+            prop_assert!(p.len() <= queue_bytes);
+        }
+    }
+
+    /// Applying an arbitrary word stream of valid INC messages yields the
+    /// exact histogram.
+    #[test]
+    fn apply_words_is_exact(
+        addrs in prop::collection::vec(0u64..32, 0..200),
+    ) {
+        let heap = SymmetricHeap::new(32);
+        let ams = AmRegistry::new();
+        let mut words = Vec::new();
+        for &a in &addrs {
+            words.extend(gravel_gq::Message::inc(0, a, 1).encode());
+        }
+        let (applied, shutdown) = apply_words(&words, &heap, &ams, &mut |_| {});
+        prop_assert_eq!(applied, addrs.len());
+        prop_assert!(!shutdown);
+        let mut expect = vec![0u64; 32];
+        for &a in &addrs {
+            expect[a as usize] += 1;
+        }
+        prop_assert_eq!(heap.snapshot(), expect);
+    }
+
+    /// Garbage words never panic the decoder; valid prefixes still apply.
+    #[test]
+    fn apply_words_tolerates_garbage(words in prop::collection::vec(any::<u64>(), 0..64)) {
+        let heap = SymmetricHeap::new(4);
+        let ams = AmRegistry::new();
+        // Mask addresses into range so valid-looking messages don't go out
+        // of bounds (bounds are the runtime's contract, not the codec's).
+        let words: Vec<u64> = words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| if i % 4 == 2 { w % 4 } else { w })
+            .collect();
+        let _ = apply_words(&words, &heap, &ams, &mut |_| {});
+    }
+}

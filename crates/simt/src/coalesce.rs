@@ -1,0 +1,102 @@
+//! Memory-coalescer model.
+//!
+//! Each compute unit has a coalescer that inspects the addresses issued by
+//! one wavefront-wide memory instruction and merges accesses falling in the
+//! same cache line into a single transaction (paper §2.2, Figure 2b). The
+//! engine does not simulate a cache hierarchy; it *counts* the transactions
+//! a coalescer would issue so memory divergence is visible in the counters,
+//! and Gravel's queue-slot layout (messages from adjacent lanes land in
+//! adjacent columns, i.e. the same lines) can be compared quantitatively
+//! against divergent layouts.
+
+use crate::mask::Mask;
+
+/// Cache-line size used by the coalescer, in bytes (64 B, matching the
+/// AMD A10-7850K's L1D line).
+pub const CACHE_LINE: usize = 64;
+
+/// Count the cache-line transactions needed by one wavefront memory
+/// instruction: the number of *distinct* lines covered by
+/// `[addr, addr + access_bytes)` over the active lanes.
+///
+/// `addrs` holds each lane's byte address; lanes not set in `mask` do not
+/// access memory.
+pub fn transactions(addrs: &[u64], mask: &Mask, access_bytes: usize) -> usize {
+    assert!(access_bytes > 0, "zero-sized access");
+    let mut lines: Vec<u64> = Vec::with_capacity(mask.count() * 2);
+    for lane in mask.iter() {
+        let start = addrs[lane] / CACHE_LINE as u64;
+        let end = (addrs[lane] + access_bytes as u64 - 1) / CACHE_LINE as u64;
+        for line in start..=end {
+            lines.push(line);
+        }
+    }
+    lines.sort_unstable();
+    lines.dedup();
+    lines.len()
+}
+
+/// Transactions for a whole work-group access, evaluated per wavefront
+/// (hardware coalescers operate on one wavefront's cache port at a time).
+pub fn wg_transactions(addrs: &[u64], mask: &Mask, access_bytes: usize, wf_width: usize) -> usize {
+    let wfs = mask.lanes().div_ceil(wf_width);
+    (0..wfs)
+        .map(|wf| {
+            let view = mask.wavefront_view(wf, wf_width);
+            if view.is_empty() {
+                0
+            } else {
+                transactions(addrs, &view, access_bytes)
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_word_accesses_coalesce() {
+        // 16 lanes × 4-byte accesses at consecutive addresses = 1 line.
+        let addrs: Vec<u64> = (0..16).map(|l| l * 4).collect();
+        assert_eq!(transactions(&addrs, &Mask::all(16), 4), 1);
+    }
+
+    #[test]
+    fn fully_divergent_accesses_do_not_coalesce() {
+        // Each lane hits its own line.
+        let addrs: Vec<u64> = (0..16).map(|l| l * 4096).collect();
+        assert_eq!(transactions(&addrs, &Mask::all(16), 4), 16);
+    }
+
+    #[test]
+    fn inactive_lanes_issue_nothing() {
+        let addrs: Vec<u64> = (0..16).map(|l| l * 4096).collect();
+        let m = Mask::from_fn(16, |l| l < 4);
+        assert_eq!(transactions(&addrs, &m, 4), 4);
+        assert_eq!(transactions(&addrs, &Mask::none(16), 4), 0);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        // One lane, 8-byte access starting 4 bytes before a line boundary.
+        let addrs = vec![CACHE_LINE as u64 - 4];
+        assert_eq!(transactions(&addrs, &Mask::all(1), 8), 2);
+    }
+
+    #[test]
+    fn wg_transactions_split_per_wavefront() {
+        // 128 lanes all reading the SAME address: a single line per
+        // wavefront port, so 2 transactions for 2 wavefronts.
+        let addrs = vec![0u64; 128];
+        assert_eq!(wg_transactions(&addrs, &Mask::all(128), 4, 64), 2);
+    }
+
+    #[test]
+    fn duplicate_lines_within_wavefront_dedup() {
+        // Lanes pair up on lines.
+        let addrs: Vec<u64> = (0..8).map(|l| (l / 2) * CACHE_LINE as u64).collect();
+        assert_eq!(transactions(&addrs, &Mask::all(8), 4), 4);
+    }
+}

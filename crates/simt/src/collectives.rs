@@ -1,0 +1,171 @@
+//! Work-group-level collective operations.
+//!
+//! These are the data-parallel primitives of paper §2.1 extended with the
+//! *diverged* semantics of §5.2: active lanes submit their value, inactive
+//! lanes submit a non-interfering identity (0 for sums, `MIN`/`MAX` for
+//! min/max reductions), and the result is defined for the active lanes.
+//!
+//! The functions here are pure (no cost accounting); [`crate::workgroup`]
+//! wraps them with issue-slot/barrier charging so kernels see both the
+//! value semantics and the execution cost of a log-depth tree network
+//! (paper Fig. 11a).
+
+use crate::lanes::LaneVec;
+use crate::mask::Mask;
+
+/// Reduce the active lanes of `vals` with `op`, starting from `identity`.
+///
+/// `identity` must be non-interfering (`op(identity, x) == x`), which is
+/// exactly the §5.2 requirement on the values inactive lanes submit.
+pub fn reduce<T: Copy>(vals: &LaneVec<T>, mask: &Mask, identity: T, op: impl Fn(T, T) -> T) -> T {
+    assert_eq!(vals.lanes(), mask.lanes(), "register/mask width mismatch");
+    mask.iter().fold(identity, |acc, lane| op(acc, vals.get(lane)))
+}
+
+/// Maximum over active lanes (`identity` = `T::MIN` supplied by caller).
+pub fn reduce_max<T: Copy + Ord>(vals: &LaneVec<T>, mask: &Mask, identity: T) -> T {
+    reduce(vals, mask, identity, |a, b| a.max(b))
+}
+
+/// Sum over active lanes.
+pub fn reduce_sum(vals: &LaneVec<u64>, mask: &Mask) -> u64 {
+    reduce(vals, mask, 0, |a, b| a + b)
+}
+
+/// Exclusive prefix sum over the work-group, where inactive lanes
+/// contribute 0. Every lane receives the running total of the *active*
+/// lanes before it — this is the "local offset" computation of Fig. 5b
+/// (`prefix_sum(1)`), where inactive lanes can make a lane's offset differ
+/// from its lane id.
+pub fn exclusive_prefix_sum(vals: &LaneVec<u64>, mask: &Mask) -> LaneVec<u64> {
+    assert_eq!(vals.lanes(), mask.lanes(), "register/mask width mismatch");
+    let mut out = LaneVec::zeroed(vals.lanes());
+    let mut running = 0u64;
+    for lane in 0..vals.lanes() {
+        out.set(lane, running);
+        if mask.get(lane) {
+            running += vals.get(lane);
+        }
+    }
+    out
+}
+
+/// Broadcast `leader`'s lane value to every lane.
+pub fn broadcast<T: Copy>(vals: &LaneVec<T>, leader: usize) -> LaneVec<T> {
+    LaneVec::splat(vals.lanes(), vals.get(leader))
+}
+
+/// Result of the work-group counting sort used by the coalesced-APIs model
+/// (§3.3): messages grouped by destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountingSort {
+    /// Destinations that received at least one message, ascending.
+    pub dests: Vec<usize>,
+    /// `cnts[i]` = number of messages for `dests[i]`.
+    pub cnts: Vec<usize>,
+    /// Lane ids permuted so that lanes targeting `dests[0]` come first,
+    /// then `dests[1]`, etc. (stable within a destination). Only active
+    /// lanes appear.
+    pub order: Vec<usize>,
+}
+
+/// Counting sort of the active lanes by destination id (keys in
+/// `[0, node_count)`). Inactive lanes submit the non-interfering key
+/// `node_count` ("`INT_MAX`" in §5.2) and are dropped from the output.
+pub fn counting_sort_by_dest(dests: &LaneVec<usize>, mask: &Mask, node_count: usize) -> CountingSort {
+    assert_eq!(dests.lanes(), mask.lanes(), "register/mask width mismatch");
+    let mut cnts = vec![0usize; node_count];
+    for (_, d) in dests.iter_masked(mask) {
+        assert!(d < node_count, "destination {d} out of range {node_count}");
+        cnts[d] += 1;
+    }
+    // Exclusive prefix over the histogram gives each bucket's start.
+    let mut starts = vec![0usize; node_count];
+    let mut running = 0;
+    for d in 0..node_count {
+        starts[d] = running;
+        running += cnts[d];
+    }
+    let mut order = vec![0usize; running];
+    let mut cursor = starts.clone();
+    for (lane, d) in dests.iter_masked(mask) {
+        order[cursor[d]] = lane;
+        cursor[d] += 1;
+    }
+    let (dests_out, cnts_out) = (0..node_count).filter(|&d| cnts[d] > 0).map(|d| (d, cnts[d])).unzip();
+    CountingSort { dests: dests_out, cnts: cnts_out, order }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_matches_paper_example() {
+        // §2.1: A = [2,1,0,5], reduce-to-sum = 8.
+        let a = LaneVec::from_vec(vec![2u64, 1, 0, 5]);
+        assert_eq!(reduce_sum(&a, &Mask::all(4)), 8);
+    }
+
+    #[test]
+    fn prefix_sum_matches_paper_example() {
+        // §2.1: prefix sum of [2,1,0,5] is [0,2,3,3].
+        let a = LaneVec::from_vec(vec![2u64, 1, 0, 5]);
+        let ps = exclusive_prefix_sum(&a, &Mask::all(4));
+        assert_eq!(ps.as_slice(), &[0, 2, 3, 3]);
+    }
+
+    #[test]
+    fn inactive_lanes_submit_non_interfering_values() {
+        let a = LaneVec::from_vec(vec![100u64, 1, 100, 5]);
+        let m = Mask::from_fn(4, |l| l % 2 == 1);
+        assert_eq!(reduce_sum(&a, &m), 6);
+        assert_eq!(reduce_max(&a, &m, 0), 5);
+        let ps = exclusive_prefix_sum(&LaneVec::splat(4, 1u64), &m);
+        // lanes 0,2 inactive: offsets count only active predecessors.
+        assert_eq!(ps.as_slice(), &[0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn reduce_of_empty_mask_is_identity() {
+        let a = LaneVec::from_vec(vec![4u64, 5, 6]);
+        assert_eq!(reduce_sum(&a, &Mask::none(3)), 0);
+        assert_eq!(reduce_max(&a, &Mask::none(3), u64::MIN), u64::MIN);
+    }
+
+    #[test]
+    fn broadcast_splats_leader_value() {
+        let a = LaneVec::from_vec(vec![7u32, 8, 9]);
+        assert_eq!(broadcast(&a, 2).as_slice(), &[9, 9, 9]);
+    }
+
+    #[test]
+    fn counting_sort_groups_by_destination() {
+        // Lanes target nodes [2, 0, 2, 1, 0] — sorted: node0 lanes {1,4},
+        // node1 lane {3}, node2 lanes {0,2}.
+        let d = LaneVec::from_vec(vec![2usize, 0, 2, 1, 0]);
+        let cs = counting_sort_by_dest(&d, &Mask::all(5), 3);
+        assert_eq!(cs.dests, vec![0, 1, 2]);
+        assert_eq!(cs.cnts, vec![2, 1, 2]);
+        assert_eq!(cs.order, vec![1, 4, 3, 0, 2]);
+    }
+
+    #[test]
+    fn counting_sort_skips_inactive_lanes() {
+        let d = LaneVec::from_vec(vec![0usize, 1, 0, 1]);
+        let m = Mask::from_fn(4, |l| l < 2);
+        let cs = counting_sort_by_dest(&d, &m, 2);
+        assert_eq!(cs.dests, vec![0, 1]);
+        assert_eq!(cs.cnts, vec![1, 1]);
+        assert_eq!(cs.order, vec![0, 1]);
+    }
+
+    #[test]
+    fn counting_sort_all_same_destination() {
+        let d = LaneVec::splat(8, 3usize);
+        let cs = counting_sort_by_dest(&d, &Mask::all(8), 4);
+        assert_eq!(cs.dests, vec![3]);
+        assert_eq!(cs.cnts, vec![8]);
+        assert_eq!(cs.order, (0..8).collect::<Vec<_>>());
+    }
+}

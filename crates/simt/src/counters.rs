@@ -1,0 +1,126 @@
+//! Dynamic execution counters.
+//!
+//! The paper's microbenchmarks report *dynamically profiled* event counts —
+//! e.g. Figure 6 plots "atomic operations per work-item" next to queue
+//! throughput. The engine charges events to a [`Counters`] block carried by
+//! each work-group context; [`Counters::merge`] folds per-work-group blocks
+//! into grid totals.
+//!
+//! The cost accounting follows the SIMT execution model:
+//! * one *wavefront issue slot* is charged per wavefront per instruction,
+//!   no matter how many of its lanes are active (`wf_issue_slots`), and the
+//!   active-lane count is accumulated separately (`active_lane_slots`) so
+//!   SIMT utilization = `active_lane_slots / (wf_issue_slots * wf_width)`;
+//! * shared-memory atomics, barriers, and memory transactions (distinct
+//!   cache lines touched by a wavefront access) are counted individually.
+
+/// Event counters for a region of SIMT execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Wavefront-instruction issue slots (one per wavefront per instruction).
+    pub wf_issue_slots: u64,
+    /// Sum over issued instructions of the number of active lanes.
+    pub active_lane_slots: u64,
+    /// Shared-memory read-modify-write operations (fetch-add, CAS, ...).
+    pub atomics: u64,
+    /// Work-group barriers executed.
+    pub barriers: u64,
+    /// Cache-line transactions issued by the coalescer.
+    pub mem_transactions: u64,
+    /// Lane-level memory accesses presented to the coalescer.
+    pub mem_accesses: u64,
+    /// Work-group-level collective operations (reduce, prefix-sum, ...).
+    pub collectives: u64,
+    /// Messages offloaded to the network queue.
+    pub messages: u64,
+    /// Fine-grain-barrier join/leave/arrive events.
+    pub fbar_ops: u64,
+}
+
+impl Counters {
+    /// Fold `other` into `self` (grid aggregation).
+    pub fn merge(&mut self, other: &Counters) {
+        self.wf_issue_slots += other.wf_issue_slots;
+        self.active_lane_slots += other.active_lane_slots;
+        self.atomics += other.atomics;
+        self.barriers += other.barriers;
+        self.mem_transactions += other.mem_transactions;
+        self.mem_accesses += other.mem_accesses;
+        self.collectives += other.collectives;
+        self.messages += other.messages;
+        self.fbar_ops += other.fbar_ops;
+    }
+
+    /// Fraction of issued lane slots that held active lanes, in `[0, 1]`.
+    /// This is the paper's "SIMT utilization" criterion.
+    pub fn simt_utilization(&self, wf_width: usize) -> f64 {
+        if self.wf_issue_slots == 0 {
+            return 1.0;
+        }
+        self.active_lane_slots as f64 / (self.wf_issue_slots as f64 * wf_width as f64)
+    }
+
+    /// Atomic operations per offloaded message (Figure 6's right axis is
+    /// this quantity with one message per work-item).
+    pub fn atomics_per_message(&self) -> f64 {
+        if self.messages == 0 {
+            return 0.0;
+        }
+        self.atomics as f64 / self.messages as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_all_fields() {
+        let mut a = Counters { wf_issue_slots: 1, active_lane_slots: 2, atomics: 3, ..Default::default() };
+        let b = Counters {
+            wf_issue_slots: 10,
+            active_lane_slots: 20,
+            atomics: 30,
+            barriers: 1,
+            mem_transactions: 2,
+            mem_accesses: 3,
+            collectives: 4,
+            messages: 5,
+            fbar_ops: 6,
+        };
+        a.merge(&b);
+        assert_eq!(a.wf_issue_slots, 11);
+        assert_eq!(a.active_lane_slots, 22);
+        assert_eq!(a.atomics, 33);
+        assert_eq!(a.barriers, 1);
+        assert_eq!(a.mem_transactions, 2);
+        assert_eq!(a.mem_accesses, 3);
+        assert_eq!(a.collectives, 4);
+        assert_eq!(a.messages, 5);
+        assert_eq!(a.fbar_ops, 6);
+    }
+
+    #[test]
+    fn utilization_full_when_all_lanes_active() {
+        let c = Counters { wf_issue_slots: 10, active_lane_slots: 640, ..Default::default() };
+        assert!((c.simt_utilization(64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_half_when_half_active() {
+        let c = Counters { wf_issue_slots: 10, active_lane_slots: 320, ..Default::default() };
+        assert!((c.simt_utilization(64) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_of_empty_region_is_one() {
+        assert_eq!(Counters::default().simt_utilization(64), 1.0);
+    }
+
+    #[test]
+    fn atomics_per_message() {
+        let c = Counters { atomics: 4, messages: 256, ..Default::default() };
+        assert!((c.atomics_per_message() - 4.0 / 256.0).abs() < 1e-12);
+        assert_eq!(Counters::default().atomics_per_message(), 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Fine-grain barriers (HSA `fbar`, paper §5.3).
+//!
+//! An [`FBar`] lets an arbitrary subset of a work-group's work-items
+//! synchronize: lanes *join* the barrier, repeatedly *arrive* at it (one
+//! arrival per loop iteration in Fig. 10c), and *leave* when their private
+//! work is done. Collectives executed "on" the barrier involve exactly the
+//! registered lanes, so wavefronts whose lanes have all left stop executing
+//! — the property that distinguishes fbar execution (Fig. 11d) from
+//! software predication and work-group-granularity reconvergence
+//! (Fig. 11c).
+//!
+//! HSA's shipping `fbar` can only register whole wavefronts; the paper
+//! argues future GPUs should allow per-work-item registration. This model
+//! implements the per-work-item proposal (and can emulate the HSA
+//! restriction via [`FBar::join_wavefront`]).
+
+use crate::mask::Mask;
+
+/// Errors from misusing the fbar protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FBarError {
+    /// A lane joined twice without leaving.
+    AlreadyJoined(usize),
+    /// A lane arrived at or left a barrier it is not registered with.
+    NotJoined(usize),
+}
+
+impl std::fmt::Display for FBarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FBarError::AlreadyJoined(l) => write!(f, "lane {l} already joined fbar"),
+            FBarError::NotJoined(l) => write!(f, "lane {l} is not joined to fbar"),
+        }
+    }
+}
+
+impl std::error::Error for FBarError {}
+
+/// A fine-grain barrier over a work-group's lanes.
+#[derive(Debug, Clone)]
+pub struct FBar {
+    registered: Mask,
+    arrivals: u64,
+    ops: u64,
+}
+
+impl FBar {
+    /// `initfbar`: create a barrier for a `wg_size`-lane work-group with
+    /// no lanes registered.
+    pub fn init(wg_size: usize) -> Self {
+        FBar { registered: Mask::none(wg_size), arrivals: 0, ops: 1 }
+    }
+
+    /// `joinfbar` for one lane.
+    pub fn join(&mut self, lane: usize) -> Result<(), FBarError> {
+        if self.registered.get(lane) {
+            return Err(FBarError::AlreadyJoined(lane));
+        }
+        self.registered.set(lane, true);
+        self.ops += 1;
+        Ok(())
+    }
+
+    /// `joinfbar` for every lane in `mask` (Fig. 10c line 16 joins all
+    /// work-items at loop entry).
+    pub fn join_mask(&mut self, mask: &Mask) -> Result<(), FBarError> {
+        for lane in mask.iter() {
+            self.join(lane)?;
+        }
+        Ok(())
+    }
+
+    /// HSA-restricted join: register a whole wavefront at once.
+    pub fn join_wavefront(&mut self, wf: usize, wf_width: usize) -> Result<(), FBarError> {
+        let lo = wf * wf_width;
+        let hi = ((wf + 1) * wf_width).min(self.registered.lanes());
+        for lane in lo..hi {
+            self.join(lane)?;
+        }
+        Ok(())
+    }
+
+    /// `leavefbar`: a lane whose private work is done unregisters
+    /// (Fig. 10c lines 19-20).
+    pub fn leave(&mut self, lane: usize) -> Result<(), FBarError> {
+        if !self.registered.get(lane) {
+            return Err(FBarError::NotJoined(lane));
+        }
+        self.registered.set(lane, false);
+        self.ops += 1;
+        Ok(())
+    }
+
+    /// `waitfbar`: all registered lanes arrive and synchronize. In the
+    /// lockstep interpreter this is a bookkeeping event; the value returned
+    /// is the set of lanes that participated.
+    pub fn arrive(&mut self) -> Mask {
+        self.arrivals += 1;
+        self.ops += 1;
+        self.registered.clone()
+    }
+
+    /// Lanes currently registered.
+    pub fn registered(&self) -> &Mask {
+        &self.registered
+    }
+
+    /// Wavefronts that still have registered lanes — the wavefronts that
+    /// must keep executing. Fully-drained wavefronts are *not* listed:
+    /// this is the fbar advantage over WG-granularity control flow.
+    pub fn live_wavefronts(&self, wf_width: usize) -> Vec<usize> {
+        let wfs = self.registered.lanes().div_ceil(wf_width);
+        (0..wfs).filter(|&wf| self.registered.wavefront_any(wf, wf_width)).collect()
+    }
+
+    /// True when no lane remains registered (the diverged loop is done).
+    pub fn drained(&self) -> bool {
+        self.registered.is_empty()
+    }
+
+    /// Number of barrier arrivals so far.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Total fbar operations (init/join/leave/arrive) for cost accounting.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_leave_lifecycle() {
+        let mut fb = FBar::init(8);
+        fb.join_mask(&Mask::all(8)).unwrap();
+        assert_eq!(fb.registered().count(), 8);
+        fb.leave(3).unwrap();
+        assert_eq!(fb.registered().count(), 7);
+        assert!(!fb.registered().get(3));
+    }
+
+    #[test]
+    fn double_join_and_stray_leave_are_errors() {
+        let mut fb = FBar::init(4);
+        fb.join(1).unwrap();
+        assert_eq!(fb.join(1), Err(FBarError::AlreadyJoined(1)));
+        assert_eq!(fb.leave(2), Err(FBarError::NotJoined(2)));
+    }
+
+    #[test]
+    fn drained_wavefronts_stop_executing() {
+        // 2 wavefronts of 4 lanes; drain wavefront 1 entirely.
+        let mut fb = FBar::init(8);
+        fb.join_mask(&Mask::all(8)).unwrap();
+        for lane in 4..8 {
+            fb.leave(lane).unwrap();
+        }
+        assert_eq!(fb.live_wavefronts(4), vec![0]);
+        assert!(!fb.drained());
+        for lane in 0..4 {
+            fb.leave(lane).unwrap();
+        }
+        assert!(fb.drained());
+        assert!(fb.live_wavefronts(4).is_empty());
+    }
+
+    #[test]
+    fn arrive_returns_participants_and_counts() {
+        let mut fb = FBar::init(4);
+        fb.join(0).unwrap();
+        fb.join(2).unwrap();
+        let participants = fb.arrive();
+        assert_eq!(participants.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(fb.arrivals(), 1);
+    }
+
+    #[test]
+    fn wavefront_granularity_join_matches_hsa_restriction() {
+        let mut fb = FBar::init(8);
+        fb.join_wavefront(1, 4).unwrap();
+        assert_eq!(fb.registered().iter().collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+    }
+}

@@ -1,0 +1,68 @@
+//! # gravel-simt — a software SIMT (GPU) execution engine
+//!
+//! This crate is the GPU substrate of the Gravel reproduction. It models
+//! the execution machinery that the paper's mechanisms are built from:
+//!
+//! * **Wavefronts and work-groups** — lanes execute in lockstep; a
+//!   work-group is one or more wavefronts sharing a scratchpad and
+//!   barriers ([`grid`], [`workgroup`]).
+//! * **Predication and divergence** — control flow manipulates active-lane
+//!   masks ([`mask`], [`lanes`]); divergent loops run under
+//!   software predication, work-group-granularity reconvergence, or
+//!   fine-grain barriers ([`divergence`], [`fbar`]).
+//! * **Work-group-level collectives** — reduce, prefix-sum, broadcast,
+//!   leader election and counting sort over *active* lanes with
+//!   non-interfering identities for inactive lanes ([`collectives`]).
+//! * **Cost instrumentation** — wavefront issue slots, SIMT utilization,
+//!   atomics, barrier and coalescer transaction counts ([`counters`],
+//!   [`coalesce`]).
+//! * **Dispatch** — work-groups run concurrently on worker threads
+//!   ("compute units") and synchronize with host threads through real
+//!   atomics, modelling HSA fine-grain shared virtual memory
+//!   ([`engine`]).
+//!
+//! Kernels are ordinary Rust closures written in an explicitly-SIMT style:
+//!
+//! ```
+//! use gravel_simt::{Grid, SimtEngine, LaneVec};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let engine = SimtEngine::with_cus(2);
+//! let grid = Grid { wg_count: 4, wg_size: 64, wf_width: 64 };
+//! let total = AtomicU64::new(0);
+//! engine.dispatch(grid, |ctx| {
+//!     // Each work-group sums its global ids with one collective, and its
+//!     // leader publishes the sum with a single atomic.
+//!     let gids = LaneVec::from_fn(ctx.wg_size(), {
+//!         let base = ctx.wg_id() * ctx.wg_size();
+//!         move |l| (base + l) as u64
+//!     });
+//!     let sum = ctx.reduce_sum(&gids);
+//!     total.fetch_add(sum, Ordering::Relaxed);
+//! });
+//! let n = (4 * 64) as u64;
+//! assert_eq!(total.load(Ordering::Relaxed), n * (n - 1) / 2);
+//! ```
+
+pub mod coalesce;
+pub mod collectives;
+pub mod counters;
+pub mod divergence;
+pub mod engine;
+pub mod fbar;
+pub mod grid;
+pub mod lanes;
+pub mod mask;
+pub mod scratchpad;
+pub mod workgroup;
+
+pub use coalesce::CACHE_LINE;
+pub use counters::Counters;
+pub use divergence::{diverged_for, DivergedCosts, DivergedMode};
+pub use engine::{DispatchResult, SimtEngine, DEFAULT_NUM_CUS};
+pub use fbar::FBar;
+pub use grid::{Grid, DEFAULT_WF_WIDTH, DEFAULT_WG_SIZE};
+pub use lanes::LaneVec;
+pub use mask::Mask;
+pub use scratchpad::Scratchpad;
+pub use workgroup::{ExecScope, WgCtx};

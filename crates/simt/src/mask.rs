@@ -1,0 +1,242 @@
+//! Active-lane masks.
+//!
+//! A [`Mask`] records which lanes of a work-group are *active* (predicated
+//! on) at a point in the control-flow graph. GPUs execute branches with
+//! hardware predication: both sides of a branch run, with the lanes that did
+//! not take the current side masked off. The software SIMT engine models the
+//! same mechanism explicitly — every divergent construct manipulates a
+//! `Mask`, and the cost counters charge a full wavefront issue slot whether
+//! one lane or all lanes are active.
+//!
+//! Masks are stored as packed 64-bit words, one bit per lane, so a mask over
+//! a 256-lane work-group occupies four words and per-wavefront views are
+//! cheap sub-slices when the wavefront width is 64.
+
+/// Bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// An active-lane mask over the lanes of a work-group (or wavefront).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Mask {
+    words: Vec<u64>,
+    lanes: usize,
+}
+
+impl std::fmt::Debug for Mask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mask[{}](", self.lanes)?;
+        for lane in 0..self.lanes {
+            write!(f, "{}", u8::from(self.get(lane)))?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Mask {
+    /// A mask with all `lanes` lanes active.
+    pub fn all(lanes: usize) -> Self {
+        let mut m = Self::none(lanes);
+        for lane in 0..lanes {
+            m.set(lane, true);
+        }
+        m
+    }
+
+    /// A mask with all `lanes` lanes inactive.
+    pub fn none(lanes: usize) -> Self {
+        let words = lanes.div_ceil(WORD_BITS);
+        Mask { words: vec![0; words], lanes }
+    }
+
+    /// Build a mask from a per-lane predicate.
+    pub fn from_fn(lanes: usize, mut pred: impl FnMut(usize) -> bool) -> Self {
+        let mut m = Self::none(lanes);
+        for lane in 0..lanes {
+            if pred(lane) {
+                m.set(lane, true);
+            }
+        }
+        m
+    }
+
+    /// Number of lanes the mask covers (active or not).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Whether `lane` is active.
+    #[inline]
+    pub fn get(&self, lane: usize) -> bool {
+        debug_assert!(lane < self.lanes);
+        self.words[lane / WORD_BITS] >> (lane % WORD_BITS) & 1 == 1
+    }
+
+    /// Set `lane` active (`true`) or inactive (`false`).
+    #[inline]
+    pub fn set(&mut self, lane: usize, active: bool) {
+        debug_assert!(lane < self.lanes);
+        let word = &mut self.words[lane / WORD_BITS];
+        let bit = 1u64 << (lane % WORD_BITS);
+        if active {
+            *word |= bit;
+        } else {
+            *word &= !bit;
+        }
+    }
+
+    /// Number of active lanes.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no lane is active.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True when every lane is active.
+    pub fn is_full(&self) -> bool {
+        self.count() == self.lanes
+    }
+
+    /// Lane id of the highest active lane, if any. Gravel elects this lane
+    /// as the work-group *leader* (paper Fig. 5b: `reduce_max(LANE_ID)`).
+    pub fn leader(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + (WORD_BITS - 1 - w.leading_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Iterator over active lane ids, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.lanes).filter(move |&lane| self.get(lane))
+    }
+
+    /// Lane-wise AND.
+    pub fn and(&self, other: &Mask) -> Mask {
+        assert_eq!(self.lanes, other.lanes, "mask width mismatch");
+        Mask {
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+            lanes: self.lanes,
+        }
+    }
+
+    /// Lane-wise OR.
+    pub fn or(&self, other: &Mask) -> Mask {
+        assert_eq!(self.lanes, other.lanes, "mask width mismatch");
+        Mask {
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect(),
+            lanes: self.lanes,
+        }
+    }
+
+    /// Lanes active in `self` but not in `other` (the "else" side of a
+    /// branch whose "then" side is `other`).
+    pub fn and_not(&self, other: &Mask) -> Mask {
+        assert_eq!(self.lanes, other.lanes, "mask width mismatch");
+        Mask {
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & !b).collect(),
+            lanes: self.lanes,
+        }
+    }
+
+    /// Active lanes restricted to one wavefront: lanes
+    /// `[wf * wf_width, (wf + 1) * wf_width)`.
+    pub fn wavefront_view(&self, wf: usize, wf_width: usize) -> Mask {
+        let lo = wf * wf_width;
+        let hi = ((wf + 1) * wf_width).min(self.lanes);
+        Mask::from_fn(self.lanes, |lane| lane >= lo && lane < hi && self.get(lane))
+    }
+
+    /// Count of active lanes within one wavefront.
+    pub fn wavefront_count(&self, wf: usize, wf_width: usize) -> usize {
+        let lo = wf * wf_width;
+        let hi = ((wf + 1) * wf_width).min(self.lanes);
+        (lo..hi).filter(|&lane| self.get(lane)).count()
+    }
+
+    /// True when any lane of wavefront `wf` is active.
+    pub fn wavefront_any(&self, wf: usize, wf_width: usize) -> bool {
+        self.wavefront_count(wf, wf_width) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_and_none() {
+        let a = Mask::all(100);
+        assert_eq!(a.count(), 100);
+        assert!(a.is_full());
+        assert!(!a.is_empty());
+        let n = Mask::none(100);
+        assert_eq!(n.count(), 0);
+        assert!(n.is_empty());
+        assert!(!n.is_full());
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut m = Mask::none(130);
+        for lane in [0, 1, 63, 64, 65, 127, 128, 129] {
+            m.set(lane, true);
+            assert!(m.get(lane), "lane {lane}");
+        }
+        assert_eq!(m.count(), 8);
+        m.set(64, false);
+        assert!(!m.get(64));
+        assert_eq!(m.count(), 7);
+    }
+
+    #[test]
+    fn leader_is_highest_active_lane() {
+        let mut m = Mask::none(256);
+        assert_eq!(m.leader(), None);
+        m.set(3, true);
+        assert_eq!(m.leader(), Some(3));
+        m.set(200, true);
+        assert_eq!(m.leader(), Some(200));
+        m.set(255, true);
+        assert_eq!(m.leader(), Some(255));
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let a = Mask::from_fn(10, |l| l % 2 == 0);
+        let b = Mask::from_fn(10, |l| l < 5);
+        assert_eq!(a.and(&b).count(), 3); // 0, 2, 4
+        assert_eq!(a.or(&b).count(), 7); // 0..5 plus 6, 8
+        assert_eq!(a.and_not(&b).count(), 2); // 6, 8
+    }
+
+    #[test]
+    fn wavefront_views() {
+        let m = Mask::from_fn(128, |l| l < 70);
+        assert_eq!(m.wavefront_count(0, 64), 64);
+        assert_eq!(m.wavefront_count(1, 64), 6);
+        assert!(m.wavefront_any(1, 64));
+        let wf1 = m.wavefront_view(1, 64);
+        assert_eq!(wf1.count(), 6);
+        assert!(!wf1.get(0));
+        assert!(wf1.get(64));
+    }
+
+    #[test]
+    fn iter_yields_active_ascending() {
+        let m = Mask::from_fn(70, |l| l == 2 || l == 65);
+        let lanes: Vec<_> = m.iter().collect();
+        assert_eq!(lanes, vec![2, 65]);
+    }
+
+    #[test]
+    fn wavefront_view_partial_last_wavefront() {
+        // 100 lanes, wf width 64: second wavefront covers lanes 64..100.
+        let m = Mask::all(100);
+        assert_eq!(m.wavefront_count(1, 64), 36);
+    }
+}

@@ -1,0 +1,149 @@
+//! Work-group scratchpad (local data share).
+//!
+//! Each compute unit has a programmer-managed scratchpad cache shared by the
+//! work-groups resident on it (paper Fig. 1). Capacity is a first-class
+//! constraint: the coalesced-APIs model's per-work-group counting sort
+//! consumes 4 kB for a 256-lane work-group (§3.3), and `mer`'s heavy
+//! scratchpad usage limits occupancy (§7.2). The model therefore tracks an
+//! allocation high-water mark so occupancy effects can be derived.
+
+/// Scratchpad capacity of one compute unit in bytes (64 kB, typical for
+/// GCN-era AMD hardware).
+pub const DEFAULT_CAPACITY: usize = 64 * 1024;
+
+/// A bump-allocated, typed scratchpad for one work-group.
+#[derive(Debug)]
+pub struct Scratchpad {
+    capacity: usize,
+    allocated: usize,
+    high_water: usize,
+}
+
+/// Error returned when a work-group requests more scratchpad than the
+/// compute unit provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchpadOverflow {
+    /// Bytes requested by the failing allocation.
+    pub requested: usize,
+    /// Bytes still available at the time of the request.
+    pub available: usize,
+}
+
+impl std::fmt::Display for ScratchpadOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scratchpad overflow: requested {} B with {} B available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for ScratchpadOverflow {}
+
+impl Scratchpad {
+    /// A scratchpad with the default 64 kB capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A scratchpad with an explicit capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Scratchpad { capacity, allocated: 0, high_water: 0 }
+    }
+
+    /// Allocate a typed array of `len` elements, zero-initialised.
+    pub fn alloc<T: Copy + Default>(&mut self, len: usize) -> Result<Vec<T>, ScratchpadOverflow> {
+        let bytes = len * std::mem::size_of::<T>();
+        if self.allocated + bytes > self.capacity {
+            return Err(ScratchpadOverflow {
+                requested: bytes,
+                available: self.capacity - self.allocated,
+            });
+        }
+        self.allocated += bytes;
+        self.high_water = self.high_water.max(self.allocated);
+        Ok(vec![T::default(); len])
+    }
+
+    /// Release `len` elements of `T` (kernel-scope bump free; work-groups
+    /// free everything at kernel end, but divergence studies reuse space).
+    pub fn free<T>(&mut self, len: usize) {
+        let bytes = len * std::mem::size_of::<T>();
+        self.allocated = self.allocated.saturating_sub(bytes);
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Maximum bytes ever allocated simultaneously.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many work-groups with this scratchpad footprint fit on one
+    /// compute unit (occupancy limit; at least 1 footprint must fit).
+    pub fn occupancy_limit(cu_capacity: usize, footprint: usize) -> usize {
+        if footprint == 0 {
+            usize::MAX
+        } else {
+            cu_capacity / footprint
+        }
+    }
+}
+
+impl Default for Scratchpad {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_tracks_bytes_and_high_water() {
+        let mut sp = Scratchpad::with_capacity(1024);
+        let a: Vec<u64> = sp.alloc(64).unwrap(); // 512 B
+        assert_eq!(a.len(), 64);
+        assert_eq!(sp.allocated(), 512);
+        sp.free::<u64>(64);
+        assert_eq!(sp.allocated(), 0);
+        assert_eq!(sp.high_water(), 512);
+    }
+
+    #[test]
+    fn overflow_is_reported_not_panicked() {
+        let mut sp = Scratchpad::with_capacity(100);
+        let err = sp.alloc::<u64>(20).unwrap_err(); // 160 B > 100 B
+        assert_eq!(err.requested, 160);
+        assert_eq!(err.available, 100);
+    }
+
+    #[test]
+    fn coalesced_api_footprint_matches_paper() {
+        // §3.3: a 256-WI work-group uses 4 kB of scratchpad for the sort
+        // (256 × 8 B pointers + 2 × node-count int arrays ≈ 4 kB with
+        // NODE_COUNT = 8 … 256). Check the dominant term.
+        let mut sp = Scratchpad::new();
+        let _ptrs: Vec<i64> = sp.alloc(256).unwrap(); // 2 kB
+        let _dests: Vec<i32> = sp.alloc(256).unwrap(); // 1 kB
+        let _cnts: Vec<i32> = sp.alloc(256).unwrap(); // 1 kB
+        assert_eq!(sp.allocated(), 4096);
+    }
+
+    #[test]
+    fn occupancy_limit() {
+        assert_eq!(Scratchpad::occupancy_limit(64 * 1024, 4096), 16);
+        assert_eq!(Scratchpad::occupancy_limit(64 * 1024, 40 * 1024), 1);
+        assert_eq!(Scratchpad::occupancy_limit(64 * 1024, 0), usize::MAX);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the SIMT engine's core invariants.
+
+use gravel_simt::{
+    collectives, diverged_for, DivergedCosts, DivergedMode, Grid, LaneVec, Mask, SimtEngine,
+    WgCtx,
+};
+use proptest::prelude::*;
+
+/// Arbitrary mask over `lanes` lanes from a bit vector.
+fn mask_from_bits(bits: &[bool]) -> Mask {
+    Mask::from_fn(bits.len(), |l| bits[l])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Reduce over active lanes equals the scalar fold over the same
+    /// lanes, for arbitrary masks and values.
+    #[test]
+    fn reduce_matches_scalar_fold(
+        vals in prop::collection::vec(0u64..1_000_000, 1..200),
+        bits in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let lanes = vals.len().min(bits.len());
+        let vals = LaneVec::from_vec(vals[..lanes].to_vec());
+        let mask = mask_from_bits(&bits[..lanes]);
+        let sum = collectives::reduce_sum(&vals, &mask);
+        let expect: u64 = mask.iter().map(|l| vals.get(l)).sum();
+        prop_assert_eq!(sum, expect);
+        let max = collectives::reduce_max(&vals, &mask, 0);
+        let expect_max = mask.iter().map(|l| vals.get(l)).max().unwrap_or(0);
+        prop_assert_eq!(max, expect_max);
+    }
+
+    /// Exclusive prefix sum: every lane's value equals the sum of active
+    /// predecessors; reconstructing the total from the last active lane
+    /// matches the reduction.
+    #[test]
+    fn prefix_sum_is_exclusive_running_total(
+        vals in prop::collection::vec(0u64..1000, 1..200),
+        bits in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let lanes = vals.len().min(bits.len());
+        let vals = LaneVec::from_vec(vals[..lanes].to_vec());
+        let mask = mask_from_bits(&bits[..lanes]);
+        let ps = collectives::exclusive_prefix_sum(&vals, &mask);
+        let mut running = 0u64;
+        for l in 0..lanes {
+            prop_assert_eq!(ps.get(l), running, "lane {}", l);
+            if mask.get(l) {
+                running += vals.get(l);
+            }
+        }
+        prop_assert_eq!(running, collectives::reduce_sum(&vals, &mask));
+    }
+
+    /// Counting sort groups every active lane exactly once, in
+    /// destination order.
+    #[test]
+    fn counting_sort_is_a_permutation_of_active_lanes(
+        dests in prop::collection::vec(0usize..8, 1..200),
+        bits in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let lanes = dests.len().min(bits.len());
+        let dv = LaneVec::from_vec(dests[..lanes].to_vec());
+        let mask = mask_from_bits(&bits[..lanes]);
+        let cs = collectives::counting_sort_by_dest(&dv, &mask, 8);
+        // Exactly the active lanes appear.
+        let mut sorted = cs.order.clone();
+        sorted.sort_unstable();
+        let active: Vec<usize> = mask.iter().collect();
+        prop_assert_eq!(sorted, active);
+        // Counts per destination match.
+        let total: usize = cs.cnts.iter().sum();
+        prop_assert_eq!(total, mask.count());
+        // Order is grouped by destination, ascending.
+        let mut off = 0;
+        for (d, &cnt) in cs.dests.iter().zip(&cs.cnts) {
+            for &lane in &cs.order[off..off + cnt] {
+                prop_assert_eq!(dv.get(lane), *d);
+            }
+            off += cnt;
+        }
+    }
+
+    /// Mask boolean algebra: and/or/and_not behave like sets.
+    #[test]
+    fn mask_boolean_algebra(
+        a in prop::collection::vec(any::<bool>(), 1..200),
+        b in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let lanes = a.len().min(b.len());
+        let ma = mask_from_bits(&a[..lanes]);
+        let mb = mask_from_bits(&b[..lanes]);
+        prop_assert_eq!(ma.and(&mb).count() + ma.and_not(&mb).count(), ma.count());
+        prop_assert_eq!(ma.or(&mb).count(), ma.count() + mb.count() - ma.and(&mb).count());
+        for l in ma.and(&mb).iter() {
+            prop_assert!(ma.get(l) && mb.get(l));
+        }
+    }
+
+    /// Every diverged mode executes each lane exactly `trips[lane]` times.
+    #[test]
+    fn diverged_modes_agree_for_arbitrary_trip_counts(
+        trips in prop::collection::vec(0u64..6, 8..64),
+    ) {
+        // Round lanes up to a wavefront multiple.
+        let wg = trips.len().next_multiple_of(8);
+        let mut trips = trips;
+        trips.resize(wg, 0);
+        let grid = Grid { wg_count: 1, wg_size: wg, wf_width: 8 };
+        let reference: Vec<u64> = trips.clone();
+        let mut results = Vec::new();
+        for mode in [
+            DivergedMode::SoftwarePredication,
+            DivergedMode::WgReconvergence,
+            DivergedMode::FineGrainBarrier,
+        ] {
+            let mut ctx = WgCtx::new(grid, 0);
+            let tc = LaneVec::from_vec(trips.clone());
+            let mut acc = vec![0u64; wg];
+            diverged_for(&mut ctx, &tc, mode, DivergedCosts::default(), |ctx, _| {
+                for l in ctx.active().clone().iter() {
+                    acc[l] += 1;
+                }
+            });
+            results.push(acc);
+        }
+        for r in &results {
+            prop_assert_eq!(r, &reference);
+        }
+    }
+
+    /// Dispatch with any CU count yields the same per-work-group outputs.
+    #[test]
+    fn dispatch_output_independent_of_cu_count(
+        wgs in 1usize..12,
+        cus in 1usize..5,
+    ) {
+        let grid = Grid { wg_count: wgs, wg_size: 16, wf_width: 8 };
+        let (seq, _) = SimtEngine::with_cus(1).dispatch_map(grid, |ctx| ctx.wg_id() * 3 + 1);
+        let (par, _) = SimtEngine::with_cus(cus).dispatch_map(grid, |ctx| ctx.wg_id() * 3 + 1);
+        prop_assert_eq!(seq, par);
+    }
+}

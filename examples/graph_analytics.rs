@@ -1,0 +1,71 @@
+//! Distributed graph analytics: PageRank, SSSP, and coloring (paper §6)
+//! on synthetic stands-in for the paper's graphs, run live on a
+//! three-node cluster and verified against sequential references — then
+//! projected to eight nodes with the calibrated cluster model.
+//!
+//! ```sh
+//! cargo run --release --example graph_analytics
+//! ```
+
+use gravel_apps::graph::{gen, reference};
+use gravel_apps::{color, pagerank, sssp};
+use gravel_cluster::{simulate, Calibration, Style};
+use gravel_core::{GravelConfig, GravelRuntime};
+
+fn main() {
+    let nodes = 3;
+    let g = gen::hugebubbles_like(10_000, 7);
+    println!(
+        "graph: {} vertices, {} edges (hugebubbles-like mesh)",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // --- PageRank: exact fixed-point equality with the reference -------
+    let damping = pagerank::default_damping();
+    let rt = GravelRuntime::new(GravelConfig::small(nodes, g.num_vertices()));
+    let live = pagerank::run_live(&rt, &g, 5, damping);
+    rt.shutdown();
+    let seq = reference::pagerank(&g, 5, damping);
+    assert_eq!(live, seq, "distributed PageRank must match bit-for-bit");
+    let top = (0..g.num_vertices()).max_by_key(|&v| live[v]).unwrap();
+    println!("PageRank: 5 iterations verified; top vertex = {top}");
+
+    // --- SSSP: active-message relax-min, checked against Dijkstra ------
+    let mut relax_id = 0;
+    let rt = GravelRuntime::with_handlers(GravelConfig::small(nodes, g.num_vertices()), |reg| {
+        relax_id = sssp::register(reg);
+    });
+    let dist = sssp::run_live(&rt, &g, 0, relax_id);
+    rt.shutdown();
+    assert_eq!(dist, reference::sssp(&g, 0));
+    let reachable = dist.iter().filter(|&&d| d != sssp::INF).count();
+    println!("SSSP: verified against Dijkstra; {reachable} vertices reachable from 0");
+
+    // --- Coloring: speculative rounds with PUT ghost updates -----------
+    let small = gen::hugebubbles_like(400, 9);
+    let rt = GravelRuntime::new(GravelConfig::small(nodes, small.num_vertices()));
+    let colors = color::run_live(&rt, &small);
+    rt.shutdown();
+    assert!(reference::coloring_valid(&small.symmetrized(), &colors));
+    println!(
+        "coloring: proper with {} colors",
+        colors.iter().max().unwrap() + 1
+    );
+
+    // --- Project PR-1 to eight nodes with the cluster model ------------
+    // The model's fixed per-superstep costs (kernel launch, flush
+    // timeout) need a decently-sized graph to amortize, as they do on
+    // real hardware.
+    let big = gen::hugebubbles_like(250_000, 7);
+    let cal = Calibration::paper();
+    let t1 = pagerank::trace("PR-1", &big, 1, 10);
+    let t8 = pagerank::trace("PR-1", &big, 8, 10);
+    let r1 = simulate(&t1, &cal, &Style::Gravel.params(&cal));
+    let r8 = simulate(&t8, &cal, &Style::Gravel.params(&cal));
+    println!(
+        "model: PR on this graph at 8 nodes → {:.2}x speedup, avg packet {:.0} B",
+        r1.total_ns as f64 / r8.total_ns as f64,
+        r8.avg_packet_bytes()
+    );
+}

@@ -1,0 +1,56 @@
+//! The §3 programming-model shootout on one workload: run the same GUPS
+//! problem through all four *real* implementations (coprocessor,
+//! message-per-lane, coalesced APIs, Gravel), verify they agree, and
+//! compare their measured SIMT behaviour — a miniature of Table 1/2 and
+//! Figure 15.
+//!
+//! ```sh
+//! cargo run --release --example style_shootout
+//! ```
+
+use gravel_apps::gups_styles;
+
+fn main() {
+    let nodes = 3;
+    let table_len = 512;
+    let updates: Vec<Vec<usize>> = (0..nodes)
+        .map(|n| (0..4000).map(|i| (i * 37 + n * 911) % table_len).collect())
+        .collect();
+
+    let mut reference: Option<Vec<u64>> = None;
+    println!("{:<16} {:>10} {:>12} {:>14} {:>12}", "model", "time", "issue slots", "SIMT util", "atomics");
+    // Wavefront width differs per implementation (the Gravel runtime's
+    // test config runs 32-wide wavefronts; the rest use 64).
+    for (name, wf, run) in [
+        (
+            "coprocessor",
+            64,
+            gups_styles::coprocessor::run_counted
+                as fn(usize, &[Vec<usize>], usize) -> (Vec<u64>, gravel_simt::Counters),
+        ),
+        ("msg-per-lane", 64, gups_styles::msg_per_lane::run_counted),
+        ("coalesced", 64, gups_styles::coalesced::run_counted),
+        ("Gravel", 32, gups_styles::gravel_style::run_counted),
+    ] {
+        let start = std::time::Instant::now();
+        let (hist, counters) = run(nodes, &updates, table_len);
+        let elapsed = start.elapsed();
+        match &reference {
+            None => reference = Some(hist),
+            Some(r) => assert_eq!(&hist, r, "{name} disagrees"),
+        }
+        println!(
+            "{:<16} {:>10.2?} {:>12} {:>13.1}% {:>12}",
+            name,
+            elapsed,
+            counters.wf_issue_slots,
+            counters.simt_utilization(wf) * 100.0,
+            counters.atomics
+        );
+    }
+    println!("\nall four models computed identical histograms");
+
+    for (name, loc) in gups_styles::table2() {
+        println!("{name:<36} {:>4} host + {:>3} GPU lines", loc.host, loc.gpu);
+    }
+}

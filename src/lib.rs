@@ -1,0 +1,24 @@
+//! # gravel-repro — umbrella crate
+//!
+//! Re-exports every layer of the Gravel (SC'17) reproduction so the
+//! examples and integration tests (and downstream users who want one
+//! dependency) can reach the whole stack:
+//!
+//! * [`runtime`] — the live Gravel runtime (`gravel-core`)
+//! * [`simt`] — the software GPU engine
+//! * [`gq`] — the producer/consumer queues
+//! * [`pgas`] — symmetric heap, partitioning, aggregation queues
+//! * [`desim`] — the discrete-event kernel
+//! * [`cluster`] — the calibrated multi-node performance models
+//! * [`apps`] — the paper's application suite
+//!
+//! See the repository README for a tour and EXPERIMENTS.md for the
+//! paper-vs-measured results.
+
+pub use gravel_apps as apps;
+pub use gravel_cluster as cluster;
+pub use gravel_core as runtime;
+pub use gravel_desim as desim;
+pub use gravel_gq as gq;
+pub use gravel_pgas as pgas;
+pub use gravel_simt as simt;

