@@ -210,7 +210,7 @@ mod tests {
         let g = gen::hugebubbles_like(100, 21);
         let rt = GravelRuntime::new(GravelConfig::small(2, g.num_vertices()));
         let colors = run_live(&rt, &g);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         assert!(reference::coloring_valid(&g.symmetrized(), &colors));
         // A triangular mesh colors with few colors.
         let max = colors.iter().max().unwrap();
@@ -222,7 +222,7 @@ mod tests {
         let g = gen::cage15_like(64, 22);
         let rt = GravelRuntime::new(GravelConfig::small(3, g.num_vertices()));
         let colors = run_live(&rt, &g);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         assert!(reference::coloring_valid(&g.symmetrized(), &colors));
     }
 

@@ -69,8 +69,7 @@ pub fn run<P: VertexProgram>(rt: &GravelRuntime, graph: &Csr, program: &P) -> Ve
         // Scatter phase: one message per out-edge of a scattering vertex.
         let shares: Vec<Option<u64>> =
             (0..n as u32).map(|u| program.scatter(u, state[u as usize], graph)).collect();
-        for node in 0..nodes {
-            let edges = &node_edges[node];
+        for (node, edges) in node_edges.iter().enumerate() {
             if edges.is_empty() {
                 continue;
             }
@@ -95,13 +94,13 @@ pub fn run<P: VertexProgram>(rt: &GravelRuntime, graph: &Csr, program: &P) -> Ve
         rt.quiesce();
         // Apply phase: fold accumulators, detect global convergence.
         let mut changed = false;
-        for v in 0..n {
+        for (v, s) in state.iter_mut().enumerate() {
             let owner = part.owner(v);
             let acc = rt.heap(owner).load(part.local_offset(v));
-            let next = program.apply(v as u32, state[v], acc, graph);
-            if next != state[v] {
+            let next = program.apply(v as u32, *s, acc, graph);
+            if next != *s {
                 changed = true;
-                state[v] = next;
+                *s = next;
             }
         }
         for node in 0..nodes {
@@ -130,12 +129,7 @@ impl VertexProgram for PageRankProgram {
     }
 
     fn scatter(&self, u: u32, state: u64, g: &Csr) -> Option<u64> {
-        let d = g.out_degree(u) as u64;
-        if d == 0 {
-            None
-        } else {
-            Some(state / d)
-        }
+        state.checked_div(g.out_degree(u) as u64)
     }
 
     fn apply(&self, _u: u32, _state: u64, acc: u64, g: &Csr) -> u64 {
@@ -189,7 +183,7 @@ mod tests {
         let damping = crate::pagerank::default_damping();
         let rt = GravelRuntime::new(GravelConfig::small(3, 64));
         let got = run(&rt, &g, &PageRankProgram { damping, iters: 3 });
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         assert_eq!(got, reference::pagerank(&g, 3, damping));
     }
 
@@ -207,7 +201,7 @@ mod tests {
         );
         let rt = GravelRuntime::new(GravelConfig::small(2, 4));
         let got = run(&rt, &g, &InDegreeProgram);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         assert_eq!(got, vec![2, 3, 3, 2]);
         assert_eq!(got, reference::in_degrees(&g));
     }
@@ -217,7 +211,7 @@ mod tests {
         let g = crate::graph::Csr::from_unweighted(3, vec![]);
         let rt = GravelRuntime::new(GravelConfig::small(2, 4));
         let got = run(&rt, &g, &InDegreeProgram);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         assert_eq!(got, vec![0, 0, 0]);
     }
 }

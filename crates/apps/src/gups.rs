@@ -137,7 +137,7 @@ mod tests {
         let issued = run_live(&rt, &input);
         assert_eq!(issued, input.updates as u64);
         assert!(verify_live(&rt, &input));
-        let stats = rt.shutdown();
+        let stats = rt.shutdown().expect("clean shutdown");
         assert_eq!(stats.total_offloaded(), input.updates as u64);
         // Cyclic partition + uniform updates ⇒ ~half remote at 2 nodes.
         assert!((stats.remote_fraction() - 0.5).abs() < 0.05, "{}", stats.remote_fraction());

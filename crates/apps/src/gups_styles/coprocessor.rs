@@ -87,13 +87,13 @@ pub fn run_counted(
         }
         // "Send" every per-node queue and apply it at the destination
         // (lines 8-13 of Fig. 4a; the memcpy is the wire).
-        for src in 0..nodes {
-            for dest in 0..nodes {
-                let count = queues[src].fill[dest].load(Ordering::Acquire) as usize;
+        for q in &queues {
+            for (dest, heap) in heaps.iter().enumerate() {
+                let count = q.fill[dest].load(Ordering::Acquire) as usize;
                 for slot in 0..count.min(Q_SZ) {
-                    let enc = queues[src].queues[dest][slot].load(Ordering::Acquire);
+                    let enc = q.queues[dest][slot].load(Ordering::Acquire);
                     assert!(enc != 0, "reserved slot left unwritten");
-                    heaps[dest].fetch_add(enc - 1, 1);
+                    heap.fetch_add(enc - 1, 1);
                 }
             }
         }

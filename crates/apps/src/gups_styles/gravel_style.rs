@@ -38,7 +38,7 @@ pub fn run_counted(
     let out = (0..table_len)
         .map(|g| rt.heap(part.owner(g)).load(part.local_offset(g)))
         .collect();
-    rt.shutdown();
+    rt.shutdown().expect("clean shutdown");
     (out, counters)
     // --- end host code ---
 }

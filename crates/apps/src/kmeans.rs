@@ -133,14 +133,14 @@ pub fn run_live(rt: &GravelRuntime, input: &KmeansInput) -> Vec<(u64, u64)> {
         }
         rt.quiesce();
         // New centers from the distributed accumulators.
-        for c in 0..input.clusters {
+        for (c, center) in centers.iter_mut().enumerate() {
             let read = |cell: usize| {
                 let g = 3 * c + cell;
                 rt.heap(part.owner(g)).load(part.local_offset(g))
             };
             let (sx, sy, cnt) = (read(0), read(1), read(2));
-            if cnt > 0 {
-                centers[c] = (sx / cnt, sy / cnt);
+            if let (Some(x), Some(y)) = (sx.checked_div(cnt), sy.checked_div(cnt)) {
+                *center = (x, y);
             }
         }
     }
@@ -161,8 +161,8 @@ pub fn reference(input: &KmeansInput, nodes: usize) -> Vec<(u64, u64)> {
             acc[c].2 += 1;
         }
         for (c, &(sx, sy, cnt)) in acc.iter().enumerate() {
-            if cnt > 0 {
-                centers[c] = (sx / cnt, sy / cnt);
+            if let (Some(x), Some(y)) = (sx.checked_div(cnt), sy.checked_div(cnt)) {
+                centers[c] = (x, y);
             }
         }
     }
@@ -196,8 +196,8 @@ pub fn trace(input: &KmeansInput, nodes: usize) -> WorkloadTrace {
             }
         }
         for (c, &(sx, sy, cnt)) in acc.iter().enumerate() {
-            if cnt > 0 {
-                centers[c] = (sx / cnt, sy / cnt);
+            if let (Some(x), Some(y)) = (sx.checked_div(cnt), sy.checked_div(cnt)) {
+                centers[c] = (x, y);
             }
         }
         t.push_step(StepTrace {
@@ -215,9 +215,9 @@ pub fn trace(input: &KmeansInput, nodes: usize) -> WorkloadTrace {
         let mut broadcast = vec![vec![0u64; nodes]; nodes];
         for c in 0..input.clusters {
             let owner = part.owner(3 * c);
-            for d in 0..nodes {
+            for (d, b) in broadcast[owner].iter_mut().enumerate() {
                 if d != owner {
-                    broadcast[owner][d] += 1;
+                    *b += 1;
                 }
             }
         }
@@ -245,7 +245,7 @@ mod tests {
         let input = KmeansInput::small();
         let rt = GravelRuntime::new(GravelConfig::small(2, 3 * input.clusters));
         let live = run_live(&rt, &input);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         assert_eq!(live, reference(&input, 2));
     }
 

@@ -212,7 +212,7 @@ mod tests {
         let issued = run_live(&rt, &input, table_len, insert_id);
         assert!(issued as usize >= expected.len(), "duplicates expected from overlaps");
         let got = collect_table(&rt);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         assert_eq!(got, expected);
     }
 

@@ -177,7 +177,7 @@ pub fn traverse(
                 let addrs = LaneVec::from_fn(w, |l| {
                     pack_addr(part.local_offset(global(l)), 0, gids.get(l) as u64)
                 });
-                let vals = LaneVec::from_fn(w, |l| walk(l));
+                let vals = LaneVec::from_fn(w, walk);
                 ctx.shmem_am(lookup_id, &dests, &addrs, &vals);
             });
         });
@@ -281,7 +281,7 @@ mod tests {
             .take(8)
             .collect();
         let walks = traverse(&rt, &seeds, input.k, table_len, 200, 1);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         let expect = reference_contigs(&input, nodes, &seeds, 200);
         let got: Vec<Vec<u8>> = walks.into_iter().map(|w| w.contig).collect();
         assert_eq!(got, expect);
@@ -303,7 +303,7 @@ mod tests {
             .map(|r| crate::mer::pack_kmer(&r[..input.k]))
             .collect();
         let walks = traverse(&rt, &seeds, input.k, table_len, 300, 1);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         let lens: Vec<usize> = walks.iter().map(|w| w.contig.len()).collect();
         let min = lens.iter().min().unwrap();
         let max = lens.iter().max().unwrap();
@@ -319,7 +319,7 @@ mod tests {
         // arbitrary high pattern is effectively impossible in 500 bases.
         let seeds = [0x2AAA_AAAA_u64 & ((1 << 30) - 1)];
         let walks = traverse(&rt, &seeds, input.k, table_len, 50, 1);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         assert!(walks[0].done);
         assert!(walks[0].contig.is_empty(), "{:?}", walks[0]);
     }

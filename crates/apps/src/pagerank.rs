@@ -54,11 +54,9 @@ pub fn run_live(rt: &GravelRuntime, g: &Csr, iters: usize, damping: u64) -> Vec<
         // Scatter: every edge ships rank[u]/outdeg(u) to v's accumulator.
         let shares: Vec<u64> =
             (0..n as u32).map(|u| {
-                let d = g.out_degree(u) as u64;
-                if d == 0 { 0 } else { rank[u as usize] / d }
+                rank[u as usize].checked_div(g.out_degree(u) as u64).unwrap_or(0)
             }).collect();
-        for node in 0..nodes {
-            let edges = &node_edges[node];
+        for (node, edges) in node_edges.iter().enumerate() {
             if edges.is_empty() {
                 continue;
             }
@@ -79,10 +77,10 @@ pub fn run_live(rt: &GravelRuntime, g: &Csr, iters: usize, damping: u64) -> Vec<
         }
         rt.quiesce();
         // Apply: next[v] = base + damping·acc[v]; reset accumulators.
-        for v in 0..n {
+        for (v, r) in rank.iter_mut().enumerate() {
             let owner = part.owner(v);
             let acc = rt.heap(owner).load(part.local_offset(v));
-            rank[v] = base + ((acc as u128 * damping as u128) >> 32) as u64;
+            *r = base + ((acc as u128 * damping as u128) >> 32) as u64;
         }
         for node in 0..nodes {
             rt.heap(node).reset(0);
@@ -143,7 +141,7 @@ mod tests {
         let damping = default_damping();
         let rt = GravelRuntime::new(GravelConfig::small(3, 64));
         let live = run_live(&rt, &g, 3, damping);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         let seq = reference::pagerank(&g, 3, damping);
         assert_eq!(live, seq, "fixed-point PageRank must match bit-for-bit");
     }

@@ -63,8 +63,7 @@ pub fn run_live(rt: &GravelRuntime, g: &Csr, source: u32, relax_id: u32) -> Vec<
                 ));
             }
         }
-        for node in 0..nodes {
-            let work = &node_work[node];
+        for (node, work) in node_work.iter().enumerate() {
             if work.is_empty() {
                 continue;
             }
@@ -86,10 +85,10 @@ pub fn run_live(rt: &GravelRuntime, g: &Csr, source: u32, relax_id: u32) -> Vec<
         rt.quiesce();
         // New frontier: vertices whose distance improved.
         let mut next = Vec::new();
-        for v in 0..n {
+        for (v, pv) in prev.iter_mut().enumerate() {
             let d = read_dist(v);
-            if d < prev[v] {
-                prev[v] = d;
+            if d < *pv {
+                *pv = d;
                 next.push(v as u32);
             }
         }
@@ -172,7 +171,7 @@ mod tests {
             relax_id = register(reg);
         });
         let live = run_live(&rt, &g, 0, relax_id);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         assert_eq!(live, reference::sssp(&g, 0));
     }
 
@@ -184,7 +183,7 @@ mod tests {
             relax_id = register(reg);
         });
         let live = run_live(&rt, &g, 5, relax_id);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         assert_eq!(live, reference::sssp(&g, 5));
     }
 

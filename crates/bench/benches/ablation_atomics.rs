@@ -31,7 +31,7 @@ fn ablation(c: &mut Criterion) {
             cfg.serialize_atomics = serialize;
             let rt = GravelRuntime::new(cfg);
             b.iter(|| local_gups(&rt, 4));
-            rt.shutdown();
+            rt.shutdown().expect("clean shutdown");
         });
     }
     group.finish();

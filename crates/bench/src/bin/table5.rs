@@ -44,7 +44,7 @@ fn main() {
     let input = GupsInput { updates: 50_000, table_len: 4096, seed: 5 };
     let rt = GravelRuntime::new(GravelConfig::small(4, input.table_len));
     gups::run_live(&rt, &input);
-    let stats = rt.shutdown();
+    let stats = rt.shutdown().expect("clean shutdown");
     let mut t2 = Table::new(
         "sec8_1_polling",
         "Aggregator poll fraction (paper §8.1: ~65% at 8 nodes)",

@@ -136,7 +136,7 @@ impl GravelQueue {
     fn producer_wait(&self, seq: u64) -> &Slot {
         let (slot, round) = self.slot_ring(seq);
         let mut spins = 0u64;
-        while !(slot.round.load(Ordering::Acquire) == round && !slot.full.load(Ordering::Acquire)) {
+        while slot.round.load(Ordering::Acquire) != round || slot.full.load(Ordering::Acquire) {
             spins += 1;
             std::hint::spin_loop();
             if spins.is_multiple_of(1024) {

@@ -70,7 +70,7 @@ impl MpmcQueue {
         QueueStats::bump(&self.stats.producer_rmws, 1);
         let (cell, round) = self.cell_ring(seq);
         let mut spins = 0u64;
-        while !(cell.round.load(Ordering::Acquire) == round && !cell.full.load(Ordering::Acquire)) {
+        while cell.round.load(Ordering::Acquire) != round || cell.full.load(Ordering::Acquire) {
             spins += 1;
             std::hint::spin_loop();
             if spins.is_multiple_of(1024) {

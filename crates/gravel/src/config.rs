@@ -9,6 +9,7 @@
 use std::time::Duration;
 
 use gravel_gq::QueueConfig;
+use gravel_net::{RetryConfig, TransportKind};
 
 /// Configuration of a [`GravelRuntime`](crate::GravelRuntime).
 #[derive(Clone, Debug)]
@@ -40,6 +41,40 @@ pub struct GravelConfig {
     /// execute locally are still routed through the NI"). Setting this to
     /// `false` is the concurrent-RMW ablation.
     pub serialize_atomics: bool,
+    /// Which transport carries aggregated packets between nodes.
+    ///
+    /// The paper's evaluation runs over reliable MPI/InfiniBand
+    /// ([`TransportKind::Reliable`], the default), but Gravel's delivery
+    /// protocol (per-flow sequence numbers, cumulative acks, go-back-N
+    /// retransmission) does not depend on that: select
+    /// [`TransportKind::Unreliable`] to inject seeded drops, duplication,
+    /// reordering, jitter, and link outages and the runtime still
+    /// delivers every message exactly once.
+    pub transport: TransportKind,
+    /// Delivery-protocol tuning: in-flight window per destination flow,
+    /// retransmission backoff, and the retry budget after which a flow is
+    /// declared dead (surfaced as
+    /// [`RuntimeError::RetryExhausted`](crate::RuntimeError::RetryExhausted)
+    /// rather than hanging quiescence).
+    pub retry: RetryConfig,
+    /// Capacity (in packets) of each node's bounded inbound data channel.
+    ///
+    /// Table 3 provisions three 64 kB per-node queues in flight per
+    /// destination; the channel bound plays the same role as that
+    /// in-flight credit — it is what makes aggregator backpressure real
+    /// instead of letting a slow receiver buffer unbounded memory. A
+    /// full channel parks packets at the sender (see
+    /// `NodeStats::net.backpressure_stalls`).
+    pub channel_capacity: usize,
+    /// Optional ceiling on how long [`quiesce`](crate::GravelRuntime::quiesce)
+    /// (and therefore `shutdown`) may wait for in-flight messages. When
+    /// the deadline passes, the runtime gives up and reports
+    /// [`RuntimeError::QuiesceTimeout`](crate::RuntimeError::QuiesceTimeout)
+    /// with per-node queue/counter diagnostics instead of spinning
+    /// forever. `None` waits indefinitely (the pre-fault-tolerance
+    /// behavior, still the right choice for debuggers and very long
+    /// kernels).
+    pub quiesce_deadline: Option<Duration>,
 }
 
 impl GravelConfig {
@@ -57,6 +92,10 @@ impl GravelConfig {
             wf_width: 64,
             aggregator_threads: 1,
             serialize_atomics: true,
+            transport: TransportKind::Reliable,
+            retry: RetryConfig::default(),
+            channel_capacity: 1024,
+            quiesce_deadline: Some(Duration::from_secs(60)),
         }
     }
 
@@ -74,6 +113,10 @@ impl GravelConfig {
             wf_width: 32,
             aggregator_threads: 1,
             serialize_atomics: true,
+            transport: TransportKind::Reliable,
+            retry: RetryConfig::default(),
+            channel_capacity: 256,
+            quiesce_deadline: Some(Duration::from_secs(30)),
         }
     }
 
@@ -85,6 +128,12 @@ impl GravelConfig {
         assert_eq!(self.queue.rows, gravel_gq::MSG_ROWS, "runtime messages are 4 words");
         assert!(self.node_queue_bytes >= 32, "node queue below one message");
         assert!(self.wf_width > 0 && self.wg_size.is_multiple_of(self.wf_width), "wg/wf mismatch");
+        assert!(self.channel_capacity > 0, "need at least one packet of channel credit");
+        assert!(self.retry.window > 0, "delivery window must admit one packet");
+        assert!(self.retry.max_retries > 0, "need at least one retry");
+        if let TransportKind::Unreliable(faults) = &self.transport {
+            faults.validate();
+        }
     }
 }
 
@@ -115,6 +164,21 @@ mod tests {
     fn oversized_wg_rejected() {
         let mut c = GravelConfig::small(2, 8);
         c.wg_size = 1024;
+        c.validate();
+    }
+
+    #[test]
+    fn unreliable_transport_validates_faults() {
+        let mut c = GravelConfig::small(2, 8);
+        c.transport = TransportKind::Unreliable(gravel_net::FaultConfig::drop_only(7, 0.1));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_fault_probability_rejected() {
+        let mut c = GravelConfig::small(2, 8);
+        c.transport = TransportKind::Unreliable(gravel_net::FaultConfig::drop_only(7, 1.5));
         c.validate();
     }
 }

@@ -25,6 +25,7 @@
 pub mod aggregator;
 pub mod config;
 pub mod ctx;
+pub mod error;
 pub mod netthread;
 pub mod node;
 pub mod runtime;
@@ -32,11 +33,14 @@ pub mod stats;
 
 pub use config::GravelConfig;
 pub use ctx::GravelCtx;
+pub use error::{ErrorSlot, RuntimeError};
 pub use node::NodeShared;
 pub use runtime::GravelRuntime;
-pub use stats::{NodeStats, RuntimeStats};
+pub use stats::{NetStats, NodeStats, RuntimeStats};
 
 // Re-export the layers callers routinely need alongside the runtime.
 pub use gravel_gq as gq;
+pub use gravel_net as net;
+pub use gravel_net::{FaultConfig, FaultStats, RetryConfig, TransportKind};
 pub use gravel_pgas as pgas;
 pub use gravel_simt as simt;

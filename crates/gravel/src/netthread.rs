@@ -1,4 +1,5 @@
-//! The network thread (paper §6).
+//! The network thread (paper §6) — now also the receiver half of the
+//! delivery protocol.
 //!
 //! "All network requests are funneled through a dedicated network thread.
 //! Upon receiving a per-node queue, the network thread iterates through
@@ -6,30 +7,107 @@
 //! *every* atomic — including local ones — routes through this thread,
 //! atomics are serialized per node, which both simplifies active messages
 //! and (on the paper's hardware) beats concurrent read-modify-writes.
+//!
+//! On top of applying packets, the thread enforces exactly-once in-order
+//! delivery per flow `(src, lane)`: packets below the expected sequence
+//! number are duplicates (counted and re-acked, which heals lost acks);
+//! packets above it are parked in a bounded reorder buffer until the gap
+//! fills (go-back-N retransmission fills it if the missing packet was
+//! dropped). Every accepted or duplicate packet triggers a cumulative
+//! ack back to the sending lane.
 
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Duration;
 
-use crossbeam::channel::Receiver;
+use gravel_net::{Ack, RecvStatus, Transport};
 use gravel_pgas::{apply_words, Packet};
 
+use crate::error::ErrorSlot;
 use crate::node::NodeShared;
 
-/// Run the receive-and-apply loop until every sender disconnects. This is
-/// the body of each node's network thread.
-pub fn run(node: Arc<NodeShared>, rx: Receiver<Packet>) {
-    // Blocking receive: the thread sleeps when no packets are in flight,
-    // modelling an interrupt-driven MPI progress thread.
-    while let Ok(pkt) = rx.recv() {
-        let words = pkt.words();
-        // Replying handlers re-enter the node's own Gravel path: the
-        // reply is enqueued like any GPU-initiated message (and counted
-        // for quiescence *before* this packet counts as applied, so
-        // `quiesce` cannot return with replies still in flight).
-        let node_ref = &node;
-        let (applied, _shutdown) = apply_words(&words, &node.heap, &node.ams, &mut |m| {
-            node_ref.host_send(m);
-        });
-        node.note_applied(applied as u64);
+/// Receive poll interval; bounds how quickly the thread notices shutdown
+/// or a cluster-wide error.
+const RECV_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Maximum out-of-order packets buffered per flow. Packets beyond this
+/// are dropped (and recovered by the sender's retransmission), bounding
+/// receiver memory under pathological reordering.
+const OOO_BUFFER_CAP: usize = 256;
+
+/// Receiver-side state of one flow.
+#[derive(Default)]
+struct FlowState {
+    /// Next sequence number to apply.
+    expected: u64,
+    /// Out-of-order packets keyed by sequence number.
+    ooo: BTreeMap<u64, Packet>,
+}
+
+/// Apply one in-sequence packet to the node's heap.
+fn apply(node: &NodeShared, pkt: &Packet) {
+    let words = pkt.words();
+    // Replying handlers re-enter the node's own Gravel path: the reply is
+    // enqueued like any GPU-initiated message (and counted for quiescence
+    // *before* this packet counts as applied, so `quiesce` cannot return
+    // with replies still in flight).
+    let (applied, _shutdown) = apply_words(&words, &node.heap, &node.ams, &mut |m| {
+        node.host_send(m);
+    });
+    node.note_applied(applied as u64);
+}
+
+/// Run the receive-and-apply loop until the transport closes (or the
+/// cluster fails). This is the body of each node's network thread.
+pub fn run(node: Arc<NodeShared>, transport: Arc<dyn Transport>, errors: Arc<ErrorSlot>) {
+    let mut flows: HashMap<(u32, u32), FlowState> = HashMap::new();
+    loop {
+        let pkt = match transport.recv_data(node.id, RECV_TIMEOUT) {
+            RecvStatus::Msg(pkt) => pkt,
+            RecvStatus::TimedOut => {
+                if errors.is_set() {
+                    return;
+                }
+                continue;
+            }
+            RecvStatus::Closed => return,
+        };
+        let flow = flows.entry((pkt.src, pkt.lane)).or_default();
+        if pkt.seq < flow.expected {
+            // Duplicate (injected, or a retransmission of an applied
+            // packet whose ack was lost). Re-ack so the sender advances.
+            node.net_dups_suppressed.fetch_add(1, Ordering::Relaxed);
+        } else if pkt.seq > flow.expected {
+            // Out of order: park it if the buffer has room (go-back-N
+            // retransmission recovers it otherwise), then ack what we
+            // actually have.
+            if flow.ooo.len() < OOO_BUFFER_CAP {
+                flow.ooo.entry(pkt.seq).or_insert(pkt.clone());
+            } else {
+                node.net_ooo_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            apply(&node, &pkt);
+            flow.expected += 1;
+            // Drain any buffered successors the gap was hiding.
+            while let Some(next) = flow.ooo.remove(&flow.expected) {
+                apply(&node, &next);
+                flow.expected += 1;
+            }
+        }
+        // Cumulative ack: everything below `expected` is applied. Acks
+        // are best-effort (the mailbox may be full, the link may drop
+        // them) — retransmission plus re-acking makes that safe.
+        if flow.expected > 0 {
+            transport.send_ack(Ack {
+                src: node.id,
+                dest: pkt.src,
+                lane: pkt.lane,
+                cum_seq: flow.expected - 1,
+            });
+            node.net_acks_sent.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -37,66 +115,131 @@ pub fn run(node: Arc<NodeShared>, rx: Receiver<Packet>) {
 mod tests {
     use super::*;
     use crate::config::GravelConfig;
-    use crossbeam::channel::unbounded;
     use gravel_gq::Message;
+    use gravel_net::ChannelTransport;
     use gravel_pgas::AmRegistry;
 
-    #[test]
-    fn applies_packets_in_arrival_order() {
+    fn setup(registry: AmRegistry) -> (Arc<NodeShared>, Arc<ChannelTransport>, Arc<ErrorSlot>) {
         let cfg = GravelConfig::small(1, 8);
-        let (tx, rx) = unbounded();
-        let node = Arc::new(NodeShared::new(0, &cfg, Arc::new(AmRegistry::new())));
-        let handle = {
-            let node = node.clone();
-            std::thread::spawn(move || run(node, rx))
-        };
+        let node = Arc::new(NodeShared::new(0, &cfg, Arc::new(registry)));
+        let transport = Arc::new(ChannelTransport::new(1, 1, 64));
+        (node, transport, Arc::new(ErrorSlot::default()))
+    }
+
+    fn spawn(
+        node: &Arc<NodeShared>,
+        transport: &Arc<ChannelTransport>,
+        errors: &Arc<ErrorSlot>,
+    ) -> std::thread::JoinHandle<()> {
+        let (node, transport, errors) = (node.clone(), transport.clone(), errors.clone());
+        std::thread::spawn(move || run(node, transport, errors))
+    }
+
+    fn packet(seq: u64, words: &[u64]) -> Packet {
+        let mut p = Packet::from_words(0, 0, words);
+        p.seq = seq;
+        p
+    }
+
+    #[test]
+    fn applies_packets_and_acks_cumulatively() {
+        let (node, transport, errors) = setup(AmRegistry::new());
+        let handle = spawn(&node, &transport, &errors);
         let mut words = Vec::new();
         words.extend(Message::put(0, 2, 7).encode());
         words.extend(Message::inc(0, 2, 3).encode());
-        tx.send(Packet::from_words(0, 0, &words)).unwrap();
-        drop(tx);
+        transport.send_data(packet(0, &words), Duration::from_secs(1));
+        // Wait for the cumulative ack instead of sleeping.
+        let ack = loop {
+            if let Some(a) = transport.try_recv_ack(0, 0) {
+                break a;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!((ack.src, ack.dest, ack.cum_seq), (0, 0, 0));
+        transport.close();
         handle.join().unwrap();
         assert_eq!(node.heap.load(2), 10);
-        assert_eq!(node.applied.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(node.applied.load(Ordering::Relaxed), 2);
+        assert_eq!(node.net_acks_sent.load(Ordering::Relaxed), 1);
     }
 
     #[test]
-    fn serialized_active_messages_run_exclusively() {
-        // Two packets of active messages from different "senders" are
-        // applied by the single network thread; a non-atomic
-        // read-modify-write handler still produces an exact total because
-        // application is serialized.
-        let cfg = GravelConfig::small(1, 2);
-        let mut ams = AmRegistry::new();
-        let id = ams.register(Box::new(|h, a, v| {
-            let old = h.load(a); // deliberately non-atomic RMW
-            h.store(a, old + v);
-        }));
-        let (tx, rx) = unbounded();
-        let node = Arc::new(NodeShared::new(0, &cfg, Arc::new(ams)));
-        let handle = {
-            let node = node.clone();
-            std::thread::spawn(move || run(node, rx))
-        };
-        for _ in 0..10 {
-            let mut words = Vec::new();
-            for _ in 0..50 {
-                words.extend(Message::active(0, id, 0, 1).encode());
-            }
-            tx.send(Packet::from_words(0, 0, &words)).unwrap();
+    fn duplicates_are_suppressed_and_reacked() {
+        let (node, transport, errors) = setup(AmRegistry::new());
+        let handle = spawn(&node, &transport, &errors);
+        let words = Message::inc(0, 1, 5).encode();
+        transport.send_data(packet(0, &words), Duration::from_secs(1));
+        transport.send_data(packet(0, &words), Duration::from_secs(1));
+        transport.send_data(packet(0, &words), Duration::from_secs(1));
+        while node.net_dups_suppressed.load(Ordering::Relaxed) < 2 {
+            std::thread::yield_now();
         }
-        drop(tx);
+        transport.close();
         handle.join().unwrap();
-        assert_eq!(node.heap.load(0), 500);
+        // Applied exactly once despite three copies.
+        assert_eq!(node.heap.load(1), 5);
+        assert_eq!(node.applied.load(Ordering::Relaxed), 1);
+        // Every copy (original + both dups) triggered a cumulative ack.
+        assert_eq!(node.net_acks_sent.load(Ordering::Relaxed), 3);
     }
 
     #[test]
-    fn exits_when_all_senders_drop() {
-        let cfg = GravelConfig::small(1, 2);
-        let (tx, rx) = unbounded();
-        let node = Arc::new(NodeShared::new(0, &cfg, Arc::new(AmRegistry::new())));
-        let handle = std::thread::spawn(move || run(node, rx));
-        drop(tx);
+    fn out_of_order_packets_apply_in_sequence() {
+        let ams = AmRegistry::new();
+        let (node, transport, errors) = setup(ams);
+        let handle = spawn(&node, &transport, &errors);
+        // seq 1 (put 111) then seq 0 (put 222): in-order application
+        // means slot 0 ends at 111, not 222.
+        transport.send_data(packet(1, &Message::put(0, 0, 111).encode()), Duration::from_secs(1));
+        transport.send_data(packet(0, &Message::put(0, 0, 222).encode()), Duration::from_secs(1));
+        while node.applied.load(Ordering::Relaxed) < 2 {
+            std::thread::yield_now();
+        }
+        transport.close();
         handle.join().unwrap();
+        assert_eq!(node.heap.load(0), 111);
+    }
+
+    #[test]
+    fn independent_lanes_have_independent_sequences() {
+        let (node, _, errors) = setup(AmRegistry::new());
+        // Two ack mailboxes: this test exercises two sender lanes.
+        let transport = Arc::new(ChannelTransport::new(1, 2, 64));
+        let handle = spawn(&node, &transport, &errors);
+        // Two flows, both starting at seq 0 — not duplicates of each other.
+        let mut a = packet(0, &Message::inc(0, 4, 1).encode());
+        a.lane = 0;
+        let mut b = packet(0, &Message::inc(0, 4, 1).encode());
+        b.lane = 1;
+        transport.send_data(a, Duration::from_secs(1));
+        transport.send_data(b, Duration::from_secs(1));
+        while node.applied.load(Ordering::Relaxed) < 2 {
+            std::thread::yield_now();
+        }
+        transport.close();
+        handle.join().unwrap();
+        assert_eq!(node.heap.load(4), 2);
+        assert_eq!(node.net_dups_suppressed.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn exits_on_close() {
+        let (node, transport, errors) = setup(AmRegistry::new());
+        let handle = spawn(&node, &transport, &errors);
+        transport.close();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn exits_on_cluster_error() {
+        let (node, transport, errors) = setup(AmRegistry::new());
+        let handle = spawn(&node, &transport, &errors);
+        errors.set(crate::error::RuntimeError::WorkerPanic {
+            thread: "t".into(),
+            message: "m".into(),
+        });
+        handle.join().unwrap();
+        assert!(!transport.is_closed());
     }
 }

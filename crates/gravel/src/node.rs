@@ -9,11 +9,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use gravel_gq::{GravelQueue, Message};
+use gravel_net::RetryConfig;
 use gravel_pgas::{AmRegistry, SymmetricHeap};
 use parking_lot::Mutex;
 
 use crate::config::GravelConfig;
-use crate::stats::NodeStats;
+use crate::stats::{NetStats, NodeStats};
 
 /// Shared state of one node.
 pub struct NodeShared {
@@ -43,6 +44,22 @@ pub struct NodeShared {
     pub agg_polls_empty: AtomicU64,
     /// Aggregator polls that found work.
     pub agg_polls_hit: AtomicU64,
+    /// Sender-side delivery tuning (copied from the config so worker
+    /// threads need no back-reference to it).
+    pub retry: RetryConfig,
+    /// Packets retransmitted by this node's sender flows.
+    pub net_retransmits: AtomicU64,
+    /// Duplicate packets suppressed by this node's receiver.
+    pub net_dups_suppressed: AtomicU64,
+    /// Acks this node's network thread sent.
+    pub net_acks_sent: AtomicU64,
+    /// Acks this node's aggregator lanes received.
+    pub net_acks_received: AtomicU64,
+    /// Times a send stalled on a full channel or a full delivery window.
+    pub net_backpressure_stalls: AtomicU64,
+    /// Out-of-order packets discarded because the reorder buffer was
+    /// full (recovered later by retransmission).
+    pub net_ooo_dropped: AtomicU64,
 }
 
 impl NodeShared {
@@ -67,6 +84,13 @@ impl NodeShared {
             ]),
             agg_polls_empty: AtomicU64::new(0),
             agg_polls_hit: AtomicU64::new(0),
+            retry: cfg.retry.clone(),
+            net_retransmits: AtomicU64::new(0),
+            net_dups_suppressed: AtomicU64::new(0),
+            net_acks_sent: AtomicU64::new(0),
+            net_acks_received: AtomicU64::new(0),
+            net_backpressure_stalls: AtomicU64::new(0),
+            net_ooo_dropped: AtomicU64::new(0),
         }
     }
 
@@ -112,6 +136,14 @@ impl NodeShared {
             queue: self.queue.stats.snapshot(),
             agg_polls_empty: self.agg_polls_empty.load(Ordering::Acquire),
             agg_polls_hit: self.agg_polls_hit.load(Ordering::Acquire),
+            net: NetStats {
+                retransmits: self.net_retransmits.load(Ordering::Acquire),
+                dups_suppressed: self.net_dups_suppressed.load(Ordering::Acquire),
+                acks_sent: self.net_acks_sent.load(Ordering::Acquire),
+                acks_received: self.net_acks_received.load(Ordering::Acquire),
+                backpressure_stalls: self.net_backpressure_stalls.load(Ordering::Acquire),
+                ooo_dropped: self.net_ooo_dropped.load(Ordering::Acquire),
+            },
         }
     }
 }

@@ -2,11 +2,16 @@
 //!
 //! [`GravelRuntime`] hosts an N-node Gravel cluster inside one process:
 //! each node gets a symmetric heap, a producer/consumer queue, an
-//! aggregator thread, and a network thread; "the network" is a set of
-//! in-memory channels. GPU kernels are dispatched onto the SIMT engine and
-//! offload PGAS operations through their node's queue exactly as on the
-//! paper's APUs — queue → aggregator → per-node queues → network thread →
-//! remote heap.
+//! aggregator thread, and a network thread; "the network" is a pluggable
+//! [`Transport`] — bounded in-memory channels by default, optionally
+//! wrapped in a seeded fault injector
+//! ([`TransportKind::Unreliable`](gravel_net::TransportKind)). GPU
+//! kernels are dispatched onto the SIMT engine and offload PGAS
+//! operations through their node's queue exactly as on the paper's APUs —
+//! queue → aggregator → per-node queues → network thread → remote heap —
+//! with the delivery protocol (sequence numbers, cumulative acks,
+//! go-back-N retransmission) providing exactly-once semantics even when
+//! the transport drops, duplicates, or reorders packets.
 //!
 //! ```
 //! use gravel_core::{GravelConfig, GravelRuntime};
@@ -23,31 +28,60 @@
 //! });
 //! rt.quiesce();
 //! assert_eq!(rt.heap(1).load(0), 64); // one WG of 64 work-items
-//! let _stats = rt.shutdown();
+//! let _stats = rt.shutdown().expect("clean shutdown");
 //! ```
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use gravel_net::{ChannelTransport, Transport, TransportKind, UnreliableTransport};
 use gravel_pgas::{AmRegistry, SymmetricHeap};
 use gravel_simt::{DispatchResult, Grid, SimtEngine};
 
 use crate::aggregator;
 use crate::config::GravelConfig;
 use crate::ctx::GravelCtx;
+use crate::error::{panic_message, ErrorSlot, RuntimeError};
 use crate::netthread;
 use crate::node::NodeShared;
 use crate::stats::RuntimeStats;
+
+/// Poll interval of the quiescence loop.
+const QUIESCE_POLL: Duration = Duration::from_micros(50);
 
 /// An in-process Gravel cluster.
 pub struct GravelRuntime {
     cfg: GravelConfig,
     nodes: Vec<Arc<NodeShared>>,
     engine: SimtEngine,
-    threads: Vec<JoinHandle<()>>,
+    transport: Arc<dyn Transport>,
+    errors: Arc<ErrorSlot>,
+    agg_threads: Vec<JoinHandle<()>>,
+    net_threads: Vec<JoinHandle<()>>,
     shut_down: bool,
+}
+
+/// Spawn a named worker whose panics are converted into a recorded
+/// [`RuntimeError::WorkerPanic`] instead of poisoning `join`.
+fn spawn_worker(
+    name: String,
+    errors: Arc<ErrorSlot>,
+    body: impl FnOnce() + Send + 'static,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name.clone())
+        .spawn(move || {
+            if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(body)) {
+                errors.set(RuntimeError::WorkerPanic {
+                    thread: name,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+        })
+        .expect("spawn worker thread")
 }
 
 impl GravelRuntime {
@@ -64,43 +98,50 @@ impl GravelRuntime {
         register(&mut ams);
         let ams = Arc::new(ams);
 
-        let (net_txs, net_rxs): (Vec<_>, Vec<_>) =
-            (0..cfg.nodes).map(|_| crossbeam::channel::unbounded()).unzip();
+        let fabric =
+            ChannelTransport::new(cfg.nodes, cfg.aggregator_threads, cfg.channel_capacity);
+        let transport: Arc<dyn Transport> = match &cfg.transport {
+            TransportKind::Reliable => Arc::new(fabric),
+            TransportKind::Unreliable(faults) => {
+                Arc::new(UnreliableTransport::new(fabric, faults.clone()))
+            }
+        };
+        let errors = Arc::new(ErrorSlot::default());
 
         let nodes: Vec<Arc<NodeShared>> =
             (0..cfg.nodes).map(|i| Arc::new(NodeShared::new(i as u32, &cfg, ams.clone()))).collect();
 
-        let mut threads = Vec::with_capacity(cfg.nodes * 2);
-        // Network threads first (receivers), then aggregators (senders).
-        for (i, rx) in net_rxs.into_iter().enumerate() {
-            let node = nodes[i].clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("gravel-net-{i}"))
-                    .spawn(move || netthread::run(node, rx))
-                    .expect("spawn network thread"),
-            );
-        }
+        // Network threads (receivers) first, then aggregators (senders).
+        let net_threads = nodes
+            .iter()
+            .map(|node| {
+                let (node, transport, errors) = (node.clone(), transport.clone(), errors.clone());
+                spawn_worker(format!("gravel-net-{}", node.id), errors.clone(), move || {
+                    netthread::run(node, transport, errors)
+                })
+            })
+            .collect();
+        let mut agg_threads = Vec::with_capacity(cfg.nodes * cfg.aggregator_threads);
         for node in &nodes {
             for slot in 0..cfg.aggregator_threads {
-                let node = node.clone();
-                let txs = net_txs.clone();
+                let (node, transport, errors) = (node.clone(), transport.clone(), errors.clone());
                 let (qb, to) = (cfg.node_queue_bytes, cfg.flush_timeout);
-                threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("gravel-agg-{}-{}", node.id, slot))
-                        .spawn(move || aggregator::run(node, slot, txs, qb, to))
-                        .expect("spawn aggregator thread"),
-                );
+                agg_threads.push(spawn_worker(
+                    format!("gravel-agg-{}-{}", node.id, slot),
+                    errors.clone(),
+                    move || aggregator::run(node, slot, transport, qb, to, errors),
+                ));
             }
         }
-        drop(net_txs); // only aggregators hold senders now
 
         GravelRuntime {
             engine: SimtEngine::with_cus(cfg.num_cus),
             cfg,
             nodes,
-            threads,
+            transport,
+            errors,
+            agg_threads,
+            net_threads,
             shut_down: false,
         }
     }
@@ -169,61 +210,161 @@ impl GravelRuntime {
         }
     }
 
+    /// True once every offloaded message has been applied at its
+    /// destination.
+    fn is_quiescent(&self) -> bool {
+        let backlog: u64 = self.nodes.iter().map(|n| n.queue.backlog()).sum();
+        let offloaded: u64 = self.nodes.iter().map(|n| n.offloaded.load(Ordering::Acquire)).sum();
+        let applied: u64 = self.nodes.iter().map(|n| n.applied.load(Ordering::Acquire)).sum();
+        backlog == 0 && offloaded == applied
+    }
+
     /// Block until every offloaded message has been applied at its
     /// destination. Call between supersteps (after `dispatch*` returns)
     /// and before reading remote results.
+    ///
+    /// Bounded by `GravelConfig::quiesce_deadline` (when set) and bails
+    /// early if a worker already failed; either way the failure is
+    /// reported by [`shutdown`](Self::shutdown), so a kernel loop can
+    /// keep calling `quiesce()` obliviously and still terminate.
     pub fn quiesce(&self) {
-        loop {
-            let backlog: u64 = self.nodes.iter().map(|n| n.queue.backlog()).sum();
-            let offloaded: u64 = self.nodes.iter().map(|n| n.offloaded.load(Ordering::Acquire)).sum();
-            let applied: u64 = self.nodes.iter().map(|n| n.applied.load(Ordering::Acquire)).sum();
-            if backlog == 0 && offloaded == applied {
-                return;
+        match self.cfg.quiesce_deadline {
+            Some(d) => {
+                let _ = self.quiesce_deadline(d);
             }
-            std::thread::sleep(Duration::from_micros(50));
+            None => {
+                while !self.is_quiescent() && !self.errors.is_set() {
+                    std::thread::sleep(QUIESCE_POLL);
+                }
+            }
         }
+    }
+
+    /// Like [`quiesce`](Self::quiesce) with an explicit deadline. On
+    /// timeout, returns (and records, so `shutdown` also reports it) a
+    /// [`RuntimeError::QuiesceTimeout`] carrying per-node diagnostics of
+    /// where messages are stuck.
+    pub fn quiesce_deadline(&self, deadline: Duration) -> Result<(), RuntimeError> {
+        let start = Instant::now();
+        loop {
+            if self.errors.is_set() {
+                // The failure is the cluster's, not this wait's; the
+                // caller learns the cause from shutdown().
+                return Ok(());
+            }
+            if self.is_quiescent() {
+                return Ok(());
+            }
+            if start.elapsed() >= deadline {
+                let e = RuntimeError::QuiesceTimeout {
+                    waited: start.elapsed(),
+                    diagnostics: self.diagnostics(),
+                };
+                self.errors.set(e.clone());
+                return Err(e);
+            }
+            std::thread::sleep(QUIESCE_POLL);
+        }
+    }
+
+    /// Human-readable per-node dump of the counters that explain where
+    /// in the pipeline messages are stuck (used by quiesce timeouts).
+    pub fn diagnostics(&self) -> String {
+        use std::fmt::Write;
+        let depths = self.transport.data_depths();
+        let mut out = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let s = n.stats();
+            let _ = writeln!(
+                out,
+                "node {i}: backlog={} offloaded={} applied={} chan_depth={} \
+                 retransmits={} dups={} acks_tx={} acks_rx={} stalls={} ooo_drop={}",
+                n.queue.backlog(),
+                s.offloaded,
+                s.applied,
+                depths.get(i).copied().unwrap_or(0),
+                s.net.retransmits,
+                s.net.dups_suppressed,
+                s.net.acks_sent,
+                s.net.acks_received,
+                s.net.backpressure_stalls,
+                s.net.ooo_dropped,
+            );
+        }
+        let f = self.transport.fault_stats();
+        let _ = writeln!(
+            out,
+            "faults: dropped={} dup={} delayed={} link_down={} acks_dropped={}",
+            f.dropped_data, f.duplicated, f.delayed, f.link_down_drops, f.dropped_acks
+        );
+        out
     }
 
     /// Snapshot cluster statistics.
     pub fn stats(&self) -> RuntimeStats {
-        RuntimeStats { nodes: self.nodes.iter().map(|n| n.stats()).collect() }
+        RuntimeStats {
+            nodes: self.nodes.iter().map(|n| n.stats()).collect(),
+            faults: self.transport.fault_stats(),
+        }
     }
 
-    fn shutdown_impl(&mut self) -> RuntimeStats {
+    fn shutdown_impl(&mut self) -> Result<RuntimeStats, RuntimeError> {
         if !self.shut_down {
+            self.shut_down = true;
             self.quiesce();
+            // Closing the queues sends the aggregators into their drain
+            // phase: flush partial packets, then hold until every flow
+            // is acknowledged (the network threads are still alive to
+            // re-ack retransmissions).
             for node in &self.nodes {
                 node.queue.close();
             }
-            for t in self.threads.drain(..) {
-                t.join().expect("runtime thread panicked");
+            for t in self.agg_threads.drain(..) {
+                // A panicking worker records its error and exits the
+                // catch_unwind cleanly, so join itself cannot fail.
+                let _ = t.join();
             }
-            self.shut_down = true;
+            // Only now stop the fabric and let the receivers exit.
+            self.transport.close();
+            for t in self.net_threads.drain(..) {
+                let _ = t.join();
+            }
         }
-        self.stats()
+        match self.errors.take() {
+            Some(e) => Err(e),
+            None => Ok(self.stats()),
+        }
     }
 
     /// Quiesce, stop all threads, and return final statistics.
-    pub fn shutdown(mut self) -> RuntimeStats {
+    ///
+    /// Any failure during the run — a panicked worker thread, a delivery
+    /// flow that exhausted its retries, a quiescence timeout — surfaces
+    /// here as an `Err` (first failure wins) instead of a hang or an
+    /// unwinding join.
+    pub fn shutdown(mut self) -> Result<RuntimeStats, RuntimeError> {
         self.shutdown_impl()
     }
 }
 
 impl Drop for GravelRuntime {
     fn drop(&mut self) {
-        self.shutdown_impl();
+        // Errors were either already taken by shutdown() or are
+        // deliberately discarded: panicking in drop would abort.
+        let _ = self.shutdown_impl();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gravel_net::FaultConfig;
     use gravel_simt::LaneVec;
 
     #[test]
     fn startup_and_clean_shutdown() {
         let rt = GravelRuntime::new(GravelConfig::small(3, 8));
-        let stats = rt.shutdown();
+        let stats = rt.shutdown().expect("clean shutdown");
         assert_eq!(stats.nodes.len(), 3);
         assert_eq!(stats.total_offloaded(), 0);
     }
@@ -241,10 +382,15 @@ mod tests {
         });
         rt.quiesce();
         assert_eq!(rt.heap(1).load(0), 128);
-        let stats = rt.shutdown();
+        let stats = rt.shutdown().expect("clean shutdown");
         assert_eq!(stats.total_offloaded(), 128);
         assert_eq!(stats.total_applied(), 128);
         assert!((stats.remote_fraction() - 1.0).abs() < 1e-12);
+        // Reliable transport: protocol ran (acks flowed) but never
+        // needed to repair anything.
+        assert_eq!(stats.total_retransmits(), 0);
+        assert_eq!(stats.total_dups_suppressed(), 0);
+        assert!(stats.faults.is_clean());
     }
 
     #[test]
@@ -267,7 +413,7 @@ mod tests {
         for id in 0..nodes {
             assert_eq!(rt.heap(id).load(0), 64, "node {id}");
         }
-        let stats = rt.shutdown();
+        let stats = rt.shutdown().expect("clean shutdown");
         // 3/4 of scattered messages are remote.
         assert!((stats.remote_fraction() - 0.75).abs() < 1e-9, "{}", stats.remote_fraction());
     }
@@ -293,7 +439,7 @@ mod tests {
         rt.quiesce();
         assert_eq!(rt.heap(1).load(3), 77);
         assert_eq!(rt.heap(1).load(5), 42);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
     }
 
     #[test]
@@ -322,10 +468,77 @@ mod tests {
             ctx.shmem_inc(&dests, &addrs, &vals);
         });
         rt.quiesce();
-        let stats = rt.shutdown();
+        let stats = rt.shutdown().expect("clean shutdown");
         let n0 = &stats.nodes[0];
         assert_eq!(n0.agg.messages, 64);
         assert!(n0.agg.packets >= 16, "64 msgs / 4 per packet");
         assert!(stats.avg_packet_bytes() <= 128.0);
+    }
+
+    #[test]
+    fn faulty_transport_still_delivers_exactly_once() {
+        let mut cfg = GravelConfig::small(2, 4);
+        cfg.node_queue_bytes = 64; // many small packets → many fault rolls
+        cfg.transport = TransportKind::Unreliable(FaultConfig::mixed(42, 0.10));
+        let rt = GravelRuntime::new(cfg);
+        rt.dispatch(0, 2, |ctx| {
+            let n = ctx.wg.wg_size();
+            let dests = LaneVec::splat(n, 1u32);
+            let addrs = LaneVec::splat(n, 0u64);
+            let vals = LaneVec::splat(n, 1u64);
+            ctx.shmem_inc(&dests, &addrs, &vals);
+        });
+        rt.quiesce();
+        assert_eq!(rt.heap(1).load(0), 128, "exactly-once despite faults");
+        let stats = rt.shutdown().expect("shutdown under faults");
+        assert_eq!(stats.total_applied(), 128);
+        assert!(
+            !stats.faults.is_clean(),
+            "10 % fault mix over ~32 packets should have fired at least once"
+        );
+    }
+
+    #[test]
+    fn worker_panic_surfaces_from_shutdown() {
+        let rt = GravelRuntime::with_handlers(GravelConfig::small(2, 4), |reg| {
+            reg.register(Box::new(|_h, _a, _v| panic!("handler exploded")));
+        });
+        rt.dispatch(0, 1, |ctx| {
+            let n = ctx.wg.wg_size();
+            let dests = LaneVec::splat(n, 1u32);
+            let addrs = LaneVec::splat(n, 0u64);
+            let vals = LaneVec::splat(n, 1u64);
+            ctx.shmem_am(0, &dests, &addrs, &vals);
+        });
+        match rt.shutdown() {
+            Err(RuntimeError::WorkerPanic { thread, message }) => {
+                assert!(thread.starts_with("gravel-net-1"), "{thread}");
+                assert!(message.contains("handler exploded"), "{message}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quiesce_deadline_reports_diagnostics_instead_of_hanging() {
+        let rt = GravelRuntime::new(GravelConfig::small(2, 4));
+        // Fake a message that was counted as offloaded but will never be
+        // applied: quiescence can then never converge.
+        rt.node(0).note_offloaded(1);
+        let start = Instant::now();
+        match rt.quiesce_deadline(Duration::from_millis(50)) {
+            Err(RuntimeError::QuiesceTimeout { waited, diagnostics }) => {
+                assert!(waited >= Duration::from_millis(50));
+                assert!(diagnostics.contains("node 0"), "{diagnostics}");
+                assert!(diagnostics.contains("offloaded=1"), "{diagnostics}");
+            }
+            other => panic!("expected QuiesceTimeout, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(10));
+        // The recorded failure also surfaces from shutdown.
+        match rt.shutdown() {
+            Err(RuntimeError::QuiesceTimeout { .. }) => {}
+            other => panic!("expected QuiesceTimeout from shutdown, got {other:?}"),
+        }
     }
 }

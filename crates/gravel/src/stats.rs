@@ -6,7 +6,34 @@
 //! here from the per-node counters.
 
 use gravel_gq::StatsSnapshot;
+use gravel_net::FaultStats;
 use gravel_pgas::AggStats;
+
+/// Delivery-protocol counters of one node (sender + receiver side).
+///
+/// On a reliable transport every field except `acks_*` stays zero; under
+/// injected faults the retransmit/duplicate counters are the visible
+/// evidence that the protocol actually did work (the fault-matrix tests
+/// assert on exactly that).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    /// Packets retransmitted by this node's sender flows (go-back-N
+    /// rounds × window occupancy).
+    pub retransmits: u64,
+    /// Duplicate packets this node's receiver suppressed (injected
+    /// duplicates plus retransmissions of already-applied packets).
+    pub dups_suppressed: u64,
+    /// Acks sent by this node's network thread.
+    pub acks_sent: u64,
+    /// Acks received by this node's aggregator lanes.
+    pub acks_received: u64,
+    /// Sends that stalled on a full bounded channel or a full delivery
+    /// window (the backpressure signal).
+    pub backpressure_stalls: u64,
+    /// Out-of-order packets dropped because the reorder buffer was full;
+    /// recovered by retransmission.
+    pub ooo_dropped: u64,
+}
 
 /// Statistics of one node at shutdown (or snapshot time).
 #[derive(Clone, Copy, Debug, Default)]
@@ -32,6 +59,8 @@ pub struct NodeStats {
     pub agg_polls_empty: u64,
     /// Aggregator polls that found work.
     pub agg_polls_hit: u64,
+    /// Delivery-protocol counters.
+    pub net: NetStats,
 }
 
 impl NodeStats {
@@ -61,6 +90,8 @@ impl NodeStats {
 pub struct RuntimeStats {
     /// One entry per node.
     pub nodes: Vec<NodeStats>,
+    /// Faults the transport injected (all zero on a reliable transport).
+    pub faults: FaultStats,
 }
 
 impl RuntimeStats {
@@ -95,6 +126,21 @@ impl RuntimeStats {
     /// Total messages applied across the cluster.
     pub fn total_applied(&self) -> u64 {
         self.nodes.iter().map(|n| n.applied).sum()
+    }
+
+    /// Total packets retransmitted across the cluster.
+    pub fn total_retransmits(&self) -> u64 {
+        self.nodes.iter().map(|n| n.net.retransmits).sum()
+    }
+
+    /// Total duplicate packets suppressed across the cluster.
+    pub fn total_dups_suppressed(&self) -> u64 {
+        self.nodes.iter().map(|n| n.net.dups_suppressed).sum()
+    }
+
+    /// Total backpressure stalls across the cluster.
+    pub fn total_backpressure_stalls(&self) -> u64 {
+        self.nodes.iter().map(|n| n.net.backpressure_stalls).sum()
     }
 }
 
@@ -133,5 +179,22 @@ mod tests {
     #[test]
     fn avg_packet_bytes_handles_empty() {
         assert_eq!(RuntimeStats::default().avg_packet_bytes(), 0.0);
+    }
+
+    #[test]
+    fn net_counters_aggregate() {
+        let mut s = RuntimeStats::default();
+        s.nodes.push(NodeStats {
+            net: NetStats { retransmits: 3, dups_suppressed: 1, ..Default::default() },
+            ..Default::default()
+        });
+        s.nodes.push(NodeStats {
+            net: NetStats { retransmits: 2, backpressure_stalls: 9, ..Default::default() },
+            ..Default::default()
+        });
+        assert_eq!(s.total_retransmits(), 5);
+        assert_eq!(s.total_dups_suppressed(), 1);
+        assert_eq!(s.total_backpressure_stalls(), 9);
+        assert!(s.faults.is_clean());
     }
 }

@@ -76,18 +76,18 @@ proptest! {
                 *cell += op.val * active;
             }
         }
-        for node in 0..nodes {
-            for a in 0..heap {
+        for (node, node_oracle) in oracle.iter().enumerate() {
+            for (a, &expect) in node_oracle.iter().enumerate() {
                 prop_assert_eq!(
                     rt.heap(node).load(a as u64),
-                    oracle[node][a],
+                    expect,
                     "node {} addr {}",
                     node,
                     a
                 );
             }
         }
-        let stats = rt.shutdown();
+        let stats = rt.shutdown().expect("clean shutdown");
         prop_assert_eq!(stats.total_offloaded(), stats.total_applied());
     }
 }

@@ -1,0 +1,190 @@
+//! The reliable in-memory fabric: bounded crossbeam channels.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, SendTimeoutError, TrySendError};
+use gravel_pgas::Packet;
+
+use crate::{Ack, FaultStats, NodeId, RecvStatus, SendStatus, Transport};
+
+/// Reliable bounded-channel transport: one data ingress channel per
+/// node (consumed by its network thread) and one ack mailbox per
+/// `(node, lane)` (consumed by that aggregator).
+///
+/// Closing is a flag rather than sender-drop choreography: receivers
+/// keep draining frames already in flight and report
+/// [`RecvStatus::Closed`] only once the flag is set *and* their channel
+/// is empty, so nothing accepted before `close()` is lost.
+pub struct ChannelTransport {
+    data: Vec<(Sender<Packet>, Receiver<Packet>)>,
+    acks: Vec<Vec<(Sender<Ack>, Receiver<Ack>)>>,
+    closed: AtomicBool,
+    dropped_acks: AtomicU64,
+}
+
+/// Ack mailboxes are small: a flow re-acks on every packet, and only
+/// the latest cumulative value matters.
+const ACK_MAILBOX_CAPACITY: usize = 1024;
+
+impl ChannelTransport {
+    /// Fabric for `nodes` nodes with `lanes` aggregator lanes each and
+    /// `capacity` packets of data buffering per node.
+    pub fn new(nodes: usize, lanes: usize, capacity: usize) -> Self {
+        assert!(nodes > 0 && lanes > 0, "empty fabric");
+        assert!(capacity > 0, "data channels must hold at least one packet");
+        ChannelTransport {
+            data: (0..nodes).map(|_| bounded(capacity)).collect(),
+            acks: (0..nodes)
+                .map(|_| (0..lanes).map(|_| bounded(ACK_MAILBOX_CAPACITY)).collect())
+                .collect(),
+            closed: AtomicBool::new(false),
+            dropped_acks: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn nodes(&self) -> usize {
+        self.data.len()
+    }
+
+    fn lanes(&self) -> usize {
+        self.acks[0].len()
+    }
+
+    fn send_data(&self, pkt: Packet, timeout: Duration) -> SendStatus {
+        if self.closed.load(Ordering::Acquire) {
+            return SendStatus::Closed;
+        }
+        let dest = pkt.dest as usize;
+        debug_assert!(dest < self.data.len(), "packet to unknown node {dest}");
+        match self.data[dest].0.send_timeout(pkt, timeout) {
+            Ok(()) => SendStatus::Sent,
+            Err(SendTimeoutError::Timeout(_)) => {
+                if self.closed.load(Ordering::Acquire) {
+                    SendStatus::Closed
+                } else {
+                    SendStatus::TimedOut
+                }
+            }
+            Err(SendTimeoutError::Disconnected(_)) => SendStatus::Closed,
+        }
+    }
+
+    fn recv_data(&self, node: NodeId, timeout: Duration) -> RecvStatus<Packet> {
+        let rx = &self.data[node as usize].1;
+        match rx.recv_timeout(timeout) {
+            Ok(pkt) => RecvStatus::Msg(pkt),
+            Err(RecvTimeoutError::Timeout) => {
+                if self.closed.load(Ordering::Acquire) && rx.is_empty() {
+                    RecvStatus::Closed
+                } else {
+                    RecvStatus::TimedOut
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => RecvStatus::Closed,
+        }
+    }
+
+    fn send_ack(&self, ack: Ack) {
+        if self.closed.load(Ordering::Acquire) {
+            return;
+        }
+        let (dest, lane) = (ack.dest as usize, ack.lane as usize);
+        debug_assert!(dest < self.acks.len() && lane < self.acks[dest].len());
+        if let Err(TrySendError::Full(_)) = self.acks[dest][lane].0.try_send(ack) {
+            self.dropped_acks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn try_recv_ack(&self, node: NodeId, lane: u32) -> Option<Ack> {
+        self.acks[node as usize][lane as usize].1.try_recv().ok()
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            dropped_acks: self.dropped_acks.load(Ordering::Relaxed),
+            ..FaultStats::default()
+        }
+    }
+
+    fn data_depths(&self) -> Vec<usize> {
+        self.data.iter().map(|(tx, _)| tx.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(src: u32, dest: u32, tag: u64) -> Packet {
+        Packet::from_words(src, dest, &[tag])
+    }
+
+    const T: Duration = Duration::from_millis(200);
+
+    #[test]
+    fn routes_data_by_destination() {
+        let t = ChannelTransport::new(3, 1, 16);
+        assert_eq!(t.send_data(pkt(0, 1, 7), T), SendStatus::Sent);
+        assert_eq!(t.send_data(pkt(0, 2, 9), T), SendStatus::Sent);
+        match t.recv_data(1, T) {
+            RecvStatus::Msg(p) => assert_eq!(p.words(), vec![7]),
+            other => panic!("{other:?}"),
+        }
+        match t.recv_data(2, T) {
+            RecvStatus::Msg(p) => assert_eq!(p.words(), vec![9]),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(t.recv_data(0, Duration::from_millis(1)), RecvStatus::TimedOut));
+    }
+
+    #[test]
+    fn bounded_channel_times_out_when_full() {
+        let t = ChannelTransport::new(2, 1, 1);
+        assert_eq!(t.send_data(pkt(0, 1, 1), T), SendStatus::Sent);
+        assert_eq!(t.send_data(pkt(0, 1, 2), Duration::from_millis(5)), SendStatus::TimedOut);
+        // Draining unblocks the sender.
+        assert!(matches!(t.recv_data(1, T), RecvStatus::Msg(_)));
+        assert_eq!(t.send_data(pkt(0, 1, 2), T), SendStatus::Sent);
+        assert_eq!(t.data_depths(), vec![0, 1]);
+    }
+
+    #[test]
+    fn close_drains_in_flight_then_reports_closed() {
+        let t = ChannelTransport::new(2, 1, 4);
+        assert_eq!(t.send_data(pkt(0, 1, 5), T), SendStatus::Sent);
+        t.close();
+        assert_eq!(t.send_data(pkt(0, 1, 6), T), SendStatus::Closed);
+        assert!(matches!(t.recv_data(1, T), RecvStatus::Msg(_)));
+        assert!(matches!(t.recv_data(1, Duration::from_millis(1)), RecvStatus::Closed));
+        assert!(t.is_closed());
+    }
+
+    #[test]
+    fn acks_route_to_lane_mailboxes() {
+        let t = ChannelTransport::new(2, 2, 4);
+        t.send_ack(Ack { src: 1, dest: 0, lane: 1, cum_seq: 41 });
+        assert_eq!(t.try_recv_ack(0, 0), None);
+        assert_eq!(t.try_recv_ack(0, 1), Some(Ack { src: 1, dest: 0, lane: 1, cum_seq: 41 }));
+        assert_eq!(t.try_recv_ack(0, 1), None);
+    }
+
+    #[test]
+    fn full_ack_mailbox_drops_and_counts() {
+        let t = ChannelTransport::new(2, 1, 4);
+        for i in 0..(ACK_MAILBOX_CAPACITY as u64 + 10) {
+            t.send_ack(Ack { src: 1, dest: 0, lane: 0, cum_seq: i });
+        }
+        assert_eq!(t.fault_stats().dropped_acks, 10);
+    }
+}

@@ -1,0 +1,187 @@
+//! Fault-model, retry, and transport-selection configuration.
+
+use std::time::Duration;
+
+/// Which fabric the runtime should build.
+#[derive(Clone, Debug, Default)]
+pub enum TransportKind {
+    /// In-memory bounded channels with no injected faults (the behaviour
+    /// of the original hardwired fabric). The delivery protocol still
+    /// runs — sequence numbers and acks flow — but nothing is ever
+    /// dropped, duplicated, or reordered.
+    #[default]
+    Reliable,
+    /// The reliable fabric wrapped in [`UnreliableTransport`]
+    /// (crate-level docs) with this fault model.
+    Unreliable(FaultConfig),
+}
+
+/// Seeded per-link fault model for [`UnreliableTransport`].
+///
+/// Each ordered cross-node link `(src, dest)` gets its own RNG derived
+/// from `seed`, so a fixed seed reproduces the exact same fault pattern
+/// for a given traffic order on each link regardless of cluster size or
+/// scheduling of other links.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Base seed for all per-link RNGs.
+    pub seed: u64,
+    /// Probability a data packet is silently dropped.
+    pub drop: f64,
+    /// Probability a data packet is delivered twice.
+    pub duplicate: f64,
+    /// Probability a data packet is held back (delayed past later
+    /// packets on the same link — the reordering mechanism).
+    pub reorder: f64,
+    /// Maximum extra latency for held-back packets; also the jitter
+    /// bound applied to every delayed delivery.
+    pub jitter: Duration,
+    /// If nonzero, every link independently goes down once per period
+    /// (phase-shifted per link so outages do not align cluster-wide).
+    pub link_down_period: Duration,
+    /// Length of each link-down window; packets and acks sent into a
+    /// down link are dropped.
+    pub link_down_len: Duration,
+}
+
+impl FaultConfig {
+    /// A fault model that only drops packets, with probability `drop`.
+    pub fn drop_only(seed: u64, drop: f64) -> Self {
+        FaultConfig { seed, drop, ..FaultConfig::quiet(seed) }
+    }
+
+    /// All fault probabilities zero (useful as a `..` base).
+    pub fn quiet(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            jitter: Duration::from_micros(300),
+            link_down_period: Duration::ZERO,
+            link_down_len: Duration::ZERO,
+        }
+    }
+
+    /// The stress mix used by the fault-matrix tests: drop + duplicate +
+    /// reorder all enabled at `p`, `2·p/3`, and `p` respectively.
+    pub fn mixed(seed: u64, p: f64) -> Self {
+        FaultConfig {
+            seed,
+            drop: p,
+            duplicate: p * 2.0 / 3.0,
+            reorder: p,
+            ..FaultConfig::quiet(seed)
+        }
+    }
+
+    /// Validate probability ranges; panics on nonsense.
+    pub fn validate(&self) {
+        for (name, p) in [("drop", self.drop), ("duplicate", self.duplicate), ("reorder", self.reorder)] {
+            assert!((0.0..=1.0).contains(&p), "fault probability `{name}` = {p} out of [0, 1]");
+        }
+        if !self.link_down_period.is_zero() {
+            assert!(
+                self.link_down_len < self.link_down_period,
+                "link_down_len must be shorter than link_down_period"
+            );
+        }
+    }
+}
+
+/// Sender-side delivery/retry tuning (go-back-N with cumulative acks).
+#[derive(Clone, Debug)]
+pub struct RetryConfig {
+    /// Maximum unacknowledged packets in flight per (lane, destination)
+    /// flow; a full window stalls the sender (counted as backpressure).
+    pub window: usize,
+    /// Initial retransmission backoff. Doubles on every expiry without
+    /// progress, up to [`backoff_max`](Self::backoff_max).
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Consecutive no-progress retransmission rounds before the flow is
+    /// declared dead and shutdown reports `RetryExhausted`.
+    pub max_retries: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        // The initial backoff is deliberately far above in-process ack
+        // latency (~tens of µs): a retransmission should mean the packet
+        // or its ack was genuinely lost, not that the receiver thread was
+        // briefly preempted. Worst-case dead-flow detection is
+        // 25 + 50 + 100 + 200 + 16·250 ms ≈ 4.4 s, comfortably inside
+        // the default quiesce deadlines.
+        RetryConfig {
+            window: 64,
+            backoff: Duration::from_millis(25),
+            backoff_max: Duration::from_millis(250),
+            max_retries: 20,
+        }
+    }
+}
+
+/// Counters of faults an unreliable transport actually injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Data packets silently dropped (probability faults).
+    pub dropped_data: u64,
+    /// Acks dropped (probability faults or full mailbox).
+    pub dropped_acks: u64,
+    /// Data packets delivered twice.
+    pub duplicated: u64,
+    /// Data packets held back for jittered delivery.
+    pub delayed: u64,
+    /// Frames dropped because their link was in a down window.
+    pub link_down_drops: u64,
+}
+
+impl FaultStats {
+    /// Total injected data-plane losses.
+    pub fn total_losses(&self) -> u64 {
+        self.dropped_data + self.link_down_drops
+    }
+
+    /// True when no fault of any kind fired.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_accepts_sane_models() {
+        FaultConfig::quiet(1).validate();
+        FaultConfig::drop_only(1, 0.1).validate();
+        FaultConfig::mixed(1, 0.1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn validation_rejects_bad_probability() {
+        FaultConfig::drop_only(1, 1.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than")]
+    fn validation_rejects_always_down_link() {
+        let mut f = FaultConfig::quiet(1);
+        f.link_down_period = Duration::from_millis(5);
+        f.link_down_len = Duration::from_millis(5);
+        f.validate();
+    }
+
+    #[test]
+    fn fault_stats_helpers() {
+        let mut s = FaultStats::default();
+        assert!(s.is_clean());
+        s.dropped_data = 3;
+        s.link_down_drops = 2;
+        assert_eq!(s.total_losses(), 5);
+        assert!(!s.is_clean());
+    }
+}

@@ -1,0 +1,123 @@
+//! Pluggable transport for the live Gravel runtime.
+//!
+//! The paper's live mode runs N nodes in one process with "the network"
+//! as in-memory channels. This crate extracts that hardwired fabric into
+//! a [`Transport`] trait with two implementations:
+//!
+//! - [`ChannelTransport`] — the original reliable in-memory fabric, now
+//!   with **bounded** per-node ingress channels so senders experience
+//!   real backpressure instead of unbounded queue growth.
+//! - [`UnreliableTransport`] — a decorator that injects seeded,
+//!   per-link faults (drop, duplication, latency jitter / reordering,
+//!   transient link-down windows) on the data plane, plus ack drops on
+//!   the reverse path.
+//!
+//! Delivery *semantics* (sequence numbers, cumulative acks, go-back-N
+//! retransmission, duplicate suppression) live above this crate, in the
+//! runtime's aggregator and network threads — the transport only moves
+//! frames and, in the unreliable case, loses or mangles them on purpose.
+//! Faults are applied exclusively to cross-node links (`src != dest`);
+//! the loopback path a node uses for its own serialized atomics is
+//! always reliable, mirroring the paper's hardware where local routing
+//! never touches the NIC.
+
+mod channel;
+mod fault;
+mod unreliable;
+
+pub use channel::ChannelTransport;
+pub use fault::{FaultConfig, FaultStats, RetryConfig, TransportKind};
+pub use unreliable::UnreliableTransport;
+
+use std::time::Duration;
+
+use gravel_pgas::Packet;
+
+/// Node identifier on the fabric.
+pub type NodeId = u32;
+
+/// A cumulative acknowledgement on the reverse path.
+///
+/// `src` is the acking (receiving) node; the frame is routed to
+/// aggregator lane `lane` of node `dest`, confirming receipt of every
+/// data packet on that flow with sequence number `<= cum_seq`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ack {
+    /// Node that received the data and is acknowledging it.
+    pub src: NodeId,
+    /// Original data sender the ack is addressed to.
+    pub dest: NodeId,
+    /// Aggregator lane (slot) on `dest` that owns the flow.
+    pub lane: u32,
+    /// Highest sequence number received in order on this flow.
+    pub cum_seq: u64,
+}
+
+/// Outcome of a send attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendStatus {
+    /// Accepted by the fabric (which, for an unreliable transport, does
+    /// *not* imply it will be delivered).
+    Sent,
+    /// The bounded channel stayed full for the whole timeout.
+    TimedOut,
+    /// The fabric has been closed.
+    Closed,
+}
+
+/// Outcome of a receive attempt.
+#[derive(Debug)]
+pub enum RecvStatus<T> {
+    /// A frame arrived.
+    Msg(T),
+    /// Nothing arrived within the timeout.
+    TimedOut,
+    /// The fabric is closed and fully drained.
+    Closed,
+}
+
+/// An N-node interconnect: a data plane from aggregators to network
+/// threads and an ack plane back to per-lane aggregator mailboxes.
+///
+/// All methods take `&self`; implementations are shared across threads
+/// behind an `Arc<dyn Transport>`.
+pub trait Transport: Send + Sync {
+    /// Cluster size.
+    fn nodes(&self) -> usize;
+
+    /// Aggregator lanes per node (ack mailboxes per node).
+    fn lanes(&self) -> usize;
+
+    /// Send a data packet towards `pkt.dest`, blocking up to `timeout`
+    /// if the destination's ingress channel is full.
+    fn send_data(&self, pkt: Packet, timeout: Duration) -> SendStatus;
+
+    /// Receive the next data packet addressed to `node`, waiting up to
+    /// `timeout`.
+    fn recv_data(&self, node: NodeId, timeout: Duration) -> RecvStatus<Packet>;
+
+    /// Send an ack towards `(ack.dest, ack.lane)`. Best-effort and
+    /// non-blocking: acks are cumulative, so dropping one (full mailbox,
+    /// injected fault) only delays progress until the next ack or a
+    /// retransmission — it can never corrupt the protocol.
+    fn send_ack(&self, ack: Ack);
+
+    /// Drain one pending ack for aggregator `lane` of `node`.
+    fn try_recv_ack(&self, node: NodeId, lane: u32) -> Option<Ack>;
+
+    /// Close the fabric: subsequent sends fail fast, receivers drain
+    /// what is already in flight and then observe [`RecvStatus::Closed`].
+    fn close(&self);
+
+    /// Whether [`close`](Self::close) has been called.
+    fn is_closed(&self) -> bool;
+
+    /// Counters of injected faults (all zero for reliable transports).
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+
+    /// Current data-plane queue depth per node, for quiesce-timeout
+    /// diagnostics.
+    fn data_depths(&self) -> Vec<usize>;
+}

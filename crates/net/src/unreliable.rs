@@ -1,0 +1,419 @@
+//! The fault-injecting decorator.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use gravel_pgas::Packet;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::{Ack, FaultConfig, FaultStats, NodeId, RecvStatus, SendStatus, Transport};
+
+/// SplitMix64-style finalizer for deriving per-link seeds.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct LinkState {
+    rng: StdRng,
+    /// Phase offset of this link's down windows within the period.
+    down_phase: Duration,
+}
+
+/// A packet held back for jittered (reordering) delivery.
+struct Delayed {
+    due: Instant,
+    /// Tiebreak so the heap is a total order.
+    id: u64,
+    pkt: Packet,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.id == other.id
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; invert for earliest-due-first.
+        other.due.cmp(&self.due).then(other.id.cmp(&self.id))
+    }
+}
+
+/// Decorator that injects seeded per-link faults into an inner
+/// transport (see crate docs for the model). Cross-node data packets
+/// may be dropped, duplicated, or held back; acks may be dropped.
+/// Loopback (`src == dest`) traffic passes through untouched.
+pub struct UnreliableTransport<T: Transport> {
+    inner: T,
+    cfg: FaultConfig,
+    /// Row-major `[src][dest]` link states (unused diagonal included to
+    /// keep indexing trivial).
+    links: Vec<Mutex<LinkState>>,
+    /// Held-back packets awaiting their jittered due time, per dest.
+    delayed: Vec<Mutex<BinaryHeap<Delayed>>>,
+    epoch: Instant,
+    next_delay_id: AtomicU64,
+    dropped_data: AtomicU64,
+    dropped_acks: AtomicU64,
+    duplicated: AtomicU64,
+    delayed_count: AtomicU64,
+    link_down_drops: AtomicU64,
+}
+
+impl<T: Transport> UnreliableTransport<T> {
+    /// Wrap `inner` with the given fault model.
+    pub fn new(inner: T, cfg: FaultConfig) -> Self {
+        cfg.validate();
+        let nodes = inner.nodes();
+        let links = (0..nodes * nodes)
+            .map(|i| {
+                let (src, dest) = (i / nodes, i % nodes);
+                let seed = mix(cfg.seed ^ mix((src as u64) << 32 | dest as u64));
+                let down_phase = if cfg.link_down_period.is_zero() {
+                    Duration::ZERO
+                } else {
+                    Duration::from_nanos(seed % cfg.link_down_period.as_nanos() as u64)
+                };
+                Mutex::new(LinkState { rng: StdRng::seed_from_u64(seed), down_phase })
+            })
+            .collect();
+        UnreliableTransport {
+            delayed: (0..nodes).map(|_| Mutex::new(BinaryHeap::new())).collect(),
+            links,
+            inner,
+            cfg,
+            epoch: Instant::now(),
+            next_delay_id: AtomicU64::new(0),
+            dropped_data: AtomicU64::new(0),
+            dropped_acks: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            delayed_count: AtomicU64::new(0),
+            link_down_drops: AtomicU64::new(0),
+        }
+    }
+
+    fn link(&self, src: NodeId, dest: NodeId) -> &Mutex<LinkState> {
+        &self.links[src as usize * self.inner.nodes() + dest as usize]
+    }
+
+    /// Is the `(src, dest)` link inside one of its down windows?
+    fn link_down(&self, phase: Duration) -> bool {
+        if self.cfg.link_down_period.is_zero() {
+            return false;
+        }
+        let period = self.cfg.link_down_period.as_nanos() as u64;
+        let pos = (self.epoch.elapsed().as_nanos() as u64 + phase.as_nanos() as u64) % period;
+        pos < self.cfg.link_down_len.as_nanos() as u64
+    }
+
+    /// Pop a due delayed packet for `node`, and report the next due time.
+    fn pop_delayed(&self, node: NodeId, now: Instant, ignore_due: bool) -> (Option<Packet>, Option<Instant>) {
+        let mut heap = self.delayed[node as usize].lock().unwrap();
+        match heap.peek() {
+            Some(d) if ignore_due || d.due <= now => {
+                let pkt = heap.pop().unwrap().pkt;
+                let next = heap.peek().map(|d| d.due);
+                (Some(pkt), next)
+            }
+            Some(d) => (None, Some(d.due)),
+            None => (None, None),
+        }
+    }
+}
+
+impl<T: Transport> Transport for UnreliableTransport<T> {
+    fn nodes(&self) -> usize {
+        self.inner.nodes()
+    }
+
+    fn lanes(&self) -> usize {
+        self.inner.lanes()
+    }
+
+    fn send_data(&self, pkt: Packet, timeout: Duration) -> SendStatus {
+        if pkt.src == pkt.dest {
+            return self.inner.send_data(pkt, timeout);
+        }
+        let (down, drop, dup, delay) = {
+            let mut link = self.link(pkt.src, pkt.dest).lock().unwrap();
+            let down = self.link_down(link.down_phase);
+            let drop = self.cfg.drop > 0.0 && link.rng.gen_bool(self.cfg.drop);
+            let dup = self.cfg.duplicate > 0.0 && link.rng.gen_bool(self.cfg.duplicate);
+            let delay = if self.cfg.reorder > 0.0 && link.rng.gen_bool(self.cfg.reorder) {
+                let jitter_ns = (self.cfg.jitter.as_nanos() as u64).max(1);
+                Some(Duration::from_nanos(link.rng.next_u64() % jitter_ns))
+            } else {
+                None
+            };
+            (down, drop, dup, delay)
+        };
+        if down {
+            self.link_down_drops.fetch_add(1, Ordering::Relaxed);
+            return SendStatus::Sent; // swallowed by the dead link
+        }
+        if drop {
+            self.dropped_data.fetch_add(1, Ordering::Relaxed);
+            return SendStatus::Sent;
+        }
+        if dup {
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+            // Best-effort second copy; losing it is itself a valid fault.
+            let _ = self.inner.send_data(pkt.clone(), Duration::ZERO);
+        }
+        if let Some(extra) = delay {
+            self.delayed_count.fetch_add(1, Ordering::Relaxed);
+            let dest = pkt.dest as usize;
+            self.delayed[dest].lock().unwrap().push(Delayed {
+                due: Instant::now() + extra,
+                id: self.next_delay_id.fetch_add(1, Ordering::Relaxed),
+                pkt,
+            });
+            return SendStatus::Sent;
+        }
+        self.inner.send_data(pkt, timeout)
+    }
+
+    fn recv_data(&self, node: NodeId, timeout: Duration) -> RecvStatus<Packet> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            let (due, next_due) = self.pop_delayed(node, now, false);
+            if let Some(pkt) = due {
+                return RecvStatus::Msg(pkt);
+            }
+            let mut wait = deadline.saturating_duration_since(now);
+            if let Some(nd) = next_due {
+                wait = wait.min(nd.saturating_duration_since(now));
+            }
+            match self.inner.recv_data(node, wait) {
+                RecvStatus::Msg(pkt) => return RecvStatus::Msg(pkt),
+                RecvStatus::Closed => {
+                    // Fabric closed: flush held-back packets immediately so
+                    // nothing accepted before close() is lost.
+                    return match self.pop_delayed(node, now, true).0 {
+                        Some(pkt) => RecvStatus::Msg(pkt),
+                        None => RecvStatus::Closed,
+                    };
+                }
+                RecvStatus::TimedOut => {
+                    if Instant::now() >= deadline {
+                        // One last chance for a packet that came due during
+                        // the inner wait.
+                        return match self.pop_delayed(node, Instant::now(), false).0 {
+                            Some(pkt) => RecvStatus::Msg(pkt),
+                            None => RecvStatus::TimedOut,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_ack(&self, ack: Ack) {
+        if ack.src != ack.dest {
+            let (down, drop) = {
+                let mut link = self.link(ack.src, ack.dest).lock().unwrap();
+                let down = self.link_down(link.down_phase);
+                let drop = self.cfg.drop > 0.0 && link.rng.gen_bool(self.cfg.drop);
+                (down, drop)
+            };
+            if down {
+                self.link_down_drops.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if drop {
+                self.dropped_acks.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.inner.send_ack(ack);
+    }
+
+    fn try_recv_ack(&self, node: NodeId, lane: u32) -> Option<Ack> {
+        self.inner.try_recv_ack(node, lane)
+    }
+
+    fn close(&self) {
+        self.inner.close();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.inner.is_closed()
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        let inner = self.inner.fault_stats();
+        FaultStats {
+            dropped_data: self.dropped_data.load(Ordering::Relaxed),
+            dropped_acks: self.dropped_acks.load(Ordering::Relaxed) + inner.dropped_acks,
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            delayed: self.delayed_count.load(Ordering::Relaxed),
+            link_down_drops: self.link_down_drops.load(Ordering::Relaxed),
+        }
+    }
+
+    fn data_depths(&self) -> Vec<usize> {
+        let mut depths = self.inner.data_depths();
+        for (d, heap) in self.delayed.iter().enumerate() {
+            depths[d] += heap.lock().unwrap().len();
+        }
+        depths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChannelTransport;
+
+    fn pkt(src: u32, dest: u32, tag: u64) -> Packet {
+        Packet::from_words(src, dest, &[tag])
+    }
+
+    const T: Duration = Duration::from_millis(300);
+
+    #[test]
+    fn no_faults_is_transparent() {
+        // Capacity must cover all 20 sends: nothing drains until the
+        // send loop finishes.
+        let t = UnreliableTransport::new(ChannelTransport::new(2, 1, 32), FaultConfig::quiet(1));
+        for i in 0..20 {
+            assert_eq!(t.send_data(pkt(0, 1, i), T), SendStatus::Sent);
+        }
+        for i in 0..20 {
+            match t.recv_data(1, T) {
+                RecvStatus::Msg(p) => assert_eq!(p.words(), vec![i]),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(t.fault_stats().is_clean());
+    }
+
+    #[test]
+    fn drops_are_counted_and_deterministic() {
+        let count_drops = |seed| {
+            let t = UnreliableTransport::new(
+                ChannelTransport::new(2, 1, 2048),
+                FaultConfig::drop_only(seed, 0.2),
+            );
+            for i in 0..1000 {
+                t.send_data(pkt(0, 1, i), T);
+            }
+            t.fault_stats().dropped_data
+        };
+        let a = count_drops(7);
+        assert_eq!(a, count_drops(7), "same seed, same faults");
+        assert!((100..350).contains(&a), "~20% of 1000, got {a}");
+        assert_ne!(a, count_drops(8), "different seed, different pattern");
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let t = UnreliableTransport::new(
+            ChannelTransport::new(2, 1, 2048),
+            FaultConfig { duplicate: 1.0, ..FaultConfig::quiet(3) },
+        );
+        for i in 0..10 {
+            t.send_data(pkt(0, 1, i), T);
+        }
+        let mut got = 0;
+        while let RecvStatus::Msg(_) = t.recv_data(1, Duration::from_millis(10)) {
+            got += 1;
+        }
+        assert_eq!(got, 20);
+        assert_eq!(t.fault_stats().duplicated, 10);
+    }
+
+    #[test]
+    fn reordering_actually_reorders() {
+        let t = UnreliableTransport::new(
+            ChannelTransport::new(2, 1, 4096),
+            FaultConfig {
+                reorder: 0.5,
+                jitter: Duration::from_millis(2),
+                ..FaultConfig::quiet(11)
+            },
+        );
+        for i in 0..200 {
+            t.send_data(pkt(0, 1, i), T);
+        }
+        let mut got = Vec::new();
+        while let RecvStatus::Msg(p) = t.recv_data(1, Duration::from_millis(20)) {
+            got.push(p.words()[0]);
+        }
+        assert_eq!(got.len(), 200, "nothing lost, only reordered");
+        assert!(got.windows(2).any(|w| w[0] > w[1]), "some inversion exists");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn loopback_is_never_faulted() {
+        let t = UnreliableTransport::new(
+            ChannelTransport::new(2, 1, 2048),
+            FaultConfig { drop: 1.0, ..FaultConfig::quiet(5) },
+        );
+        for i in 0..50 {
+            t.send_data(pkt(0, 0, i), T);
+        }
+        for i in 0..50 {
+            match t.recv_data(0, T) {
+                RecvStatus::Msg(p) => assert_eq!(p.words(), vec![i]),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(t.fault_stats().dropped_data, 0);
+    }
+
+    #[test]
+    fn close_flushes_delayed_packets() {
+        let t = UnreliableTransport::new(
+            ChannelTransport::new(2, 1, 16),
+            FaultConfig {
+                reorder: 1.0,
+                jitter: Duration::from_secs(5), // far beyond the test timeout
+                ..FaultConfig::quiet(9)
+            },
+        );
+        t.send_data(pkt(0, 1, 42), T);
+        t.close();
+        match t.recv_data(1, Duration::from_millis(50)) {
+            RecvStatus::Msg(p) => assert_eq!(p.words(), vec![42]),
+            other => panic!("delayed packet lost at close: {other:?}"),
+        }
+        assert!(matches!(t.recv_data(1, Duration::from_millis(5)), RecvStatus::Closed));
+    }
+
+    #[test]
+    fn link_down_windows_swallow_traffic() {
+        let t = UnreliableTransport::new(
+            ChannelTransport::new(2, 1, 4096),
+            FaultConfig {
+                link_down_period: Duration::from_millis(10),
+                link_down_len: Duration::from_millis(5),
+                ..FaultConfig::quiet(13)
+            },
+        );
+        // Spread sends across several periods: some must hit a window.
+        for i in 0..40 {
+            t.send_data(pkt(0, 1, i), T);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let drops = t.fault_stats().link_down_drops;
+        assert!(drops > 0, "no send hit a down window");
+        assert!(drops < 40, "link was never up");
+    }
+}

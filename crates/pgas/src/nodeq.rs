@@ -26,6 +26,14 @@ pub struct Packet {
     pub src: u32,
     /// Destination node.
     pub dest: u32,
+    /// Sending aggregator lane (slot) on `src`. Together with `src` it
+    /// names the flow a sequence number belongs to, so multiple
+    /// aggregator threads per node keep independent sequence spaces.
+    pub lane: u32,
+    /// Per-flow sequence number, stamped by the sender at transmit time
+    /// (0 until then). The receiver applies packets of a flow in
+    /// sequence order exactly once and acks cumulatively.
+    pub seq: u64,
     /// Message words, little-endian, message-major.
     pub payload: Bytes,
 }
@@ -53,7 +61,7 @@ impl Packet {
         for &w in words {
             buf.put_u64_le(w);
         }
-        Packet { src, dest, payload: buf.freeze() }
+        Packet { src, dest, lane: 0, seq: 0, payload: buf.freeze() }
     }
 }
 
@@ -159,7 +167,7 @@ impl NodeQueues {
         } else {
             self.stats.full_flushes += 1;
         }
-        Some(Packet { src: self.my_node, dest: dest as u32, payload })
+        Some(Packet { src: self.my_node, dest: dest as u32, lane: 0, seq: 0, payload })
     }
 
     /// Append one message (as words) to destination `dest`'s queue.

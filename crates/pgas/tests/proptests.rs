@@ -19,13 +19,13 @@ proptest! {
         let layout = if cyclic { Layout::Cyclic } else { Layout::Block };
         let p = Partition::new(total, nodes, layout);
         let mut seen = vec![0u32; total];
-        for g in 0..total {
+        for (g, count) in seen.iter_mut().enumerate() {
             let node = p.owner(g);
             prop_assert!(node < nodes);
             let off = p.local_offset(g);
             prop_assert!((off as usize) < p.local_len(node));
             prop_assert_eq!(p.global(node, off), g);
-            seen[g] += 1;
+            *count += 1;
         }
         prop_assert!(seen.iter().all(|&c| c == 1));
         let sum: usize = (0..nodes).map(|n| p.local_len(n)).sum();

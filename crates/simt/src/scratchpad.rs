@@ -91,11 +91,7 @@ impl Scratchpad {
     /// How many work-groups with this scratchpad footprint fit on one
     /// compute unit (occupancy limit; at least 1 footprint must fit).
     pub fn occupancy_limit(cu_capacity: usize, footprint: usize) -> usize {
-        if footprint == 0 {
-            usize::MAX
-        } else {
-            cu_capacity / footprint
-        }
+        cu_capacity.checked_div(footprint).unwrap_or(usize::MAX)
     }
 }
 

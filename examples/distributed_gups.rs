@@ -26,7 +26,7 @@ fn main() {
     println!("GUPS: {issued} updates verified on {nodes} nodes in {elapsed:?}");
     println!("      ({:.2} M updates/s live on this host)", issued as f64 / elapsed.as_secs_f64() / 1e6);
 
-    let stats = rt.shutdown();
+    let stats = rt.shutdown().expect("clean shutdown");
     println!(
         "      remote access frequency {:.1}% (expected {:.1}%), avg packet {:.0} B",
         stats.remote_fraction() * 100.0,

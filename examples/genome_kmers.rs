@@ -41,7 +41,7 @@ fn main() {
         got.len()
     );
 
-    let stats = rt.shutdown();
+    let stats = rt.shutdown().expect("clean shutdown");
     println!(
         "remote access frequency {:.1}% (paper: 87.5% at 8 nodes), avg packet {:.0} B",
         stats.remote_fraction() * 100.0,
@@ -65,7 +65,7 @@ fn main() {
         .map(|r| mer::pack_kmer(&r[..input.k]))
         .collect();
     let walks = mer2::traverse(&rt, &seeds, input.k, table_len, 500, 1);
-    rt.shutdown();
+    rt.shutdown().expect("clean shutdown");
     let reference = mer2::reference_contigs(&input, nodes, &seeds, 500);
     assert_eq!(
         walks.iter().map(|w| w.contig.clone()).collect::<Vec<_>>(),

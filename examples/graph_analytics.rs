@@ -25,7 +25,7 @@ fn main() {
     let damping = pagerank::default_damping();
     let rt = GravelRuntime::new(GravelConfig::small(nodes, g.num_vertices()));
     let live = pagerank::run_live(&rt, &g, 5, damping);
-    rt.shutdown();
+    rt.shutdown().expect("clean shutdown");
     let seq = reference::pagerank(&g, 5, damping);
     assert_eq!(live, seq, "distributed PageRank must match bit-for-bit");
     let top = (0..g.num_vertices()).max_by_key(|&v| live[v]).unwrap();
@@ -37,7 +37,7 @@ fn main() {
         relax_id = sssp::register(reg);
     });
     let dist = sssp::run_live(&rt, &g, 0, relax_id);
-    rt.shutdown();
+    rt.shutdown().expect("clean shutdown");
     assert_eq!(dist, reference::sssp(&g, 0));
     let reachable = dist.iter().filter(|&&d| d != sssp::INF).count();
     println!("SSSP: verified against Dijkstra; {reachable} vertices reachable from 0");
@@ -46,7 +46,7 @@ fn main() {
     let small = gen::hugebubbles_like(400, 9);
     let rt = GravelRuntime::new(GravelConfig::small(nodes, small.num_vertices()));
     let colors = color::run_live(&rt, &small);
-    rt.shutdown();
+    rt.shutdown().expect("clean shutdown");
     assert!(reference::coloring_valid(&small.symmetrized(), &colors));
     println!(
         "coloring: proper with {} colors",

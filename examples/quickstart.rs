@@ -33,7 +33,7 @@ fn main() {
     println!("node 1 received {total} increments (expected {})", 4 * 64);
     assert_eq!(total, 4 * 64);
 
-    let stats = rt.shutdown();
+    let stats = rt.shutdown().expect("clean shutdown");
     println!(
         "offloaded {} messages, {} network packets, avg packet {:.0} B, remote fraction {:.1}%",
         stats.total_offloaded(),

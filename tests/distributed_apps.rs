@@ -13,7 +13,7 @@ fn gups_on_three_nodes() {
     let issued = gups::run_live(&rt, &input);
     assert_eq!(issued, 6_000);
     assert!(gups::verify_live(&rt, &input));
-    let stats = rt.shutdown();
+    let stats = rt.shutdown().expect("clean shutdown");
     assert_eq!(stats.total_offloaded(), stats.total_applied());
 }
 
@@ -25,7 +25,7 @@ fn pagerank_exact_across_node_counts() {
     for nodes in [1, 2, 4] {
         let rt = GravelRuntime::new(GravelConfig::small(nodes, 128));
         let live = pagerank::run_live(&rt, &g, 4, damping);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         assert_eq!(live, seq, "PageRank differs at {nodes} nodes");
     }
 }
@@ -39,7 +39,7 @@ fn sssp_matches_dijkstra_from_multiple_sources() {
             relax = sssp::register(reg);
         });
         let live = sssp::run_live(&rt, &g, source, relax);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         assert_eq!(live, reference::sssp(&g, source), "source {source}");
     }
 }
@@ -51,7 +51,7 @@ fn coloring_proper_on_both_input_families() {
     {
         let rt = GravelRuntime::new(GravelConfig::small(2, g.num_vertices()));
         let colors = color::run_live(&rt, &g);
-        rt.shutdown();
+        rt.shutdown().expect("clean shutdown");
         assert!(reference::coloring_valid(&g.symmetrized(), &colors), "{name}");
     }
 }
@@ -61,7 +61,7 @@ fn kmeans_exact_on_four_nodes() {
     let input = kmeans::KmeansInput { points: 1200, clusters: 3, iters: 3, seed: 77 };
     let rt = GravelRuntime::new(GravelConfig::small(4, 3 * input.clusters));
     let live = kmeans::run_live(&rt, &input);
-    rt.shutdown();
+    rt.shutdown().expect("clean shutdown");
     assert_eq!(live, kmeans::reference(&input, 4));
 }
 
@@ -77,7 +77,7 @@ fn mer_builds_the_exact_kmer_set() {
     });
     mer::run_live(&rt, &input, table_len, insert);
     let got = mer::collect_table(&rt);
-    rt.shutdown();
+    rt.shutdown().expect("clean shutdown");
     assert_eq!(got, expected);
 }
 
@@ -94,6 +94,6 @@ fn two_apps_share_one_runtime_sequentially() {
     }
     gups::run_live(&rt, &input);
     assert!(gups::verify_live(&rt, &input));
-    let stats = rt.shutdown();
+    let stats = rt.shutdown().expect("clean shutdown");
     assert_eq!(stats.total_offloaded(), 4_000);
 }

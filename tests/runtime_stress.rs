@@ -1,6 +1,8 @@
 //! Failure-injection and stress tests for the live runtime.
 
-use gravel_core::{GravelConfig, GravelRuntime};
+use std::time::Duration;
+
+use gravel_core::{FaultConfig, GravelConfig, GravelRuntime, RuntimeStats, TransportKind};
 use gravel_simt::LaneVec;
 
 /// Tiny queues: the ring wraps constantly, producers hit backpressure,
@@ -22,7 +24,7 @@ fn backpressure_through_tiny_queues() {
     }
     rt.quiesce();
     assert_eq!(rt.heap(1).load(0), 10 * 2 * 64);
-    rt.shutdown();
+    rt.shutdown().expect("clean shutdown");
 }
 
 /// Shutdown with messages still in flight must drain, not drop.
@@ -37,7 +39,7 @@ fn shutdown_drains_in_flight_messages() {
         ctx.shmem_inc(&dests, &addrs, &vals);
     });
     // No explicit quiesce: shutdown must do it.
-    let stats = rt.shutdown();
+    let stats = rt.shutdown().expect("clean shutdown");
     assert_eq!(stats.total_offloaded(), stats.total_applied());
     assert_eq!(stats.total_offloaded(), 4 * 64);
 }
@@ -59,7 +61,7 @@ fn many_supersteps_with_barriers() {
         let total = rt.heap(0).load(0) + rt.heap(1).load(0);
         assert_eq!(total, (step + 1) * 64, "after step {step}");
     }
-    rt.shutdown();
+    rt.shutdown().expect("clean shutdown");
 }
 
 /// A kernel that sends nothing leaves the cluster clean.
@@ -68,7 +70,7 @@ fn empty_kernels_and_empty_quiesce() {
     let rt = GravelRuntime::new(GravelConfig::small(3, 4));
     rt.dispatch_all(2, |_ctx| {});
     rt.quiesce();
-    let stats = rt.shutdown();
+    let stats = rt.shutdown().expect("clean shutdown");
     assert_eq!(stats.total_offloaded(), 0);
 }
 
@@ -93,7 +95,7 @@ fn divergent_masked_senders() {
     rt.quiesce();
     let got: u64 = (0..8).map(|r| rt.heap(1).load(r)).sum();
     assert_eq!(got, expected);
-    rt.shutdown();
+    rt.shutdown().expect("clean shutdown");
 }
 
 /// Mixed op classes interleaved: PUTs, INCs and active messages in one
@@ -118,7 +120,7 @@ fn mixed_operation_classes() {
     assert_eq!(rt.heap(1).load(8), 7);
     assert_eq!(rt.heap(1).load(0), 64);
     assert_eq!(rt.heap(1).load(9), 500); // min over 500..564
-    rt.shutdown();
+    rt.shutdown().expect("clean shutdown");
 }
 
 /// Eight in-process nodes (the paper's cluster size) all-to-all.
@@ -143,7 +145,7 @@ fn eight_node_all_to_all() {
             assert_eq!(rt.heap(dest).load(src as u64), 8, "dest {dest} src {src}");
         }
     }
-    let stats = rt.shutdown();
+    let stats = rt.shutdown().expect("clean shutdown");
     assert!((stats.remote_fraction() - 0.875).abs() < 1e-9);
 }
 
@@ -165,11 +167,187 @@ fn two_aggregator_threads_are_exact() {
     }
     rt.quiesce();
     assert_eq!(rt.heap(1).load(3), 6 * 2 * 64);
-    let stats = rt.shutdown();
+    let stats = rt.shutdown().expect("clean shutdown");
     assert_eq!(stats.total_offloaded(), stats.total_applied());
     // Both aggregator slots contributed packets (probabilistically; at
     // minimum the totals are conserved).
     assert_eq!(stats.nodes[0].agg.messages, 6 * 2 * 64);
+}
+
+// ---------------------------------------------------------------------------
+// Fault matrix: the delivery protocol (sequence numbers, cumulative acks,
+// go-back-N retransmission) must make results *identical* to the reliable
+// transport under injected drops, duplication, reordering, and link
+// outages — and the protocol counters must prove faults actually fired.
+// ---------------------------------------------------------------------------
+
+/// Deterministic mixer shared by kernels and their sequential references.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn small_cfg(nodes: usize, heap: usize, faults: Option<FaultConfig>) -> GravelConfig {
+    let mut cfg = GravelConfig::small(nodes, heap);
+    cfg.node_queue_bytes = 64; // 2 messages per packet → many fault rolls
+    if let Some(f) = faults {
+        cfg.transport = TransportKind::Unreliable(f);
+    }
+    cfg
+}
+
+/// GUPS: every node scatters increments to pseudo-random remote slots for
+/// several supersteps. Returns final stats; asserts heaps match the
+/// sequential reference exactly.
+fn run_gups(cfg: GravelConfig, supersteps: u64) -> RuntimeStats {
+    let nodes = cfg.nodes;
+    let heap = cfg.heap_len as u64;
+    let wg = cfg.wg_size;
+    let rt = GravelRuntime::new(cfg);
+    for step in 0..supersteps {
+        for me in 0..nodes {
+            rt.dispatch(me, 1, |ctx| {
+                let n = ctx.wg.wg_size();
+                let me = ctx.my_node() as u64;
+                let k = ctx.nodes() as u64;
+                let dests =
+                    LaneVec::from_fn(n, |l| (mix(step * 7919 + me * 131 + l as u64) % k) as u32);
+                let addrs =
+                    LaneVec::from_fn(n, |l| mix(step * 104729 + me * 31 + l as u64) % heap);
+                let vals = LaneVec::splat(n, 1u64);
+                ctx.shmem_inc(&dests, &addrs, &vals);
+            });
+        }
+        rt.quiesce();
+    }
+    // Sequential reference.
+    let mut expect = vec![vec![0u64; heap as usize]; nodes];
+    for step in 0..supersteps {
+        for me in 0..nodes as u64 {
+            for l in 0..wg as u64 {
+                let dest = (mix(step * 7919 + me * 131 + l) % nodes as u64) as usize;
+                let addr = (mix(step * 104729 + me * 31 + l) % heap) as usize;
+                expect[dest][addr] += 1;
+            }
+        }
+    }
+    for d in 0..nodes {
+        for a in 0..heap as usize {
+            assert_eq!(rt.heap(d).load(a as u64), expect[d][a], "node {d} slot {a}");
+        }
+    }
+    rt.shutdown().expect("clean shutdown under faults")
+}
+
+/// PageRank-style superstep: each node pushes a weighted contribution
+/// along a fixed synthetic edge list (dest and value derived from the
+/// lane), accumulated with increments. Exact totals checked per slot.
+fn run_pagerank_push(cfg: GravelConfig, rounds: u64) -> RuntimeStats {
+    let nodes = cfg.nodes;
+    let heap = cfg.heap_len as u64;
+    let wg = cfg.wg_size;
+    let rt = GravelRuntime::new(cfg);
+    for round in 0..rounds {
+        for me in 0..nodes {
+            rt.dispatch(me, 1, |ctx| {
+                let n = ctx.wg.wg_size();
+                let me = ctx.my_node() as u64;
+                let k = ctx.nodes() as u64;
+                // Lane l owns vertex (me, l); its single out-edge goes to
+                // node (me + l) % k, slot l % heap, weight l + round + 1.
+                let dests = LaneVec::from_fn(n, |l| ((me + l as u64) % k) as u32);
+                let addrs = LaneVec::from_fn(n, |l| l as u64 % heap);
+                let vals = LaneVec::from_fn(n, |l| l as u64 + round + 1);
+                ctx.shmem_inc(&dests, &addrs, &vals);
+            });
+        }
+        rt.quiesce();
+    }
+    let mut expect = vec![vec![0u64; heap as usize]; nodes];
+    for round in 0..rounds {
+        for me in 0..nodes as u64 {
+            for l in 0..wg as u64 {
+                let dest = ((me + l) % nodes as u64) as usize;
+                expect[dest][(l % heap) as usize] += l + round + 1;
+            }
+        }
+    }
+    for d in 0..nodes {
+        for a in 0..heap as usize {
+            assert_eq!(rt.heap(d).load(a as u64), expect[d][a], "node {d} slot {a}");
+        }
+    }
+    rt.shutdown().expect("clean shutdown under faults")
+}
+
+#[test]
+fn fault_matrix_gups_reliable_baseline_has_clean_counters() {
+    let stats = run_gups(small_cfg(4, 32, None), 3);
+    assert!(stats.faults.is_clean());
+    assert_eq!(stats.total_retransmits(), 0, "reliable transport never retransmits");
+    assert_eq!(stats.total_dups_suppressed(), 0);
+}
+
+#[test]
+fn fault_matrix_gups_one_percent_drop() {
+    let stats = run_gups(small_cfg(4, 32, Some(FaultConfig::drop_only(11, 0.01))), 3);
+    assert!(stats.faults.dropped_data > 0, "1 % of ~{} packets should drop", 4 * 3);
+    assert!(stats.total_retransmits() > 0, "drops must be repaired by retransmission");
+}
+
+#[test]
+fn fault_matrix_gups_ten_percent_mixed() {
+    // Drop + duplicate + reorder all at once, two cluster sizes.
+    for nodes in [2, 4] {
+        let stats = run_gups(small_cfg(nodes, 32, Some(FaultConfig::mixed(23, 0.10))), 3);
+        assert!(stats.faults.dropped_data > 0, "{nodes} nodes: no drops injected");
+        assert!(stats.faults.duplicated > 0, "{nodes} nodes: no duplicates injected");
+        assert!(stats.total_retransmits() > 0, "{nodes} nodes");
+        assert!(
+            stats.total_dups_suppressed() > 0,
+            "{nodes} nodes: duplicates must be suppressed, not applied"
+        );
+    }
+}
+
+#[test]
+fn fault_matrix_gups_reorder_only() {
+    let mut f = FaultConfig::quiet(31);
+    f.reorder = 0.25;
+    f.jitter = Duration::from_micros(500);
+    let stats = run_gups(small_cfg(3, 32, Some(f)), 3);
+    assert!(stats.faults.delayed > 0, "no packets were held back");
+    // Reordering alone loses nothing: any retransmissions are spurious
+    // timeouts, and results (asserted inside run_gups) stay exact.
+}
+
+#[test]
+fn fault_matrix_gups_link_down_windows() {
+    let mut f = FaultConfig::quiet(47);
+    f.link_down_period = Duration::from_millis(20);
+    f.link_down_len = Duration::from_millis(4);
+    let stats = run_gups(small_cfg(3, 32, Some(f)), 4);
+    // Outage windows swallow whole packets (or acks); either way the
+    // retry path must have carried the cluster through.
+    assert!(
+        stats.faults.link_down_drops > 0 || stats.total_retransmits() == 0,
+        "links were never down and yet retransmits happened: {:?}",
+        stats.faults
+    );
+}
+
+#[test]
+fn fault_matrix_pagerank_reliable_and_faulty_agree() {
+    let clean = run_pagerank_push(small_cfg(4, 16, None), 2);
+    assert!(clean.faults.is_clean());
+    assert_eq!(clean.total_retransmits(), 0);
+    let faulty = run_pagerank_push(small_cfg(4, 16, Some(FaultConfig::mixed(59, 0.10))), 2);
+    // Same totals delivered despite the fault mix (per-slot equality is
+    // asserted against the sequential reference inside the helper).
+    assert_eq!(clean.total_applied(), faulty.total_applied());
+    assert!(!faulty.faults.is_clean());
 }
 
 /// A corrupted/misrouted message (out-of-range address) is dropped by the
@@ -183,7 +361,7 @@ fn malformed_message_does_not_wedge_the_cluster() {
     rt.node(0).host_send(gravel_gq::Message::put(1, 2, 7));
     rt.quiesce();
     assert_eq!(rt.heap(1).load(2), 7);
-    let stats = rt.shutdown();
+    let stats = rt.shutdown().expect("clean shutdown");
     assert_eq!(stats.total_offloaded(), 2);
     assert_eq!(stats.total_applied(), 2); // dropped counts as disposed
 }

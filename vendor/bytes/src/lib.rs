@@ -1,0 +1,189 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the workspace uses — [`BytesMut`] as an
+//! append-only build buffer with [`BufMut`] little-endian writers,
+//! `split().freeze()` to detach a cheaply-clonable immutable [`Bytes`] —
+//! over plain `Vec<u8>`/`Arc<[u8]>`. No vtables, no shared-slab
+//! refcounting; `split` copies nothing (it takes the whole vector) and
+//! `freeze` does one allocation handoff.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+/// A growable byte buffer being assembled.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Remove and return the entire contents, leaving this buffer empty
+    /// (capacity retained). Matches how the aggregator uses upstream
+    /// `bytes`: `split()` detaches the filled prefix — and we only ever
+    /// split full buffers.
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut(std::mem::take(&mut self.0))
+    }
+
+    /// Convert to an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+
+    /// Clear contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+/// Little-endian append operations.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a `u32`, little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_split_freeze_roundtrip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u64_le(0x0102_0304_0506_0708);
+        b.put_u64_le(42);
+        assert_eq!(b.len(), 16);
+        let detached = b.split();
+        assert!(b.is_empty());
+        let frozen = detached.freeze();
+        assert_eq!(frozen.len(), 16);
+        let words: Vec<u64> =
+            frozen.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        assert_eq!(words, vec![0x0102_0304_0506_0708, 42]);
+    }
+
+    #[test]
+    fn bytes_clone_is_shallow_and_equal() {
+        let a = Bytes::copy_from_slice(&[1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(&*a, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn split_keeps_capacity_for_reuse() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_slice(&[0; 32]);
+        let _p = b.split();
+        assert!(b.is_empty());
+        b.put_u8(1); // usable after split
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the [`channel`] module is provided — MPMC channels with the
+//! crossbeam 0.8 API surface the workspace uses: `unbounded`, `bounded`,
+//! cloneable senders/receivers, disconnect-on-last-drop semantics, and
+//! the blocking/timeout/try operation triples. Built on
+//! `Mutex<VecDeque>` + two condvars rather than lock-free rings; the
+//! live runtime moves whole aggregated packets (64 kB-class) through
+//! these channels, so per-op lock cost is noise compared to upstream.
+
+pub mod channel;

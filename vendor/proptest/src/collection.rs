@@ -1,0 +1,72 @@
+//! Collection strategies: `prop::collection::vec`.
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Anything usable as the vec-length argument: an exact `usize`, a
+/// half-open range, or an inclusive range.
+pub trait IntoLenRange {
+    /// Lower and upper (inclusive) length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoLenRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoLenRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec length range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoLenRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+/// `prop::collection::vec(element, len)`.
+pub fn vec<S: Strategy, L: IntoLenRange>(element: S, len: L) -> VecStrategy<S> {
+    let (min, max) = len.bounds();
+    VecStrategy { element, min, max }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.min == self.max {
+            self.min
+        } else {
+            rng.gen_range(self.min..=self.max)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..50 {
+            assert_eq!(vec(0u64..5, 4usize).generate(&mut rng).len(), 4);
+            let v = vec(0u64..5, 1..8).generate(&mut rng);
+            assert!((1..8).contains(&v.len()));
+            let w = vec(0u64..5, 2..=3).generate(&mut rng);
+            assert!((2..=3).contains(&w.len()));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Keeps the property-test *surface* the workspace uses — the
+//! `proptest!` macro, `Strategy` with `prop_map`/`prop_flat_map`,
+//! integer-range and tuple strategies, `prop::collection::vec`,
+//! `any::<T>()`, `ProptestConfig::with_cases`, and the `prop_assert*`
+//! macros — while replacing the engine with a plain seeded-random case
+//! runner. Differences from upstream:
+//!
+//! - **No shrinking.** A failing case reports the assertion with the
+//!   generated values baked into the panic message position, but is not
+//!   minimized.
+//! - **Deterministic seeding.** Cases derive from a fixed per-test seed
+//!   (FNV-1a of the test name) plus the case index, so failures
+//!   reproduce exactly across runs and machines — there is no
+//!   `proptest-regressions` persistence because none is needed.
+//! - `prop_assert*` are plain `assert*` (panic instead of returning
+//!   `Err`), which under a test harness reports identically.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Any, Arbitrary, Just, Strategy, TestRng};
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test base seed.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// What `use proptest::prelude::*` brings in.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// The `proptest!` block: config header plus `#[test]` functions whose
+/// parameters are strategies (`name in strat`) or `Arbitrary` types
+/// (`name: Type`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let base = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases as u64 {
+                let mut __proptest_rng =
+                    $crate::TestRng::from_seed(base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                $crate::__proptest_bind!(__proptest_rng; $body; $($params)*);
+            }
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; $body:block;) => { $body };
+    ($rng:ident; $body:block; $name:ident in $strat:expr, $($rest:tt)*) => {{
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $body; $($rest)*)
+    }};
+    ($rng:ident; $body:block; $name:ident in $strat:expr) => {{
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $body;)
+    }};
+    ($rng:ident; $body:block; $name:ident : $ty:ty, $($rest:tt)*) => {{
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind!($rng; $body; $($rest)*)
+    }};
+    ($rng:ident; $body:block; $name:ident : $ty:ty) => {{
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind!($rng; $body;)
+    }};
+}
+
+/// Plain assert; kept as a distinct macro so call sites read like
+/// upstream proptest.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Plain assert_eq.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Plain assert_ne.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors a minimal, API-compatible subset of `rand` 0.8: a seedable
+//! deterministic generator ([`rngs::StdRng`], xoshiro256** under the
+//! hood rather than ChaCha), the [`Rng`] extension trait with
+//! `gen_range`/`gen_bool`/`gen`, and [`SeedableRng::seed_from_u64`].
+//!
+//! Streams differ from upstream `rand` for the same seed — everything in
+//! this workspace treats seeds as opaque reproducibility handles, never
+//! as cross-library fixtures, so only determinism matters.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Deterministic generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256**, seeded via SplitMix64
+    /// exactly as the xoshiro reference implementation recommends.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Draw a uniform value in `[0, bound)` without modulo bias (Lemire's
+/// method would be overkill here; rejection sampling is exact and the
+/// workloads draw few enough values that the retry cost is noise).
+fn uniform_below(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX as u64 {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_signed_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Types `gen()` can produce.
+pub trait Standard: Sized {
+    /// Draw one uniformly distributed value.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(rng: &mut dyn RngCore) -> $t { rng.next_u64() as $t }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut dyn RngCore) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The user-facing extension trait, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// Uniform draw of a whole value.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let u = r.gen_range(3u8..=3);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,276 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` by
+//! walking the raw `TokenStream` directly (the container has no `syn`
+//! or `quote`), then emitting the impl as a source string and parsing
+//! it back. Supports exactly the shapes this workspace derives on:
+//!
+//! - structs with named fields → JSON objects keyed by field name
+//! - enums whose variants are all unit variants → JSON strings
+//!
+//! Anything else (tuple structs, data-carrying variants, generics)
+//! produces a `compile_error!` naming the unsupported construct, so a
+//! future use that outgrows the stub fails loudly at build time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { Variant, ... }` (unit variants only)
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip one attribute (`#` + bracket group) starting at `i`; returns the
+/// index just past it, or `i` if the tokens there are not an attribute.
+fn skip_attr(tokens: &[TokenTree], i: usize) -> usize {
+    match (tokens.get(i), tokens.get(i + 1)) {
+        (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+        {
+            i + 2
+        }
+        _ => i,
+    }
+}
+
+/// Skip a visibility marker (`pub` or `pub(...)`).
+fn skip_vis(tokens: &[TokenTree], i: usize) -> usize {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "pub" => match tokens.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => i + 2,
+            _ => i + 1,
+        },
+        _ => i,
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        let j = skip_attr(&tokens, i);
+        if j == i {
+            break;
+        }
+        i = j;
+    }
+    i = skip_vis(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("cannot derive for `{kind}` items"));
+    }
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is not supported by the vendored serde_derive"));
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "`{name}` must have a brace-delimited body (tuple/unit structs unsupported)"
+            ))
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    if kind == "struct" {
+        Ok(Shape::Struct { name, fields: parse_named_fields(&body)? })
+    } else {
+        Ok(Shape::Enum { name, variants: parse_unit_variants(&body)? })
+    }
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        loop {
+            let j = skip_attr(body, i);
+            if j == i {
+                break;
+            }
+            i = j;
+        }
+        i = skip_vis(body, i);
+        let field = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => return Err(format!("unexpected token `{t}` in struct body")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("field `{field}`: expected `:` (tuple fields unsupported)")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth: i32 = 0;
+        while let Some(t) = body.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        loop {
+            let j = skip_attr(body, i);
+            if j == i {
+                break;
+            }
+            i = j;
+        }
+        let variant = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => return Err(format!("unexpected token `{t}` in enum body")),
+        };
+        i += 1;
+        match body.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{variant}` carries data; only unit variants are supported"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the comma.
+                while let Some(t) = body.get(i) {
+                    if matches!(t, TokenTree::Punct(q) if q.as_char() == ',') {
+                        break;
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            Some(t) => return Err(format!("unexpected token `{t}` after variant `{variant}`")),
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\n\
+                             v.get(\"{f}\").unwrap_or(&::serde::Value::Null))\n\
+                             .map_err(|_| ::serde::Error::custom(\n\
+                                 concat!(\"invalid or missing field `\", \"{f}\", \"`\")))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v.as_str() {{\n\
+                             Some(s) => match s {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::Error::custom(\n\
+                                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             None => Err(::serde::Error::custom(\"expected string for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
