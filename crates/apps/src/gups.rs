@@ -59,6 +59,7 @@ pub fn run_live(rt: &GravelRuntime, input: &GupsInput) -> u64 {
     }
     let mut issued = 0u64;
     for node in 0..nodes {
+        let _span = rt.tracer().span("gups.dispatch", "app", node as u32);
         let updates = node_updates(input, nodes, node);
         issued += updates.len() as u64;
         let wg_size = rt.config().wg_size;
@@ -84,6 +85,18 @@ pub fn run_live(rt: &GravelRuntime, input: &GupsInput) -> u64 {
     }
     rt.quiesce();
     issued
+}
+
+/// [`run_live`] plus a distilled telemetry summary of the run (message
+/// totals, remote fraction, packet sizes, packet-latency quantiles).
+/// Span-instrumented: each node's dispatch records a `gups.dispatch`
+/// span when the runtime's tracer is enabled.
+pub fn run_live_instrumented(
+    rt: &GravelRuntime,
+    input: &GupsInput,
+) -> (u64, crate::AppTelemetry) {
+    let issued = run_live(rt, input);
+    (issued, crate::AppTelemetry::collect("GUPS", rt))
 }
 
 /// Verify a finished live run: the distributed histogram must equal the
@@ -141,6 +154,23 @@ mod tests {
         assert_eq!(stats.total_offloaded(), input.updates as u64);
         // Cyclic partition + uniform updates ⇒ ~half remote at 2 nodes.
         assert!((stats.remote_fraction() - 0.5).abs() < 0.05, "{}", stats.remote_fraction());
+    }
+
+    #[test]
+    fn instrumented_gups_reports_telemetry_and_spans() {
+        let input = GupsInput::small();
+        let mut cfg = GravelConfig::small(2, input.table_len);
+        cfg.telemetry = gravel_core::TelemetryConfig::CountersAndTrace;
+        let rt = GravelRuntime::new(cfg);
+        let (issued, telem) = run_live_instrumented(&rt, &input);
+        assert_eq!(issued, input.updates as u64);
+        assert_eq!(telem.offloaded, issued);
+        assert_eq!(telem.applied, issued);
+        assert!((telem.remote_fraction - 0.5).abs() < 0.05, "{}", telem.remote_fraction);
+        assert!(telem.packet_latency_p50_ns > 0);
+        let trace = rt.export_chrome_trace().expect("tracing enabled");
+        assert!(trace.contains("gups.dispatch"), "app span recorded");
+        rt.shutdown().expect("clean shutdown");
     }
 
     #[test]

@@ -39,5 +39,7 @@ pub mod mer;
 pub mod mer2;
 pub mod pagerank;
 pub mod sssp;
+pub mod telem;
 
 pub use inputs::{GraphInputs, Scale, WORKLOADS};
+pub use telem::AppTelemetry;

@@ -51,6 +51,7 @@ pub fn run_live(rt: &GravelRuntime, g: &Csr, iters: usize, damping: u64) -> Vec<
     }
 
     for _ in 0..iters {
+        let _span = rt.tracer().span("pagerank.iter", "app", 0);
         // Scatter: every edge ships rank[u]/outdeg(u) to v's accumulator.
         let shares: Vec<u64> =
             (0..n as u32).map(|u| {
@@ -87,6 +88,19 @@ pub fn run_live(rt: &GravelRuntime, g: &Csr, iters: usize, damping: u64) -> Vec<
         }
     }
     rank
+}
+
+/// [`run_live`] plus a distilled telemetry summary of the run.
+/// Span-instrumented: every iteration records a `pagerank.iter` span
+/// when the runtime's tracer is enabled.
+pub fn run_live_instrumented(
+    rt: &GravelRuntime,
+    g: &Csr,
+    iters: usize,
+    damping: u64,
+) -> (Vec<u64>, crate::AppTelemetry) {
+    let ranks = run_live(rt, g, iters, damping);
+    (ranks, crate::AppTelemetry::collect("PageRank", rt))
 }
 
 /// Communication trace: `iters` iterations, each a scatter step (remote
@@ -144,6 +158,23 @@ mod tests {
         rt.shutdown().expect("clean shutdown");
         let seq = reference::pagerank(&g, 3, damping);
         assert_eq!(live, seq, "fixed-point PageRank must match bit-for-bit");
+    }
+
+    #[test]
+    fn instrumented_pagerank_reports_telemetry_and_spans() {
+        let g = gen::cage15_like(96, 5);
+        let damping = default_damping();
+        let mut cfg = GravelConfig::small(3, 64);
+        cfg.telemetry = gravel_core::TelemetryConfig::CountersAndTrace;
+        let rt = GravelRuntime::new(cfg);
+        let (live, telem) = run_live_instrumented(&rt, &g, 3, damping);
+        assert_eq!(live, reference::pagerank(&g, 3, damping));
+        assert_eq!(telem.offloaded, telem.applied, "quiesced run");
+        assert!(telem.offloaded > 0);
+        assert!(telem.avg_packet_bytes > 0.0);
+        let trace = rt.export_chrome_trace().expect("tracing enabled");
+        assert!(trace.contains("pagerank.iter"), "app span recorded");
+        rt.shutdown().expect("clean shutdown");
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Application-level telemetry summaries.
+//!
+//! Each instrumented app (`gups::run_live_instrumented`,
+//! `pagerank::run_live_instrumented`) wraps its normal live run with
+//! spans on the runtime's tracer and distills the cluster's metric
+//! registry into the handful of numbers a benchmark report wants:
+//! message totals, Table 5's remote fraction and packet size, and the
+//! cluster-wide packet-latency quantiles (per-node histograms merged —
+//! the same roll-up a multi-process deployment would do).
+
+use gravel_core::telemetry::HistogramSnapshot;
+use gravel_core::{GravelRuntime, NodeStats};
+
+/// Distilled post-run telemetry of one application execution.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct AppTelemetry {
+    /// Application name.
+    pub app: String,
+    /// Cluster size.
+    pub nodes: u64,
+    /// Messages offloaded across the cluster.
+    pub offloaded: u64,
+    /// Messages applied across the cluster.
+    pub applied: u64,
+    /// Fraction of PGAS operations that crossed nodes (Table 5).
+    pub remote_fraction: f64,
+    /// Mean aggregated packet size in bytes (Table 5).
+    pub avg_packet_bytes: f64,
+    /// Median aggregation-open → apply packet latency, ns (cluster-wide).
+    pub packet_latency_p50_ns: u64,
+    /// 95th-percentile packet latency, ns.
+    pub packet_latency_p95_ns: u64,
+    /// 99th-percentile packet latency, ns.
+    pub packet_latency_p99_ns: u64,
+    /// Worst packet latency, ns.
+    pub packet_latency_max_ns: u64,
+}
+
+impl AppTelemetry {
+    /// Summarise `rt`'s registry after a quiesced run of `app`.
+    pub fn collect(app: &str, rt: &GravelRuntime) -> Self {
+        let snap = rt.telemetry_snapshot();
+        let nodes = rt.nodes();
+        let stats: Vec<NodeStats> =
+            (0..nodes).map(|i| NodeStats::from_snapshot(i as u32, &snap)).collect();
+        let offloaded = stats.iter().map(|s| s.offloaded).sum();
+        let applied = stats.iter().map(|s| s.applied).sum();
+        let (remote, routed_total) = stats.iter().fold((0u64, 0u64), |(r, t), s| {
+            (r + s.remote_routed, t + s.local_direct + s.local_routed + s.remote_routed)
+        });
+        let (bytes, packets) =
+            stats.iter().fold((0u64, 0u64), |(b, p), s| (b + s.agg.bytes, p + s.agg.packets));
+        let mut latency = HistogramSnapshot::default();
+        for i in 0..nodes {
+            if let Some(h) = snap.histogram(&format!("node{i}.net.packet_latency_ns")) {
+                latency.merge(h);
+            }
+        }
+        AppTelemetry {
+            app: app.to_string(),
+            nodes: nodes as u64,
+            offloaded,
+            applied,
+            remote_fraction: if routed_total == 0 {
+                0.0
+            } else {
+                remote as f64 / routed_total as f64
+            },
+            avg_packet_bytes: if packets == 0 { 0.0 } else { bytes as f64 / packets as f64 },
+            packet_latency_p50_ns: latency.p50(),
+            packet_latency_p95_ns: latency.p95(),
+            packet_latency_p99_ns: latency.p99(),
+            packet_latency_max_ns: latency.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gravel_core::GravelConfig;
+    use gravel_simt::LaneVec;
+
+    #[test]
+    fn collect_summarises_a_quiesced_run() {
+        let rt = GravelRuntime::new(GravelConfig::small(2, 8));
+        rt.dispatch(0, 2, |ctx| {
+            let n = ctx.wg.wg_size();
+            let dests = LaneVec::splat(n, 1u32);
+            let addrs = LaneVec::splat(n, 0u64);
+            let vals = LaneVec::splat(n, 1u64);
+            ctx.shmem_inc(&dests, &addrs, &vals);
+        });
+        rt.quiesce();
+        let t = AppTelemetry::collect("unit", &rt);
+        assert_eq!(t.offloaded, 128);
+        assert_eq!(t.applied, 128);
+        assert!((t.remote_fraction - 1.0).abs() < 1e-12);
+        assert!(t.avg_packet_bytes > 0.0);
+        assert!(t.packet_latency_max_ns >= t.packet_latency_p50_ns);
+        assert!(t.packet_latency_p50_ns > 0, "packets took nonzero time");
+        rt.shutdown().expect("clean shutdown");
+    }
+}

@@ -9,13 +9,41 @@
 //! retransmissions that repair real loss. Results are exact at every
 //! point — the sweep asserts delivery, not just throughput.
 //!
-//! Emits `fault_sweep.json` via the shared report machinery.
+//! Emits `fault_sweep.json` via the shared report machinery, plus
+//! `fault_sweep_telemetry.json`: the full metric-registry snapshot of
+//! every sweep cell (per-node counters and packet-latency histograms),
+//! for post-mortem inspection of *where* the degradation shows up.
 
+use std::io::Write;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use gravel_apps::gups::{self, GupsInput};
 use gravel_bench::report::{f2, Table};
-use gravel_core::{FaultConfig, GravelConfig, GravelRuntime, TransportKind};
+use gravel_core::{FaultConfig, GravelConfig, GravelRuntime, RegistrySnapshot, TransportKind};
+
+/// One sweep cell's telemetry: the injected drop probability and the
+/// cluster's complete metric snapshot at quiescence.
+#[derive(serde::Serialize)]
+struct TelemetryCell {
+    drop_prob: f64,
+    telemetry: RegistrySnapshot,
+}
+
+/// Write the per-cell snapshots next to the tabular report.
+fn save_telemetry(cells: Vec<TelemetryCell>) {
+    let dir = std::env::var("GRAVEL_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join("fault_sweep_telemetry.json");
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = f.write_all(serde_json::to_string_pretty(&cells).unwrap().as_bytes());
+        eprintln!("[saved {}]", path.display());
+    }
+}
 
 fn main() {
     let scale = std::env::args().any(|a| a == "--full");
@@ -42,6 +70,7 @@ fn main() {
         ],
     );
 
+    let mut cells: Vec<TelemetryCell> = Vec::new();
     for &drop in &drops {
         let mut cfg = GravelConfig::small(nodes, input.table_len);
         cfg.node_queue_bytes = 4096;
@@ -53,6 +82,7 @@ fn main() {
         let issued = gups::run_live(&rt, &input);
         rt.quiesce();
         let wall = start.elapsed();
+        cells.push(TelemetryCell { drop_prob: drop, telemetry: rt.telemetry_snapshot() });
         let stats = rt.shutdown().expect("GUPS must survive the fault sweep");
         assert_eq!(stats.total_offloaded(), stats.total_applied(), "lost updates at drop={drop}");
         let rate = issued as f64 / wall.as_secs_f64() / 1e6;
@@ -68,4 +98,5 @@ fn main() {
         ]);
     }
     t.emit();
+    save_telemetry(cells);
 }

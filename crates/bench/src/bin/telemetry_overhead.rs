@@ -1,0 +1,36 @@
+//! Telemetry overhead — live-runtime GUPS at each telemetry level.
+//!
+//! Compares wall time and update rate of identical GUPS runs with
+//! telemetry off, with counters, and with counters + span tracing,
+//! interleaving trials and keeping the best of N per level. Emits
+//! `telemetry_overhead.json` via the shared report machinery.
+
+use gravel_apps::gups::GupsInput;
+use gravel_bench::report::{f2, f3, Table};
+use gravel_bench::telemetry_overhead::measure;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (input, trials) = if full {
+        (GupsInput { updates: 500_000, table_len: 1 << 14, seed: 11 }, 7)
+    } else {
+        (GupsInput { updates: 50_000, table_len: 4096, seed: 11 }, 5)
+    };
+    let nodes = 2;
+    let report = measure(&input, nodes, trials);
+
+    let mut t = Table::new(
+        "telemetry_overhead",
+        "GUPS wall time by telemetry level (2 nodes, best of N interleaved trials)",
+        &["level", "best ms", "Mupdates/s", "overhead %"],
+    );
+    for l in &report.levels {
+        t.row(vec![
+            l.level.clone(),
+            f2(l.best_secs * 1e3),
+            f2(l.updates_per_sec / 1e6),
+            f3(l.overhead * 100.0),
+        ]);
+    }
+    t.emit();
+}

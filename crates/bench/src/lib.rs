@@ -16,6 +16,7 @@
 //! | `--bin table5` | Table 5 — network statistics at 8 nodes | trace + model |
 //! | `--bin sec8` | §8.2 — diverged WG-level operations | live SIMT |
 //! | `--bin extensions` | §10 hierarchy + §8.1 hw aggregator (future work) | model |
+//! | `--bin telemetry_overhead` | telemetry cost: GUPS at off / counters / counters+trace | live runtime |
 //! | `--bin all_experiments` | everything above | — |
 //! | `--bench fig6_wg_sync` | Fig. 6 under criterion | live queues |
 //! | `--bench fig8_queue_tput` | Fig. 8 under criterion | live queues |
@@ -28,5 +29,6 @@
 pub mod experiments;
 pub mod queue_bench;
 pub mod report;
+pub mod telemetry_overhead;
 
 pub use report::Table;

@@ -1,0 +1,131 @@
+//! Telemetry overhead measurement: live-runtime GUPS at each
+//! [`TelemetryConfig`] level.
+//!
+//! Counters are designed to be nearly free (one never-taken branch when
+//! off, one relaxed add to a thread-sharded cell when on); tracing pays
+//! for `Instant::now()` pairs and ring-buffer writes on every span.
+//! This module measures all three levels the same way the fault sweep
+//! measures loss: real GUPS runs, best-of-N wall time so scheduler noise
+//! cancels, trials interleaved across levels so thermal/load drift
+//! cannot bias one level.
+
+use std::time::{Duration, Instant};
+
+use gravel_apps::gups::{self, GupsInput};
+use gravel_core::{GravelConfig, GravelRuntime, TelemetryConfig};
+
+/// Wall time of one GUPS run plus derived throughput, per level.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct LevelResult {
+    /// Telemetry level, e.g. `"off"`.
+    pub level: String,
+    /// Best (minimum) wall time across trials, seconds.
+    pub best_secs: f64,
+    /// Updates per second at the best trial.
+    pub updates_per_sec: f64,
+    /// Wall-time overhead relative to `off`, e.g. `0.03` = 3 % slower.
+    pub overhead: f64,
+}
+
+/// The full comparison: one row per telemetry level.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct OverheadReport {
+    /// Updates per trial.
+    pub updates: u64,
+    /// Trials per level (best-of).
+    pub trials: u32,
+    /// Per-level results, `off` first.
+    pub levels: Vec<LevelResult>,
+}
+
+impl OverheadReport {
+    /// Overhead of a level by name (`"counters"`, `"counters+trace"`).
+    pub fn overhead_of(&self, level: &str) -> f64 {
+        self.levels
+            .iter()
+            .find(|l| l.level == level)
+            .map(|l| l.overhead)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+const LEVELS: [(TelemetryConfig, &str); 3] = [
+    (TelemetryConfig::Off, "off"),
+    (TelemetryConfig::Counters, "counters"),
+    (TelemetryConfig::CountersAndTrace, "counters+trace"),
+];
+
+fn one_trial(input: &GupsInput, nodes: usize, telemetry: TelemetryConfig) -> Duration {
+    let mut cfg = GravelConfig::small(nodes, input.table_len);
+    cfg.telemetry = telemetry;
+    let rt = GravelRuntime::new(cfg);
+    let start = Instant::now();
+    gups::run_live(&rt, input);
+    rt.quiesce();
+    let wall = start.elapsed();
+    rt.shutdown().expect("telemetry overhead run must be clean");
+    wall
+}
+
+/// Run `trials` GUPS rounds per telemetry level, interleaved
+/// (off, counters, counters+trace, off, …), and report best-of-`trials`
+/// wall times with overheads relative to `off`.
+pub fn measure(input: &GupsInput, nodes: usize, trials: u32) -> OverheadReport {
+    assert!(trials > 0, "need at least one trial");
+    let mut best = [Duration::MAX; LEVELS.len()];
+    for _ in 0..trials {
+        for (i, (level, _)) in LEVELS.iter().enumerate() {
+            best[i] = best[i].min(one_trial(input, nodes, *level));
+        }
+    }
+    let off = best[0].as_secs_f64();
+    let levels = LEVELS
+        .iter()
+        .zip(best)
+        .map(|((_, name), b)| {
+            let secs = b.as_secs_f64();
+            LevelResult {
+                level: name.to_string(),
+                best_secs: secs,
+                updates_per_sec: input.updates as f64 / secs,
+                overhead: secs / off - 1.0,
+            }
+        })
+        .collect();
+    OverheadReport { updates: input.updates as u64, trials, levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite requirement: counters must cost < 5 % of GUPS wall
+    /// time. Best-of-N interleaved trials suppress scheduler noise; the
+    /// loop re-measures a couple of times because CI machines can
+    /// still hiccup — the claim is "counters *can* run this close to
+    /// free", not "every sample is clean".
+    #[test]
+    fn counters_overhead_below_five_percent() {
+        let input = GupsInput { updates: 40_000, table_len: 2048, seed: 11 };
+        let mut last = f64::NAN;
+        for round in 0..3 {
+            let report = measure(&input, 2, 5);
+            last = report.overhead_of("counters");
+            if last < 0.05 {
+                return;
+            }
+            eprintln!("round {round}: counters overhead {last:.3}, re-measuring");
+        }
+        panic!("counters overhead stayed ≥ 5 %: {last:.3}");
+    }
+
+    #[test]
+    fn report_covers_all_levels_and_off_is_baseline() {
+        let input = GupsInput { updates: 2_000, table_len: 512, seed: 3 };
+        let report = measure(&input, 2, 1);
+        let names: Vec<&str> = report.levels.iter().map(|l| l.level.as_str()).collect();
+        assert_eq!(names, vec!["off", "counters", "counters+trace"]);
+        assert_eq!(report.levels[0].overhead, 0.0, "off is its own baseline");
+        assert!(report.levels.iter().all(|l| l.best_secs > 0.0));
+    }
+}

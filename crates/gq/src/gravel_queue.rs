@@ -23,6 +23,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use gravel_simt::{LaneVec, WgCtx};
+use gravel_telemetry::Tracer;
 
 use crate::stats::QueueStats;
 
@@ -106,11 +107,24 @@ pub struct GravelQueue {
     closed: AtomicBool,
     /// Synchronization instrumentation.
     pub stats: QueueStats,
+    /// Span recorder for slot handoff (`gq.offload`); disabled by default.
+    tracer: Tracer,
+    /// Node id stamped on trace events (chrome `pid`).
+    node: u32,
 }
 
 impl GravelQueue {
-    /// Build a queue with the given geometry.
+    /// Build a queue with the given geometry, detached stats, and no
+    /// tracing — the standalone mode. Clusters use
+    /// [`with_telemetry`](Self::with_telemetry).
     pub fn new(cfg: QueueConfig) -> Self {
+        Self::with_telemetry(cfg, QueueStats::default(), Tracer::disabled(), 0)
+    }
+
+    /// Build a queue whose counters and spans feed a cluster's telemetry:
+    /// `stats` from [`QueueStats::bound`], `tracer` from the node's
+    /// `TelemetryConfig`, `node` stamped on every span.
+    pub fn with_telemetry(cfg: QueueConfig, stats: QueueStats, tracer: Tracer, node: u32) -> Self {
         assert!(cfg.slots >= 2, "need at least two slots");
         assert!(cfg.lane_width >= 1 && cfg.rows >= 1, "degenerate slot shape");
         GravelQueue {
@@ -119,7 +133,9 @@ impl GravelQueue {
             write_idx: AtomicU64::new(0),
             read_idx: AtomicU64::new(0),
             closed: AtomicBool::new(false),
-            stats: QueueStats::default(),
+            stats,
+            tracer,
+            node,
         }
     }
 
@@ -144,7 +160,7 @@ impl GravelQueue {
             }
         }
         if spins > 0 {
-            QueueStats::bump(&self.stats.producer_spins, spins);
+            self.stats.producer_spins.add(spins);
         }
         slot
     }
@@ -152,8 +168,8 @@ impl GravelQueue {
     fn publish(&self, slot: &Slot, count: usize) {
         slot.count.store(count as u64, Ordering::Relaxed);
         slot.full.store(true, Ordering::Release);
-        QueueStats::bump(&self.stats.slots_produced, 1);
-        QueueStats::bump(&self.stats.messages_produced, count as u64);
+        self.stats.slots_produced.add(1);
+        self.stats.messages_produced.add(count as u64);
     }
 
     // ---- producers -------------------------------------------------------
@@ -179,13 +195,16 @@ impl GravelQueue {
         if count == 0 {
             return;
         }
+        // Spans the whole slot handoff: reservation fetch-add through the
+        // full-bit publish.
+        let _span = self.tracer.span("gq.offload", "offload", self.node);
         // Fig. 5b lines 4-6: elect the leader, compute per-lane columns.
         let ones = LaneVec::splat(ctx.wg_size(), 1u64);
         let my_off = ctx.prefix_sum(&ones);
         let leader = ctx.elect_leader().expect("non-empty mask has a leader");
         // Line 9: the leader reserves a slot for the whole work-group.
         let seq = ctx.atomic_fetch_add(&self.write_idx, 1);
-        QueueStats::bump(&self.stats.producer_rmws, 1);
+        self.stats.producer_rmws.add(1);
         let slot = self.producer_wait(seq);
         // Line 10: broadcast the reservation to every lane (reduce-to-sum
         // of a register that is zero except at the leader).
@@ -222,7 +241,7 @@ impl GravelQueue {
             let single = gravel_simt::Mask::from_fn(ctx.wg_size(), |l| l == lane);
             ctx.with_mask(single, |ctx| {
                 let seq = ctx.atomic_fetch_add(&self.write_idx, 1);
-                QueueStats::bump(&self.stats.producer_rmws, 1);
+                self.stats.producer_rmws.add(1);
                 let slot = self.producer_wait(seq);
                 let base = slot.payload.as_ptr() as u64;
                 for row in 0..self.cfg.rows {
@@ -243,7 +262,7 @@ impl GravelQueue {
         assert!(count >= 1 && count <= self.cfg.lane_width, "batch of {count} exceeds slot");
         assert_eq!(words.len(), count * self.cfg.rows, "word count mismatch");
         let seq = self.write_idx.fetch_add(1, Ordering::AcqRel);
-        QueueStats::bump(&self.stats.producer_rmws, 1);
+        self.stats.producer_rmws.add(1);
         let slot = self.producer_wait(seq);
         for (m, msg) in words.chunks_exact(self.cfg.rows).enumerate() {
             for (row, &w) in msg.iter().enumerate() {
@@ -265,7 +284,7 @@ impl GravelQueue {
             let ready =
                 slot.round.load(Ordering::Acquire) == round && slot.full.load(Ordering::Acquire);
             if !ready {
-                QueueStats::bump(&self.stats.consumer_empty_polls, 1);
+                self.stats.consumer_empty_polls.add(1);
                 if self.closed.load(Ordering::Acquire)
                     && seq >= self.write_idx.load(Ordering::Acquire)
                 {
@@ -280,11 +299,11 @@ impl GravelQueue {
                 .compare_exchange(seq, seq + 1, Ordering::AcqRel, Ordering::Relaxed)
                 .is_err()
             {
-                QueueStats::bump(&self.stats.consumer_rmws, 1);
+                self.stats.consumer_rmws.add(1);
                 continue;
             }
-            QueueStats::bump(&self.stats.consumer_rmws, 1);
-            QueueStats::bump(&self.stats.consumer_hits, 1);
+            self.stats.consumer_rmws.add(1);
+            self.stats.consumer_hits.add(1);
             let count = slot.count.load(Ordering::Relaxed) as usize;
             out.reserve(count * self.cfg.rows);
             for m in 0..count {
@@ -295,7 +314,7 @@ impl GravelQueue {
             // Fig. 7 time ⑤: clear F, bump the current ticket.
             slot.full.store(false, Ordering::Release);
             slot.round.store(round + 1, Ordering::Release);
-            QueueStats::bump(&self.stats.messages_consumed, count as u64);
+            self.stats.messages_consumed.add(count as u64);
             return Consumed::Batch(count);
         }
     }

@@ -67,7 +67,7 @@ impl MpmcQueue {
     pub fn produce(&self, words: &[u64]) {
         assert_eq!(words.len(), self.rows, "message width mismatch");
         let seq = self.write_idx.fetch_add(1, Ordering::AcqRel);
-        QueueStats::bump(&self.stats.producer_rmws, 1);
+        self.stats.producer_rmws.add(1);
         let (cell, round) = self.cell_ring(seq);
         let mut spins = 0u64;
         while cell.round.load(Ordering::Acquire) != round || cell.full.load(Ordering::Acquire) {
@@ -78,14 +78,14 @@ impl MpmcQueue {
             }
         }
         if spins > 0 {
-            QueueStats::bump(&self.stats.producer_spins, spins);
+            self.stats.producer_spins.add(spins);
         }
         for (i, &word) in words.iter().enumerate() {
             cell.payload[i].store(word, Ordering::Relaxed);
         }
         cell.full.store(true, Ordering::Release);
-        QueueStats::bump(&self.stats.messages_produced, 1);
-        QueueStats::bump(&self.stats.slots_produced, 1);
+        self.stats.messages_produced.add(1);
+        self.stats.slots_produced.add(1);
     }
 
     /// Try to dequeue one message into `out`. Returns `true` on success.
@@ -96,7 +96,7 @@ impl MpmcQueue {
             let ready =
                 cell.round.load(Ordering::Acquire) == round && cell.full.load(Ordering::Acquire);
             if !ready {
-                QueueStats::bump(&self.stats.consumer_empty_polls, 1);
+                self.stats.consumer_empty_polls.add(1);
                 return false;
             }
             if self
@@ -104,17 +104,17 @@ impl MpmcQueue {
                 .compare_exchange(seq, seq + 1, Ordering::AcqRel, Ordering::Relaxed)
                 .is_err()
             {
-                QueueStats::bump(&self.stats.consumer_rmws, 1);
+                self.stats.consumer_rmws.add(1);
                 continue;
             }
-            QueueStats::bump(&self.stats.consumer_rmws, 1);
-            QueueStats::bump(&self.stats.consumer_hits, 1);
+            self.stats.consumer_rmws.add(1);
+            self.stats.consumer_hits.add(1);
             for i in 0..self.rows {
                 out.push(cell.payload[i].load(Ordering::Relaxed));
             }
             cell.full.store(false, Ordering::Release);
             cell.round.store(round + 1, Ordering::Release);
-            QueueStats::bump(&self.stats.messages_consumed, 1);
+            self.stats.messages_consumed.add(1);
             return true;
         }
     }

@@ -65,15 +65,15 @@ impl SpscQueue {
             }
         }
         if spins > 0 {
-            QueueStats::bump(&self.stats.producer_spins, spins);
+            self.stats.producer_spins.add(spins);
         }
         let slot = &self.slots[(w % self.capacity as u64) as usize];
         for (i, &word) in words.iter().enumerate() {
             slot[i].store(word, Ordering::Relaxed);
         }
         self.write_idx.store(w + 1, Ordering::Release);
-        QueueStats::bump(&self.stats.messages_produced, 1);
-        QueueStats::bump(&self.stats.slots_produced, 1);
+        self.stats.messages_produced.add(1);
+        self.stats.slots_produced.add(1);
     }
 
     /// Dequeue one message into `out` (appending `rows` words). Returns
@@ -81,7 +81,7 @@ impl SpscQueue {
     pub fn try_consume_into(&self, out: &mut Vec<u64>) -> bool {
         let r = self.read_idx.load(Ordering::Relaxed);
         if r >= self.write_idx.load(Ordering::Acquire) {
-            QueueStats::bump(&self.stats.consumer_empty_polls, 1);
+            self.stats.consumer_empty_polls.add(1);
             return false;
         }
         let slot = &self.slots[(r % self.capacity as u64) as usize];
@@ -89,8 +89,8 @@ impl SpscQueue {
             out.push(slot[i].load(Ordering::Relaxed));
         }
         self.read_idx.store(r + 1, Ordering::Release);
-        QueueStats::bump(&self.stats.consumer_hits, 1);
-        QueueStats::bump(&self.stats.messages_consumed, 1);
+        self.stats.consumer_hits.add(1);
+        self.stats.messages_consumed.add(1);
         true
     }
 

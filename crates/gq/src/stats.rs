@@ -4,53 +4,87 @@
 //! atomic operations per work-item, and §8.1 reports that the aggregator's
 //! CPU spends 65 % of its time polling. Both require the queues to count
 //! their own synchronization events, which this module provides as a block
-//! of relaxed atomics shared by all queue variants.
+//! of [`gravel_telemetry::Counter`] handles shared by all queue variants.
+//!
+//! Standalone queues (benches, unit tests) get detached always-live
+//! counters from [`QueueStats::default`]; inside a cluster the runtime
+//! builds them with [`QueueStats::bound`] so every count also appears in
+//! the node's [`gravel_telemetry::Registry`] under `{prefix}.queue.*`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use gravel_telemetry::{Counter, Registry};
 
 /// Shared-memory synchronization counters for one queue.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct QueueStats {
     /// Read-modify-write operations issued by producers (reservation
     /// fetch-adds and CAS attempts).
-    pub producer_rmws: AtomicU64,
+    pub producer_rmws: Counter,
     /// Synchronization loads spent by producers waiting for a slot to
     /// drain (queue-full backpressure).
-    pub producer_spins: AtomicU64,
+    pub producer_spins: Counter,
     /// RMWs issued by consumers (index CAS).
-    pub consumer_rmws: AtomicU64,
+    pub consumer_rmws: Counter,
     /// Polls by consumers that found nothing ready (the aggregator's
     /// "time spent polling" proxy, §8.1).
-    pub consumer_empty_polls: AtomicU64,
+    pub consumer_empty_polls: Counter,
     /// Polls by consumers that found a slot ready.
-    pub consumer_hits: AtomicU64,
+    pub consumer_hits: Counter,
     /// Messages enqueued.
-    pub messages_produced: AtomicU64,
+    pub messages_produced: Counter,
     /// Messages dequeued.
-    pub messages_consumed: AtomicU64,
+    pub messages_consumed: Counter,
     /// Slots (or single-message cells) filled.
-    pub slots_produced: AtomicU64,
+    pub slots_produced: Counter,
+}
+
+impl Default for QueueStats {
+    /// Detached, always-recording counters — the standalone-queue mode.
+    fn default() -> Self {
+        QueueStats {
+            producer_rmws: Counter::detached(),
+            producer_spins: Counter::detached(),
+            consumer_rmws: Counter::detached(),
+            consumer_empty_polls: Counter::detached(),
+            consumer_hits: Counter::detached(),
+            messages_produced: Counter::detached(),
+            messages_consumed: Counter::detached(),
+            slots_produced: Counter::detached(),
+        }
+    }
 }
 
 impl QueueStats {
+    /// Counters registered in `registry` under `{prefix}.queue.{field}`
+    /// (so per-node queue stats land in the cluster telemetry snapshot).
+    /// Honors the registry's `TelemetryConfig`: a disabled registry hands
+    /// out dead counters.
+    pub fn bound(registry: &Registry, prefix: &str) -> Self {
+        let name = |field: &str| format!("{prefix}.queue.{field}");
+        QueueStats {
+            producer_rmws: registry.counter(&name("producer_rmws")),
+            producer_spins: registry.counter(&name("producer_spins")),
+            consumer_rmws: registry.counter(&name("consumer_rmws")),
+            consumer_empty_polls: registry.counter(&name("consumer_empty_polls")),
+            consumer_hits: registry.counter(&name("consumer_hits")),
+            messages_produced: registry.counter(&name("messages_produced")),
+            messages_consumed: registry.counter(&name("messages_consumed")),
+            slots_produced: registry.counter(&name("slots_produced")),
+        }
+    }
+
     /// Snapshot all counters (relaxed; callers quiesce the queue first for
     /// exact numbers).
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            producer_rmws: self.producer_rmws.load(Ordering::Relaxed),
-            producer_spins: self.producer_spins.load(Ordering::Relaxed),
-            consumer_rmws: self.consumer_rmws.load(Ordering::Relaxed),
-            consumer_empty_polls: self.consumer_empty_polls.load(Ordering::Relaxed),
-            consumer_hits: self.consumer_hits.load(Ordering::Relaxed),
-            messages_produced: self.messages_produced.load(Ordering::Relaxed),
-            messages_consumed: self.messages_consumed.load(Ordering::Relaxed),
-            slots_produced: self.slots_produced.load(Ordering::Relaxed),
+            producer_rmws: self.producer_rmws.get(),
+            producer_spins: self.producer_spins.get(),
+            consumer_rmws: self.consumer_rmws.get(),
+            consumer_empty_polls: self.consumer_empty_polls.get(),
+            consumer_hits: self.consumer_hits.get(),
+            messages_produced: self.messages_produced.get(),
+            messages_consumed: self.messages_consumed.get(),
+            slots_produced: self.slots_produced.get(),
         }
-    }
-
-    #[inline]
-    pub(crate) fn bump(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -95,8 +129,8 @@ mod tests {
     #[test]
     fn snapshot_reads_back_bumps() {
         let s = QueueStats::default();
-        QueueStats::bump(&s.producer_rmws, 3);
-        QueueStats::bump(&s.messages_produced, 12);
+        s.producer_rmws.add(3);
+        s.messages_produced.add(12);
         let snap = s.snapshot();
         assert_eq!(snap.producer_rmws, 3);
         assert_eq!(snap.messages_produced, 12);
@@ -113,8 +147,27 @@ mod tests {
     #[test]
     fn poll_fraction() {
         let s = QueueStats::default();
-        QueueStats::bump(&s.consumer_empty_polls, 65);
-        QueueStats::bump(&s.consumer_hits, 35);
+        s.consumer_empty_polls.add(65);
+        s.consumer_hits.add(35);
         assert!((s.snapshot().poll_fraction() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_stats_appear_in_registry() {
+        let r = Registry::enabled();
+        let s = QueueStats::bound(&r, "node0");
+        s.messages_produced.add(9);
+        assert_eq!(r.snapshot().counter("node0.queue.messages_produced"), 9);
+        // Clones registered under the same prefix share counters.
+        let s2 = QueueStats::bound(&r, "node0");
+        assert_eq!(s2.messages_produced.get(), 9);
+    }
+
+    #[test]
+    fn bound_to_disabled_registry_is_dead() {
+        let r = Registry::disabled();
+        let s = QueueStats::bound(&r, "node0");
+        s.producer_rmws.add(5);
+        assert_eq!(s.snapshot().producer_rmws, 0);
     }
 }

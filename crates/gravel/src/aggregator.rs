@@ -16,19 +16,21 @@
 //!
 //! Backpressure: the transport's data channels are bounded. A send that
 //! cannot complete within its short timeout parks the packet in the
-//! flow's staging queue and increments `backpressure_stalls`; the loop
-//! keeps draining the GPU ring and the ack mailbox meanwhile, so a
-//! stalled link can never deadlock the reply path (netthread → ring →
-//! aggregator → netthread).
+//! flow's staging queue and increments `net.chan_stalls` (a full
+//! go-back-N window increments `net.window_stalls` instead — together
+//! they are `NetStats::backpressure_stalls`); the loop keeps draining
+//! the GPU ring and the ack mailbox meanwhile, so a stalled link can
+//! never deadlock the reply path (netthread → ring → aggregator →
+//! netthread).
 
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gravel_gq::Consumed;
 use gravel_net::{RetryConfig, SendStatus, Transport};
 use gravel_pgas::{NodeQueues, Packet};
+use gravel_telemetry::Gauge;
 
 use crate::error::{ErrorSlot, RuntimeError};
 use crate::node::NodeShared;
@@ -87,18 +89,26 @@ struct Sender<'a> {
     transport: &'a dyn Transport,
     retry: RetryConfig,
     flows: Vec<Flow>,
+    /// Live unacked-packet total across this lane's flows
+    /// (`node{N}.agg.in_flight` in the registry).
+    in_flight: Gauge,
 }
 
 impl<'a> Sender<'a> {
     fn new(node: &'a NodeShared, lane: u32, transport: &'a dyn Transport) -> Self {
         let retry = node.retry.clone();
         Sender {
-            node,
             lane,
             transport,
             flows: (0..node.nodes).map(|_| Flow::new(&retry)).collect(),
             retry,
+            in_flight: node.registry.gauge(&format!("node{}.agg.in_flight", node.id)),
+            node,
         }
+    }
+
+    fn note_in_flight(&self) {
+        self.in_flight.set(self.flows.iter().map(Flow::in_flight).sum::<usize>() as i64);
     }
 
     /// Stamp a freshly flushed packet into its flow and try to put it
@@ -117,7 +127,10 @@ impl<'a> Sender<'a> {
     fn pump(&mut self, dest: usize) {
         let flow = &mut self.flows[dest];
         while flow.in_flight() < self.retry.window {
-            let Some(pkt) = flow.staged.pop_front() else { return };
+            let Some(pkt) = flow.staged.pop_front() else {
+                self.note_in_flight();
+                return;
+            };
             match self.transport.send_data(pkt.clone(), SEND_ATTEMPT_TIMEOUT) {
                 SendStatus::Sent => {
                     flow.last_activity = Instant::now();
@@ -125,7 +138,8 @@ impl<'a> Sender<'a> {
                 }
                 SendStatus::TimedOut => {
                     flow.staged.push_front(pkt);
-                    self.node.net_backpressure_stalls.fetch_add(1, Ordering::Relaxed);
+                    self.node.net_chan_stalls.add(1);
+                    self.note_in_flight();
                     return;
                 }
                 SendStatus::Closed => return, // cluster is winding down
@@ -134,14 +148,15 @@ impl<'a> Sender<'a> {
         if !flow.staged.is_empty() {
             // Window full: also a form of backpressure (the receiver or
             // the ack path is behind).
-            self.node.net_backpressure_stalls.fetch_add(1, Ordering::Relaxed);
+            self.node.net_window_stalls.add(1);
         }
+        self.note_in_flight();
     }
 
     /// Drain this lane's ack mailbox and release acknowledged packets.
     fn drain_acks(&mut self) {
         while let Some(ack) = self.transport.try_recv_ack(self.node.id, self.lane) {
-            self.node.net_acks_received.fetch_add(1, Ordering::Relaxed);
+            self.node.net_acks_received.add(1);
             let flow = &mut self.flows[ack.src as usize];
             let mut progressed = false;
             while flow.base <= ack.cum_seq && !flow.unacked.is_empty() {
@@ -181,7 +196,8 @@ impl<'a> Sender<'a> {
             flow.backoff = (flow.backoff * 2).min(self.retry.backoff_max);
             flow.last_activity = now;
             let resend: Vec<Packet> = flow.unacked.iter().cloned().collect();
-            self.node.net_retransmits.fetch_add(resend.len() as u64, Ordering::Relaxed);
+            self.node.net_retransmits.add(resend.len() as u64);
+            let _span = self.node.tracer.span("agg.retransmit", "aggregate", self.node.id);
             for pkt in resend {
                 // Best-effort: a full channel just means the next round
                 // retries again — the window bound keeps this finite.
@@ -212,7 +228,10 @@ pub fn run(
     timeout: Duration,
     errors: Arc<ErrorSlot>,
 ) {
-    let mut nodeq = NodeQueues::with_config(node.id, node.nodes, queue_bytes, timeout);
+    // Every slot shares the node's `AggCounters`: one increment per
+    // flush event, so per-slot snapshots can never drift out of sync.
+    let mut nodeq =
+        NodeQueues::with_telemetry(node.id, node.nodes, queue_bytes, timeout, node.agg.clone());
     let mut sender = Sender::new(&node, slot as u32, transport.as_ref());
     let mut buf: Vec<u64> = Vec::with_capacity(node.queue.config().slot_bytes() / 8);
     let rows = node.queue.config().rows;
@@ -228,37 +247,37 @@ pub fn run(
         buf.clear();
         match node.queue.try_consume_into(&mut buf) {
             Consumed::Batch(_) => {
-                node.agg_polls_hit.fetch_add(1, Ordering::Relaxed);
+                node.agg_polls_hit.add(1);
+                let _span = node.tracer.span("agg.drain", "aggregate", node.id);
                 let now = Instant::now();
-                let mut sent = false;
                 for msg in buf.chunks_exact(rows) {
                     let dest = msg[1] as usize;
                     debug_assert!(dest < node.nodes, "message to unknown node {dest}");
                     if let Some(pkt) = nodeq.push(dest, msg, now) {
                         sender.submit(pkt);
-                        sent = true;
                     }
-                }
-                if sent {
-                    node.agg_stats.lock()[slot] = nodeq.stats;
                 }
             }
             Consumed::Empty => {
-                node.agg_polls_empty.fetch_add(1, Ordering::Relaxed);
+                node.agg_polls_empty.add(1);
                 let pkts = nodeq.poll_timeouts(Instant::now());
                 if !pkts.is_empty() {
+                    let _span = node.tracer.span("agg.flush", "aggregate", node.id);
                     for pkt in pkts {
                         sender.submit(pkt);
                     }
-                    node.agg_stats.lock()[slot] = nodeq.stats;
                 }
                 // Idle: let other threads (GPU, network) run. On the
                 // paper's APU this is where 65 % of the core goes.
                 std::thread::yield_now();
             }
             Consumed::Closed => {
-                for pkt in nodeq.flush_all() {
-                    sender.submit(pkt);
+                let pkts = nodeq.flush_all();
+                if !pkts.is_empty() {
+                    let _span = node.tracer.span("agg.flush", "aggregate", node.id);
+                    for pkt in pkts {
+                        sender.submit(pkt);
+                    }
                 }
                 // Drain phase: hold the thread until every flow is
                 // acknowledged, so shutdown cannot lose in-flight
@@ -278,7 +297,6 @@ pub fn run(
             }
         }
     }
-    node.agg_stats.lock()[slot] = nodeq.stats;
 }
 
 #[cfg(test)]
@@ -352,10 +370,10 @@ mod tests {
         transport.send_ack(gravel_net::Ack { src: 2, dest: 0, lane: 0, cum_seq: 0 });
         handle.join().unwrap();
         assert!(!errors.is_set());
-        let stats = node.agg_stats.lock()[0];
+        let stats = node.stats().agg;
         assert_eq!(stats.packets, 2);
         assert_eq!(stats.messages, 6);
-        assert_eq!(node.net_acks_received.load(Ordering::Relaxed), 2);
+        assert_eq!(node.net_acks_received.get(), 2);
     }
 
     #[test]
@@ -396,7 +414,7 @@ mod tests {
         transport.send_ack(gravel_net::Ack { src: 1, dest: 0, lane: 0, cum_seq: p.seq });
         node.queue.close();
         agg.join().unwrap();
-        assert_eq!(node.agg_stats.lock()[0].timeout_flushes, 1);
+        assert_eq!(node.stats().agg.timeout_flushes, 1);
     }
 
     #[test]
@@ -415,7 +433,7 @@ mod tests {
         let second = recv(&transport, 1);
         assert_eq!(first.seq, second.seq);
         assert_eq!(first.words(), second.words());
-        assert!(node.net_retransmits.load(Ordering::Relaxed) >= 1);
+        assert!(node.net_retransmits.get() >= 1);
         // Ack it so the drain phase can finish.
         transport.send_ack(gravel_net::Ack { src: 1, dest: 0, lane: 0, cum_seq: second.seq });
         agg.join().unwrap();

@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use gravel_gq::QueueConfig;
 use gravel_net::{RetryConfig, TransportKind};
+use gravel_telemetry::TelemetryConfig;
 
 /// Configuration of a [`GravelRuntime`](crate::GravelRuntime).
 #[derive(Clone, Debug)]
@@ -75,6 +76,13 @@ pub struct GravelConfig {
     /// behavior, still the right choice for debuggers and very long
     /// kernels).
     pub quiesce_deadline: Option<Duration>,
+    /// Observability level (see DESIGN.md §10):
+    /// [`TelemetryConfig::Counters`] (the default) keeps the sharded
+    /// metric registry live, [`TelemetryConfig::CountersAndTrace`] also
+    /// records spans for chrome://tracing export, and
+    /// [`TelemetryConfig::Off`] disables everything except the vital
+    /// quiescence counters.
+    pub telemetry: TelemetryConfig,
 }
 
 impl GravelConfig {
@@ -96,6 +104,7 @@ impl GravelConfig {
             retry: RetryConfig::default(),
             channel_capacity: 1024,
             quiesce_deadline: Some(Duration::from_secs(60)),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -117,6 +126,7 @@ impl GravelConfig {
             retry: RetryConfig::default(),
             channel_capacity: 256,
             quiesce_deadline: Some(Duration::from_secs(30)),
+            telemetry: TelemetryConfig::default(),
         }
     }
 

@@ -92,8 +92,8 @@ impl<'a> GravelCtx<'a> {
             node.queue.wg_produce(wg, |lane, row| make(lane).encode()[row]);
         });
         node.note_offloaded(count);
-        node.local_routed.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
-        node.remote_routed.fetch_add(count - local, std::sync::atomic::Ordering::Relaxed);
+        node.local_routed.add(local);
+        node.remote_routed.add(count - local);
     }
 
     /// PGAS store: each active lane writes `vals[lane]` to
@@ -114,9 +114,7 @@ impl<'a> GravelCtx<'a> {
                     heap.store(addrs.get(lane), vals.get(lane));
                 }
             });
-            self.node
-                .local_direct
-                .fetch_add(local.count() as u64, std::sync::atomic::Ordering::Relaxed);
+            self.node.local_direct.add(local.count() as u64);
         }
         // Remote lanes: offload.
         let remote = self.wg.active().and_not(&local);
@@ -145,9 +143,7 @@ impl<'a> GravelCtx<'a> {
                     heap.fetch_add(addrs.get(lane), vals.get(lane));
                 }
                 self.wg.counters.atomics += local.count() as u64;
-                self.node
-                    .local_direct
-                    .fetch_add(local.count() as u64, std::sync::atomic::Ordering::Relaxed);
+                self.node.local_direct.add(local.count() as u64);
             }
             let remote = self.wg.active().and_not(&local);
             self.offload(&remote, dests, |lane| {
@@ -202,7 +198,7 @@ mod tests {
         ctx.shmem_put(&dests, &addrs, &vals);
         assert_eq!(n.heap.load(3), 13);
         assert_eq!(n.queue.backlog(), 0, "no offload for local PUTs");
-        assert_eq!(n.local_direct.load(std::sync::atomic::Ordering::Relaxed), 8);
+        assert_eq!(n.local_direct.get(), 8);
     }
 
     #[test]
@@ -215,8 +211,8 @@ mod tests {
         let vals = LaneVec::splat(8, 5u64);
         ctx.shmem_put(&dests, &addrs, &vals);
         // 4 local applied, 4 remote queued.
-        assert_eq!(n.local_direct.load(std::sync::atomic::Ordering::Relaxed), 4);
-        assert_eq!(n.remote_routed.load(std::sync::atomic::Ordering::Relaxed), 4);
+        assert_eq!(n.local_direct.get(), 4);
+        assert_eq!(n.remote_routed.get(), 4);
         let mut out = Vec::new();
         assert_eq!(n.queue.try_consume_into(&mut out), Consumed::Batch(4));
     }
@@ -231,7 +227,7 @@ mod tests {
         let vals = LaneVec::splat(8, 1u64);
         ctx.shmem_inc(&dests, &addrs, &vals);
         assert_eq!(n.heap.load(0), 0, "not applied yet — routed");
-        assert_eq!(n.local_routed.load(std::sync::atomic::Ordering::Relaxed), 8);
+        assert_eq!(n.local_routed.get(), 8);
         assert_eq!(n.queue.backlog(), 1);
     }
 
@@ -245,7 +241,7 @@ mod tests {
         let vals = LaneVec::splat(8, 1u64);
         ctx.shmem_inc(&dests, &addrs, &vals);
         assert_eq!(n.heap.load(0), 4, "local lanes applied immediately");
-        assert_eq!(n.remote_routed.load(std::sync::atomic::Ordering::Relaxed), 4);
+        assert_eq!(n.remote_routed.get(), 4);
     }
 
     #[test]

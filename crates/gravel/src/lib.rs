@@ -44,3 +44,5 @@ pub use gravel_net as net;
 pub use gravel_net::{FaultConfig, FaultStats, RetryConfig, TransportKind};
 pub use gravel_pgas as pgas;
 pub use gravel_simt as simt;
+pub use gravel_telemetry as telemetry;
+pub use gravel_telemetry::{Registry, RegistrySnapshot, Sampler, TelemetryConfig, Tracer};

@@ -17,7 +17,6 @@
 //! ack back to the sending lane.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,8 +44,11 @@ struct FlowState {
     ooo: BTreeMap<u64, Packet>,
 }
 
-/// Apply one in-sequence packet to the node's heap.
+/// Apply one in-sequence packet to the node's heap, recording its
+/// aggregation-open → apply latency and a `net.apply` span.
 fn apply(node: &NodeShared, pkt: &Packet) {
+    let _span = node.tracer.span("net.apply", "apply", node.id);
+    node.packet_latency.record(pkt.born.elapsed().as_nanos() as u64);
     let words = pkt.words();
     // Replying handlers re-enter the node's own Gravel path: the reply is
     // enqueued like any GPU-initiated message (and counted for quiescence
@@ -77,7 +79,7 @@ pub fn run(node: Arc<NodeShared>, transport: Arc<dyn Transport>, errors: Arc<Err
         if pkt.seq < flow.expected {
             // Duplicate (injected, or a retransmission of an applied
             // packet whose ack was lost). Re-ack so the sender advances.
-            node.net_dups_suppressed.fetch_add(1, Ordering::Relaxed);
+            node.net_dups_suppressed.add(1);
         } else if pkt.seq > flow.expected {
             // Out of order: park it if the buffer has room (go-back-N
             // retransmission recovers it otherwise), then ack what we
@@ -85,7 +87,7 @@ pub fn run(node: Arc<NodeShared>, transport: Arc<dyn Transport>, errors: Arc<Err
             if flow.ooo.len() < OOO_BUFFER_CAP {
                 flow.ooo.entry(pkt.seq).or_insert(pkt.clone());
             } else {
-                node.net_ooo_dropped.fetch_add(1, Ordering::Relaxed);
+                node.net_ooo_dropped.add(1);
             }
         } else {
             apply(&node, &pkt);
@@ -106,7 +108,7 @@ pub fn run(node: Arc<NodeShared>, transport: Arc<dyn Transport>, errors: Arc<Err
                 lane: pkt.lane,
                 cum_seq: flow.expected - 1,
             });
-            node.net_acks_sent.fetch_add(1, Ordering::Relaxed);
+            node.net_acks_sent.add(1);
         }
     }
 }
@@ -160,8 +162,8 @@ mod tests {
         transport.close();
         handle.join().unwrap();
         assert_eq!(node.heap.load(2), 10);
-        assert_eq!(node.applied.load(Ordering::Relaxed), 2);
-        assert_eq!(node.net_acks_sent.load(Ordering::Relaxed), 1);
+        assert_eq!(node.applied.get(), 2);
+        assert_eq!(node.net_acks_sent.get(), 1);
     }
 
     #[test]
@@ -172,16 +174,16 @@ mod tests {
         transport.send_data(packet(0, &words), Duration::from_secs(1));
         transport.send_data(packet(0, &words), Duration::from_secs(1));
         transport.send_data(packet(0, &words), Duration::from_secs(1));
-        while node.net_dups_suppressed.load(Ordering::Relaxed) < 2 {
+        while node.net_dups_suppressed.get() < 2 {
             std::thread::yield_now();
         }
         transport.close();
         handle.join().unwrap();
         // Applied exactly once despite three copies.
         assert_eq!(node.heap.load(1), 5);
-        assert_eq!(node.applied.load(Ordering::Relaxed), 1);
+        assert_eq!(node.applied.get(), 1);
         // Every copy (original + both dups) triggered a cumulative ack.
-        assert_eq!(node.net_acks_sent.load(Ordering::Relaxed), 3);
+        assert_eq!(node.net_acks_sent.get(), 3);
     }
 
     #[test]
@@ -193,7 +195,7 @@ mod tests {
         // means slot 0 ends at 111, not 222.
         transport.send_data(packet(1, &Message::put(0, 0, 111).encode()), Duration::from_secs(1));
         transport.send_data(packet(0, &Message::put(0, 0, 222).encode()), Duration::from_secs(1));
-        while node.applied.load(Ordering::Relaxed) < 2 {
+        while node.applied.get() < 2 {
             std::thread::yield_now();
         }
         transport.close();
@@ -214,13 +216,13 @@ mod tests {
         b.lane = 1;
         transport.send_data(a, Duration::from_secs(1));
         transport.send_data(b, Duration::from_secs(1));
-        while node.applied.load(Ordering::Relaxed) < 2 {
+        while node.applied.get() < 2 {
             std::thread::yield_now();
         }
         transport.close();
         handle.join().unwrap();
         assert_eq!(node.heap.load(4), 2);
-        assert_eq!(node.net_dups_suppressed.load(Ordering::Relaxed), 0);
+        assert_eq!(node.net_dups_suppressed.get(), 0);
     }
 
     #[test]

@@ -4,14 +4,24 @@
 //! thread of one node share: the symmetric heap, the producer/consumer
 //! queue, the active-message registry, and the counters that let the
 //! runtime detect cluster-wide quiescence.
+//!
+//! All counters are [`gravel_telemetry`] handles registered in the
+//! cluster's shared [`Registry`] under a `node{id}.` prefix (see
+//! DESIGN.md §10 for the naming scheme), so a single
+//! [`Registry::snapshot`] captures the whole cluster and
+//! [`NodeStats`](crate::stats::NodeStats) is just a typed view of it.
+//! The quiescence pair `offloaded`/`applied` is *vital* — registered via
+//! [`Registry::vital_counter`], it keeps counting even under
+//! `TelemetryConfig::Off`, because `quiesce()` is correctness, not
+//! observability.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
 
-use gravel_gq::{GravelQueue, Message};
+use gravel_gq::{GravelQueue, Message, QueueStats};
 use gravel_net::RetryConfig;
-use gravel_pgas::{AmRegistry, SymmetricHeap};
-use parking_lot::Mutex;
+use gravel_pgas::{AggCounters, AmRegistry, SymmetricHeap};
+use gravel_telemetry::{Counter, Histogram, Registry, Tracer};
 
 use crate::config::GravelConfig;
 use crate::stats::{NetStats, NodeStats};
@@ -28,81 +38,119 @@ pub struct NodeShared {
     pub queue: GravelQueue,
     /// Active-message handlers (identical on every node).
     pub ams: Arc<AmRegistry>,
+    /// The cluster's metric registry (shared by every node; this node's
+    /// metrics carry a `node{id}.` prefix).
+    pub registry: Arc<Registry>,
+    /// The cluster's span recorder (disabled unless
+    /// `TelemetryConfig::CountersAndTrace`).
+    pub tracer: Tracer,
     /// Messages offloaded into the queue by this node's GPU (and host).
-    pub offloaded: AtomicU64,
-    /// Messages applied by this node's network thread.
-    pub applied: AtomicU64,
+    /// Vital: drives quiescence even with telemetry off.
+    pub offloaded: Counter,
+    /// Messages applied by this node's network thread. Vital.
+    pub applied: Counter,
     /// Local operations short-circuited by the GPU (direct PUT stores).
-    pub local_direct: AtomicU64,
+    pub local_direct: Counter,
     /// Messages routed with a local destination (serialized atomics).
-    pub local_routed: AtomicU64,
+    pub local_routed: Counter,
     /// Messages routed to remote destinations.
-    pub remote_routed: AtomicU64,
-    /// Aggregation statistics, one slot per aggregator thread.
-    pub agg_stats: Mutex<Vec<gravel_pgas::AggStats>>,
+    pub remote_routed: Counter,
+    /// Aggregation counters shared by every aggregator slot of this node.
+    pub agg: AggCounters,
     /// Aggregator idle/busy poll counts (§8.1's 65 %-polling metric).
-    pub agg_polls_empty: AtomicU64,
+    pub agg_polls_empty: Counter,
     /// Aggregator polls that found work.
-    pub agg_polls_hit: AtomicU64,
+    pub agg_polls_hit: Counter,
     /// Sender-side delivery tuning (copied from the config so worker
     /// threads need no back-reference to it).
     pub retry: RetryConfig,
     /// Packets retransmitted by this node's sender flows.
-    pub net_retransmits: AtomicU64,
+    pub net_retransmits: Counter,
     /// Duplicate packets suppressed by this node's receiver.
-    pub net_dups_suppressed: AtomicU64,
+    pub net_dups_suppressed: Counter,
     /// Acks this node's network thread sent.
-    pub net_acks_sent: AtomicU64,
+    pub net_acks_sent: Counter,
     /// Acks this node's aggregator lanes received.
-    pub net_acks_received: AtomicU64,
-    /// Times a send stalled on a full channel or a full delivery window.
-    pub net_backpressure_stalls: AtomicU64,
+    pub net_acks_received: Counter,
+    /// Sends that stalled because the bounded data channel stayed full
+    /// for the whole attempt timeout.
+    pub net_chan_stalls: Counter,
+    /// Sends parked because the go-back-N in-flight window was full.
+    pub net_window_stalls: Counter,
     /// Out-of-order packets discarded because the reorder buffer was
     /// full (recovered later by retransmission).
-    pub net_ooo_dropped: AtomicU64,
+    pub net_ooo_dropped: Counter,
+    /// Aggregation-open → apply latency of every packet this node's
+    /// network thread applied, in nanoseconds.
+    pub packet_latency: Histogram,
 }
 
 impl NodeShared {
-    /// Build node `id`'s state. Network senders are owned by the
-    /// aggregator thread (see [`crate::aggregator::run`]) so that dropping
-    /// them at shutdown disconnects the network threads.
+    /// Build node `id`'s state with a private registry derived from
+    /// `cfg.telemetry` (unit tests, standalone nodes). Clusters share one
+    /// registry via [`with_telemetry`](Self::with_telemetry). Network
+    /// senders are owned by the aggregator thread (see
+    /// [`crate::aggregator::run`]) so that dropping them at shutdown
+    /// disconnects the network threads.
     pub fn new(id: u32, cfg: &GravelConfig, ams: Arc<AmRegistry>) -> Self {
+        let registry = Arc::new(Registry::new(cfg.telemetry));
+        let tracer = cfg.telemetry.tracer();
+        Self::with_telemetry(id, cfg, ams, registry, tracer)
+    }
+
+    /// Build node `id`'s state registering its metrics in a shared
+    /// cluster `registry` and recording spans through `tracer`.
+    pub fn with_telemetry(
+        id: u32,
+        cfg: &GravelConfig,
+        ams: Arc<AmRegistry>,
+        registry: Arc<Registry>,
+        tracer: Tracer,
+    ) -> Self {
+        let p = format!("node{id}");
+        let name = |suffix: &str| format!("{p}.{suffix}");
+        let queue_stats = QueueStats::bound(&registry, &p);
         NodeShared {
             id,
             nodes: cfg.nodes,
             heap: SymmetricHeap::new(cfg.heap_len),
-            queue: GravelQueue::new(cfg.queue),
+            queue: GravelQueue::with_telemetry(cfg.queue, queue_stats, tracer.clone(), id),
             ams,
-            offloaded: AtomicU64::new(0),
-            applied: AtomicU64::new(0),
-            local_direct: AtomicU64::new(0),
-            local_routed: AtomicU64::new(0),
-            remote_routed: AtomicU64::new(0),
-            agg_stats: Mutex::new(vec![
-                gravel_pgas::AggStats::default();
-                cfg.aggregator_threads
-            ]),
-            agg_polls_empty: AtomicU64::new(0),
-            agg_polls_hit: AtomicU64::new(0),
+            offloaded: registry.vital_counter(&name("offloaded")),
+            applied: registry.vital_counter(&name("applied")),
+            local_direct: registry.counter(&name("route.local_direct")),
+            local_routed: registry.counter(&name("route.local_routed")),
+            remote_routed: registry.counter(&name("route.remote_routed")),
+            agg: AggCounters::bound(&registry, &p),
+            agg_polls_empty: registry.counter(&name("agg.polls_empty")),
+            agg_polls_hit: registry.counter(&name("agg.polls_hit")),
             retry: cfg.retry.clone(),
-            net_retransmits: AtomicU64::new(0),
-            net_dups_suppressed: AtomicU64::new(0),
-            net_acks_sent: AtomicU64::new(0),
-            net_acks_received: AtomicU64::new(0),
-            net_backpressure_stalls: AtomicU64::new(0),
-            net_ooo_dropped: AtomicU64::new(0),
+            net_retransmits: registry.counter(&name("net.retransmits")),
+            net_dups_suppressed: registry.counter(&name("net.dups_suppressed")),
+            net_acks_sent: registry.counter(&name("net.acks_sent")),
+            net_acks_received: registry.counter(&name("net.acks_received")),
+            net_chan_stalls: registry.counter(&name("net.chan_stalls")),
+            net_window_stalls: registry.counter(&name("net.window_stalls")),
+            net_ooo_dropped: registry.counter(&name("net.ooo_dropped")),
+            packet_latency: registry.histogram(&name("net.packet_latency_ns")),
+            registry,
+            tracer,
         }
     }
 
-    /// Count one offloaded message toward quiescence tracking. Called at
-    /// enqueue time by the PGAS API.
+    /// Count offloaded messages toward quiescence tracking. Called at
+    /// enqueue time by the PGAS API. The release fence pairs with the
+    /// acquire fence in the quiescence check so heap effects are visible
+    /// once the counters balance.
     pub fn note_offloaded(&self, n: u64) {
-        self.offloaded.fetch_add(n, Ordering::Release);
+        fence(Ordering::Release);
+        self.offloaded.add(n);
     }
 
     /// Count applied messages (network thread).
     pub fn note_applied(&self, n: u64) {
-        self.applied.fetch_add(n, Ordering::Release);
+        fence(Ordering::Release);
+        self.applied.add(n);
     }
 
     /// Inject one message from the host CPU (control paths, tests).
@@ -112,37 +160,32 @@ impl NodeShared {
         self.note_offloaded(1);
     }
 
-    /// Snapshot this node's statistics.
+    /// Snapshot this node's statistics directly from the live handles.
+    /// Equal to `NodeStats::from_snapshot(self.id, &self.registry.snapshot())`
+    /// on a quiesced cluster (the migration-agreement test asserts it).
     pub fn stats(&self) -> NodeStats {
-        let agg = self.agg_stats.lock().iter().fold(
-            gravel_pgas::AggStats::default(),
-            |mut acc, s| {
-                acc.packets += s.packets;
-                acc.bytes += s.bytes;
-                acc.messages += s.messages;
-                acc.full_flushes += s.full_flushes;
-                acc.timeout_flushes += s.timeout_flushes;
-                acc
-            },
-        );
+        let chan_stalls = self.net_chan_stalls.get();
+        let window_stalls = self.net_window_stalls.get();
         NodeStats {
             node: self.id,
-            offloaded: self.offloaded.load(Ordering::Acquire),
-            applied: self.applied.load(Ordering::Acquire),
-            local_direct: self.local_direct.load(Ordering::Acquire),
-            local_routed: self.local_routed.load(Ordering::Acquire),
-            remote_routed: self.remote_routed.load(Ordering::Acquire),
-            agg,
+            offloaded: self.offloaded.get(),
+            applied: self.applied.get(),
+            local_direct: self.local_direct.get(),
+            local_routed: self.local_routed.get(),
+            remote_routed: self.remote_routed.get(),
+            agg: self.agg.snapshot(),
             queue: self.queue.stats.snapshot(),
-            agg_polls_empty: self.agg_polls_empty.load(Ordering::Acquire),
-            agg_polls_hit: self.agg_polls_hit.load(Ordering::Acquire),
+            agg_polls_empty: self.agg_polls_empty.get(),
+            agg_polls_hit: self.agg_polls_hit.get(),
             net: NetStats {
-                retransmits: self.net_retransmits.load(Ordering::Acquire),
-                dups_suppressed: self.net_dups_suppressed.load(Ordering::Acquire),
-                acks_sent: self.net_acks_sent.load(Ordering::Acquire),
-                acks_received: self.net_acks_received.load(Ordering::Acquire),
-                backpressure_stalls: self.net_backpressure_stalls.load(Ordering::Acquire),
-                ooo_dropped: self.net_ooo_dropped.load(Ordering::Acquire),
+                retransmits: self.net_retransmits.get(),
+                dups_suppressed: self.net_dups_suppressed.get(),
+                acks_sent: self.net_acks_sent.get(),
+                acks_received: self.net_acks_received.get(),
+                chan_stalls,
+                window_stalls,
+                backpressure_stalls: chan_stalls + window_stalls,
+                ooo_dropped: self.net_ooo_dropped.get(),
             },
         }
     }
@@ -161,7 +204,7 @@ mod tests {
     fn host_send_counts_offloaded() {
         let node = make_node(2);
         node.host_send(Message::inc(1, 3, 1));
-        assert_eq!(node.offloaded.load(Ordering::Relaxed), 1);
+        assert_eq!(node.offloaded.get(), 1);
         assert_eq!(node.queue.backlog(), 1);
     }
 
@@ -174,5 +217,27 @@ mod tests {
         assert_eq!(s.offloaded, 5);
         assert_eq!(s.applied, 3);
         assert_eq!(s.node, 0);
+    }
+
+    #[test]
+    fn counters_land_in_registry_under_node_prefix() {
+        let node = make_node(2);
+        node.host_send(Message::inc(1, 0, 1));
+        node.net_retransmits.add(2);
+        let snap = node.registry.snapshot();
+        assert_eq!(snap.counter("node0.offloaded"), 1);
+        assert_eq!(snap.counter("node0.net.retransmits"), 2);
+        assert_eq!(snap.counter("node0.queue.messages_produced"), 1);
+    }
+
+    #[test]
+    fn quiescence_counters_survive_telemetry_off() {
+        let mut cfg = GravelConfig::small(2, 16);
+        cfg.telemetry = gravel_telemetry::TelemetryConfig::Off;
+        let node = NodeShared::new(0, &cfg, Arc::new(AmRegistry::new()));
+        node.note_offloaded(4);
+        node.local_direct.add(4);
+        assert_eq!(node.offloaded.get(), 4, "vital counter still live");
+        assert_eq!(node.local_direct.get(), 0, "observability counter dead");
     }
 }

@@ -32,7 +32,7 @@
 //! ```
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 use gravel_net::{ChannelTransport, Transport, TransportKind, UnreliableTransport};
 use gravel_pgas::{AmRegistry, SymmetricHeap};
 use gravel_simt::{DispatchResult, Grid, SimtEngine};
+use gravel_telemetry::{Registry, RegistrySnapshot, Tracer};
 
 use crate::aggregator;
 use crate::config::GravelConfig;
@@ -58,6 +59,8 @@ pub struct GravelRuntime {
     nodes: Vec<Arc<NodeShared>>,
     engine: SimtEngine,
     transport: Arc<dyn Transport>,
+    registry: Arc<Registry>,
+    tracer: Tracer,
     errors: Arc<ErrorSlot>,
     agg_threads: Vec<JoinHandle<()>>,
     net_threads: Vec<JoinHandle<()>>,
@@ -108,8 +111,21 @@ impl GravelRuntime {
         };
         let errors = Arc::new(ErrorSlot::default());
 
-        let nodes: Vec<Arc<NodeShared>> =
-            (0..cfg.nodes).map(|i| Arc::new(NodeShared::new(i as u32, &cfg, ams.clone()))).collect();
+        // One cluster-wide registry/tracer: node `i`'s metrics carry a
+        // `node{i}.` prefix, so a single snapshot captures everything.
+        let registry = Arc::new(Registry::new(cfg.telemetry));
+        let tracer = cfg.telemetry.tracer();
+        let nodes: Vec<Arc<NodeShared>> = (0..cfg.nodes)
+            .map(|i| {
+                Arc::new(NodeShared::with_telemetry(
+                    i as u32,
+                    &cfg,
+                    ams.clone(),
+                    registry.clone(),
+                    tracer.clone(),
+                ))
+            })
+            .collect();
 
         // Network threads (receivers) first, then aggregators (senders).
         let net_threads = nodes
@@ -139,6 +155,8 @@ impl GravelRuntime {
             cfg,
             nodes,
             transport,
+            registry,
+            tracer,
             errors,
             agg_threads,
             net_threads,
@@ -164,6 +182,37 @@ impl GravelRuntime {
     /// Node `id`'s symmetric heap.
     pub fn heap(&self, id: usize) -> &SymmetricHeap {
         &self.nodes[id].heap
+    }
+
+    /// The cluster's metric registry (one per runtime; per-node metrics
+    /// carry a `node{N}.` prefix). Hand it to a
+    /// [`Sampler`](gravel_telemetry::Sampler) for periodic series, or
+    /// snapshot it directly.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The cluster's span recorder (disabled unless the config selects
+    /// [`TelemetryConfig::CountersAndTrace`](gravel_telemetry::TelemetryConfig)).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Point-in-time copy of every metric in the cluster.
+    pub fn telemetry_snapshot(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Export every span recorded so far as chrome://tracing JSON.
+    /// `None` when tracing is disabled.
+    pub fn export_chrome_trace(&self) -> Option<String> {
+        self.tracer.export_chrome_json()
+    }
+
+    /// The fabric carrying packets between nodes (tests use it to audit
+    /// in-flight ack mailbox depths against the counter ledger).
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// Dispatch `kernel` on node `node_id`'s GPU over `wg_count`
@@ -214,8 +263,12 @@ impl GravelRuntime {
     /// destination.
     fn is_quiescent(&self) -> bool {
         let backlog: u64 = self.nodes.iter().map(|n| n.queue.backlog()).sum();
-        let offloaded: u64 = self.nodes.iter().map(|n| n.offloaded.load(Ordering::Acquire)).sum();
-        let applied: u64 = self.nodes.iter().map(|n| n.applied.load(Ordering::Acquire)).sum();
+        let offloaded: u64 = self.nodes.iter().map(|n| n.offloaded.get()).sum();
+        let applied: u64 = self.nodes.iter().map(|n| n.applied.get()).sum();
+        // Counter reads are relaxed; this pairs with the release fences
+        // in note_offloaded/note_applied so heap effects of counted
+        // messages are visible to whoever observes the balance.
+        fence(Ordering::Acquire);
         backlog == 0 && offloaded == applied
     }
 

@@ -8,6 +8,7 @@
 use gravel_gq::StatsSnapshot;
 use gravel_net::FaultStats;
 use gravel_pgas::AggStats;
+use gravel_telemetry::RegistrySnapshot;
 
 /// Delivery-protocol counters of one node (sender + receiver side).
 ///
@@ -27,8 +28,14 @@ pub struct NetStats {
     pub acks_sent: u64,
     /// Acks received by this node's aggregator lanes.
     pub acks_received: u64,
-    /// Sends that stalled on a full bounded channel or a full delivery
-    /// window (the backpressure signal).
+    /// Sends that stalled because the bounded data channel stayed full
+    /// for a whole attempt timeout.
+    pub chan_stalls: u64,
+    /// Sends parked because the go-back-N in-flight window was full.
+    pub window_stalls: u64,
+    /// Total backpressure signal: `chan_stalls + window_stalls`. Kept as
+    /// a field (not a method) so existing struct literals and reports
+    /// stay source-compatible.
     pub backpressure_stalls: u64,
     /// Out-of-order packets dropped because the reorder buffer was full;
     /// recovered by retransmission.
@@ -64,6 +71,55 @@ pub struct NodeStats {
 }
 
 impl NodeStats {
+    /// Reconstruct node `node`'s statistics from a telemetry
+    /// [`RegistrySnapshot`], reading the `node{N}.*` metric names that
+    /// [`NodeShared::with_telemetry`](crate::node::NodeShared::with_telemetry)
+    /// registers. This is the "typed view" direction of the migration:
+    /// `NodeShared::stats()` and this function agree on a quiesced
+    /// cluster (asserted by the migration-agreement test).
+    pub fn from_snapshot(node: u32, snap: &RegistrySnapshot) -> Self {
+        let c = |suffix: &str| snap.counter(&format!("node{node}.{suffix}"));
+        let chan_stalls = c("net.chan_stalls");
+        let window_stalls = c("net.window_stalls");
+        NodeStats {
+            node,
+            offloaded: c("offloaded"),
+            applied: c("applied"),
+            local_direct: c("route.local_direct"),
+            local_routed: c("route.local_routed"),
+            remote_routed: c("route.remote_routed"),
+            agg: AggStats {
+                packets: c("agg.packets"),
+                bytes: c("agg.bytes"),
+                messages: c("agg.messages"),
+                full_flushes: c("agg.full_flushes"),
+                timeout_flushes: c("agg.timeout_flushes"),
+            },
+            queue: StatsSnapshot {
+                producer_rmws: c("queue.producer_rmws"),
+                producer_spins: c("queue.producer_spins"),
+                consumer_rmws: c("queue.consumer_rmws"),
+                consumer_empty_polls: c("queue.consumer_empty_polls"),
+                consumer_hits: c("queue.consumer_hits"),
+                messages_produced: c("queue.messages_produced"),
+                messages_consumed: c("queue.messages_consumed"),
+                slots_produced: c("queue.slots_produced"),
+            },
+            agg_polls_empty: c("agg.polls_empty"),
+            agg_polls_hit: c("agg.polls_hit"),
+            net: NetStats {
+                retransmits: c("net.retransmits"),
+                dups_suppressed: c("net.dups_suppressed"),
+                acks_sent: c("net.acks_sent"),
+                acks_received: c("net.acks_received"),
+                chan_stalls,
+                window_stalls,
+                backpressure_stalls: chan_stalls + window_stalls,
+                ooo_dropped: c("net.ooo_dropped"),
+            },
+        }
+    }
+
     /// Fraction of PGAS operations that touched a remote node —
     /// Table 5's "remote access frequency".
     pub fn remote_fraction(&self) -> f64 {

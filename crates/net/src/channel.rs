@@ -120,6 +120,10 @@ impl Transport for ChannelTransport {
     fn data_depths(&self) -> Vec<usize> {
         self.data.iter().map(|(tx, _)| tx.len()).collect()
     }
+
+    fn ack_depths(&self, node: NodeId) -> usize {
+        self.acks[node as usize].iter().map(|(tx, _)| tx.len()).sum()
+    }
 }
 
 #[cfg(test)]

@@ -120,4 +120,10 @@ pub trait Transport: Send + Sync {
     /// Current data-plane queue depth per node, for quiesce-timeout
     /// diagnostics.
     fn data_depths(&self) -> Vec<usize>;
+
+    /// Acks currently sitting in node `node`'s lane mailboxes (sent but
+    /// not yet drained by its aggregators). On a quiesced cluster this
+    /// closes the ack ledger: every ack sent is either received, still
+    /// mailboxed here, or counted in `fault_stats().dropped_acks`.
+    fn ack_depths(&self, node: NodeId) -> usize;
 }

@@ -271,6 +271,12 @@ impl<T: Transport> Transport for UnreliableTransport<T> {
         }
         depths
     }
+
+    fn ack_depths(&self, node: crate::NodeId) -> usize {
+        // Ack faults are drops, never delays: everything buffered lives
+        // in the inner fabric's mailboxes.
+        self.inner.ack_depths(node)
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 use std::time::{Duration, Instant};
 
 use bytes::{BufMut, Bytes, BytesMut};
+use gravel_telemetry::{Counter, Registry};
 
 /// Default per-node queue size (Table 3).
 pub const DEFAULT_QUEUE_BYTES: usize = 64 * 1024;
@@ -34,6 +35,11 @@ pub struct Packet {
     /// (0 until then). The receiver applies packets of a flow in
     /// sequence order exactly once and acks cumulatively.
     pub seq: u64,
+    /// When the aggregation buffer behind this packet was opened (first
+    /// message buffered). The receiver's apply path turns `born.elapsed()`
+    /// into the end-to-end aggregate→apply latency histogram; in-process
+    /// nodes share a clock, so the difference is meaningful.
+    pub born: Instant,
     /// Message words, little-endian, message-major.
     pub payload: Bytes,
 }
@@ -61,7 +67,7 @@ impl Packet {
         for &w in words {
             buf.put_u64_le(w);
         }
-        Packet { src, dest, lane: 0, seq: 0, payload: buf.freeze() }
+        Packet { src, dest, lane: 0, seq: 0, born: Instant::now(), payload: buf.freeze() }
     }
 }
 
@@ -84,6 +90,63 @@ pub struct AggStats {
     pub full_flushes: u64,
     /// Packets flushed because they timed out.
     pub timeout_flushes: u64,
+}
+
+/// Live counter handles behind [`AggStats`].
+///
+/// Detached by default (standalone queues always count); clusters build
+/// them with [`AggCounters::bound`] so every aggregator slot of a node
+/// adds into the same registry metrics — one increment per event, no
+/// per-slot copies to drift.
+#[derive(Clone, Debug)]
+pub struct AggCounters {
+    /// Packets flushed.
+    pub packets: Counter,
+    /// Total payload bytes flushed.
+    pub bytes: Counter,
+    /// Messages aggregated.
+    pub messages: Counter,
+    /// Packets flushed because they filled.
+    pub full_flushes: Counter,
+    /// Packets flushed because they timed out.
+    pub timeout_flushes: Counter,
+}
+
+impl Default for AggCounters {
+    fn default() -> Self {
+        AggCounters {
+            packets: Counter::detached(),
+            bytes: Counter::detached(),
+            messages: Counter::detached(),
+            full_flushes: Counter::detached(),
+            timeout_flushes: Counter::detached(),
+        }
+    }
+}
+
+impl AggCounters {
+    /// Counters registered in `registry` under `{prefix}.agg.{field}`.
+    pub fn bound(registry: &Registry, prefix: &str) -> Self {
+        let name = |field: &str| format!("{prefix}.agg.{field}");
+        AggCounters {
+            packets: registry.counter(&name("packets")),
+            bytes: registry.counter(&name("bytes")),
+            messages: registry.counter(&name("messages")),
+            full_flushes: registry.counter(&name("full_flushes")),
+            timeout_flushes: registry.counter(&name("timeout_flushes")),
+        }
+    }
+
+    /// Point-in-time [`AggStats`] view of the handles.
+    pub fn snapshot(&self) -> AggStats {
+        AggStats {
+            packets: self.packets.get(),
+            bytes: self.bytes.get(),
+            messages: self.messages.get(),
+            full_flushes: self.full_flushes.get(),
+            timeout_flushes: self.timeout_flushes.get(),
+        }
+    }
 }
 
 impl AggStats {
@@ -116,8 +179,9 @@ pub struct NodeQueues {
     queue_bytes: usize,
     timeout: Duration,
     bufs: Vec<AggBuffer>,
-    /// Aggregation statistics.
-    pub stats: AggStats,
+    /// Aggregation counters (detached unless built via
+    /// [`with_telemetry`](Self::with_telemetry)).
+    counters: AggCounters,
 }
 
 impl NodeQueues {
@@ -128,6 +192,18 @@ impl NodeQueues {
 
     /// Queues with explicit size and timeout (Figure 14 sweeps the size).
     pub fn with_config(my_node: u32, nodes: usize, queue_bytes: usize, timeout: Duration) -> Self {
+        Self::with_telemetry(my_node, nodes, queue_bytes, timeout, AggCounters::default())
+    }
+
+    /// Queues whose flush statistics add into shared `counters` (all
+    /// aggregator slots of a node pass clones of the same handles).
+    pub fn with_telemetry(
+        my_node: u32,
+        nodes: usize,
+        queue_bytes: usize,
+        timeout: Duration,
+        counters: AggCounters,
+    ) -> Self {
         assert!(queue_bytes >= 32, "queue must hold at least one message");
         NodeQueues {
             my_node,
@@ -137,7 +213,7 @@ impl NodeQueues {
             bufs: (0..nodes)
                 .map(|_| AggBuffer { buf: BytesMut::new(), opened_at: None, messages: 0 })
                 .collect(),
-            stats: AggStats::default(),
+            counters,
         }
     }
 
@@ -151,23 +227,28 @@ impl NodeQueues {
         self.timeout
     }
 
+    /// Point-in-time aggregation statistics.
+    pub fn stats(&self) -> AggStats {
+        self.counters.snapshot()
+    }
+
     fn flush_dest(&mut self, dest: usize, timed_out: bool) -> Option<Packet> {
         let b = &mut self.bufs[dest];
         if b.buf.is_empty() {
             return None;
         }
         let payload = b.buf.split().freeze();
-        b.opened_at = None;
-        self.stats.packets += 1;
-        self.stats.bytes += payload.len() as u64;
-        self.stats.messages += b.messages;
+        let born = b.opened_at.take().unwrap_or_else(Instant::now);
+        self.counters.packets.inc();
+        self.counters.bytes.add(payload.len() as u64);
+        self.counters.messages.add(b.messages);
         b.messages = 0;
         if timed_out {
-            self.stats.timeout_flushes += 1;
+            self.counters.timeout_flushes.inc();
         } else {
-            self.stats.full_flushes += 1;
+            self.counters.full_flushes.inc();
         }
-        Some(Packet { src: self.my_node, dest: dest as u32, lane: 0, seq: 0, payload })
+        Some(Packet { src: self.my_node, dest: dest as u32, lane: 0, seq: 0, born, payload })
     }
 
     /// Append one message (as words) to destination `dest`'s queue.
@@ -242,7 +323,7 @@ mod tests {
         assert_eq!(pkt.len(), 128);
         assert_eq!(pkt.words().len(), 16);
         assert_eq!(nq.pending_bytes(1), 0);
-        assert_eq!(nq.stats.full_flushes, 1);
+        assert_eq!(nq.stats().full_flushes, 1);
     }
 
     #[test]
@@ -264,7 +345,7 @@ mod tests {
         let pkts = nq.poll_timeouts(later);
         assert_eq!(pkts.len(), 1);
         assert_eq!(pkts[0].len(), 32);
-        assert_eq!(nq.stats.timeout_flushes, 1);
+        assert_eq!(nq.stats().timeout_flushes, 1);
     }
 
     #[test]
@@ -294,9 +375,9 @@ mod tests {
         for i in 0..4 {
             nq.push(1, &words(i), now); // flushes every 2 messages
         }
-        assert_eq!(nq.stats.packets, 2);
-        assert!((nq.stats.avg_packet_bytes() - 64.0).abs() < 1e-9);
-        assert_eq!(nq.stats.messages, 4);
+        assert_eq!(nq.stats().packets, 2);
+        assert!((nq.stats().avg_packet_bytes() - 64.0).abs() < 1e-9);
+        assert_eq!(nq.stats().messages, 4);
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! The periodic sampler: registry snapshots on a fixed cadence.
+//!
+//! Endpoint counters answer "how much"; trajectories answer "when".
+//! [`Sampler::start`] spawns a thread that snapshots a [`Registry`]
+//! every `interval` and appends a timestamped [`Sample`]; stopping it
+//! returns the whole [`SampleSeries`], which serializes to a JSON array
+//! benches drop next to their other artifacts. Queue depth, in-flight
+//! window occupancy, aggregation factor, and backpressure stalls *over
+//! time* — Table 5 quantities as curves instead of single numbers —
+//! all come from here.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::registry::{Registry, RegistrySnapshot};
+
+/// One timestamped registry snapshot.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Milliseconds since the sampler started.
+    pub t_ms: f64,
+    /// The metric values at that instant.
+    pub snapshot: RegistrySnapshot,
+}
+
+impl serde::Serialize for Sample {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("t_ms".into(), self.t_ms.serialize()),
+            ("snapshot".into(), self.snapshot.serialize()),
+        ])
+    }
+}
+
+/// A completed sampling run.
+#[derive(Clone, Debug, Default)]
+pub struct SampleSeries {
+    /// Samples in time order.
+    pub samples: Vec<Sample>,
+}
+
+impl SampleSeries {
+    /// The trajectory of one counter across the run.
+    pub fn counter_series(&self, name: &str) -> Vec<(f64, u64)> {
+        self.samples.iter().map(|s| (s.t_ms, s.snapshot.counter(name))).collect()
+    }
+
+    /// The trajectory of one gauge across the run.
+    pub fn gauge_series(&self, name: &str) -> Vec<(f64, i64)> {
+        self.samples.iter().map(|s| (s.t_ms, s.snapshot.gauge(name))).collect()
+    }
+}
+
+impl serde::Serialize for SampleSeries {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![("samples".into(), self.samples.serialize())])
+    }
+}
+
+/// A running sampler thread. Stop it to collect the series; dropping it
+/// without stopping also shuts the thread down (discarding the series).
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    series: Arc<Mutex<SampleSeries>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Start sampling `registry` every `interval`. The first sample is
+    /// taken immediately; one final sample is taken at `stop` time, so a
+    /// series always has ≥ 2 samples bracketing the run.
+    pub fn start(registry: Arc<Registry>, interval: Duration) -> Self {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        let stop = Arc::new(AtomicBool::new(false));
+        let series = Arc::new(Mutex::new(SampleSeries::default()));
+        let handle = {
+            let (stop, series) = (stop.clone(), series.clone());
+            std::thread::Builder::new()
+                .name("gravel-sampler".into())
+                .spawn(move || {
+                    let epoch = Instant::now();
+                    loop {
+                        let sample = Sample {
+                            t_ms: epoch.elapsed().as_secs_f64() * 1e3,
+                            snapshot: registry.snapshot(),
+                        };
+                        series.lock().unwrap().samples.push(sample);
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        // Sleep in small slices so stop() is prompt even
+                        // with second-scale intervals.
+                        let deadline = Instant::now() + interval;
+                        while Instant::now() < deadline {
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::sleep(
+                                (deadline - Instant::now()).min(Duration::from_millis(5)),
+                            );
+                        }
+                    }
+                })
+                .expect("spawn sampler thread")
+        };
+        Sampler { stop, series, handle: Some(handle) }
+    }
+
+    /// Stop the thread and return everything sampled.
+    pub fn stop(mut self) -> SampleSeries {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        std::mem::take(&mut *self.series.lock().unwrap())
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_brackets_a_run() {
+        let r = Arc::new(Registry::enabled());
+        let c = r.counter("work");
+        let s = Sampler::start(r.clone(), Duration::from_millis(2));
+        c.add(10);
+        std::thread::sleep(Duration::from_millis(10));
+        c.add(5);
+        let series = s.stop();
+        assert!(series.samples.len() >= 2, "{} samples", series.samples.len());
+        let traj = series.counter_series("work");
+        assert_eq!(traj.last().unwrap().1, 15, "final sample sees all work");
+        assert!(traj.windows(2).all(|w| w[0].1 <= w[1].1), "counters are monotone");
+        assert!(traj.windows(2).all(|w| w[0].0 <= w[1].0), "time is monotone");
+    }
+
+    #[test]
+    fn series_serializes_to_json() {
+        let r = Arc::new(Registry::enabled());
+        r.counter("c").add(1);
+        r.gauge("g").set(7);
+        let s = Sampler::start(r, Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(3));
+        let series = s.stop();
+        let json = serde_json::to_string(&series).unwrap();
+        assert!(json.contains("\"t_ms\""), "{json}");
+        assert!(json.contains("\"c\":1"), "{json}");
+        let v: serde::Value = serde_json::from_str(&json).unwrap();
+        assert!(v.get("samples").is_some());
+    }
+
+    #[test]
+    fn drop_without_stop_shuts_down() {
+        let r = Arc::new(Registry::enabled());
+        let s = Sampler::start(r, Duration::from_secs(3600));
+        drop(s); // must not hang on the long interval
+    }
+}

@@ -1,0 +1,346 @@
+//! Event tracing with per-thread ring buffers and a
+//! `chrome://tracing`-compatible JSON exporter.
+//!
+//! A [`Tracer`] is a cheap-to-clone handle shared by every thread of a
+//! cluster. The first span a thread records registers a private ring
+//! buffer (bounded: old events are overwritten and counted as dropped),
+//! so the hot path never contends with other threads — the only
+//! cross-thread synchronization is the per-thread buffer's uncontended
+//! mutex, taken once per completed span.
+//!
+//! Spans are recorded as chrome "complete" events (`ph: "X"`): name,
+//! category, start timestamp relative to the tracer's epoch, duration,
+//! `pid` = node id, `tid` = registration order. Load the exported JSON
+//! in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev) to see
+//! the offload → aggregate → apply pipeline on a common timeline.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default per-thread event capacity (~64k spans ≈ a few MB per thread).
+pub const DEFAULT_THREAD_CAPACITY: usize = 1 << 16;
+
+/// One completed span.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Span name, e.g. `"agg.flush"`.
+    pub name: &'static str,
+    /// Category (the pipeline stage), e.g. `"aggregate"`.
+    pub cat: &'static str,
+    /// Node id (chrome `pid`).
+    pub node: u32,
+    /// Start, nanoseconds since the tracer epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct ThreadBuf {
+    /// Thread name at registration time (chrome thread metadata).
+    name: String,
+    /// Chrome `tid`: registration order.
+    tid: u64,
+    events: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+struct TracerInner {
+    /// Distinguishes tracers within one process in thread-local maps.
+    id: u64,
+    epoch: Instant,
+    capacity: usize,
+    threads: Mutex<Vec<Arc<ThreadBuf>>>,
+}
+
+thread_local! {
+    /// tracer id → this thread's buffer for that tracer.
+    static THREAD_BUFS: RefCell<HashMap<u64, Arc<ThreadBuf>>> = RefCell::new(HashMap::new());
+}
+
+/// A handle for recording spans. Clone freely; a disabled tracer's
+/// [`span`](Tracer::span) is a no-op guard.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// An enabled tracer with the default per-thread capacity.
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_THREAD_CAPACITY)
+    }
+
+    /// An enabled tracer holding at most `capacity` events per thread.
+    pub fn with_capacity(capacity: usize) -> Self {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+        assert!(capacity > 0, "trace buffers need room for at least one event");
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
+                capacity,
+                threads: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A tracer that records nothing (the `TelemetryConfig::Counters`
+    /// and `Off` modes).
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// Whether spans are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Start a span; the event is recorded when the guard drops.
+    #[inline]
+    pub fn span(&self, name: &'static str, cat: &'static str, node: u32) -> SpanGuard<'_> {
+        SpanGuard {
+            tracer: self,
+            name,
+            cat,
+            node,
+            start: self.inner.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    fn record(&self, ev: TraceEvent) {
+        let Some(inner) = &self.inner else { return };
+        THREAD_BUFS.with(|bufs| {
+            let mut bufs = bufs.borrow_mut();
+            let buf = bufs.entry(inner.id).or_insert_with(|| {
+                let buf = Arc::new(ThreadBuf {
+                    name: std::thread::current().name().unwrap_or("unnamed").to_string(),
+                    tid: 0,
+                    events: Mutex::new(VecDeque::with_capacity(16)),
+                    dropped: AtomicU64::new(0),
+                });
+                let mut threads = inner.threads.lock().unwrap();
+                // tid = registration order; fix it up via Arc::get_mut
+                // before the buffer is shared with the exporter.
+                let mut buf = buf;
+                Arc::get_mut(&mut buf).unwrap().tid = threads.len() as u64;
+                threads.push(buf.clone());
+                buf
+            });
+            let mut events = buf.events.lock().unwrap();
+            if events.len() >= inner.capacity {
+                events.pop_front();
+                buf.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            events.push_back(ev);
+        });
+    }
+
+    /// Total events recorded and still buffered, across all threads.
+    pub fn buffered_events(&self) -> usize {
+        let Some(inner) = &self.inner else { return 0 };
+        let threads = inner.threads.lock().unwrap();
+        threads.iter().map(|t| t.events.lock().unwrap().len()).sum()
+    }
+
+    /// Events overwritten because a thread's ring filled.
+    pub fn dropped_events(&self) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let threads = inner.threads.lock().unwrap();
+        threads.iter().map(|t| t.dropped.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Drain every thread's buffer into one list (sorted by start time).
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let Some(inner) = &self.inner else { return Vec::new() };
+        let threads = inner.threads.lock().unwrap();
+        let mut all = Vec::new();
+        for t in threads.iter() {
+            all.extend(t.events.lock().unwrap().drain(..));
+        }
+        all.sort_by_key(|e| e.start_ns);
+        all
+    }
+
+    /// Export everything recorded so far as `chrome://tracing` JSON
+    /// (object format, `traceEvents` array; timestamps in microseconds).
+    /// Returns `None` for a disabled tracer. Buffers are not drained —
+    /// exporting twice yields the same events twice.
+    pub fn export_chrome_json(&self) -> Option<String> {
+        use serde::Value;
+        let inner = self.inner.as_ref()?;
+        let threads = inner.threads.lock().unwrap();
+        let mut events: Vec<Value> = Vec::new();
+        for t in threads.iter() {
+            // Thread metadata: names the row in the trace viewer.
+            events.push(Value::Object(vec![
+                ("name".into(), Value::Str("thread_name".into())),
+                ("ph".into(), Value::Str("M".into())),
+                ("pid".into(), Value::U64(0)),
+                ("tid".into(), Value::U64(t.tid)),
+                (
+                    "args".into(),
+                    Value::Object(vec![("name".into(), Value::Str(t.name.clone()))]),
+                ),
+            ]));
+            for ev in t.events.lock().unwrap().iter() {
+                events.push(Value::Object(vec![
+                    ("name".into(), Value::Str(ev.name.into())),
+                    ("cat".into(), Value::Str(ev.cat.into())),
+                    ("ph".into(), Value::Str("X".into())),
+                    ("ts".into(), Value::F64(ev.start_ns as f64 / 1000.0)),
+                    ("dur".into(), Value::F64(ev.dur_ns as f64 / 1000.0)),
+                    ("pid".into(), Value::U64(ev.node as u64)),
+                    ("tid".into(), Value::U64(t.tid)),
+                ]));
+            }
+        }
+        let root = Value::Object(vec![
+            ("traceEvents".into(), Value::Array(events)),
+            ("displayTimeUnit".into(), Value::Str("ms".into())),
+        ]);
+        Some(serde_json::to_string(&root).expect("trace serialization cannot fail"))
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(_) => write!(f, "Tracer(enabled, {} buffered)", self.buffered_events()),
+            None => write!(f, "Tracer(disabled)"),
+        }
+    }
+}
+
+/// Records one span on drop. Hold it across the work being measured.
+#[must_use = "a span guard records on drop; binding it to `_` measures nothing"]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    cat: &'static str,
+    node: u32,
+    start: Option<Instant>,
+}
+
+impl SpanGuard<'_> {
+    /// Duration since the span started (None when tracing is off).
+    pub fn elapsed(&self) -> Option<std::time::Duration> {
+        self.start.map(|s| s.elapsed())
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let (Some(inner), Some(start)) = (self.tracer.inner.as_ref(), self.start) else {
+            return;
+        };
+        let end = Instant::now();
+        let ev = TraceEvent {
+            name: self.name,
+            cat: self.cat,
+            node: self.node,
+            start_ns: start.duration_since(inner.epoch).as_nanos() as u64,
+            dur_ns: end.duration_since(start).as_nanos() as u64,
+        };
+        self.tracer.record(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn spans_record_and_export() {
+        let t = Tracer::enabled();
+        {
+            let _g = t.span("work", "test", 3);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(t.buffered_events(), 1);
+        let json = t.export_chrome_json().unwrap();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"work\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"pid\":3"), "{json}");
+        // The export is valid JSON.
+        let v: serde::Value = serde_json::from_str(&json).unwrap();
+        assert!(v.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        {
+            let _g = t.span("work", "test", 0);
+        }
+        assert_eq!(t.buffered_events(), 0);
+        assert!(t.export_chrome_json().is_none());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn per_thread_buffers_do_not_interleave_registration() {
+        let t = Tracer::enabled();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let t = t.clone();
+                std::thread::Builder::new()
+                    .name(format!("tracer-test-{i}"))
+                    .spawn(move || {
+                        for _ in 0..100 {
+                            let _g = t.span("w", "test", 0);
+                        }
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.buffered_events(), 400);
+        assert_eq!(t.dropped_events(), 0);
+        let json = t.export_chrome_json().unwrap();
+        assert!(json.contains("tracer-test-0"), "thread names exported");
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let t = Tracer::with_capacity(10);
+        for _ in 0..25 {
+            let _g = t.span("w", "test", 0);
+        }
+        assert_eq!(t.buffered_events(), 10);
+        assert_eq!(t.dropped_events(), 15);
+    }
+
+    #[test]
+    fn drain_empties_and_sorts() {
+        let t = Tracer::enabled();
+        for _ in 0..5 {
+            let _g = t.span("w", "test", 0);
+        }
+        let evs = t.drain();
+        assert_eq!(evs.len(), 5);
+        assert!(evs.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        assert_eq!(t.buffered_events(), 0);
+    }
+
+    #[test]
+    fn two_tracers_on_one_thread_stay_separate() {
+        let a = Tracer::enabled();
+        let b = Tracer::enabled();
+        {
+            let _g = a.span("a", "test", 0);
+        }
+        {
+            let _g = b.span("b", "test", 0);
+            let _h = b.span("b2", "test", 0);
+        }
+        assert_eq!(a.buffered_events(), 1);
+        assert_eq!(b.buffered_events(), 2);
+    }
+}

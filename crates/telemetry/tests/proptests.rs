@@ -1,0 +1,110 @@
+//! Property tests of the histogram: merging, quantile error bounds, and
+//! lossless concurrent recording.
+
+use gravel_telemetry::histogram::{bucket_high, bucket_index, SUB_BUCKETS};
+use gravel_telemetry::{Histogram, Registry};
+use proptest::prelude::*;
+
+fn record_all(values: &[u64]) -> Histogram {
+    let h = Histogram::detached();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Exact quantile of a sorted slice, matching the histogram's
+/// nearest-rank convention.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging two snapshots preserves every count, the sum, and the max
+    /// — merge is exactly concatenation of the recorded streams.
+    #[test]
+    fn merge_preserves_totals(
+        a in prop::collection::vec(0u64..1_000_000, 0..200),
+        b in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let ha = record_all(&a).snapshot();
+        let hb = record_all(&b).snapshot();
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count, (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.sum, a.iter().sum::<u64>() + b.iter().sum::<u64>());
+        prop_assert_eq!(merged.max, a.iter().chain(&b).copied().max().unwrap_or(0));
+        // And equals recording the concatenation directly.
+        let mut all = a.clone();
+        all.extend(&b);
+        prop_assert_eq!(&merged.buckets, &record_all(&all).snapshot().buckets);
+    }
+
+    /// Quantile estimates are one-sided: never below the true quantile,
+    /// and at most one sub-bucket width (1/8 relative) above it.
+    #[test]
+    fn quantile_error_is_bounded(
+        values in prop::collection::vec(1u64..u64::MAX / 2, 1..300),
+        q_pct in 1u32..100,
+    ) {
+        let q = q_pct as f64 / 100.0;
+        let snap = record_all(&values).snapshot();
+        let mut values = values;
+        values.sort_unstable();
+        let truth = exact_quantile(&values, q);
+        let est = snap.quantile(q);
+        prop_assert!(est >= truth, "estimate {est} below true quantile {truth}");
+        // Log-bucketed with SUB_BUCKETS sub-buckets per power of two:
+        // the bucket top overshoots its contents by < 1/SUB_BUCKETS.
+        let bound = truth + truth / SUB_BUCKETS + 1;
+        prop_assert!(
+            est <= bound,
+            "estimate {est} exceeds error bound {bound} (truth {truth}, q {q})"
+        );
+    }
+
+    /// Every value lands in the bucket whose range covers it, and bucket
+    /// tops are monotone.
+    #[test]
+    fn bucket_index_is_consistent(v in 0u64..u64::MAX) {
+        let idx = bucket_index(v);
+        prop_assert!(v <= bucket_high(idx), "value above its bucket top");
+        if idx > 0 {
+            prop_assert!(v > bucket_high(idx - 1), "value fits an earlier bucket");
+        }
+    }
+}
+
+/// N threads hammering one histogram lose nothing: total count, sum, and
+/// max all reconcile exactly once the threads join.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    let registry = std::sync::Arc::new(Registry::enabled());
+    let h = registry.histogram("stress.latency");
+    let threads = 8;
+    let per_thread = 10_000u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let h = h.clone();
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    // Distinct per-thread value streams.
+                    h.record(t as u64 * per_thread + i + 1);
+                }
+            })
+        })
+        .collect();
+    for j in handles {
+        j.join().unwrap();
+    }
+    let snap = registry.snapshot();
+    let s = snap.histogram("stress.latency").expect("registered");
+    let n = threads as u64 * per_thread;
+    assert_eq!(s.count, n, "lost samples");
+    assert_eq!(s.sum, n * (n + 1) / 2, "lost sum contributions");
+    assert_eq!(s.max, n, "lost the max");
+    assert_eq!(s.buckets.iter().sum::<u64>(), n, "bucket totals disagree with count");
+}
