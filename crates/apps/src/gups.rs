@@ -7,7 +7,7 @@
 //! updates are remote — 87.5 % at eight nodes (Table 5).
 
 use gravel_cluster::{NodeStep, OpClass, StepTrace, WorkloadTrace};
-use gravel_core::GravelRuntime;
+use gravel_core::{Checkpoint, GravelRuntime};
 use gravel_pgas::{Layout, Partition};
 use gravel_simt::{LaneVec, Mask};
 use rand::rngs::StdRng;
@@ -59,31 +59,83 @@ pub fn run_live(rt: &GravelRuntime, input: &GupsInput) -> u64 {
     }
     let mut issued = 0u64;
     for node in 0..nodes {
-        let _span = rt.tracer().span("gups.dispatch", "app", node as u32);
-        let updates = node_updates(input, nodes, node);
-        issued += updates.len() as u64;
-        let wg_size = rt.config().wg_size;
-        let wgs = updates.len().div_ceil(wg_size).max(1);
-        rt.dispatch(node, wgs, |ctx| {
-            let gids = ctx.wg.global_ids();
-            let n = ctx.wg.wg_size();
-            let in_range = Mask::from_fn(n, |l| gids.get(l) < updates.len());
-            ctx.masked(&in_range, |ctx| {
-                // Fig. 4b line 15: shmem_inc(A + B[GRID_ID], C[GRID_ID]).
-                let dests = LaneVec::from_fn(n, |l| {
-                    let g = gids.get(l).min(updates.len() - 1);
-                    part.owner(updates[g]) as u32
-                });
-                let addrs = LaneVec::from_fn(n, |l| {
-                    let g = gids.get(l).min(updates.len() - 1);
-                    part.local_offset(updates[g])
-                });
-                let vals = LaneVec::splat(n, 1u64);
-                ctx.shmem_inc(&dests, &addrs, &vals);
-            });
-        });
+        issued += dispatch_node(rt, &part, input, node);
     }
     rt.quiesce();
+    issued
+}
+
+/// Dispatch node `node`'s full update stream (one GUPS superstep).
+fn dispatch_node(rt: &GravelRuntime, part: &Partition, input: &GupsInput, node: usize) -> u64 {
+    let _span = rt.tracer().span("gups.dispatch", "app", node as u32);
+    let updates = node_updates(input, rt.nodes(), node);
+    let issued = updates.len() as u64;
+    let wg_size = rt.config().wg_size;
+    let wgs = updates.len().div_ceil(wg_size).max(1);
+    rt.dispatch(node, wgs, |ctx| {
+        let gids = ctx.wg.global_ids();
+        let n = ctx.wg.wg_size();
+        let in_range = Mask::from_fn(n, |l| gids.get(l) < updates.len());
+        ctx.masked(&in_range, |ctx| {
+            // Fig. 4b line 15: shmem_inc(A + B[GRID_ID], C[GRID_ID]).
+            let dests = LaneVec::from_fn(n, |l| {
+                let g = gids.get(l).min(updates.len() - 1);
+                part.owner(updates[g]) as u32
+            });
+            let addrs = LaneVec::from_fn(n, |l| {
+                let g = gids.get(l).min(updates.len() - 1);
+                part.local_offset(updates[g])
+            });
+            let vals = LaneVec::splat(n, 1u64);
+            ctx.shmem_inc(&dests, &addrs, &vals);
+        });
+    });
+    issued
+}
+
+/// Application progress of a checkpointed GUPS run: which nodes' update
+/// streams are already dispatched *and durable* (covered by an epoch
+/// cut). Saved into every epoch snapshot via [`Checkpoint`], so a
+/// recovering run resumes at the first un-checkpointed stream instead of
+/// re-issuing (and double-counting) updates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GupsProgress {
+    /// Number of nodes whose update stream is fully dispatched, quiesced,
+    /// and captured by an epoch cut.
+    pub nodes_dispatched: u64,
+}
+
+impl Checkpoint for GupsProgress {
+    fn save(&self) -> Vec<u64> {
+        vec![self.nodes_dispatched]
+    }
+
+    fn restore(&mut self, words: &[u64]) {
+        self.nodes_dispatched = words.first().copied().unwrap_or(0);
+    }
+}
+
+/// Run GUPS as a sequence of per-node supersteps with an epoch cut after
+/// each: dispatch node `k`'s stream, quiesce, snapshot heaps + progress.
+/// Requires `cfg.ha.checkpoint = true`. Resumes from
+/// `progress.nodes_dispatched` (pass a default-constructed progress for a
+/// fresh run); returns the number of updates issued *by this call*.
+pub fn run_live_checkpointed(
+    rt: &GravelRuntime,
+    input: &GupsInput,
+    progress: &mut GupsProgress,
+) -> u64 {
+    let nodes = rt.nodes();
+    let part = partition(input, nodes);
+    for node in 0..nodes {
+        assert!(rt.config().heap_len >= part.local_len(node), "heap too small for table slice");
+    }
+    let mut issued = 0u64;
+    for node in (progress.nodes_dispatched as usize)..nodes {
+        issued += dispatch_node(rt, &part, input, node);
+        progress.nodes_dispatched = node as u64 + 1;
+        rt.cut_epoch_with(Some(progress));
+    }
     issued
 }
 
@@ -171,6 +223,35 @@ mod tests {
         let trace = rt.export_chrome_trace().expect("tracing enabled");
         assert!(trace.contains("gups.dispatch"), "app span recorded");
         rt.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn checkpointed_gups_cuts_one_epoch_per_superstep() {
+        let input = GupsInput::small();
+        let mut cfg = GravelConfig::small(2, input.table_len);
+        cfg.ha.checkpoint = true;
+        let rt = GravelRuntime::new(cfg);
+        let mut progress = GupsProgress::default();
+        let issued = run_live_checkpointed(&rt, &input, &mut progress);
+        assert_eq!(issued, input.updates as u64);
+        assert_eq!(progress.nodes_dispatched, 2);
+        assert!(verify_live(&rt, &input));
+        // A resumed run (same progress, e.g. after restart) is a no-op.
+        assert_eq!(run_live_checkpointed(&rt, &input, &mut progress), 0);
+        assert!(verify_live(&rt, &input), "resume issued no duplicate updates");
+        let stats = rt.shutdown().expect("clean shutdown");
+        assert_eq!(stats.ha.epochs, 2, "one cut per node superstep");
+    }
+
+    #[test]
+    fn gups_progress_roundtrips_through_checkpoint_words() {
+        use gravel_core::Checkpoint;
+        let p = GupsProgress { nodes_dispatched: 5 };
+        let mut q = GupsProgress::default();
+        q.restore(&p.save());
+        assert_eq!(p, q);
+        q.restore(&[]);
+        assert_eq!(q, GupsProgress::default());
     }
 
     #[test]

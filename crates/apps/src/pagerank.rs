@@ -11,7 +11,7 @@
 //! paper's cost characteristics.
 
 use gravel_cluster::{NodeStep, OpClass, StepTrace, WorkloadTrace};
-use gravel_core::GravelRuntime;
+use gravel_core::{Checkpoint, GravelRuntime};
 use gravel_pgas::{Layout, Partition};
 use gravel_simt::{LaneVec, Mask};
 
@@ -39,8 +39,83 @@ pub fn run_live(rt: &GravelRuntime, g: &Csr, iters: usize, damping: u64) -> Vec<
     }
     let base = (reference::FIXED_ONE - damping) / n as u64;
     let mut rank = vec![reference::FIXED_ONE / n as u64; n];
+    for _ in 0..iters {
+        iterate_once(rt, g, &part, base, damping, &mut rank);
+    }
+    rank
+}
 
-    // Per-node flat edge lists: (src vertex, dest owner, dest offset).
+/// Application progress of a checkpointed PageRank run: the iteration
+/// counter plus the full fixed-point rank vector (the accumulator heaps
+/// are zero between iterations, so this is the *entire* app state).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PageRankProgress {
+    /// Iterations fully applied (and covered by an epoch cut).
+    pub iteration: u64,
+    /// Rank vector after `iteration` iterations (empty ⇒ fresh run).
+    pub rank: Vec<u64>,
+}
+
+impl Checkpoint for PageRankProgress {
+    fn save(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(self.rank.len() + 2);
+        words.push(self.iteration);
+        words.push(self.rank.len() as u64);
+        words.extend_from_slice(&self.rank);
+        words
+    }
+
+    fn restore(&mut self, words: &[u64]) {
+        if words.len() < 2 {
+            *self = Self::default();
+            return;
+        }
+        self.iteration = words[0];
+        let n = (words[1] as usize).min(words.len() - 2);
+        self.rank = words[2..2 + n].to_vec();
+    }
+}
+
+/// Run PageRank with an epoch cut after every iteration's apply step.
+/// Requires `cfg.ha.checkpoint = true`. Resumes from
+/// `progress.iteration`/`progress.rank` (a default-constructed progress
+/// starts fresh); returns the rank vector after `iters` total iterations.
+pub fn run_live_checkpointed(
+    rt: &GravelRuntime,
+    g: &Csr,
+    iters: usize,
+    damping: u64,
+    progress: &mut PageRankProgress,
+) -> Vec<u64> {
+    let n = g.num_vertices();
+    let nodes = rt.nodes();
+    let part = partition(g, nodes);
+    let base = (reference::FIXED_ONE - damping) / n as u64;
+    let mut rank = if progress.rank.len() == n {
+        progress.rank.clone()
+    } else {
+        vec![reference::FIXED_ONE / n as u64; n]
+    };
+    for _ in (progress.iteration as usize)..iters {
+        iterate_once(rt, g, &part, base, damping, &mut rank);
+        progress.iteration += 1;
+        progress.rank = rank.clone();
+        rt.cut_epoch_with(Some(progress));
+    }
+    rank
+}
+
+/// One scatter + apply iteration over `rank`, in place.
+fn iterate_once(
+    rt: &GravelRuntime,
+    g: &Csr,
+    part: &Partition,
+    base: u64,
+    damping: u64,
+    rank: &mut [u64],
+) {
+    let n = g.num_vertices();
+    let nodes = rt.nodes();
     let mut node_edges: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); nodes];
     for (u, v, _) in g.iter_edges() {
         node_edges[part.owner(u as usize)].push((
@@ -49,45 +124,38 @@ pub fn run_live(rt: &GravelRuntime, g: &Csr, iters: usize, damping: u64) -> Vec<
             part.local_offset(v as usize),
         ));
     }
-
-    for _ in 0..iters {
-        let _span = rt.tracer().span("pagerank.iter", "app", 0);
-        // Scatter: every edge ships rank[u]/outdeg(u) to v's accumulator.
-        let shares: Vec<u64> =
-            (0..n as u32).map(|u| {
-                rank[u as usize].checked_div(g.out_degree(u) as u64).unwrap_or(0)
-            }).collect();
-        for (node, edges) in node_edges.iter().enumerate() {
-            if edges.is_empty() {
-                continue;
-            }
-            let wg_size = rt.config().wg_size;
-            let wgs = edges.len().div_ceil(wg_size);
-            rt.dispatch(node, wgs, |ctx| {
-                let gids = ctx.wg.global_ids();
-                let w = ctx.wg.wg_size();
-                let in_range = Mask::from_fn(w, |l| gids.get(l) < edges.len());
-                ctx.masked(&in_range, |ctx| {
-                    let e = |l: usize| edges[gids.get(l).min(edges.len() - 1)];
-                    let dests = LaneVec::from_fn(w, |l| e(l).1);
-                    let addrs = LaneVec::from_fn(w, |l| e(l).2);
-                    let vals = LaneVec::from_fn(w, |l| shares[e(l).0 as usize]);
-                    ctx.shmem_inc(&dests, &addrs, &vals);
-                });
+    let _span = rt.tracer().span("pagerank.iter", "app", 0);
+    let shares: Vec<u64> = (0..n as u32)
+        .map(|u| rank[u as usize].checked_div(g.out_degree(u) as u64).unwrap_or(0))
+        .collect();
+    for (node, edges) in node_edges.iter().enumerate() {
+        if edges.is_empty() {
+            continue;
+        }
+        let wg_size = rt.config().wg_size;
+        let wgs = edges.len().div_ceil(wg_size);
+        rt.dispatch(node, wgs, |ctx| {
+            let gids = ctx.wg.global_ids();
+            let w = ctx.wg.wg_size();
+            let in_range = Mask::from_fn(w, |l| gids.get(l) < edges.len());
+            ctx.masked(&in_range, |ctx| {
+                let e = |l: usize| edges[gids.get(l).min(edges.len() - 1)];
+                let dests = LaneVec::from_fn(w, |l| e(l).1);
+                let addrs = LaneVec::from_fn(w, |l| e(l).2);
+                let vals = LaneVec::from_fn(w, |l| shares[e(l).0 as usize]);
+                ctx.shmem_inc(&dests, &addrs, &vals);
             });
-        }
-        rt.quiesce();
-        // Apply: next[v] = base + damping·acc[v]; reset accumulators.
-        for (v, r) in rank.iter_mut().enumerate() {
-            let owner = part.owner(v);
-            let acc = rt.heap(owner).load(part.local_offset(v));
-            *r = base + ((acc as u128 * damping as u128) >> 32) as u64;
-        }
-        for node in 0..nodes {
-            rt.heap(node).reset(0);
-        }
+        });
     }
-    rank
+    rt.quiesce();
+    for (v, r) in rank.iter_mut().enumerate() {
+        let owner = part.owner(v);
+        let acc = rt.heap(owner).load(part.local_offset(v));
+        *r = base + ((acc as u128 * damping as u128) >> 32) as u64;
+    }
+    for node in 0..nodes {
+        rt.heap(node).reset(0);
+    }
 }
 
 /// [`run_live`] plus a distilled telemetry summary of the run.
@@ -175,6 +243,42 @@ mod tests {
         let trace = rt.export_chrome_trace().expect("tracing enabled");
         assert!(trace.contains("pagerank.iter"), "app span recorded");
         rt.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn checkpointed_pagerank_split_run_matches_reference() {
+        let g = gen::cage15_like(96, 5);
+        let damping = default_damping();
+        let mut cfg = GravelConfig::small(3, 64);
+        cfg.ha.checkpoint = true;
+        let rt = GravelRuntime::new(cfg);
+        // Run one iteration, "crash", rebuild progress from its saved
+        // words, then finish — the result must equal an uninterrupted run.
+        let mut progress = PageRankProgress::default();
+        run_live_checkpointed(&rt, &g, 1, damping, &mut progress);
+        assert_eq!(progress.iteration, 1);
+        let words = progress.save();
+        let mut resumed = PageRankProgress::default();
+        resumed.restore(&words);
+        assert_eq!(resumed, progress);
+        let live = run_live_checkpointed(&rt, &g, 3, damping, &mut resumed);
+        assert_eq!(live, reference::pagerank(&g, 3, damping));
+        let stats = rt.shutdown().expect("clean shutdown");
+        assert_eq!(stats.ha.epochs, 3, "one cut per iteration");
+    }
+
+    #[test]
+    fn pagerank_progress_roundtrips_and_rejects_garbage() {
+        let p = PageRankProgress { iteration: 7, rank: vec![3, 1, 4, 1, 5] };
+        let mut q = PageRankProgress::default();
+        q.restore(&p.save());
+        assert_eq!(q, p);
+        q.restore(&[]);
+        assert_eq!(q, PageRankProgress::default());
+        // A truncated word stream must not panic.
+        q.restore(&[9, 100, 1, 2]);
+        assert_eq!(q.iteration, 9);
+        assert_eq!(q.rank, vec![1, 2]);
     }
 
     #[test]

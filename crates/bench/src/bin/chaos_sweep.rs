@@ -1,0 +1,144 @@
+//! Chaos sweep — live-runtime GUPS under seeded process kills.
+//!
+//! Each cell derives a single-kill schedule from a seed
+//! ([`ChaosPlan::seeded`]): one aggregator or network thread of a random
+//! node panics at a random early drain/apply step, and the supervisor
+//! restarts it (DESIGN.md §11). The sweep measures what a kill + restart
+//! costs in wall clock and shows the recovery-latency histogram, while
+//! asserting the run stays *exact* — every cell verifies the full GUPS
+//! histogram against the sequential reference.
+//!
+//! Emits `chaos_sweep.json` via the shared report machinery, plus
+//! `chaos_sweep_telemetry.json` with each cell's complete metric
+//! snapshot (per-node restart counters included).
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gravel_apps::gups::{self, GupsInput};
+use gravel_bench::report::{f2, Table};
+use gravel_core::{ChaosPlan, GravelConfig, GravelRuntime, ProcessFault, RegistrySnapshot};
+
+/// One sweep cell: the seed, the derived fault, the headline
+/// fault-tolerance counters, and the full metric snapshot.
+#[derive(serde::Serialize)]
+struct TelemetryCell {
+    seed: u64,
+    fault: String,
+    restarts: u64,
+    recoveries: u64,
+    telemetry: RegistrySnapshot,
+}
+
+fn save_telemetry(cells: Vec<TelemetryCell>) {
+    let dir = std::env::var("GRAVEL_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join("chaos_sweep_telemetry.json");
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = f.write_all(serde_json::to_string_pretty(&cells).unwrap().as_bytes());
+        eprintln!("[saved {}]", path.display());
+    }
+}
+
+fn fault_label(f: &ProcessFault) -> String {
+    match f {
+        ProcessFault::PanicAggregator { node, slot, at_step } => {
+            format!("agg {node}/{slot} @{at_step}")
+        }
+        ProcessFault::PanicNet { node, at_step } => format!("net {node} @{at_step}"),
+        ProcessFault::HeartbeatBlackhole { node, from_beat, beats } => {
+            format!("hb-hole {node} @{from_beat}+{beats}")
+        }
+    }
+}
+
+fn main() {
+    let scale = std::env::args().any(|a| a == "--full");
+    let input = if scale {
+        GupsInput { updates: 500_000, table_len: 1 << 14, seed: 7 }
+    } else {
+        GupsInput { updates: 50_000, table_len: 4096, seed: 7 }
+    };
+    let nodes = 4;
+    let seeds: Vec<u64> = if scale { (0..16).collect() } else { (0..6).collect() };
+    // Keep every kill inside the first 256 steps so it always fires.
+    let horizon = 256;
+
+    let mut t = Table::new(
+        "chaos_sweep",
+        "GUPS under seeded process kills (4 nodes, live runtime, supervised restart)",
+        &[
+            "seed",
+            "fault",
+            "updates",
+            "wall ms",
+            "Mupdates/s",
+            "restarts",
+            "recoveries",
+            "recovery ms (mean)",
+            "retransmits",
+        ],
+    );
+
+    // Fault-free baseline for the wall-clock comparison.
+    let baseline_ms = {
+        let rt = GravelRuntime::new(cfg_for(&input, nodes, None));
+        let start = Instant::now();
+        gups::run_live(&rt, &input);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        rt.shutdown().expect("baseline clean");
+        ms
+    };
+    eprintln!("[fault-free baseline: {baseline_ms:.2} ms]");
+
+    let mut cells: Vec<TelemetryCell> = Vec::new();
+    for &seed in &seeds {
+        let plan = Arc::new(ChaosPlan::seeded(seed, nodes, 1, horizon));
+        let fault = fault_label(&plan.faults()[0]);
+        let rt = GravelRuntime::new(cfg_for(&input, nodes, Some(plan.clone())));
+        let start = Instant::now();
+        let issued = gups::run_live(&rt, &input);
+        let wall = start.elapsed();
+        assert!(gups::verify_live(&rt, &input), "seed {seed}: inexact after kill");
+
+        let telemetry = rt.telemetry_snapshot();
+        let restarts = telemetry.counter("ha.restarts");
+        let recoveries = telemetry.counter("ha.recoveries");
+        let recovery_ms = telemetry
+            .histogram("ha.recovery_ns")
+            .filter(|h| h.count > 0)
+            .map(|h| h.sum as f64 / h.count as f64 / 1e6)
+            .unwrap_or(0.0);
+        let stats = rt.shutdown().expect("supervised restart must absorb the kill");
+        assert_eq!(stats.total_offloaded(), stats.total_applied(), "seed {seed}: lost updates");
+        assert_eq!(restarts, plan.kills_planned() as u64, "seed {seed}: kill never fired");
+
+        t.row(vec![
+            seed.to_string(),
+            fault.clone(),
+            issued.to_string(),
+            f2(wall.as_secs_f64() * 1e3),
+            f2(issued as f64 / wall.as_secs_f64() / 1e6),
+            restarts.to_string(),
+            recoveries.to_string(),
+            f2(recovery_ms),
+            stats.total_retransmits().to_string(),
+        ]);
+        cells.push(TelemetryCell { seed, fault, restarts, recoveries, telemetry });
+    }
+    t.emit();
+    save_telemetry(cells);
+}
+
+fn cfg_for(input: &GupsInput, nodes: usize, chaos: Option<Arc<ChaosPlan>>) -> GravelConfig {
+    let mut cfg = GravelConfig::small(nodes, input.table_len);
+    cfg.node_queue_bytes = 4096;
+    cfg.chaos = chaos;
+    cfg
+}

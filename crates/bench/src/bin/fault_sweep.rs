@@ -22,11 +22,17 @@ use gravel_apps::gups::{self, GupsInput};
 use gravel_bench::report::{f2, Table};
 use gravel_core::{FaultConfig, GravelConfig, GravelRuntime, RegistrySnapshot, TransportKind};
 
-/// One sweep cell's telemetry: the injected drop probability and the
-/// cluster's complete metric snapshot at quiescence.
+/// One sweep cell's telemetry: the injected drop probability, the
+/// fault-tolerance headline counters, and the cluster's complete metric
+/// snapshot at quiescence. `restarts`/`recoveries` stay zero unless a
+/// chaos plan is wired in — they are lifted out of the snapshot so the
+/// cell schema lines up with `chaos_sweep`'s and downstream plots can
+/// treat both sweeps uniformly.
 #[derive(serde::Serialize)]
 struct TelemetryCell {
     drop_prob: f64,
+    restarts: u64,
+    recoveries: u64,
     telemetry: RegistrySnapshot,
 }
 
@@ -82,7 +88,13 @@ fn main() {
         let issued = gups::run_live(&rt, &input);
         rt.quiesce();
         let wall = start.elapsed();
-        cells.push(TelemetryCell { drop_prob: drop, telemetry: rt.telemetry_snapshot() });
+        let telemetry = rt.telemetry_snapshot();
+        cells.push(TelemetryCell {
+            drop_prob: drop,
+            restarts: telemetry.counter("ha.restarts"),
+            recoveries: telemetry.counter("ha.recoveries"),
+            telemetry,
+        });
         let stats = rt.shutdown().expect("GUPS must survive the fault sweep");
         assert_eq!(stats.total_offloaded(), stats.total_applied(), "lost updates at drop={drop}");
         let rate = issued as f64 / wall.as_secs_f64() / 1e6;

@@ -24,11 +24,11 @@
 //! netthread).
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use gravel_gq::Consumed;
-use gravel_net::{RetryConfig, SendStatus, Transport};
+use gravel_net::{ChaosPlan, RetryConfig, SendStatus, Transport};
 use gravel_pgas::{NodeQueues, Packet};
 use gravel_telemetry::Gauge;
 
@@ -82,29 +82,66 @@ impl Flow {
     }
 }
 
+/// Restartable state of one aggregator lane, hoisted out of the thread
+/// so a supervised restart resumes exactly where the predecessor died:
+/// the per-destination aggregation queues, the go-back-N flows, and the
+/// cursor into a partially processed GPU batch. Only the owning lane
+/// thread locks it (per loop iteration), so the lock is uncontended; a
+/// panic mid-iteration leaves it poisoned, which the restarted thread
+/// recovers from — injected chaos only panics at message boundaries,
+/// where the state is consistent by construction.
+pub struct LaneState {
+    nodeq: Option<NodeQueues>,
+    flows: Vec<Flow>,
+    /// Words drained from the GPU queue but not yet aggregated.
+    pending: Vec<u64>,
+    /// Word offset of the next unprocessed message in `pending`.
+    pos: usize,
+}
+
+impl LaneState {
+    pub fn new() -> Self {
+        LaneState { nodeq: None, flows: Vec::new(), pending: Vec::new(), pos: 0 }
+    }
+}
+
+impl Default for LaneState {
+    fn default() -> Self {
+        LaneState::new()
+    }
+}
+
+fn lock_state(state: &Mutex<LaneState>) -> MutexGuard<'_, LaneState> {
+    state.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 /// The sender half of the delivery protocol for one aggregator lane.
+/// Borrows its flows from the lane's [`LaneState`] so sequence numbers
+/// and unacked windows survive a worker restart.
 struct Sender<'a> {
     node: &'a NodeShared,
     lane: u32,
     transport: &'a dyn Transport,
     retry: RetryConfig,
-    flows: Vec<Flow>,
+    flows: &'a mut Vec<Flow>,
     /// Live unacked-packet total across this lane's flows
     /// (`node{N}.agg.in_flight` in the registry).
-    in_flight: Gauge,
+    in_flight: &'a Gauge,
 }
 
 impl<'a> Sender<'a> {
-    fn new(node: &'a NodeShared, lane: u32, transport: &'a dyn Transport) -> Self {
+    fn new(
+        node: &'a NodeShared,
+        lane: u32,
+        transport: &'a dyn Transport,
+        flows: &'a mut Vec<Flow>,
+        in_flight: &'a Gauge,
+    ) -> Self {
         let retry = node.retry.clone();
-        Sender {
-            lane,
-            transport,
-            flows: (0..node.nodes).map(|_| Flow::new(&retry)).collect(),
-            retry,
-            in_flight: node.registry.gauge(&format!("node{}.agg.in_flight", node.id)),
-            node,
+        if flows.len() != node.nodes {
+            *flows = (0..node.nodes).map(|_| Flow::new(&retry)).collect();
         }
+        Sender { lane, transport, retry, flows, in_flight, node }
     }
 
     fn note_in_flight(&self) {
@@ -228,35 +265,87 @@ pub fn run(
     timeout: Duration,
     errors: Arc<ErrorSlot>,
 ) {
-    // Every slot shares the node's `AggCounters`: one increment per
-    // flush event, so per-slot snapshots can never drift out of sync.
-    let mut nodeq =
-        NodeQueues::with_telemetry(node.id, node.nodes, queue_bytes, timeout, node.agg.clone());
-    let mut sender = Sender::new(&node, slot as u32, transport.as_ref());
-    let mut buf: Vec<u64> = Vec::with_capacity(node.queue.config().slot_bytes() / 8);
+    let state = Arc::new(Mutex::new(LaneState::new()));
+    run_supervised(node, slot, transport, queue_bytes, timeout, errors, state, None);
+}
+
+/// [`run`] with lane state hoisted into `state` (so a supervised
+/// restart resumes the predecessor's flows and batch cursor exactly)
+/// and optional process-fault injection from `chaos`. Chaos panics fire
+/// at the drain-step boundary *before* the message at the cursor is
+/// aggregated, which is what makes restart-resume exact: the restarted
+/// lane re-processes precisely that message.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised(
+    node: Arc<NodeShared>,
+    slot: usize,
+    transport: Arc<dyn Transport>,
+    queue_bytes: usize,
+    timeout: Duration,
+    errors: Arc<ErrorSlot>,
+    state: Arc<Mutex<LaneState>>,
+    chaos: Option<Arc<ChaosPlan>>,
+) {
+    let lane = slot as u32;
+    let in_flight = node.registry.gauge(&format!("node{}.agg.in_flight", node.id));
     let rows = node.queue.config().rows;
     loop {
+        // One short uncontended lock per iteration; the only other
+        // holder this lane's state can ever have is a successor after
+        // this thread dies.
+        let mut st = lock_state(&state);
+        if st.nodeq.is_none() {
+            // Every slot shares the node's `AggCounters`: one increment
+            // per flush event, so per-slot snapshots can never drift.
+            st.nodeq = Some(NodeQueues::with_telemetry(
+                node.id,
+                node.nodes,
+                queue_bytes,
+                timeout,
+                node.agg.clone(),
+            ));
+        }
+        let LaneState { nodeq, flows, pending, pos } = &mut *st;
+        let nodeq = nodeq.as_mut().expect("nodeq initialized above");
+        let mut sender = Sender::new(&node, lane, transport.as_ref(), flows, &in_flight);
         sender.drain_acks();
         if let Err(e) = sender.poll_retransmits() {
             errors.set(e);
-            break;
+            return;
         }
         if errors.is_set() {
-            break;
+            return;
         }
-        buf.clear();
-        match node.queue.try_consume_into(&mut buf) {
-            Consumed::Batch(_) => {
-                node.agg_polls_hit.add(1);
-                let _span = node.tracer.span("agg.drain", "aggregate", node.id);
-                let now = Instant::now();
-                for msg in buf.chunks_exact(rows) {
-                    let dest = msg[1] as usize;
-                    debug_assert!(dest < node.nodes, "message to unknown node {dest}");
-                    if let Some(pkt) = nodeq.push(dest, msg, now) {
-                        sender.submit(pkt);
+        if *pos < pending.len() {
+            // Aggregate the current batch (fresh, or inherited mid-way
+            // from a predecessor that panicked at the cursor).
+            let _span = node.tracer.span("agg.drain", "aggregate", node.id);
+            let now = Instant::now();
+            while *pos < pending.len() {
+                if let Some(c) = chaos.as_deref() {
+                    if c.agg_tick(node.id, lane) {
+                        panic!(
+                            "chaos: aggregator {}/{} killed at injected drain step",
+                            node.id, lane
+                        );
                     }
                 }
+                let msg = &pending[*pos..*pos + rows];
+                let dest = msg[1] as usize;
+                debug_assert!(dest < node.nodes, "message to unknown node {dest}");
+                if let Some(pkt) = nodeq.push(dest, msg, now) {
+                    sender.submit(pkt);
+                }
+                *pos += rows;
+            }
+            continue;
+        }
+        pending.clear();
+        *pos = 0;
+        match node.queue.try_consume_into(pending) {
+            Consumed::Batch(_) => {
+                // Processed by the cursor branch on the next iteration.
+                node.agg_polls_hit.add(1);
             }
             Consumed::Empty => {
                 node.agg_polls_empty.add(1);
@@ -267,6 +356,7 @@ pub fn run(
                         sender.submit(pkt);
                     }
                 }
+                drop(st);
                 // Idle: let other threads (GPU, network) run. On the
                 // paper's APU this is where 65 % of the core goes.
                 std::thread::yield_now();
@@ -293,7 +383,7 @@ pub fn run(
                     }
                     std::thread::sleep(DRAIN_POLL);
                 }
-                break;
+                return;
             }
         }
     }

@@ -6,11 +6,14 @@
 //! work-groups of 64-wide wavefronts, and atomics serialized through the
 //! network thread.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use gravel_gq::QueueConfig;
-use gravel_net::{RetryConfig, TransportKind};
+use gravel_net::{ChaosPlan, RetryConfig, TransportKind};
 use gravel_telemetry::TelemetryConfig;
+
+use crate::ha::HaConfig;
 
 /// Configuration of a [`GravelRuntime`](crate::GravelRuntime).
 #[derive(Clone, Debug)]
@@ -83,6 +86,19 @@ pub struct GravelConfig {
     /// [`TelemetryConfig::Off`] disables everything except the vital
     /// quiescence counters.
     pub telemetry: TelemetryConfig,
+    /// Node-level fault tolerance: worker restart policy, optional
+    /// heartbeat failure detection, and epoch checkpointing (see
+    /// DESIGN.md §11).
+    pub ha: HaConfig,
+    /// Optional deterministic process-fault schedule (panic this
+    /// aggregator at that drain step, blackhole those heartbeats). The
+    /// chaos counterpart to [`TransportKind::Unreliable`]'s link faults;
+    /// `None` (the default) injects nothing.
+    pub chaos: Option<Arc<ChaosPlan>>,
+    /// How often a still-spinning [`quiesce`](crate::GravelRuntime::quiesce)
+    /// logs a stuck-pipeline warning (with per-node diagnostics) and
+    /// bumps the `ha.quiesce_warnings` counter while it waits.
+    pub quiesce_warn_interval: Duration,
 }
 
 impl GravelConfig {
@@ -105,6 +121,9 @@ impl GravelConfig {
             channel_capacity: 1024,
             quiesce_deadline: Some(Duration::from_secs(60)),
             telemetry: TelemetryConfig::default(),
+            ha: HaConfig::default(),
+            chaos: None,
+            quiesce_warn_interval: Duration::from_secs(5),
         }
     }
 
@@ -127,6 +146,9 @@ impl GravelConfig {
             channel_capacity: 256,
             quiesce_deadline: Some(Duration::from_secs(30)),
             telemetry: TelemetryConfig::default(),
+            ha: HaConfig::default(),
+            chaos: None,
+            quiesce_warn_interval: Duration::from_secs(5),
         }
     }
 
@@ -143,6 +165,14 @@ impl GravelConfig {
         assert!(self.retry.max_retries > 0, "need at least one retry");
         if let TransportKind::Unreliable(faults) = &self.transport {
             faults.validate();
+        }
+        assert!(!self.quiesce_warn_interval.is_zero(), "quiesce warn interval must be nonzero");
+        if let Some(hb) = &self.ha.heartbeat {
+            assert!(!hb.interval.is_zero(), "heartbeat interval must be nonzero");
+            assert!(
+                hb.suspect_phi > 0.0 && hb.dead_phi > hb.suspect_phi,
+                "need 0 < suspect_phi < dead_phi"
+            );
         }
     }
 }

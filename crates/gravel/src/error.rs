@@ -49,6 +49,14 @@ pub enum RuntimeError {
         /// Per-node queue/counter diagnostics.
         diagnostics: String,
     },
+    /// Restoring a node from an epoch checkpoint failed (no checkpoint
+    /// taken, checkpointing disabled, or the node id is out of range).
+    RecoveryFailed {
+        /// Node that could not be recovered.
+        node: u32,
+        /// Why.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -63,6 +71,9 @@ impl std::fmt::Display for RuntimeError {
             ),
             RuntimeError::QuiesceTimeout { waited, diagnostics } => {
                 write!(f, "quiescence not reached after {waited:?}\n{diagnostics}")
+            }
+            RuntimeError::RecoveryFailed { node, reason } => {
+                write!(f, "recovery of node {node} failed: {reason}")
             }
         }
     }

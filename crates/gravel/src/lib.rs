@@ -26,6 +26,7 @@ pub mod aggregator;
 pub mod config;
 pub mod ctx;
 pub mod error;
+pub mod ha;
 pub mod netthread;
 pub mod node;
 pub mod runtime;
@@ -34,14 +35,18 @@ pub mod stats;
 pub use config::GravelConfig;
 pub use ctx::GravelCtx;
 pub use error::{ErrorSlot, RuntimeError};
+pub use ha::{
+    Checkpoint, EpochSnapshot, FailureDetector, HaConfig, HeartbeatConfig, PeerStatus, ReplayLog,
+    Supervisor, SupervisorConfig, WorkerKind,
+};
 pub use node::NodeShared;
 pub use runtime::GravelRuntime;
-pub use stats::{NetStats, NodeStats, RuntimeStats};
+pub use stats::{HaStats, NetStats, NodeStats, RuntimeStats};
 
 // Re-export the layers callers routinely need alongside the runtime.
 pub use gravel_gq as gq;
 pub use gravel_net as net;
-pub use gravel_net::{FaultConfig, FaultStats, RetryConfig, TransportKind};
+pub use gravel_net::{ChaosPlan, FaultConfig, FaultStats, ProcessFault, RetryConfig, TransportKind};
 pub use gravel_pgas as pgas;
 pub use gravel_simt as simt;
 pub use gravel_telemetry as telemetry;

@@ -17,11 +17,12 @@
 //! ack back to the sending lane.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
-use gravel_net::{Ack, RecvStatus, Transport};
-use gravel_pgas::{apply_words, Packet};
+use gravel_gq::Message;
+use gravel_net::{Ack, ChaosPlan, RecvStatus, Transport};
+use gravel_pgas::{apply, Applied, Packet};
 
 use crate::error::ErrorSlot;
 use crate::node::NodeShared;
@@ -42,28 +43,113 @@ struct FlowState {
     expected: u64,
     /// Out-of-order packets keyed by sequence number.
     ooo: BTreeMap<u64, Packet>,
+    /// Message index inside the in-sequence packet currently being
+    /// applied. Nonzero only while a restarted thread still owes the
+    /// tail of a packet whose predecessor died mid-apply; the go-back-N
+    /// retransmission of that packet (seq == `expected`) resumes here.
+    resume_at: usize,
 }
 
-/// Apply one in-sequence packet to the node's heap, recording its
-/// aggregation-open → apply latency and a `net.apply` span.
-fn apply(node: &NodeShared, pkt: &Packet) {
+/// Restartable receiver state of one node's network thread, hoisted out
+/// of the thread (like the aggregator's `LaneState`) so a supervised
+/// restart keeps exactly-once delivery: sequence expectations, reorder
+/// buffers, and mid-packet resume cursors all survive the thread.
+pub struct RecvState {
+    flows: HashMap<(u32, u32), FlowState>,
+}
+
+impl RecvState {
+    pub fn new() -> Self {
+        RecvState { flows: HashMap::new() }
+    }
+
+    /// Forget mid-packet progress (epoch recovery: the heap was just
+    /// rewritten wholesale, so any partially applied packet must
+    /// re-apply from its first message when retransmitted). Sequence
+    /// expectations and reorder buffers are deliberately preserved —
+    /// resetting those would turn retransmissions into duplicates or
+    /// wedge the flow.
+    pub fn reset_resume_cursors(&mut self) {
+        for flow in self.flows.values_mut() {
+            flow.resume_at = 0;
+        }
+    }
+}
+
+impl Default for RecvState {
+    fn default() -> Self {
+        RecvState::new()
+    }
+}
+
+fn lock_recv(state: &Mutex<RecvState>) -> MutexGuard<'_, RecvState> {
+    state.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Apply one in-sequence packet to the node's heap, one message at a
+/// time, starting at `*resume_at` (0 for a fresh packet). Each disposed
+/// message is individually counted toward quiescence and the cursor
+/// advances past it, so a panic at any message boundary — the only
+/// place injected chaos fires — loses and double-counts nothing: the
+/// retransmitted packet resumes at the cursor. On completion the whole
+/// packet is appended to the node's replay log (if checkpointing) and
+/// the cursor returns to 0; an interrupted packet is *not* logged — its
+/// completed retransmission will be.
+fn apply_packet(node: &NodeShared, pkt: &Packet, resume_at: &mut usize, chaos: Option<&ChaosPlan>) {
     let _span = node.tracer.span("net.apply", "apply", node.id);
-    node.packet_latency.record(pkt.born.elapsed().as_nanos() as u64);
+    if *resume_at == 0 {
+        node.packet_latency.record(pkt.born.elapsed().as_nanos() as u64);
+    }
     let words = pkt.words();
-    // Replying handlers re-enter the node's own Gravel path: the reply is
-    // enqueued like any GPU-initiated message (and counted for quiescence
-    // *before* this packet counts as applied, so `quiesce` cannot return
-    // with replies still in flight).
-    let (applied, _shutdown) = apply_words(&words, &node.heap, &node.ams, &mut |m| {
-        node.host_send(m);
-    });
-    node.note_applied(applied as u64);
+    let total = words.len() / gravel_gq::MSG_ROWS;
+    while *resume_at < total {
+        if let Some(c) = chaos {
+            if c.net_tick(node.id) {
+                panic!("chaos: net thread {} killed at injected apply step", node.id);
+            }
+        }
+        let at = *resume_at * gravel_gq::MSG_ROWS;
+        let chunk = [words[at], words[at + 1], words[at + 2], words[at + 3]];
+        // Same disposition rules as `apply_words`: undecodable words are
+        // skipped uncounted, a shutdown sentinel stops the packet early,
+        // everything else (applied or dropped) counts for quiescence.
+        if let Some(msg) = Message::decode(chunk) {
+            // Replying handlers re-enter the node's own Gravel path: the
+            // reply is enqueued like any GPU-initiated message (and
+            // counted for quiescence *before* this message counts as
+            // applied, so `quiesce` cannot return with replies in flight).
+            match apply(&msg, &node.heap, &node.ams, &mut |m| node.host_send(m)) {
+                Applied::Done | Applied::Dropped => node.note_applied(1),
+                Applied::Shutdown => break,
+            }
+        }
+        *resume_at += 1;
+    }
+    if let Some(log) = &node.replay {
+        log.append(&words);
+    }
+    *resume_at = 0;
 }
 
 /// Run the receive-and-apply loop until the transport closes (or the
 /// cluster fails). This is the body of each node's network thread.
 pub fn run(node: Arc<NodeShared>, transport: Arc<dyn Transport>, errors: Arc<ErrorSlot>) {
-    let mut flows: HashMap<(u32, u32), FlowState> = HashMap::new();
+    let state = Arc::new(Mutex::new(RecvState::new()));
+    run_supervised(node, transport, errors, state, None);
+}
+
+/// [`run`] with receiver state hoisted into `state` for supervised
+/// restart, and optional process-fault injection from `chaos`. The
+/// receive wait happens *without* the state lock (recovery and
+/// diagnostics may inspect the state while the thread idles); the lock
+/// is taken per delivered packet.
+pub fn run_supervised(
+    node: Arc<NodeShared>,
+    transport: Arc<dyn Transport>,
+    errors: Arc<ErrorSlot>,
+    state: Arc<Mutex<RecvState>>,
+    chaos: Option<Arc<ChaosPlan>>,
+) {
     loop {
         let pkt = match transport.recv_data(node.id, RECV_TIMEOUT) {
             RecvStatus::Msg(pkt) => pkt,
@@ -75,7 +161,8 @@ pub fn run(node: Arc<NodeShared>, transport: Arc<dyn Transport>, errors: Arc<Err
             }
             RecvStatus::Closed => return,
         };
-        let flow = flows.entry((pkt.src, pkt.lane)).or_default();
+        let mut st = lock_recv(&state);
+        let flow = st.flows.entry((pkt.src, pkt.lane)).or_default();
         if pkt.seq < flow.expected {
             // Duplicate (injected, or a retransmission of an applied
             // packet whose ack was lost). Re-ack so the sender advances.
@@ -90,11 +177,14 @@ pub fn run(node: Arc<NodeShared>, transport: Arc<dyn Transport>, errors: Arc<Err
                 node.net_ooo_dropped.add(1);
             }
         } else {
-            apply(&node, &pkt);
+            apply_packet(&node, &pkt, &mut flow.resume_at, chaos.as_deref());
             flow.expected += 1;
-            // Drain any buffered successors the gap was hiding.
+            // Drain any buffered successors the gap was hiding. A panic
+            // mid-drain loses the popped packet but not its messages:
+            // `expected` was not yet advanced past it, so the sender's
+            // go-back-N retransmission redelivers it in sequence.
             while let Some(next) = flow.ooo.remove(&flow.expected) {
-                apply(&node, &next);
+                apply_packet(&node, &next, &mut flow.resume_at, chaos.as_deref());
                 flow.expected += 1;
             }
         }

@@ -9,7 +9,7 @@
 //! cluster's shared [`Registry`] under a `node{id}.` prefix (see
 //! DESIGN.md §10 for the naming scheme), so a single
 //! [`Registry::snapshot`] captures the whole cluster and
-//! [`NodeStats`](crate::stats::NodeStats) is just a typed view of it.
+//! [`NodeStats`] is just a typed view of it.
 //! The quiescence pair `offloaded`/`applied` is *vital* — registered via
 //! [`Registry::vital_counter`], it keeps counting even under
 //! `TelemetryConfig::Off`, because `quiesce()` is correctness, not
@@ -83,6 +83,10 @@ pub struct NodeShared {
     /// Aggregation-open → apply latency of every packet this node's
     /// network thread applied, in nanoseconds.
     pub packet_latency: Histogram,
+    /// Epoch replay log (`Some` when `cfg.ha.checkpoint`): every packet
+    /// this node's network thread fully applies since the last epoch cut,
+    /// in apply order. See DESIGN.md §11.
+    pub replay: Option<crate::ha::ReplayLog>,
 }
 
 impl NodeShared {
@@ -133,6 +137,7 @@ impl NodeShared {
             net_window_stalls: registry.counter(&name("net.window_stalls")),
             net_ooo_dropped: registry.counter(&name("net.ooo_dropped")),
             packet_latency: registry.histogram(&name("net.packet_latency_ns")),
+            replay: cfg.ha.checkpoint.then(crate::ha::ReplayLog::new),
             registry,
             tracer,
         }

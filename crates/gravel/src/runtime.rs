@@ -31,10 +31,8 @@
 //! let _stats = rt.shutdown().expect("clean shutdown");
 //! ```
 
-use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{fence, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gravel_net::{ChannelTransport, Transport, TransportKind, UnreliableTransport};
@@ -42,13 +40,16 @@ use gravel_pgas::{AmRegistry, SymmetricHeap};
 use gravel_simt::{DispatchResult, Grid, SimtEngine};
 use gravel_telemetry::{Registry, RegistrySnapshot, Tracer};
 
-use crate::aggregator;
+use crate::aggregator::{self, LaneState};
 use crate::config::GravelConfig;
 use crate::ctx::GravelCtx;
-use crate::error::{panic_message, ErrorSlot, RuntimeError};
-use crate::netthread;
+use crate::error::{ErrorSlot, RuntimeError};
+use crate::ha::{
+    heartbeat, Checkpoint, EpochSnapshot, FailureDetector, Supervisor, WorkerKind,
+};
+use crate::netthread::{self, RecvState};
 use crate::node::NodeShared;
-use crate::stats::RuntimeStats;
+use crate::stats::{HaStats, RuntimeStats};
 
 /// Poll interval of the quiescence loop.
 const QUIESCE_POLL: Duration = Duration::from_micros(50);
@@ -62,29 +63,17 @@ pub struct GravelRuntime {
     registry: Arc<Registry>,
     tracer: Tracer,
     errors: Arc<ErrorSlot>,
-    agg_threads: Vec<JoinHandle<()>>,
-    net_threads: Vec<JoinHandle<()>>,
+    /// All worker threads (aggregators, net threads, heartbeat emitters)
+    /// run under the supervisor; `None` only after shutdown.
+    supervisor: Option<Supervisor>,
+    /// Per-node failure detectors; empty unless `cfg.ha.heartbeat`.
+    detectors: Vec<Arc<FailureDetector>>,
+    /// Per-node receiver state, shared with the (restartable) network
+    /// threads so recovery can reset mid-packet cursors.
+    recv_states: Vec<Arc<Mutex<RecvState>>>,
+    /// The most recent epoch checkpoint (`cfg.ha.checkpoint` only).
+    epoch: Mutex<Option<EpochSnapshot>>,
     shut_down: bool,
-}
-
-/// Spawn a named worker whose panics are converted into a recorded
-/// [`RuntimeError::WorkerPanic`] instead of poisoning `join`.
-fn spawn_worker(
-    name: String,
-    errors: Arc<ErrorSlot>,
-    body: impl FnOnce() + Send + 'static,
-) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name(name.clone())
-        .spawn(move || {
-            if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(body)) {
-                errors.set(RuntimeError::WorkerPanic {
-                    thread: name,
-                    message: panic_message(payload.as_ref()),
-                });
-            }
-        })
-        .expect("spawn worker thread")
 }
 
 impl GravelRuntime {
@@ -127,26 +116,99 @@ impl GravelRuntime {
             })
             .collect();
 
+        // Every worker runs under the supervisor: a panicked worker is
+        // joined and respawned (resuming from shared state) until its
+        // restart budget runs out, at which point the panic escalates
+        // through `errors` exactly as an unsupervised worker's would.
+        let supervisor =
+            Supervisor::new(cfg.ha.supervisor.clone(), errors.clone(), registry.clone());
+        let chaos = cfg.chaos.clone();
+
         // Network threads (receivers) first, then aggregators (senders).
-        let net_threads = nodes
-            .iter()
-            .map(|node| {
-                let (node, transport, errors) = (node.clone(), transport.clone(), errors.clone());
-                spawn_worker(format!("gravel-net-{}", node.id), errors.clone(), move || {
-                    netthread::run(node, transport, errors)
-                })
-            })
-            .collect();
-        let mut agg_threads = Vec::with_capacity(cfg.nodes * cfg.aggregator_threads);
+        let recv_states: Vec<Arc<Mutex<RecvState>>> =
+            (0..cfg.nodes).map(|_| Arc::new(Mutex::new(RecvState::new()))).collect();
+        for (node, state) in nodes.iter().zip(&recv_states) {
+            let (node, transport, errors, state, chaos) = (
+                node.clone(),
+                transport.clone(),
+                errors.clone(),
+                state.clone(),
+                chaos.clone(),
+            );
+            supervisor.spawn(
+                format!("gravel-net-{}", node.id),
+                WorkerKind::Net,
+                node.id,
+                Arc::new(move || {
+                    netthread::run_supervised(
+                        node.clone(),
+                        transport.clone(),
+                        errors.clone(),
+                        state.clone(),
+                        chaos.clone(),
+                    )
+                }),
+            );
+        }
         for node in &nodes {
             for slot in 0..cfg.aggregator_threads {
-                let (node, transport, errors) = (node.clone(), transport.clone(), errors.clone());
+                let state = Arc::new(Mutex::new(LaneState::new()));
+                let (node, transport, errors, chaos) =
+                    (node.clone(), transport.clone(), errors.clone(), chaos.clone());
                 let (qb, to) = (cfg.node_queue_bytes, cfg.flush_timeout);
-                agg_threads.push(spawn_worker(
+                supervisor.spawn(
                     format!("gravel-agg-{}-{}", node.id, slot),
+                    WorkerKind::Aggregator,
+                    node.id,
+                    Arc::new(move || {
+                        aggregator::run_supervised(
+                            node.clone(),
+                            slot,
+                            transport.clone(),
+                            qb,
+                            to,
+                            errors.clone(),
+                            state.clone(),
+                            chaos.clone(),
+                        )
+                    }),
+                );
+            }
+        }
+
+        // Optional heartbeat plane: one emitter/detector thread per node.
+        let mut detectors = Vec::new();
+        if let Some(hb) = &cfg.ha.heartbeat {
+            for i in 0..cfg.nodes as u32 {
+                let detector = Arc::new(FailureDetector::new(hb.clone()));
+                detectors.push(detector.clone());
+                let beat_seq = Arc::new(AtomicU64::new(0));
+                let (hb, transport, errors, registry, chaos) = (
+                    hb.clone(),
+                    transport.clone(),
                     errors.clone(),
-                    move || aggregator::run(node, slot, transport, qb, to, errors),
-                ));
+                    registry.clone(),
+                    chaos.clone(),
+                );
+                let nodes_total = cfg.nodes as u32;
+                supervisor.spawn(
+                    format!("gravel-hb-{i}"),
+                    WorkerKind::Heartbeat,
+                    i,
+                    Arc::new(move || {
+                        heartbeat::run(
+                            hb.clone(),
+                            i,
+                            nodes_total,
+                            transport.clone(),
+                            detector.clone(),
+                            chaos.clone(),
+                            errors.clone(),
+                            registry.clone(),
+                            beat_seq.clone(),
+                        )
+                    }),
+                );
             }
         }
 
@@ -158,8 +220,10 @@ impl GravelRuntime {
             registry,
             tracer,
             errors,
-            agg_threads,
-            net_threads,
+            supervisor: Some(supervisor),
+            detectors,
+            recv_states,
+            epoch: Mutex::new(None),
             shut_down: false,
         }
     }
@@ -286,11 +350,31 @@ impl GravelRuntime {
                 let _ = self.quiesce_deadline(d);
             }
             None => {
+                let start = Instant::now();
+                let mut last_warn = start;
                 while !self.is_quiescent() && !self.errors.is_set() {
+                    self.warn_if_stuck(start, &mut last_warn);
                     std::thread::sleep(QUIESCE_POLL);
                 }
             }
         }
+    }
+
+    /// Emit a once-per-`quiesce_warn_interval` stuck-pipeline warning
+    /// (stderr + the `ha.quiesce_warnings` vital counter) while a
+    /// quiescence wait spins, so an operator watching a wedged run sees
+    /// *where* messages are stuck instead of silence.
+    fn warn_if_stuck(&self, start: Instant, last_warn: &mut Instant) {
+        if last_warn.elapsed() < self.cfg.quiesce_warn_interval {
+            return;
+        }
+        *last_warn = Instant::now();
+        self.registry.vital_counter("ha.quiesce_warnings").inc();
+        eprintln!(
+            "gravel: quiesce still waiting after {:?}; pipeline diagnostics:\n{}",
+            start.elapsed(),
+            self.diagnostics()
+        );
     }
 
     /// Like [`quiesce`](Self::quiesce) with an explicit deadline. On
@@ -299,6 +383,7 @@ impl GravelRuntime {
     /// where messages are stuck.
     pub fn quiesce_deadline(&self, deadline: Duration) -> Result<(), RuntimeError> {
         let start = Instant::now();
+        let mut last_warn = start;
         loop {
             if self.errors.is_set() {
                 // The failure is the cluster's, not this wait's; the
@@ -316,6 +401,7 @@ impl GravelRuntime {
                 self.errors.set(e.clone());
                 return Err(e);
             }
+            self.warn_if_stuck(start, &mut last_warn);
             std::thread::sleep(QUIESCE_POLL);
         }
     }
@@ -358,7 +444,83 @@ impl GravelRuntime {
         RuntimeStats {
             nodes: self.nodes.iter().map(|n| n.stats()).collect(),
             faults: self.transport.fault_stats(),
+            ha: HaStats::from_snapshot(&self.registry.snapshot()),
         }
+    }
+
+    /// Node `id`'s phi-accrual failure detector (its view of every
+    /// peer). `None` unless `cfg.ha.heartbeat` is set.
+    pub fn detector(&self, id: usize) -> Option<&Arc<FailureDetector>> {
+        self.detectors.get(id)
+    }
+
+    /// Cut an epoch checkpoint with no application progress attached.
+    /// See [`cut_epoch_with`](Self::cut_epoch_with).
+    pub fn cut_epoch(&self) -> u64 {
+        self.cut_epoch_with(None)
+    }
+
+    /// Cut a consistent epoch: quiesce, snapshot every node's heap (plus
+    /// `app`'s progress words, if given), and clear the per-node replay
+    /// logs. Returns the new epoch number (first cut = 1).
+    ///
+    /// Must be called *between supersteps* — after the dispatching code
+    /// has stopped issuing messages — because the quiesce-then-snapshot
+    /// sequence is only a consistent cut when no new traffic races it.
+    /// Requires `cfg.ha.checkpoint` (programmer error otherwise).
+    pub fn cut_epoch_with(&self, app: Option<&dyn Checkpoint>) -> u64 {
+        assert!(
+            self.cfg.ha.checkpoint,
+            "cut_epoch requires GravelConfig.ha.checkpoint = true"
+        );
+        self.quiesce();
+        let mut guard = self.epoch.lock().unwrap_or_else(|p| p.into_inner());
+        let epoch = guard.as_ref().map_or(0, |e| e.epoch) + 1;
+        let snap = EpochSnapshot {
+            epoch,
+            heaps: self.nodes.iter().map(|n| n.heap.snapshot()).collect(),
+            app: app.map_or_else(Vec::new, |a| a.save()),
+        };
+        for node in &self.nodes {
+            if let Some(log) = &node.replay {
+                log.clear();
+            }
+        }
+        *guard = Some(snap);
+        self.registry.vital_counter("ha.epochs").inc();
+        epoch
+    }
+
+    /// Restore node `id` from the last epoch checkpoint: refill its heap
+    /// from the epoch snapshot, then replay every message the node fully
+    /// applied since the cut (in original apply order, with replies
+    /// suppressed — they were already delivered and logged at their own
+    /// destinations) and reset any mid-packet resume cursor. On a
+    /// quiescent cluster this reproduces the pre-death heap exactly.
+    pub fn recover_node(&self, id: usize) -> Result<(), RuntimeError> {
+        let started = Instant::now();
+        let fail = |reason: &str| RuntimeError::RecoveryFailed {
+            node: id as u32,
+            reason: reason.to_string(),
+        };
+        let node = self.nodes.get(id).ok_or_else(|| fail("node id out of range"))?;
+        let log = node.replay.as_ref().ok_or_else(|| fail("checkpointing disabled"))?;
+        let guard = self.epoch.lock().unwrap_or_else(|p| p.into_inner());
+        let snap = guard.as_ref().ok_or_else(|| fail("no epoch checkpoint taken"))?;
+        node.heap.fill_from(&snap.heaps[id]);
+        let words = log.snapshot();
+        // Replayed messages were already counted toward quiescence when
+        // first applied, so the replay itself must not touch the vital
+        // counters — it only redoes heap effects.
+        let _ = gravel_pgas::apply_words(&words, &node.heap, &node.ams, &mut |_| {});
+        drop(guard);
+        if let Some(state) = self.recv_states.get(id) {
+            state.lock().unwrap_or_else(|p| p.into_inner()).reset_resume_cursors();
+        }
+        self.registry.vital_counter("ha.recoveries").inc();
+        self.registry.vital_counter(&format!("node{id}.ha.recoveries")).inc();
+        self.registry.histogram("ha.recovery_ns").record(started.elapsed().as_nanos() as u64);
+        Ok(())
     }
 
     fn shutdown_impl(&mut self) -> Result<RuntimeStats, RuntimeError> {
@@ -372,15 +534,17 @@ impl GravelRuntime {
             for node in &self.nodes {
                 node.queue.close();
             }
-            for t in self.agg_threads.drain(..) {
-                // A panicking worker records its error and exits the
-                // catch_unwind cleanly, so join itself cannot fail.
-                let _ = t.join();
-            }
-            // Only now stop the fabric and let the receivers exit.
-            self.transport.close();
-            for t in self.net_threads.drain(..) {
-                let _ = t.join();
+            if let Some(supervisor) = self.supervisor.take() {
+                supervisor.join_kind(WorkerKind::Aggregator);
+                // Only now stop the fabric and let the receivers (and
+                // heartbeat emitters) exit.
+                self.transport.close();
+                supervisor.join_kind(WorkerKind::Net);
+                supervisor.join_kind(WorkerKind::Heartbeat);
+                // stop() joins any straggler exactly once — including
+                // workers that failed after their restart budget — so no
+                // thread outlives the runtime even with multiple errors.
+                supervisor.stop();
             }
         }
         match self.errors.take() {

@@ -141,6 +141,36 @@ impl NodeStats {
     }
 }
 
+/// Fault-tolerance counters of the whole cluster (see DESIGN.md §11).
+/// All zero on an undisturbed run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HaStats {
+    /// Worker threads restarted by the supervisor after a panic.
+    pub restarts: u64,
+    /// Nodes restored from an epoch checkpoint.
+    pub recoveries: u64,
+    /// Peers declared dead by phi-accrual failure detectors (counted per
+    /// observer, so one dead node in an N-node cluster counts N-1 times).
+    pub deaths_declared: u64,
+    /// Epoch cuts taken.
+    pub epochs: u64,
+    /// Stuck-pipeline warnings emitted by a spinning `quiesce()`.
+    pub quiesce_warnings: u64,
+}
+
+impl HaStats {
+    /// Read the `ha.*` counters out of a telemetry snapshot.
+    pub fn from_snapshot(snap: &RegistrySnapshot) -> Self {
+        HaStats {
+            restarts: snap.counter("ha.restarts"),
+            recoveries: snap.counter("ha.recoveries"),
+            deaths_declared: snap.counter("ha.deaths_declared"),
+            epochs: snap.counter("ha.epochs"),
+            quiesce_warnings: snap.counter("ha.quiesce_warnings"),
+        }
+    }
+}
+
 /// Whole-cluster statistics.
 #[derive(Clone, Debug, Default)]
 pub struct RuntimeStats {
@@ -148,6 +178,8 @@ pub struct RuntimeStats {
     pub nodes: Vec<NodeStats>,
     /// Faults the transport injected (all zero on a reliable transport).
     pub faults: FaultStats,
+    /// Fault-tolerance activity (restarts, recoveries, declared deaths).
+    pub ha: HaStats,
 }
 
 impl RuntimeStats {

@@ -1,0 +1,252 @@
+//! Process-fault chaos plans: the node-level counterpart to
+//! [`FaultConfig`](crate::FaultConfig)'s link faults.
+//!
+//! A [`ChaosPlan`] is a deterministic schedule of *process* faults —
+//! panic a given aggregator lane at its Nth drain step, panic a network
+//! thread at its Nth applied packet, or blackhole a node's outgoing
+//! heartbeats for a window of beats. The runtime polls the plan from
+//! the affected worker threads (`agg_tick` / `net_tick` /
+//! `heartbeat_blackholed`); each kill fires exactly once, so a
+//! supervised restart of the worker does not immediately re-kill it.
+//!
+//! Plans are either hand-written (pinpoint a step for a regression
+//! test) or derived from a seed ([`ChaosPlan::seeded`]) for sweep-style
+//! chaos testing with reproducible schedules.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::NodeId;
+
+/// One scheduled process fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcessFault {
+    /// Panic aggregator lane `slot` of `node` when it reaches drain
+    /// step `at_step` (a drain step = one message handed to the
+    /// delivery layer; step counts accumulate across restarts).
+    PanicAggregator { node: NodeId, slot: u32, at_step: u64 },
+    /// Panic the network thread of `node` when it is about to apply its
+    /// `at_step`th message (counted across restarts).
+    PanicNet { node: NodeId, at_step: u64 },
+    /// Suppress every outgoing heartbeat from `node` whose beat number
+    /// lies in `[from_beat, from_beat + beats)`. Unlike the panics this
+    /// is not one-shot — the whole window is blackholed — and it is how
+    /// tests make the failure detector declare a live node dead.
+    HeartbeatBlackhole { node: NodeId, from_beat: u64, beats: u64 },
+}
+
+/// A deterministic schedule of process faults, shared by every worker
+/// thread of a runtime. All methods take `&self` and are called from
+/// the hot paths of aggregator/net threads, so the common no-fault case
+/// is a couple of integer compares under a short critical section.
+pub struct ChaosPlan {
+    faults: Vec<ProcessFault>,
+    /// One-shot latch per fault (indexed like `faults`); heartbeat
+    /// blackholes never latch.
+    fired: Vec<AtomicBool>,
+    /// Drain-step counters per (node, slot) aggregator lane.
+    agg_steps: Mutex<HashMap<(NodeId, u32), u64>>,
+    /// Apply-step counters per node network thread.
+    net_steps: Mutex<HashMap<NodeId, u64>>,
+}
+
+impl ChaosPlan {
+    /// A plan executing exactly the given faults.
+    pub fn new(faults: Vec<ProcessFault>) -> Self {
+        let fired = faults.iter().map(|_| AtomicBool::new(false)).collect();
+        ChaosPlan {
+            faults,
+            fired,
+            agg_steps: Mutex::new(HashMap::new()),
+            net_steps: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// An empty plan (no faults ever fire).
+    pub fn none() -> Self {
+        ChaosPlan::new(Vec::new())
+    }
+
+    /// A seeded single-kill plan for sweep harnesses: derives one
+    /// aggregator or net panic somewhere in the first `horizon` steps of
+    /// a random worker. Same seed + same topology → same schedule.
+    pub fn seeded(seed: u64, nodes: usize, slots: usize, horizon: u64) -> Self {
+        assert!(nodes > 0 && slots > 0 && horizon > 0, "empty chaos domain");
+        // SplitMix64: cheap, stateless, good enough for schedule derivation.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        };
+        let node = (next() % nodes as u64) as NodeId;
+        let at_step = 1 + next() % horizon;
+        let fault = if next() % 2 == 0 {
+            let slot = (next() % slots as u64) as u32;
+            ProcessFault::PanicAggregator { node, slot, at_step }
+        } else {
+            ProcessFault::PanicNet { node, at_step }
+        };
+        ChaosPlan::new(vec![fault])
+    }
+
+    /// The scheduled faults, in plan order.
+    pub fn faults(&self) -> &[ProcessFault] {
+        &self.faults
+    }
+
+    /// How many panic-style kills the plan schedules (used by tests and
+    /// benches to size restart budgets).
+    pub fn kills_planned(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| !matches!(f, ProcessFault::HeartbeatBlackhole { .. }))
+            .count()
+    }
+
+    /// How many one-shot faults have fired so far.
+    pub fn fired(&self) -> usize {
+        self.fired.iter().filter(|f| f.load(Ordering::Relaxed)).count()
+    }
+
+    /// Called by aggregator lane `(node, slot)` once per drain step,
+    /// *before* handing the message to the delivery layer. Returns true
+    /// exactly once per matching scheduled panic: the caller must then
+    /// panic with a recognizable message.
+    pub fn agg_tick(&self, node: NodeId, slot: u32) -> bool {
+        let step = {
+            let mut steps = self.agg_steps.lock().unwrap();
+            let s = steps.entry((node, slot)).or_insert(0);
+            *s += 1;
+            *s
+        };
+        self.fire_matching(|f| {
+            matches!(f, ProcessFault::PanicAggregator { node: n, slot: sl, at_step }
+                if *n == node && *sl == slot && *at_step == step)
+        })
+    }
+
+    /// Called by node `node`'s network thread once per message it is
+    /// about to apply. Returns true exactly once per matching panic.
+    pub fn net_tick(&self, node: NodeId) -> bool {
+        let step = {
+            let mut steps = self.net_steps.lock().unwrap();
+            let s = steps.entry(node).or_insert(0);
+            *s += 1;
+            *s
+        };
+        self.fire_matching(|f| {
+            matches!(f, ProcessFault::PanicNet { node: n, at_step }
+                if *n == node && *at_step == step)
+        })
+    }
+
+    /// Should heartbeat number `beat` from `node` be suppressed?
+    pub fn heartbeat_blackholed(&self, node: NodeId, beat: u64) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, ProcessFault::HeartbeatBlackhole { node: n, from_beat, beats }
+                if *n == node && (*from_beat..from_beat + beats).contains(&beat))
+        })
+    }
+
+    /// Latch-and-fire: true for the first unfired fault matching `pred`.
+    fn fire_matching(&self, pred: impl Fn(&ProcessFault) -> bool) -> bool {
+        for (i, f) in self.faults.iter().enumerate() {
+            if pred(f) && !self.fired[i].swap(true, Ordering::Relaxed) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Debug for ChaosPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChaosPlan")
+            .field("faults", &self.faults)
+            .field("fired", &self.fired())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_panic_fires_once_at_exact_step() {
+        let plan = ChaosPlan::new(vec![ProcessFault::PanicAggregator {
+            node: 1,
+            slot: 0,
+            at_step: 3,
+        }]);
+        assert!(!plan.agg_tick(1, 0)); // step 1
+        assert!(!plan.agg_tick(0, 0)); // other node, own counter
+        assert!(!plan.agg_tick(1, 0)); // step 2
+        assert!(plan.agg_tick(1, 0)); // step 3: fire
+        assert!(!plan.agg_tick(1, 0)); // one-shot: never again
+        assert_eq!(plan.fired(), 1);
+        assert_eq!(plan.kills_planned(), 1);
+    }
+
+    #[test]
+    fn net_panic_counts_independently_per_node() {
+        let plan = ChaosPlan::new(vec![
+            ProcessFault::PanicNet { node: 0, at_step: 2 },
+            ProcessFault::PanicNet { node: 1, at_step: 1 },
+        ]);
+        assert!(plan.net_tick(1));
+        assert!(!plan.net_tick(0));
+        assert!(plan.net_tick(0));
+        assert_eq!(plan.fired(), 2);
+    }
+
+    #[test]
+    fn heartbeat_blackhole_covers_window() {
+        let plan = ChaosPlan::new(vec![ProcessFault::HeartbeatBlackhole {
+            node: 2,
+            from_beat: 5,
+            beats: 3,
+        }]);
+        assert!(!plan.heartbeat_blackholed(2, 4));
+        assert!(plan.heartbeat_blackholed(2, 5));
+        assert!(plan.heartbeat_blackholed(2, 7));
+        assert!(!plan.heartbeat_blackholed(2, 8));
+        assert!(!plan.heartbeat_blackholed(1, 6));
+        assert_eq!(plan.kills_planned(), 0, "blackholes are not kills");
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_in_range() {
+        let a = ChaosPlan::seeded(9, 4, 2, 100);
+        let b = ChaosPlan::seeded(9, 4, 2, 100);
+        assert_eq!(a.faults(), b.faults());
+        assert_eq!(a.kills_planned(), 1);
+        match a.faults()[0] {
+            ProcessFault::PanicAggregator { node, slot, at_step } => {
+                assert!(node < 4 && slot < 2 && (1..=100).contains(&at_step));
+            }
+            ProcessFault::PanicNet { node, at_step } => {
+                assert!(node < 4 && (1..=100).contains(&at_step));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Different seeds eventually differ.
+        assert!((0..20).any(|s| {
+            ChaosPlan::seeded(s, 4, 2, 100).faults() != a.faults()
+        }));
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = ChaosPlan::none();
+        assert!(!plan.agg_tick(0, 0));
+        assert!(!plan.net_tick(0));
+        assert!(!plan.heartbeat_blackholed(0, 0));
+        assert_eq!(plan.kills_planned(), 0);
+    }
+}

@@ -129,6 +129,9 @@ pub struct FaultStats {
     pub dropped_data: u64,
     /// Acks dropped (probability faults or full mailbox).
     pub dropped_acks: u64,
+    /// Heartbeats dropped (probability faults; full-mailbox losses are
+    /// not counted — the detector never learns about them by design).
+    pub dropped_heartbeats: u64,
     /// Data packets delivered twice.
     pub duplicated: u64,
     /// Data packets held back for jittered delivery.

@@ -22,10 +22,12 @@
 //! never touches the NIC.
 
 mod channel;
+pub mod chaos;
 mod fault;
 mod unreliable;
 
 pub use channel::ChannelTransport;
+pub use chaos::{ChaosPlan, ProcessFault};
 pub use fault::{FaultConfig, FaultStats, RetryConfig, TransportKind};
 pub use unreliable::UnreliableTransport;
 
@@ -51,6 +53,24 @@ pub struct Ack {
     pub lane: u32,
     /// Highest sequence number received in order on this flow.
     pub cum_seq: u64,
+}
+
+/// One liveness beacon on the heartbeat plane.
+///
+/// Heartbeats are the input to the runtime's phi-accrual failure
+/// detector: node `src` emits one per heartbeat interval towards every
+/// peer, and the *absence* of arrivals is what raises suspicion. They
+/// are deliberately the least reliable traffic class — best-effort,
+/// droppable by full mailboxes and by every injected fault — because a
+/// detector that needs reliable heartbeats would be useless.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Emitting node.
+    pub src: NodeId,
+    /// Observing node.
+    pub dest: NodeId,
+    /// Monotonic beat number at the emitter.
+    pub seq: u64,
 }
 
 /// Outcome of a send attempt.
@@ -104,6 +124,20 @@ pub trait Transport: Send + Sync {
 
     /// Drain one pending ack for aggregator `lane` of `node`.
     fn try_recv_ack(&self, node: NodeId, lane: u32) -> Option<Ack>;
+
+    /// Send a liveness beacon towards `hb.dest`. Best-effort and
+    /// non-blocking like acks; a transport without a heartbeat plane may
+    /// simply drop them (the failure detector then reports every peer as
+    /// silent, which is the honest answer).
+    fn send_heartbeat(&self, hb: Heartbeat) {
+        let _ = hb;
+    }
+
+    /// Drain one pending heartbeat addressed to `node`.
+    fn try_recv_heartbeat(&self, node: NodeId) -> Option<Heartbeat> {
+        let _ = node;
+        None
+    }
 
     /// Close the fabric: subsequent sends fail fast, receivers drain
     /// what is already in flight and then observe [`RecvStatus::Closed`].

@@ -10,7 +10,7 @@ use gravel_pgas::Packet;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
-use crate::{Ack, FaultConfig, FaultStats, NodeId, RecvStatus, SendStatus, Transport};
+use crate::{Ack, FaultConfig, FaultStats, Heartbeat, NodeId, RecvStatus, SendStatus, Transport};
 
 /// SplitMix64-style finalizer for deriving per-link seeds.
 fn mix(mut z: u64) -> u64 {
@@ -67,6 +67,7 @@ pub struct UnreliableTransport<T: Transport> {
     next_delay_id: AtomicU64,
     dropped_data: AtomicU64,
     dropped_acks: AtomicU64,
+    dropped_heartbeats: AtomicU64,
     duplicated: AtomicU64,
     delayed_count: AtomicU64,
     link_down_drops: AtomicU64,
@@ -98,6 +99,7 @@ impl<T: Transport> UnreliableTransport<T> {
             next_delay_id: AtomicU64::new(0),
             dropped_data: AtomicU64::new(0),
             dropped_acks: AtomicU64::new(0),
+            dropped_heartbeats: AtomicU64::new(0),
             duplicated: AtomicU64::new(0),
             delayed_count: AtomicU64::new(0),
             link_down_drops: AtomicU64::new(0),
@@ -245,6 +247,32 @@ impl<T: Transport> Transport for UnreliableTransport<T> {
         self.inner.try_recv_ack(node, lane)
     }
 
+    fn send_heartbeat(&self, hb: Heartbeat) {
+        if hb.src != hb.dest {
+            let (down, drop) = {
+                let mut link = self.link(hb.src, hb.dest).lock().unwrap();
+                let down = self.link_down(link.down_phase);
+                let drop = self.cfg.drop > 0.0 && link.rng.gen_bool(self.cfg.drop);
+                (down, drop)
+            };
+            // Either way the beat dies silently — heartbeats are the
+            // least reliable traffic class by design.
+            if down {
+                self.link_down_drops.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if drop {
+                self.dropped_heartbeats.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.inner.send_heartbeat(hb);
+    }
+
+    fn try_recv_heartbeat(&self, node: NodeId) -> Option<Heartbeat> {
+        self.inner.try_recv_heartbeat(node)
+    }
+
     fn close(&self) {
         self.inner.close();
     }
@@ -258,6 +286,8 @@ impl<T: Transport> Transport for UnreliableTransport<T> {
         FaultStats {
             dropped_data: self.dropped_data.load(Ordering::Relaxed),
             dropped_acks: self.dropped_acks.load(Ordering::Relaxed) + inner.dropped_acks,
+            dropped_heartbeats: self.dropped_heartbeats.load(Ordering::Relaxed)
+                + inner.dropped_heartbeats,
             duplicated: self.duplicated.load(Ordering::Relaxed),
             delayed: self.delayed_count.load(Ordering::Relaxed),
             link_down_drops: self.link_down_drops.load(Ordering::Relaxed),
@@ -401,6 +431,22 @@ mod tests {
             other => panic!("delayed packet lost at close: {other:?}"),
         }
         assert!(matches!(t.recv_data(1, Duration::from_millis(5)), RecvStatus::Closed));
+    }
+
+    #[test]
+    fn heartbeats_are_faulted_like_everything_else() {
+        let t = UnreliableTransport::new(
+            ChannelTransport::new(2, 1, 16),
+            FaultConfig { drop: 1.0, ..FaultConfig::quiet(17) },
+        );
+        for seq in 0..25 {
+            t.send_heartbeat(Heartbeat { src: 0, dest: 1, seq });
+        }
+        assert_eq!(t.try_recv_heartbeat(1), None, "every beat dropped");
+        assert_eq!(t.fault_stats().dropped_heartbeats, 25);
+        // Loopback beats (a node observing itself) are never faulted.
+        t.send_heartbeat(Heartbeat { src: 0, dest: 0, seq: 1 });
+        assert_eq!(t.try_recv_heartbeat(0), Some(Heartbeat { src: 0, dest: 0, seq: 1 }));
     }
 
     #[test]

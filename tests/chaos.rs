@@ -1,0 +1,131 @@
+//! Chaos acceptance tests (DESIGN.md §11): seeded process faults against
+//! full application runs. The headline property is the issue's acceptance
+//! criterion — a GUPS run that loses one node's aggregator mid-run
+//! completes bit-exact versus a fault-free run, with the restart and
+//! recovery-latency counters visible in the telemetry snapshot.
+
+use std::sync::Arc;
+
+use gravel_apps::{gups, pagerank};
+use gravel_apps::graph::{gen, reference};
+use gravel_core::{ChaosPlan, GravelConfig, GravelRuntime, ProcessFault};
+
+fn gups_input() -> gups::GupsInput {
+    gups::GupsInput { updates: 6_000, table_len: 512, seed: 9 }
+}
+
+/// Fault-free GUPS baseline: the full per-node heap contents.
+fn baseline_heaps(input: &gups::GupsInput, nodes: usize) -> Vec<Vec<u64>> {
+    let rt = GravelRuntime::new(GravelConfig::small(nodes, input.table_len));
+    gups::run_live(&rt, input);
+    let heaps = (0..nodes).map(|i| rt.heap(i).snapshot()).collect();
+    rt.shutdown().expect("fault-free run is clean");
+    heaps
+}
+
+/// First seed whose derived single-kill plan matches `want`.
+fn seeded_plan(
+    nodes: usize,
+    horizon: u64,
+    want: impl Fn(&ProcessFault) -> bool,
+) -> (u64, ChaosPlan) {
+    (0u64..)
+        .map(|seed| (seed, ChaosPlan::seeded(seed, nodes, 1, horizon)))
+        .find(|(_, p)| want(&p.faults()[0]))
+        .unwrap()
+}
+
+#[test]
+fn gups_with_seeded_aggregator_kill_is_bit_exact() {
+    let input = gups_input();
+    let baseline = baseline_heaps(&input, 2);
+
+    // Derive the kill from a seed, like the sweep harness does; keep the
+    // horizon well under the ~3000 messages each aggregator drains so the
+    // fault is guaranteed to fire mid-run.
+    let (seed, plan) =
+        seeded_plan(2, 64, |f| matches!(f, ProcessFault::PanicAggregator { .. }));
+    let mut cfg = GravelConfig::small(2, input.table_len);
+    cfg.chaos = Some(Arc::new(plan));
+    let rt = GravelRuntime::new(cfg);
+    let issued = gups::run_live(&rt, &input);
+    assert_eq!(issued, input.updates as u64);
+
+    assert!(gups::verify_live(&rt, &input), "seed {seed}: histogram wrong");
+    for (i, expect) in baseline.iter().enumerate() {
+        assert_eq!(&rt.heap(i).snapshot(), expect, "seed {seed}: heap {i} not bit-exact");
+    }
+
+    let snap = rt.telemetry_snapshot();
+    assert_eq!(snap.counter("ha.restarts"), 1, "exactly one supervised restart");
+    let recovery = snap.histogram("ha.recovery_ns").expect("recovery latency recorded");
+    assert_eq!(recovery.count, 1);
+    let stats = rt.shutdown().expect("restart absorbed the kill");
+    assert_eq!(stats.ha.restarts, 1);
+    assert_eq!(stats.total_offloaded(), stats.total_applied());
+}
+
+#[test]
+fn gups_with_seeded_netthread_kill_is_bit_exact() {
+    let input = gups_input();
+    let baseline = baseline_heaps(&input, 2);
+
+    let (seed, plan) = seeded_plan(2, 64, |f| matches!(f, ProcessFault::PanicNet { .. }));
+    let mut cfg = GravelConfig::small(2, input.table_len);
+    cfg.chaos = Some(Arc::new(plan));
+    let rt = GravelRuntime::new(cfg);
+    gups::run_live(&rt, &input);
+
+    assert!(gups::verify_live(&rt, &input), "seed {seed}: histogram wrong");
+    for (i, expect) in baseline.iter().enumerate() {
+        assert_eq!(&rt.heap(i).snapshot(), expect, "seed {seed}: heap {i} not bit-exact");
+    }
+    let stats = rt.shutdown().expect("restart absorbed the kill");
+    assert_eq!(stats.ha.restarts, 1);
+}
+
+#[test]
+fn epoch_checkpoint_recovers_a_reset_node_exactly() {
+    // Checkpointed GUPS, then simulate losing node 1's memory after the
+    // last epoch cut and restore it: the table must come back exactly.
+    let input = gups_input();
+    let mut cfg = GravelConfig::small(2, input.table_len);
+    cfg.ha.checkpoint = true;
+    let rt = GravelRuntime::new(cfg);
+    let mut progress = gups::GupsProgress::default();
+    gups::run_live_checkpointed(&rt, &input, &mut progress);
+    assert!(gups::verify_live(&rt, &input));
+
+    let before = rt.heap(1).snapshot();
+    rt.heap(1).reset(0); // node 1 "dies"
+    assert_ne!(rt.heap(1).snapshot(), before, "reset visibly destroyed state");
+    rt.recover_node(1).expect("epoch restore");
+    assert_eq!(rt.heap(1).snapshot(), before, "recovery is exact");
+    assert!(gups::verify_live(&rt, &input));
+
+    let stats = rt.shutdown().expect("clean shutdown");
+    assert_eq!(stats.ha.epochs, 2, "one cut per superstep");
+    assert_eq!(stats.ha.recoveries, 1);
+}
+
+#[test]
+fn checkpointed_pagerank_survives_aggregator_kill() {
+    // Both robustness layers at once: per-iteration epoch cuts *and* a
+    // supervised restart of a killed aggregator, still bit-exact.
+    let g = gen::cage15_like(96, 5);
+    let damping = pagerank::default_damping();
+    let mut cfg = GravelConfig::small(3, 64);
+    cfg.ha.checkpoint = true;
+    cfg.chaos = Some(Arc::new(ChaosPlan::new(vec![ProcessFault::PanicAggregator {
+        node: 1,
+        slot: 0,
+        at_step: 5,
+    }])));
+    let rt = GravelRuntime::new(cfg);
+    let mut progress = pagerank::PageRankProgress::default();
+    let live = pagerank::run_live_checkpointed(&rt, &g, 3, damping, &mut progress);
+    assert_eq!(live, reference::pagerank(&g, 3, damping));
+    let stats = rt.shutdown().expect("restart absorbed the kill");
+    assert_eq!(stats.ha.restarts, 1);
+    assert_eq!(stats.ha.epochs, 3);
+}
