@@ -1,0 +1,54 @@
+//! `throughput` — the repo's persistent hot-path benchmark.
+//!
+//! Runs GUPS (pipeline-injected) and PageRank (end-to-end) at fixed
+//! sizes across aggregator lane counts and writes
+//! `BENCH_throughput.json` in the working directory, so the perf
+//! trajectory of the aggregate→apply path survives between PRs.
+//! `--quick` shrinks everything to CI smoke scale.
+
+use gravel_bench::report::{f2, Table};
+use gravel_bench::throughput::{self, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let nodes = 4;
+    let lane_counts = [1usize, 2, 4];
+
+    let report = throughput::measure(&scale, nodes, &lane_counts, quick);
+
+    let mut t = Table::new(
+        "throughput",
+        "hot-path throughput by aggregator lane count",
+        &[
+            "workload",
+            "lanes",
+            "messages",
+            "Mmsg/s",
+            "p50 µs",
+            "p99 µs",
+            "avg pkt B",
+            "rtx",
+        ],
+    );
+    for c in &report.cells {
+        t.row(vec![
+            c.workload.clone(),
+            c.lanes.to_string(),
+            c.messages.to_string(),
+            f2(c.msgs_per_sec / 1e6),
+            f2(c.p50_agg_apply_ns as f64 / 1e3),
+            f2(c.p99_agg_apply_ns as f64 / 1e3),
+            f2(c.avg_packet_bytes),
+            c.retransmits.to_string(),
+        ]);
+    }
+    t.emit();
+    println!(
+        "\nGUPS speedup (lanes={} vs lanes=1): {:.2}x",
+        lane_counts.iter().max().unwrap(),
+        report.gups_speedup
+    );
+
+    throughput::save(&report, "BENCH_throughput.json").expect("write BENCH_throughput.json");
+}

@@ -30,5 +30,6 @@ pub mod experiments;
 pub mod queue_bench;
 pub mod report;
 pub mod telemetry_overhead;
+pub mod throughput;
 
 pub use report::Table;

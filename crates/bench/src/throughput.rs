@@ -1,0 +1,273 @@
+//! Hot-path throughput measurement: messages/second through the
+//! aggregate → deliver → apply pipeline, per aggregator lane count.
+//!
+//! Two workloads, both at fixed sizes so successive runs are comparable
+//! (`BENCH_throughput.json` is the repo's persistent perf trajectory):
+//!
+//! * **GUPS (pipeline-injected)** — the gated metric. Each node's update
+//!   stream is precomputed and injected from a host producer thread in
+//!   slot-sized batches, so the measured interval is dominated by the
+//!   CPU-side hot path this bench exists to track (ring drain →
+//!   aggregation → go-back-N delivery → zero-copy apply), not by the
+//!   interpreted SIMT frontend.
+//! * **PageRank (end-to-end)** — `run_live` over a fixed generated
+//!   graph, informational: it includes kernel dispatch and per-iteration
+//!   barriers, the way applications actually experience the runtime.
+//!
+//! Each workload runs at every requested lane count. The report carries
+//! messages/sec plus the p50/p99 aggregate→apply latency from the
+//! per-node `net.packet_latency_ns` histograms, so a throughput win that
+//! costs tail latency is visible in the same file.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use gravel_apps::graph::gen;
+use gravel_apps::{gups, pagerank};
+use gravel_core::{GravelConfig, GravelRuntime};
+use gravel_gq::Message;
+use gravel_telemetry::HistogramSnapshot;
+
+/// One measured configuration cell.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ThroughputCell {
+    /// Workload name (`"gups"` or `"pagerank"`).
+    pub workload: String,
+    /// Aggregator lanes per node.
+    pub lanes: usize,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Messages offloaded through the pipeline.
+    pub messages: u64,
+    /// Wall seconds from first injection to quiescence.
+    pub elapsed_s: f64,
+    /// `messages / elapsed_s`.
+    pub msgs_per_sec: f64,
+    /// Median aggregate→apply latency (ns) over all applied packets.
+    pub p50_agg_apply_ns: u64,
+    /// Tail aggregate→apply latency (ns).
+    pub p99_agg_apply_ns: u64,
+    /// Average flushed packet size in bytes.
+    pub avg_packet_bytes: f64,
+    /// Packets retransmitted (should stay 0 on the reliable fabric).
+    pub retransmits: u64,
+}
+
+/// The full report written to `BENCH_throughput.json`.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ThroughputReport {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// True when run with `--quick` (CI smoke scale — not comparable to
+    /// full-size runs).
+    pub quick: bool,
+    /// GUPS updates per run.
+    pub gups_updates: usize,
+    /// PageRank graph vertices.
+    pub pagerank_vertices: usize,
+    /// All measured cells.
+    pub cells: Vec<ThroughputCell>,
+    /// GUPS messages/sec at the highest lane count divided by the
+    /// lanes=1 rate — the headline scaling number.
+    pub gups_speedup: f64,
+}
+
+impl ThroughputReport {
+    /// The GUPS cell at `lanes`, if measured.
+    pub fn gups_cell(&self, lanes: usize) -> Option<&ThroughputCell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == "gups" && c.lanes == lanes)
+    }
+}
+
+/// Benchmark scale.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Total GUPS updates.
+    pub gups_updates: usize,
+    /// GUPS table length.
+    pub gups_table: usize,
+    /// PageRank vertex count.
+    pub pr_vertices: usize,
+    /// PageRank iterations.
+    pub pr_iters: usize,
+    /// Best-of trials per cell.
+    pub trials: u32,
+}
+
+impl Scale {
+    /// Full scale: long enough that the pipeline reaches steady state.
+    pub fn full() -> Self {
+        Scale {
+            gups_updates: 1_500_000,
+            gups_table: 1 << 14,
+            pr_vertices: 4_000,
+            pr_iters: 3,
+            trials: 3,
+        }
+    }
+
+    /// CI smoke scale.
+    pub fn quick() -> Self {
+        Scale {
+            gups_updates: 40_000,
+            gups_table: 1 << 10,
+            pr_vertices: 400,
+            pr_iters: 2,
+            trials: 1,
+        }
+    }
+}
+
+fn bench_config(nodes: usize, heap_len: usize, lanes: usize) -> GravelConfig {
+    let mut cfg = GravelConfig::paper(nodes, heap_len);
+    cfg.aggregator_threads = lanes;
+    cfg
+}
+
+/// Merge every node's aggregate→apply latency histogram.
+fn merged_latency(rt: &GravelRuntime) -> HistogramSnapshot {
+    let snap = rt.telemetry_snapshot();
+    let mut merged = HistogramSnapshot::default();
+    for n in 0..rt.nodes() {
+        if let Some(h) = snap.histogram(&format!("node{n}.net.packet_latency_ns")) {
+            merged.merge(h);
+        }
+    }
+    merged
+}
+
+fn cell_from_run(
+    workload: &str,
+    lanes: usize,
+    nodes: usize,
+    messages: u64,
+    elapsed_s: f64,
+    rt: &GravelRuntime,
+) -> ThroughputCell {
+    let lat = merged_latency(rt);
+    let stats = rt.stats();
+    ThroughputCell {
+        workload: workload.to_string(),
+        lanes,
+        nodes,
+        messages,
+        elapsed_s,
+        msgs_per_sec: messages as f64 / elapsed_s,
+        p50_agg_apply_ns: lat.p50(),
+        p99_agg_apply_ns: lat.p99(),
+        avg_packet_bytes: stats.avg_packet_bytes(),
+        retransmits: stats.total_retransmits(),
+    }
+}
+
+/// One GUPS trial: inject every node's precomputed update stream from a
+/// host producer thread, then time to quiescence.
+fn gups_trial(scale: &Scale, nodes: usize, lanes: usize) -> ThroughputCell {
+    let input = gups::GupsInput {
+        updates: scale.gups_updates,
+        table_len: scale.gups_table,
+        seed: 7,
+    };
+    let part = gups::partition(&input, nodes);
+    // Precompute each node's message stream outside the timed region.
+    let streams: Vec<Vec<Message>> = (0..nodes)
+        .map(|node| {
+            gups::node_updates(&input, nodes, node)
+                .into_iter()
+                .map(|g| Message::inc(part.owner(g) as u32, part.local_offset(g), 1))
+                .collect()
+        })
+        .collect();
+    let heap_len = (0..nodes).map(|n| part.local_len(n)).max().unwrap();
+    let messages: u64 = streams.iter().map(|s| s.len() as u64).sum();
+
+    let rt = GravelRuntime::new(bench_config(nodes, heap_len, lanes));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (node, stream) in streams.iter().enumerate() {
+            let node = rt.node(node).clone();
+            s.spawn(move || node.host_send_batch(stream));
+        }
+    });
+    rt.quiesce();
+    let elapsed = start.elapsed().as_secs_f64();
+    let cell = cell_from_run("gups", lanes, nodes, messages, elapsed, &rt);
+    rt.shutdown().expect("throughput GUPS run must be clean");
+    cell
+}
+
+/// One PageRank trial: `run_live` end to end.
+fn pagerank_trial(scale: &Scale, nodes: usize, lanes: usize) -> ThroughputCell {
+    let g = gen::hugebubbles_like(scale.pr_vertices, 11);
+    let part = pagerank::partition(&g, nodes);
+    let heap_len = (0..nodes).map(|n| part.local_len(n)).max().unwrap();
+    let rt = GravelRuntime::new(bench_config(nodes, heap_len, lanes));
+    let start = Instant::now();
+    pagerank::run_live(&rt, &g, scale.pr_iters, pagerank::default_damping());
+    rt.quiesce();
+    let elapsed = start.elapsed().as_secs_f64();
+    let messages = rt.stats().total_offloaded();
+    let cell = cell_from_run("pagerank", lanes, nodes, messages, elapsed, &rt);
+    rt.shutdown()
+        .expect("throughput PageRank run must be clean");
+    cell
+}
+
+/// Best-of-`trials` (highest messages/sec) for one cell.
+fn best_of(trials: u32, mut run: impl FnMut() -> ThroughputCell) -> ThroughputCell {
+    let mut best = run();
+    for _ in 1..trials {
+        let c = run();
+        if c.msgs_per_sec > best.msgs_per_sec {
+            best = c;
+        }
+    }
+    best
+}
+
+/// Run the full matrix: both workloads at every lane count.
+pub fn measure(
+    scale: &Scale,
+    nodes: usize,
+    lane_counts: &[usize],
+    quick: bool,
+) -> ThroughputReport {
+    let mut cells = Vec::new();
+    for &lanes in lane_counts {
+        eprintln!("[throughput] gups nodes={nodes} lanes={lanes}");
+        cells.push(best_of(scale.trials, || gups_trial(scale, nodes, lanes)));
+    }
+    for &lanes in lane_counts {
+        eprintln!("[throughput] pagerank nodes={nodes} lanes={lanes}");
+        cells.push(best_of(scale.trials, || {
+            pagerank_trial(scale, nodes, lanes)
+        }));
+    }
+    let base = cells.iter().find(|c| c.workload == "gups" && c.lanes == 1);
+    let top = cells
+        .iter()
+        .filter(|c| c.workload == "gups")
+        .max_by_key(|c| c.lanes);
+    let gups_speedup = match (base, top) {
+        (Some(b), Some(t)) if b.msgs_per_sec > 0.0 => t.msgs_per_sec / b.msgs_per_sec,
+        _ => f64::NAN,
+    };
+    ThroughputReport {
+        schema: "gravel.throughput.v1".to_string(),
+        quick,
+        gups_updates: scale.gups_updates,
+        pagerank_vertices: scale.pr_vertices,
+        cells,
+        gups_speedup,
+    }
+}
+
+/// Write the report to `path` (pretty JSON).
+pub fn save(report: &ThroughputReport, path: &str) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(serde_json::to_string_pretty(report).unwrap().as_bytes())?;
+    eprintln!("[saved {path}]");
+    Ok(())
+}

@@ -21,10 +21,12 @@
 //! slower, §4.1).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
 
 use gravel_simt::{LaneVec, WgCtx};
 use gravel_telemetry::Tracer;
 
+use crate::park::WaitCell;
 use crate::stats::QueueStats;
 
 /// Queue geometry.
@@ -43,13 +45,21 @@ impl QueueConfig {
     /// The paper's configuration (Table 3): a 1 MB producer/consumer
     /// queue of 256-message slots with 32-byte messages.
     pub fn gravel_default() -> Self {
-        QueueConfig { slots: 128, lane_width: 256, rows: crate::msg::MSG_ROWS }
+        QueueConfig {
+            slots: 128,
+            lane_width: 256,
+            rows: crate::msg::MSG_ROWS,
+        }
     }
 
     /// Geometry for a total byte budget with the given slot shape.
     pub fn for_bytes(total_bytes: usize, lane_width: usize, rows: usize) -> Self {
         let slot_bytes = lane_width * rows * 8;
-        QueueConfig { slots: (total_bytes / slot_bytes).max(2), lane_width, rows }
+        QueueConfig {
+            slots: (total_bytes / slot_bytes).max(2),
+            lane_width,
+            rows,
+        }
     }
 
     /// Payload bytes per slot.
@@ -81,7 +91,9 @@ impl Slot {
             round: AtomicU64::new(0),
             full: AtomicBool::new(false),
             count: AtomicU64::new(0),
-            payload: (0..cfg.lane_width * cfg.rows).map(|_| AtomicU64::new(0)).collect(),
+            payload: (0..cfg.lane_width * cfg.rows)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         }
     }
 }
@@ -105,6 +117,12 @@ pub struct GravelQueue {
     write_idx: AtomicU64,
     read_idx: AtomicU64,
     closed: AtomicBool,
+    /// Consumers park here when the ring is empty; `publish`/`close`
+    /// wake them (near-free when nobody is parked).
+    waiter: WaitCell,
+    /// Producers park here when the ring is full; consumers wake them
+    /// after releasing slots (near-free when nobody is parked).
+    prod_waiter: WaitCell,
     /// Synchronization instrumentation.
     pub stats: QueueStats,
     /// Span recorder for slot handoff (`gq.offload`); disabled by default.
@@ -126,13 +144,18 @@ impl GravelQueue {
     /// `TelemetryConfig`, `node` stamped on every span.
     pub fn with_telemetry(cfg: QueueConfig, stats: QueueStats, tracer: Tracer, node: u32) -> Self {
         assert!(cfg.slots >= 2, "need at least two slots");
-        assert!(cfg.lane_width >= 1 && cfg.rows >= 1, "degenerate slot shape");
+        assert!(
+            cfg.lane_width >= 1 && cfg.rows >= 1,
+            "degenerate slot shape"
+        );
         GravelQueue {
             slots: (0..cfg.slots).map(|_| Slot::new(&cfg)).collect(),
             cfg,
             write_idx: AtomicU64::new(0),
             read_idx: AtomicU64::new(0),
             closed: AtomicBool::new(false),
+            waiter: WaitCell::new(),
+            prod_waiter: WaitCell::new(),
             stats,
             tracer,
             node,
@@ -145,18 +168,29 @@ impl GravelQueue {
     }
 
     fn slot_ring(&self, seq: u64) -> (&Slot, u64) {
-        (&self.slots[(seq % self.slots.len() as u64) as usize], seq / self.slots.len() as u64)
+        (
+            &self.slots[(seq % self.slots.len() as u64) as usize],
+            seq / self.slots.len() as u64,
+        )
     }
 
-    /// Spin until the producer owns the slot for `seq`, counting spins.
+    /// Wait until the producer owns the slot for `seq`: a short spin
+    /// window (the consumer usually frees the wrapped slot within
+    /// microseconds), then park on `prod_waiter` — consumers wake
+    /// producers after every slot release, so a full ring does not cost
+    /// a busy core. Spin iterations are counted in `producer_spins`.
     fn producer_wait(&self, seq: u64) -> &Slot {
         let (slot, round) = self.slot_ring(seq);
+        let ready =
+            || slot.round.load(Ordering::Acquire) == round && !slot.full.load(Ordering::Acquire);
         let mut spins = 0u64;
-        while slot.round.load(Ordering::Acquire) != round || slot.full.load(Ordering::Acquire) {
+        while !ready() {
             spins += 1;
             std::hint::spin_loop();
-            if spins.is_multiple_of(1024) {
-                std::thread::yield_now();
+            if spins.is_multiple_of(128) {
+                // The timeout is a belt-and-braces bound (see WaitCell);
+                // the release-side notify is the real wakeup.
+                self.prod_waiter.park_timeout(Duration::from_micros(100), ready);
             }
         }
         if spins > 0 {
@@ -170,6 +204,22 @@ impl GravelQueue {
         slot.full.store(true, Ordering::Release);
         self.stats.slots_produced.add(1);
         self.stats.messages_produced.add(count as u64);
+        self.waiter.notify_all();
+    }
+
+    /// Is the next unconsumed slot ready to drain (or the queue closed)?
+    fn has_ready(&self) -> bool {
+        let seq = self.read_idx.load(Ordering::Acquire);
+        let (slot, round) = self.slot_ring(seq);
+        (slot.round.load(Ordering::Acquire) == round && slot.full.load(Ordering::Acquire))
+            || self.closed.load(Ordering::Acquire)
+    }
+
+    /// Park the calling consumer for up to `timeout`, waking early on a
+    /// slot publish or [`close`](Self::close). Returns `true` if the
+    /// thread actually slept (the caller's spin-then-park telemetry).
+    pub fn park_for_ready(&self, timeout: Duration) -> bool {
+        self.waiter.park_timeout(timeout, || self.has_ready())
     }
 
     // ---- producers -------------------------------------------------------
@@ -233,7 +283,10 @@ impl GravelQueue {
     /// synchronization (Fig. 5a): every lane performs its own `fetch_add`
     /// and owns a single-message slot. Requires `lane_width == 1`.
     pub fn wi_produce(&self, ctx: &mut WgCtx, payload: impl Fn(usize, usize) -> u64) {
-        assert_eq!(self.cfg.lane_width, 1, "work-item queues use single-message slots");
+        assert_eq!(
+            self.cfg.lane_width, 1,
+            "work-item queues use single-message slots"
+        );
         let mask = ctx.active().clone();
         for lane in mask.iter() {
             // Divergent serialization: each lane's reservation is its own
@@ -259,7 +312,10 @@ impl GravelQueue {
     /// given message-major in `words` (`count * rows` words). Used by the
     /// CPU baselines and by host threads injecting control messages.
     pub fn produce_batch(&self, words: &[u64], count: usize) {
-        assert!(count >= 1 && count <= self.cfg.lane_width, "batch of {count} exceeds slot");
+        assert!(
+            count >= 1 && count <= self.cfg.lane_width,
+            "batch of {count} exceeds slot"
+        );
         assert_eq!(words.len(), count * self.cfg.rows, "word count mismatch");
         let seq = self.write_idx.fetch_add(1, Ordering::AcqRel);
         self.stats.producer_rmws.add(1);
@@ -314,13 +370,83 @@ impl GravelQueue {
             // Fig. 7 time ⑤: clear F, bump the current ticket.
             slot.full.store(false, Ordering::Release);
             slot.round.store(round + 1, Ordering::Release);
+            self.prod_waiter.notify_all();
             self.stats.messages_consumed.add(count as u64);
             return Consumed::Batch(count);
         }
     }
 
+    /// Drain up to `max_slots` *consecutive ready* slots with a single
+    /// `read_idx` compare-exchange, appending their messages to `out`
+    /// message-major. Returns `Consumed::Batch(total_messages)`.
+    ///
+    /// This is the consumer-side synchronization amortization mirroring
+    /// the producer's work-group reservation: under load, one RMW claims
+    /// many work-groups' worth of messages instead of one. Claimed slots
+    /// are exclusively owned (later consumers CAS from `seq + k`), so
+    /// they can be copied out and released without further contention.
+    pub fn try_consume_batch(&self, out: &mut Vec<u64>, max_slots: usize) -> Consumed {
+        let max = max_slots.max(1) as u64;
+        loop {
+            let seq = self.read_idx.load(Ordering::Acquire);
+            // Count consecutive ready slots starting at `seq`. A slot one
+            // full ring ahead can never look ready (its round is one too
+            // low until we release the slot it wraps onto), so `k` is
+            // implicitly bounded by the ring size.
+            let mut k = 0u64;
+            while k < max {
+                let (slot, round) = self.slot_ring(seq + k);
+                if slot.round.load(Ordering::Acquire) == round && slot.full.load(Ordering::Acquire)
+                {
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+            if k == 0 {
+                self.stats.consumer_empty_polls.add(1);
+                if self.closed.load(Ordering::Acquire)
+                    && seq >= self.write_idx.load(Ordering::Acquire)
+                {
+                    return Consumed::Closed;
+                }
+                return Consumed::Empty;
+            }
+            if self
+                .read_idx
+                .compare_exchange(seq, seq + k, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                self.stats.consumer_rmws.add(1);
+                continue;
+            }
+            self.stats.consumer_rmws.add(1);
+            self.stats.consumer_hits.add(k);
+            let mut total = 0usize;
+            for i in 0..k {
+                let (slot, round) = self.slot_ring(seq + i);
+                let count = slot.count.load(Ordering::Relaxed) as usize;
+                out.reserve(count * self.cfg.rows);
+                for m in 0..count {
+                    for row in 0..self.cfg.rows {
+                        out.push(
+                            slot.payload[row * self.cfg.lane_width + m].load(Ordering::Relaxed),
+                        );
+                    }
+                }
+                slot.full.store(false, Ordering::Release);
+                slot.round.store(round + 1, Ordering::Release);
+                total += count;
+            }
+            self.prod_waiter.notify_all();
+            self.stats.messages_consumed.add(total as u64);
+            return Consumed::Batch(total);
+        }
+    }
+
     /// Drain one slot, blocking until one is ready. Returns `None` once
-    /// the queue is closed and empty.
+    /// the queue is closed and empty. Spins briefly, then parks on the
+    /// queue's wait cell (woken by publishes and close).
     pub fn consume_blocking(&self, out: &mut Vec<u64>) -> Option<usize> {
         let mut spins = 0u64;
         loop {
@@ -331,7 +457,7 @@ impl GravelQueue {
                     spins += 1;
                     std::hint::spin_loop();
                     if spins.is_multiple_of(256) {
-                        std::thread::yield_now();
+                        self.park_for_ready(Duration::from_micros(100));
                     }
                 }
             }
@@ -343,6 +469,7 @@ impl GravelQueue {
     /// [`Consumed::Closed`].
     pub fn close(&self) {
         self.closed.store(true, Ordering::Release);
+        self.waiter.notify_all();
     }
 
     /// Whether [`close`](Self::close) has been called.
@@ -353,7 +480,9 @@ impl GravelQueue {
     /// Slots published but not yet consumed (approximate under
     /// concurrency).
     pub fn backlog(&self) -> u64 {
-        self.write_idx.load(Ordering::Acquire).saturating_sub(self.read_idx.load(Ordering::Acquire))
+        self.write_idx
+            .load(Ordering::Acquire)
+            .saturating_sub(self.read_idx.load(Ordering::Acquire))
     }
 }
 
@@ -364,7 +493,11 @@ mod tests {
     use gravel_simt::{Grid, Mask, SimtEngine};
 
     fn small_cfg() -> QueueConfig {
-        QueueConfig { slots: 4, lane_width: 8, rows: MSG_ROWS }
+        QueueConfig {
+            slots: 4,
+            lane_width: 8,
+            rows: MSG_ROWS,
+        }
     }
 
     #[test]
@@ -379,10 +512,15 @@ mod tests {
     fn wg_produce_then_consume_roundtrip() {
         let q = GravelQueue::new(small_cfg());
         let engine = SimtEngine::with_cus(1);
-        let grid = Grid { wg_count: 1, wg_size: 8, wf_width: 4 };
+        let grid = Grid {
+            wg_count: 1,
+            wg_size: 8,
+            wf_width: 4,
+        };
         engine.dispatch(grid, |ctx| {
-            let msgs: Vec<[u64; MSG_ROWS]> =
-                (0..8).map(|l| Message::put(1, l as u64, 100 + l as u64).encode()).collect();
+            let msgs: Vec<[u64; MSG_ROWS]> = (0..8)
+                .map(|l| Message::put(1, l as u64, 100 + l as u64).encode())
+                .collect();
             q.wg_produce(ctx, |lane, row| msgs[lane][row]);
         });
         let mut out = Vec::new();
@@ -398,17 +536,22 @@ mod tests {
     fn wg_produce_compacts_inactive_lanes() {
         let q = GravelQueue::new(small_cfg());
         let engine = SimtEngine::with_cus(1);
-        let grid = Grid { wg_count: 1, wg_size: 8, wf_width: 4 };
+        let grid = Grid {
+            wg_count: 1,
+            wg_size: 8,
+            wf_width: 4,
+        };
         engine.dispatch(grid, |ctx| {
             let odd = Mask::from_fn(8, |l| l % 2 == 1);
             ctx.if_then(&odd, |ctx| {
-                q.wg_produce(ctx, |lane, row| Message::inc(0, lane as u64, 1).encode()[row]);
+                q.wg_produce(ctx, |lane, row| {
+                    Message::inc(0, lane as u64, 1).encode()[row]
+                });
             });
         });
         let mut out = Vec::new();
         assert_eq!(q.try_consume_into(&mut out), Consumed::Batch(4));
-        let addrs: Vec<u64> =
-            out.chunks_exact(MSG_ROWS).map(|c| c[2]).collect();
+        let addrs: Vec<u64> = out.chunks_exact(MSG_ROWS).map(|c| c[2]).collect();
         assert_eq!(addrs, vec![1, 3, 5, 7]); // compacted, in lane order
     }
 
@@ -416,7 +559,11 @@ mod tests {
     fn empty_workgroup_publishes_nothing() {
         let q = GravelQueue::new(small_cfg());
         let engine = SimtEngine::with_cus(1);
-        let grid = Grid { wg_count: 1, wg_size: 8, wf_width: 4 };
+        let grid = Grid {
+            wg_count: 1,
+            wg_size: 8,
+            wf_width: 4,
+        };
         engine.dispatch(grid, |ctx| {
             let none = Mask::none(8);
             ctx.with_mask(none, |ctx| {
@@ -430,9 +577,17 @@ mod tests {
 
     #[test]
     fn one_rmw_per_workgroup() {
-        let q = GravelQueue::new(QueueConfig { slots: 64, lane_width: 8, rows: 4 });
+        let q = GravelQueue::new(QueueConfig {
+            slots: 64,
+            lane_width: 8,
+            rows: 4,
+        });
         let engine = SimtEngine::with_cus(1);
-        let grid = Grid { wg_count: 10, wg_size: 8, wf_width: 4 };
+        let grid = Grid {
+            wg_count: 10,
+            wg_size: 8,
+            wf_width: 4,
+        };
         engine.dispatch(grid, |ctx| {
             q.wg_produce(ctx, |_, _| 7);
         });
@@ -443,11 +598,21 @@ mod tests {
 
     #[test]
     fn wi_produce_uses_one_rmw_per_message() {
-        let q = GravelQueue::new(QueueConfig { slots: 128, lane_width: 1, rows: 4 });
+        let q = GravelQueue::new(QueueConfig {
+            slots: 128,
+            lane_width: 1,
+            rows: 4,
+        });
         let engine = SimtEngine::with_cus(1);
-        let grid = Grid { wg_count: 1, wg_size: 8, wf_width: 4 };
+        let grid = Grid {
+            wg_count: 1,
+            wg_size: 8,
+            wf_width: 4,
+        };
         engine.dispatch(grid, |ctx| {
-            q.wi_produce(ctx, |lane, row| Message::inc(0, lane as u64, 0).encode()[row]);
+            q.wi_produce(ctx, |lane, row| {
+                Message::inc(0, lane as u64, 0).encode()[row]
+            });
         });
         let snap = q.stats.snapshot();
         assert_eq!(snap.producer_rmws, 8);
@@ -503,7 +668,11 @@ mod tests {
     #[test]
     fn concurrent_producers_and_consumers_lose_nothing() {
         use std::sync::Arc;
-        let q = Arc::new(GravelQueue::new(QueueConfig { slots: 8, lane_width: 4, rows: 1 }));
+        let q = Arc::new(GravelQueue::new(QueueConfig {
+            slots: 8,
+            lane_width: 4,
+            rows: 1,
+        }));
         let producers: Vec<_> = (0..3)
             .map(|p| {
                 let q = q.clone();
@@ -540,10 +709,123 @@ mod tests {
     }
 
     #[test]
+    fn batch_consume_claims_many_slots_with_one_rmw() {
+        let q = GravelQueue::new(QueueConfig {
+            slots: 8,
+            lane_width: 2,
+            rows: 1,
+        });
+        for i in 0..5u64 {
+            q.produce_batch(&[i, i + 100], 2);
+        }
+        let before = q.stats.snapshot().consumer_rmws;
+        let mut out = Vec::new();
+        assert_eq!(
+            q.try_consume_batch(&mut out, 4),
+            Consumed::Batch(8),
+            "4 slots × 2 msgs"
+        );
+        assert_eq!(
+            q.stats.snapshot().consumer_rmws,
+            before + 1,
+            "one CAS for four slots"
+        );
+        assert_eq!(out, vec![0, 100, 1, 101, 2, 102, 3, 103]);
+        assert_eq!(
+            q.try_consume_batch(&mut out, 4),
+            Consumed::Batch(2),
+            "the leftover slot"
+        );
+        assert_eq!(q.try_consume_batch(&mut out, 4), Consumed::Empty);
+        q.close();
+        assert_eq!(q.try_consume_batch(&mut out, 4), Consumed::Closed);
+    }
+
+    #[test]
+    fn batch_consume_survives_ring_wrap_and_concurrency() {
+        use std::sync::Arc;
+        let q = Arc::new(GravelQueue::new(QueueConfig {
+            slots: 4,
+            lane_width: 2,
+            rows: 1,
+        }));
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let tag = (p as u64) << 32 | i;
+                        q.produce_batch(&[tag, tag], 2);
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match q.try_consume_batch(&mut got, 3) {
+                        Consumed::Closed => return got,
+                        Consumed::Empty => {
+                            q.park_for_ready(Duration::from_micros(50));
+                        }
+                        Consumed::Batch(_) => {}
+                    }
+                }
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all = consumer.join().unwrap();
+        assert_eq!(all.len(), 2 * 500 * 2);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(
+            all.len(),
+            2 * 500,
+            "each tag exactly once (×2 dups collapsed)"
+        );
+    }
+
+    #[test]
+    fn park_for_ready_wakes_on_publish() {
+        use std::sync::Arc;
+        let q = Arc::new(GravelQueue::new(small_cfg()));
+        let waiter = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let start = std::time::Instant::now();
+                while !q.has_ready() {
+                    q.park_for_ready(Duration::from_secs(10));
+                }
+                start.elapsed()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.produce_batch(&[1, 2, 3, 4], 1);
+        let waited = waiter.join().unwrap();
+        assert!(
+            waited < Duration::from_secs(5),
+            "publish woke the parked consumer ({waited:?})"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "wider than queue slots")]
     fn oversized_workgroup_panics() {
-        let q = GravelQueue::new(QueueConfig { slots: 2, lane_width: 4, rows: 1 });
-        let grid = Grid { wg_count: 1, wg_size: 8, wf_width: 4 };
+        let q = GravelQueue::new(QueueConfig {
+            slots: 2,
+            lane_width: 4,
+            rows: 1,
+        });
+        let grid = Grid {
+            wg_count: 1,
+            wg_size: 8,
+            wf_width: 4,
+        };
         let mut ctx = gravel_simt::WgCtx::new(grid, 0);
         q.wg_produce(&mut ctx, |_, _| 0);
     }

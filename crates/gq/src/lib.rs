@@ -42,6 +42,7 @@ pub mod gravel_queue;
 pub mod mpmc;
 pub mod msg;
 pub mod pad;
+pub mod park;
 pub mod spsc;
 pub mod stats;
 
@@ -49,5 +50,6 @@ pub use gravel_queue::{Consumed, GravelQueue, QueueConfig};
 pub use mpmc::MpmcQueue;
 pub use msg::{Command, Message, MSG_BYTES, MSG_ROWS};
 pub use pad::CachePad;
+pub use park::WaitCell;
 pub use spsc::SpscQueue;
 pub use stats::{QueueStats, StatsSnapshot};

@@ -29,9 +29,10 @@ use std::time::{Duration, Instant};
 
 use gravel_gq::Consumed;
 use gravel_net::{ChaosPlan, RetryConfig, SendStatus, Transport};
-use gravel_pgas::{NodeQueues, Packet};
+use gravel_pgas::{FlushPolicy, NodeQueues, Packet};
 use gravel_telemetry::Gauge;
 
+use crate::backoff::Backoff;
 use crate::error::{ErrorSlot, RuntimeError};
 use crate::node::NodeShared;
 
@@ -39,8 +40,16 @@ use crate::node::NodeShared;
 /// parked and the loop resumes servicing acks and the GPU ring.
 const SEND_ATTEMPT_TIMEOUT: Duration = Duration::from_micros(200);
 
-/// Idle sleep while waiting for in-flight packets to drain at shutdown.
-const DRAIN_POLL: Duration = Duration::from_micros(50);
+/// Park cap while waiting for in-flight packets to drain at shutdown.
+const DRAIN_POLL: Duration = Duration::from_micros(200);
+
+/// Park cap while flows still hold unacked packets (the ack mailbox has
+/// no wakeup channel, so cap the nap to keep ack servicing snappy).
+const UNACKED_POLL: Duration = Duration::from_micros(50);
+
+/// Parks shorter than this aren't worth a condvar round-trip; spin
+/// through them instead.
+const MIN_PARK: Duration = Duration::from_micros(5);
 
 /// Sender-side state of one destination flow (go-back-N).
 struct Flow {
@@ -101,7 +110,12 @@ pub struct LaneState {
 
 impl LaneState {
     pub fn new() -> Self {
-        LaneState { nodeq: None, flows: Vec::new(), pending: Vec::new(), pos: 0 }
+        LaneState {
+            nodeq: None,
+            flows: Vec::new(),
+            pending: Vec::new(),
+            pos: 0,
+        }
     }
 }
 
@@ -141,11 +155,19 @@ impl<'a> Sender<'a> {
         if flows.len() != node.nodes {
             *flows = (0..node.nodes).map(|_| Flow::new(&retry)).collect();
         }
-        Sender { lane, transport, retry, flows, in_flight, node }
+        Sender {
+            lane,
+            transport,
+            retry,
+            flows,
+            in_flight,
+            node,
+        }
     }
 
     fn note_in_flight(&self) {
-        self.in_flight.set(self.flows.iter().map(Flow::in_flight).sum::<usize>() as i64);
+        self.in_flight
+            .set(self.flows.iter().map(Flow::in_flight).sum::<usize>() as i64);
     }
 
     /// Stamp a freshly flushed packet into its flow and try to put it
@@ -234,7 +256,10 @@ impl<'a> Sender<'a> {
             flow.last_activity = now;
             let resend: Vec<Packet> = flow.unacked.iter().cloned().collect();
             self.node.net_retransmits.add(resend.len() as u64);
-            let _span = self.node.tracer.span("agg.retransmit", "aggregate", self.node.id);
+            let _span = self
+                .node
+                .tracer
+                .span("agg.retransmit", "aggregate", self.node.id);
             for pkt in resend {
                 // Best-effort: a full channel just means the next round
                 // retries again — the window bound keeps this finite.
@@ -262,11 +287,20 @@ pub fn run(
     slot: usize,
     transport: Arc<dyn Transport>,
     queue_bytes: usize,
-    timeout: Duration,
+    policy: FlushPolicy,
     errors: Arc<ErrorSlot>,
 ) {
     let state = Arc::new(Mutex::new(LaneState::new()));
-    run_supervised(node, slot, transport, queue_bytes, timeout, errors, state, None);
+    run_supervised(
+        node,
+        slot,
+        transport,
+        queue_bytes,
+        policy,
+        errors,
+        state,
+        None,
+    );
 }
 
 /// [`run`] with lane state hoisted into `state` (so a supervised
@@ -281,14 +315,21 @@ pub fn run_supervised(
     slot: usize,
     transport: Arc<dyn Transport>,
     queue_bytes: usize,
-    timeout: Duration,
+    policy: FlushPolicy,
     errors: Arc<ErrorSlot>,
     state: Arc<Mutex<LaneState>>,
     chaos: Option<Arc<ChaosPlan>>,
 ) {
     let lane = slot as u32;
-    let in_flight = node.registry.gauge(&format!("node{}.agg.in_flight", node.id));
+    let in_flight = node
+        .registry
+        .gauge(&format!("node{}.agg.in_flight", node.id));
     let rows = node.queue.config().rows;
+    // This lane exclusively drains its own shard ring: destinations hash
+    // to lanes at produce time, so per-destination ordering holds without
+    // any consumer-side coordination.
+    let ring = node.queue.ring(slot % node.queue.lanes());
+    let mut idle = Backoff::new(Duration::from_millis(1));
     loop {
         // One short uncontended lock per iteration; the only other
         // holder this lane's state can ever have is a successor after
@@ -297,15 +338,20 @@ pub fn run_supervised(
         if st.nodeq.is_none() {
             // Every slot shares the node's `AggCounters`: one increment
             // per flush event, so per-slot snapshots can never drift.
-            st.nodeq = Some(NodeQueues::with_telemetry(
+            st.nodeq = Some(NodeQueues::with_policy(
                 node.id,
                 node.nodes,
                 queue_bytes,
-                timeout,
+                policy,
                 node.agg.clone(),
             ));
         }
-        let LaneState { nodeq, flows, pending, pos } = &mut *st;
+        let LaneState {
+            nodeq,
+            flows,
+            pending,
+            pos,
+        } = &mut *st;
         let nodeq = nodeq.as_mut().expect("nodeq initialized above");
         let mut sender = Sender::new(&node, lane, transport.as_ref(), flows, &in_flight);
         sender.drain_acks();
@@ -321,45 +367,93 @@ pub fn run_supervised(
             // from a predecessor that panicked at the cursor).
             let _span = node.tracer.span("agg.drain", "aggregate", node.id);
             let now = Instant::now();
+            let mut flushed: Vec<Packet> = Vec::new();
             while *pos < pending.len() {
-                if let Some(c) = chaos.as_deref() {
-                    if c.agg_tick(node.id, lane) {
-                        panic!(
-                            "chaos: aggregator {}/{} killed at injected drain step",
-                            node.id, lane
-                        );
-                    }
-                }
-                let msg = &pending[*pos..*pos + rows];
-                let dest = msg[1] as usize;
+                // Scan the run of consecutive messages bound for the
+                // same destination and hand it to the node queue in one
+                // call. Destination sharding makes runs long (with one
+                // dest per lane a whole batch is a single run), so the
+                // per-message dispatch cost amortizes away. The chaos
+                // schedule still ticks once per message so an injected
+                // kill lands on its exact message boundary: the run is
+                // cut short, everything before the boundary is pushed
+                // and submitted, and only then does the lane die.
+                let dest = pending[*pos + 1] as usize;
                 debug_assert!(dest < node.nodes, "message to unknown node {dest}");
-                if let Some(pkt) = nodeq.push(dest, msg, now) {
-                    sender.submit(pkt);
+                let mut end = *pos;
+                let mut killed = false;
+                while end < pending.len() && pending[end + 1] as usize == dest {
+                    if let Some(c) = chaos.as_deref() {
+                        if c.agg_tick(node.id, lane) {
+                            killed = true;
+                            break;
+                        }
+                    }
+                    end += rows;
                 }
-                *pos += rows;
+                if end > *pos {
+                    flushed.clear();
+                    nodeq.push_run(dest, &pending[*pos..end], rows, now, &mut flushed);
+                    for pkt in flushed.drain(..) {
+                        sender.submit(pkt);
+                    }
+                    *pos = end;
+                }
+                if killed {
+                    panic!(
+                        "chaos: aggregator {}/{} killed at injected drain step",
+                        node.id, lane
+                    );
+                }
             }
             continue;
         }
         pending.clear();
         *pos = 0;
-        match node.queue.try_consume_into(pending) {
+        match ring.try_consume_batch(pending, node.drain_batch) {
             Consumed::Batch(_) => {
                 // Processed by the cursor branch on the next iteration.
                 node.agg_polls_hit.add(1);
+                idle.reset();
             }
             Consumed::Empty => {
                 node.agg_polls_empty.add(1);
-                let pkts = nodeq.poll_timeouts(Instant::now());
+                let now = Instant::now();
+                let pkts = nodeq.poll_timeouts(now);
                 if !pkts.is_empty() {
                     let _span = node.tracer.span("agg.flush", "aggregate", node.id);
                     for pkt in pkts {
                         sender.submit(pkt);
                     }
                 }
+                // Idle: spin briefly (work usually arrives within
+                // microseconds on the hot path), then park on the ring's
+                // wait cell instead of burning the core — the paper's
+                // APU spent 65 % of it polling here. The park is bounded
+                // by the earliest pending flush deadline, and kept short
+                // while acks are outstanding (no wakeup channel there).
+                let deadline = nodeq.next_deadline(now);
+                let drained = sender.is_drained();
                 drop(st);
-                // Idle: let other threads (GPU, network) run. On the
-                // paper's APU this is where 65 % of the core goes.
-                std::thread::yield_now();
+                if idle.should_spin() {
+                    node.net_spin_spins.add(1);
+                    std::thread::yield_now();
+                } else {
+                    let mut park = idle.next_park();
+                    if let Some(d) = deadline {
+                        park = park.min(d);
+                    }
+                    if !drained {
+                        park = park.min(UNACKED_POLL);
+                    }
+                    if park < MIN_PARK {
+                        node.net_spin_spins.add(1);
+                        std::thread::yield_now();
+                    } else {
+                        node.net_spin_parks.add(1);
+                        ring.park_for_ready(park);
+                    }
+                }
             }
             Consumed::Closed => {
                 let pkts = nodeq.flush_all();
@@ -372,6 +466,7 @@ pub fn run_supervised(
                 // Drain phase: hold the thread until every flow is
                 // acknowledged, so shutdown cannot lose in-flight
                 // packets. Bounded by the retry budget per flow.
+                let mut bo = Backoff::new(DRAIN_POLL);
                 while !sender.is_drained() && !errors.is_set() && !transport.is_closed() {
                     sender.drain_acks();
                     if let Err(e) = sender.poll_retransmits() {
@@ -381,7 +476,12 @@ pub fn run_supervised(
                     for dest in 0..node.nodes {
                         sender.pump(dest);
                     }
-                    std::thread::sleep(DRAIN_POLL);
+                    if bo.should_spin() {
+                        node.net_spin_spins.add(1);
+                    } else {
+                        node.net_spin_parks.add(1);
+                        bo.park_sleep();
+                    }
                 }
                 return;
             }
@@ -448,16 +548,33 @@ mod tests {
         let handle = {
             let (node, transport, errors) = (node.clone(), transport.clone(), errors.clone());
             std::thread::spawn(move || {
-                run(node, 0, transport, 1 << 20, Duration::from_millis(10), errors)
+                run(
+                    node,
+                    0,
+                    transport,
+                    1 << 20,
+                    FlushPolicy::Fixed(Duration::from_millis(10)),
+                    errors,
+                )
             })
         };
         let p1 = recv(&transport, 1);
         assert_eq!(p1.words().len(), 5 * 4);
         assert_eq!((p1.lane, p1.seq), (0, 0));
-        transport.send_ack(gravel_net::Ack { src: 1, dest: 0, lane: 0, cum_seq: 0 });
+        transport.send_ack(gravel_net::Ack {
+            src: 1,
+            dest: 0,
+            lane: 0,
+            cum_seq: 0,
+        });
         let p2 = recv(&transport, 2);
         assert_eq!(p2.words().len(), 4);
-        transport.send_ack(gravel_net::Ack { src: 2, dest: 0, lane: 0, cum_seq: 0 });
+        transport.send_ack(gravel_net::Ack {
+            src: 2,
+            dest: 0,
+            lane: 0,
+            cum_seq: 0,
+        });
         handle.join().unwrap();
         assert!(!errors.is_set());
         let stats = node.stats().agg;
@@ -472,7 +589,16 @@ mod tests {
         // node_queue of 64 bytes → 2 messages per packet.
         let agg = {
             let (node, transport, errors) = (node.clone(), transport.clone(), errors.clone());
-            std::thread::spawn(move || run(node, 0, transport, 64, Duration::from_secs(10), errors))
+            std::thread::spawn(move || {
+                run(
+                    node,
+                    0,
+                    transport,
+                    64,
+                    FlushPolicy::Fixed(Duration::from_secs(10)),
+                    errors,
+                )
+            })
         };
         for i in 0..4 {
             node.host_send(Message::inc(1, i, 1));
@@ -483,7 +609,12 @@ mod tests {
         let b = recv(&transport, 1);
         assert_eq!((a.len(), a.seq), (64, 0));
         assert_eq!((b.len(), b.seq), (64, 1));
-        transport.send_ack(gravel_net::Ack { src: 1, dest: 0, lane: 0, cum_seq: 1 });
+        transport.send_ack(gravel_net::Ack {
+            src: 1,
+            dest: 0,
+            lane: 0,
+            cum_seq: 1,
+        });
         node.queue.close();
         agg.join().unwrap();
     }
@@ -494,14 +625,26 @@ mod tests {
         let agg = {
             let (node, transport, errors) = (node.clone(), transport.clone(), errors.clone());
             std::thread::spawn(move || {
-                run(node, 0, transport, 1 << 20, Duration::from_micros(100), errors)
+                run(
+                    node,
+                    0,
+                    transport,
+                    1 << 20,
+                    FlushPolicy::Fixed(Duration::from_micros(100)),
+                    errors,
+                )
             })
         };
         node.host_send(Message::inc(1, 0, 1));
         // One lone message must arrive via the timeout path.
         let p = recv(&transport, 1);
         assert_eq!(p.words().len(), 4);
-        transport.send_ack(gravel_net::Ack { src: 1, dest: 0, lane: 0, cum_seq: p.seq });
+        transport.send_ack(gravel_net::Ack {
+            src: 1,
+            dest: 0,
+            lane: 0,
+            cum_seq: p.seq,
+        });
         node.queue.close();
         agg.join().unwrap();
         assert_eq!(node.stats().agg.timeout_flushes, 1);
@@ -515,7 +658,14 @@ mod tests {
         let agg = {
             let (node, transport, errors) = (node.clone(), transport.clone(), errors.clone());
             std::thread::spawn(move || {
-                run(node, 0, transport, 1 << 20, Duration::from_millis(1), errors)
+                run(
+                    node,
+                    0,
+                    transport,
+                    1 << 20,
+                    FlushPolicy::Fixed(Duration::from_millis(1)),
+                    errors,
+                )
             })
         };
         // Swallow the first copy without acking; a retransmit must come.
@@ -525,7 +675,12 @@ mod tests {
         assert_eq!(first.words(), second.words());
         assert!(node.net_retransmits.get() >= 1);
         // Ack it so the drain phase can finish.
-        transport.send_ack(gravel_net::Ack { src: 1, dest: 0, lane: 0, cum_seq: second.seq });
+        transport.send_ack(gravel_net::Ack {
+            src: 1,
+            dest: 0,
+            lane: 0,
+            cum_seq: second.seq,
+        });
         agg.join().unwrap();
         assert!(!errors.is_set());
     }
@@ -538,14 +693,23 @@ mod tests {
         let agg = {
             let (node, transport, errors) = (node.clone(), transport.clone(), errors.clone());
             std::thread::spawn(move || {
-                run(node, 0, transport, 1 << 20, Duration::from_millis(1), errors)
+                run(
+                    node,
+                    0,
+                    transport,
+                    1 << 20,
+                    FlushPolicy::Fixed(Duration::from_millis(1)),
+                    errors,
+                )
             })
         };
         // Never ack. The flow must exhaust its retries and die.
         agg.join().unwrap();
         assert!(errors.is_set());
         match errors.take() {
-            Some(RuntimeError::RetryExhausted { src, dest, lane, .. }) => {
+            Some(RuntimeError::RetryExhausted {
+                src, dest, lane, ..
+            }) => {
                 assert_eq!((src, dest, lane), (0, 1, 0));
             }
             other => panic!("expected RetryExhausted, got {other:?}"),
@@ -563,7 +727,16 @@ mod tests {
         // the sends below need a live consumer.
         let agg = {
             let (node, transport, errors) = (node.clone(), transport.clone(), errors.clone());
-            std::thread::spawn(move || run(node, 0, transport, 64, Duration::from_millis(1), errors))
+            std::thread::spawn(move || {
+                run(
+                    node,
+                    0,
+                    transport,
+                    64,
+                    FlushPolicy::Fixed(Duration::from_millis(1)),
+                    errors,
+                )
+            })
         };
         for i in 0..500 {
             node.host_send(Message::inc(1, i % 16, 1));

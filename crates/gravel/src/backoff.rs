@@ -1,0 +1,135 @@
+//! Spin-then-park backoff for the runtime's wait loops.
+//!
+//! The aggregator idle path, quiesce polling, and test wait loops used to
+//! burn cores in `yield_now()` spins. [`Backoff`] centralizes the
+//! escalation policy: a short busy-spin window (cheap when work arrives
+//! within microseconds, which is the common case on the hot path), then
+//! exponentially growing sleeps bounded by a cap so wakeup latency stays
+//! predictable. Callers with a real wakeup channel (the GPU ring's
+//! [`WaitCell`](gravel_gq::WaitCell)) park there instead and use
+//! [`Backoff`] only to decide *when* to stop spinning.
+
+use std::time::{Duration, Instant};
+
+/// How long to busy-spin before the first park.
+const SPIN_LIMIT: u32 = 64;
+/// First park duration; doubles per park up to the caller's cap.
+const PARK_BASE: Duration = Duration::from_micros(10);
+
+/// Escalating spin-then-park state. Create one per wait; call
+/// [`reset`](Self::reset) whenever work is found.
+pub struct Backoff {
+    spins: u32,
+    park: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    /// A backoff whose park durations never exceed `cap`.
+    pub fn new(cap: Duration) -> Self {
+        Backoff {
+            spins: 0,
+            park: PARK_BASE,
+            cap: cap.max(PARK_BASE),
+        }
+    }
+
+    /// Work was found — return to the cheap spinning regime.
+    pub fn reset(&mut self) {
+        self.spins = 0;
+        self.park = PARK_BASE;
+    }
+
+    /// Still spinning (true) or time to park (false)?
+    pub fn should_spin(&mut self) -> bool {
+        if self.spins < SPIN_LIMIT {
+            self.spins += 1;
+            std::hint::spin_loop();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The next park duration, escalating 10 µs → 20 µs → ... → cap.
+    /// Callers park on their wakeup channel for this long (or plain
+    /// `sleep` when no channel exists).
+    pub fn next_park(&mut self) -> Duration {
+        let d = self.park;
+        self.park = (self.park * 2).min(self.cap);
+        d
+    }
+
+    /// Park by sleeping (no wakeup channel). Returns the duration slept.
+    pub fn park_sleep(&mut self) -> Duration {
+        let d = self.next_park();
+        std::thread::sleep(d);
+        d
+    }
+}
+
+/// Wait until `ready()` holds or `deadline` passes, spinning briefly and
+/// then sleeping in escalating steps (bounded by `cap`). Returns whether
+/// `ready()` held. The runtime's replacement for `while !ready() {
+/// yield_now() }` test loops.
+pub fn wait_until(deadline: Instant, cap: Duration, mut ready: impl FnMut() -> bool) -> bool {
+    let mut bo = Backoff::new(cap);
+    loop {
+        if ready() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return ready();
+        }
+        if !bo.should_spin() {
+            bo.park_sleep();
+        }
+    }
+}
+
+/// [`wait_until`] with a timeout from now and a 200 µs park cap — the
+/// common shape for test assertions ("the ack arrives within 2 s").
+pub fn wait_for(timeout: Duration, ready: impl FnMut() -> bool) -> bool {
+    wait_until(Instant::now() + timeout, Duration::from_micros(200), ready)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn parks_escalate_to_the_cap_and_reset() {
+        let mut bo = Backoff::new(Duration::from_micros(100));
+        while bo.should_spin() {}
+        assert_eq!(bo.next_park(), Duration::from_micros(10));
+        assert_eq!(bo.next_park(), Duration::from_micros(20));
+        for _ in 0..10 {
+            bo.next_park();
+        }
+        assert_eq!(bo.next_park(), Duration::from_micros(100), "capped");
+        bo.reset();
+        assert_eq!(bo.next_park(), Duration::from_micros(10));
+        assert!(bo.should_spin(), "reset restores the spin window");
+    }
+
+    #[test]
+    fn wait_for_sees_a_flag_flipped_by_another_thread() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = flag.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            f2.store(true, Ordering::Release);
+        });
+        assert!(wait_for(Duration::from_secs(5), || flag.load(Ordering::Acquire)));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_gives_up_at_the_deadline() {
+        let start = Instant::now();
+        assert!(!wait_for(Duration::from_millis(10), || false));
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+}

@@ -26,8 +26,20 @@ pub struct GravelConfig {
     pub queue: QueueConfig,
     /// Per-destination aggregation queue size in bytes (Table 3: 64 kB).
     pub node_queue_bytes: usize,
-    /// Aggregation flush timeout (Table 3: 125 µs).
+    /// Aggregation flush timeout (Table 3: 125 µs). The fallback fixed
+    /// timeout when [`adaptive_flush`](Self::adaptive_flush) is `None`.
     pub flush_timeout: Duration,
+    /// Adaptive per-destination flush tuning: when `Some`, each
+    /// destination's effective timeout floats within `[min, max]` driven
+    /// by an EWMA of how full its queue was at recent flushes (busy
+    /// destinations wait longer and ship fuller packets; sparse ones
+    /// flush near `min` for latency). `None` keeps the paper's fixed
+    /// [`flush_timeout`](Self::flush_timeout) everywhere.
+    pub adaptive_flush: Option<gravel_pgas::AdaptiveFlush>,
+    /// Maximum GPU-ring slots an aggregator lane claims per read-index
+    /// CAS. Batching the claim amortizes the consumer's synchronization
+    /// the same way work-group reservation amortizes the producer's.
+    pub drain_batch_slots: usize,
     /// Compute units per node's GPU.
     pub num_cus: usize,
     /// Work-group size used by [`dispatch`](crate::GravelRuntime::dispatch)
@@ -111,6 +123,8 @@ impl GravelConfig {
             queue: QueueConfig::gravel_default(),
             node_queue_bytes: gravel_pgas::DEFAULT_QUEUE_BYTES,
             flush_timeout: gravel_pgas::DEFAULT_TIMEOUT,
+            adaptive_flush: Some(gravel_pgas::AdaptiveFlush::default()),
+            drain_batch_slots: 8,
             num_cus: 8,
             wg_size: 256,
             wf_width: 64,
@@ -133,9 +147,15 @@ impl GravelConfig {
         GravelConfig {
             nodes,
             heap_len,
-            queue: QueueConfig { slots: 16, lane_width: 64, rows: gravel_gq::MSG_ROWS },
+            queue: QueueConfig {
+                slots: 16,
+                lane_width: 64,
+                rows: gravel_gq::MSG_ROWS,
+            },
             node_queue_bytes: 1024,
             flush_timeout: Duration::from_micros(200),
+            adaptive_flush: Some(gravel_pgas::AdaptiveFlush::default()),
+            drain_batch_slots: 8,
             num_cus: 2,
             wg_size: 64,
             wf_width: 32,
@@ -156,17 +176,47 @@ impl GravelConfig {
     pub fn validate(&self) {
         assert!(self.nodes > 0, "need at least one node");
         assert!(self.heap_len > 0, "empty symmetric heap");
-        assert!(self.wg_size <= self.queue.lane_width, "work-group wider than queue slots");
-        assert_eq!(self.queue.rows, gravel_gq::MSG_ROWS, "runtime messages are 4 words");
+        assert!(
+            self.wg_size <= self.queue.lane_width,
+            "work-group wider than queue slots"
+        );
+        assert_eq!(
+            self.queue.rows,
+            gravel_gq::MSG_ROWS,
+            "runtime messages are 4 words"
+        );
         assert!(self.node_queue_bytes >= 32, "node queue below one message");
-        assert!(self.wf_width > 0 && self.wg_size.is_multiple_of(self.wf_width), "wg/wf mismatch");
-        assert!(self.channel_capacity > 0, "need at least one packet of channel credit");
-        assert!(self.retry.window > 0, "delivery window must admit one packet");
+        assert!(
+            self.wf_width > 0 && self.wg_size.is_multiple_of(self.wf_width),
+            "wg/wf mismatch"
+        );
+        assert!(
+            self.channel_capacity > 0,
+            "need at least one packet of channel credit"
+        );
+        assert!(
+            self.aggregator_threads >= 1,
+            "need at least one aggregator lane"
+        );
+        assert!(
+            self.drain_batch_slots >= 1,
+            "need at least one slot per drain claim"
+        );
+        if let Some(a) = &self.adaptive_flush {
+            a.validate();
+        }
+        assert!(
+            self.retry.window > 0,
+            "delivery window must admit one packet"
+        );
         assert!(self.retry.max_retries > 0, "need at least one retry");
         if let TransportKind::Unreliable(faults) = &self.transport {
             faults.validate();
         }
-        assert!(!self.quiesce_warn_interval.is_zero(), "quiesce warn interval must be nonzero");
+        assert!(
+            !self.quiesce_warn_interval.is_zero(),
+            "quiesce warn interval must be nonzero"
+        );
         if let Some(hb) = &self.ha.heartbeat {
             assert!(!hb.interval.is_zero(), "heartbeat interval must be nonzero");
             assert!(

@@ -32,7 +32,11 @@ pub struct GravelCtx<'a> {
 impl<'a> GravelCtx<'a> {
     /// Bind a work-group context to a node.
     pub fn new(wg: &'a mut WgCtx, node: &'a NodeShared, serialize_atomics: bool) -> Self {
-        GravelCtx { wg, node, serialize_atomics }
+        GravelCtx {
+            wg,
+            node,
+            serialize_atomics,
+        }
     }
 
     /// This node's id.
@@ -66,15 +70,12 @@ impl<'a> GravelCtx<'a> {
 
     fn local_mask(&self, dests: &LaneVec<u32>) -> Mask {
         let me = self.node.id;
-        self.wg.active().and(&Mask::from_fn(self.wg.wg_size(), |l| dests.get(l) == me))
+        self.wg
+            .active()
+            .and(&Mask::from_fn(self.wg.wg_size(), |l| dests.get(l) == me))
     }
 
-    fn offload(
-        &mut self,
-        mask: &Mask,
-        dests: &LaneVec<u32>,
-        make: impl Fn(usize) -> Message,
-    ) {
+    fn offload(&mut self, mask: &Mask, dests: &LaneVec<u32>, make: impl Fn(usize) -> Message) {
         if mask.is_empty() {
             return;
         }
@@ -87,10 +88,33 @@ impl<'a> GravelCtx<'a> {
             }
         }
         let node = self.node;
-        let mask = mask.clone();
-        self.wg.with_mask(mask, |wg| {
-            node.queue.wg_produce(wg, |lane, row| make(lane).encode()[row]);
-        });
+        let lanes = node.queue.lanes();
+        if lanes == 1 {
+            let mask = mask.clone();
+            self.wg.with_mask(mask, |wg| {
+                node.queue
+                    .ring(0)
+                    .wg_produce(wg, |lane, row| make(lane).encode()[row]);
+            });
+        } else {
+            // Destination-sharded rings: split the work-group by shard so
+            // each destination's traffic lands in its owning lane's ring.
+            // One reservation per (work-group, shard) — still work-group
+            // granularity within each shard.
+            for shard in 0..lanes {
+                let m = mask.and(&Mask::from_fn(self.wg.wg_size(), |l| {
+                    node.queue.shard_of(dests.get(l)) == shard
+                }));
+                if m.is_empty() {
+                    continue;
+                }
+                self.wg.with_mask(m, |wg| {
+                    node.queue
+                        .ring(shard)
+                        .wg_produce(wg, |lane, row| make(lane).encode()[row]);
+                });
+            }
+        }
         node.note_offloaded(count);
         node.local_routed.add(local);
         node.remote_routed.add(count - local);
@@ -184,7 +208,14 @@ mod tests {
     }
 
     fn wg() -> WgCtx {
-        WgCtx::new(Grid { wg_count: 1, wg_size: 8, wf_width: 4 }, 0)
+        WgCtx::new(
+            Grid {
+                wg_count: 1,
+                wg_size: 8,
+                wf_width: 4,
+            },
+            0,
+        )
     }
 
     #[test]

@@ -23,12 +23,14 @@
 //! Start at [`GravelRuntime`] and [`GravelCtx`].
 
 pub mod aggregator;
+pub mod backoff;
 pub mod config;
 pub mod ctx;
 pub mod error;
 pub mod ha;
 pub mod netthread;
 pub mod node;
+pub mod rings;
 pub mod runtime;
 pub mod stats;
 
@@ -40,14 +42,18 @@ pub use ha::{
     Supervisor, SupervisorConfig, WorkerKind,
 };
 pub use node::NodeShared;
+pub use rings::ShardedRings;
 pub use runtime::GravelRuntime;
 pub use stats::{HaStats, NetStats, NodeStats, RuntimeStats};
 
 // Re-export the layers callers routinely need alongside the runtime.
 pub use gravel_gq as gq;
 pub use gravel_net as net;
-pub use gravel_net::{ChaosPlan, FaultConfig, FaultStats, ProcessFault, RetryConfig, TransportKind};
+pub use gravel_net::{
+    ChaosPlan, FaultConfig, FaultStats, ProcessFault, RetryConfig, TransportKind,
+};
 pub use gravel_pgas as pgas;
+pub use gravel_pgas::{AdaptiveFlush, FlushPolicy};
 pub use gravel_simt as simt;
 pub use gravel_telemetry as telemetry;
 pub use gravel_telemetry::{Registry, RegistrySnapshot, Sampler, TelemetryConfig, Tracer};

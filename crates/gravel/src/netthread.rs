@@ -60,7 +60,9 @@ pub struct RecvState {
 
 impl RecvState {
     pub fn new() -> Self {
-        RecvState { flows: HashMap::new() }
+        RecvState {
+            flows: HashMap::new(),
+        }
     }
 
     /// Forget mid-packet progress (epoch recovery: the heap was just
@@ -86,47 +88,86 @@ fn lock_recv(state: &Mutex<RecvState>) -> MutexGuard<'_, RecvState> {
     state.lock().unwrap_or_else(|p| p.into_inner())
 }
 
+/// Flushes a batch of applied-message counts on drop — including the
+/// unwind of a chaos panic, so the quiescence counters stay exact at
+/// every message boundary without paying one fenced counter add per
+/// message on the hot path.
+struct ApplyGuard<'a> {
+    node: &'a NodeShared,
+    done: u64,
+}
+
+impl Drop for ApplyGuard<'_> {
+    fn drop(&mut self) {
+        if self.done > 0 {
+            self.node.note_applied(self.done);
+        }
+    }
+}
+
 /// Apply one in-sequence packet to the node's heap, one message at a
-/// time, starting at `*resume_at` (0 for a fresh packet). Each disposed
-/// message is individually counted toward quiescence and the cursor
-/// advances past it, so a panic at any message boundary — the only
-/// place injected chaos fires — loses and double-counts nothing: the
-/// retransmitted packet resumes at the cursor. On completion the whole
-/// packet is appended to the node's replay log (if checkpointing) and
-/// the cursor returns to 0; an interrupted packet is *not* logged — its
+/// time, starting at `*resume_at` (0 for a fresh packet). Messages are
+/// decoded straight out of the packet's byte payload (no intermediate
+/// `Vec` — this loop is the receive hot path, see
+/// `crates/pgas/tests/zero_alloc.rs`). Disposed messages count toward
+/// quiescence in one batch when the packet finishes *or* the thread
+/// unwinds, and the cursor advances per message, so a panic at any
+/// message boundary — the only place injected chaos fires — loses and
+/// double-counts nothing: the retransmitted packet resumes at the
+/// cursor. Batching never fakes quiescence: replies a handler enqueues
+/// inflate `offloaded` before the batch lands in `applied`, so the
+/// counters cannot balance mid-packet. On completion the whole packet
+/// is appended to the node's replay log (if checkpointing) and the
+/// cursor returns to 0; an interrupted packet is *not* logged — its
 /// completed retransmission will be.
 fn apply_packet(node: &NodeShared, pkt: &Packet, resume_at: &mut usize, chaos: Option<&ChaosPlan>) {
     let _span = node.tracer.span("net.apply", "apply", node.id);
     if *resume_at == 0 {
-        node.packet_latency.record(pkt.born.elapsed().as_nanos() as u64);
+        node.packet_latency
+            .record(pkt.born.elapsed().as_nanos() as u64);
     }
-    let words = pkt.words();
-    let total = words.len() / gravel_gq::MSG_ROWS;
+    #[cfg(debug_assertions)]
+    {
+        // The borrowing decode and the allocating decode must agree —
+        // `words()` stays the reference semantics (tests, replay).
+        let words = pkt.words();
+        for i in 0..pkt.msg_count() {
+            debug_assert_eq!(
+                pkt.msg_words(i).as_slice(),
+                &words[i * gravel_gq::MSG_ROWS..(i + 1) * gravel_gq::MSG_ROWS],
+                "zero-copy packet decode diverged from Packet::words()"
+            );
+        }
+    }
+    let total = pkt.msg_count();
+    let mut batch = ApplyGuard { node, done: 0 };
     while *resume_at < total {
         if let Some(c) = chaos {
             if c.net_tick(node.id) {
-                panic!("chaos: net thread {} killed at injected apply step", node.id);
+                panic!(
+                    "chaos: net thread {} killed at injected apply step",
+                    node.id
+                );
             }
         }
-        let at = *resume_at * gravel_gq::MSG_ROWS;
-        let chunk = [words[at], words[at + 1], words[at + 2], words[at + 3]];
         // Same disposition rules as `apply_words`: undecodable words are
         // skipped uncounted, a shutdown sentinel stops the packet early,
         // everything else (applied or dropped) counts for quiescence.
-        if let Some(msg) = Message::decode(chunk) {
+        if let Some(msg) = Message::decode(pkt.msg_words(*resume_at)) {
             // Replying handlers re-enter the node's own Gravel path: the
             // reply is enqueued like any GPU-initiated message (and
-            // counted for quiescence *before* this message counts as
-            // applied, so `quiesce` cannot return with replies in flight).
+            // counted for quiescence before this message's batch lands,
+            // so `quiesce` cannot return with replies in flight).
             match apply(&msg, &node.heap, &node.ams, &mut |m| node.host_send(m)) {
-                Applied::Done | Applied::Dropped => node.note_applied(1),
+                Applied::Done | Applied::Dropped => batch.done += 1,
                 Applied::Shutdown => break,
             }
         }
         *resume_at += 1;
     }
+    drop(batch);
     if let Some(log) = &node.replay {
-        log.append(&words);
+        log.append(&pkt.words());
     }
     *resume_at = 0;
 }
@@ -242,12 +283,12 @@ mod tests {
         words.extend(Message::inc(0, 2, 3).encode());
         transport.send_data(packet(0, &words), Duration::from_secs(1));
         // Wait for the cumulative ack instead of sleeping.
-        let ack = loop {
-            if let Some(a) = transport.try_recv_ack(0, 0) {
-                break a;
-            }
-            std::thread::yield_now();
-        };
+        let mut ack = None;
+        assert!(crate::backoff::wait_for(Duration::from_secs(5), || {
+            ack = transport.try_recv_ack(0, 0);
+            ack.is_some()
+        }));
+        let ack = ack.unwrap();
         assert_eq!((ack.src, ack.dest, ack.cum_seq), (0, 0, 0));
         transport.close();
         handle.join().unwrap();
@@ -264,9 +305,9 @@ mod tests {
         transport.send_data(packet(0, &words), Duration::from_secs(1));
         transport.send_data(packet(0, &words), Duration::from_secs(1));
         transport.send_data(packet(0, &words), Duration::from_secs(1));
-        while node.net_dups_suppressed.get() < 2 {
-            std::thread::yield_now();
-        }
+        assert!(crate::backoff::wait_for(Duration::from_secs(5), || {
+            node.net_dups_suppressed.get() >= 2
+        }));
         transport.close();
         handle.join().unwrap();
         // Applied exactly once despite three copies.
@@ -283,11 +324,18 @@ mod tests {
         let handle = spawn(&node, &transport, &errors);
         // seq 1 (put 111) then seq 0 (put 222): in-order application
         // means slot 0 ends at 111, not 222.
-        transport.send_data(packet(1, &Message::put(0, 0, 111).encode()), Duration::from_secs(1));
-        transport.send_data(packet(0, &Message::put(0, 0, 222).encode()), Duration::from_secs(1));
-        while node.applied.get() < 2 {
-            std::thread::yield_now();
-        }
+        transport.send_data(
+            packet(1, &Message::put(0, 0, 111).encode()),
+            Duration::from_secs(1),
+        );
+        transport.send_data(
+            packet(0, &Message::put(0, 0, 222).encode()),
+            Duration::from_secs(1),
+        );
+        assert!(crate::backoff::wait_for(Duration::from_secs(5), || node
+            .applied
+            .get()
+            >= 2));
         transport.close();
         handle.join().unwrap();
         assert_eq!(node.heap.load(0), 111);
@@ -306,9 +354,10 @@ mod tests {
         b.lane = 1;
         transport.send_data(a, Duration::from_secs(1));
         transport.send_data(b, Duration::from_secs(1));
-        while node.applied.get() < 2 {
-            std::thread::yield_now();
-        }
+        assert!(crate::backoff::wait_for(Duration::from_secs(5), || node
+            .applied
+            .get()
+            >= 2));
         transport.close();
         handle.join().unwrap();
         assert_eq!(node.heap.load(4), 2);

@@ -18,12 +18,13 @@
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
 
-use gravel_gq::{GravelQueue, Message, QueueStats};
+use gravel_gq::{Message, QueueStats};
 use gravel_net::RetryConfig;
-use gravel_pgas::{AggCounters, AmRegistry, SymmetricHeap};
+use gravel_pgas::{AdaptiveFlush, AggCounters, AmRegistry, SymmetricHeap};
 use gravel_telemetry::{Counter, Histogram, Registry, Tracer};
 
 use crate::config::GravelConfig;
+use crate::rings::ShardedRings;
 use crate::stats::{NetStats, NodeStats};
 
 /// Shared state of one node.
@@ -34,8 +35,10 @@ pub struct NodeShared {
     pub nodes: usize,
     /// This node's slice of the symmetric heap.
     pub heap: SymmetricHeap,
-    /// GPU → aggregator producer/consumer queue.
-    pub queue: GravelQueue,
+    /// GPU → aggregator offload rings, destination-sharded with one ring
+    /// per aggregator lane (a single classic ring when
+    /// `aggregator_threads == 1`).
+    pub queue: ShardedRings,
     /// Active-message handlers (identical on every node).
     pub ams: Arc<AmRegistry>,
     /// The cluster's metric registry (shared by every node; this node's
@@ -80,6 +83,17 @@ pub struct NodeShared {
     /// Out-of-order packets discarded because the reorder buffer was
     /// full (recovered later by retransmission).
     pub net_ooo_dropped: Counter,
+    /// Busy-spin iterations in the runtime's idle loops (aggregator
+    /// drain waits, quiesce polls) before parking.
+    pub net_spin_spins: Counter,
+    /// Times an idle runtime thread actually parked (condvar or sleep)
+    /// instead of burning a core.
+    pub net_spin_parks: Counter,
+    /// Adaptive flush tuning (copied from the config so aggregator lanes
+    /// need no back-reference to it); `None` = fixed timeout.
+    pub adaptive_flush: Option<AdaptiveFlush>,
+    /// GPU-ring slots an aggregator lane may claim per read-index CAS.
+    pub drain_batch: usize,
     /// Aggregation-open → apply latency of every packet this node's
     /// network thread applied, in nanoseconds.
     pub packet_latency: Histogram,
@@ -118,7 +132,13 @@ impl NodeShared {
             id,
             nodes: cfg.nodes,
             heap: SymmetricHeap::new(cfg.heap_len),
-            queue: GravelQueue::with_telemetry(cfg.queue, queue_stats, tracer.clone(), id),
+            queue: ShardedRings::with_telemetry(
+                cfg.queue,
+                cfg.aggregator_threads.max(1),
+                queue_stats,
+                tracer.clone(),
+                id,
+            ),
             ams,
             offloaded: registry.vital_counter(&name("offloaded")),
             applied: registry.vital_counter(&name("applied")),
@@ -136,6 +156,10 @@ impl NodeShared {
             net_chan_stalls: registry.counter(&name("net.chan_stalls")),
             net_window_stalls: registry.counter(&name("net.window_stalls")),
             net_ooo_dropped: registry.counter(&name("net.ooo_dropped")),
+            net_spin_spins: registry.counter(&name("net.spin_spins")),
+            net_spin_parks: registry.counter(&name("net.spin_parks")),
+            adaptive_flush: cfg.adaptive_flush,
+            drain_batch: cfg.drain_batch_slots.max(1),
             packet_latency: registry.histogram(&name("net.packet_latency_ns")),
             replay: cfg.ha.checkpoint.then(crate::ha::ReplayLog::new),
             registry,
@@ -158,11 +182,56 @@ impl NodeShared {
         self.applied.add(n);
     }
 
-    /// Inject one message from the host CPU (control paths, tests).
+    /// Inject one message from the host CPU (control paths, tests). The
+    /// message lands in its destination's shard ring.
     pub fn host_send(&self, msg: Message) {
-        let words = msg.encode();
-        self.queue.produce_batch(&words, 1);
+        self.queue.produce_one(msg.dest, &msg.encode());
         self.note_offloaded(1);
+    }
+
+    /// Inject a batch of messages from the host CPU with one slot
+    /// reservation per full slot (bench harnesses, bulk control paths).
+    /// Messages may mix destinations; each is routed to its
+    /// destination's shard ring, preserving per-destination order.
+    pub fn host_send_batch(&self, msgs: &[Message]) {
+        if msgs.is_empty() {
+            return;
+        }
+        let width = self.queue.config().lane_width;
+        let lanes = self.queue.lanes();
+        if lanes == 1 {
+            let ring = self.queue.ring(0);
+            let mut words = Vec::with_capacity(width * gravel_gq::MSG_ROWS);
+            for chunk in msgs.chunks(width) {
+                words.clear();
+                for m in chunk {
+                    words.extend_from_slice(&m.encode());
+                }
+                ring.produce_batch(&words, chunk.len());
+            }
+        } else {
+            // Bucket per shard, flushing a full slot's worth at a time.
+            let mut bufs: Vec<Vec<u64>> = (0..lanes)
+                .map(|_| Vec::with_capacity(width * gravel_gq::MSG_ROWS))
+                .collect();
+            let mut counts = vec![0usize; lanes];
+            for m in msgs {
+                let s = self.queue.shard_of(m.dest);
+                bufs[s].extend_from_slice(&m.encode());
+                counts[s] += 1;
+                if counts[s] == width {
+                    self.queue.ring(s).produce_batch(&bufs[s], counts[s]);
+                    bufs[s].clear();
+                    counts[s] = 0;
+                }
+            }
+            for s in 0..lanes {
+                if counts[s] > 0 {
+                    self.queue.ring(s).produce_batch(&bufs[s], counts[s]);
+                }
+            }
+        }
+        self.note_offloaded(msgs.len() as u64);
     }
 
     /// Snapshot this node's statistics directly from the live handles.
@@ -191,6 +260,8 @@ impl NodeShared {
                 window_stalls,
                 backpressure_stalls: chan_stalls + window_stalls,
                 ooo_dropped: self.net_ooo_dropped.get(),
+                spin_spins: self.net_spin_spins.get(),
+                spin_parks: self.net_spin_parks.get(),
             },
         }
     }

@@ -1,0 +1,199 @@
+//! Destination-sharded GPU offload rings.
+//!
+//! One [`GravelQueue`] ring per aggregator lane, with messages sharded by
+//! destination (`dest % lanes`) at *produce* time. Lane `L` exclusively
+//! drains ring `L`, which buys two things at once:
+//!
+//! * **No consumer contention.** Each ring has exactly one consumer, so
+//!   the read-index CAS in `try_consume_batch` never loses a race and
+//!   lanes never bounce the same cache lines.
+//! * **Per-destination ordering is preserved.** Every destination is
+//!   owned by exactly one lane, so all its traffic flows through one
+//!   `(src, lane)` go-back-N sequence space — the multi-lane pipeline
+//!   keeps the single-lane delivery guarantees (see DESIGN.md §12).
+//!
+//! With `lanes == 1` this degenerates to the classic single-ring layout
+//! byte for byte: one ring with the full slot budget, every destination
+//! in shard 0.
+//!
+//! The total slot budget of the configured geometry is divided across
+//! the rings (each keeps at least two slots), so enabling lanes does not
+//! multiply the memory footprint.
+
+use gravel_gq::{Consumed, GravelQueue, QueueConfig, QueueStats};
+use gravel_telemetry::Tracer;
+
+/// A bank of per-lane offload rings sharing one telemetry surface.
+pub struct ShardedRings {
+    rings: Box<[GravelQueue]>,
+    /// Synchronization instrumentation, shared by every ring (cloned
+    /// counter handles all feed the same totals).
+    pub stats: QueueStats,
+}
+
+impl ShardedRings {
+    /// Build `lanes` rings by dividing `cfg.slots` across them (detached
+    /// stats, no tracing — the standalone mode).
+    pub fn new(cfg: QueueConfig, lanes: usize) -> Self {
+        Self::with_telemetry(cfg, lanes, QueueStats::default(), Tracer::disabled(), 0)
+    }
+
+    /// Build `lanes` rings whose counters and spans feed a cluster's
+    /// telemetry. Every ring shares (clones of) `stats`, so snapshots
+    /// aggregate the whole bank.
+    pub fn with_telemetry(
+        cfg: QueueConfig,
+        lanes: usize,
+        stats: QueueStats,
+        tracer: Tracer,
+        node: u32,
+    ) -> Self {
+        assert!(lanes >= 1, "need at least one lane");
+        let ring_cfg = QueueConfig {
+            slots: (cfg.slots / lanes).max(2),
+            ..cfg
+        };
+        ShardedRings {
+            rings: (0..lanes)
+                .map(|_| GravelQueue::with_telemetry(ring_cfg, stats.clone(), tracer.clone(), node))
+                .collect(),
+            stats,
+        }
+    }
+
+    /// Number of lanes (== rings).
+    pub fn lanes(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The ring drained by lane `lane`.
+    pub fn ring(&self, lane: usize) -> &GravelQueue {
+        &self.rings[lane]
+    }
+
+    /// Which lane owns destination `dest`. Stable for the lifetime of the
+    /// bank — per-destination ordering depends on it.
+    pub fn shard_of(&self, dest: u32) -> usize {
+        dest as usize % self.rings.len()
+    }
+
+    /// Per-ring geometry (identical across lanes).
+    pub fn config(&self) -> QueueConfig {
+        self.rings[0].config()
+    }
+
+    /// Unconsumed slots across all rings.
+    pub fn backlog(&self) -> u64 {
+        self.rings.iter().map(|r| r.backlog()).sum()
+    }
+
+    /// Close every ring (producers must have stopped).
+    pub fn close(&self) {
+        for r in self.rings.iter() {
+            r.close();
+        }
+    }
+
+    /// Are all rings closed?
+    pub fn is_closed(&self) -> bool {
+        self.rings.iter().all(|r| r.is_closed())
+    }
+
+    /// Produce one message into its destination's ring (host paths).
+    pub fn produce_one(&self, dest: u32, words: &[u64]) {
+        self.rings[self.shard_of(dest)].produce_batch(words, 1);
+    }
+
+    /// Drain one ready slot from any ring, sweeping lanes in order
+    /// (single-consumer test paths; live lanes drain their own ring via
+    /// [`ring`](Self::ring)). `Closed` only once every ring is closed and
+    /// drained.
+    pub fn try_consume_into(&self, out: &mut Vec<u64>) -> Consumed {
+        let mut all_closed = true;
+        for r in self.rings.iter() {
+            match r.try_consume_into(out) {
+                Consumed::Batch(n) => return Consumed::Batch(n),
+                Consumed::Empty => all_closed = false,
+                Consumed::Closed => {}
+            }
+        }
+        if all_closed {
+            Consumed::Closed
+        } else {
+            Consumed::Empty
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gravel_gq::Message;
+
+    fn bank(lanes: usize) -> ShardedRings {
+        ShardedRings::new(
+            QueueConfig {
+                slots: 8,
+                lane_width: 4,
+                rows: 4,
+            },
+            lanes,
+        )
+    }
+
+    #[test]
+    fn one_lane_owns_every_destination() {
+        let b = bank(1);
+        for dest in 0..16 {
+            assert_eq!(b.shard_of(dest), 0);
+        }
+        assert_eq!(b.lanes(), 1);
+        assert_eq!(b.config().slots, 8, "single lane keeps the full budget");
+    }
+
+    #[test]
+    fn slot_budget_divides_across_lanes() {
+        assert_eq!(bank(4).config().slots, 2);
+        assert_eq!(bank(2).config().slots, 4);
+        // Floor of two slots even when oversubscribed.
+        assert_eq!(bank(7).config().slots, 2);
+    }
+
+    #[test]
+    fn produce_routes_by_destination_hash() {
+        let b = bank(2);
+        for dest in 0..4u32 {
+            b.produce_one(dest, &Message::inc(dest, 0, 1).encode());
+        }
+        // Even dests on ring 0, odd on ring 1.
+        let mut out = Vec::new();
+        assert_eq!(b.ring(0).try_consume_into(&mut out), Consumed::Batch(1));
+        assert_eq!(out[1], 0);
+        out.clear();
+        assert_eq!(b.ring(1).try_consume_into(&mut out), Consumed::Batch(1));
+        assert_eq!(out[1], 1);
+    }
+
+    #[test]
+    fn sweep_consume_and_backlog_cover_all_rings() {
+        let b = bank(2);
+        b.produce_one(0, &Message::inc(0, 0, 1).encode());
+        b.produce_one(1, &Message::inc(1, 0, 1).encode());
+        assert_eq!(b.backlog(), 2);
+        let mut out = Vec::new();
+        assert_eq!(b.try_consume_into(&mut out), Consumed::Batch(1));
+        assert_eq!(b.try_consume_into(&mut out), Consumed::Batch(1));
+        assert_eq!(b.try_consume_into(&mut out), Consumed::Empty);
+        b.close();
+        assert!(b.is_closed());
+        assert_eq!(b.try_consume_into(&mut out), Consumed::Closed);
+    }
+
+    #[test]
+    fn shared_stats_aggregate_across_rings() {
+        let b = bank(2);
+        b.produce_one(0, &Message::inc(0, 0, 1).encode());
+        b.produce_one(1, &Message::inc(1, 0, 1).encode());
+        assert_eq!(b.stats.snapshot().messages_produced, 2);
+    }
+}

@@ -36,7 +36,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gravel_net::{ChannelTransport, Transport, TransportKind, UnreliableTransport};
-use gravel_pgas::{AmRegistry, SymmetricHeap};
+use gravel_pgas::{AmRegistry, FlushPolicy, SymmetricHeap};
 use gravel_simt::{DispatchResult, Grid, SimtEngine};
 use gravel_telemetry::{Registry, RegistrySnapshot, Tracer};
 
@@ -44,15 +44,15 @@ use crate::aggregator::{self, LaneState};
 use crate::config::GravelConfig;
 use crate::ctx::GravelCtx;
 use crate::error::{ErrorSlot, RuntimeError};
-use crate::ha::{
-    heartbeat, Checkpoint, EpochSnapshot, FailureDetector, Supervisor, WorkerKind,
-};
+use crate::ha::{heartbeat, Checkpoint, EpochSnapshot, FailureDetector, Supervisor, WorkerKind};
 use crate::netthread::{self, RecvState};
 use crate::node::NodeShared;
 use crate::stats::{HaStats, RuntimeStats};
 
 /// Poll interval of the quiescence loop.
-const QUIESCE_POLL: Duration = Duration::from_micros(50);
+/// Park cap for quiescence polling (the wait escalates from a short
+/// spin up to this).
+const QUIESCE_POLL: Duration = Duration::from_micros(200);
 
 /// An in-process Gravel cluster.
 pub struct GravelRuntime {
@@ -90,8 +90,7 @@ impl GravelRuntime {
         register(&mut ams);
         let ams = Arc::new(ams);
 
-        let fabric =
-            ChannelTransport::new(cfg.nodes, cfg.aggregator_threads, cfg.channel_capacity);
+        let fabric = ChannelTransport::new(cfg.nodes, cfg.aggregator_threads, cfg.channel_capacity);
         let transport: Arc<dyn Transport> = match &cfg.transport {
             TransportKind::Reliable => Arc::new(fabric),
             TransportKind::Unreliable(faults) => {
@@ -125,8 +124,9 @@ impl GravelRuntime {
         let chaos = cfg.chaos.clone();
 
         // Network threads (receivers) first, then aggregators (senders).
-        let recv_states: Vec<Arc<Mutex<RecvState>>> =
-            (0..cfg.nodes).map(|_| Arc::new(Mutex::new(RecvState::new()))).collect();
+        let recv_states: Vec<Arc<Mutex<RecvState>>> = (0..cfg.nodes)
+            .map(|_| Arc::new(Mutex::new(RecvState::new())))
+            .collect();
         for (node, state) in nodes.iter().zip(&recv_states) {
             let (node, transport, errors, state, chaos) = (
                 node.clone(),
@@ -153,9 +153,18 @@ impl GravelRuntime {
         for node in &nodes {
             for slot in 0..cfg.aggregator_threads {
                 let state = Arc::new(Mutex::new(LaneState::new()));
-                let (node, transport, errors, chaos) =
-                    (node.clone(), transport.clone(), errors.clone(), chaos.clone());
-                let (qb, to) = (cfg.node_queue_bytes, cfg.flush_timeout);
+                let (node, transport, errors, chaos) = (
+                    node.clone(),
+                    transport.clone(),
+                    errors.clone(),
+                    chaos.clone(),
+                );
+                let qb = cfg.node_queue_bytes;
+                // Adaptive flush when configured; the paper's fixed
+                // timeout otherwise.
+                let to = cfg
+                    .adaptive_flush
+                    .map_or(FlushPolicy::Fixed(cfg.flush_timeout), FlushPolicy::Adaptive);
                 supervisor.spawn(
                     format!("gravel-agg-{}-{}", node.id, slot),
                     WorkerKind::Aggregator,
@@ -326,9 +335,18 @@ impl GravelRuntime {
     /// True once every offloaded message has been applied at its
     /// destination.
     fn is_quiescent(&self) -> bool {
-        let backlog: u64 = self.nodes.iter().map(|n| n.queue.backlog()).sum();
-        let offloaded: u64 = self.nodes.iter().map(|n| n.offloaded.get()).sum();
+        // The reads are not an atomic snapshot, so order matters: read
+        // the *downstream* counter first. Every applied message was
+        // offloaded-counted strictly earlier, and a handler's reply is
+        // offloaded before the triggering message's apply is counted, so
+        // `applied@t0 == offloaded@t1` (t0 < t1) proves the pipeline was
+        // empty at t0 and nothing entered it since. Reading `applied`
+        // last has a race: a reply offloaded between the two reads can
+        // balance a stale `offloaded` against a fresh `applied` and
+        // report quiescence with that reply still in flight.
         let applied: u64 = self.nodes.iter().map(|n| n.applied.get()).sum();
+        let offloaded: u64 = self.nodes.iter().map(|n| n.offloaded.get()).sum();
+        let backlog: u64 = self.nodes.iter().map(|n| n.queue.backlog()).sum();
         // Counter reads are relaxed; this pairs with the release fences
         // in note_offloaded/note_applied so heap effects of counted
         // messages are visible to whoever observes the balance.
@@ -352,9 +370,12 @@ impl GravelRuntime {
             None => {
                 let start = Instant::now();
                 let mut last_warn = start;
+                let mut bo = crate::backoff::Backoff::new(QUIESCE_POLL);
                 while !self.is_quiescent() && !self.errors.is_set() {
                     self.warn_if_stuck(start, &mut last_warn);
-                    std::thread::sleep(QUIESCE_POLL);
+                    if !bo.should_spin() {
+                        bo.park_sleep();
+                    }
                 }
             }
         }
@@ -384,6 +405,7 @@ impl GravelRuntime {
     pub fn quiesce_deadline(&self, deadline: Duration) -> Result<(), RuntimeError> {
         let start = Instant::now();
         let mut last_warn = start;
+        let mut bo = crate::backoff::Backoff::new(QUIESCE_POLL);
         loop {
             if self.errors.is_set() {
                 // The failure is the cluster's, not this wait's; the
@@ -402,7 +424,9 @@ impl GravelRuntime {
                 return Err(e);
             }
             self.warn_if_stuck(start, &mut last_warn);
-            std::thread::sleep(QUIESCE_POLL);
+            if !bo.should_spin() {
+                bo.park_sleep();
+            }
         }
     }
 
@@ -503,10 +527,18 @@ impl GravelRuntime {
             node: id as u32,
             reason: reason.to_string(),
         };
-        let node = self.nodes.get(id).ok_or_else(|| fail("node id out of range"))?;
-        let log = node.replay.as_ref().ok_or_else(|| fail("checkpointing disabled"))?;
+        let node = self
+            .nodes
+            .get(id)
+            .ok_or_else(|| fail("node id out of range"))?;
+        let log = node
+            .replay
+            .as_ref()
+            .ok_or_else(|| fail("checkpointing disabled"))?;
         let guard = self.epoch.lock().unwrap_or_else(|p| p.into_inner());
-        let snap = guard.as_ref().ok_or_else(|| fail("no epoch checkpoint taken"))?;
+        let snap = guard
+            .as_ref()
+            .ok_or_else(|| fail("no epoch checkpoint taken"))?;
         node.heap.fill_from(&snap.heaps[id]);
         let words = log.snapshot();
         // Replayed messages were already counted toward quiescence when
@@ -515,11 +547,18 @@ impl GravelRuntime {
         let _ = gravel_pgas::apply_words(&words, &node.heap, &node.ams, &mut |_| {});
         drop(guard);
         if let Some(state) = self.recv_states.get(id) {
-            state.lock().unwrap_or_else(|p| p.into_inner()).reset_resume_cursors();
+            state
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .reset_resume_cursors();
         }
         self.registry.vital_counter("ha.recoveries").inc();
-        self.registry.vital_counter(&format!("node{id}.ha.recoveries")).inc();
-        self.registry.histogram("ha.recovery_ns").record(started.elapsed().as_nanos() as u64);
+        self.registry
+            .vital_counter(&format!("node{id}.ha.recoveries"))
+            .inc();
+        self.registry
+            .histogram("ha.recovery_ns")
+            .record(started.elapsed().as_nanos() as u64);
         Ok(())
     }
 
@@ -632,7 +671,11 @@ mod tests {
         }
         let stats = rt.shutdown().expect("clean shutdown");
         // 3/4 of scattered messages are remote.
-        assert!((stats.remote_fraction() - 0.75).abs() < 1e-9, "{}", stats.remote_fraction());
+        assert!(
+            (stats.remote_fraction() - 0.75).abs() < 1e-9,
+            "{}",
+            stats.remote_fraction()
+        );
     }
 
     #[test]
@@ -744,7 +787,10 @@ mod tests {
         rt.node(0).note_offloaded(1);
         let start = Instant::now();
         match rt.quiesce_deadline(Duration::from_millis(50)) {
-            Err(RuntimeError::QuiesceTimeout { waited, diagnostics }) => {
+            Err(RuntimeError::QuiesceTimeout {
+                waited,
+                diagnostics,
+            }) => {
                 assert!(waited >= Duration::from_millis(50));
                 assert!(diagnostics.contains("node 0"), "{diagnostics}");
                 assert!(diagnostics.contains("offloaded=1"), "{diagnostics}");

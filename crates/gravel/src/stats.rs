@@ -40,6 +40,10 @@ pub struct NetStats {
     /// Out-of-order packets dropped because the reorder buffer was full;
     /// recovered by retransmission.
     pub ooo_dropped: u64,
+    /// Busy-spin iterations in the runtime's idle loops before parking.
+    pub spin_spins: u64,
+    /// Times an idle runtime thread actually parked instead of spinning.
+    pub spin_parks: u64,
 }
 
 /// Statistics of one node at shutdown (or snapshot time).
@@ -116,6 +120,8 @@ impl NodeStats {
                 window_stalls,
                 backpressure_stalls: chan_stalls + window_stalls,
                 ooo_dropped: c("net.ooo_dropped"),
+                spin_spins: c("net.spin_spins"),
+                spin_parks: c("net.spin_parks"),
             },
         }
     }
@@ -186,7 +192,10 @@ impl RuntimeStats {
     /// Cluster-wide remote access frequency.
     pub fn remote_fraction(&self) -> f64 {
         let (remote, total) = self.nodes.iter().fold((0u64, 0u64), |(r, t), n| {
-            (r + n.remote_routed, t + n.local_direct + n.local_routed + n.remote_routed)
+            (
+                r + n.remote_routed,
+                t + n.local_direct + n.local_routed + n.remote_routed,
+            )
         });
         if total == 0 {
             0.0
@@ -197,8 +206,9 @@ impl RuntimeStats {
 
     /// Cluster-wide average network packet size in bytes (Table 5).
     pub fn avg_packet_bytes(&self) -> f64 {
-        let (bytes, packets) =
-            self.nodes.iter().fold((0u64, 0u64), |(b, p), n| (b + n.agg.bytes, p + n.agg.packets));
+        let (bytes, packets) = self.nodes.iter().fold((0u64, 0u64), |(b, p), n| {
+            (b + n.agg.bytes, p + n.agg.packets)
+        });
         if packets == 0 {
             0.0
         } else {
@@ -251,8 +261,18 @@ mod tests {
     #[test]
     fn cluster_aggregation() {
         let mut s = RuntimeStats::default();
-        s.nodes.push(NodeStats { remote_routed: 7, local_direct: 1, offloaded: 8, ..Default::default() });
-        s.nodes.push(NodeStats { remote_routed: 0, local_routed: 2, applied: 5, ..Default::default() });
+        s.nodes.push(NodeStats {
+            remote_routed: 7,
+            local_direct: 1,
+            offloaded: 8,
+            ..Default::default()
+        });
+        s.nodes.push(NodeStats {
+            remote_routed: 0,
+            local_routed: 2,
+            applied: 5,
+            ..Default::default()
+        });
         assert!((s.remote_fraction() - 0.7).abs() < 1e-12);
         assert_eq!(s.total_offloaded(), 8);
         assert_eq!(s.total_applied(), 5);
@@ -260,7 +280,11 @@ mod tests {
 
     #[test]
     fn poll_fraction() {
-        let n = NodeStats { agg_polls_empty: 65, agg_polls_hit: 35, ..Default::default() };
+        let n = NodeStats {
+            agg_polls_empty: 65,
+            agg_polls_hit: 35,
+            ..Default::default()
+        };
         assert!((n.poll_fraction() - 0.65).abs() < 1e-12);
     }
 
@@ -273,11 +297,19 @@ mod tests {
     fn net_counters_aggregate() {
         let mut s = RuntimeStats::default();
         s.nodes.push(NodeStats {
-            net: NetStats { retransmits: 3, dups_suppressed: 1, ..Default::default() },
+            net: NetStats {
+                retransmits: 3,
+                dups_suppressed: 1,
+                ..Default::default()
+            },
             ..Default::default()
         });
         s.nodes.push(NodeStats {
-            net: NetStats { retransmits: 2, backpressure_stalls: 9, ..Default::default() },
+            net: NetStats {
+                retransmits: 2,
+                backpressure_stalls: 9,
+                ..Default::default()
+            },
             ..Default::default()
         });
         assert_eq!(s.total_retransmits(), 5);

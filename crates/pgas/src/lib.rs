@@ -21,5 +21,8 @@ pub mod partition;
 pub use am::{relax_min_handler, AmHandler, AmRegistry};
 pub use command::{apply, apply_words, Applied};
 pub use heap::SymmetricHeap;
-pub use nodeq::{AggCounters, AggStats, NodeQueues, Packet, DEFAULT_QUEUE_BYTES, DEFAULT_TIMEOUT};
+pub use nodeq::{
+    AdaptiveFlush, AggCounters, AggStats, FlushPolicy, NodeQueues, Packet, DEFAULT_QUEUE_BYTES,
+    DEFAULT_TIMEOUT,
+};
 pub use partition::{Layout, Partition};

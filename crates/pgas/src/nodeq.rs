@@ -20,6 +20,63 @@ pub const DEFAULT_QUEUE_BYTES: usize = 64 * 1024;
 /// Default flush timeout (Table 3).
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_micros(125);
 
+/// Bounds for the adaptive flush timeout (see [`FlushPolicy::Adaptive`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveFlush {
+    /// Effective timeout for a destination whose queue stays nearly
+    /// empty at flush time (sparse traffic: flush fast, keep latency).
+    pub min: Duration,
+    /// Effective timeout for a destination whose queue flushes full
+    /// (dense traffic: wait longer, keep packets big).
+    pub max: Duration,
+}
+
+impl Default for AdaptiveFlush {
+    fn default() -> Self {
+        AdaptiveFlush {
+            min: Duration::from_micros(25),
+            max: Duration::from_micros(500),
+        }
+    }
+}
+
+impl AdaptiveFlush {
+    /// Panic on nonsensical bounds (called by config validation).
+    pub fn validate(&self) {
+        assert!(!self.min.is_zero(), "adaptive flush min must be nonzero");
+        assert!(self.max >= self.min, "adaptive flush needs min <= max");
+    }
+}
+
+/// How a destination queue decides its flush timeout.
+///
+/// The paper uses one fixed timeout (Table 3: 125 µs) for every
+/// destination. `Adaptive` instead tunes each destination within
+/// `[min, max]` from an EWMA of how full its recent flushes were: a
+/// destination that keeps flushing full packets earns a long timeout
+/// (bigger aggregates), one that keeps timing out nearly empty converges
+/// to the minimum (paying little latency for traffic that will not
+/// aggregate anyway).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// One timeout for every destination.
+    Fixed(Duration),
+    /// Per-destination timeout tuned within the given bounds.
+    Adaptive(AdaptiveFlush),
+}
+
+impl FlushPolicy {
+    /// The timeout a fresh (no-history) destination starts with.
+    fn initial_timeout(&self) -> Duration {
+        match *self {
+            FlushPolicy::Fixed(t) => t,
+            // Start mid-range: the EWMA walks it toward the right bound
+            // within a few flushes either way.
+            FlushPolicy::Adaptive(a) => a.min + (a.max - a.min) / 2,
+        }
+    }
+}
+
 /// A filled (or timed-out) per-node queue ready for network transmission.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Packet {
@@ -57,8 +114,36 @@ impl Packet {
     }
 
     /// Decode the payload back into `u64` words.
+    ///
+    /// Allocates a fresh `Vec`; the apply hot path iterates the payload
+    /// in place via [`messages`](Self::messages) instead and keeps this
+    /// for tests, the replay log, and the model code.
     pub fn words(&self) -> Vec<u64> {
-        self.payload.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
+        self.payload
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Number of whole messages in the payload.
+    pub fn msg_count(&self) -> usize {
+        self.payload.len() / gravel_gq::MSG_BYTES
+    }
+
+    /// Decode message `i`'s words straight out of the payload — no
+    /// allocation, no bulk copy.
+    pub fn msg_words(&self, i: usize) -> [u64; gravel_gq::MSG_ROWS] {
+        let at = i * gravel_gq::MSG_BYTES;
+        let b = &self.payload[at..at + gravel_gq::MSG_BYTES];
+        std::array::from_fn(|row| u64::from_le_bytes(b[row * 8..row * 8 + 8].try_into().unwrap()))
+    }
+
+    /// Borrowing iterator over the packet's messages (word arrays),
+    /// decoding each lazily from the payload. The receive path's
+    /// zero-copy apply loop: nothing is allocated per message or per
+    /// packet.
+    pub fn messages(&self) -> impl Iterator<Item = [u64; gravel_gq::MSG_ROWS]> + '_ {
+        (0..self.msg_count()).map(|i| self.msg_words(i))
     }
 
     /// Build a packet from words (test/model helper).
@@ -67,7 +152,14 @@ impl Packet {
         for &w in words {
             buf.put_u64_le(w);
         }
-        Packet { src, dest, lane: 0, seq: 0, born: Instant::now(), payload: buf.freeze() }
+        Packet {
+            src,
+            dest,
+            lane: 0,
+            seq: 0,
+            born: Instant::now(),
+            payload: buf.freeze(),
+        }
     }
 }
 
@@ -75,6 +167,11 @@ struct AggBuffer {
     buf: BytesMut,
     opened_at: Option<Instant>,
     messages: u64,
+    /// EWMA of this destination's fill fraction at flush time (0..=1);
+    /// meaningful only under [`FlushPolicy::Adaptive`].
+    fill_ewma: f64,
+    /// This destination's current effective flush timeout.
+    eff_timeout: Duration,
 }
 
 /// Aggregation statistics for one node (Table 5's inputs).
@@ -177,7 +274,7 @@ pub struct NodeQueues {
     my_node: u32,
     nodes: usize,
     queue_bytes: usize,
-    timeout: Duration,
+    policy: FlushPolicy,
     bufs: Vec<AggBuffer>,
     /// Aggregation counters (detached unless built via
     /// [`with_telemetry`](Self::with_telemetry)).
@@ -190,13 +287,23 @@ impl NodeQueues {
         Self::with_config(my_node, nodes, DEFAULT_QUEUE_BYTES, DEFAULT_TIMEOUT)
     }
 
-    /// Queues with explicit size and timeout (Figure 14 sweeps the size).
+    /// Queues with explicit size and a fixed timeout (Figure 14 sweeps
+    /// the size).
     pub fn with_config(my_node: u32, nodes: usize, queue_bytes: usize, timeout: Duration) -> Self {
-        Self::with_telemetry(my_node, nodes, queue_bytes, timeout, AggCounters::default())
+        Self::with_policy(
+            my_node,
+            nodes,
+            queue_bytes,
+            FlushPolicy::Fixed(timeout),
+            AggCounters::default(),
+        )
     }
 
     /// Queues whose flush statistics add into shared `counters` (all
-    /// aggregator slots of a node pass clones of the same handles).
+    /// aggregator slots of a node pass clones of the same handles),
+    /// with a fixed timeout. Kept source-compatible for existing
+    /// callers; the runtime's adaptive mode goes through
+    /// [`with_policy`](Self::with_policy).
     pub fn with_telemetry(
         my_node: u32,
         nodes: usize,
@@ -204,14 +311,41 @@ impl NodeQueues {
         timeout: Duration,
         counters: AggCounters,
     ) -> Self {
+        Self::with_policy(
+            my_node,
+            nodes,
+            queue_bytes,
+            FlushPolicy::Fixed(timeout),
+            counters,
+        )
+    }
+
+    /// Queues with an explicit [`FlushPolicy`] and shared counters.
+    pub fn with_policy(
+        my_node: u32,
+        nodes: usize,
+        queue_bytes: usize,
+        policy: FlushPolicy,
+        counters: AggCounters,
+    ) -> Self {
         assert!(queue_bytes >= 32, "queue must hold at least one message");
+        if let FlushPolicy::Adaptive(a) = &policy {
+            a.validate();
+        }
+        let initial = policy.initial_timeout();
         NodeQueues {
             my_node,
             nodes,
             queue_bytes,
-            timeout,
+            policy,
             bufs: (0..nodes)
-                .map(|_| AggBuffer { buf: BytesMut::new(), opened_at: None, messages: 0 })
+                .map(|_| AggBuffer {
+                    buf: BytesMut::new(),
+                    opened_at: None,
+                    messages: 0,
+                    fill_ewma: 0.5,
+                    eff_timeout: initial,
+                })
                 .collect(),
             counters,
         }
@@ -222,9 +356,21 @@ impl NodeQueues {
         self.queue_bytes
     }
 
-    /// Configured flush timeout.
+    /// Configured flush timeout: the fixed value, or the adaptive
+    /// starting point.
     pub fn timeout(&self) -> Duration {
-        self.timeout
+        self.policy.initial_timeout()
+    }
+
+    /// The flush policy in force.
+    pub fn policy(&self) -> FlushPolicy {
+        self.policy
+    }
+
+    /// Destination `dest`'s current effective flush timeout (equals the
+    /// fixed timeout under [`FlushPolicy::Fixed`]).
+    pub fn effective_timeout(&self, dest: usize) -> Duration {
+        self.bufs[dest].eff_timeout
     }
 
     /// Point-in-time aggregation statistics.
@@ -233,12 +379,21 @@ impl NodeQueues {
     }
 
     fn flush_dest(&mut self, dest: usize, timed_out: bool) -> Option<Packet> {
+        let queue_bytes = self.queue_bytes;
+        let policy = self.policy;
         let b = &mut self.bufs[dest];
         if b.buf.is_empty() {
             return None;
         }
         let payload = b.buf.split().freeze();
         let born = b.opened_at.take().unwrap_or_else(Instant::now);
+        if let FlushPolicy::Adaptive(a) = policy {
+            // Fill fraction of this flush feeds the destination's EWMA;
+            // the effective timeout interpolates [min, max] by it.
+            let fill = (payload.len() as f64 / queue_bytes as f64).min(1.0);
+            b.fill_ewma = 0.75 * b.fill_ewma + 0.25 * fill;
+            b.eff_timeout = a.min + (a.max - a.min).mul_f64(b.fill_ewma);
+        }
         self.counters.packets.inc();
         self.counters.bytes.add(payload.len() as u64);
         self.counters.messages.add(b.messages);
@@ -248,7 +403,14 @@ impl NodeQueues {
         } else {
             self.counters.full_flushes.inc();
         }
-        Some(Packet { src: self.my_node, dest: dest as u32, lane: 0, seq: 0, born, payload })
+        Some(Packet {
+            src: self.my_node,
+            dest: dest as u32,
+            lane: 0,
+            seq: 0,
+            born,
+            payload,
+        })
     }
 
     /// Append one message (as words) to destination `dest`'s queue.
@@ -267,9 +429,7 @@ impl NodeQueues {
         if b.buf.is_empty() {
             b.opened_at = Some(now);
         }
-        for &w in words {
-            b.buf.put_u64_le(w);
-        }
+        b.buf.put_u64_slice_le(words);
         b.messages += 1;
         // Exactly-full queues flush immediately.
         if self.bufs[dest].buf.len() >= self.queue_bytes {
@@ -279,21 +439,92 @@ impl NodeQueues {
         flushed
     }
 
-    /// Flush every queue whose oldest message is older than the timeout.
+    /// Append a run of same-destination messages — `words` holds whole
+    /// messages of `rows` words each, message-major. Semantically
+    /// identical to pushing each message in order, but the per-message
+    /// dispatch (bounds check, overflow branch, buffer lookup) is paid
+    /// once per buffer-sized chunk instead of once per message. Packets
+    /// flushed along the way are appended to `out` in flush order.
+    pub fn push_run(
+        &mut self,
+        dest: usize,
+        words: &[u64],
+        rows: usize,
+        now: Instant,
+        out: &mut Vec<Packet>,
+    ) {
+        assert!(dest < self.nodes, "destination out of range");
+        let msg_bytes = rows * 8;
+        assert!(
+            msg_bytes > 0 && msg_bytes <= self.queue_bytes,
+            "message larger than queue"
+        );
+        debug_assert_eq!(words.len() % rows, 0, "partial message in run");
+        let queue_bytes = self.queue_bytes;
+        let mut rest = words;
+        while !rest.is_empty() {
+            let room = queue_bytes - self.bufs[dest].buf.len();
+            let fit = (room / msg_bytes).min(rest.len() / rows);
+            if fit == 0 {
+                // Next message would overflow; flush and retry. Cannot
+                // loop forever: a flushed buffer has room ≥ msg_bytes.
+                if let Some(p) = self.flush_dest(dest, false) {
+                    out.push(p);
+                }
+                continue;
+            }
+            let take = fit * rows;
+            let b = &mut self.bufs[dest];
+            if b.buf.is_empty() {
+                b.opened_at = Some(now);
+            }
+            b.buf.put_u64_slice_le(&rest[..take]);
+            b.messages += fit as u64;
+            rest = &rest[take..];
+            // Exactly-full queues flush immediately, same as `push`.
+            if self.bufs[dest].buf.len() >= queue_bytes {
+                if let Some(p) = self.flush_dest(dest, false) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+
+    /// Flush every queue whose oldest message is older than its
+    /// (destination-effective) timeout.
     pub fn poll_timeouts(&mut self, now: Instant) -> Vec<Packet> {
         let expired: Vec<usize> = (0..self.nodes)
             .filter(|&d| {
                 self.bufs[d]
                     .opened_at
-                    .is_some_and(|t| now.duration_since(t) >= self.timeout)
+                    .is_some_and(|t| now.duration_since(t) >= self.bufs[d].eff_timeout)
             })
             .collect();
-        expired.into_iter().filter_map(|d| self.flush_dest(d, true)).collect()
+        expired
+            .into_iter()
+            .filter_map(|d| self.flush_dest(d, true))
+            .collect()
+    }
+
+    /// Time until the earliest pending timeout flush, if any destination
+    /// has messages buffered. Zero means a flush is already due. Lets
+    /// the aggregator bound how long it may park without delaying a
+    /// timeout flush.
+    pub fn next_deadline(&self, now: Instant) -> Option<Duration> {
+        self.bufs
+            .iter()
+            .filter_map(|b| {
+                let opened = b.opened_at?;
+                Some(b.eff_timeout.saturating_sub(now.duration_since(opened)))
+            })
+            .min()
     }
 
     /// Flush everything (end of kernel / shutdown).
     pub fn flush_all(&mut self) -> Vec<Packet> {
-        (0..self.nodes).filter_map(|d| self.flush_dest(d, false)).collect()
+        (0..self.nodes)
+            .filter_map(|d| self.flush_dest(d, false))
+            .collect()
     }
 
     /// Bytes currently buffered for `dest`.
@@ -318,12 +549,48 @@ mod tests {
         for i in 0..3 {
             assert!(nq.push(1, &words(i), now).is_none());
         }
-        let pkt = nq.push(1, &words(3), now).expect("fourth message fills the queue");
+        let pkt = nq
+            .push(1, &words(3), now)
+            .expect("fourth message fills the queue");
         assert_eq!(pkt.dest, 1);
         assert_eq!(pkt.len(), 128);
         assert_eq!(pkt.words().len(), 16);
         assert_eq!(nq.pending_bytes(1), 0);
         assert_eq!(nq.stats().full_flushes, 1);
+    }
+
+    #[test]
+    fn push_run_matches_repeated_push() {
+        // Runs of every length, against a queue whose capacity (104 B)
+        // is deliberately NOT a multiple of the 32-byte message, so the
+        // run straddles flush boundaries mid-chunk.
+        for run_len in [1usize, 2, 3, 5, 8, 13, 40] {
+            let mut by_one = NodeQueues::with_config(0, 2, 104, DEFAULT_TIMEOUT);
+            let mut by_run = NodeQueues::with_config(0, 2, 104, DEFAULT_TIMEOUT);
+            let now = Instant::now();
+            let run: Vec<u64> = (0..run_len as u64).flat_map(|i| words(i * 10)).collect();
+
+            let mut expect = Vec::new();
+            for msg in run.chunks(4) {
+                expect.extend(by_one.push(1, msg, now));
+            }
+            let mut got = Vec::new();
+            by_run.push_run(1, &run, 4, now, &mut got);
+
+            assert_eq!(got.len(), expect.len(), "run_len={run_len}");
+            for (g, e) in got.iter().zip(&expect) {
+                assert_eq!(g.words(), e.words(), "run_len={run_len}");
+                assert_eq!(g.dest, e.dest);
+            }
+            assert_eq!(by_run.pending_bytes(1), by_one.pending_bytes(1));
+            assert_eq!(by_run.stats().packets, by_one.stats().packets);
+            assert_eq!(by_run.stats().messages, by_one.stats().messages);
+            assert_eq!(by_run.stats().full_flushes, by_one.stats().full_flushes);
+            // Residue must drain identically too.
+            let tail_run: Vec<_> = by_run.flush_all().iter().map(|p| p.words()).collect();
+            let tail_one: Vec<_> = by_one.flush_all().iter().map(|p| p.words()).collect();
+            assert_eq!(tail_run, tail_one, "run_len={run_len}");
+        }
     }
 
     #[test]
@@ -378,6 +645,93 @@ mod tests {
         assert_eq!(nq.stats().packets, 2);
         assert!((nq.stats().avg_packet_bytes() - 64.0).abs() < 1e-9);
         assert_eq!(nq.stats().messages, 4);
+    }
+
+    #[test]
+    fn msg_words_matches_allocating_decode() {
+        let mut all = Vec::new();
+        for tag in 0..5 {
+            all.extend_from_slice(&words(tag * 10));
+        }
+        let pkt = Packet::from_words(1, 2, &all);
+        assert_eq!(pkt.msg_count(), 5);
+        let w = pkt.words();
+        for i in 0..pkt.msg_count() {
+            assert_eq!(pkt.msg_words(i).as_slice(), &w[i * 4..i * 4 + 4]);
+        }
+        let via_iter: Vec<u64> = pkt.messages().flatten().collect();
+        assert_eq!(via_iter, w);
+    }
+
+    #[test]
+    fn adaptive_timeout_tracks_fill_fraction() {
+        let a = AdaptiveFlush {
+            min: Duration::from_micros(25),
+            max: Duration::from_micros(500),
+        };
+        // 128-byte queues: 4 messages fill one.
+        let mut nq =
+            NodeQueues::with_policy(0, 2, 128, FlushPolicy::Adaptive(a), AggCounters::default());
+        let mid = nq.effective_timeout(1);
+        assert!(mid > a.min && mid < a.max, "starts mid-range: {mid:?}");
+        // Repeated full flushes walk dest 1's timeout toward max.
+        let now = Instant::now();
+        for round in 0..12 {
+            for i in 0..4 {
+                nq.push(1, &words(round * 4 + i), now);
+            }
+        }
+        let dense = nq.effective_timeout(1);
+        assert!(
+            dense > Duration::from_micros(400),
+            "dense dest grows toward max: {dense:?}"
+        );
+        // Repeated near-empty timeout flushes walk a sparse destination's
+        // timeout toward min (roomier queue so one message is ~3% fill).
+        let mut sq =
+            NodeQueues::with_policy(0, 2, 1024, FlushPolicy::Adaptive(a), AggCounters::default());
+        for _ in 0..12 {
+            sq.push(0, &words(0), now);
+            let later = now + Duration::from_secs(1);
+            assert_eq!(sq.poll_timeouts(later).len(), 1);
+        }
+        let sparse = sq.effective_timeout(0);
+        assert!(
+            sparse < Duration::from_micros(100),
+            "sparse dest shrinks toward min: {sparse:?}"
+        );
+        assert!(
+            nq.effective_timeout(1) > sparse,
+            "destinations tune independently"
+        );
+    }
+
+    #[test]
+    fn fixed_policy_keeps_one_timeout_for_all() {
+        let mut nq = NodeQueues::with_config(0, 2, 64, Duration::from_millis(3));
+        let now = Instant::now();
+        for i in 0..4 {
+            nq.push(1, &words(i), now);
+        }
+        assert_eq!(nq.effective_timeout(0), Duration::from_millis(3));
+        assert_eq!(nq.effective_timeout(1), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn next_deadline_reports_earliest_pending_flush() {
+        let mut nq = NodeQueues::with_config(0, 3, 1024, Duration::from_millis(1));
+        let t0 = Instant::now();
+        assert_eq!(nq.next_deadline(t0), None, "nothing buffered");
+        nq.push(1, &words(0), t0);
+        let d = nq.next_deadline(t0).unwrap();
+        assert!(
+            d <= Duration::from_millis(1) && d > Duration::from_micros(500),
+            "{d:?}"
+        );
+        assert_eq!(
+            nq.next_deadline(t0 + Duration::from_millis(2)),
+            Some(Duration::ZERO)
+        );
     }
 
     #[test]

@@ -61,8 +61,11 @@ pub(crate) struct HistogramCore {
 impl HistogramCore {
     pub(crate) fn new(enabled: bool) -> Self {
         // Box the bucket array directly (it is ~4 kB).
-        let buckets: Box<[AtomicU64; BUCKETS]> =
-            (0..BUCKETS).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().try_into().unwrap();
+        let buckets: Box<[AtomicU64; BUCKETS]> = (0..BUCKETS)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .try_into()
+            .unwrap();
         HistogramCore {
             enabled,
             buckets,
@@ -74,7 +77,11 @@ impl HistogramCore {
 
     pub(crate) fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
-            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
@@ -134,7 +141,14 @@ impl Histogram {
 impl std::fmt::Debug for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = self.snapshot();
-        write!(f, "Histogram(count={}, p50={}, p99={}, max={})", s.count, s.p50(), s.p99(), s.max)
+        write!(
+            f,
+            "Histogram(count={}, p50={}, p99={}, max={})",
+            s.count,
+            s.p50(),
+            s.p99(),
+            s.max
+        )
     }
 }
 
@@ -167,7 +181,9 @@ impl HistogramSnapshot {
     }
 
     /// Quantile estimate: the upper bound of the bucket holding the
-    /// `q`-quantile sample (`0.0 ≤ q ≤ 1.0`). Returns 0 when empty.
+    /// `q`-quantile sample (`0.0 ≤ q ≤ 1.0`), clamped to the recorded
+    /// maximum (which is exact, so no quantile can truly exceed it).
+    /// Returns 0 when empty.
     /// One-sided error bound: `true ≤ estimate ≤ true * (1 + 1/8)`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -178,7 +194,7 @@ impl HistogramSnapshot {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_high(i);
+                return bucket_high(i).min(self.max);
             }
         }
         self.max
@@ -253,7 +269,10 @@ mod tests {
             let high = bucket_high(idx);
             assert!(high >= v, "high {high} < {v}");
             // Relative error bound: high ≤ v * (1 + 1/8).
-            assert!(high as f64 <= v as f64 * (1.0 + 1.0 / SUB_BUCKETS as f64), "{v} → {high}");
+            assert!(
+                high as f64 <= v as f64 * (1.0 + 1.0 / SUB_BUCKETS as f64),
+                "{v} → {high}"
+            );
         }
     }
 

@@ -98,9 +98,29 @@ impl BytesMut {
         self.0.clear();
     }
 
+    /// Reserve space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.0.reserve(additional);
+    }
+
     /// Append a slice.
     pub fn extend_from_slice(&mut self, data: &[u8]) {
         self.0.extend_from_slice(data);
+    }
+
+    /// Append a slice of `u64`s, little-endian. Equivalent to calling
+    /// [`BufMut::put_u64_le`] per word, but encodes through a stack
+    /// block so the vector's capacity check is paid per 512-byte stride
+    /// instead of per word and the inner copy vectorizes.
+    pub fn put_u64_slice_le(&mut self, words: &[u64]) {
+        self.0.reserve(words.len() * 8);
+        let mut block = [0u8; 512];
+        for chunk in words.chunks(64) {
+            for (i, &w) in chunk.iter().enumerate() {
+                block[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+            }
+            self.0.extend_from_slice(&block[..chunk.len() * 8]);
+        }
     }
 }
 
@@ -175,6 +195,21 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert_eq!(&*a, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn put_u64_slice_le_matches_per_word() {
+        // Cross the 64-word block boundary to exercise both chunks.
+        for n in [0usize, 1, 63, 64, 65, 200] {
+            let words: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+            let mut bulk = BytesMut::new();
+            bulk.put_u64_slice_le(&words);
+            let mut one = BytesMut::new();
+            for &w in &words {
+                one.put_u64_le(w);
+            }
+            assert_eq!(&*bulk, &*one, "n={n}");
+        }
     }
 
     #[test]
