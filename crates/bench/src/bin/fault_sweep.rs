@@ -1,18 +1,24 @@
 //! Fault sweep — live-runtime GUPS update rate as a function of injected
-//! packet-drop probability.
+//! packet-drop probability and byte-level corruption.
 //!
 //! The paper evaluates Gravel on a reliable fabric; this sweep measures
 //! what the delivery protocol (go-back-N retransmission with cumulative
 //! acks, added for unreliable transports) costs as the network degrades.
 //! At drop = 0 on the reliable transport the protocol is pure overhead
 //! (sequence stamping + ack traffic); each further column pays for the
-//! retransmissions that repair real loss. Results are exact at every
-//! point — the sweep asserts delivery, not just throughput.
+//! retransmissions that repair real loss. The corruption cells (bit
+//! flips, truncation, wholesale garbage — DESIGN.md §13) exercise the
+//! other failure plane: a mangled frame fails verification at the
+//! receiver and is healed exactly like a lost one, so those columns
+//! price CRC verification plus the same retransmission repair. Results
+//! are exact at every point — the sweep asserts delivery, not just
+//! throughput.
 //!
 //! Emits `fault_sweep.json` via the shared report machinery, plus
 //! `fault_sweep_telemetry.json`: the full metric-registry snapshot of
-//! every sweep cell (per-node counters and packet-latency histograms),
-//! for post-mortem inspection of *where* the degradation shows up.
+//! every sweep cell (per-node counters and packet-latency histograms)
+//! with the integrity ledger (`net.corrupt_dropped`, `net.truncated`,
+//! `net.misrouted`, `net.quarantined`) lifted out per cell.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -22,17 +28,22 @@ use gravel_apps::gups::{self, GupsInput};
 use gravel_bench::report::{f2, Table};
 use gravel_core::{FaultConfig, GravelConfig, GravelRuntime, RegistrySnapshot, TransportKind};
 
-/// One sweep cell's telemetry: the injected drop probability, the
-/// fault-tolerance headline counters, and the cluster's complete metric
-/// snapshot at quiescence. `restarts`/`recoveries` stay zero unless a
-/// chaos plan is wired in — they are lifted out of the snapshot so the
-/// cell schema lines up with `chaos_sweep`'s and downstream plots can
-/// treat both sweeps uniformly.
+/// One sweep cell's telemetry: the injected fault kind/probability, the
+/// fault-tolerance and wire-integrity headline counters, and the
+/// cluster's complete metric snapshot at quiescence. `restarts`/
+/// `recoveries` stay zero unless a chaos plan is wired in — they are
+/// lifted out of the snapshot so the cell schema lines up with
+/// `chaos_sweep`'s and downstream plots can treat both sweeps uniformly.
 #[derive(serde::Serialize)]
 struct TelemetryCell {
-    drop_prob: f64,
+    fault_kind: String,
+    fault_prob: f64,
     restarts: u64,
     recoveries: u64,
+    corrupt_dropped: u64,
+    truncated: u64,
+    misrouted: u64,
+    quarantined: u64,
     telemetry: RegistrySnapshot,
 }
 
@@ -51,6 +62,20 @@ fn save_telemetry(cells: Vec<TelemetryCell>) {
     }
 }
 
+/// The sweep's fault axis: probability-`p` loss, or one corruption
+/// mechanism at probability `p` with everything else quiet.
+fn cell_config(kind: &str, p: f64, seed: u64) -> Option<FaultConfig> {
+    let quiet = FaultConfig::quiet(seed);
+    match (kind, p) {
+        (_, 0.0) => None,
+        ("drop", p) => Some(FaultConfig { drop: p, ..quiet }),
+        ("flip", p) => Some(FaultConfig { corrupt: p, ..quiet }),
+        ("truncate", p) => Some(FaultConfig { truncate: p, ..quiet }),
+        ("garbage", p) => Some(FaultConfig { garbage: p, ..quiet }),
+        other => unreachable!("unknown sweep cell {other:?}"),
+    }
+}
+
 fn main() {
     let scale = std::env::args().any(|a| a == "--full");
     let input = if scale {
@@ -59,13 +84,22 @@ fn main() {
         GupsInput { updates: 50_000, table_len: 4096, seed: 7 }
     };
     let nodes = 4;
-    let drops = [0.0, 0.001, 0.01, 0.05, 0.10];
+    let sweep: Vec<(&str, f64)> = [0.0, 0.001, 0.01, 0.05, 0.10]
+        .iter()
+        .map(|&p| ("drop", p))
+        .chain(
+            ["flip", "truncate", "garbage"]
+                .iter()
+                .flat_map(|&k| [0.001, 0.01].map(|p| (k, p))),
+        )
+        .collect();
 
     let mut t = Table::new(
         "fault_sweep",
-        "GUPS under injected packet loss (4 nodes, live runtime)",
+        "GUPS under injected loss and corruption (4 nodes, live runtime)",
         &[
-            "drop prob",
+            "fault",
+            "prob",
             "updates",
             "wall ms",
             "Mupdates/s",
@@ -73,15 +107,17 @@ fn main() {
             "dups suppressed",
             "stalls",
             "packets lost",
+            "corrupt refused",
+            "quarantined",
         ],
     );
 
     let mut cells: Vec<TelemetryCell> = Vec::new();
-    for &drop in &drops {
+    for (kind, prob) in sweep {
         let mut cfg = GravelConfig::small(nodes, input.table_len);
         cfg.node_queue_bytes = 4096;
-        if drop > 0.0 {
-            cfg.transport = TransportKind::Unreliable(FaultConfig::drop_only(0xFA57, drop));
+        if let Some(faults) = cell_config(kind, prob, 0xFA57) {
+            cfg.transport = TransportKind::Unreliable(faults);
         }
         let rt = GravelRuntime::new(cfg);
         let start = Instant::now();
@@ -89,17 +125,31 @@ fn main() {
         rt.quiesce();
         let wall = start.elapsed();
         let telemetry = rt.telemetry_snapshot();
+        let restarts = telemetry.counter("ha.restarts");
+        let recoveries = telemetry.counter("ha.recoveries");
+        let stats = rt.shutdown().expect("GUPS must survive the fault sweep");
+        assert_eq!(
+            stats.total_offloaded(),
+            stats.total_applied(),
+            "lost updates at {kind}={prob}"
+        );
+        let truncated: u64 = stats.nodes.iter().map(|n| n.net.truncated).sum();
+        let misrouted: u64 = stats.nodes.iter().map(|n| n.net.misrouted).sum();
         cells.push(TelemetryCell {
-            drop_prob: drop,
-            restarts: telemetry.counter("ha.restarts"),
-            recoveries: telemetry.counter("ha.recoveries"),
+            fault_kind: kind.to_string(),
+            fault_prob: prob,
+            restarts,
+            recoveries,
+            corrupt_dropped: stats.total_corrupt_dropped(),
+            truncated,
+            misrouted,
+            quarantined: stats.total_quarantined(),
             telemetry,
         });
-        let stats = rt.shutdown().expect("GUPS must survive the fault sweep");
-        assert_eq!(stats.total_offloaded(), stats.total_applied(), "lost updates at drop={drop}");
         let rate = issued as f64 / wall.as_secs_f64() / 1e6;
         t.row(vec![
-            format!("{drop:.3}"),
+            kind.to_string(),
+            format!("{prob:.3}"),
             issued.to_string(),
             f2(wall.as_secs_f64() * 1e3),
             f2(rate),
@@ -107,6 +157,8 @@ fn main() {
             stats.total_dups_suppressed().to_string(),
             stats.total_backpressure_stalls().to_string(),
             stats.faults.total_losses().to_string(),
+            stats.total_integrity_drops().to_string(),
+            stats.total_quarantined().to_string(),
         ]);
     }
     t.emit();

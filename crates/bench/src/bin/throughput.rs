@@ -49,6 +49,10 @@ fn main() {
         lane_counts.iter().max().unwrap(),
         report.gups_speedup
     );
+    println!(
+        "Wire-integrity tax (lanes=1, crc32c vs off): {:.2}%",
+        report.integrity_tax * 100.0
+    );
 
     throughput::save(&report, "BENCH_throughput.json").expect("write BENCH_throughput.json");
 }

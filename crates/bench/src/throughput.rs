@@ -24,15 +24,17 @@ use std::time::Instant;
 
 use gravel_apps::graph::gen;
 use gravel_apps::{gups, pagerank};
-use gravel_core::{GravelConfig, GravelRuntime};
+use gravel_core::{GravelConfig, GravelRuntime, WireIntegrity};
 use gravel_gq::Message;
 use gravel_telemetry::HistogramSnapshot;
 
 /// One measured configuration cell.
 #[derive(Clone, Debug, serde::Serialize)]
 pub struct ThroughputCell {
-    /// Workload name (`"gups"` or `"pagerank"`).
+    /// Workload name (`"gups"`, `"gups_nocrc"`, or `"pagerank"`).
     pub workload: String,
+    /// Wire-integrity mode the cell ran under (`"crc32c"` or `"off"`).
+    pub wire_integrity: String,
     /// Aggregator lanes per node.
     pub lanes: usize,
     /// Cluster size.
@@ -70,6 +72,12 @@ pub struct ThroughputReport {
     /// GUPS messages/sec at the highest lane count divided by the
     /// lanes=1 rate — the headline scaling number.
     pub gups_speedup: f64,
+    /// Fractional throughput cost of wire integrity at lanes=1: the
+    /// median over trial pairs of `1 - gups_rate / gups_nocrc_rate`,
+    /// where each pair ran back to back (paired so machine drift
+    /// cancels). The acceptance bar is < 0.03 at full scale; negative
+    /// values mean the CRC was free in this run (within noise).
+    pub integrity_tax: f64,
 }
 
 impl ThroughputReport {
@@ -140,6 +148,7 @@ fn merged_latency(rt: &GravelRuntime) -> HistogramSnapshot {
 
 fn cell_from_run(
     workload: &str,
+    integrity: WireIntegrity,
     lanes: usize,
     nodes: usize,
     messages: u64,
@@ -150,6 +159,10 @@ fn cell_from_run(
     let stats = rt.stats();
     ThroughputCell {
         workload: workload.to_string(),
+        wire_integrity: match integrity {
+            WireIntegrity::Crc32c => "crc32c".to_string(),
+            WireIntegrity::Off => "off".to_string(),
+        },
         lanes,
         nodes,
         messages,
@@ -163,8 +176,15 @@ fn cell_from_run(
 }
 
 /// One GUPS trial: inject every node's precomputed update stream from a
-/// host producer thread, then time to quiescence.
-fn gups_trial(scale: &Scale, nodes: usize, lanes: usize) -> ThroughputCell {
+/// host producer thread, then time to quiescence. `integrity` selects
+/// the wire-integrity mode — the `Off` ablation prices the CRC32C
+/// seal/verify work against an otherwise identical run.
+fn gups_trial(
+    scale: &Scale,
+    nodes: usize,
+    lanes: usize,
+    integrity: WireIntegrity,
+) -> ThroughputCell {
     let input = gups::GupsInput {
         updates: scale.gups_updates,
         table_len: scale.gups_table,
@@ -183,7 +203,13 @@ fn gups_trial(scale: &Scale, nodes: usize, lanes: usize) -> ThroughputCell {
     let heap_len = (0..nodes).map(|n| part.local_len(n)).max().unwrap();
     let messages: u64 = streams.iter().map(|s| s.len() as u64).sum();
 
-    let rt = GravelRuntime::new(bench_config(nodes, heap_len, lanes));
+    let mut cfg = bench_config(nodes, heap_len, lanes);
+    cfg.wire_integrity = integrity;
+    let workload = match integrity {
+        WireIntegrity::Crc32c => "gups",
+        WireIntegrity::Off => "gups_nocrc",
+    };
+    let rt = GravelRuntime::new(cfg);
     let start = Instant::now();
     std::thread::scope(|s| {
         for (node, stream) in streams.iter().enumerate() {
@@ -193,7 +219,7 @@ fn gups_trial(scale: &Scale, nodes: usize, lanes: usize) -> ThroughputCell {
     });
     rt.quiesce();
     let elapsed = start.elapsed().as_secs_f64();
-    let cell = cell_from_run("gups", lanes, nodes, messages, elapsed, &rt);
+    let cell = cell_from_run(workload, integrity, lanes, nodes, messages, elapsed, &rt);
     rt.shutdown().expect("throughput GUPS run must be clean");
     cell
 }
@@ -209,10 +235,26 @@ fn pagerank_trial(scale: &Scale, nodes: usize, lanes: usize) -> ThroughputCell {
     rt.quiesce();
     let elapsed = start.elapsed().as_secs_f64();
     let messages = rt.stats().total_offloaded();
-    let cell = cell_from_run("pagerank", lanes, nodes, messages, elapsed, &rt);
+    let cell = cell_from_run(
+        "pagerank",
+        WireIntegrity::Crc32c,
+        lanes,
+        nodes,
+        messages,
+        elapsed,
+        &rt,
+    );
     rt.shutdown()
         .expect("throughput PageRank run must be clean");
     cell
+}
+
+/// Keep whichever of `best`/`c` has the higher messages/sec.
+fn faster_of(best: Option<ThroughputCell>, c: ThroughputCell) -> Option<ThroughputCell> {
+    match best {
+        Some(b) if b.msgs_per_sec >= c.msgs_per_sec => Some(b),
+        _ => Some(c),
+    }
 }
 
 /// Best-of-`trials` (highest messages/sec) for one cell.
@@ -235,10 +277,48 @@ pub fn measure(
     quick: bool,
 ) -> ThroughputReport {
     let mut cells = Vec::new();
-    for &lanes in lane_counts {
-        eprintln!("[throughput] gups nodes={nodes} lanes={lanes}");
-        cells.push(best_of(scale.trials, || gups_trial(scale, nodes, lanes)));
+    // Integrity ablation: the same GUPS run at lanes=1 with framing CRCs
+    // disabled, pricing the per-frame seal/verify work. The two sides'
+    // trials are interleaved so warmup and clock drift cancel instead of
+    // systematically favoring whichever cell runs later.
+    eprintln!("[throughput] gups nodes={nodes} lanes=1 (+ interleaved wire_integrity=off ablation)");
+    let mut on1: Option<ThroughputCell> = None;
+    let mut off1: Option<ThroughputCell> = None;
+    let mut pair_ratios = Vec::new();
+    // At least nine pairs (when not a smoke run): the tax is a small
+    // difference between noisy rates, so it needs more samples than the
+    // headline cells. Order alternates within pairs so short-scale
+    // drift biases half the ratios each way and the median discards it;
+    // one discarded warmup trial keeps process start-up cost (page
+    // faults, lazy init) out of the first pair.
+    let pairs = if scale.trials > 1 { scale.trials.max(9) } else { 1 };
+    if scale.trials > 1 {
+        let _ = gups_trial(scale, nodes, 1, WireIntegrity::Crc32c);
     }
+    for p in 0..pairs {
+        let (first, second) = if p % 2 == 0 {
+            (WireIntegrity::Crc32c, WireIntegrity::Off)
+        } else {
+            (WireIntegrity::Off, WireIntegrity::Crc32c)
+        };
+        let a = gups_trial(scale, nodes, 1, first);
+        let b = gups_trial(scale, nodes, 1, second);
+        let (on, off) = if p % 2 == 0 { (a, b) } else { (b, a) };
+        pair_ratios.push(on.msgs_per_sec / off.msgs_per_sec);
+        on1 = faster_of(on1, on);
+        off1 = faster_of(off1, off);
+    }
+    cells.push(on1.expect("trials >= 1"));
+    for &lanes in lane_counts {
+        if lanes == 1 {
+            continue; // measured in the ablation pair above
+        }
+        eprintln!("[throughput] gups nodes={nodes} lanes={lanes}");
+        cells.push(best_of(scale.trials, || {
+            gups_trial(scale, nodes, lanes, WireIntegrity::Crc32c)
+        }));
+    }
+    cells.push(off1.expect("trials >= 1"));
     for &lanes in lane_counts {
         eprintln!("[throughput] pagerank nodes={nodes} lanes={lanes}");
         cells.push(best_of(scale.trials, || {
@@ -254,13 +334,23 @@ pub fn measure(
         (Some(b), Some(t)) if b.msgs_per_sec > 0.0 => t.msgs_per_sec / b.msgs_per_sec,
         _ => f64::NAN,
     };
+    // Median of the per-pair on/off rate ratios: each ratio compares
+    // two back-to-back runs, so slow machine drift (noisy neighbors,
+    // frequency changes) cancels where a best-vs-best comparison would
+    // absorb it.
+    pair_ratios.sort_by(f64::total_cmp);
+    let integrity_tax = match pair_ratios.get(pair_ratios.len() / 2) {
+        Some(r) => 1.0 - r,
+        None => f64::NAN,
+    };
     ThroughputReport {
-        schema: "gravel.throughput.v1".to_string(),
+        schema: "gravel.throughput.v2".to_string(),
         quick,
         gups_updates: scale.gups_updates,
         pagerank_vertices: scale.pr_vertices,
         cells,
         gups_speedup,
+        integrity_tax,
     }
 }
 

@@ -24,12 +24,13 @@
 //! netthread).
 
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use gravel_gq::Consumed;
 use gravel_net::{ChaosPlan, RetryConfig, SendStatus, Transport};
-use gravel_pgas::{FlushPolicy, NodeQueues, Packet};
+use gravel_pgas::{DataFrame, FlushPolicy, NodeQueues, Packet};
 use gravel_telemetry::Gauge;
 
 use crate::backoff::Backoff;
@@ -57,10 +58,12 @@ struct Flow {
     next_seq: u64,
     /// Lowest unacknowledged sequence number.
     base: u64,
-    /// Stamped but unsent packets (parked by backpressure).
-    staged: VecDeque<Packet>,
-    /// Sent, unacknowledged packets: `base .. base + unacked.len()`.
-    unacked: VecDeque<Packet>,
+    /// Stamped, sealed, but unsent frames (parked by backpressure).
+    staged: VecDeque<DataFrame>,
+    /// Sent, unacknowledged frames: `base .. base + unacked.len()`.
+    /// Sealed exactly once at submit; retransmissions are refcounted
+    /// clones of the same frame bytes (no re-CRC).
+    unacked: VecDeque<DataFrame>,
     /// Last time this flow made ack progress or (re)transmitted.
     last_activity: Instant,
     /// Current retransmission backoff.
@@ -170,14 +173,19 @@ impl<'a> Sender<'a> {
             .set(self.flows.iter().map(Flow::in_flight).sum::<usize>() as i64);
     }
 
-    /// Stamp a freshly flushed packet into its flow and try to put it
-    /// on the wire.
+    /// Stamp a freshly flushed packet into its flow, seal it into a
+    /// checksummed wire frame (once — retransmits reuse the bytes), and
+    /// try to put it on the wire.
     fn submit(&mut self, mut pkt: Packet) {
         let dest = pkt.dest as usize;
         pkt.lane = self.lane;
         pkt.seq = self.flows[dest].next_seq;
         self.flows[dest].next_seq += 1;
-        self.flows[dest].staged.push_back(pkt);
+        let frame = pkt.seal(
+            self.node.wire_epoch.load(Ordering::Relaxed),
+            self.node.wire_integrity,
+        );
+        self.flows[dest].staged.push_back(frame);
         self.pump(dest);
     }
 
@@ -212,11 +220,26 @@ impl<'a> Sender<'a> {
         self.note_in_flight();
     }
 
-    /// Drain this lane's ack mailbox and release acknowledged packets.
+    /// Drain this lane's ack mailbox, verify each ack frame, and
+    /// release acknowledged packets. Unverifiable acks are dropped
+    /// (counted in `net.ack_corrupt_dropped`) — a lost ack just means
+    /// the next cumulative ack or a retransmission round covers it.
     fn drain_acks(&mut self) {
-        while let Some(ack) = self.transport.try_recv_ack(self.node.id, self.lane) {
+        while let Some(frame) = self.transport.try_recv_ack(self.node.id, self.lane) {
+            let ack = match frame.open(self.node.wire_integrity) {
+                Ok(ack) => ack,
+                Err(_) => {
+                    self.node.net_ack_corrupt_dropped.add(1);
+                    continue;
+                }
+            };
+            // With integrity off a mangled src can still verify; never
+            // index out of the flow table on a corrupt peer id.
+            let Some(flow) = self.flows.get_mut(ack.src as usize) else {
+                self.node.net_ack_corrupt_dropped.add(1);
+                continue;
+            };
             self.node.net_acks_received.add(1);
-            let flow = &mut self.flows[ack.src as usize];
             let mut progressed = false;
             while flow.base <= ack.cum_seq && !flow.unacked.is_empty() {
                 flow.unacked.pop_front();
@@ -254,7 +277,7 @@ impl<'a> Sender<'a> {
             flow.retries += 1;
             flow.backoff = (flow.backoff * 2).min(self.retry.backoff_max);
             flow.last_activity = now;
-            let resend: Vec<Packet> = flow.unacked.iter().cloned().collect();
+            let resend: Vec<DataFrame> = flow.unacked.iter().cloned().collect();
             self.node.net_retransmits.add(resend.len() as u64);
             let _span = self
                 .node
@@ -495,7 +518,7 @@ mod tests {
     use crate::config::GravelConfig;
     use gravel_gq::Message;
     use gravel_net::{ChannelTransport, RecvStatus};
-    use gravel_pgas::AmRegistry;
+    use gravel_pgas::{AmRegistry, WireIntegrity};
 
     fn spawn_node(nodes: usize) -> (Arc<NodeShared>, Arc<ChannelTransport>, Arc<ErrorSlot>) {
         let mut cfg = GravelConfig::small(nodes, 16);
@@ -513,9 +536,21 @@ mod tests {
 
     fn recv(t: &ChannelTransport, node: u32) -> Packet {
         match t.recv_data(node, Duration::from_secs(5)) {
-            RecvStatus::Msg(p) => p,
+            RecvStatus::Msg(f) => f.open(WireIntegrity::Crc32c).expect("frame verifies"),
             other => panic!("expected packet, got {other:?}"),
         }
+    }
+
+    fn send_ack(t: &ChannelTransport, src: u32, dest: u32, lane: u32, cum_seq: u64) {
+        t.send_ack(
+            gravel_net::Ack {
+                src,
+                dest,
+                lane,
+                cum_seq,
+            }
+            .seal(0, WireIntegrity::Crc32c),
+        );
     }
 
     /// Ack every packet queued for `node`, returning them.
@@ -523,13 +558,9 @@ mod tests {
         let mut pkts = Vec::new();
         loop {
             match t.recv_data(node, Duration::from_millis(50)) {
-                RecvStatus::Msg(p) => {
-                    t.send_ack(gravel_net::Ack {
-                        src: p.dest,
-                        dest: p.src,
-                        lane: p.lane,
-                        cum_seq: p.seq,
-                    });
+                RecvStatus::Msg(f) => {
+                    let p = f.open(WireIntegrity::Crc32c).expect("frame verifies");
+                    send_ack(t, p.dest, p.src, p.lane, p.seq);
                     pkts.push(p);
                 }
                 _ => return pkts,
@@ -561,20 +592,10 @@ mod tests {
         let p1 = recv(&transport, 1);
         assert_eq!(p1.words().len(), 5 * 4);
         assert_eq!((p1.lane, p1.seq), (0, 0));
-        transport.send_ack(gravel_net::Ack {
-            src: 1,
-            dest: 0,
-            lane: 0,
-            cum_seq: 0,
-        });
+        send_ack(&transport, 1, 0, 0, 0);
         let p2 = recv(&transport, 2);
         assert_eq!(p2.words().len(), 4);
-        transport.send_ack(gravel_net::Ack {
-            src: 2,
-            dest: 0,
-            lane: 0,
-            cum_seq: 0,
-        });
+        send_ack(&transport, 2, 0, 0, 0);
         handle.join().unwrap();
         assert!(!errors.is_set());
         let stats = node.stats().agg;
@@ -609,12 +630,7 @@ mod tests {
         let b = recv(&transport, 1);
         assert_eq!((a.len(), a.seq), (64, 0));
         assert_eq!((b.len(), b.seq), (64, 1));
-        transport.send_ack(gravel_net::Ack {
-            src: 1,
-            dest: 0,
-            lane: 0,
-            cum_seq: 1,
-        });
+        send_ack(&transport, 1, 0, 0, 1);
         node.queue.close();
         agg.join().unwrap();
     }
@@ -639,12 +655,7 @@ mod tests {
         // One lone message must arrive via the timeout path.
         let p = recv(&transport, 1);
         assert_eq!(p.words().len(), 4);
-        transport.send_ack(gravel_net::Ack {
-            src: 1,
-            dest: 0,
-            lane: 0,
-            cum_seq: p.seq,
-        });
+        send_ack(&transport, 1, 0, 0, p.seq);
         node.queue.close();
         agg.join().unwrap();
         assert_eq!(node.stats().agg.timeout_flushes, 1);
@@ -675,12 +686,7 @@ mod tests {
         assert_eq!(first.words(), second.words());
         assert!(node.net_retransmits.get() >= 1);
         // Ack it so the drain phase can finish.
-        transport.send_ack(gravel_net::Ack {
-            src: 1,
-            dest: 0,
-            lane: 0,
-            cum_seq: second.seq,
-        });
+        send_ack(&transport, 1, 0, 0, second.seq);
         agg.join().unwrap();
         assert!(!errors.is_set());
     }
@@ -745,11 +751,16 @@ mod tests {
         agg.join().unwrap();
         let pkts = acker.join().unwrap();
         assert!(!errors.is_set());
-        let msgs: usize = pkts.iter().map(|p| p.words().len() / 4).sum();
+        // A slow acker can trigger legitimate retransmissions; dedupe by
+        // sequence number before checking delivery.
+        let uniq: std::collections::BTreeMap<u64, usize> = pkts
+            .iter()
+            .map(|p| (p.seq, p.words().len() / 4))
+            .collect();
+        let msgs: usize = uniq.values().sum();
         assert_eq!(msgs, 500);
         // Sequence numbers are consecutive from 0.
-        let mut seqs: Vec<u64> = pkts.iter().map(|p| p.seq).collect();
-        seqs.sort_unstable();
-        assert_eq!(seqs, (0..pkts.len() as u64).collect::<Vec<_>>());
+        let seqs: Vec<u64> = uniq.keys().copied().collect();
+        assert_eq!(seqs, (0..uniq.len() as u64).collect::<Vec<_>>());
     }
 }

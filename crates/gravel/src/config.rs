@@ -11,6 +11,7 @@ use std::time::Duration;
 
 use gravel_gq::QueueConfig;
 use gravel_net::{ChaosPlan, RetryConfig, TransportKind};
+use gravel_pgas::WireIntegrity;
 use gravel_telemetry::TelemetryConfig;
 
 use crate::ha::HaConfig;
@@ -111,6 +112,17 @@ pub struct GravelConfig {
     /// logs a stuck-pipeline warning (with per-node diagnostics) and
     /// bumps the `ha.quiesce_warnings` counter while it waits.
     pub quiesce_warn_interval: Duration,
+    /// Wire integrity mode: [`WireIntegrity::Crc32c`] (the default)
+    /// seals every data packet and ack in a checksummed frame verified
+    /// before any decode; [`WireIntegrity::Off`] is the throughput
+    /// ablation that skips the CRC (structural header checks still run).
+    /// See DESIGN.md §13.
+    pub wire_integrity: WireIntegrity,
+    /// Capacity of each node's poison-message quarantine (dead-letter
+    /// buffer for CRC-clean messages failing semantic validation). Past
+    /// it the oldest entry is evicted, so a babbling peer cannot OOM the
+    /// receiver.
+    pub quarantine_capacity: usize,
 }
 
 impl GravelConfig {
@@ -138,6 +150,8 @@ impl GravelConfig {
             ha: HaConfig::default(),
             chaos: None,
             quiesce_warn_interval: Duration::from_secs(5),
+            wire_integrity: WireIntegrity::Crc32c,
+            quarantine_capacity: 1024,
         }
     }
 
@@ -169,6 +183,8 @@ impl GravelConfig {
             ha: HaConfig::default(),
             chaos: None,
             quiesce_warn_interval: Duration::from_secs(5),
+            wire_integrity: WireIntegrity::Crc32c,
+            quarantine_capacity: 64,
         }
     }
 
@@ -216,6 +232,10 @@ impl GravelConfig {
         assert!(
             !self.quiesce_warn_interval.is_zero(),
             "quiesce warn interval must be nonzero"
+        );
+        assert!(
+            self.quarantine_capacity >= 1,
+            "quarantine must hold at least one message"
         );
         if let Some(hb) = &self.ha.heartbeat {
             assert!(!hb.interval.is_zero(), "heartbeat interval must be nonzero");

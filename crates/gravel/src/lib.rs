@@ -53,7 +53,10 @@ pub use gravel_net::{
     ChaosPlan, FaultConfig, FaultStats, ProcessFault, RetryConfig, TransportKind,
 };
 pub use gravel_pgas as pgas;
-pub use gravel_pgas::{AdaptiveFlush, FlushPolicy};
+pub use gravel_pgas::{
+    AdaptiveFlush, FlushPolicy, FrameError, Quarantine, QuarantineReason, QuarantinedMessage,
+    WireIntegrity,
+};
 pub use gravel_simt as simt;
 pub use gravel_telemetry as telemetry;
 pub use gravel_telemetry::{Registry, RegistrySnapshot, Sampler, TelemetryConfig, Tracer};

@@ -15,14 +15,28 @@
 //! fills (go-back-N retransmission fills it if the missing packet was
 //! dropped). Every accepted or duplicate packet triggers a cumulative
 //! ack back to the sending lane.
+//!
+//! Before any of that, every inbound frame is *verified* (DESIGN.md
+//! §13): magic, version, kind, length, and CRC32C are checked before a
+//! single payload byte is decoded. A frame that fails verification is
+//! counted (`net.corrupt_dropped` / `net.truncated`) and dropped — to
+//! the delivery protocol a corrupted frame is indistinguishable from a
+//! lost one, so go-back-N retransmission heals it. A frame that
+//! verifies but names the wrong destination is counted
+//! (`net.misrouted`) and dropped the same way. Messages that pass the
+//! CRC but fail *semantic* validation (unknown handler, out-of-range
+//! address, undecodable command word) divert to the node's bounded
+//! quarantine instead of panicking; the rest of their packet still
+//! applies.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use gravel_gq::Message;
 use gravel_net::{Ack, ChaosPlan, RecvStatus, Transport};
-use gravel_pgas::{apply, Applied, Packet};
+use gravel_pgas::{apply, Applied, Packet, QuarantineReason, QuarantinedMessage};
 
 use crate::error::ErrorSlot;
 use crate::node::NodeShared;
@@ -140,6 +154,27 @@ fn apply_packet(node: &NodeShared, pkt: &Packet, resume_at: &mut usize, chaos: O
         }
     }
     let total = pkt.msg_count();
+    if *resume_at == 0 && !pkt.len().is_multiple_of(gravel_gq::MSG_BYTES) {
+        // A partial trailing message can only arrive with integrity off
+        // (a CRC'd frame with a short tail fails verification first).
+        // Quarantine the fragment as evidence; it was never a counted
+        // message, so it does not dispose toward quiescence.
+        let mut words = [0u64; gravel_gq::MSG_ROWS];
+        let tail = &pkt.payload[total * gravel_gq::MSG_BYTES..];
+        for (row, chunk) in tail.chunks(8).enumerate() {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            words[row] = u64::from_le_bytes(b);
+        }
+        node.quarantine.push(QuarantinedMessage {
+            src: pkt.src,
+            lane: pkt.lane,
+            seq: pkt.seq,
+            index: total,
+            words,
+            reason: QuarantineReason::PartialPayload,
+        });
+    }
     let mut batch = ApplyGuard { node, done: 0 };
     while *resume_at < total {
         if let Some(c) = chaos {
@@ -150,18 +185,43 @@ fn apply_packet(node: &NodeShared, pkt: &Packet, resume_at: &mut usize, chaos: O
                 );
             }
         }
-        // Same disposition rules as `apply_words`: undecodable words are
-        // skipped uncounted, a shutdown sentinel stops the packet early,
-        // everything else (applied or dropped) counts for quiescence.
-        if let Some(msg) = Message::decode(pkt.msg_words(*resume_at)) {
+        // Unlike `apply_words` (the replay path, where undecodable words
+        // are skipped uncounted because the log predates validation),
+        // the live path quarantines every poison message — undecodable
+        // command words and semantic rejections alike — and counts it
+        // disposed: it was offloaded as a message, so quiescence must
+        // see it retired exactly once.
+        let words = pkt.msg_words(*resume_at);
+        if let Some(msg) = Message::decode(words) {
             // Replying handlers re-enter the node's own Gravel path: the
             // reply is enqueued like any GPU-initiated message (and
             // counted for quiescence before this message's batch lands,
             // so `quiesce` cannot return with replies in flight).
             match apply(&msg, &node.heap, &node.ams, &mut |m| node.host_send(m)) {
-                Applied::Done | Applied::Dropped => batch.done += 1,
+                Applied::Done => batch.done += 1,
+                Applied::Rejected(reason) => {
+                    batch.done += 1;
+                    node.quarantine.push(QuarantinedMessage {
+                        src: pkt.src,
+                        lane: pkt.lane,
+                        seq: pkt.seq,
+                        index: *resume_at,
+                        words,
+                        reason,
+                    });
+                }
                 Applied::Shutdown => break,
             }
+        } else {
+            batch.done += 1;
+            node.quarantine.push(QuarantinedMessage {
+                src: pkt.src,
+                lane: pkt.lane,
+                seq: pkt.seq,
+                index: *resume_at,
+                words,
+                reason: QuarantineReason::BadCommand,
+            });
         }
         *resume_at += 1;
     }
@@ -192,8 +252,8 @@ pub fn run_supervised(
     chaos: Option<Arc<ChaosPlan>>,
 ) {
     loop {
-        let pkt = match transport.recv_data(node.id, RECV_TIMEOUT) {
-            RecvStatus::Msg(pkt) => pkt,
+        let frame = match transport.recv_data(node.id, RECV_TIMEOUT) {
+            RecvStatus::Msg(frame) => frame,
             RecvStatus::TimedOut => {
                 if errors.is_set() {
                     return;
@@ -202,6 +262,29 @@ pub fn run_supervised(
             }
             RecvStatus::Closed => return,
         };
+        // Verify before decoding a single byte. A frame that fails is
+        // dropped: corrupted ≡ lost, and the sender's go-back-N window
+        // retransmits it. Truncations are classified separately so the
+        // fault sweep can tell a cut cable from a scrambled one.
+        let pkt = match frame.open(node.wire_integrity) {
+            Ok(pkt) => pkt,
+            Err(e) => {
+                if e.is_truncation() {
+                    node.net_truncated.add(1);
+                } else {
+                    node.net_corrupt_dropped.add(1);
+                }
+                continue;
+            }
+        };
+        // The header's verified (src, dest) outranks the fabric's
+        // routing stamp: a frame delivered to the wrong node — or one
+        // naming an impossible peer, which only a CRC-off mangle can
+        // produce — is dropped before it can index any per-peer state.
+        if pkt.dest != node.id || pkt.src as usize >= node.nodes {
+            node.net_misrouted.add(1);
+            continue;
+        }
         let mut st = lock_recv(&state);
         let flow = st.flows.entry((pkt.src, pkt.lane)).or_default();
         if pkt.seq < flow.expected {
@@ -233,12 +316,15 @@ pub fn run_supervised(
         // are best-effort (the mailbox may be full, the link may drop
         // them) — retransmission plus re-acking makes that safe.
         if flow.expected > 0 {
-            transport.send_ack(Ack {
-                src: node.id,
-                dest: pkt.src,
-                lane: pkt.lane,
-                cum_seq: flow.expected - 1,
-            });
+            transport.send_ack(
+                Ack {
+                    src: node.id,
+                    dest: pkt.src,
+                    lane: pkt.lane,
+                    cum_seq: flow.expected - 1,
+                }
+                .seal(node.wire_epoch.load(Ordering::Relaxed), node.wire_integrity),
+            );
             node.net_acks_sent.add(1);
         }
     }
@@ -250,7 +336,7 @@ mod tests {
     use crate::config::GravelConfig;
     use gravel_gq::Message;
     use gravel_net::ChannelTransport;
-    use gravel_pgas::AmRegistry;
+    use gravel_pgas::{AmRegistry, DataFrame, WireIntegrity};
 
     fn setup(registry: AmRegistry) -> (Arc<NodeShared>, Arc<ChannelTransport>, Arc<ErrorSlot>) {
         let cfg = GravelConfig::small(1, 8);
@@ -268,10 +354,15 @@ mod tests {
         std::thread::spawn(move || run(node, transport, errors))
     }
 
-    fn packet(seq: u64, words: &[u64]) -> Packet {
+    fn frame(lane: u32, seq: u64, words: &[u64]) -> DataFrame {
         let mut p = Packet::from_words(0, 0, words);
+        p.lane = lane;
         p.seq = seq;
-        p
+        p.seal(0, WireIntegrity::Crc32c)
+    }
+
+    fn packet(seq: u64, words: &[u64]) -> DataFrame {
+        frame(0, seq, words)
     }
 
     #[test]
@@ -288,7 +379,7 @@ mod tests {
             ack = transport.try_recv_ack(0, 0);
             ack.is_some()
         }));
-        let ack = ack.unwrap();
+        let ack = ack.unwrap().open(WireIntegrity::Crc32c).unwrap();
         assert_eq!((ack.src, ack.dest, ack.cum_seq), (0, 0, 0));
         transport.close();
         handle.join().unwrap();
@@ -348,10 +439,8 @@ mod tests {
         let transport = Arc::new(ChannelTransport::new(1, 2, 64));
         let handle = spawn(&node, &transport, &errors);
         // Two flows, both starting at seq 0 — not duplicates of each other.
-        let mut a = packet(0, &Message::inc(0, 4, 1).encode());
-        a.lane = 0;
-        let mut b = packet(0, &Message::inc(0, 4, 1).encode());
-        b.lane = 1;
+        let a = frame(0, 0, &Message::inc(0, 4, 1).encode());
+        let b = frame(1, 0, &Message::inc(0, 4, 1).encode());
         transport.send_data(a, Duration::from_secs(1));
         transport.send_data(b, Duration::from_secs(1));
         assert!(crate::backoff::wait_for(Duration::from_secs(5), || node
@@ -362,6 +451,95 @@ mod tests {
         handle.join().unwrap();
         assert_eq!(node.heap.load(4), 2);
         assert_eq!(node.net_dups_suppressed.get(), 0);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_frames_are_classified_and_dropped() {
+        let (node, transport, errors) = setup(AmRegistry::new());
+        let handle = spawn(&node, &transport, &errors);
+        let good = packet(0, &Message::put(0, 3, 42).encode());
+        // Cut short mid-header: classified as truncation.
+        let cut = DataFrame {
+            bytes: good.bytes.slice(0..10),
+            ..good.clone()
+        };
+        transport.send_data(cut, Duration::from_secs(1));
+        // One flipped payload bit: fails the CRC.
+        let mut mangled = good.bytes.to_vec();
+        let at = mangled.len() - 6;
+        mangled[at] ^= 0x40;
+        let bad = DataFrame {
+            bytes: bytes::Bytes::from(mangled),
+            ..good.clone()
+        };
+        transport.send_data(bad, Duration::from_secs(1));
+        // The pristine frame finally applies — exactly what a go-back-N
+        // retransmission of the dropped original looks like.
+        transport.send_data(good, Duration::from_secs(1));
+        assert!(crate::backoff::wait_for(Duration::from_secs(5), || node
+            .applied
+            .get()
+            >= 1));
+        transport.close();
+        handle.join().unwrap();
+        assert_eq!(node.heap.load(3), 42);
+        assert_eq!(node.net_truncated.get(), 1);
+        assert_eq!(node.net_corrupt_dropped.get(), 1);
+        assert_eq!(node.quarantine.total(), 0);
+    }
+
+    #[test]
+    fn misrouted_frames_are_dropped_before_flow_state() {
+        let (node, transport, errors) = setup(AmRegistry::new());
+        let handle = spawn(&node, &transport, &errors);
+        // Verified header names src 7 on a 1-node cluster: an impossible
+        // peer. The routing stamp still delivers it here; the receiver
+        // must refuse it before touching any per-peer state.
+        let mut p = Packet::from_words(7, 0, &Message::put(0, 1, 5).encode());
+        p.seq = 0;
+        transport.send_data(p.seal(0, WireIntegrity::Crc32c), Duration::from_secs(1));
+        assert!(crate::backoff::wait_for(Duration::from_secs(5), || node
+            .net_misrouted
+            .get()
+            >= 1));
+        transport.close();
+        handle.join().unwrap();
+        assert_eq!(node.heap.load(1), 0);
+        assert_eq!(node.applied.get(), 0);
+    }
+
+    #[test]
+    fn poison_messages_quarantine_and_the_rest_applies() {
+        let (node, transport, errors) = setup(AmRegistry::new());
+        let handle = spawn(&node, &transport, &errors);
+        let mut words = Vec::new();
+        words.extend(Message::put(0, 2, 7).encode()); // fine
+        words.extend(Message::active(0, 99, 0, 0).encode()); // unknown handler
+        words.extend([u64::MAX, 0, 0, 0]); // undecodable command word
+        words.extend(Message::put(0, 999, 1).encode()); // past the 8-slot heap
+        words.extend(Message::inc(0, 2, 3).encode()); // fine
+        transport.send_data(packet(0, &words), Duration::from_secs(1));
+        assert!(crate::backoff::wait_for(Duration::from_secs(5), || node
+            .applied
+            .get()
+            >= 5));
+        transport.close();
+        handle.join().unwrap();
+        // The healthy messages applied around the poison ones.
+        assert_eq!(node.heap.load(2), 10);
+        // Every poison message was disposed for quiescence AND kept as
+        // evidence with its provenance.
+        assert_eq!(node.applied.get(), 5);
+        let q = node.quarantine.drain();
+        assert_eq!(q.len(), 3);
+        assert_eq!(
+            (q[0].reason, q[0].index),
+            (QuarantineReason::UnknownHandler, 1)
+        );
+        assert_eq!((q[1].reason, q[1].index), (QuarantineReason::BadCommand, 2));
+        assert_eq!((q[2].reason, q[2].index), (QuarantineReason::OutOfRange, 3));
+        assert!(q.iter().all(|m| (m.src, m.lane, m.seq) == (0, 0, 0)));
+        assert_eq!(node.quarantine.total(), 3);
     }
 
     #[test]

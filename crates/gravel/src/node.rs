@@ -15,12 +15,14 @@
 //! `TelemetryConfig::Off`, because `quiesce()` is correctness, not
 //! observability.
 
-use std::sync::atomic::{fence, Ordering};
+use std::sync::atomic::{fence, AtomicU32, Ordering};
 use std::sync::Arc;
 
 use gravel_gq::{Message, QueueStats};
 use gravel_net::RetryConfig;
-use gravel_pgas::{AdaptiveFlush, AggCounters, AmRegistry, SymmetricHeap};
+use gravel_pgas::{
+    AdaptiveFlush, AggCounters, AmRegistry, Quarantine, SymmetricHeap, WireIntegrity,
+};
 use gravel_telemetry::{Counter, Histogram, Registry, Tracer};
 
 use crate::config::GravelConfig;
@@ -89,6 +91,28 @@ pub struct NodeShared {
     /// Times an idle runtime thread actually parked (condvar or sleep)
     /// instead of burning a core.
     pub net_spin_parks: Counter,
+    /// Wire integrity mode every frame this node seals/opens uses
+    /// (copied from the config).
+    pub wire_integrity: WireIntegrity,
+    /// Checkpoint epoch stamped into outgoing frame headers; advanced by
+    /// `cut_epoch` so misdirected cross-epoch traffic is attributable.
+    pub wire_epoch: AtomicU32,
+    /// Inbound frames dropped by this node's network thread for failed
+    /// verification (bad magic/version/kind/length, CRC mismatch).
+    /// Healed by the sender's go-back-N retransmission.
+    pub net_corrupt_dropped: Counter,
+    /// Inbound frames dropped because they ended early (truncation).
+    pub net_truncated: Counter,
+    /// Frames that verified but whose header named a different
+    /// destination (or an impossible source) — misrouted by the fabric.
+    pub net_misrouted: Counter,
+    /// Ack frames this node's aggregator lanes discarded for failed
+    /// verification.
+    pub net_ack_corrupt_dropped: Counter,
+    /// Dead-letter buffer for CRC-clean messages that failed semantic
+    /// validation (owns the `net.quarantined` / `net.quarantine_evicted`
+    /// counters).
+    pub quarantine: Quarantine,
     /// Adaptive flush tuning (copied from the config so aggregator lanes
     /// need no back-reference to it); `None` = fixed timeout.
     pub adaptive_flush: Option<AdaptiveFlush>,
@@ -158,6 +182,13 @@ impl NodeShared {
             net_ooo_dropped: registry.counter(&name("net.ooo_dropped")),
             net_spin_spins: registry.counter(&name("net.spin_spins")),
             net_spin_parks: registry.counter(&name("net.spin_parks")),
+            wire_integrity: cfg.wire_integrity,
+            wire_epoch: AtomicU32::new(0),
+            net_corrupt_dropped: registry.counter(&name("net.corrupt_dropped")),
+            net_truncated: registry.counter(&name("net.truncated")),
+            net_misrouted: registry.counter(&name("net.misrouted")),
+            net_ack_corrupt_dropped: registry.counter(&name("net.ack_corrupt_dropped")),
+            quarantine: Quarantine::bound(&registry, &p, cfg.quarantine_capacity),
             adaptive_flush: cfg.adaptive_flush,
             drain_batch: cfg.drain_batch_slots.max(1),
             packet_latency: registry.histogram(&name("net.packet_latency_ns")),
@@ -262,6 +293,12 @@ impl NodeShared {
                 ooo_dropped: self.net_ooo_dropped.get(),
                 spin_spins: self.net_spin_spins.get(),
                 spin_parks: self.net_spin_parks.get(),
+                corrupt_dropped: self.net_corrupt_dropped.get(),
+                truncated: self.net_truncated.get(),
+                misrouted: self.net_misrouted.get(),
+                ack_corrupt_dropped: self.net_ack_corrupt_dropped.get(),
+                quarantined: self.quarantine.total(),
+                quarantine_evicted: self.quarantine.evicted(),
             },
         }
     }

@@ -36,7 +36,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gravel_net::{ChannelTransport, Transport, TransportKind, UnreliableTransport};
-use gravel_pgas::{AmRegistry, FlushPolicy, SymmetricHeap};
+use gravel_pgas::{AmRegistry, FlushPolicy, QuarantinedMessage, SymmetricHeap};
 use gravel_simt::{DispatchResult, Grid, SimtEngine};
 use gravel_telemetry::{Registry, RegistrySnapshot, Tracer};
 
@@ -453,14 +453,46 @@ impl GravelRuntime {
                 s.net.backpressure_stalls,
                 s.net.ooo_dropped,
             );
+            if s.net.total_integrity_drops() + s.net.quarantined > 0 {
+                let _ = writeln!(
+                    out,
+                    "  integrity: corrupt={} trunc={} misroute={} ack_corrupt={} \
+                     quarantined={} evicted={}",
+                    s.net.corrupt_dropped,
+                    s.net.truncated,
+                    s.net.misrouted,
+                    s.net.ack_corrupt_dropped,
+                    s.net.quarantined,
+                    s.net.quarantine_evicted,
+                );
+            }
         }
         let f = self.transport.fault_stats();
         let _ = writeln!(
             out,
-            "faults: dropped={} dup={} delayed={} link_down={} acks_dropped={}",
-            f.dropped_data, f.duplicated, f.delayed, f.link_down_drops, f.dropped_acks
+            "faults: dropped={} dup={} delayed={} link_down={} acks_dropped={} \
+             corrupted={} truncated={} garbage={} misrouted={} ack_corrupted={}",
+            f.dropped_data,
+            f.duplicated,
+            f.delayed,
+            f.link_down_drops,
+            f.dropped_acks,
+            f.corrupted_data,
+            f.truncated_data,
+            f.garbage_data,
+            f.misrouted_data,
+            f.corrupted_acks,
         );
         out
+    }
+
+    /// Drain node `id`'s poison-message quarantine: every CRC-clean
+    /// message that failed semantic validation since the last drain,
+    /// oldest first, with full provenance (peer, lane, seq, index, raw
+    /// words, reason). The `net.quarantined` counter keeps its lifetime
+    /// total — draining inspects, it does not un-count.
+    pub fn drain_quarantine(&self, id: usize) -> Vec<QuarantinedMessage> {
+        self.nodes[id].quarantine.drain()
     }
 
     /// Snapshot cluster statistics.
@@ -509,6 +541,10 @@ impl GravelRuntime {
             if let Some(log) = &node.replay {
                 log.clear();
             }
+            // Stamp the new epoch into every frame sealed from here on;
+            // the cluster is quiescent, so no in-flight frame still
+            // carries the old number.
+            node.wire_epoch.store(epoch as u32, Ordering::Release);
         }
         *guard = Some(snap);
         self.registry.vital_counter("ha.epochs").inc();
@@ -777,6 +813,45 @@ mod tests {
             }
             other => panic!("expected WorkerPanic, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn quarantine_drains_poison_without_wedging_quiescence() {
+        let rt = GravelRuntime::new(GravelConfig::small(2, 4));
+        // An unknown active-message handler and an out-of-range put,
+        // through the normal pipeline: both must still dispose for
+        // quiescence and land in node 1's quarantine with provenance.
+        rt.node(0).host_send(gravel_gq::Message::active(1, 7, 0, 0));
+        rt.node(0).host_send(gravel_gq::Message::put(1, 999, 5));
+        rt.quiesce();
+        let q = rt.drain_quarantine(1);
+        assert_eq!(q.len(), 2);
+        use gravel_pgas::QuarantineReason;
+        assert!(q
+            .iter()
+            .any(|m| m.reason == QuarantineReason::UnknownHandler));
+        assert!(q.iter().any(|m| m.reason == QuarantineReason::OutOfRange));
+        assert!(q.iter().all(|m| m.src == 0));
+        // Draining empties the buffer but keeps the lifetime counter.
+        assert!(rt.drain_quarantine(1).is_empty());
+        let stats = rt.shutdown().expect("clean shutdown");
+        assert_eq!(stats.nodes[1].net.quarantined, 2);
+        assert_eq!(stats.total_quarantined(), 2);
+        assert_eq!(stats.total_integrity_drops(), 0);
+    }
+
+    #[test]
+    fn epoch_cuts_stamp_the_wire_epoch() {
+        let mut cfg = GravelConfig::small(2, 4);
+        cfg.ha.checkpoint = true;
+        let rt = GravelRuntime::new(cfg);
+        assert_eq!(rt.node(0).wire_epoch.load(Ordering::Relaxed), 0);
+        assert_eq!(rt.cut_epoch(), 1);
+        assert_eq!(rt.cut_epoch(), 2);
+        for id in 0..2 {
+            assert_eq!(rt.node(id).wire_epoch.load(Ordering::Relaxed), 2);
+        }
+        rt.shutdown().expect("clean shutdown");
     }
 
     #[test]

@@ -44,6 +44,32 @@ pub struct NetStats {
     pub spin_spins: u64,
     /// Times an idle runtime thread actually parked instead of spinning.
     pub spin_parks: u64,
+    /// Inbound data frames dropped for failed verification (bad magic,
+    /// version, kind, length, or CRC mismatch). Healed by go-back-N
+    /// retransmission — corrupted ≡ lost.
+    pub corrupt_dropped: u64,
+    /// Inbound data frames dropped because they ended early.
+    pub truncated: u64,
+    /// Frames that verified but were addressed to someone else (fabric
+    /// misrouting caught by the header's dest/src check).
+    pub misrouted: u64,
+    /// Ack frames discarded by this node's aggregators for failed
+    /// verification.
+    pub ack_corrupt_dropped: u64,
+    /// CRC-clean messages diverted to the poison quarantine (semantic
+    /// validation failures: unknown handler, out-of-range address, bad
+    /// command word).
+    pub quarantined: u64,
+    /// Quarantined messages evicted to bound the buffer.
+    pub quarantine_evicted: u64,
+}
+
+impl NetStats {
+    /// All frames this node's receive path refused for integrity
+    /// reasons (excludes quarantine, which is semantic, not integrity).
+    pub fn total_integrity_drops(&self) -> u64 {
+        self.corrupt_dropped + self.truncated + self.misrouted
+    }
 }
 
 /// Statistics of one node at shutdown (or snapshot time).
@@ -122,6 +148,12 @@ impl NodeStats {
                 ooo_dropped: c("net.ooo_dropped"),
                 spin_spins: c("net.spin_spins"),
                 spin_parks: c("net.spin_parks"),
+                corrupt_dropped: c("net.corrupt_dropped"),
+                truncated: c("net.truncated"),
+                misrouted: c("net.misrouted"),
+                ack_corrupt_dropped: c("net.ack_corrupt_dropped"),
+                quarantined: c("net.quarantined"),
+                quarantine_evicted: c("net.quarantine_evicted"),
             },
         }
     }
@@ -239,6 +271,22 @@ impl RuntimeStats {
     /// Total backpressure stalls across the cluster.
     pub fn total_backpressure_stalls(&self) -> u64 {
         self.nodes.iter().map(|n| n.net.backpressure_stalls).sum()
+    }
+
+    /// Total data frames refused for integrity reasons across the
+    /// cluster (corrupt + truncated + misrouted).
+    pub fn total_integrity_drops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.net.total_integrity_drops()).sum()
+    }
+
+    /// Total frames dropped for CRC/structure failures.
+    pub fn total_corrupt_dropped(&self) -> u64 {
+        self.nodes.iter().map(|n| n.net.corrupt_dropped).sum()
+    }
+
+    /// Total messages quarantined across the cluster.
+    pub fn total_quarantined(&self) -> u64 {
+        self.nodes.iter().map(|n| n.net.quarantined).sum()
     }
 }
 

@@ -28,17 +28,30 @@ fn node_stats_agree_with_registry_snapshot() {
     scatter(&rt, 2);
     // Quiesced: the typed view over live handles and the view
     // reconstructed from a registry snapshot must be identical, per
-    // node, field for field.
-    let snap = rt.telemetry_snapshot();
+    // node, field for field. Quiescence stops message flow but not the
+    // background threads, whose idle-poll/park counters keep ticking —
+    // so the two views are read back-to-back and retried a few times if
+    // an idle counter advanced in the window. A genuine mapping bug
+    // diverges on every attempt and still fails.
     for id in 0..rt.nodes() {
-        let live = rt.node(id).stats();
-        let from_snap = NodeStats::from_snapshot(id as u32, &snap);
+        let (mut live_dbg, mut snap_dbg) = (String::new(), String::new());
+        let mut live_offloaded = 0;
+        for _ in 0..64 {
+            let snap = rt.telemetry_snapshot();
+            let live = rt.node(id).stats();
+            live_offloaded = live.offloaded;
+            let from_snap = NodeStats::from_snapshot(id as u32, &snap);
+            live_dbg = format!("{live:?}");
+            snap_dbg = format!("{from_snap:?}");
+            if live_dbg == snap_dbg {
+                break;
+            }
+        }
         assert_eq!(
-            format!("{live:?}"),
-            format!("{from_snap:?}"),
-            "node {id}: handle view and snapshot view diverge"
+            live_dbg, snap_dbg,
+            "node {id}: handle view and snapshot view diverge on every attempt"
         );
-        assert!(live.offloaded > 0, "node {id} did work");
+        assert!(live_offloaded > 0, "node {id} did work");
     }
     rt.shutdown().expect("clean shutdown");
 }

@@ -4,9 +4,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, SendTimeoutError, TrySendError};
-use gravel_pgas::Packet;
+use gravel_pgas::DataFrame;
 
-use crate::{Ack, FaultStats, Heartbeat, NodeId, RecvStatus, SendStatus, Transport};
+use crate::{AckFrame, FaultStats, Heartbeat, NodeId, RecvStatus, SendStatus, Transport};
 
 /// Reliable bounded-channel transport: one data ingress channel per
 /// node (consumed by its network thread) and one ack mailbox per
@@ -17,8 +17,8 @@ use crate::{Ack, FaultStats, Heartbeat, NodeId, RecvStatus, SendStatus, Transpor
 /// [`RecvStatus::Closed`] only once the flag is set *and* their channel
 /// is empty, so nothing accepted before `close()` is lost.
 pub struct ChannelTransport {
-    data: Vec<(Sender<Packet>, Receiver<Packet>)>,
-    acks: Vec<Vec<(Sender<Ack>, Receiver<Ack>)>>,
+    data: Vec<(Sender<DataFrame>, Receiver<DataFrame>)>,
+    acks: Vec<Vec<(Sender<AckFrame>, Receiver<AckFrame>)>>,
     heartbeats: Vec<(Sender<Heartbeat>, Receiver<Heartbeat>)>,
     closed: AtomicBool,
     dropped_acks: AtomicU64,
@@ -60,13 +60,13 @@ impl Transport for ChannelTransport {
         self.acks[0].len()
     }
 
-    fn send_data(&self, pkt: Packet, timeout: Duration) -> SendStatus {
+    fn send_data(&self, frame: DataFrame, timeout: Duration) -> SendStatus {
         if self.closed.load(Ordering::Acquire) {
             return SendStatus::Closed;
         }
-        let dest = pkt.dest as usize;
-        debug_assert!(dest < self.data.len(), "packet to unknown node {dest}");
-        match self.data[dest].0.send_timeout(pkt, timeout) {
+        let dest = frame.dest as usize;
+        debug_assert!(dest < self.data.len(), "frame to unknown node {dest}");
+        match self.data[dest].0.send_timeout(frame, timeout) {
             Ok(()) => SendStatus::Sent,
             Err(SendTimeoutError::Timeout(_)) => {
                 if self.closed.load(Ordering::Acquire) {
@@ -79,10 +79,10 @@ impl Transport for ChannelTransport {
         }
     }
 
-    fn recv_data(&self, node: NodeId, timeout: Duration) -> RecvStatus<Packet> {
+    fn recv_data(&self, node: NodeId, timeout: Duration) -> RecvStatus<DataFrame> {
         let rx = &self.data[node as usize].1;
         match rx.recv_timeout(timeout) {
-            Ok(pkt) => RecvStatus::Msg(pkt),
+            Ok(frame) => RecvStatus::Msg(frame),
             Err(RecvTimeoutError::Timeout) => {
                 if self.closed.load(Ordering::Acquire) && rx.is_empty() {
                     RecvStatus::Closed
@@ -94,7 +94,7 @@ impl Transport for ChannelTransport {
         }
     }
 
-    fn send_ack(&self, ack: Ack) {
+    fn send_ack(&self, ack: AckFrame) {
         if self.closed.load(Ordering::Acquire) {
             return;
         }
@@ -105,7 +105,7 @@ impl Transport for ChannelTransport {
         }
     }
 
-    fn try_recv_ack(&self, node: NodeId, lane: u32) -> Option<Ack> {
+    fn try_recv_ack(&self, node: NodeId, lane: u32) -> Option<AckFrame> {
         self.acks[node as usize][lane as usize].1.try_recv().ok()
     }
 
@@ -149,9 +149,19 @@ impl Transport for ChannelTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Ack;
+    use gravel_pgas::{Packet, WireIntegrity};
 
-    fn pkt(src: u32, dest: u32, tag: u64) -> Packet {
-        Packet::from_words(src, dest, &[tag])
+    fn frame(src: u32, dest: u32, tag: u64) -> DataFrame {
+        Packet::from_words(src, dest, &[tag]).seal(0, WireIntegrity::Crc32c)
+    }
+
+    fn words(f: &DataFrame) -> Vec<u64> {
+        f.open(WireIntegrity::Crc32c).expect("fabric is reliable").words()
+    }
+
+    fn ack(src: u32, dest: u32, lane: u32, cum_seq: u64) -> AckFrame {
+        Ack { src, dest, lane, cum_seq }.seal(0, WireIntegrity::Crc32c)
     }
 
     const T: Duration = Duration::from_millis(200);
@@ -159,14 +169,14 @@ mod tests {
     #[test]
     fn routes_data_by_destination() {
         let t = ChannelTransport::new(3, 1, 16);
-        assert_eq!(t.send_data(pkt(0, 1, 7), T), SendStatus::Sent);
-        assert_eq!(t.send_data(pkt(0, 2, 9), T), SendStatus::Sent);
+        assert_eq!(t.send_data(frame(0, 1, 7), T), SendStatus::Sent);
+        assert_eq!(t.send_data(frame(0, 2, 9), T), SendStatus::Sent);
         match t.recv_data(1, T) {
-            RecvStatus::Msg(p) => assert_eq!(p.words(), vec![7]),
+            RecvStatus::Msg(f) => assert_eq!(words(&f), vec![7]),
             other => panic!("{other:?}"),
         }
         match t.recv_data(2, T) {
-            RecvStatus::Msg(p) => assert_eq!(p.words(), vec![9]),
+            RecvStatus::Msg(f) => assert_eq!(words(&f), vec![9]),
             other => panic!("{other:?}"),
         }
         assert!(matches!(t.recv_data(0, Duration::from_millis(1)), RecvStatus::TimedOut));
@@ -175,20 +185,20 @@ mod tests {
     #[test]
     fn bounded_channel_times_out_when_full() {
         let t = ChannelTransport::new(2, 1, 1);
-        assert_eq!(t.send_data(pkt(0, 1, 1), T), SendStatus::Sent);
-        assert_eq!(t.send_data(pkt(0, 1, 2), Duration::from_millis(5)), SendStatus::TimedOut);
+        assert_eq!(t.send_data(frame(0, 1, 1), T), SendStatus::Sent);
+        assert_eq!(t.send_data(frame(0, 1, 2), Duration::from_millis(5)), SendStatus::TimedOut);
         // Draining unblocks the sender.
         assert!(matches!(t.recv_data(1, T), RecvStatus::Msg(_)));
-        assert_eq!(t.send_data(pkt(0, 1, 2), T), SendStatus::Sent);
+        assert_eq!(t.send_data(frame(0, 1, 2), T), SendStatus::Sent);
         assert_eq!(t.data_depths(), vec![0, 1]);
     }
 
     #[test]
     fn close_drains_in_flight_then_reports_closed() {
         let t = ChannelTransport::new(2, 1, 4);
-        assert_eq!(t.send_data(pkt(0, 1, 5), T), SendStatus::Sent);
+        assert_eq!(t.send_data(frame(0, 1, 5), T), SendStatus::Sent);
         t.close();
-        assert_eq!(t.send_data(pkt(0, 1, 6), T), SendStatus::Closed);
+        assert_eq!(t.send_data(frame(0, 1, 6), T), SendStatus::Closed);
         assert!(matches!(t.recv_data(1, T), RecvStatus::Msg(_)));
         assert!(matches!(t.recv_data(1, Duration::from_millis(1)), RecvStatus::Closed));
         assert!(t.is_closed());
@@ -197,9 +207,13 @@ mod tests {
     #[test]
     fn acks_route_to_lane_mailboxes() {
         let t = ChannelTransport::new(2, 2, 4);
-        t.send_ack(Ack { src: 1, dest: 0, lane: 1, cum_seq: 41 });
+        t.send_ack(ack(1, 0, 1, 41));
         assert_eq!(t.try_recv_ack(0, 0), None);
-        assert_eq!(t.try_recv_ack(0, 1), Some(Ack { src: 1, dest: 0, lane: 1, cum_seq: 41 }));
+        let got = t.try_recv_ack(0, 1).expect("routed to (0, 1)");
+        assert_eq!(
+            got.open(WireIntegrity::Crc32c).unwrap(),
+            Ack { src: 1, dest: 0, lane: 1, cum_seq: 41 }
+        );
         assert_eq!(t.try_recv_ack(0, 1), None);
     }
 
@@ -225,7 +239,7 @@ mod tests {
     fn full_ack_mailbox_drops_and_counts() {
         let t = ChannelTransport::new(2, 1, 4);
         for i in 0..(ACK_MAILBOX_CAPACITY as u64 + 10) {
-            t.send_ack(Ack { src: 1, dest: 0, lane: 0, cum_seq: i });
+            t.send_ack(ack(1, 0, 0, i));
         }
         assert_eq!(t.fault_stats().dropped_acks, 10);
     }

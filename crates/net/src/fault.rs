@@ -42,6 +42,18 @@ pub struct FaultConfig {
     /// Length of each link-down window; packets and acks sent into a
     /// down link are dropped.
     pub link_down_len: Duration,
+    /// Probability a data frame has 1–3 random bits flipped in flight.
+    /// Also the probability an ack frame is bit-flipped on the reverse
+    /// path.
+    pub corrupt: f64,
+    /// Probability a data frame is cut short at a random byte boundary.
+    pub truncate: f64,
+    /// Probability a data frame is replaced wholesale by random junk
+    /// bytes (a babbling fabric).
+    pub garbage: f64,
+    /// Probability a data frame's *routing stamp* is rewritten so it
+    /// lands at the wrong node with its contents (and CRC) intact.
+    pub misroute: f64,
 }
 
 impl FaultConfig {
@@ -60,6 +72,23 @@ impl FaultConfig {
             jitter: Duration::from_micros(300),
             link_down_period: Duration::ZERO,
             link_down_len: Duration::ZERO,
+            corrupt: 0.0,
+            truncate: 0.0,
+            garbage: 0.0,
+            misroute: 0.0,
+        }
+    }
+
+    /// The corruption mix used by the wire-integrity tests and the
+    /// fault_sweep corruption cells: bit flips at `p`, truncation and
+    /// garbage at `p/2`, misroutes at `p/4`.
+    pub fn corrupting(seed: u64, p: f64) -> Self {
+        FaultConfig {
+            corrupt: p,
+            truncate: p / 2.0,
+            garbage: p / 2.0,
+            misroute: p / 4.0,
+            ..FaultConfig::quiet(seed)
         }
     }
 
@@ -77,7 +106,15 @@ impl FaultConfig {
 
     /// Validate probability ranges; panics on nonsense.
     pub fn validate(&self) {
-        for (name, p) in [("drop", self.drop), ("duplicate", self.duplicate), ("reorder", self.reorder)] {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+            ("corrupt", self.corrupt),
+            ("truncate", self.truncate),
+            ("garbage", self.garbage),
+            ("misroute", self.misroute),
+        ] {
             assert!((0.0..=1.0).contains(&p), "fault probability `{name}` = {p} out of [0, 1]");
         }
         if !self.link_down_period.is_zero() {
@@ -138,12 +175,33 @@ pub struct FaultStats {
     pub delayed: u64,
     /// Frames dropped because their link was in a down window.
     pub link_down_drops: u64,
+    /// Data frames delivered with 1–3 bits flipped. Corruption counters
+    /// count frames that *reached* a receiver mangled (the fabric
+    /// accepted them), so they reconcile exactly against the receiver's
+    /// integrity-drop counters.
+    pub corrupted_data: u64,
+    /// Data frames delivered cut short.
+    pub truncated_data: u64,
+    /// Data frames replaced wholesale with junk bytes.
+    pub garbage_data: u64,
+    /// Data frames delivered to the wrong node, contents intact.
+    pub misrouted_data: u64,
+    /// Ack frames delivered with bits flipped (best-effort plane: a
+    /// corrupted ack may additionally die in a full mailbox, so
+    /// receivers reconcile `<=` against this).
+    pub corrupted_acks: u64,
 }
 
 impl FaultStats {
     /// Total injected data-plane losses.
     pub fn total_losses(&self) -> u64 {
         self.dropped_data + self.link_down_drops
+    }
+
+    /// Total data frames delivered mangled in some way (excludes
+    /// misroutes, whose bytes are intact).
+    pub fn total_corruptions(&self) -> u64 {
+        self.corrupted_data + self.truncated_data + self.garbage_data
     }
 
     /// True when no fault of any kind fired.
@@ -161,6 +219,13 @@ mod tests {
         FaultConfig::quiet(1).validate();
         FaultConfig::drop_only(1, 0.1).validate();
         FaultConfig::mixed(1, 0.1).validate();
+        FaultConfig::corrupting(1, 0.1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn validation_rejects_bad_corruption_probability() {
+        FaultConfig { corrupt: -0.5, ..FaultConfig::quiet(1) }.validate();
     }
 
     #[test]
@@ -186,5 +251,10 @@ mod tests {
         s.link_down_drops = 2;
         assert_eq!(s.total_losses(), 5);
         assert!(!s.is_clean());
+        s.corrupted_data = 4;
+        s.truncated_data = 2;
+        s.garbage_data = 1;
+        s.misrouted_data = 9;
+        assert_eq!(s.total_corruptions(), 7, "misroutes are not byte corruption");
     }
 }

@@ -20,6 +20,13 @@
 //! the loopback path a node uses for its own serialized atomics is
 //! always reliable, mirroring the paper's hardware where local routing
 //! never touches the NIC.
+//!
+//! Both planes carry *sealed frames* ([`gravel_pgas::DataFrame`] for
+//! data, [`AckFrame`] for acks): opaque checksummed bytes the transport
+//! may corrupt byte-wise without understanding them. The out-of-band
+//! routing stamps (`src`, `dest`, `lane`) exist so the fabric can switch
+//! a frame without parsing it — and so corruption injection can misroute
+//! one without touching its (still CRC-valid) contents.
 
 mod channel;
 pub mod chaos;
@@ -33,7 +40,8 @@ pub use unreliable::UnreliableTransport;
 
 use std::time::Duration;
 
-use gravel_pgas::Packet;
+use gravel_pgas::frame::{open_ack, seal_ack, ACK_FRAME_BYTES};
+use gravel_pgas::{DataFrame, FrameError, WireIntegrity};
 
 /// Node identifier on the fabric.
 pub type NodeId = u32;
@@ -53,6 +61,42 @@ pub struct Ack {
     pub lane: u32,
     /// Highest sequence number received in order on this flow.
     pub cum_seq: u64,
+}
+
+impl Ack {
+    /// Seal into the checksummed wire form the ack plane carries.
+    pub fn seal(&self, epoch: u32, integrity: WireIntegrity) -> AckFrame {
+        AckFrame {
+            src: self.src,
+            dest: self.dest,
+            lane: self.lane,
+            bytes: seal_ack(self.src, self.dest, self.lane, epoch, self.cum_seq, integrity),
+        }
+    }
+}
+
+/// A sealed ack as it travels the reverse path: 40 opaque frame bytes
+/// plus the out-of-band routing stamps the fabric switches on. Like
+/// [`DataFrame`], the stamps are untrusted — the receiving aggregator
+/// decodes the verified header, not the stamps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AckFrame {
+    /// Acking node (which link the frame leaves on).
+    pub src: NodeId,
+    /// Routing stamp: node whose mailbox this lands in.
+    pub dest: NodeId,
+    /// Routing stamp: aggregator lane mailbox.
+    pub lane: u32,
+    /// The complete frame: header + CRC trailer, no payload.
+    pub bytes: [u8; ACK_FRAME_BYTES],
+}
+
+impl AckFrame {
+    /// Verify the frame and decode the [`Ack`] from its header.
+    pub fn open(&self, integrity: WireIntegrity) -> Result<Ack, FrameError> {
+        let head = open_ack(&self.bytes, integrity)?;
+        Ok(Ack { src: head.src, dest: head.dest, lane: head.lane, cum_seq: head.seq })
+    }
 }
 
 /// One liveness beacon on the heartbeat plane.
@@ -108,22 +152,25 @@ pub trait Transport: Send + Sync {
     /// Aggregator lanes per node (ack mailboxes per node).
     fn lanes(&self) -> usize;
 
-    /// Send a data packet towards `pkt.dest`, blocking up to `timeout`
-    /// if the destination's ingress channel is full.
-    fn send_data(&self, pkt: Packet, timeout: Duration) -> SendStatus;
+    /// Send a sealed data frame towards `frame.dest` (the routing
+    /// stamp), blocking up to `timeout` if the destination's ingress
+    /// channel is full.
+    fn send_data(&self, frame: DataFrame, timeout: Duration) -> SendStatus;
 
-    /// Receive the next data packet addressed to `node`, waiting up to
-    /// `timeout`.
-    fn recv_data(&self, node: NodeId, timeout: Duration) -> RecvStatus<Packet>;
+    /// Receive the next data frame addressed to `node`, waiting up to
+    /// `timeout`. The frame is *unverified* — the caller must `open` it
+    /// before trusting a byte.
+    fn recv_data(&self, node: NodeId, timeout: Duration) -> RecvStatus<DataFrame>;
 
-    /// Send an ack towards `(ack.dest, ack.lane)`. Best-effort and
+    /// Send a sealed ack towards `(ack.dest, ack.lane)`. Best-effort and
     /// non-blocking: acks are cumulative, so dropping one (full mailbox,
     /// injected fault) only delays progress until the next ack or a
     /// retransmission — it can never corrupt the protocol.
-    fn send_ack(&self, ack: Ack);
+    fn send_ack(&self, ack: AckFrame);
 
-    /// Drain one pending ack for aggregator `lane` of `node`.
-    fn try_recv_ack(&self, node: NodeId, lane: u32) -> Option<Ack>;
+    /// Drain one pending (unverified) ack for aggregator `lane` of
+    /// `node`.
+    fn try_recv_ack(&self, node: NodeId, lane: u32) -> Option<AckFrame>;
 
     /// Send a liveness beacon towards `hb.dest`. Best-effort and
     /// non-blocking like acks; a transport without a heartbeat plane may

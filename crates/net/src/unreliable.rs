@@ -6,11 +6,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use gravel_pgas::Packet;
+use bytes::Bytes;
+use gravel_pgas::frame::{HEADER_BYTES, MAGIC};
+use gravel_pgas::DataFrame;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
-use crate::{Ack, FaultConfig, FaultStats, Heartbeat, NodeId, RecvStatus, SendStatus, Transport};
+use crate::{AckFrame, FaultConfig, FaultStats, Heartbeat, NodeId, RecvStatus, SendStatus, Transport};
 
 /// SplitMix64-style finalizer for deriving per-link seeds.
 fn mix(mut z: u64) -> u64 {
@@ -19,18 +21,33 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Pick 1–3 *distinct* `(byte, bit-mask)` flips for a frame of `len`
+/// bytes. Distinctness matters: two identical flips would cancel and
+/// deliver the frame intact while the stats claim it was corrupted.
+fn roll_flips(rng: &mut StdRng, len: usize) -> Vec<(usize, u8)> {
+    let want = rng.gen_range(1..=3usize);
+    let mut flips: Vec<(usize, u8)> = Vec::with_capacity(want);
+    while flips.len() < want {
+        let f = (rng.gen_range(0..len), 1u8 << rng.gen_range(0..8u32));
+        if !flips.contains(&f) {
+            flips.push(f);
+        }
+    }
+    flips
+}
+
 struct LinkState {
     rng: StdRng,
     /// Phase offset of this link's down windows within the period.
     down_phase: Duration,
 }
 
-/// A packet held back for jittered (reordering) delivery.
+/// A frame held back for jittered (reordering) delivery.
 struct Delayed {
     due: Instant,
     /// Tiebreak so the heap is a total order.
     id: u64,
-    pkt: Packet,
+    frame: DataFrame,
 }
 
 impl PartialEq for Delayed {
@@ -61,7 +78,7 @@ pub struct UnreliableTransport<T: Transport> {
     /// Row-major `[src][dest]` link states (unused diagonal included to
     /// keep indexing trivial).
     links: Vec<Mutex<LinkState>>,
-    /// Held-back packets awaiting their jittered due time, per dest.
+    /// Held-back frames awaiting their jittered due time, per dest.
     delayed: Vec<Mutex<BinaryHeap<Delayed>>>,
     epoch: Instant,
     next_delay_id: AtomicU64,
@@ -71,6 +88,24 @@ pub struct UnreliableTransport<T: Transport> {
     duplicated: AtomicU64,
     delayed_count: AtomicU64,
     link_down_drops: AtomicU64,
+    corrupted_data: AtomicU64,
+    truncated_data: AtomicU64,
+    garbage_data: AtomicU64,
+    misrouted_data: AtomicU64,
+    corrupted_acks: AtomicU64,
+}
+
+/// One corruption decision for a data frame, rolled under the link
+/// lock so the pattern is seed-deterministic per link.
+enum Mangle {
+    /// Replace the frame wholesale with junk bytes.
+    Garbage(Vec<u8>),
+    /// Cut the frame to this many bytes.
+    Truncate(usize),
+    /// XOR these `(byte, mask)` pairs into the frame.
+    Flip(Vec<(usize, u8)>),
+    /// Rewrite the routing stamp to this node, contents untouched.
+    Misroute(u32),
 }
 
 impl<T: Transport> UnreliableTransport<T> {
@@ -103,7 +138,49 @@ impl<T: Transport> UnreliableTransport<T> {
             duplicated: AtomicU64::new(0),
             delayed_count: AtomicU64::new(0),
             link_down_drops: AtomicU64::new(0),
+            corrupted_data: AtomicU64::new(0),
+            truncated_data: AtomicU64::new(0),
+            garbage_data: AtomicU64::new(0),
+            misrouted_data: AtomicU64::new(0),
+            corrupted_acks: AtomicU64::new(0),
         }
+    }
+
+    /// Roll at most one corruption for a data frame of `len` bytes.
+    /// Priority garbage > truncate > flip > misroute keeps the per-link
+    /// pattern deterministic for a fixed seed and traffic order.
+    fn roll_mangle(&self, rng: &mut StdRng, len: usize, dest: u32) -> Option<Mangle> {
+        if self.cfg.garbage > 0.0 && rng.gen_bool(self.cfg.garbage) {
+            let junk_len = HEADER_BYTES + rng.gen_range(0..=64usize);
+            let mut junk = vec![0u8; junk_len];
+            for chunk in junk.chunks_mut(8) {
+                let w = rng.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&w[..chunk.len()]);
+            }
+            // If the junk opens with a valid magic by chance, break it:
+            // classification in tests stays deterministic (BadMagic).
+            if junk[..4] == MAGIC.to_le_bytes() {
+                junk[0] ^= 0x01;
+            }
+            return Some(Mangle::Garbage(junk));
+        }
+        if self.cfg.truncate > 0.0 && rng.gen_bool(self.cfg.truncate) {
+            return Some(Mangle::Truncate(rng.gen_range(0..len)));
+        }
+        if self.cfg.corrupt > 0.0 && rng.gen_bool(self.cfg.corrupt) {
+            return Some(Mangle::Flip(roll_flips(rng, len)));
+        }
+        if self.cfg.misroute > 0.0 && rng.gen_bool(self.cfg.misroute) {
+            let nodes = self.inner.nodes() as u32;
+            // Any node but the intended one (with 2 nodes that is the
+            // sender itself — still a misdelivery the receiver catches).
+            let mut target = rng.gen_range(0..nodes);
+            if target == dest {
+                target = (target + 1) % nodes;
+            }
+            return Some(Mangle::Misroute(target));
+        }
+        None
     }
 
     fn link(&self, src: NodeId, dest: NodeId) -> &Mutex<LinkState> {
@@ -120,17 +197,51 @@ impl<T: Transport> UnreliableTransport<T> {
         pos < self.cfg.link_down_len.as_nanos() as u64
     }
 
-    /// Pop a due delayed packet for `node`, and report the next due time.
-    fn pop_delayed(&self, node: NodeId, now: Instant, ignore_due: bool) -> (Option<Packet>, Option<Instant>) {
+    /// Pop a due delayed frame for `node`, and report the next due time.
+    fn pop_delayed(&self, node: NodeId, now: Instant, ignore_due: bool) -> (Option<DataFrame>, Option<Instant>) {
         let mut heap = self.delayed[node as usize].lock().unwrap();
         match heap.peek() {
             Some(d) if ignore_due || d.due <= now => {
-                let pkt = heap.pop().unwrap().pkt;
+                let frame = heap.pop().unwrap().frame;
                 let next = heap.peek().map(|d| d.due);
-                (Some(pkt), next)
+                (Some(frame), next)
             }
             Some(d) => (None, Some(d.due)),
             None => (None, None),
+        }
+    }
+
+    /// Deliver a mangled variant of `frame` and count it — but only if
+    /// the inner fabric accepted the bytes. A corrupted frame that dies
+    /// in a full channel was never *delivered* corrupted, and counting
+    /// it would break the receiver-side reconciliation ledger.
+    fn deliver_mangled(&self, frame: DataFrame, mangle: Mangle) {
+        let (mangled, counter) = match mangle {
+            Mangle::Garbage(junk) => (
+                DataFrame { bytes: Bytes::from(junk), ..frame },
+                &self.garbage_data,
+            ),
+            Mangle::Truncate(n) => (
+                DataFrame { bytes: frame.bytes.slice(0..n), ..frame },
+                &self.truncated_data,
+            ),
+            Mangle::Flip(flips) => {
+                let mut bytes = frame.bytes.to_vec();
+                for (at, mask) in flips {
+                    bytes[at] ^= mask;
+                }
+                (
+                    DataFrame { bytes: Bytes::from(bytes), ..frame },
+                    &self.corrupted_data,
+                )
+            }
+            Mangle::Misroute(target) => (
+                DataFrame { dest: target, ..frame },
+                &self.misrouted_data,
+            ),
+        };
+        if self.inner.send_data(mangled, Duration::ZERO) == SendStatus::Sent {
+            counter.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -144,12 +255,12 @@ impl<T: Transport> Transport for UnreliableTransport<T> {
         self.inner.lanes()
     }
 
-    fn send_data(&self, pkt: Packet, timeout: Duration) -> SendStatus {
-        if pkt.src == pkt.dest {
-            return self.inner.send_data(pkt, timeout);
+    fn send_data(&self, frame: DataFrame, timeout: Duration) -> SendStatus {
+        if frame.src == frame.dest {
+            return self.inner.send_data(frame, timeout);
         }
-        let (down, drop, dup, delay) = {
-            let mut link = self.link(pkt.src, pkt.dest).lock().unwrap();
+        let (down, drop, dup, delay, mangle) = {
+            let mut link = self.link(frame.src, frame.dest).lock().unwrap();
             let down = self.link_down(link.down_phase);
             let drop = self.cfg.drop > 0.0 && link.rng.gen_bool(self.cfg.drop);
             let dup = self.cfg.duplicate > 0.0 && link.rng.gen_bool(self.cfg.duplicate);
@@ -159,7 +270,8 @@ impl<T: Transport> Transport for UnreliableTransport<T> {
             } else {
                 None
             };
-            (down, drop, dup, delay)
+            let mangle = self.roll_mangle(&mut link.rng, frame.bytes.len(), frame.dest);
+            (down, drop, dup, delay, mangle)
         };
         if down {
             self.link_down_drops.fetch_add(1, Ordering::Relaxed);
@@ -171,50 +283,61 @@ impl<T: Transport> Transport for UnreliableTransport<T> {
         }
         if dup {
             self.duplicated.fetch_add(1, Ordering::Relaxed);
-            // Best-effort second copy; losing it is itself a valid fault.
-            let _ = self.inner.send_data(pkt.clone(), Duration::ZERO);
+            // Best-effort second copy, sent *pristine* before any
+            // corruption: the protocol must survive a mangled original
+            // racing a clean duplicate. Losing it is itself a valid
+            // fault.
+            let _ = self.inner.send_data(frame.clone(), Duration::ZERO);
+        }
+        if let Some(mangle) = mangle {
+            // The original is consumed by the mangling — from the
+            // sender's perspective it was Sent; from the receiver's it
+            // will fail verification and be healed by retransmission
+            // (corrupted ≡ lost).
+            self.deliver_mangled(frame, mangle);
+            return SendStatus::Sent;
         }
         if let Some(extra) = delay {
             self.delayed_count.fetch_add(1, Ordering::Relaxed);
-            let dest = pkt.dest as usize;
+            let dest = frame.dest as usize;
             self.delayed[dest].lock().unwrap().push(Delayed {
                 due: Instant::now() + extra,
                 id: self.next_delay_id.fetch_add(1, Ordering::Relaxed),
-                pkt,
+                frame,
             });
             return SendStatus::Sent;
         }
-        self.inner.send_data(pkt, timeout)
+        self.inner.send_data(frame, timeout)
     }
 
-    fn recv_data(&self, node: NodeId, timeout: Duration) -> RecvStatus<Packet> {
+    fn recv_data(&self, node: NodeId, timeout: Duration) -> RecvStatus<DataFrame> {
         let deadline = Instant::now() + timeout;
         loop {
             let now = Instant::now();
             let (due, next_due) = self.pop_delayed(node, now, false);
-            if let Some(pkt) = due {
-                return RecvStatus::Msg(pkt);
+            if let Some(frame) = due {
+                return RecvStatus::Msg(frame);
             }
             let mut wait = deadline.saturating_duration_since(now);
             if let Some(nd) = next_due {
                 wait = wait.min(nd.saturating_duration_since(now));
             }
             match self.inner.recv_data(node, wait) {
-                RecvStatus::Msg(pkt) => return RecvStatus::Msg(pkt),
+                RecvStatus::Msg(frame) => return RecvStatus::Msg(frame),
                 RecvStatus::Closed => {
-                    // Fabric closed: flush held-back packets immediately so
+                    // Fabric closed: flush held-back frames immediately so
                     // nothing accepted before close() is lost.
                     return match self.pop_delayed(node, now, true).0 {
-                        Some(pkt) => RecvStatus::Msg(pkt),
+                        Some(frame) => RecvStatus::Msg(frame),
                         None => RecvStatus::Closed,
                     };
                 }
                 RecvStatus::TimedOut => {
                     if Instant::now() >= deadline {
-                        // One last chance for a packet that came due during
+                        // One last chance for a frame that came due during
                         // the inner wait.
                         return match self.pop_delayed(node, Instant::now(), false).0 {
-                            Some(pkt) => RecvStatus::Msg(pkt),
+                            Some(frame) => RecvStatus::Msg(frame),
                             None => RecvStatus::TimedOut,
                         };
                     }
@@ -223,13 +346,18 @@ impl<T: Transport> Transport for UnreliableTransport<T> {
         }
     }
 
-    fn send_ack(&self, ack: Ack) {
+    fn send_ack(&self, mut ack: AckFrame) {
         if ack.src != ack.dest {
-            let (down, drop) = {
+            let (down, drop, flips) = {
                 let mut link = self.link(ack.src, ack.dest).lock().unwrap();
                 let down = self.link_down(link.down_phase);
                 let drop = self.cfg.drop > 0.0 && link.rng.gen_bool(self.cfg.drop);
-                (down, drop)
+                let flips = if self.cfg.corrupt > 0.0 && link.rng.gen_bool(self.cfg.corrupt) {
+                    Some(roll_flips(&mut link.rng, ack.bytes.len()))
+                } else {
+                    None
+                };
+                (down, drop, flips)
             };
             if down {
                 self.link_down_drops.fetch_add(1, Ordering::Relaxed);
@@ -239,11 +367,22 @@ impl<T: Transport> Transport for UnreliableTransport<T> {
                 self.dropped_acks.fetch_add(1, Ordering::Relaxed);
                 return;
             }
+            if let Some(flips) = flips {
+                // Only the frame bytes are flipped; the routing stamps
+                // stay intact so the mangled ack still lands in the
+                // right mailbox to be rejected there. Counted at
+                // injection (not on accept): acks are fire-and-forget,
+                // so the receiver reconciles `<=` against this.
+                for (at, mask) in flips {
+                    ack.bytes[at] ^= mask;
+                }
+                self.corrupted_acks.fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.inner.send_ack(ack);
     }
 
-    fn try_recv_ack(&self, node: NodeId, lane: u32) -> Option<Ack> {
+    fn try_recv_ack(&self, node: NodeId, lane: u32) -> Option<AckFrame> {
         self.inner.try_recv_ack(node, lane)
     }
 
@@ -291,6 +430,11 @@ impl<T: Transport> Transport for UnreliableTransport<T> {
             duplicated: self.duplicated.load(Ordering::Relaxed),
             delayed: self.delayed_count.load(Ordering::Relaxed),
             link_down_drops: self.link_down_drops.load(Ordering::Relaxed),
+            corrupted_data: self.corrupted_data.load(Ordering::Relaxed),
+            truncated_data: self.truncated_data.load(Ordering::Relaxed),
+            garbage_data: self.garbage_data.load(Ordering::Relaxed),
+            misrouted_data: self.misrouted_data.load(Ordering::Relaxed),
+            corrupted_acks: self.corrupted_acks.load(Ordering::Relaxed),
         }
     }
 
@@ -312,10 +456,15 @@ impl<T: Transport> Transport for UnreliableTransport<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ChannelTransport;
+    use crate::{Ack, ChannelTransport};
+    use gravel_pgas::{FrameError, Packet, WireIntegrity};
 
-    fn pkt(src: u32, dest: u32, tag: u64) -> Packet {
-        Packet::from_words(src, dest, &[tag])
+    fn pkt(src: u32, dest: u32, tag: u64) -> DataFrame {
+        Packet::from_words(src, dest, &[tag]).seal(0, WireIntegrity::Crc32c)
+    }
+
+    fn words(f: &DataFrame) -> Vec<u64> {
+        f.open(WireIntegrity::Crc32c).expect("frame should be pristine").words()
     }
 
     const T: Duration = Duration::from_millis(300);
@@ -330,7 +479,7 @@ mod tests {
         }
         for i in 0..20 {
             match t.recv_data(1, T) {
-                RecvStatus::Msg(p) => assert_eq!(p.words(), vec![i]),
+                RecvStatus::Msg(f) => assert_eq!(words(&f), vec![i]),
                 other => panic!("{other:?}"),
             }
         }
@@ -386,8 +535,8 @@ mod tests {
             t.send_data(pkt(0, 1, i), T);
         }
         let mut got = Vec::new();
-        while let RecvStatus::Msg(p) = t.recv_data(1, Duration::from_millis(20)) {
-            got.push(p.words()[0]);
+        while let RecvStatus::Msg(f) = t.recv_data(1, Duration::from_millis(20)) {
+            got.push(words(&f)[0]);
         }
         assert_eq!(got.len(), 200, "nothing lost, only reordered");
         assert!(got.windows(2).any(|w| w[0] > w[1]), "some inversion exists");
@@ -407,7 +556,7 @@ mod tests {
         }
         for i in 0..50 {
             match t.recv_data(0, T) {
-                RecvStatus::Msg(p) => assert_eq!(p.words(), vec![i]),
+                RecvStatus::Msg(f) => assert_eq!(words(&f), vec![i]),
                 other => panic!("{other:?}"),
             }
         }
@@ -427,7 +576,7 @@ mod tests {
         t.send_data(pkt(0, 1, 42), T);
         t.close();
         match t.recv_data(1, Duration::from_millis(50)) {
-            RecvStatus::Msg(p) => assert_eq!(p.words(), vec![42]),
+            RecvStatus::Msg(f) => assert_eq!(words(&f), vec![42]),
             other => panic!("delayed packet lost at close: {other:?}"),
         }
         assert!(matches!(t.recv_data(1, Duration::from_millis(5)), RecvStatus::Closed));
@@ -467,5 +616,148 @@ mod tests {
         let drops = t.fault_stats().link_down_drops;
         assert!(drops > 0, "no send hit a down window");
         assert!(drops < 40, "link was never up");
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_counted() {
+        let run = |seed| {
+            let t = UnreliableTransport::new(
+                ChannelTransport::new(2, 1, 4096),
+                FaultConfig::corrupting(seed, 0.2),
+            );
+            for i in 0..1000 {
+                t.send_data(pkt(0, 1, i), T);
+            }
+            let s = t.fault_stats();
+            (s.corrupted_data, s.truncated_data, s.garbage_data, s.misrouted_data)
+        };
+        let a = run(21);
+        assert_eq!(a, run(21), "same seed, same corruption pattern");
+        assert_ne!(a, run(22), "different seed, different pattern");
+        let total = a.0 + a.1 + a.2 + a.3;
+        assert!((200..600).contains(&total), "~35% of 1000 corrupted somehow, got {total}");
+        assert!(a.0 > 0 && a.1 > 0 && a.2 > 0 && a.3 > 0, "every class fired: {a:?}");
+    }
+
+    #[test]
+    fn corrupted_frames_fail_verification_at_the_receiver() {
+        let t = UnreliableTransport::new(
+            ChannelTransport::new(2, 1, 4096),
+            FaultConfig { corrupt: 1.0, ..FaultConfig::quiet(23) },
+        );
+        for i in 0..100 {
+            assert_eq!(t.send_data(pkt(0, 1, i), T), SendStatus::Sent);
+        }
+        let mut bad = 0;
+        while let RecvStatus::Msg(f) = t.recv_data(1, Duration::from_millis(10)) {
+            assert!(f.open(WireIntegrity::Crc32c).is_err(), "flip went undetected");
+            bad += 1;
+        }
+        assert_eq!(bad as u64, t.fault_stats().corrupted_data);
+        assert_eq!(bad, 100, "every frame was delivered (mangled), none lost");
+    }
+
+    #[test]
+    fn truncated_frames_classify_as_truncation() {
+        let t = UnreliableTransport::new(
+            ChannelTransport::new(2, 1, 256),
+            FaultConfig { truncate: 1.0, ..FaultConfig::quiet(29) },
+        );
+        for i in 0..50 {
+            t.send_data(pkt(0, 1, i), T);
+        }
+        while let RecvStatus::Msg(f) = t.recv_data(1, Duration::from_millis(10)) {
+            let err = f.open(WireIntegrity::Crc32c).unwrap_err();
+            assert!(err.is_truncation(), "expected truncation, got {err}");
+        }
+        assert_eq!(t.fault_stats().truncated_data, 50);
+    }
+
+    #[test]
+    fn garbage_frames_fail_magic() {
+        let t = UnreliableTransport::new(
+            ChannelTransport::new(2, 1, 256),
+            FaultConfig { garbage: 1.0, ..FaultConfig::quiet(31) },
+        );
+        for i in 0..50 {
+            t.send_data(pkt(0, 1, i), T);
+        }
+        while let RecvStatus::Msg(f) = t.recv_data(1, Duration::from_millis(10)) {
+            assert!(matches!(
+                f.open(WireIntegrity::Crc32c),
+                Err(FrameError::BadMagic { .. })
+            ));
+        }
+        assert_eq!(t.fault_stats().garbage_data, 50);
+    }
+
+    #[test]
+    fn misrouted_frames_arrive_intact_at_the_wrong_node() {
+        let t = UnreliableTransport::new(
+            ChannelTransport::new(3, 1, 256),
+            FaultConfig { misroute: 1.0, ..FaultConfig::quiet(37) },
+        );
+        for i in 0..20 {
+            t.send_data(pkt(0, 1, i), T);
+        }
+        assert!(
+            matches!(t.recv_data(1, Duration::from_millis(10)), RecvStatus::TimedOut),
+            "nothing reaches the intended node"
+        );
+        let mut strays = 0;
+        for node in [0u32, 2] {
+            while let RecvStatus::Msg(f) = t.recv_data(node, Duration::from_millis(10)) {
+                // The frame verifies — misroutes corrupt routing, not
+                // bytes — and its header still names the true dest.
+                let p = f.open(WireIntegrity::Crc32c).expect("bytes intact");
+                assert_eq!(p.dest, 1, "header names the intended destination");
+                assert_ne!(f.dest, 1, "routing stamp was rewritten");
+                strays += 1;
+            }
+        }
+        assert_eq!(strays, 20);
+        assert_eq!(t.fault_stats().misrouted_data, 20);
+    }
+
+    #[test]
+    fn duplicates_are_pristine_even_when_the_original_is_corrupted() {
+        let t = UnreliableTransport::new(
+            ChannelTransport::new(2, 1, 256),
+            FaultConfig { duplicate: 1.0, corrupt: 1.0, ..FaultConfig::quiet(41) },
+        );
+        t.send_data(pkt(0, 1, 7), T);
+        let (mut ok, mut bad) = (0, 0);
+        while let RecvStatus::Msg(f) = t.recv_data(1, Duration::from_millis(10)) {
+            match f.open(WireIntegrity::Crc32c) {
+                Ok(p) => {
+                    assert_eq!(p.words(), vec![7]);
+                    ok += 1;
+                }
+                Err(_) => bad += 1,
+            }
+        }
+        assert_eq!((ok, bad), (1, 1), "one clean duplicate, one mangled original");
+    }
+
+    #[test]
+    fn corrupted_acks_fail_verification() {
+        let t = UnreliableTransport::new(
+            ChannelTransport::new(2, 1, 16),
+            FaultConfig { corrupt: 1.0, ..FaultConfig::quiet(43) },
+        );
+        for i in 0..20 {
+            t.send_ack(Ack { src: 1, dest: 0, lane: 0, cum_seq: i }.seal(0, WireIntegrity::Crc32c));
+        }
+        let mut bad = 0;
+        while let Some(f) = t.try_recv_ack(0, 0) {
+            assert!(f.open(WireIntegrity::Crc32c).is_err());
+            bad += 1;
+        }
+        assert_eq!(bad, 20);
+        assert_eq!(t.fault_stats().corrupted_acks, 20);
+        // Loopback acks are never touched.
+        t.send_ack(Ack { src: 0, dest: 0, lane: 0, cum_seq: 9 }.seal(0, WireIntegrity::Crc32c));
+        let f = t.try_recv_ack(0, 0).unwrap();
+        assert_eq!(f.open(WireIntegrity::Crc32c).unwrap().cum_seq, 9);
     }
 }

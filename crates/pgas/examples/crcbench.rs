@@ -1,0 +1,12 @@
+fn main() {
+    let data = vec![0xABu8; 40 * 1024];
+    let start = std::time::Instant::now();
+    let mut acc = 0u32;
+    let iters = 10_000;
+    for _ in 0..iters {
+        acc ^= gravel_pgas::crc32c(std::hint::black_box(&data));
+    }
+    let el = start.elapsed().as_secs_f64();
+    let gb = (data.len() as f64 * iters as f64) / el / 1e9;
+    println!("crc32c: {gb:.2} GB/s (acc={acc:08x})");
+}

@@ -9,6 +9,7 @@ use gravel_gq::{Command, Message};
 
 use crate::am::AmRegistry;
 use crate::heap::SymmetricHeap;
+use crate::quarantine::QuarantineReason;
 
 /// Outcome of applying one message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -17,15 +18,18 @@ pub enum Applied {
     Done,
     /// A shutdown sentinel was seen; the caller should stop its loop.
     Shutdown,
-    /// The message was malformed (bad command word or unknown handler)
-    /// and was dropped.
-    Dropped,
+    /// The message passed wire integrity but failed semantic validation
+    /// (out-of-range address, unknown handler). The caller decides the
+    /// policy — the live network thread diverts it to the node's
+    /// [`Quarantine`](crate::Quarantine); it still counts as disposed
+    /// for quiescence.
+    Rejected(QuarantineReason),
 }
 
 /// Apply one decoded message to the local heap. Replying active-message
 /// handlers emit follow-up messages through `reply`.
 ///
-/// A message addressing beyond the heap is *dropped*, not applied: the
+/// A message addressing beyond the heap is *rejected*, not applied: the
 /// network thread must survive corrupted or misrouted traffic (handlers
 /// receive the raw `addr` and do their own interpretation, so only
 /// PUT/INC are bounds-checked here).
@@ -39,14 +43,14 @@ pub fn apply(
     match msg.command {
         Command::Put => {
             if !in_bounds {
-                return Applied::Dropped;
+                return Applied::Rejected(QuarantineReason::OutOfRange);
             }
             heap.store(msg.addr, msg.value);
             Applied::Done
         }
         Command::Inc => {
             if !in_bounds {
-                return Applied::Dropped;
+                return Applied::Rejected(QuarantineReason::OutOfRange);
             }
             heap.fetch_add(msg.addr, msg.value);
             Applied::Done
@@ -55,7 +59,7 @@ pub fn apply(
             if ams.invoke(id, heap, msg.addr, msg.value, reply) {
                 Applied::Done
             } else {
-                Applied::Dropped
+                Applied::Rejected(QuarantineReason::UnknownHandler)
             }
         }
         Command::Shutdown => Applied::Shutdown,
@@ -64,10 +68,13 @@ pub fn apply(
 
 /// Apply a packed word stream of messages (message-major, 4 words each) to
 /// the local heap. Returns the number of messages *disposed of* — applied
-/// or dropped; a dropped message still counts, because quiescence
-/// tracking needs every routed message accounted for exactly once. Stops
-/// early on a shutdown sentinel (reported via the second tuple element).
-/// Replies from active-message handlers flow through `reply`.
+/// or rejected; a rejected message still counts, because quiescence
+/// tracking needs every routed message accounted for exactly once.
+/// Undecodable chunks are skipped without counting (this path also
+/// replays checkpoint journals, which must never perturb the vital
+/// counters). Stops early on a shutdown sentinel (reported via the
+/// second tuple element). Replies from active-message handlers flow
+/// through `reply`.
 pub fn apply_words(
     words: &[u64],
     heap: &SymmetricHeap,
@@ -80,7 +87,7 @@ pub fn apply_words(
             continue;
         };
         match apply(&msg, heap, ams, reply) {
-            Applied::Done | Applied::Dropped => disposed += 1,
+            Applied::Done | Applied::Rejected(_) => disposed += 1,
             Applied::Shutdown => return (disposed, true),
         }
     }
@@ -110,10 +117,13 @@ mod tests {
     }
 
     #[test]
-    fn unknown_handler_dropped() {
+    fn unknown_handler_rejected() {
         let heap = SymmetricHeap::new(1);
         let ams = AmRegistry::new();
-        assert_eq!(apply(&Message::active(0, 9, 0, 0), &heap, &ams, &mut |_| {}), Applied::Dropped);
+        assert_eq!(
+            apply(&Message::active(0, 9, 0, 0), &heap, &ams, &mut |_| {}),
+            Applied::Rejected(QuarantineReason::UnknownHandler)
+        );
     }
 
     #[test]
@@ -131,11 +141,31 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_addresses_are_dropped_not_panicked() {
+    fn out_of_range_addresses_are_quarantined_not_panicked() {
+        // OOB addresses must not vanish silently: they land in the
+        // quarantine with a counter, exactly as the network thread
+        // routes them (ISSUE 5 satellite b).
         let heap = SymmetricHeap::new(2);
         let ams = AmRegistry::new();
-        assert_eq!(apply(&Message::put(0, 99, 1), &heap, &ams, &mut |_| {}), Applied::Dropped);
-        assert_eq!(apply(&Message::inc(0, 2, 1), &heap, &ams, &mut |_| {}), Applied::Dropped);
+        let q = crate::Quarantine::detached(16);
+        for (i, msg) in [Message::put(0, 99, 1), Message::inc(0, 2, 1)].iter().enumerate() {
+            match apply(msg, &heap, &ams, &mut |_| {}) {
+                Applied::Rejected(reason) => {
+                    assert_eq!(reason, QuarantineReason::OutOfRange);
+                    q.push(crate::QuarantinedMessage {
+                        src: 0,
+                        lane: 0,
+                        seq: 0,
+                        index: i,
+                        words: msg.encode(),
+                        reason,
+                    });
+                }
+                other => panic!("expected rejection, got {other:?}"),
+            }
+        }
+        assert_eq!(q.total(), 2);
+        assert_eq!(q.drain().len(), 2);
         assert_eq!(heap.snapshot(), vec![0, 0]);
     }
 

@@ -11,16 +11,27 @@
 //!   125 µs timeout by default, paper Table 3) producing network
 //!   [`Packet`]s.
 //! * [`command`] — applying received messages as local memory operations.
+//! * [`frame`] — the checksummed wire frame (CRC32C header + trailer)
+//!   every packet and ack travels in.
+//! * [`quarantine`] — the bounded dead-letter buffer for CRC-clean but
+//!   semantically poisonous messages.
 
 pub mod am;
 pub mod command;
+pub mod frame;
 pub mod heap;
 pub mod nodeq;
 pub mod partition;
+pub mod quarantine;
 
 pub use am::{relax_min_handler, AmHandler, AmRegistry};
 pub use command::{apply, apply_words, Applied};
+pub use frame::{
+    crc32c, open_ack, open_frame, seal_ack, seal_frame, DataFrame, FrameError, FrameHead,
+    FrameKind, WireIntegrity, ACK_FRAME_BYTES, FRAME_OVERHEAD, HEADER_BYTES,
+};
 pub use heap::SymmetricHeap;
+pub use quarantine::{Quarantine, QuarantineReason, QuarantinedMessage};
 pub use nodeq::{
     AdaptiveFlush, AggCounters, AggStats, FlushPolicy, NodeQueues, Packet, DEFAULT_QUEUE_BYTES,
     DEFAULT_TIMEOUT,

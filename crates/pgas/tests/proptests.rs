@@ -2,8 +2,20 @@
 
 use std::time::{Duration, Instant};
 
-use gravel_pgas::{apply_words, AmRegistry, Layout, NodeQueues, Partition, SymmetricHeap};
+use gravel_pgas::{
+    apply_words, open_ack, open_frame, AmRegistry, DataFrame, FrameKind, Layout, NodeQueues,
+    Packet, Partition, SymmetricHeap, WireIntegrity, ACK_FRAME_BYTES,
+};
 use proptest::prelude::*;
+
+/// Case count for the wire-fuzz properties below. The default keeps CI
+/// fast; the nightly-style fuzz job raises it via `GRAVEL_FUZZ_CASES`.
+fn fuzz_cases() -> u32 {
+    std::env::var("GRAVEL_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -108,5 +120,98 @@ proptest! {
             .map(|(i, &w)| if i % 4 == 2 { w % 4 } else { w })
             .collect();
         let _ = apply_words(&words, &heap, &ams, &mut |_| {});
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    /// Flipping any single bit anywhere in a sealed data frame —
+    /// header, payload, or CRC trailer — must make it fail to open.
+    /// (CRC32C has Hamming distance ≥ 4 at these frame sizes, so a
+    /// flip the structural checks miss is always caught by the CRC.)
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        words in prop::collection::vec(any::<u64>(), 0..40),
+        src in 0u32..8,
+        dest in 0u32..8,
+        seq in any::<u64>(),
+        at in any::<usize>(),
+        bit in 0u32..8,
+    ) {
+        let mut pkt = Packet::from_words(src, dest, &words);
+        pkt.seq = seq;
+        let frame = pkt.seal(0, WireIntegrity::Crc32c);
+        prop_assert!(frame.open(WireIntegrity::Crc32c).is_ok());
+        let mut mangled = frame.bytes.to_vec();
+        let i = at % mangled.len();
+        mangled[i] ^= 1 << bit;
+        let bad = DataFrame {
+            bytes: bytes::Bytes::from(mangled),
+            ..frame
+        };
+        prop_assert!(bad.open(WireIntegrity::Crc32c).is_err());
+    }
+
+    /// Arbitrary bytes handed to the frame decoders — data, ack, with
+    /// integrity on or off — never panic; they decode or they error.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(
+        junk in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        for integrity in [WireIntegrity::Crc32c, WireIntegrity::Off] {
+            let _ = open_frame(&junk, FrameKind::Data, integrity);
+            let _ = open_frame(&junk, FrameKind::Ack, integrity);
+            let _ = open_ack(&junk, integrity);
+            let frame = DataFrame {
+                src: 0,
+                dest: 0,
+                born: Instant::now(),
+                bytes: bytes::Bytes::from(junk.clone()),
+            };
+            if let Ok(pkt) = frame.open(integrity) {
+                // If something structurally valid slipped through with
+                // the CRC off, decoding its messages must not panic
+                // either.
+                for i in 0..pkt.msg_count() {
+                    let _ = gravel_gq::Message::decode(pkt.msg_words(i));
+                }
+            }
+        }
+    }
+
+    /// Truncating a sealed frame at any boundary classifies as a
+    /// truncation (or a length mismatch) — never a panic, never a
+    /// successful open.
+    #[test]
+    fn truncations_never_open(
+        words in prop::collection::vec(any::<u64>(), 1..40),
+        cut in any::<usize>(),
+    ) {
+        let pkt = Packet::from_words(0, 1, &words);
+        let frame = pkt.seal(0, WireIntegrity::Crc32c);
+        let n = cut % frame.bytes.len(); // 0..len-1: strictly shorter
+        let short = DataFrame {
+            bytes: frame.bytes.slice(0..n),
+            ..frame
+        };
+        prop_assert!(short.open(WireIntegrity::Crc32c).is_err());
+        prop_assert!(short.open(WireIntegrity::Off).is_err());
+    }
+
+    /// Ack frames reject every single-bit flip too.
+    #[test]
+    fn ack_bit_flips_are_rejected(
+        src in any::<u32>(),
+        dest in any::<u32>(),
+        lane in any::<u32>(),
+        cum in any::<u64>(),
+        at in 0usize..ACK_FRAME_BYTES,
+        bit in 0u32..8,
+    ) {
+        let mut sealed = gravel_pgas::seal_ack(src, dest, lane, 3, cum, WireIntegrity::Crc32c);
+        prop_assert!(open_ack(&sealed, WireIntegrity::Crc32c).is_ok());
+        sealed[at] ^= 1 << bit;
+        prop_assert!(open_ack(&sealed, WireIntegrity::Crc32c).is_err());
     }
 }

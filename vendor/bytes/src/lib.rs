@@ -7,51 +7,91 @@
 //! refcounting; `split` copies nothing (it takes the whole vector) and
 //! `freeze` does one allocation handoff.
 
-use std::ops::{Deref, DerefMut};
+use std::ops::{Deref, DerefMut, Range};
 use std::sync::Arc;
 
-/// An immutable, cheaply clonable byte buffer.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
-pub struct Bytes(Arc<[u8]>);
+/// An immutable, cheaply clonable byte buffer — a `(start, end)` view
+/// into a shared allocation, so [`Bytes::slice`] is zero-copy like the
+/// upstream crate.
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Bytes { data: Arc::from(&[][..]), start: 0, end: 0 }
     }
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        let data: Arc<[u8]> = Arc::from(data);
+        let end = data.len();
+        Bytes { data, start: 0, end }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
+    }
+
+    /// A sub-view of this buffer sharing the same allocation (no copy).
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of range");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (**self).hash(state);
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        let data: Arc<[u8]> = Arc::from(v.into_boxed_slice());
+        let end = data.len();
+        Bytes { data, start: 0, end }
     }
 }
 
@@ -145,6 +185,11 @@ pub trait BufMut {
     /// Append one byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    /// Append a `u16`, little-endian.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
     }
 
     /// Append a `u32`, little-endian.
