@@ -55,6 +55,7 @@ fn fault_label(f: &ProcessFault) -> String {
         ProcessFault::HeartbeatBlackhole { node, from_beat, beats } => {
             format!("hb-hole {node} @{from_beat}+{beats}")
         }
+        ProcessFault::KillProcess { node, at_step } => format!("kill -9 {node} @{at_step}"),
     }
 }
 

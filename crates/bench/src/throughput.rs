@@ -344,7 +344,7 @@ pub fn measure(
         None => f64::NAN,
     };
     ThroughputReport {
-        schema: "gravel.throughput.v2".to_string(),
+        schema: "gravel.throughput.v3".to_string(),
         quick,
         gups_updates: scale.gups_updates,
         pagerank_vertices: scale.pr_vertices,
@@ -354,10 +354,134 @@ pub fn measure(
     }
 }
 
-/// Write the report to `path` (pretty JSON).
+/// Write the report to `path` (pretty JSON), appending to the per-commit
+/// history instead of overwriting it.
+///
+/// The document keeps the latest report's fields at the top level (the
+/// CI smoke assert and ad-hoc readers consume those) and accumulates a
+/// `history` array with one entry per commit, keyed by `git_sha`.
+/// Re-running on the same commit replaces that commit's entry, so the
+/// file tracks the perf trajectory across PRs without duplicate points.
 pub fn save(report: &ThroughputReport, path: &str) -> std::io::Result<()> {
+    use serde::{Serialize as _, Value};
+
+    let sha = git_head_sha();
+    let mut history: Vec<Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| serde_json::from_str::<Value>(&t).ok())
+        .and_then(|old| match old.get("history") {
+            Some(Value::Array(h)) => Some(h.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    history.retain(|e| e.get("git_sha").and_then(Value::as_str) != Some(sha.as_str()));
+    let mut entry = match report.serialize() {
+        Value::Object(fields) => fields,
+        _ => unreachable!("a struct serializes to an object"),
+    };
+    entry.retain(|(k, _)| k != "schema"); // entry shape is the document's
+    entry.insert(0, ("git_sha".to_string(), Value::Str(sha.clone())));
+    history.push(Value::Object(entry));
+    let mut doc = match report.serialize() {
+        Value::Object(fields) => fields,
+        _ => unreachable!("a struct serializes to an object"),
+    };
+    doc.push(("git_sha".to_string(), Value::Str(sha)));
+    doc.push(("history".to_string(), Value::Array(history)));
     let mut f = std::fs::File::create(path)?;
-    f.write_all(serde_json::to_string_pretty(report).unwrap().as_bytes())?;
+    f.write_all(
+        serde_json::to_string_pretty(&Value::Object(doc))
+            .map_err(|e| std::io::Error::other(e.to_string()))?
+            .as_bytes(),
+    )?;
     eprintln!("[saved {path}]");
     Ok(())
+}
+
+/// The current commit's SHA, or `"unknown"` outside a git checkout.
+fn git_head_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod save_tests {
+    use super::*;
+    use serde::Value;
+
+    fn tiny_report() -> ThroughputReport {
+        ThroughputReport {
+            schema: "gravel.throughput.v3".to_string(),
+            quick: true,
+            gups_updates: 1,
+            pagerank_vertices: 1,
+            cells: Vec::new(),
+            gups_speedup: 1.0,
+            integrity_tax: 0.0,
+        }
+    }
+
+    fn read_doc(path: &str) -> Value {
+        serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap()
+    }
+
+    fn history(doc: &Value) -> Vec<Value> {
+        match doc.get("history") {
+            Some(Value::Array(h)) => h.clone(),
+            other => panic!("history missing: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_appends_history_and_replaces_same_commit() {
+        let path = std::env::temp_dir()
+            .join(format!("gravel_bench_hist_{}.json", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        std::fs::remove_file(&path).ok();
+        save(&tiny_report(), &path).unwrap();
+        // Same commit again: the history entry is replaced, not duplicated.
+        save(&tiny_report(), &path).unwrap();
+        let doc = read_doc(&path);
+        assert_eq!(doc.get("schema").and_then(Value::as_str), Some("gravel.throughput.v3"));
+        assert!(
+            matches!(doc.get("cells"), Some(Value::Array(_))),
+            "latest cells stay at the top level"
+        );
+        let hist = history(&doc);
+        assert_eq!(hist.len(), 1, "same-SHA entries are replaced");
+        assert!(hist[0].get("git_sha").and_then(Value::as_str).is_some());
+        // An entry for a *different* commit survives the next save.
+        let mut other_fields = match &hist[0] {
+            Value::Object(f) => f.clone(),
+            other => panic!("entry not an object: {other:?}"),
+        };
+        for (k, v) in &mut other_fields {
+            if k == "git_sha" {
+                *v = Value::Str("0".repeat(40));
+            }
+        }
+        let mut doc_fields = match doc {
+            Value::Object(f) => f,
+            _ => unreachable!(),
+        };
+        for (k, v) in &mut doc_fields {
+            if k == "history" {
+                if let Value::Array(h) = v {
+                    h.push(Value::Object(other_fields.clone()));
+                }
+            }
+        }
+        std::fs::write(&path, serde_json::to_string(&Value::Object(doc_fields)).unwrap())
+            .unwrap();
+        save(&tiny_report(), &path).unwrap();
+        assert_eq!(history(&read_doc(&path)).len(), 2, "other commits kept");
+        std::fs::remove_file(&path).ok();
+    }
 }

@@ -195,6 +195,20 @@ impl FailureDetector {
         dead
     }
 
+    /// Forget `peer`'s latched verdict and restart its silence clock at
+    /// `now`: the membership layer calls this when a declared-dead peer
+    /// completes a fresh handshake (a *new* incarnation of the process,
+    /// not a resurrection of the old one — the latch still protects
+    /// against late beats from a zombie). The EWMA restarts from the
+    /// conservative prior so the rejoined peer gets warmup slack.
+    pub fn reset_peer(&self, peer: u32, now: Instant) {
+        let mut peers = self.peers.lock().unwrap_or_else(|p| p.into_inner());
+        peers.insert(
+            peer,
+            PeerState { last: Some(now), ewma_ns: 0.0, samples: 0, dead: false },
+        );
+    }
+
     /// Start observing `peer` from `now` (its silence clock starts
     /// here, not at detector construction). The heartbeat thread calls
     /// this for every peer at startup.
@@ -328,6 +342,23 @@ mod tests {
         d.note_beat(1, last + Duration::from_millis(201));
         assert_eq!(d.status(1, last + Duration::from_millis(202)), PeerStatus::Dead);
         assert_eq!(d.dead_peers(), vec![1]);
+    }
+
+    #[test]
+    fn reset_peer_clears_the_latch_for_a_rejoined_incarnation() {
+        let d = FailureDetector::new(cfg());
+        let t0 = Instant::now();
+        d.track(1, t0);
+        let dead_at = t0 + Duration::from_millis(500);
+        assert_eq!(d.status(1, dead_at), PeerStatus::Dead);
+        // Fresh handshake from the restarted process: latch clears and
+        // the warmup prior applies again.
+        let rejoin = dead_at + Duration::from_millis(10);
+        d.reset_peer(1, rejoin);
+        assert_eq!(d.status(1, rejoin + Duration::from_millis(20)), PeerStatus::Alive);
+        assert_eq!(d.dead_peers(), Vec::<u32>::new());
+        // And it can die again under renewed silence.
+        assert_eq!(d.status(1, rejoin + Duration::from_millis(500)), PeerStatus::Dead);
     }
 
     #[test]

@@ -90,6 +90,40 @@ impl RecvState {
             flow.resume_at = 0;
         }
     }
+
+    /// Snapshot every flow's next-expected sequence number as
+    /// `(src, lane, expected)` triples — the receiver half of an epoch
+    /// checkpoint. Taken under the state lock, so it is consistent
+    /// with the heap (no packet is mid-apply).
+    pub fn flow_cursors(&self) -> Vec<(u32, u32, u64)> {
+        self.flows
+            .iter()
+            .map(|(&(src, lane), f)| (src, lane, f.expected))
+            .collect()
+    }
+
+    /// Restore a flow's next-expected sequence number (process
+    /// recovery: a restarted node replays its checkpoint + forwarded
+    /// log, then seeds the cursors so retransmissions of
+    /// already-applied packets dup-suppress instead of re-applying).
+    /// Must be called before the network thread starts consuming.
+    pub fn seed_flow(&mut self, src: u32, lane: u32, expected: u64) {
+        let flow = self.flows.entry((src, lane)).or_default();
+        flow.expected = expected;
+        flow.resume_at = 0;
+        flow.ooo.clear();
+    }
+}
+
+/// Receiver-side hook invoked for every fully applied packet, *while
+/// the receive-state lock is still held and before the cumulative ack
+/// is sent*. That ordering is what makes crash-consistent replay
+/// forwarding possible: a node that forwards the packet to its buddy
+/// inside the tap knows the forward was written before the sender
+/// could ever see the ack, so an acked packet is never missing from
+/// the buddy's log (forward-before-ack).
+pub trait PacketTap: Send + Sync {
+    fn on_packet_applied(&self, pkt: &Packet);
 }
 
 impl Default for RecvState {
@@ -251,6 +285,20 @@ pub fn run_supervised(
     state: Arc<Mutex<RecvState>>,
     chaos: Option<Arc<ChaosPlan>>,
 ) {
+    run_with_tap(node, transport, errors, state, chaos, None)
+}
+
+/// [`run_supervised`] plus an optional [`PacketTap`] observing every
+/// fully applied packet before its ack leaves (the multi-process
+/// runtime forwards packets to a buddy node here).
+pub fn run_with_tap(
+    node: Arc<NodeShared>,
+    transport: Arc<dyn Transport>,
+    errors: Arc<ErrorSlot>,
+    state: Arc<Mutex<RecvState>>,
+    chaos: Option<Arc<ChaosPlan>>,
+    tap: Option<Arc<dyn PacketTap>>,
+) {
     loop {
         let frame = match transport.recv_data(node.id, RECV_TIMEOUT) {
             RecvStatus::Msg(frame) => frame,
@@ -303,6 +351,9 @@ pub fn run_supervised(
         } else {
             apply_packet(&node, &pkt, &mut flow.resume_at, chaos.as_deref());
             flow.expected += 1;
+            if let Some(t) = &tap {
+                t.on_packet_applied(&pkt);
+            }
             // Drain any buffered successors the gap was hiding. A panic
             // mid-drain loses the popped packet but not its messages:
             // `expected` was not yet advanced past it, so the sender's
@@ -310,6 +361,9 @@ pub fn run_supervised(
             while let Some(next) = flow.ooo.remove(&flow.expected) {
                 apply_packet(&node, &next, &mut flow.resume_at, chaos.as_deref());
                 flow.expected += 1;
+                if let Some(t) = &tap {
+                    t.on_packet_applied(&next);
+                }
             }
         }
         // Cumulative ack: everything below `expected` is applied. Acks

@@ -35,6 +35,14 @@ pub enum ProcessFault {
     /// is not one-shot — the whole window is blackholed — and it is how
     /// tests make the failure detector declare a live node dead.
     HeartbeatBlackhole { node: NodeId, from_beat: u64, beats: u64 },
+    /// Kill the whole OS process of `node` when it has applied its
+    /// `at_step`th packet. Thread panics are healed by the in-process
+    /// supervisor; this one is not — it is the `kill -9` class of
+    /// fault. In-process the victim calls `std::process::abort()` on a
+    /// matching [`kill_tick`](ChaosPlan::kill_tick); multi-process
+    /// harnesses instead read the plan and deliver a literal SIGKILL
+    /// from outside.
+    KillProcess { node: NodeId, at_step: u64 },
 }
 
 /// A deterministic schedule of process faults, shared by every worker
@@ -50,6 +58,8 @@ pub struct ChaosPlan {
     agg_steps: Mutex<HashMap<(NodeId, u32), u64>>,
     /// Apply-step counters per node network thread.
     net_steps: Mutex<HashMap<NodeId, u64>>,
+    /// Applied-packet counters per node process (for `KillProcess`).
+    kill_steps: Mutex<HashMap<NodeId, u64>>,
 }
 
 impl ChaosPlan {
@@ -61,6 +71,7 @@ impl ChaosPlan {
             fired,
             agg_steps: Mutex::new(HashMap::new()),
             net_steps: Mutex::new(HashMap::new()),
+            kill_steps: Mutex::new(HashMap::new()),
         }
     }
 
@@ -141,6 +152,54 @@ impl ChaosPlan {
         };
         self.fire_matching(|f| {
             matches!(f, ProcessFault::PanicNet { node: n, at_step }
+                if *n == node && *at_step == step)
+        })
+    }
+
+    /// A seeded single process-kill plan for multi-process harnesses:
+    /// picks a victim node and an applied-packet count within
+    /// `horizon`. Same seed + same topology → same victim and step, so
+    /// a run is reproducible end to end even though the kill itself is
+    /// an OS-level SIGKILL.
+    pub fn seeded_kill(seed: u64, nodes: usize, horizon: u64) -> Self {
+        assert!(nodes > 0 && horizon > 0, "empty chaos domain");
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        };
+        let node = (next() % nodes as u64) as NodeId;
+        let at_step = 1 + next() % horizon;
+        ChaosPlan::new(vec![ProcessFault::KillProcess { node, at_step }])
+    }
+
+    /// The scheduled process kill for `node`, if any (harnesses use
+    /// this to know whom to SIGKILL and the victim process uses
+    /// [`kill_tick`](ChaosPlan::kill_tick) to self-abort
+    /// deterministically).
+    pub fn process_kill(&self, node: NodeId) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            ProcessFault::KillProcess { node: n, at_step } if *n == node => Some(*at_step),
+            _ => None,
+        })
+    }
+
+    /// Called by node `node`'s process once per fully applied packet.
+    /// Returns true exactly once per matching `KillProcess`: the caller
+    /// must then die for real (`std::process::abort()`), not panic —
+    /// the in-process supervisor must not be able to heal it.
+    pub fn kill_tick(&self, node: NodeId) -> bool {
+        let step = {
+            let mut steps = self.kill_steps.lock().unwrap();
+            let s = steps.entry(node).or_insert(0);
+            *s += 1;
+            *s
+        };
+        self.fire_matching(|f| {
+            matches!(f, ProcessFault::KillProcess { node: n, at_step }
                 if *n == node && *at_step == step)
         })
     }
@@ -246,7 +305,34 @@ mod tests {
         let plan = ChaosPlan::none();
         assert!(!plan.agg_tick(0, 0));
         assert!(!plan.net_tick(0));
+        assert!(!plan.kill_tick(0));
         assert!(!plan.heartbeat_blackholed(0, 0));
         assert_eq!(plan.kills_planned(), 0);
+    }
+
+    #[test]
+    fn process_kill_fires_once_at_exact_packet() {
+        let plan = ChaosPlan::new(vec![ProcessFault::KillProcess { node: 2, at_step: 2 }]);
+        assert_eq!(plan.process_kill(2), Some(2));
+        assert_eq!(plan.process_kill(0), None);
+        assert!(!plan.kill_tick(2)); // packet 1
+        assert!(!plan.kill_tick(0)); // other node, own counter
+        assert!(plan.kill_tick(2)); // packet 2: die
+        assert!(!plan.kill_tick(2)); // one-shot (a restarted process
+                                     // builds a fresh plan anyway)
+        assert_eq!(plan.kills_planned(), 1, "a process kill is a kill");
+    }
+
+    #[test]
+    fn seeded_kill_is_reproducible_and_in_range() {
+        let a = ChaosPlan::seeded_kill(7, 4, 50);
+        let b = ChaosPlan::seeded_kill(7, 4, 50);
+        assert_eq!(a.faults(), b.faults());
+        match a.faults()[0] {
+            ProcessFault::KillProcess { node, at_step } => {
+                assert!(node < 4 && (1..=50).contains(&at_step));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

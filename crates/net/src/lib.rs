@@ -31,11 +31,16 @@
 mod channel;
 pub mod chaos;
 mod fault;
+pub mod socket;
 mod unreliable;
 
 pub use channel::ChannelTransport;
 pub use chaos::{ChaosPlan, ProcessFault};
 pub use fault::{FaultConfig, FaultStats, RetryConfig, TransportKind};
+pub use socket::{
+    ControlMsg, PeerEvent, ReconnectConfig, SocketAddrSpec, SocketConfig, SocketStats,
+    SocketTransport, StreamDecoder, MAX_FRAME_BYTES,
+};
 pub use unreliable::UnreliableTransport;
 
 use std::time::Duration;

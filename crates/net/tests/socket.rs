@@ -1,0 +1,394 @@
+//! In-process tests for the socket transport: handshake, routing on
+//! every plane, version rejection, bounded redial backoff, and
+//! stream-reassembly at every split offset.
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gravel_net::{
+    Ack, Heartbeat, PeerEvent, ReconnectConfig, RecvStatus, SocketAddrSpec, SocketConfig,
+    SocketTransport, StreamDecoder, Transport, MAX_FRAME_BYTES,
+};
+use gravel_pgas::frame::{crc32c, open_reject, seal_control, seal_hello, HelloInfo, RejectReason};
+use gravel_pgas::{seal_ack, Packet, WireIntegrity, HEADER_BYTES};
+use proptest::prelude::*;
+
+fn temp_path(tag: &str) -> PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!("gravel-sock-{}-{tag}-{n}", std::process::id()))
+}
+
+fn uds_pair(tag: &str) -> Vec<SocketAddrSpec> {
+    vec![
+        SocketAddrSpec::Uds(temp_path(&format!("{tag}-0"))),
+        SocketAddrSpec::Uds(temp_path(&format!("{tag}-1"))),
+    ]
+}
+
+fn fast_reconnect() -> ReconnectConfig {
+    ReconnectConfig {
+        base: Duration::from_millis(5),
+        max: Duration::from_millis(50),
+        handshake_timeout: Duration::from_secs(2),
+    }
+}
+
+fn spawn_pair(tag: &str) -> (Arc<SocketTransport>, Arc<SocketTransport>) {
+    let addrs = uds_pair(tag);
+    let mut cfg0 = SocketConfig::new(0, addrs.clone());
+    cfg0.reconnect = fast_reconnect();
+    let mut cfg1 = SocketConfig::new(1, addrs);
+    cfg1.reconnect = fast_reconnect();
+    let t0 = SocketTransport::spawn(cfg0).expect("bind node 0");
+    let t1 = SocketTransport::spawn(cfg1).expect("bind node 1");
+    assert!(t0.wait_connected(1, Duration::from_secs(5)), "0 sees 1");
+    assert!(t1.wait_connected(0, Duration::from_secs(5)), "1 sees 0");
+    (t0, t1)
+}
+
+fn poll<T>(deadline: Duration, mut f: impl FnMut() -> Option<T>) -> T {
+    let until = Instant::now() + deadline;
+    loop {
+        if let Some(v) = f() {
+            return v;
+        }
+        assert!(Instant::now() < until, "poll timed out");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn uds_roundtrip_all_planes() {
+    let (t0, t1) = spawn_pair("roundtrip");
+
+    // Data plane: a sealed packet crosses the socket and opens clean.
+    let mut pkt = Packet::from_words(1, 0, &[10, 20, 30, 40]);
+    pkt.seq = 7;
+    let frame = pkt.seal(3, WireIntegrity::Crc32c);
+    assert_eq!(
+        t1.send_data(frame, Duration::from_secs(1)),
+        gravel_net::SendStatus::Sent
+    );
+    let got = poll(Duration::from_secs(5), || {
+        match t0.recv_data(0, Duration::from_millis(50)) {
+            RecvStatus::Msg(f) => Some(f),
+            _ => None,
+        }
+    });
+    let back = got.open(WireIntegrity::Crc32c).expect("clean frame");
+    // `born` is re-stamped at the receiving endpoint (it never crosses
+    // a real wire), so compare the protocol fields.
+    assert_eq!(
+        (back.src, back.dest, back.lane, back.seq, back.words()),
+        (pkt.src, pkt.dest, pkt.lane, pkt.seq, pkt.words())
+    );
+
+    // Ack plane, node 0 -> node 1 lane 0.
+    let ack = Ack { src: 0, dest: 1, lane: 0, cum_seq: 7 };
+    t0.send_ack(ack.seal(3, WireIntegrity::Crc32c));
+    let af = poll(Duration::from_secs(5), || t1.try_recv_ack(1, 0));
+    assert_eq!(af.open(WireIntegrity::Crc32c).unwrap(), ack);
+
+    // Heartbeat plane (sealed + verified over the wire).
+    t0.send_heartbeat(Heartbeat { src: 0, dest: 1, seq: 42 });
+    let hb = poll(Duration::from_secs(5), || t1.try_recv_heartbeat(1));
+    assert_eq!(hb, Heartbeat { src: 0, dest: 1, seq: 42 });
+
+    // Control plane, including loopback.
+    assert!(t1.send_control(0, &[9, 8, 7]));
+    let msg = poll(Duration::from_secs(5), || match t0.recv_control(Duration::from_millis(50)) {
+        RecvStatus::Msg(m) => Some(m),
+        _ => None,
+    });
+    assert_eq!((msg.src, msg.words.as_slice()), (1, &[9u64, 8, 7][..]));
+    assert!(t0.send_control(0, &[5]));
+    let lo = poll(Duration::from_secs(5), || match t0.recv_control(Duration::from_millis(50)) {
+        RecvStatus::Msg(m) => Some(m),
+        _ => None,
+    });
+    assert_eq!((lo.src, lo.words.as_slice()), (0, &[5u64][..]));
+
+    // Loopback data obeys the same bounded-ingress semantics.
+    let self_pkt = Packet::from_words(0, 0, &[1, 2, 3, 4]);
+    let self_frame = self_pkt.seal(0, WireIntegrity::Crc32c);
+    t0.send_data(self_frame, Duration::from_secs(1));
+    let lo = poll(Duration::from_secs(5), || {
+        match t0.recv_data(0, Duration::from_millis(50)) {
+            RecvStatus::Msg(f) => Some(f),
+            _ => None,
+        }
+    });
+    assert_eq!(lo.open(WireIntegrity::Crc32c).unwrap(), self_pkt);
+
+    let s0 = t0.stats();
+    assert_eq!(s0.handshakes, 1);
+    assert_eq!(s0.reconnects, 0);
+    assert_eq!(s0.handshake_rejects, 0);
+    t0.close();
+    t1.close();
+}
+
+#[test]
+fn tcp_behind_the_same_code() {
+    // Node 0 binds an ephemeral port; node 1 (the dialer for the pair)
+    // learns it before spawning.
+    let mut cfg0 = SocketConfig::new(
+        0,
+        vec![
+            SocketAddrSpec::Tcp("127.0.0.1:0".into()),
+            SocketAddrSpec::Tcp("127.0.0.1:0".into()),
+        ],
+    );
+    cfg0.reconnect = fast_reconnect();
+    let t0 = SocketTransport::spawn(cfg0).expect("bind tcp node 0");
+    let port = t0.tcp_port();
+    assert_ne!(port, 0);
+    let mut cfg1 = SocketConfig::new(
+        1,
+        vec![
+            SocketAddrSpec::Tcp(format!("127.0.0.1:{port}")),
+            SocketAddrSpec::Tcp("127.0.0.1:0".into()),
+        ],
+    );
+    cfg1.reconnect = fast_reconnect();
+    let t1 = SocketTransport::spawn(cfg1).expect("bind tcp node 1");
+    assert!(t1.wait_connected(0, Duration::from_secs(5)));
+
+    let pkt = Packet::from_words(1, 0, &[0xdead, 0xbeef, 2, 2]);
+    t1.send_data(pkt.seal(0, WireIntegrity::Crc32c), Duration::from_secs(1));
+    let got = poll(Duration::from_secs(5), || {
+        match t0.recv_data(0, Duration::from_millis(50)) {
+            RecvStatus::Msg(f) => Some(f),
+            _ => None,
+        }
+    });
+    let back = got.open(WireIntegrity::Crc32c).unwrap();
+    assert_eq!(
+        (back.src, back.dest, back.seq, back.words()),
+        (pkt.src, pkt.dest, pkt.seq, pkt.words())
+    );
+    t0.close();
+    t1.close();
+}
+
+/// Satellite: a HELLO carrying a mismatched wire version gets a
+/// counted, logged REJECT frame back — never a silent hang.
+#[test]
+fn version_mismatch_is_rejected_with_a_frame() {
+    let path = temp_path("reject-listener");
+    let addrs = vec![
+        SocketAddrSpec::Uds(path.clone()),
+        SocketAddrSpec::Uds(temp_path("reject-ghost")),
+    ];
+    let t0 = SocketTransport::spawn(SocketConfig::new(0, addrs)).expect("bind");
+
+    // Craft a HELLO from "node 1" and stamp an alien wire version,
+    // re-sealing the CRC so only the version check can fail.
+    let hello = seal_hello(
+        &HelloInfo { node: 1, peer: 0, nodes: 2, lanes: 1, epoch: 0 },
+        WireIntegrity::Crc32c,
+    );
+    let mut alien = hello.to_vec();
+    alien[4] = 0x2a;
+    alien[5] = 0;
+    let tail = alien.len() - 4;
+    let crc = crc32c(&alien[..tail]);
+    alien[tail..].copy_from_slice(&crc.to_le_bytes());
+
+    let mut raw = UnixStream::connect(&path).expect("dial listener");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.write_all(&(alien.len() as u32).to_le_bytes()).unwrap();
+    raw.write_all(&alien).unwrap();
+
+    let mut len = [0u8; 4];
+    raw.read_exact(&mut len).expect("a reply frame, not a hang");
+    let mut reply = vec![0u8; u32::from_le_bytes(len) as usize];
+    raw.read_exact(&mut reply).unwrap();
+    let (src, reason, detail) = open_reject(&reply, WireIntegrity::Crc32c).expect("REJECT");
+    assert_eq!(src, 0);
+    assert_eq!(reason, RejectReason::Version);
+    assert_eq!(detail, 0x2a);
+
+    // The stream is closed after the rejection.
+    let n = raw.read(&mut len).unwrap_or(0);
+    assert_eq!(n, 0, "rejecting side closes the stream");
+    assert_eq!(t0.stats().handshake_rejects, 1);
+
+    // Garbage that is not a HELLO at all is rejected as Protocol.
+    let mut raw = UnixStream::connect(&path).expect("dial again");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let junk = [0x13u8; 64];
+    raw.write_all(&(junk.len() as u32).to_le_bytes()).unwrap();
+    raw.write_all(&junk).unwrap();
+    let mut len = [0u8; 4];
+    raw.read_exact(&mut len).expect("a reply frame");
+    let mut reply = vec![0u8; u32::from_le_bytes(len) as usize];
+    raw.read_exact(&mut reply).unwrap();
+    let (_, reason, _) = open_reject(&reply, WireIntegrity::Crc32c).expect("REJECT");
+    assert_eq!(reason, RejectReason::Protocol);
+    assert_eq!(t0.stats().handshake_rejects, 2);
+    t0.close();
+}
+
+/// A dialer that keeps getting connection-refused backs off
+/// exponentially (with jitter) instead of storming, and heals the
+/// moment the listener appears — then survives a listener death and
+/// counts the reconnect.
+#[test]
+fn redial_backoff_is_bounded_and_heals() {
+    let addrs = uds_pair("backoff");
+    let mut cfg1 = SocketConfig::new(1, addrs.clone());
+    cfg1.reconnect = ReconnectConfig {
+        base: Duration::from_millis(10),
+        max: Duration::from_millis(100),
+        handshake_timeout: Duration::from_secs(2),
+    };
+    // Node 1 dials node 0, which does not exist yet.
+    let t1 = SocketTransport::spawn(cfg1).expect("bind node 1");
+    std::thread::sleep(Duration::from_millis(600));
+    let failures = t1.stats().connect_failures;
+    // Pure 10ms polling would rack up ~60 failures in 600ms; the
+    // exponential schedule (10+15+20+30+... capped at 100+jitter)
+    // keeps it far lower while still retrying promptly.
+    assert!(failures >= 2, "dialer must keep trying (got {failures})");
+    assert!(failures <= 20, "backoff must bound the storm (got {failures})");
+
+    // The listener appears; the link heals without intervention.
+    let mut cfg0 = SocketConfig::new(0, addrs.clone());
+    cfg0.reconnect = fast_reconnect();
+    let t0 = SocketTransport::spawn(cfg0).expect("bind node 0");
+    assert!(t1.wait_connected(0, Duration::from_secs(5)), "link heals");
+    assert_eq!(t1.stats().reconnects, 0, "first connect is not a reconnect");
+    let up = poll(Duration::from_secs(5), || t1.poll_event(Duration::from_millis(20)));
+    assert_eq!(up, PeerEvent::Up(0));
+
+    // Kill the listener end; the dialer notices, redials, and the
+    // replacement handshake counts as a reconnect.
+    t0.close();
+    drop(t0);
+    let down = poll(Duration::from_secs(5), || {
+        t1.poll_event(Duration::from_millis(20)).filter(|e| matches!(e, PeerEvent::Down(0)))
+    });
+    assert_eq!(down, PeerEvent::Down(0));
+    let mut cfg0b = SocketConfig::new(0, addrs);
+    cfg0b.reconnect = fast_reconnect();
+    let t0b = SocketTransport::spawn(cfg0b).expect("rebind node 0");
+    assert!(t1.wait_connected(0, Duration::from_secs(5)), "link re-heals");
+    assert_eq!(t1.stats().reconnects, 1);
+    t0b.close();
+    t1.close();
+}
+
+/// Satellite: stream reassembly split at *every* byte offset. A valid
+/// multi-frame byte stream cut into two arbitrary reads must reassemble
+/// into the identical frame sequence.
+#[test]
+fn reassembly_survives_a_split_at_every_offset() {
+    let mut stream = Vec::new();
+    let mut frames = Vec::new();
+    let pkt = Packet::from_words(1, 0, &[11, 22, 33, 44, 55, 66, 77, 88]);
+    for bytes in [
+        pkt.seal(1, WireIntegrity::Crc32c).bytes.to_vec(),
+        seal_ack(0, 1, 0, 1, 3, WireIntegrity::Crc32c).to_vec(),
+        seal_control(1, 0, 2, &[1, 2, 3], WireIntegrity::Crc32c).to_vec(),
+    ] {
+        stream.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        stream.extend_from_slice(&bytes);
+        frames.push(bytes);
+    }
+    for cut in 0..=stream.len() {
+        let mut dec = StreamDecoder::new(MAX_FRAME_BYTES);
+        let mut got = Vec::new();
+        for part in [&stream[..cut], &stream[cut..]] {
+            dec.push(part);
+            while let Some(f) = dec.next_frame().expect("valid stream") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames, "split at byte {cut}");
+        assert_eq!(dec.pending(), 0, "split at byte {cut}");
+    }
+}
+
+/// An oversized length prefix is a framing error, not an allocation.
+#[test]
+fn oversized_length_prefix_is_rejected() {
+    let mut dec = StreamDecoder::new(1024);
+    dec.push(&(4096u32).to_le_bytes());
+    dec.push(&[0u8; 8]);
+    assert_eq!(dec.next_frame(), Err(4096));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("GRAVEL_FUZZ_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    ))]
+
+    /// Random chunkings of a random valid frame stream always
+    /// reassemble to the identical frame sequence, regardless of how
+    /// the reads were sliced.
+    #[test]
+    fn reassembly_is_chunking_invariant(
+        seqs in prop::collection::vec(any::<u64>(), 1..8),
+        cuts in prop::collection::vec(1usize..64, 0..24),
+    ) {
+        let mut stream = Vec::new();
+        let mut frames = Vec::new();
+        for (i, &seq) in seqs.iter().enumerate() {
+            let mut pkt = Packet::from_words(1, 0, &[seq, i as u64, 0, 0]);
+            pkt.seq = seq;
+            let bytes = pkt.seal(0, WireIntegrity::Crc32c).bytes.to_vec();
+            stream.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            stream.extend_from_slice(&bytes);
+            frames.push(bytes);
+        }
+        let mut dec = StreamDecoder::new(MAX_FRAME_BYTES);
+        let mut got = Vec::new();
+        let mut at = 0;
+        for &c in &cuts {
+            let end = (at + c).min(stream.len());
+            dec.push(&stream[at..end]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+            at = end;
+        }
+        dec.push(&stream[at..]);
+        while let Some(f) = dec.next_frame().unwrap() {
+            got.push(f);
+        }
+        prop_assert_eq!(got, frames);
+    }
+
+    /// Arbitrary garbage fed to the decoder never panics: it either
+    /// yields (garbage) frames, waits for more bytes, or flags an
+    /// oversized prefix. Whatever it yields, the frame router's header
+    /// sanity floor (HEADER_BYTES) is what protects downstream.
+    #[test]
+    fn decoder_never_panics_on_garbage(
+        junk in prop::collection::vec(any::<u8>(), 0..256),
+        cut in any::<usize>(),
+    ) {
+        let mut dec = StreamDecoder::new(4096);
+        let cut = if junk.is_empty() { 0 } else { cut % junk.len() };
+        dec.push(&junk[..cut]);
+        let _ = dec.next_frame();
+        dec.push(&junk[cut..]);
+        while let Ok(Some(f)) = dec.next_frame() {
+            // Frames shorter than a header would be counted as garbage
+            // by the router; longer ones must still never panic the
+            // openers.
+            if f.len() >= HEADER_BYTES {
+                let _ = gravel_pgas::open_frame(
+                    &f,
+                    gravel_pgas::FrameKind::Data,
+                    WireIntegrity::Crc32c,
+                );
+            }
+        }
+    }
+}

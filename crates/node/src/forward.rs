@@ -1,0 +1,190 @@
+//! The buddy forwarder: a [`PacketTap`] that streams every applied
+//! packet to this node's buddy and periodically cuts an epoch.
+//!
+//! Crash consistency rests on two orderings:
+//!
+//! 1. **Forward-before-ack.** The tap runs while the network thread
+//!    still holds the receive-state lock, *before* the cumulative ack
+//!    is sent (see [`gravel_core::netthread::run_with_tap`]). So by the
+//!    time any sender can observe a packet as acked, its forward has
+//!    already been written to the buddy's stream — an acked packet can
+//!    never be missing from the buddy's log (modulo the buddy itself
+//!    being down, see below).
+//! 2. **Cut-in-stream.** An epoch cut snapshots the heap and the flow
+//!    cursors while the same lock is held and writes the `CKPT` frame
+//!    on the same FIFO stream as the forwards. No barrier, no global
+//!    coordination: the cut's position in the stream *is* its
+//!    consistency point.
+//!
+//! If the buddy is down, forwards are dropped (`send_control` returns
+//! false) and the node's protection degrades — the documented
+//! single-failure assumption. The membership layer heals it: when the
+//! buddy's link comes back, [`Forwarder::rebaseline`] cuts a fresh
+//! full checkpoint, which supersedes everything the dead buddy missed.
+//!
+//! The tap is also where the chaos kill switch lives: `--kill-at N`
+//! dies by literal SIGKILL immediately after applying (and forwarding)
+//! the Nth packet — the worst possible moment, after state changed but
+//! potentially before the ack left.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gravel_core::netthread::{PacketTap, RecvState};
+use gravel_core::NodeShared;
+use gravel_net::{ChaosPlan, SocketTransport};
+use gravel_pgas::Packet;
+use gravel_telemetry::Counter;
+
+use crate::proto::{self, CkptImage, FwdPacket};
+
+struct FwdState {
+    /// Next-expected sequence per flow, mirroring the network thread's
+    /// receive state (the tap sees every applied packet in order, so
+    /// the mirror is exact and needs no second lock on `RecvState`).
+    cursors: HashMap<(u32, u32), u64>,
+    /// Applied packets since the last cut.
+    since_cut: u64,
+    /// Monotonic epoch number (first cut = 1).
+    epoch: u64,
+}
+
+/// Streams applied packets to the buddy and cuts epochs.
+pub struct Forwarder {
+    transport: Arc<SocketTransport>,
+    node: Arc<NodeShared>,
+    /// Receive state shared with the network thread; locked only by
+    /// [`rebaseline`](Self::rebaseline) (the tap path is called with it
+    /// already held by the network thread).
+    recv_state: Arc<Mutex<RecvState>>,
+    /// Who keeps our state: `(me + 1) % nodes`.
+    buddy: u32,
+    /// Cut an epoch every this many applied packets (0 = only explicit
+    /// rebaselines).
+    ckpt_every: u64,
+    chaos: Option<Arc<ChaosPlan>>,
+    state: Mutex<FwdState>,
+    rebaseline_wanted: AtomicBool,
+    fwd_sent: Counter,
+    fwd_dropped: Counter,
+    epochs_cut: Counter,
+}
+
+impl Forwarder {
+    pub fn new(
+        transport: Arc<SocketTransport>,
+        node: Arc<NodeShared>,
+        recv_state: Arc<Mutex<RecvState>>,
+        buddy: u32,
+        ckpt_every: u64,
+        chaos: Option<Arc<ChaosPlan>>,
+    ) -> Self {
+        let name = |s: &str| format!("node{}.{s}", node.id);
+        let registry = node.registry.clone();
+        Forwarder {
+            transport,
+            recv_state,
+            buddy,
+            ckpt_every,
+            chaos,
+            state: Mutex::new(FwdState { cursors: HashMap::new(), since_cut: 0, epoch: 0 }),
+            rebaseline_wanted: AtomicBool::new(false),
+            fwd_sent: registry.counter(&name("fwd.sent")),
+            fwd_dropped: registry.counter(&name("fwd.dropped")),
+            epochs_cut: registry.counter(&name("ha.epochs_cut")),
+            node,
+        }
+    }
+
+    /// Seed the cursor mirror and epoch after recovery, before the
+    /// network thread starts consuming.
+    pub fn seed(&self, cursors: &[(u32, u32, u64)], epoch: u64) {
+        let mut st = self.lock();
+        for &(src, lane, expected) in cursors {
+            st.cursors.insert((src, lane), expected);
+        }
+        st.epoch = epoch;
+        self.stamp_epoch(epoch);
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    /// Ask for a full checkpoint at the next applied packet (cheap,
+    /// lock-free; used from the membership thread on buddy rejoin).
+    pub fn request_rebaseline(&self) {
+        self.rebaseline_wanted.store(true, Ordering::Relaxed);
+    }
+
+    /// Cut a full checkpoint *now*, even with no traffic flowing.
+    /// Takes the receive-state lock to exclude a mid-packet apply, so
+    /// the heap image and cursor mirror are mutually consistent.
+    pub fn rebaseline(&self) {
+        let _recv = self.recv_state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut st = self.lock();
+        self.cut_locked(&mut st);
+    }
+
+    /// The cut body; caller holds (or is called under) the receive-state
+    /// lock, and holds `self.state`.
+    fn cut_locked(&self, st: &mut FwdState) {
+        st.epoch += 1;
+        st.since_cut = 0;
+        let mut cursors: Vec<(u32, u32, u64)> =
+            st.cursors.iter().map(|(&(s, l), &e)| (s, l, e)).collect();
+        cursors.sort_unstable();
+        let image = CkptImage { epoch: st.epoch, cursors, heap: self.node.heap.snapshot() };
+        self.transport.send_control(self.buddy, &proto::encode_ckpt(&image));
+        self.stamp_epoch(st.epoch);
+        self.epochs_cut.inc();
+    }
+
+    /// Stamp the epoch into outgoing frame headers (data packets via
+    /// the node, heartbeats/HELLOs via the transport) so cross-epoch
+    /// traffic stays attributable on the wire.
+    fn stamp_epoch(&self, epoch: u64) {
+        self.node.wire_epoch.store(epoch as u32, Ordering::Relaxed);
+        self.transport.set_epoch(epoch as u32);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FwdState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl PacketTap for Forwarder {
+    fn on_packet_applied(&self, pkt: &Packet) {
+        let fwd = FwdPacket { src: pkt.src, lane: pkt.lane, seq: pkt.seq, words: pkt.words() };
+        let mut st = self.lock();
+        if self.transport.send_control(self.buddy, &proto::encode_fwd(&fwd)) {
+            self.fwd_sent.inc();
+        } else {
+            // Buddy down: protection degraded until the rebaseline on
+            // its rejoin (single-failure assumption).
+            self.fwd_dropped.inc();
+        }
+        st.cursors.insert((pkt.src, pkt.lane), pkt.seq + 1);
+        st.since_cut += 1;
+        let wanted = self.rebaseline_wanted.swap(false, Ordering::Relaxed);
+        if wanted || (self.ckpt_every > 0 && st.since_cut >= self.ckpt_every) {
+            self.cut_locked(&mut st);
+        }
+        drop(st);
+        // Chaos kill switch: die *after* the forward was written (the
+        // guarantee under test) but before the ack goes out — the
+        // network thread sends it after the tap returns, so SIGKILL
+        // here is the adversarial interleaving.
+        if let Some(chaos) = &self.chaos {
+            if chaos.kill_tick(self.node.id) {
+                eprintln!(
+                    "[gravel-node {}] chaos: SIGKILL after applied packet (flow {}:{} seq {})",
+                    self.node.id, pkt.src, pkt.lane, pkt.seq
+                );
+                crate::signal::kill_self_hard();
+            }
+        }
+    }
+}

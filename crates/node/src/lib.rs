@@ -1,0 +1,26 @@
+//! `gravel-node` — one Gravel cluster member as a real OS process.
+//!
+//! The in-process runtime (`gravel-core`) proves the protocol under
+//! threads and injected faults; this crate proves it under *processes*
+//! and real `kill -9`. N instances of the `gravel-node` binary form a
+//! cluster over Unix-domain (or TCP) sockets, run GUPS, and survive a
+//! member being SIGKILLed and restarted mid-run with a bit-exact final
+//! heap — see `tests/cluster.rs` and DESIGN.md §14.
+//!
+//! Layering:
+//!
+//! * [`proto`]  — control-plane word codec (FWD / CKPT / RECOVER).
+//! * [`store`]  — buddy-side storage of a ward's baseline + replay log.
+//! * [`forward`] — the [`PacketTap`](gravel_core::netthread::PacketTap)
+//!   that streams applied packets to the buddy and cuts epochs.
+//! * [`sender`] — deterministic GUPS packetization + go-back-N flows.
+//! * [`signal`] — SIGTERM/SIGINT graceful-shutdown plumbing and the
+//!   literal self-`kill -9` chaos switch.
+//! * [`report`] — the JSON the harness asserts on, written atomically.
+
+pub mod forward;
+pub mod proto;
+pub mod report;
+pub mod sender;
+pub mod signal;
+pub mod store;

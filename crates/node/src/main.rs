@@ -1,0 +1,533 @@
+//! `gravel-node` — one cluster member as a real OS process.
+//!
+//! ```text
+//! gravel-node --node 2 --nodes 4 --dir /tmp/cluster --updates 4096 \
+//!             --table 512 --out /tmp/cluster/node2.json
+//! ```
+//!
+//! N such processes form a mesh over Unix-domain sockets (`--dir`) or
+//! TCP (`--tcp-base`), run the GUPS update streams deterministically,
+//! and continuously protect each other: every applied packet is
+//! forwarded to the next node in the ring before it is acked, and
+//! epoch checkpoints truncate the forwarded log. A member killed with
+//! `kill -9` and restarted with the *same* command line recovers its
+//! heap, replay log, and flow cursors from its buddy over the socket
+//! and rejoins — the final cluster heap is bit-exact with a no-fault
+//! run (asserted by `tests/cluster.rs`).
+//!
+//! Exit codes: 0 success (including graceful SIGTERM/SIGINT shutdown),
+//! 2 deadline expired before completion, 3 cluster error, 64 usage.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use gravel_apps::gups::{self, GupsInput};
+use gravel_core::ha::heartbeat;
+use gravel_core::netthread::{self, PacketTap, RecvState};
+use gravel_core::{ErrorSlot, FailureDetector, GravelConfig, HeartbeatConfig, NodeShared};
+use gravel_net::{
+    ChaosPlan, PeerEvent, ProcessFault, RecvStatus, SocketAddrSpec, SocketConfig,
+    SocketTransport, Transport,
+};
+use gravel_pgas::{AmRegistry, WireIntegrity};
+use gravel_telemetry::Counter;
+
+use gravel_node::forward::Forwarder;
+use gravel_node::proto::{self, RecoverResp, OP_CKPT, OP_FWD, OP_RECOVER_REQ, OP_RECOVER_RESP};
+use gravel_node::report::{write_report, OutReport, OutStats};
+use gravel_node::sender::{self, SenderConfig};
+use gravel_node::signal;
+use gravel_node::store::WardStores;
+
+struct Args {
+    node: u32,
+    nodes: usize,
+    dir: Option<PathBuf>,
+    tcp_base: Option<u16>,
+    updates: usize,
+    table: usize,
+    seed: u64,
+    integrity: WireIntegrity,
+    msgs_per_packet: usize,
+    ckpt_every: u64,
+    kill_at: Option<u64>,
+    deadline_secs: u64,
+    out: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gravel-node --node I --nodes N (--dir PATH | --tcp-base PORT) [--updates U] \
+         [--table T] [--seed S] [--integrity crc32c|off] [--msgs-per-packet K] \
+         [--ckpt-every P] [--kill-at N] [--deadline-secs D] [--out FILE]"
+    );
+    std::process::exit(64);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        node: u32::MAX,
+        nodes: 0,
+        dir: None,
+        tcp_base: None,
+        updates: 4096,
+        table: 512,
+        seed: 42,
+        integrity: WireIntegrity::Crc32c,
+        msgs_per_packet: 8,
+        ckpt_every: 16,
+        kill_at: None,
+        deadline_secs: 60,
+        out: PathBuf::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--node" => a.node = val().parse().unwrap_or_else(|_| usage()),
+            "--nodes" => a.nodes = val().parse().unwrap_or_else(|_| usage()),
+            "--dir" => a.dir = Some(PathBuf::from(val())),
+            "--tcp-base" => a.tcp_base = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--updates" => a.updates = val().parse().unwrap_or_else(|_| usage()),
+            "--table" => a.table = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--integrity" => {
+                a.integrity = match val().as_str() {
+                    "crc32c" => WireIntegrity::Crc32c,
+                    "off" => WireIntegrity::Off,
+                    _ => usage(),
+                }
+            }
+            "--msgs-per-packet" => a.msgs_per_packet = val().parse().unwrap_or_else(|_| usage()),
+            "--ckpt-every" => a.ckpt_every = val().parse().unwrap_or_else(|_| usage()),
+            "--kill-at" => a.kill_at = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--deadline-secs" => a.deadline_secs = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => a.out = PathBuf::from(val()),
+            _ => usage(),
+        }
+    }
+    if a.node == u32::MAX || a.nodes == 0 || a.node as usize >= a.nodes {
+        usage();
+    }
+    if a.dir.is_none() && a.tcp_base.is_none() {
+        usage();
+    }
+    if a.out.as_os_str().is_empty() {
+        a.out = PathBuf::from(format!("gravel-node-{}.json", a.node));
+    }
+    a
+}
+
+fn addrs(a: &Args) -> Vec<SocketAddrSpec> {
+    (0..a.nodes)
+        .map(|i| match (&a.dir, a.tcp_base) {
+            (Some(dir), _) => SocketAddrSpec::Uds(dir.join(format!("node{i}.sock"))),
+            (None, Some(base)) => SocketAddrSpec::Tcp(format!("127.0.0.1:{}", base + i as u16)),
+            (None, None) => unreachable!("parse_args requires one"),
+        })
+        .collect()
+}
+
+/// Membership counters, created up front so the report sees zeros
+/// rather than missing metrics.
+struct Membership {
+    joins: Counter,
+    losses: Counter,
+    rejoins: Counter,
+}
+
+/// Control-plane service loop: store the ward's forwards and cuts,
+/// serve recovery requests, route recovery responses to `resp_tx`.
+fn ctrl_loop(
+    transport: Arc<SocketTransport>,
+    stores: Arc<WardStores>,
+    resp_tx: mpsc::Sender<RecoverResp>,
+    errors: Arc<ErrorSlot>,
+) {
+    loop {
+        let msg = match transport.recv_control(Duration::from_millis(50)) {
+            RecvStatus::Msg(m) => m,
+            RecvStatus::TimedOut => {
+                if errors.is_set() {
+                    return;
+                }
+                continue;
+            }
+            RecvStatus::Closed => return,
+        };
+        match msg.words.first().copied() {
+            Some(OP_FWD) => {
+                if let Some(p) = proto::decode_fwd(&msg.words) {
+                    stores.on_fwd(msg.src, p);
+                }
+            }
+            Some(OP_CKPT) => {
+                if let Some(c) = proto::decode_ckpt(&msg.words) {
+                    stores.on_ckpt(msg.src, c);
+                }
+            }
+            Some(OP_RECOVER_REQ) => {
+                let resp = stores.recover(msg.src);
+                transport.send_control(msg.src, &proto::encode_recover_resp(&resp));
+            }
+            Some(OP_RECOVER_RESP) => {
+                if let Some(r) = proto::decode_recover_resp(&msg.words) {
+                    let _ = resp_tx.send(r);
+                }
+            }
+            // Unknown op from a newer (or confused) peer: ignore —
+            // version skew on the control plane must not wedge a node.
+            _ => {}
+        }
+    }
+}
+
+/// Membership loop: mirror connection events into counters, un-latch
+/// the failure detector when a dead peer's new incarnation handshakes,
+/// and re-baseline our buddy-held checkpoint when the buddy returns.
+#[allow(clippy::too_many_arguments)]
+fn membership_loop(
+    transport: Arc<SocketTransport>,
+    detector: Arc<FailureDetector>,
+    forwarder: Arc<Forwarder>,
+    counters: Membership,
+    buddy: u32,
+    nodes: usize,
+) {
+    let mut seen_down = vec![false; nodes];
+    while !transport.is_closed() {
+        let Some(ev) = transport.poll_event(Duration::from_millis(50)) else {
+            continue;
+        };
+        match ev {
+            PeerEvent::Up(peer) => {
+                if seen_down[peer as usize] {
+                    seen_down[peer as usize] = false;
+                    counters.rejoins.inc();
+                    detector.reset_peer(peer, Instant::now());
+                    if peer == buddy {
+                        // The buddy missed every forward while it was
+                        // down; a fresh full checkpoint supersedes them.
+                        forwarder.rebaseline();
+                    }
+                } else {
+                    counters.joins.inc();
+                }
+            }
+            PeerEvent::Down(peer) => {
+                seen_down[peer as usize] = true;
+                counters.losses.inc();
+            }
+        }
+    }
+}
+
+/// Ask the buddy for our stored state, retrying the request until a
+/// response arrives (the buddy may still be starting). Uniform across
+/// cold boot and restart: a cold cluster answers "nothing stored".
+fn recover_from_buddy(
+    transport: &SocketTransport,
+    buddy: u32,
+    me: u32,
+    resp_rx: &mpsc::Receiver<RecoverResp>,
+    deadline: Instant,
+) -> Option<RecoverResp> {
+    if buddy != me && !transport.wait_connected(buddy, deadline.saturating_duration_since(Instant::now())) {
+        return None;
+    }
+    loop {
+        transport.send_control(buddy, &proto::encode_recover_req());
+        match resp_rx.recv_timeout(Duration::from_millis(300)) {
+            Ok(r) => return Some(r),
+            Err(_) => {
+                if Instant::now() >= deadline || signal::shutdown_requested() {
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// Whether every inbound flow has reached its deterministic packet
+/// count.
+fn receive_complete(state: &Mutex<RecvState>, expected: &[u64]) -> bool {
+    let cursors: HashMap<(u32, u32), u64> = state
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .flow_cursors()
+        .into_iter()
+        .map(|(s, l, e)| ((s, l), e))
+        .collect();
+    expected
+        .iter()
+        .enumerate()
+        .all(|(src, &want)| cursors.get(&(src as u32, 0)).copied().unwrap_or(0) >= want)
+}
+
+struct Reporter {
+    args: Args,
+    node: Arc<NodeShared>,
+    transport: Arc<SocketTransport>,
+    forwarder: Arc<Forwarder>,
+    recovered_from_ckpt: bool,
+    recovered_log_packets: u64,
+}
+
+impl Reporter {
+    fn write(&self, completed: bool, graceful: bool) {
+        let s = self.transport.stats();
+        let snap = self.node.registry.snapshot();
+        let me = self.args.node;
+        let n = |suffix: &str| format!("node{me}.{suffix}");
+        let report = OutReport {
+            node: me as u64,
+            nodes: self.args.nodes as u64,
+            completed,
+            graceful,
+            recovered_from_ckpt: self.recovered_from_ckpt,
+            updates_issued: self.node.offloaded.get(),
+            applied: self.node.applied.get(),
+            epoch: self.forwarder.epoch(),
+            heap: self.node.heap.snapshot(),
+            stats: OutStats {
+                handshakes: s.handshakes,
+                reconnects: s.reconnects,
+                connect_failures: s.connect_failures,
+                handshake_rejects: s.handshake_rejects,
+                link_drops: s.link_drops,
+                retransmits: self.node.net_retransmits.get(),
+                dups_suppressed: self.node.net_dups_suppressed.get(),
+                acks_sent: self.node.net_acks_sent.get(),
+                deaths_declared: snap.counter("ha.deaths_declared"),
+                membership_joins: snap.counter(&n("membership.joins")),
+                membership_losses: snap.counter(&n("membership.losses")),
+                membership_rejoins: snap.counter(&n("membership.rejoins")),
+                epochs_cut: snap.counter(&n("ha.epochs_cut")),
+                fwd_sent: snap.counter(&n("fwd.sent")),
+                fwd_dropped: snap.counter(&n("fwd.dropped")),
+                recovered_log_packets: self.recovered_log_packets,
+            },
+        };
+        if let Err(e) = write_report(&self.args.out, &report) {
+            eprintln!("[gravel-node {me}] failed to write {}: {e}", self.args.out.display());
+        }
+    }
+}
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args = parse_args();
+    let me = args.node;
+    let nodes = args.nodes;
+    signal::install_shutdown_handler();
+    let deadline = Instant::now() + Duration::from_secs(args.deadline_secs);
+
+    let input = GupsInput { updates: args.updates, table_len: args.table, seed: args.seed };
+    let part = gups::partition(&input, nodes);
+    let heap_len = part.local_len(me as usize).max(1);
+    let mut cfg = GravelConfig::small(nodes, heap_len);
+    cfg.wire_integrity = args.integrity;
+    let node = Arc::new(NodeShared::new(me, &cfg, Arc::new(AmRegistry::new())));
+
+    let mut scfg = SocketConfig::new(me, addrs(&args));
+    scfg.integrity = args.integrity;
+    scfg.seed = args.seed ^ (me as u64).wrapping_mul(0x9E37_79B9);
+    let transport = match SocketTransport::spawn(scfg) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[gravel-node {me}] transport spawn failed: {e}");
+            return 3;
+        }
+    };
+
+    let errors = Arc::new(ErrorSlot::default());
+    let state = Arc::new(Mutex::new(RecvState::new()));
+    let stores = Arc::new(WardStores::new());
+    let buddy = ((me as usize + 1) % nodes) as u32;
+    let chaos = args
+        .kill_at
+        .map(|at| Arc::new(ChaosPlan::new(vec![ProcessFault::KillProcess { node: me, at_step: at }])));
+    let forwarder = Arc::new(Forwarder::new(
+        transport.clone(),
+        node.clone(),
+        state.clone(),
+        buddy,
+        args.ckpt_every,
+        chaos,
+    ));
+
+    // Control-plane service first: recovery requests (ours and our
+    // ward's) need it running before anything blocks.
+    let (resp_tx, resp_rx) = mpsc::channel();
+    let ctrl = std::thread::spawn({
+        let (t, s, e) = (transport.clone(), stores.clone(), errors.clone());
+        move || ctrl_loop(t, s, resp_tx, e)
+    });
+
+    // Liveness: heartbeats over the wire into a phi-accrual detector.
+    // The interval is wider than the in-process default — N processes
+    // share cores here, and a falsely latched peer stays dead until
+    // its next handshake.
+    let hb_cfg = HeartbeatConfig {
+        interval: Duration::from_millis(15),
+        suspect_phi: 4.0,
+        dead_phi: 8.0,
+        min_samples: 3,
+    };
+    let detector = Arc::new(FailureDetector::new(hb_cfg.clone()));
+    let hb = std::thread::spawn({
+        let (t, d, e, r) = (transport.clone(), detector.clone(), errors.clone(), node.registry.clone());
+        let n = nodes as u32;
+        move || {
+            heartbeat::run(hb_cfg, me, n, t, d, None, e, r, Arc::new(AtomicU64::new(0)));
+        }
+    });
+
+    let membership = Membership {
+        joins: node.registry.counter(&format!("node{me}.membership.joins")),
+        losses: node.registry.counter(&format!("node{me}.membership.losses")),
+        rejoins: node.registry.counter(&format!("node{me}.membership.rejoins")),
+    };
+    let memb = std::thread::spawn({
+        let (t, d, f) = (transport.clone(), detector.clone(), forwarder.clone());
+        move || membership_loop(t, d, f, membership, buddy, nodes)
+    });
+
+    // Recover (or cold-boot) from the buddy before consuming anything.
+    let Some(recovered) = recover_from_buddy(&transport, buddy, me, &resp_rx, deadline) else {
+        transport.close();
+        if signal::shutdown_requested() {
+            eprintln!("[gravel-node {me}] graceful shutdown during startup recovery");
+            return 0;
+        }
+        eprintln!("[gravel-node {me}] no recovery response from node {buddy} before deadline");
+        return 2;
+    };
+    let recovered_from_ckpt = recovered.ckpt.is_some();
+    let recovered_log_packets = recovered.log.len() as u64;
+    let mut cursors: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut epoch = 0;
+    if let Some(c) = &recovered.ckpt {
+        if c.heap.len() == node.heap.len() {
+            node.heap.fill_from(&c.heap);
+        } else {
+            eprintln!(
+                "[gravel-node {me}] buddy checkpoint heap is {} words, expected {} — ignoring",
+                c.heap.len(),
+                node.heap.len()
+            );
+        }
+        epoch = c.epoch;
+        for &(src, lane, expected) in &c.cursors {
+            cursors.insert((src, lane), expected);
+        }
+    }
+    for p in &recovered.log {
+        let (disposed, _) =
+            gravel_pgas::apply_words(&p.words, &node.heap, &node.ams, &mut |_reply| {});
+        node.note_applied(disposed as u64);
+        let cur = cursors.entry((p.src, p.lane)).or_insert(0);
+        *cur = (*cur).max(p.seq + 1);
+    }
+    {
+        let mut st = state.lock().unwrap_or_else(|p| p.into_inner());
+        for (&(src, lane), &expected) in &cursors {
+            st.seed_flow(src, lane, expected);
+        }
+    }
+    let triples: Vec<(u32, u32, u64)> =
+        cursors.iter().map(|(&(s, l), &e)| (s, l, e)).collect();
+    forwarder.seed(&triples, epoch);
+    // Baseline cut: truncates the buddy's (possibly stale) log so the
+    // stored state always replays from what we just restored.
+    forwarder.rebaseline();
+    if recovered_from_ckpt || recovered_log_packets > 0 {
+        eprintln!(
+            "[gravel-node {me}] recovered from buddy {buddy}: ckpt={recovered_from_ckpt} \
+             log_packets={recovered_log_packets} epoch={epoch}"
+        );
+    }
+
+    // Receiver: the shared netthread body, with the forwarder tapping
+    // every applied packet before its ack.
+    let net = std::thread::spawn({
+        let (n, t, e, s) = (node.clone(), transport.clone(), errors.clone(), state.clone());
+        let tap: Arc<dyn PacketTap> = forwarder.clone();
+        move || netthread::run_with_tap(n, t, e, s, None, Some(tap))
+    });
+
+    // Sender: deterministic flows, go-back-N until fully acked.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sender_done = Arc::new(AtomicBool::new(false));
+    let snd = std::thread::spawn({
+        let (t, n, stop, done) = (transport.clone(), node.clone(), stop.clone(), sender_done.clone());
+        let plans = sender::plan_flows(&input, nodes, me, args.msgs_per_packet);
+        move || {
+            if sender::run_sender(&t, &n, plans, &SenderConfig::default(), &stop, deadline) {
+                done.store(true, Ordering::SeqCst);
+            }
+        }
+    });
+
+    let expected: Vec<u64> = (0..nodes)
+        .map(|src| sender::expected_packets(&input, nodes, src as u32, me, args.msgs_per_packet))
+        .collect();
+    let reporter = Reporter {
+        args,
+        node: node.clone(),
+        transport: transport.clone(),
+        forwarder: forwarder.clone(),
+        recovered_from_ckpt,
+        recovered_log_packets,
+    };
+
+    // Main loop: wait for local completion, then linger (serving acks,
+    // forwards, and recovery for peers) until SIGTERM or deadline.
+    let mut completed = false;
+    let code = loop {
+        if errors.is_set() {
+            eprintln!("[gravel-node {me}] cluster error: {:?}", errors.take());
+            reporter.write(completed, false);
+            break 3;
+        }
+        if signal::shutdown_requested() {
+            // Graceful: quiesce the sender, cut a final epoch so the
+            // buddy holds our freshest state, report, exit 0.
+            stop.store(true, Ordering::SeqCst);
+            forwarder.rebaseline();
+            reporter.write(completed, true);
+            eprintln!("[gravel-node {me}] graceful shutdown (completed={completed})");
+            break 0;
+        }
+        if !completed
+            && sender_done.load(Ordering::SeqCst)
+            && receive_complete(&state, &expected)
+        {
+            completed = true;
+            reporter.write(true, false);
+            eprintln!("[gravel-node {me}] complete; lingering for peers");
+        }
+        if Instant::now() >= deadline {
+            if !completed {
+                reporter.write(false, false);
+                eprintln!("[gravel-node {me}] deadline expired before completion");
+                break 2;
+            }
+            break 0;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    stop.store(true, Ordering::SeqCst);
+    transport.close();
+    for h in [ctrl, hb, memb, net, snd] {
+        let _ = h.join();
+    }
+    code
+}

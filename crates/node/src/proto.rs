@@ -1,0 +1,238 @@
+//! Control-plane word codec for the multi-process buddy protocol.
+//!
+//! Every cross-process recovery exchange rides the socket transport's
+//! control plane (`FrameKind::Control`, always CRC32C) as a flat `u64`
+//! word vector whose first word is an opcode. The codec is pure and
+//! total-on-decode: any word vector either decodes to a well-formed op
+//! or returns `None` — a malformed control frame from a confused peer
+//! is dropped, never panicked on (the decode fuzz tests assert this).
+//!
+//! Ops:
+//!
+//! * `FWD`  — one fully applied packet, forwarded by its receiver to
+//!   that receiver's buddy *before* the cumulative ack leaves (see
+//!   [`gravel_core::netthread::PacketTap`]). The buddy appends it to
+//!   its replay log for the forwarding node.
+//! * `CKPT` — the forwarding node's epoch cut: its heap image plus its
+//!   per-flow receive cursors, taken under the receive-state lock. The
+//!   buddy replaces its stored baseline and clears the log. Because
+//!   `FWD` and `CKPT` travel the same FIFO stream, the cut is exact:
+//!   every forward that precedes the cut is in the log it truncates.
+//! * `RECOVER_REQ`  — a (re)starting node asks its buddy for its state.
+//! * `RECOVER_RESP` — baseline + log in one frame (empty on cold boot,
+//!   so the restart path and the cold-boot path are the same code).
+
+/// Applied-packet forward (receiver → its buddy).
+pub const OP_FWD: u64 = 1;
+/// Epoch cut: heap image + receive cursors (receiver → its buddy).
+pub const OP_CKPT: u64 = 2;
+/// Recovery request (restarting node → its buddy).
+pub const OP_RECOVER_REQ: u64 = 3;
+/// Recovery response: stored baseline + log (buddy → restarting node).
+pub const OP_RECOVER_RESP: u64 = 4;
+
+/// One applied packet as forwarded to the buddy: the flow coordinates
+/// the receiver applied it under, plus the raw message words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FwdPacket {
+    /// Original sender of the packet.
+    pub src: u32,
+    /// Sender lane.
+    pub lane: u32,
+    /// Per-flow sequence number.
+    pub seq: u64,
+    /// Message words (4 per message).
+    pub words: Vec<u64>,
+}
+
+/// An epoch cut: everything a restarted process needs to resume as if
+/// it had applied exactly the packets covered by the cut.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CkptImage {
+    /// Monotonic epoch number (first cut = 1).
+    pub epoch: u64,
+    /// Per-flow next-expected sequence numbers `(src, lane, expected)`.
+    pub cursors: Vec<(u32, u32, u64)>,
+    /// The forwarding node's full heap image at the cut.
+    pub heap: Vec<u64>,
+}
+
+/// Stored recovery state returned by a buddy: the last baseline (if
+/// any) plus every packet forwarded since it, in apply order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoverResp {
+    /// Last epoch cut, `None` before the first (cold boot).
+    pub ckpt: Option<CkptImage>,
+    /// Packets applied (and forwarded) since the baseline.
+    pub log: Vec<FwdPacket>,
+}
+
+pub fn encode_fwd(p: &FwdPacket) -> Vec<u64> {
+    let mut w = Vec::with_capacity(5 + p.words.len());
+    w.extend([OP_FWD, p.src as u64, p.lane as u64, p.seq, p.words.len() as u64]);
+    w.extend_from_slice(&p.words);
+    w
+}
+
+pub fn decode_fwd(words: &[u64]) -> Option<FwdPacket> {
+    if words.len() < 5 || words[0] != OP_FWD {
+        return None;
+    }
+    let n = usize::try_from(words[4]).ok()?;
+    if words.len() != n.checked_add(5)? {
+        return None;
+    }
+    Some(FwdPacket {
+        src: u32::try_from(words[1]).ok()?,
+        lane: u32::try_from(words[2]).ok()?,
+        seq: words[3],
+        words: words[5..].to_vec(),
+    })
+}
+
+/// Append a checkpoint body (everything but the opcode) to `out`.
+fn push_ckpt_body(out: &mut Vec<u64>, c: &CkptImage) {
+    out.push(c.epoch);
+    out.push(c.cursors.len() as u64);
+    for &(src, lane, expected) in &c.cursors {
+        out.extend([src as u64, lane as u64, expected]);
+    }
+    out.push(c.heap.len() as u64);
+    out.extend_from_slice(&c.heap);
+}
+
+/// Decode a checkpoint body starting at `words[at]`; returns the image
+/// and the index one past it.
+fn pop_ckpt_body(words: &[u64], at: usize) -> Option<(CkptImage, usize)> {
+    let epoch = *words.get(at)?;
+    let ncur = usize::try_from(*words.get(at + 1)?).ok()?;
+    let mut i = at + 2;
+    let mut cursors = Vec::with_capacity(ncur.min(1024));
+    for _ in 0..ncur {
+        let src = u32::try_from(*words.get(i)?).ok()?;
+        let lane = u32::try_from(*words.get(i + 1)?).ok()?;
+        let expected = *words.get(i + 2)?;
+        cursors.push((src, lane, expected));
+        i += 3;
+    }
+    let hlen = usize::try_from(*words.get(i)?).ok()?;
+    i += 1;
+    let end = i.checked_add(hlen)?;
+    let heap = words.get(i..end)?.to_vec();
+    Some((CkptImage { epoch, cursors, heap }, end))
+}
+
+pub fn encode_ckpt(c: &CkptImage) -> Vec<u64> {
+    let mut w = vec![OP_CKPT];
+    push_ckpt_body(&mut w, c);
+    w
+}
+
+pub fn decode_ckpt(words: &[u64]) -> Option<CkptImage> {
+    if words.first() != Some(&OP_CKPT) {
+        return None;
+    }
+    let (c, end) = pop_ckpt_body(words, 1)?;
+    (end == words.len()).then_some(c)
+}
+
+pub fn encode_recover_req() -> Vec<u64> {
+    vec![OP_RECOVER_REQ]
+}
+
+pub fn encode_recover_resp(r: &RecoverResp) -> Vec<u64> {
+    let mut w = vec![OP_RECOVER_RESP, u64::from(r.ckpt.is_some())];
+    if let Some(c) = &r.ckpt {
+        push_ckpt_body(&mut w, c);
+    }
+    w.push(r.log.len() as u64);
+    for p in &r.log {
+        w.extend([p.src as u64, p.lane as u64, p.seq, p.words.len() as u64]);
+        w.extend_from_slice(&p.words);
+    }
+    w
+}
+
+pub fn decode_recover_resp(words: &[u64]) -> Option<RecoverResp> {
+    if words.first() != Some(&OP_RECOVER_RESP) {
+        return None;
+    }
+    let has_ckpt = *words.get(1)?;
+    if has_ckpt > 1 {
+        return None;
+    }
+    let (ckpt, mut i) = if has_ckpt == 1 {
+        let (c, end) = pop_ckpt_body(words, 2)?;
+        (Some(c), end)
+    } else {
+        (None, 2)
+    };
+    let nlog = usize::try_from(*words.get(i)?).ok()?;
+    i += 1;
+    let mut log = Vec::with_capacity(nlog.min(4096));
+    for _ in 0..nlog {
+        let src = u32::try_from(*words.get(i)?).ok()?;
+        let lane = u32::try_from(*words.get(i + 1)?).ok()?;
+        let seq = *words.get(i + 2)?;
+        let n = usize::try_from(*words.get(i + 3)?).ok()?;
+        i += 4;
+        let end = i.checked_add(n)?;
+        let pw = words.get(i..end)?.to_vec();
+        i = end;
+        log.push(FwdPacket { src, lane, seq, words: pw });
+    }
+    (i == words.len()).then_some(RecoverResp { ckpt, log })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fwd(seq: u64) -> FwdPacket {
+        FwdPacket { src: 2, lane: 0, seq, words: vec![10, 20, 30, 40, 50, 60, 70, 80] }
+    }
+
+    fn ckpt() -> CkptImage {
+        CkptImage {
+            epoch: 3,
+            cursors: vec![(0, 0, 5), (2, 0, 9)],
+            heap: vec![7, 0, 0, 11],
+        }
+    }
+
+    #[test]
+    fn fwd_roundtrips() {
+        let p = fwd(4);
+        assert_eq!(decode_fwd(&encode_fwd(&p)), Some(p));
+    }
+
+    #[test]
+    fn ckpt_roundtrips() {
+        let c = ckpt();
+        assert_eq!(decode_ckpt(&encode_ckpt(&c)), Some(c));
+    }
+
+    #[test]
+    fn recover_resp_roundtrips_with_and_without_baseline() {
+        let full = RecoverResp { ckpt: Some(ckpt()), log: vec![fwd(9), fwd(10)] };
+        assert_eq!(decode_recover_resp(&encode_recover_resp(&full)), Some(full));
+        let cold = RecoverResp::default();
+        assert_eq!(decode_recover_resp(&encode_recover_resp(&cold)), Some(cold));
+    }
+
+    #[test]
+    fn truncated_and_mangled_encodings_decode_to_none() {
+        let w = encode_recover_resp(&RecoverResp { ckpt: Some(ckpt()), log: vec![fwd(1)] });
+        for cut in 0..w.len() {
+            assert_eq!(decode_recover_resp(&w[..cut]), None, "cut at {cut}");
+        }
+        let mut extra = w.clone();
+        extra.push(0);
+        assert_eq!(decode_recover_resp(&extra), None, "trailing junk refused");
+        assert_eq!(decode_fwd(&encode_ckpt(&ckpt())), None, "wrong opcode refused");
+        // A length word claiming more payload than present must not panic.
+        let mut lying = encode_fwd(&fwd(0));
+        lying[4] = u64::MAX;
+        assert_eq!(decode_fwd(&lying), None);
+    }
+}

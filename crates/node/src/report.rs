@@ -1,0 +1,100 @@
+//! The JSON report a `gravel-node` process writes for its harness.
+//!
+//! Written atomically (temp file + rename) so a watcher polling for the
+//! file never reads a half-written document. Written twice in a normal
+//! run: once when the node's own work completes (`completed = true`,
+//! `graceful = false` — the process stays up to serve peers), and again
+//! on SIGTERM/SIGINT with `graceful = true` just before exit 0.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Counters distilled for the harness; mirrors the socket, membership,
+/// and delivery telemetry.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct OutStats {
+    pub handshakes: u64,
+    pub reconnects: u64,
+    pub connect_failures: u64,
+    pub handshake_rejects: u64,
+    pub link_drops: u64,
+    pub retransmits: u64,
+    pub dups_suppressed: u64,
+    pub acks_sent: u64,
+    pub deaths_declared: u64,
+    pub membership_joins: u64,
+    pub membership_losses: u64,
+    pub membership_rejoins: u64,
+    pub epochs_cut: u64,
+    pub fwd_sent: u64,
+    pub fwd_dropped: u64,
+    pub recovered_log_packets: u64,
+}
+
+/// Everything the harness asserts on.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct OutReport {
+    pub node: u64,
+    pub nodes: u64,
+    /// This node's own sends are fully acked and its inbound flows are
+    /// fully applied.
+    pub completed: bool,
+    /// The process exited via the SIGTERM/SIGINT path (final epoch cut
+    /// taken). `kill -9` can, by definition, never write this.
+    pub graceful: bool,
+    /// Whether startup recovery found a buddy-held baseline (a restart
+    /// rather than a cold boot).
+    pub recovered_from_ckpt: bool,
+    pub updates_issued: u64,
+    pub applied: u64,
+    pub epoch: u64,
+    /// This node's full heap slice at report time.
+    pub heap: Vec<u64>,
+    pub stats: OutStats,
+}
+
+/// Atomically (re)write `report` at `path`.
+pub fn write_report(path: &Path, report: &OutReport) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(report)
+        .map_err(|e| std::io::Error::other(format!("serialize report: {e:?}")))?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Read a report back (harnesses).
+pub fn read_report(path: &Path) -> std::io::Result<OutReport> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text)
+        .map_err(|e| std::io::Error::other(format!("parse {}: {e:?}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_disk() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("gravel_report_{}.json", std::process::id()));
+        let r = OutReport {
+            node: 2,
+            nodes: 4,
+            completed: true,
+            heap: vec![1, 2, 3],
+            stats: OutStats { reconnects: 5, ..Default::default() },
+            ..Default::default()
+        };
+        write_report(&path, &r).unwrap();
+        let back = read_report(&path).unwrap();
+        assert_eq!(back.node, 2);
+        assert_eq!(back.heap, vec![1, 2, 3]);
+        assert_eq!(back.stats.reconnects, 5);
+        assert!(back.completed && !back.graceful);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,264 @@
+//! Deterministic GUPS sender flows over the socket transport.
+//!
+//! The update stream is *packetized deterministically*: node `i`'s
+//! updates (a pure function of the seed) are mapped to messages, split
+//! by destination in stream order, and chunked into packets of a fixed
+//! message count. Packet `k` of flow `i → j` therefore has identical
+//! bytes on every run — which is what makes restart trivial: a
+//! restarted sender re-sends from sequence 0, receivers recognize
+//! already-applied sequences as duplicates, re-ack them, and the window
+//! fast-forwards to where it was. No sender-side durable state at all.
+//!
+//! Delivery is go-back-N per destination flow, mirroring the in-process
+//! aggregator's protocol: a bounded in-flight window, cumulative acks,
+//! and full-window retransmission on timeout with exponential backoff.
+//! Unlike the in-process runtime there is no retry budget: a dead peer
+//! is expected to come back (that is the whole point of this binary),
+//! so the sender retries until the run deadline. The node's own
+//! updates loop back through the transport as a normal sequenced flow —
+//! one delivery path, not two.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::atomic::Ordering::Relaxed;
+use std::time::{Duration, Instant};
+
+use gravel_apps::gups::{self, GupsInput};
+use gravel_core::NodeShared;
+use gravel_gq::Message;
+use gravel_net::{SendStatus, SocketTransport, Transport};
+use gravel_pgas::Packet;
+
+/// One destination flow's precomputed packets (message words, 4 per
+/// message, up to `msgs_per_packet` messages each).
+pub struct FlowPlan {
+    pub dest: u32,
+    pub packets: Vec<Vec<u64>>,
+}
+
+/// Deterministically packetize this node's GUPS update stream: one flow
+/// per destination that receives at least one update, packets chunked
+/// in stream order.
+pub fn plan_flows(
+    input: &GupsInput,
+    nodes: usize,
+    me: u32,
+    msgs_per_packet: usize,
+) -> Vec<FlowPlan> {
+    assert!(msgs_per_packet > 0);
+    let part = gups::partition(input, nodes);
+    let mut streams: Vec<Vec<Message>> = vec![Vec::new(); nodes];
+    for g in gups::node_updates(input, nodes, me as usize) {
+        let dest = part.owner(g) as u32;
+        streams[dest as usize].push(Message::inc(dest, part.local_offset(g), 1));
+    }
+    streams
+        .into_iter()
+        .enumerate()
+        .filter(|(_, msgs)| !msgs.is_empty())
+        .map(|(dest, msgs)| FlowPlan {
+            dest: dest as u32,
+            packets: msgs
+                .chunks(msgs_per_packet)
+                .map(|chunk| chunk.iter().flat_map(|m| m.encode()).collect())
+                .collect(),
+        })
+        .collect()
+}
+
+/// How many packets flow `src → dest` carries — the receiver's
+/// termination condition is `expected == this` for every source, and
+/// it is computable on any node without communication.
+pub fn expected_packets(
+    input: &GupsInput,
+    nodes: usize,
+    src: u32,
+    dest: u32,
+    msgs_per_packet: usize,
+) -> u64 {
+    let part = gups::partition(input, nodes);
+    let msgs = gups::node_updates(input, nodes, src as usize)
+        .into_iter()
+        .filter(|&g| part.owner(g) == dest as usize)
+        .count();
+    msgs.div_ceil(msgs_per_packet) as u64
+}
+
+/// Go-back-N tuning for the multi-process sender.
+#[derive(Clone, Copy, Debug)]
+pub struct SenderConfig {
+    /// In-flight packets per destination flow.
+    pub window: usize,
+    /// First retransmission timeout; doubles per silent expiry.
+    pub rto_base: Duration,
+    /// Retransmission backoff ceiling (also covers restart windows:
+    /// a dead peer costs one `rto_max` probe per expiry, not a storm).
+    pub rto_max: Duration,
+}
+
+impl Default for SenderConfig {
+    fn default() -> Self {
+        SenderConfig {
+            window: 32,
+            rto_base: Duration::from_millis(50),
+            rto_max: Duration::from_millis(500),
+        }
+    }
+}
+
+struct FlowRt {
+    plan: FlowPlan,
+    /// First unacked sequence.
+    base: u64,
+    /// Next never-sent sequence.
+    next: u64,
+    /// Highest sequence ever transmitted (so re-sends after a window
+    /// rewind don't double-count `offloaded`).
+    high_water: u64,
+    rto: Duration,
+    timer: Instant,
+}
+
+/// Drive every flow to full acknowledgement. Returns `true` when all
+/// packets are acked; `false` on stop/deadline/transport-close.
+pub fn run_sender(
+    transport: &SocketTransport,
+    node: &NodeShared,
+    plans: Vec<FlowPlan>,
+    cfg: &SenderConfig,
+    stop: &AtomicBool,
+    deadline: Instant,
+) -> bool {
+    let integrity = node.wire_integrity;
+    let now = Instant::now();
+    let mut flows: Vec<FlowRt> = plans
+        .into_iter()
+        .filter(|p| !p.packets.is_empty())
+        .map(|plan| FlowRt {
+            plan,
+            base: 0,
+            next: 0,
+            high_water: 0,
+            rto: cfg.rto_base,
+            timer: now,
+        })
+        .collect();
+    loop {
+        if flows.iter().all(|f| f.base as usize >= f.plan.packets.len()) {
+            return true;
+        }
+        if stop.load(Relaxed) || Instant::now() >= deadline || transport.is_closed() {
+            return false;
+        }
+        let mut progressed = false;
+        // Drain acks: cumulative, so any ack can advance a whole window.
+        while let Some(frame) = transport.try_recv_ack(node.id, 0) {
+            match frame.open(integrity) {
+                Ok(ack) => {
+                    node.net_acks_received.inc();
+                    if let Some(f) = flows.iter_mut().find(|f| f.plan.dest == ack.src) {
+                        if ack.cum_seq + 1 > f.base {
+                            f.base = ack.cum_seq + 1;
+                            f.rto = cfg.rto_base;
+                            f.timer = Instant::now();
+                            progressed = true;
+                        }
+                    }
+                }
+                Err(_) => node.net_ack_corrupt_dropped.inc(),
+            }
+        }
+        for f in &mut flows {
+            let total = f.plan.packets.len() as u64;
+            if f.base >= total {
+                continue;
+            }
+            // Fill the window with first transmissions.
+            while f.next < total && f.next < f.base + cfg.window as u64 {
+                if !transmit(transport, node, f, f.next, integrity) {
+                    break;
+                }
+                if f.next >= f.high_water {
+                    let msgs = f.plan.packets[f.next as usize].len() / gravel_gq::MSG_ROWS;
+                    node.note_offloaded(msgs as u64);
+                    f.high_water = f.next + 1;
+                }
+                f.next += 1;
+                f.timer = Instant::now();
+                progressed = true;
+            }
+            // Go-back-N: on a silent expiry, resend the whole window.
+            // The link may be down mid-restart — frames are fire-and-
+            // forget there, so this is also the probe that rediscovers
+            // a recovered peer.
+            if f.base < f.next && f.timer.elapsed() >= f.rto {
+                for seq in f.base..f.next {
+                    transmit(transport, node, f, seq, integrity);
+                    node.net_retransmits.inc();
+                }
+                f.rto = (f.rto * 2).min(cfg.rto_max);
+                f.timer = Instant::now();
+            }
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+}
+
+/// Seal and send one packet of `f`. False only if the loopback lane is
+/// backpressured (cross-node sends never block; a down link drops).
+fn transmit(
+    transport: &SocketTransport,
+    node: &NodeShared,
+    f: &FlowRt,
+    seq: u64,
+    integrity: gravel_pgas::WireIntegrity,
+) -> bool {
+    let mut pkt = Packet::from_words(node.id, f.plan.dest, &f.plan.packets[seq as usize]);
+    pkt.lane = 0;
+    pkt.seq = seq;
+    let epoch = node.wire_epoch.load(Relaxed);
+    let frame = pkt.seal(epoch, integrity);
+    !matches!(
+        transport.send_data(frame, Duration::from_millis(5)),
+        SendStatus::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_cover_every_update() {
+        let input = GupsInput { updates: 1000, table_len: 64, seed: 9 };
+        let a = plan_flows(&input, 3, 1, 8);
+        let b = plan_flows(&input, 3, 1, 8);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.dest, y.dest);
+            assert_eq!(x.packets, y.packets);
+        }
+        let msgs: usize = a
+            .iter()
+            .flat_map(|f| &f.packets)
+            .map(|p| p.len() / gravel_gq::MSG_ROWS)
+            .sum();
+        assert_eq!(msgs, gups::node_updates(&input, 3, 1).len());
+    }
+
+    #[test]
+    fn expected_packets_matches_the_plan() {
+        let input = GupsInput { updates: 777, table_len: 32, seed: 3 };
+        for src in 0..3u32 {
+            let plans = plan_flows(&input, 3, src, 5);
+            for dest in 0..3u32 {
+                let planned = plans
+                    .iter()
+                    .find(|f| f.dest == dest)
+                    .map_or(0, |f| f.packets.len() as u64);
+                assert_eq!(expected_packets(&input, 3, src, dest, 5), planned);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Buddy-side storage of a ward's recovery state.
+//!
+//! In the ring buddy topology node `i` forwards to node `(i+1) % n`
+//! (its *buddy*), which makes node `i` the keeper for node
+//! `(i-1+n) % n` (its *ward*). The store is keyed by the forwarding
+//! node id anyway — it costs nothing and stays correct if the topology
+//! ever changes.
+//!
+//! Consistency comes from FIFO ordering, not locking across processes:
+//! the ward emits `FWD` frames and `CKPT` frames on the same stream, so
+//! applying them here in arrival order reproduces exactly the ward's
+//! own cut points. A `CKPT` replaces the baseline and clears the log;
+//! a `FWD` appends. `recover()` clones baseline + log — together they
+//! replay to the ward's state as of its last forwarded packet.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::proto::{CkptImage, FwdPacket, RecoverResp};
+
+#[derive(Default)]
+struct WardState {
+    ckpt: Option<CkptImage>,
+    log: Vec<FwdPacket>,
+}
+
+/// Recovery state held on behalf of other nodes, keyed by their id.
+#[derive(Default)]
+pub struct WardStores {
+    wards: Mutex<HashMap<u32, WardState>>,
+}
+
+impl WardStores {
+    pub fn new() -> Self {
+        WardStores::default()
+    }
+
+    /// Append one forwarded packet to `ward`'s log.
+    pub fn on_fwd(&self, ward: u32, pkt: FwdPacket) {
+        let mut wards = self.lock();
+        wards.entry(ward).or_default().log.push(pkt);
+    }
+
+    /// Install a new baseline for `ward`, truncating its log: every
+    /// packet the ward forwarded before this cut is already reflected
+    /// in the checkpoint's heap image and cursors.
+    pub fn on_ckpt(&self, ward: u32, ckpt: CkptImage) {
+        let mut wards = self.lock();
+        let st = wards.entry(ward).or_default();
+        st.ckpt = Some(ckpt);
+        st.log.clear();
+    }
+
+    /// The stored baseline + log for `ward` (empty response if we never
+    /// heard from it — a cold boot).
+    pub fn recover(&self, ward: u32) -> RecoverResp {
+        let wards = self.lock();
+        match wards.get(&ward) {
+            Some(st) => RecoverResp { ckpt: st.ckpt.clone(), log: st.log.clone() },
+            None => RecoverResp::default(),
+        }
+    }
+
+    /// Logged packets currently held for `ward` (tests, telemetry).
+    pub fn log_len(&self, ward: u32) -> usize {
+        self.lock().get(&ward).map_or(0, |s| s.log.len())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u32, WardState>> {
+        self.wards.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fwd(seq: u64) -> FwdPacket {
+        FwdPacket { src: 0, lane: 0, seq, words: vec![seq; 4] }
+    }
+
+    #[test]
+    fn ckpt_truncates_the_log_and_recover_returns_both() {
+        let s = WardStores::new();
+        assert_eq!(s.recover(3), RecoverResp::default(), "cold boot is empty");
+        s.on_fwd(3, fwd(0));
+        s.on_fwd(3, fwd(1));
+        let cut = CkptImage { epoch: 1, cursors: vec![(0, 0, 2)], heap: vec![9] };
+        s.on_ckpt(3, cut.clone());
+        assert_eq!(s.log_len(3), 0, "cut clears the log");
+        s.on_fwd(3, fwd(2));
+        let r = s.recover(3);
+        assert_eq!(r.ckpt, Some(cut));
+        assert_eq!(r.log, vec![fwd(2)]);
+        // Wards are independent.
+        assert_eq!(s.recover(1), RecoverResp::default());
+    }
+}

@@ -1,0 +1,252 @@
+//! Real-process cluster tests: N `gravel-node` binaries over Unix-domain
+//! sockets, including the headline `kill -9` recovery scenario.
+//!
+//! Scales are deliberately tiny — CI runs these on a single core — but
+//! the topology is real: separate OS processes, real sockets, a real
+//! SIGKILL, and a real restart that must recover its state over the
+//! wire from its buddy and converge to the exact no-fault heap.
+
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+use gravel_apps::gups::{self, GupsInput};
+use gravel_net::ChaosPlan;
+use gravel_node::report::{read_report, OutReport};
+use gravel_node::signal::{send_signal, SIGTERM};
+
+const BIN: &str = env!("CARGO_BIN_EXE_gravel-node");
+
+struct Cluster {
+    dir: PathBuf,
+    input: GupsInput,
+    nodes: usize,
+}
+
+impl Cluster {
+    fn new(tag: &str, input: GupsInput, nodes: usize) -> Cluster {
+        let dir = std::env::temp_dir().join(format!("gravel_cluster_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        Cluster { dir, input, nodes }
+    }
+
+    fn out_path(&self, node: usize) -> PathBuf {
+        self.dir.join(format!("node{node}.json"))
+    }
+
+    /// Spawn member `node`; `extra` appends flags (e.g. `--kill-at`).
+    fn spawn(&self, node: usize, extra: &[String]) -> Child {
+        Command::new(BIN)
+            .args([
+                "--node",
+                &node.to_string(),
+                "--nodes",
+                &self.nodes.to_string(),
+                "--dir",
+                self.dir.to_str().unwrap(),
+                "--updates",
+                &self.input.updates.to_string(),
+                "--table",
+                &self.input.table_len.to_string(),
+                "--seed",
+                &self.input.seed.to_string(),
+                "--ckpt-every",
+                "4",
+                "--out",
+                self.out_path(node).to_str().unwrap(),
+            ])
+            .args(extra)
+            .spawn()
+            .expect("spawn gravel-node")
+    }
+
+    /// Poll the out files until every member reports `completed`.
+    fn wait_all_completed(&self, timeout: Duration) -> Vec<OutReport> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let reports: Vec<OutReport> = (0..self.nodes)
+                .filter_map(|n| read_report(&self.out_path(n)).ok())
+                .filter(|r| r.completed)
+                .collect();
+            if reports.len() == self.nodes {
+                let mut reports = reports;
+                reports.sort_by_key(|r| r.node);
+                return reports;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "cluster did not complete: {}/{} reports",
+                reports.len(),
+                self.nodes
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// The bit-exactness assertion: the union of the per-node heap
+    /// slices must equal the sequential histogram of every node's
+    /// update stream — the same heap a no-fault run produces.
+    fn assert_bit_exact(&self, reports: &[OutReport]) {
+        let part = gups::partition(&self.input, self.nodes);
+        let mut expect = vec![0u64; self.input.table_len];
+        for node in 0..self.nodes {
+            for g in gups::node_updates(&self.input, self.nodes, node) {
+                expect[g] += 1;
+            }
+        }
+        for (g, &want) in expect.iter().enumerate() {
+            let owner = part.owner(g);
+            let off = part.local_offset(g) as usize;
+            assert_eq!(
+                reports[owner].heap[off], want,
+                "heap mismatch at global index {g} (owner {owner}, offset {off})"
+            );
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+fn sigterm_and_reap(children: &mut [Child], path_of: impl Fn(usize) -> PathBuf) -> Vec<OutReport> {
+    for c in children.iter() {
+        assert!(send_signal(c.id(), SIGTERM), "SIGTERM delivery");
+    }
+    let mut finals = Vec::new();
+    for (i, c) in children.iter_mut().enumerate() {
+        let status = c.wait().unwrap();
+        assert!(status.success(), "node {i} exit status {status:?}");
+        finals.push(read_report(&path_of(i)).unwrap());
+    }
+    finals
+}
+
+#[test]
+fn no_fault_cluster_is_bit_exact_and_sigterm_is_graceful() {
+    let input = GupsInput { updates: 900, table_len: 96, seed: 7 };
+    let cluster = Cluster::new("nofault", input, 3);
+    let mut children: Vec<Child> = (0..3).map(|n| cluster.spawn(n, &[])).collect();
+
+    let reports = cluster.wait_all_completed(Duration::from_secs(45));
+    cluster.assert_bit_exact(&reports);
+    for r in &reports {
+        assert!(!r.recovered_from_ckpt, "cold boot must not find a baseline");
+        assert!(r.epoch > 0, "epoch cuts flowed");
+        assert!(r.stats.fwd_sent > 0, "applied packets were forwarded");
+        assert!(r.stats.handshakes >= 2, "full mesh handshakes");
+    }
+
+    // Graceful teardown: SIGTERM → final epoch cut → exit 0.
+    let finals = sigterm_and_reap(&mut children, |n| cluster.out_path(n));
+    for r in &finals {
+        assert!(r.graceful && r.completed, "node {} final report", r.node);
+    }
+    cluster.assert_bit_exact(&finals);
+}
+
+#[test]
+fn kill9_mid_run_recovers_bit_exact_over_the_wire() {
+    let input = GupsInput { updates: 1600, table_len: 128, seed: 11 };
+    let cluster = Cluster::new("kill9", input, 4);
+
+    // Pick the victim and the kill step from the same seeded plan the
+    // victim process will execute with --kill-at.
+    let plan = ChaosPlan::seeded_kill(input.seed, 4, 12);
+    let (victim, at_step) = (0..4u32)
+        .find_map(|n| plan.process_kill(n).map(|s| (n as usize, s)))
+        .expect("seeded plan has a victim");
+
+    let mut children: Vec<Child> = (0..4)
+        .map(|n| {
+            let extra = if n == victim {
+                vec!["--kill-at".to_string(), at_step.to_string()]
+            } else {
+                vec![]
+            };
+            cluster.spawn(n, &extra)
+        })
+        .collect();
+
+    // The victim self-SIGKILLs after applying (and forwarding) packet
+    // `at_step`. Reap the corpse and verify it really died by signal.
+    let died = Instant::now();
+    let status = children[victim].wait().unwrap();
+    assert!(!status.success(), "victim must die by SIGKILL, got {status:?}");
+    eprintln!("victim node {victim} died after {:?} (kill at step {at_step})", died.elapsed());
+
+    // Let the survivors notice: heartbeats go silent and the
+    // phi-accrual detector must latch the death before the new
+    // incarnation shows up.
+    std::thread::sleep(Duration::from_millis(1500));
+
+    // Restart with the *same* command line minus the kill switch: the
+    // new process re-handshakes, pulls its checkpoint + replay log from
+    // its buddy over the socket, and resumes.
+    children[victim] = cluster.spawn(victim, &[]);
+
+    let reports = cluster.wait_all_completed(Duration::from_secs(50));
+    cluster.assert_bit_exact(&reports);
+
+    let vr = &reports[victim];
+    assert!(
+        vr.recovered_from_ckpt,
+        "restarted victim recovered a buddy-held baseline"
+    );
+    let survivors: Vec<&OutReport> =
+        reports.iter().filter(|r| r.node as usize != victim).collect();
+    assert!(
+        survivors.iter().any(|r| r.stats.membership_losses > 0),
+        "a survivor observed the victim's link drop"
+    );
+    assert!(
+        survivors.iter().any(|r| r.stats.membership_rejoins > 0),
+        "a survivor observed the new incarnation's handshake"
+    );
+    assert!(
+        survivors.iter().map(|r| r.stats.deaths_declared).sum::<u64>() >= 1,
+        "the failure detector declared the victim dead over the wire"
+    );
+    for r in &survivors {
+        assert!(
+            r.stats.reconnects <= 8,
+            "node {} reconnect storm: {} re-handshakes for one restart",
+            r.node,
+            r.stats.reconnects
+        );
+    }
+
+    let finals = sigterm_and_reap(&mut children, |n| cluster.out_path(n));
+    cluster.assert_bit_exact(&finals);
+    for r in &finals {
+        assert!(r.graceful, "node {} tore down gracefully after recovery", r.node);
+    }
+}
+
+#[test]
+fn sigterm_mid_run_exits_zero_with_graceful_report() {
+    // A workload big enough that SIGTERM lands mid-stream.
+    let input = GupsInput { updates: 60_000, table_len: 256, seed: 5 };
+    let cluster = Cluster::new("sigterm", input, 2);
+    let mut children: Vec<Child> = (0..2).map(|n| cluster.spawn(n, &[])).collect();
+
+    // Past startup recovery (cold boot over local UDS is milliseconds),
+    // but far before 60k updates complete.
+    std::thread::sleep(Duration::from_millis(500));
+    for c in &children {
+        assert!(send_signal(c.id(), SIGTERM));
+    }
+    for (i, c) in children.iter_mut().enumerate() {
+        let status = c.wait().unwrap();
+        assert!(status.success(), "node {i} exit after SIGTERM: {status:?}");
+    }
+    // Both wrote a graceful report (completed or not — the point is the
+    // quiesce-checkpoint-exit path ran).
+    for n in 0..2 {
+        let r = read_report(&cluster.out_path(n)).unwrap();
+        assert!(r.graceful, "node {n} graceful flag");
+    }
+}

@@ -56,6 +56,20 @@ pub enum FrameKind {
     Data,
     /// A cumulative acknowledgement (no payload; `seq` is the cum-seq).
     Ack,
+    /// Connection handshake: the first frame on a new stream, carrying
+    /// protocol version (header), node id (`src`), intended peer
+    /// (`dest`), current epoch, and cluster shape (payload).
+    Hello,
+    /// Handshake rejection: sent in place of a HELLO-ack when the
+    /// peer's version or cluster shape is unacceptable; the payload
+    /// says why.
+    Reject,
+    /// A liveness beat for the phi-accrual detector (no payload; `seq`
+    /// is the beat counter).
+    Heartbeat,
+    /// Cluster control plane: checkpoint shipping, replay forwarding,
+    /// recovery requests. Payload is op-specific `u64` words.
+    Control,
 }
 
 impl FrameKind {
@@ -63,6 +77,10 @@ impl FrameKind {
         match self {
             FrameKind::Data => 0,
             FrameKind::Ack => 1,
+            FrameKind::Hello => 2,
+            FrameKind::Reject => 3,
+            FrameKind::Heartbeat => 4,
+            FrameKind::Control => 5,
         }
     }
 
@@ -70,6 +88,10 @@ impl FrameKind {
         match b {
             0 => Some(FrameKind::Data),
             1 => Some(FrameKind::Ack),
+            2 => Some(FrameKind::Hello),
+            3 => Some(FrameKind::Reject),
+            4 => Some(FrameKind::Heartbeat),
+            5 => Some(FrameKind::Control),
             _ => None,
         }
     }
@@ -632,6 +654,233 @@ pub fn open_ack(bytes: &[u8], integrity: WireIntegrity) -> Result<FrameHead, Fra
 }
 
 // ---------------------------------------------------------------------------
+// Connection control plane: HELLO / REJECT / HEARTBEAT / CONTROL frames.
+// ---------------------------------------------------------------------------
+
+/// HELLO payload: cluster node count + lane count, 4 bytes each.
+pub const HELLO_PAYLOAD_BYTES: usize = 8;
+
+/// What a HELLO frame announces about its sender. `peer` is the node
+/// id the sender *believes* it is talking to — the accept side checks
+/// it against its own id to catch miswired address maps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HelloInfo {
+    /// The sending node's id.
+    pub node: u32,
+    /// The node id the sender expects on the other end.
+    pub peer: u32,
+    /// Cluster size the sender was configured with.
+    pub nodes: u32,
+    /// Lane count the sender was configured with.
+    pub lanes: u32,
+    /// The sender's checkpoint epoch at connect time.
+    pub epoch: u32,
+}
+
+/// Seal a HELLO handshake frame.
+pub fn seal_hello(hello: &HelloInfo, integrity: WireIntegrity) -> Bytes {
+    let mut payload = [0u8; HELLO_PAYLOAD_BYTES];
+    payload[..4].copy_from_slice(&hello.nodes.to_le_bytes());
+    payload[4..].copy_from_slice(&hello.lanes.to_le_bytes());
+    let head = FrameHead {
+        kind: FrameKind::Hello,
+        flags: 0,
+        src: hello.node,
+        dest: hello.peer,
+        lane: 0,
+        epoch: hello.epoch,
+        seq: 0,
+        payload_len: HELLO_PAYLOAD_BYTES as u32,
+    };
+    seal_frame(&head, &payload, integrity)
+}
+
+/// Verify a HELLO frame and decode what it announces. A frame from a
+/// build speaking a different wire version fails here with
+/// [`FrameError::BadVersion`] — the caller turns that into a counted
+/// REJECT instead of a silent hang.
+pub fn open_hello(bytes: &[u8], integrity: WireIntegrity) -> Result<HelloInfo, FrameError> {
+    let head = open_frame(bytes, FrameKind::Hello, integrity)?;
+    if head.payload_len as usize != HELLO_PAYLOAD_BYTES {
+        return Err(FrameError::BadLength {
+            expect: HEADER_BYTES + HELLO_PAYLOAD_BYTES + 4,
+            have: bytes.len(),
+        });
+    }
+    Ok(HelloInfo {
+        node: head.src,
+        peer: head.dest,
+        nodes: read_u32(bytes, HEADER_BYTES),
+        lanes: read_u32(bytes, HEADER_BYTES + 4),
+        epoch: head.epoch,
+    })
+}
+
+/// Why a handshake was refused (REJECT payload word 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The peer speaks a different wire-format version; the detail word
+    /// carries the version it offered.
+    Version,
+    /// The peer was configured with a different cluster size or lane
+    /// count; the detail word carries the offending value.
+    ClusterShape,
+    /// The peer's node id is out of range or aimed at the wrong node.
+    NodeId,
+    /// The first frame was not a well-formed HELLO at all.
+    Protocol,
+}
+
+impl RejectReason {
+    fn encode(self) -> u32 {
+        match self {
+            RejectReason::Version => 1,
+            RejectReason::ClusterShape => 2,
+            RejectReason::NodeId => 3,
+            RejectReason::Protocol => 4,
+        }
+    }
+
+    fn decode(v: u32) -> Option<RejectReason> {
+        match v {
+            1 => Some(RejectReason::Version),
+            2 => Some(RejectReason::ClusterShape),
+            3 => Some(RejectReason::NodeId),
+            4 => Some(RejectReason::Protocol),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::Version => write!(f, "wire version mismatch"),
+            RejectReason::ClusterShape => write!(f, "cluster shape mismatch"),
+            RejectReason::NodeId => write!(f, "bad node id"),
+            RejectReason::Protocol => write!(f, "not a HELLO"),
+        }
+    }
+}
+
+/// Seal a handshake-rejection frame. `src` is the rejecting node,
+/// `detail` is reason-specific (e.g. the version the peer offered).
+pub fn seal_reject(
+    src: u32,
+    reason: RejectReason,
+    detail: u32,
+    integrity: WireIntegrity,
+) -> Bytes {
+    let mut payload = [0u8; 8];
+    payload[..4].copy_from_slice(&reason.encode().to_le_bytes());
+    payload[4..].copy_from_slice(&detail.to_le_bytes());
+    let head = FrameHead {
+        kind: FrameKind::Reject,
+        flags: 0,
+        src,
+        dest: 0,
+        lane: 0,
+        epoch: 0,
+        seq: 0,
+        payload_len: 8,
+    };
+    seal_frame(&head, &payload, integrity)
+}
+
+/// Verify a REJECT frame; returns (rejecting node, reason, detail).
+pub fn open_reject(
+    bytes: &[u8],
+    integrity: WireIntegrity,
+) -> Result<(u32, RejectReason, u32), FrameError> {
+    let head = open_frame(bytes, FrameKind::Reject, integrity)?;
+    if head.payload_len != 8 {
+        return Err(FrameError::BadLength { expect: HEADER_BYTES + 12, have: bytes.len() });
+    }
+    let reason = RejectReason::decode(read_u32(bytes, HEADER_BYTES))
+        .ok_or(FrameError::WrongKind { got: bytes[HEADER_BYTES] })?;
+    Ok((head.src, reason, read_u32(bytes, HEADER_BYTES + 4)))
+}
+
+/// Seal a payload-free heartbeat frame (fixed size, no allocation —
+/// beats are frequent). `seq` is the beat counter.
+pub fn seal_heartbeat(
+    src: u32,
+    dest: u32,
+    epoch: u32,
+    seq: u64,
+    integrity: WireIntegrity,
+) -> [u8; ACK_FRAME_BYTES] {
+    let head = FrameHead {
+        kind: FrameKind::Heartbeat,
+        flags: 0,
+        src,
+        dest,
+        lane: 0,
+        epoch,
+        seq,
+        payload_len: 0,
+    };
+    let mut out = [0u8; ACK_FRAME_BYTES];
+    put_header(&mut ArrayWriter { buf: &mut out, at: 0 }, &head);
+    let crc = match integrity {
+        WireIntegrity::Crc32c => crc32c(&out[..HEADER_BYTES]),
+        WireIntegrity::Off => 0,
+    };
+    out[HEADER_BYTES..].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Verify a heartbeat frame and return its header.
+pub fn open_heartbeat(bytes: &[u8], integrity: WireIntegrity) -> Result<FrameHead, FrameError> {
+    open_frame(bytes, FrameKind::Heartbeat, integrity)
+}
+
+/// Seal a control frame whose payload is op-specific `u64` words
+/// (checkpoint shipping, replay forwarding, recovery).
+pub fn seal_control(
+    src: u32,
+    dest: u32,
+    epoch: u32,
+    words: &[u64],
+    integrity: WireIntegrity,
+) -> Bytes {
+    let mut payload = BytesMut::with_capacity(words.len() * 8);
+    for &w in words {
+        payload.put_u64_le(w);
+    }
+    let head = FrameHead {
+        kind: FrameKind::Control,
+        flags: 0,
+        src,
+        dest,
+        lane: 0,
+        epoch,
+        seq: 0,
+        payload_len: payload.len() as u32,
+    };
+    seal_frame(&head, &payload, integrity)
+}
+
+/// Verify a control frame and decode its word payload.
+pub fn open_control(
+    bytes: &[u8],
+    integrity: WireIntegrity,
+) -> Result<(FrameHead, Vec<u64>), FrameError> {
+    let head = open_frame(bytes, FrameKind::Control, integrity)?;
+    if head.payload_len % 8 != 0 {
+        return Err(FrameError::BadLength {
+            expect: HEADER_BYTES + (head.payload_len as usize / 8) * 8 + 4,
+            have: bytes.len(),
+        });
+    }
+    let words = bytes[HEADER_BYTES..HEADER_BYTES + head.payload_len as usize]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok((head, words))
+}
+
+// ---------------------------------------------------------------------------
 // The data plane's frame type.
 // ---------------------------------------------------------------------------
 
@@ -858,6 +1107,58 @@ mod tests {
             bad[i] ^= 1;
             assert!(open_ack(&bad, WireIntegrity::Crc32c).is_err(), "byte {i}");
         }
+    }
+
+    #[test]
+    fn hello_roundtrip_and_version_mismatch() {
+        let hello = HelloInfo { node: 2, peer: 0, nodes: 4, lanes: 1, epoch: 7 };
+        let bytes = seal_hello(&hello, WireIntegrity::Crc32c);
+        assert_eq!(open_hello(&bytes, WireIntegrity::Crc32c).unwrap(), hello);
+        // A HELLO from a build speaking a different wire version is
+        // classified as BadVersion so the accept side can REJECT it.
+        let mut alien = bytes.to_vec();
+        alien[4] = 9;
+        alien[5] = 0;
+        let tail = alien.len() - 4;
+        let crc = crc32c(&alien[..tail]);
+        alien[tail..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            open_hello(&alien, WireIntegrity::Crc32c),
+            Err(FrameError::BadVersion { got: 9 })
+        ));
+    }
+
+    #[test]
+    fn reject_roundtrip() {
+        let bytes = seal_reject(3, RejectReason::Version, 9, WireIntegrity::Crc32c);
+        let (src, reason, detail) = open_reject(&bytes, WireIntegrity::Crc32c).unwrap();
+        assert_eq!((src, reason, detail), (3, RejectReason::Version, 9));
+        for i in 0..bytes.len() {
+            let mut bad = bytes.to_vec();
+            bad[i] ^= 0x40;
+            assert!(open_reject(&bad, WireIntegrity::Crc32c).is_err(), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn heartbeat_roundtrip() {
+        let bytes = seal_heartbeat(1, 3, 5, 77, WireIntegrity::Crc32c);
+        let head = open_heartbeat(&bytes, WireIntegrity::Crc32c).unwrap();
+        assert_eq!((head.src, head.dest, head.epoch, head.seq), (1, 3, 5, 77));
+        // Heartbeats are not acks even though they share the layout.
+        assert!(open_ack(&bytes, WireIntegrity::Crc32c).is_err());
+    }
+
+    #[test]
+    fn control_roundtrip() {
+        let words = [42u64, 7, u64::MAX, 0];
+        let bytes = seal_control(0, 1, 3, &words, WireIntegrity::Crc32c);
+        let (head, got) = open_control(&bytes, WireIntegrity::Crc32c).unwrap();
+        assert_eq!((head.src, head.dest, head.epoch), (0, 1, 3));
+        assert_eq!(got, words);
+        let empty = seal_control(2, 3, 0, &[], WireIntegrity::Crc32c);
+        let (_, got) = open_control(&empty, WireIntegrity::Crc32c).unwrap();
+        assert!(got.is_empty());
     }
 
     #[test]

@@ -3,8 +3,10 @@
 use std::time::{Duration, Instant};
 
 use gravel_pgas::{
-    apply_words, open_ack, open_frame, AmRegistry, DataFrame, FrameKind, Layout, NodeQueues,
-    Packet, Partition, SymmetricHeap, WireIntegrity, ACK_FRAME_BYTES,
+    apply_words, open_ack, open_control, open_frame, open_heartbeat, open_hello, open_reject,
+    seal_control, seal_heartbeat, seal_hello, seal_reject, AmRegistry, DataFrame, FrameKind,
+    HelloInfo, Layout, NodeQueues, Packet, Partition, RejectReason, SymmetricHeap, WireIntegrity,
+    ACK_FRAME_BYTES,
 };
 use proptest::prelude::*;
 
@@ -197,6 +199,68 @@ proptest! {
         };
         prop_assert!(short.open(WireIntegrity::Crc32c).is_err());
         prop_assert!(short.open(WireIntegrity::Off).is_err());
+    }
+
+    /// Arbitrary bytes handed to the membership-frame decoders — HELLO,
+    /// REJECT, heartbeat, control — never panic; they decode or error.
+    /// These are the frames a fresh (possibly hostile) socket peer gets
+    /// to send before any trust is established.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_membership_decoders(
+        junk in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        for integrity in [WireIntegrity::Crc32c, WireIntegrity::Off] {
+            let _ = open_hello(&junk, integrity);
+            let _ = open_reject(&junk, integrity);
+            let _ = open_heartbeat(&junk, integrity);
+            let _ = open_control(&junk, integrity);
+        }
+    }
+
+    /// Flipping any single bit in a sealed HELLO, REJECT, heartbeat, or
+    /// control frame makes it fail to open (handshake and membership
+    /// frames always carry CRC32C, regardless of the data-plane
+    /// integrity setting).
+    #[test]
+    fn membership_frame_bit_flips_are_rejected(
+        node in 0u32..64,
+        peer in 0u32..64,
+        epoch in any::<u32>(),
+        seq in any::<u64>(),
+        words in prop::collection::vec(any::<u64>(), 0..24),
+        which in 0u8..4,
+        at in any::<usize>(),
+        bit in 0u32..8,
+    ) {
+        let integrity = WireIntegrity::Crc32c;
+        let reason = match which {
+            0 => RejectReason::Version,
+            1 => RejectReason::ClusterShape,
+            _ => RejectReason::NodeId,
+        };
+        let sealed: Vec<u8> = match which {
+            0 => seal_hello(
+                &HelloInfo { node, peer, nodes: 4, lanes: 1, epoch },
+                integrity,
+            ).to_vec(),
+            1 => seal_reject(node, reason, peer, integrity).to_vec(),
+            2 => seal_heartbeat(node, peer, epoch, seq, integrity).to_vec(),
+            _ => seal_control(node, peer, epoch, &words, integrity).to_vec(),
+        };
+        let opens = |b: &[u8]| match which {
+            0 => open_hello(b, integrity).is_ok(),
+            1 => open_reject(b, integrity).is_ok(),
+            2 => open_heartbeat(b, integrity).is_ok(),
+            _ => open_control(b, integrity).is_ok(),
+        };
+        prop_assert!(opens(&sealed));
+        let mut mangled = sealed.clone();
+        let i = at % mangled.len();
+        mangled[i] ^= 1 << bit;
+        prop_assert!(!opens(&mangled), "flip at byte {} bit {}", i, bit);
+        // Truncation at any boundary must also fail, never panic.
+        let cut = at % sealed.len();
+        prop_assert!(!opens(&sealed[..cut]));
     }
 
     /// Ack frames reject every single-bit flip too.
