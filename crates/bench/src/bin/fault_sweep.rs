@@ -26,7 +26,9 @@ use std::time::Instant;
 
 use gravel_apps::gups::{self, GupsInput};
 use gravel_bench::report::{f2, Table};
-use gravel_core::{FaultConfig, GravelConfig, GravelRuntime, RegistrySnapshot, TransportKind};
+use gravel_core::{
+    FaultConfig, GravelConfig, GravelRuntime, RegistrySnapshot, RpcFailure, TransportKind,
+};
 
 /// One sweep cell's telemetry: the injected fault kind/probability, the
 /// fault-tolerance and wire-integrity headline counters, and the
@@ -44,6 +46,15 @@ struct TelemetryCell {
     truncated: u64,
     misrouted: u64,
     quarantined: u64,
+    /// Request-reply ledger for the cell's GET probe stream (DESIGN.md
+    /// §15): every probe ends as a completion or a deterministic
+    /// timeout — `rpc_issued == rpc_completed + rpc_timeouts` is
+    /// asserted before the cell is recorded.
+    rpc_issued: u64,
+    rpc_completed: u64,
+    rpc_timeouts: u64,
+    rpc_replies_sent: u64,
+    rpc_credits_stalled: u64,
     telemetry: RegistrySnapshot,
 }
 
@@ -109,6 +120,8 @@ fn main() {
             "packets lost",
             "corrupt refused",
             "quarantined",
+            "GETs ok",
+            "GETs t/o",
         ],
     );
 
@@ -124,6 +137,48 @@ fn main() {
         let issued = gups::run_live(&rt, &input);
         rt.quiesce();
         let wall = start.elapsed();
+        // GET probes under the same fault model: request-reply frames
+        // ride the degraded links, so drops and corruption hit them the
+        // way they hit bulk traffic. Every probe must end bit-exact
+        // (the GUPS table is quiescent) or as a deterministic timeout.
+        let mut gets_ok = 0u64;
+        let mut gets_timed_out = 0u64;
+        for i in 0..32usize {
+            let src = i % nodes;
+            let dest = ((src + 1 + i / nodes) % nodes) as u32;
+            let addr = (i % 16) as u64;
+            match rt.host_get(src, dest, addr) {
+                Ok(v) => {
+                    assert_eq!(
+                        v,
+                        rt.heap(dest as usize).load(addr),
+                        "GET returned a wrong value at {kind}={prob}"
+                    );
+                    gets_ok += 1;
+                }
+                Err(RpcFailure::TimedOut) => gets_timed_out += 1,
+                Err(other) => panic!("non-deterministic GET failure at {kind}={prob}: {other}"),
+            }
+        }
+        rt.quiesce();
+        // Reconcile the probe outcomes against the rpc ledger before
+        // recording the cell: the counters must balance, every Ok the
+        // caller saw must be a counted completion, and nothing may
+        // linger in a pending-reply table.
+        let node_stats: Vec<_> = (0..nodes).map(|n| rt.node(n).stats()).collect();
+        let rpc_issued: u64 = node_stats.iter().map(|s| s.rpc.issued).sum();
+        let rpc_completed: u64 = node_stats.iter().map(|s| s.rpc.completed).sum();
+        let rpc_timeouts: u64 = node_stats.iter().map(|s| s.rpc.timeouts).sum();
+        assert_eq!(rpc_issued, 32, "probe count off at {kind}={prob}");
+        assert_eq!(
+            rpc_issued,
+            rpc_completed + rpc_timeouts,
+            "rpc ledger out of balance at {kind}={prob}"
+        );
+        assert_eq!(rpc_completed, gets_ok, "completions != observed Oks at {kind}={prob}");
+        for n in 0..nodes {
+            assert_eq!(rt.node(n).rpc.len(), 0, "node {n} pending table leaked at {kind}={prob}");
+        }
         let telemetry = rt.telemetry_snapshot();
         let restarts = telemetry.counter("ha.restarts");
         let recoveries = telemetry.counter("ha.recoveries");
@@ -144,6 +199,11 @@ fn main() {
             truncated,
             misrouted,
             quarantined: stats.total_quarantined(),
+            rpc_issued,
+            rpc_completed,
+            rpc_timeouts,
+            rpc_replies_sent: stats.nodes.iter().map(|n| n.rpc.replies_sent).sum(),
+            rpc_credits_stalled: stats.nodes.iter().map(|n| n.rpc.credits_stalled).sum(),
             telemetry,
         });
         let rate = issued as f64 / wall.as_secs_f64() / 1e6;
@@ -159,6 +219,8 @@ fn main() {
             stats.faults.total_losses().to_string(),
             stats.total_integrity_drops().to_string(),
             stats.total_quarantined().to_string(),
+            gets_ok.to_string(),
+            gets_timed_out.to_string(),
         ]);
     }
     t.emit();

@@ -29,6 +29,8 @@ fn main() {
             "p99 µs",
             "avg pkt B",
             "rtx",
+            "p50 GET µs",
+            "p99 GET µs",
         ],
     );
     for c in &report.cells {
@@ -41,6 +43,8 @@ fn main() {
             f2(c.p99_agg_apply_ns as f64 / 1e3),
             f2(c.avg_packet_bytes),
             c.retransmits.to_string(),
+            f2(c.p50_get_ns as f64 / 1e3),
+            f2(c.p99_get_ns as f64 / 1e3),
         ]);
     }
     t.emit();
@@ -53,6 +57,14 @@ fn main() {
         "Wire-integrity tax (lanes=1, crc32c vs off): {:.2}%",
         report.integrity_tax * 100.0
     );
+    let get = |w: &str| report.cells.iter().find(|c| c.workload == w);
+    if let (Some(on), Some(off)) = (get("get_rpc"), get("get_rpc_nobands")) {
+        println!(
+            "GET p99 under PUT storm: {:.1} µs with QoS bands vs {:.1} µs without",
+            on.p99_get_ns as f64 / 1e3,
+            off.p99_get_ns as f64 / 1e3
+        );
+    }
 
     throughput::save(&report, "BENCH_throughput.json").expect("write BENCH_throughput.json");
 }

@@ -20,7 +20,8 @@
 //! costs tail latency is visible in the same file.
 
 use std::io::Write as _;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use gravel_apps::graph::gen;
 use gravel_apps::{gups, pagerank};
@@ -53,6 +54,12 @@ pub struct ThroughputCell {
     pub avg_packet_bytes: f64,
     /// Packets retransmitted (should stay 0 on the reliable fabric).
     pub retransmits: u64,
+    /// Median foreground GET round-trip latency (ns). Zero for
+    /// workloads that issue no GETs.
+    pub p50_get_ns: u64,
+    /// Tail foreground GET round-trip latency (ns). Zero for workloads
+    /// that issue no GETs.
+    pub p99_get_ns: u64,
 }
 
 /// The full report written to `BENCH_throughput.json`.
@@ -100,6 +107,8 @@ pub struct Scale {
     pub pr_vertices: usize,
     /// PageRank iterations.
     pub pr_iters: usize,
+    /// Foreground GET probes per request-reply latency cell.
+    pub get_probes: usize,
     /// Best-of trials per cell.
     pub trials: u32,
 }
@@ -112,6 +121,7 @@ impl Scale {
             gups_table: 1 << 14,
             pr_vertices: 4_000,
             pr_iters: 3,
+            get_probes: 1_500,
             trials: 3,
         }
     }
@@ -123,6 +133,7 @@ impl Scale {
             gups_table: 1 << 10,
             pr_vertices: 400,
             pr_iters: 2,
+            get_probes: 150,
             trials: 1,
         }
     }
@@ -172,6 +183,8 @@ fn cell_from_run(
         p99_agg_apply_ns: lat.p99(),
         avg_packet_bytes: stats.avg_packet_bytes(),
         retransmits: stats.total_retransmits(),
+        p50_get_ns: 0,
+        p99_get_ns: 0,
     }
 }
 
@@ -246,6 +259,107 @@ fn pagerank_trial(scale: &Scale, nodes: usize, lanes: usize) -> ThroughputCell {
     );
     rt.shutdown()
         .expect("throughput PageRank run must be clean");
+    cell
+}
+
+/// `p`-th percentile of an ascending-sorted latency sample.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    match sorted.len() {
+        0 => 0,
+        n => sorted[((n - 1) as f64 * p).round() as usize],
+    }
+}
+
+/// One request-reply latency trial: a continuous background PUT storm
+/// keeps every node's bulk class saturated while the foreground issues
+/// sequential GET probes from node 0 and times each round trip. With
+/// `qos_bands` on, the LATENCY band drains GETs and their replies ahead
+/// of queued bulk runs; the `_nobands` ablation funnels everything
+/// through one class queue, so the same probes wait behind the storm.
+/// `msgs_per_sec` is the foreground GET op rate; the headline fields
+/// are `p50_get_ns`/`p99_get_ns`.
+fn get_rpc_trial(scale: &Scale, nodes: usize, qos_bands: bool) -> ThroughputCell {
+    let heap_len: usize = 1 << 10;
+    let mut cfg = bench_config(nodes, heap_len, 1);
+    cfg.rpc.qos_bands = qos_bands;
+    // Probes must complete, not race the deadline: the cell measures
+    // scheduling latency, and a timeout would poison the percentiles.
+    cfg.rpc.timeout = Duration::from_secs(10);
+    // 4 kB bulk packets (the fault-sweep size): each in-flight bulk
+    // packet is ~128 messages of receiver work, so head-of-line wait in
+    // the per-node inbound FIFO stays small and the measured latency is
+    // dominated by *sender-side* queueing — the part the band scheduler
+    // arbitrates. 64 kB packets would bury the scheduling signal under
+    // megabytes of already-shipped bulk ahead of the reply.
+    cfg.node_queue_bytes = 4096;
+    let rt = GravelRuntime::new(cfg);
+    for node in 0..nodes {
+        for addr in 0..heap_len as u64 {
+            rt.heap(node).store(addr, addr ^ ((node as u64) << 32));
+        }
+    }
+    // Per-node background chunk: bulk INCs at the right neighbour,
+    // resent in a loop until the foreground probes finish.
+    let chunks: Vec<Vec<Message>> = (0..nodes)
+        .map(|node| {
+            let dest = ((node + 1) % nodes) as u32;
+            (0..2048u64)
+                .map(|i| Message::inc(dest, i % heap_len as u64, 1))
+                .collect()
+        })
+        .collect();
+    let stop = AtomicBool::new(false);
+    let mut lat: Vec<u64> = Vec::with_capacity(scale.get_probes);
+    // Keep ~64k bulk messages in flight cluster-wide: enough beyond the
+    // go-back-N windows that every sender holds a queued bulk backlog
+    // (the state the band scheduler arbitrates), bounded so the run
+    // measures scheduling rather than unbounded-overload queueing.
+    const BULK_IN_FLIGHT: u64 = 64 * 1024;
+    let shared: Vec<_> = (0..nodes).map(|n| rt.node(n).clone()).collect();
+    let start = Instant::now();
+    let fg_elapsed = std::thread::scope(|s| {
+        for (id, chunk) in chunks.iter().enumerate() {
+            let node = rt.node(id).clone();
+            let stop = &stop;
+            let shared = &shared;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let applied: u64 = shared.iter().map(|n| n.applied.get()).sum();
+                    let offloaded: u64 = shared.iter().map(|n| n.offloaded.get()).sum();
+                    if offloaded.saturating_sub(applied) < BULK_IN_FLIGHT {
+                        node.host_send_batch(chunk);
+                    } else {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+            });
+        }
+        for i in 0..scale.get_probes {
+            let dest = if nodes > 1 { (1 + i % (nodes - 1)) as u32 } else { 0 };
+            let addr = (i % heap_len) as u64;
+            let t0 = Instant::now();
+            let got = rt.host_get(0, dest, addr);
+            assert!(got.is_ok(), "GET probe failed mid-bench: {got:?}");
+            lat.push(t0.elapsed().as_nanos() as u64);
+        }
+        let fg = start.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        fg
+    });
+    rt.quiesce();
+    lat.sort_unstable();
+    let mut cell = cell_from_run(
+        if qos_bands { "get_rpc" } else { "get_rpc_nobands" },
+        WireIntegrity::Crc32c,
+        1,
+        nodes,
+        scale.get_probes as u64,
+        fg_elapsed,
+        &rt,
+    );
+    cell.p50_get_ns = percentile(&lat, 0.50);
+    cell.p99_get_ns = percentile(&lat, 0.99);
+    rt.shutdown().expect("throughput GET run must be clean");
     cell
 }
 
@@ -325,6 +439,18 @@ pub fn measure(
             pagerank_trial(scale, nodes, lanes)
         }));
     }
+    // Request-reply latency under bulk pressure, with the QoS-band
+    // ablation. At full scale the LATENCY band's p99 must undercut the
+    // bands-off cell; at smoke scale the pair is informational only.
+    eprintln!("[throughput] get_rpc nodes={nodes} (foreground GETs vs PUT storm, qos on/off)");
+    let bands = best_of(scale.trials, || get_rpc_trial(scale, nodes, true));
+    let nobands = best_of(scale.trials, || get_rpc_trial(scale, nodes, false));
+    eprintln!(
+        "[throughput] GET p99 with QoS bands: {} ns; without: {} ns",
+        bands.p99_get_ns, nobands.p99_get_ns
+    );
+    cells.push(bands);
+    cells.push(nobands);
     let base = cells.iter().find(|c| c.workload == "gups" && c.lanes == 1);
     let top = cells
         .iter()

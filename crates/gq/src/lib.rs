@@ -43,13 +43,15 @@ pub mod mpmc;
 pub mod msg;
 pub mod pad;
 pub mod park;
+pub mod replysink;
 pub mod spsc;
 pub mod stats;
 
 pub use gravel_queue::{Consumed, GravelQueue, QueueConfig};
 pub use mpmc::MpmcQueue;
-pub use msg::{Command, Message, MSG_BYTES, MSG_ROWS};
+pub use msg::{Band, Command, Message, TrafficClass, MSG_BYTES, MSG_ROWS, NUM_BANDS, NUM_CLASSES};
 pub use pad::CachePad;
 pub use park::WaitCell;
+pub use replysink::{ReplySink, ReplyState, RpcFailure};
 pub use spsc::SpscQueue;
 pub use stats::{QueueStats, StatsSnapshot};

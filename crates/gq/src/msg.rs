@@ -10,7 +10,8 @@
 //! cache lines.
 
 /// Network commands a message can carry (paper §6: PUT, atomic increment,
-/// and a primitive active-message API).
+/// and a primitive active-message API), extended with the request-reply
+/// traffic class (GET, value-returning active messages, replies).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Command {
     /// PGAS store: write `value` to `addr` on `dest`.
@@ -24,27 +25,183 @@ pub enum Command {
     /// Runtime control: tells a consumer to shut down. Never produced by
     /// application kernels.
     Shutdown,
+    /// One-sided read: load heap word `addr` on `dest` and reply with its
+    /// value. `value` carries the request token the reply echoes back;
+    /// `deadline_ms` is the requester's advisory timeout budget.
+    Get {
+        /// Requester timeout budget in milliseconds (advisory on the
+        /// wire; the requester's pending-reply table enforces it).
+        deadline_ms: u16,
+    },
+    /// A reply to a [`Get`](Command::Get) or [`AmCall`](Command::AmCall):
+    /// `addr` carries the request token, `value` the result.
+    Reply,
+    /// Value-returning active message: run returning handler `handler`
+    /// against `addr` on `dest` and reply with its result. `value`
+    /// carries the request token.
+    AmCall {
+        /// Returning-handler index at the destination.
+        handler: u32,
+        /// Requester timeout budget in milliseconds (advisory).
+        deadline_ms: u16,
+    },
 }
 
 impl Command {
     /// Encode to the slot's command word.
+    ///
+    /// Layout for the request-reply opcodes (4..=6): bits 0..8 opcode,
+    /// bits 8..16 reserved (must be zero), bits 16..32 `deadline_ms`,
+    /// bits 32..64 handler id (`AmCall` only). The legacy opcodes keep
+    /// their exact low-32 encodings.
+    #[inline]
     pub fn encode(self) -> u64 {
         match self {
             Command::Put => 0,
             Command::Inc => 1,
             Command::Active(h) => 2 | ((h as u64) << 32),
             Command::Shutdown => 3,
+            Command::Get { deadline_ms } => 4 | ((deadline_ms as u64) << 16),
+            Command::Reply => 5,
+            Command::AmCall { handler, deadline_ms } => {
+                6 | ((deadline_ms as u64) << 16) | ((handler as u64) << 32)
+            }
         }
     }
 
-    /// Decode from a command word.
+    /// Decode from a command word. Reserved bits that must be zero are
+    /// validated here: a word with a known opcode but garbage in a
+    /// reserved field decodes to `None` and quarantines at the receiver.
+    ///
+    /// `#[inline]` is load-bearing on this and the other codec helpers:
+    /// they run once per 32-byte message in the receive apply loop, and
+    /// this function is past the size where rustc exports it for
+    /// cross-crate inlining on its own — an outlined call here costs
+    /// ~25 % of GUPS pipeline throughput.
+    #[inline]
     pub fn decode(word: u64) -> Option<Command> {
-        match word & 0xffff_ffff {
-            0 => Some(Command::Put),
-            1 => Some(Command::Inc),
-            2 => Some(Command::Active((word >> 32) as u32)),
-            3 => Some(Command::Shutdown),
+        let lo = word & 0xffff_ffff;
+        match lo {
+            0 => return Some(Command::Put),
+            1 => return Some(Command::Inc),
+            2 => return Some(Command::Active((word >> 32) as u32)),
+            3 => return Some(Command::Shutdown),
+            _ => {}
+        }
+        let reserved = (lo >> 8) & 0xff;
+        let deadline_ms = (lo >> 16) as u16;
+        match lo & 0xff {
+            4 if reserved == 0 && word >> 32 == 0 => Some(Command::Get { deadline_ms }),
+            5 if lo == 5 && word >> 32 == 0 => Some(Command::Reply),
+            6 if reserved == 0 => Some(Command::AmCall {
+                handler: (word >> 32) as u32,
+                deadline_ms,
+            }),
             _ => None,
+        }
+    }
+
+    /// The traffic class this command travels in.
+    #[inline]
+    pub fn class(&self) -> TrafficClass {
+        match self {
+            Command::Get { .. } => TrafficClass::Get,
+            Command::Reply => TrafficClass::Reply,
+            Command::AmCall { .. } => TrafficClass::AmCall,
+            _ => TrafficClass::Bulk,
+        }
+    }
+}
+
+/// QoS priority bands (SNIPPETS.md Snippet 3's rustg sketch): the
+/// sender's per-flow credit pools. Small latency-sensitive GETs and
+/// replies overtake bulk PUT runs because the BULK band's in-flight
+/// credit is capped below the go-back-N window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Band {
+    /// GETs and replies: smallest packets, drained first.
+    Latency,
+    /// Value-returning active-message calls.
+    Normal,
+    /// Fire-and-forget PUT/INC/AM streams.
+    Bulk,
+}
+
+/// Number of priority bands.
+pub const NUM_BANDS: usize = 3;
+
+impl Band {
+    /// Index into per-band credit arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Band::Latency => 0,
+            Band::Normal => 1,
+            Band::Bulk => 2,
+        }
+    }
+}
+
+/// The four traffic classes an aggregated packet can carry. Packets are
+/// class-pure (the aggregator splits runs on class boundaries) so the
+/// wire frame kind advertises the class and the sender can schedule
+/// whole packets by priority.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// One-sided reads.
+    Get,
+    /// Replies to GETs and AM calls.
+    Reply,
+    /// Value-returning active-message calls.
+    AmCall,
+    /// Everything fire-and-forget (PUT, INC, plain AMs).
+    Bulk,
+}
+
+/// Number of traffic classes.
+pub const NUM_CLASSES: usize = 4;
+
+impl TrafficClass {
+    /// All classes in drain-priority order (highest first).
+    pub const PRIORITY: [TrafficClass; NUM_CLASSES] = [
+        TrafficClass::Get,
+        TrafficClass::Reply,
+        TrafficClass::AmCall,
+        TrafficClass::Bulk,
+    ];
+
+    /// Index into per-class queue arrays (priority order).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            TrafficClass::Get => 0,
+            TrafficClass::Reply => 1,
+            TrafficClass::AmCall => 2,
+            TrafficClass::Bulk => 3,
+        }
+    }
+
+    /// The QoS band this class drains in.
+    #[inline]
+    pub fn band(self) -> Band {
+        match self {
+            TrafficClass::Get | TrafficClass::Reply => Band::Latency,
+            TrafficClass::AmCall => Band::Normal,
+            TrafficClass::Bulk => Band::Bulk,
+        }
+    }
+
+    /// Cheap classifier from a raw command word (no full decode): used
+    /// by the aggregator's run scan, one mask + compare per message.
+    /// Invalid opcodes classify as `Bulk` and are rejected by the
+    /// receiver's full decode.
+    #[inline]
+    pub fn of_command_word(word: u64) -> TrafficClass {
+        match word & 0xff {
+            4 => TrafficClass::Get,
+            5 => TrafficClass::Reply,
+            6 => TrafficClass::AmCall,
+            _ => TrafficClass::Bulk,
         }
     }
 }
@@ -90,12 +247,36 @@ impl Message {
         Message { command: Command::Shutdown, dest: 0, addr: 0, value: 0 }
     }
 
+    /// A one-sided read of heap word `addr` on `dest`. `token` names the
+    /// requester's pending-reply entry; the reply echoes it back.
+    pub fn get(dest: u32, addr: u64, token: u64, deadline_ms: u16) -> Self {
+        Message { command: Command::Get { deadline_ms }, dest, addr, value: token }
+    }
+
+    /// A reply carrying `value` back to requester `dest` for `token`.
+    pub fn reply(dest: u32, token: u64, value: u64) -> Self {
+        Message { command: Command::Reply, dest, addr: token, value }
+    }
+
+    /// A value-returning active-message call: run returning handler
+    /// `handler` against `arg` on `dest`, replying to `token`.
+    pub fn am_call(dest: u32, handler: u32, arg: u64, token: u64, deadline_ms: u16) -> Self {
+        Message {
+            command: Command::AmCall { handler, deadline_ms },
+            dest,
+            addr: arg,
+            value: token,
+        }
+    }
+
     /// Encode into 4 words (rows of the slot array).
+    #[inline]
     pub fn encode(&self) -> [u64; MSG_ROWS] {
         [self.command.encode(), self.dest as u64, self.addr, self.value]
     }
 
     /// Decode from 4 words.
+    #[inline]
     pub fn decode(words: [u64; MSG_ROWS]) -> Option<Message> {
         Some(Message {
             command: Command::decode(words[0])?,
@@ -112,7 +293,18 @@ mod tests {
 
     #[test]
     fn command_roundtrip() {
-        for c in [Command::Put, Command::Inc, Command::Active(7), Command::Active(u32::MAX), Command::Shutdown] {
+        for c in [
+            Command::Put,
+            Command::Inc,
+            Command::Active(7),
+            Command::Active(u32::MAX),
+            Command::Shutdown,
+            Command::Get { deadline_ms: 0 },
+            Command::Get { deadline_ms: u16::MAX },
+            Command::Reply,
+            Command::AmCall { handler: 0, deadline_ms: 250 },
+            Command::AmCall { handler: u32::MAX, deadline_ms: u16::MAX },
+        ] {
             assert_eq!(Command::decode(c.encode()), Some(c));
         }
     }
@@ -120,6 +312,43 @@ mod tests {
     #[test]
     fn unknown_command_decodes_to_none() {
         assert_eq!(Command::decode(99), None);
+    }
+
+    #[test]
+    fn reserved_bits_must_be_zero() {
+        // A known request-reply opcode with garbage in a reserved field
+        // is rejected (the receiver quarantines it).
+        assert_eq!(Command::decode(4 | (1 << 8)), None);
+        assert_eq!(Command::decode(4 | (1 << 32)), None);
+        assert_eq!(Command::decode(5 | (7 << 16)), None);
+        assert_eq!(Command::decode(5 | (1 << 40)), None);
+        assert_eq!(Command::decode(6 | (0xa5 << 8)), None);
+    }
+
+    #[test]
+    fn classes_and_bands() {
+        assert_eq!(Command::Put.class(), TrafficClass::Bulk);
+        assert_eq!(Command::Get { deadline_ms: 1 }.class(), TrafficClass::Get);
+        assert_eq!(Command::Reply.class(), TrafficClass::Reply);
+        let am = Command::AmCall { handler: 2, deadline_ms: 1 };
+        assert_eq!(am.class(), TrafficClass::AmCall);
+        assert_eq!(TrafficClass::Get.band(), Band::Latency);
+        assert_eq!(TrafficClass::Reply.band(), Band::Latency);
+        assert_eq!(TrafficClass::AmCall.band(), Band::Normal);
+        assert_eq!(TrafficClass::Bulk.band(), Band::Bulk);
+        for c in TrafficClass::PRIORITY {
+            assert_eq!(TrafficClass::of_command_word(Message {
+                command: match c {
+                    TrafficClass::Get => Command::Get { deadline_ms: 9 },
+                    TrafficClass::Reply => Command::Reply,
+                    TrafficClass::AmCall => Command::AmCall { handler: 3, deadline_ms: 9 },
+                    TrafficClass::Bulk => Command::Put,
+                },
+                dest: 0,
+                addr: 0,
+                value: 0,
+            }.encode()[0]), c);
+        }
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Work-group-amortized completion futures for request-reply traffic.
+//!
+//! A GET (or value-returning AM) needs somewhere for its reply to land
+//! and a way for the issuing work-group to wait. Doing that per lane
+//! would reintroduce exactly the per-work-item synchronization the
+//! offload queue exists to avoid, so a [`ReplySink`] amortizes the wait
+//! across the work-group the same way the queue amortizes the enqueue:
+//! every active lane registers one slot, the network thread completes
+//! slots as replies (or timeouts) arrive, and the *whole group* parks
+//! once on a [`WaitCell`] until the outstanding count hits zero.
+//!
+//! Slot state is a packed `(state, value)` pair of atomics per lane;
+//! completion is idempotent by construction (the pending-reply table
+//! removes an entry before completing it, so each slot is completed at
+//! most once).
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use crate::park::WaitCell;
+
+/// Why a request completed without a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RpcFailure {
+    /// The deadline passed before a reply arrived (evicted from the
+    /// pending-reply table; surfaced in `rpc.timeouts`).
+    TimedOut,
+    /// The node restarted between request and reply; the generation
+    /// guard failed every outstanding request rather than matching a
+    /// stale reply.
+    Restarted,
+    /// The pending-reply table was full at issue time; the request was
+    /// never sent.
+    TableFull,
+}
+
+impl std::fmt::Display for RpcFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcFailure::TimedOut => write!(f, "request timed out"),
+            RpcFailure::Restarted => write!(f, "node restarted with request outstanding"),
+            RpcFailure::TableFull => write!(f, "pending-reply table full"),
+        }
+    }
+}
+
+impl std::error::Error for RpcFailure {}
+
+/// Completion state of one slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyState {
+    /// No reply yet.
+    Pending,
+    /// Reply arrived; the value is available.
+    Ok(u64),
+    /// Completed with an error.
+    Failed(RpcFailure),
+}
+
+const ST_PENDING: u8 = 0;
+const ST_OK: u8 = 1;
+const ST_TIMEOUT: u8 = 2;
+const ST_RESTARTED: u8 = 3;
+const ST_TABLE_FULL: u8 = 4;
+
+struct Slot {
+    state: AtomicU8,
+    value: AtomicU64,
+}
+
+/// One work-group's (or host caller's) set of outstanding replies.
+pub struct ReplySink {
+    slots: Vec<Slot>,
+    outstanding: AtomicUsize,
+    cell: WaitCell,
+}
+
+impl ReplySink {
+    /// A sink with `slots` completion slots, none outstanding yet; the
+    /// issuer calls [`arm`](Self::arm) once per registered request.
+    pub fn new(slots: usize) -> Self {
+        ReplySink {
+            slots: (0..slots)
+                .map(|_| Slot {
+                    state: AtomicU8::new(ST_PENDING),
+                    value: AtomicU64::new(0),
+                })
+                .collect(),
+            outstanding: AtomicUsize::new(0),
+            cell: WaitCell::new(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True for a slotless sink.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Count one more outstanding request (called by the issuer before
+    /// the request can possibly complete).
+    pub fn arm(&self) {
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Requests not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::SeqCst)
+    }
+
+    fn finish(&self, slot: usize, state: u8, value: u64) {
+        let s = &self.slots[slot];
+        s.value.store(value, Ordering::Relaxed);
+        // Release: the waiter's acquire load of `state` sees `value`.
+        s.state.store(state, Ordering::Release);
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.cell.notify_all();
+        }
+    }
+
+    /// Complete `slot` with a reply value.
+    pub fn complete(&self, slot: usize, value: u64) {
+        self.finish(slot, ST_OK, value);
+    }
+
+    /// Complete `slot` with a failure.
+    pub fn fail(&self, slot: usize, failure: RpcFailure) {
+        let state = match failure {
+            RpcFailure::TimedOut => ST_TIMEOUT,
+            RpcFailure::Restarted => ST_RESTARTED,
+            RpcFailure::TableFull => ST_TABLE_FULL,
+        };
+        self.finish(slot, state, 0);
+    }
+
+    /// Read slot `slot`'s completion state.
+    pub fn get(&self, slot: usize) -> ReplyState {
+        let s = &self.slots[slot];
+        match s.state.load(Ordering::Acquire) {
+            ST_PENDING => ReplyState::Pending,
+            ST_OK => ReplyState::Ok(s.value.load(Ordering::Relaxed)),
+            ST_TIMEOUT => ReplyState::Failed(RpcFailure::TimedOut),
+            ST_RESTARTED => ReplyState::Failed(RpcFailure::Restarted),
+            _ => ReplyState::Failed(RpcFailure::TableFull),
+        }
+    }
+
+    /// Park until every armed request has completed (the WG-amortized
+    /// wait: one park for the whole group, not one per lane). Returns
+    /// `false` if `timeout` expired with requests still outstanding —
+    /// a wall-clock backstop for a dead completion path, not the RPC
+    /// deadline (the pending-reply table enforces that and completes
+    /// slots with [`RpcFailure::TimedOut`] well before this fires).
+    pub fn wait_all(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.outstanding() == 0 {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return self.outstanding() == 0;
+            }
+            let park = (deadline - now).min(Duration::from_millis(10));
+            self.cell.park_timeout(park, || self.outstanding() == 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn complete_then_wait_returns_values() {
+        let sink = ReplySink::new(3);
+        for _ in 0..3 {
+            sink.arm();
+        }
+        sink.complete(1, 42);
+        sink.fail(0, RpcFailure::TimedOut);
+        sink.complete(2, 7);
+        assert!(sink.wait_all(Duration::from_secs(1)));
+        assert_eq!(sink.get(0), ReplyState::Failed(RpcFailure::TimedOut));
+        assert_eq!(sink.get(1), ReplyState::Ok(42));
+        assert_eq!(sink.get(2), ReplyState::Ok(7));
+    }
+
+    #[test]
+    fn wait_parks_until_last_completion() {
+        let sink = Arc::new(ReplySink::new(2));
+        sink.arm();
+        sink.arm();
+        let completer = {
+            let sink = sink.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                sink.complete(0, 1);
+                std::thread::sleep(Duration::from_millis(20));
+                sink.complete(1, 2);
+            })
+        };
+        assert!(sink.wait_all(Duration::from_secs(5)));
+        completer.join().unwrap();
+        assert_eq!(sink.get(0), ReplyState::Ok(1));
+        assert_eq!(sink.get(1), ReplyState::Ok(2));
+    }
+
+    #[test]
+    fn wait_times_out_when_nothing_completes() {
+        let sink = ReplySink::new(1);
+        sink.arm();
+        assert!(!sink.wait_all(Duration::from_millis(30)));
+        assert_eq!(sink.get(0), ReplyState::Pending);
+    }
+
+    #[test]
+    fn unarmed_sink_waits_instantly() {
+        let sink = ReplySink::new(4);
+        assert!(sink.wait_all(Duration::ZERO));
+    }
+}

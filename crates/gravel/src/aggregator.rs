@@ -28,9 +28,9 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use gravel_gq::Consumed;
+use gravel_gq::{Band, Consumed, TrafficClass, NUM_CLASSES};
 use gravel_net::{ChaosPlan, RetryConfig, SendStatus, Transport};
-use gravel_pgas::{DataFrame, FlushPolicy, NodeQueues, Packet};
+use gravel_pgas::{DataFrame, FlushPolicy, FrameKind, NodeQueues, Packet};
 use gravel_telemetry::Gauge;
 
 use crate::backoff::Backoff;
@@ -52,18 +52,46 @@ const UNACKED_POLL: Duration = Duration::from_micros(50);
 /// through them instead.
 const MIN_PARK: Duration = Duration::from_micros(5);
 
-/// Sender-side state of one destination flow (go-back-N).
+/// In-flight packet budget of one QoS band, derived from the go-back-N
+/// window (no separate knob): the LATENCY band may fill the whole
+/// window, NORMAL three quarters, BULK half. A bulk stream therefore
+/// can never occupy the window so completely that a GET or reply has to
+/// queue behind it — the credit head-room *is* the priority mechanism
+/// (SNIPPETS.md Snippet 3's credit-gated sends). The cap is static on
+/// purpose: a work-conserving variant (full window while no
+/// higher-band traffic is active) was measured to cost nothing on pure
+/// GUPS but to erase most of the GET-latency advantage — request
+/// traffic is intermittent, so by the time a reply is queued the
+/// window is already stuffed with bulk frames it must drain behind.
+fn band_credit(band: Band, window: usize) -> usize {
+    match band {
+        Band::Latency => window,
+        Band::Normal => (window * 3 / 4).max(1),
+        Band::Bulk => (window / 2).max(1),
+    }
+}
+
+/// Sender-side state of one destination flow (go-back-N + QoS bands).
 struct Flow {
     /// Next sequence number to stamp.
     next_seq: u64,
     /// Lowest unacknowledged sequence number.
     base: u64,
+    /// Flushed packets awaiting a sequence number, one queue per
+    /// traffic class (drained in [`TrafficClass::PRIORITY`] order
+    /// subject to band credits). Index 0 carries everything when QoS
+    /// bands are disabled.
+    classq: Vec<VecDeque<Packet>>,
     /// Stamped, sealed, but unsent frames (parked by backpressure).
     staged: VecDeque<DataFrame>,
     /// Sent, unacknowledged frames: `base .. base + unacked.len()`.
-    /// Sealed exactly once at submit; retransmissions are refcounted
-    /// clones of the same frame bytes (no re-CRC).
+    /// Sealed exactly once at stamp time; retransmissions are
+    /// refcounted clones of the same frame bytes (no re-CRC).
     unacked: VecDeque<DataFrame>,
+    /// QoS band of every stamped-but-unacked frame, in stamp order
+    /// (parallels `unacked` then `staged`); popped at ack time to
+    /// refund the band's credit.
+    stamped_bands: VecDeque<Band>,
     /// Last time this flow made ack progress or (re)transmitted.
     last_activity: Instant,
     /// Current retransmission backoff.
@@ -77,8 +105,10 @@ impl Flow {
         Flow {
             next_seq: 0,
             base: 0,
+            classq: (0..NUM_CLASSES).map(|_| VecDeque::new()).collect(),
             staged: VecDeque::new(),
             unacked: VecDeque::new(),
+            stamped_bands: VecDeque::new(),
             last_activity: Instant::now(),
             backoff: retry.backoff,
             retries: 0,
@@ -89,8 +119,17 @@ impl Flow {
         self.unacked.len()
     }
 
+    /// Stamped frames currently charged against `band`'s credit.
+    fn band_in_flight(&self, band: Band) -> usize {
+        self.stamped_bands.iter().filter(|b| **b == band).count()
+    }
+
+    fn has_queued(&self) -> bool {
+        self.classq.iter().any(|q| !q.is_empty())
+    }
+
     fn is_drained(&self) -> bool {
-        self.staged.is_empty() && self.unacked.is_empty()
+        !self.has_queued() && self.staged.is_empty() && self.unacked.is_empty()
     }
 }
 
@@ -103,7 +142,10 @@ impl Flow {
 /// recovers from — injected chaos only panics at message boundaries,
 /// where the state is consistent by construction.
 pub struct LaneState {
-    nodeq: Option<NodeQueues>,
+    /// Per-destination aggregation queues, one set per traffic class
+    /// (index = [`TrafficClass::index`]) when QoS bands are on, a
+    /// single shared set otherwise. Empty until the lane first runs.
+    nodeqs: Vec<NodeQueues>,
     flows: Vec<Flow>,
     /// Words drained from the GPU queue but not yet aggregated.
     pending: Vec<u64>,
@@ -114,7 +156,7 @@ pub struct LaneState {
 impl LaneState {
     pub fn new() -> Self {
         LaneState {
-            nodeq: None,
+            nodeqs: Vec::new(),
             flows: Vec::new(),
             pending: Vec::new(),
             pos: 0,
@@ -173,46 +215,83 @@ impl<'a> Sender<'a> {
             .set(self.flows.iter().map(Flow::in_flight).sum::<usize>() as i64);
     }
 
-    /// Stamp a freshly flushed packet into its flow, seal it into a
-    /// checksummed wire frame (once — retransmits reuse the bytes), and
-    /// try to put it on the wire.
-    fn submit(&mut self, mut pkt: Packet) {
+    /// Queue a freshly flushed packet for its flow by traffic class and
+    /// pump the flow. With QoS bands off everything shares one FIFO
+    /// class (the ablation: strict pre-PR-7 ordering).
+    fn submit(&mut self, pkt: Packet) {
         let dest = pkt.dest as usize;
-        pkt.lane = self.lane;
-        pkt.seq = self.flows[dest].next_seq;
-        self.flows[dest].next_seq += 1;
-        let frame = pkt.seal(
-            self.node.wire_epoch.load(Ordering::Relaxed),
-            self.node.wire_integrity,
-        );
-        self.flows[dest].staged.push_back(frame);
+        let ci = if self.node.qos_bands { pkt.class().index() } else { 0 };
+        self.flows[dest].classq[ci].push_back(pkt);
         self.pump(dest);
     }
 
-    /// Move staged packets into the window while it has room and the
-    /// channel accepts them.
+    /// Move queued packets onto the wire while the go-back-N window has
+    /// room: first re-try frames already stamped but parked by
+    /// backpressure (sequence order is sacred), then stamp fresh
+    /// packets in priority order, each subject to its band's in-flight
+    /// credit. A class blocked *only* by exhausted credits counts
+    /// `rpc.credits_stalled`.
     fn pump(&mut self, dest: usize) {
+        let window = self.retry.window;
+        let qos = self.node.qos_bands;
+        let epoch = self.node.wire_epoch.load(Ordering::Relaxed);
         let flow = &mut self.flows[dest];
-        while flow.in_flight() < self.retry.window {
-            let Some(pkt) = flow.staged.pop_front() else {
+        while flow.in_flight() < window {
+            if let Some(pkt) = flow.staged.pop_front() {
+                match self.transport.send_data(pkt.clone(), SEND_ATTEMPT_TIMEOUT) {
+                    SendStatus::Sent => {
+                        flow.last_activity = Instant::now();
+                        flow.unacked.push_back(pkt);
+                        continue;
+                    }
+                    SendStatus::TimedOut => {
+                        flow.staged.push_front(pkt);
+                        self.node.net_chan_stalls.add(1);
+                        self.note_in_flight();
+                        return;
+                    }
+                    SendStatus::Closed => return, // cluster is winding down
+                }
+            }
+            // Stamp the highest-priority queued packet whose band still
+            // has credit.
+            let mut next = None;
+            let mut credit_blocked = false;
+            for class in TrafficClass::PRIORITY {
+                let ci = if qos { class.index() } else { 0 };
+                if flow.classq[ci].is_empty() {
+                    continue;
+                }
+                let band = class.band();
+                if qos && flow.band_in_flight(band) >= band_credit(band, window) {
+                    credit_blocked = true;
+                    continue;
+                }
+                next = Some((ci, band));
+                break;
+            }
+            let Some((ci, band)) = next else {
+                if credit_blocked {
+                    self.node.rpc_credits_stalled.add(1);
+                }
                 self.note_in_flight();
                 return;
             };
-            match self.transport.send_data(pkt.clone(), SEND_ATTEMPT_TIMEOUT) {
-                SendStatus::Sent => {
-                    flow.last_activity = Instant::now();
-                    flow.unacked.push_back(pkt);
-                }
-                SendStatus::TimedOut => {
-                    flow.staged.push_front(pkt);
-                    self.node.net_chan_stalls.add(1);
-                    self.note_in_flight();
-                    return;
-                }
-                SendStatus::Closed => return, // cluster is winding down
-            }
+            let mut pkt = flow.classq[ci].pop_front().expect("class queue non-empty");
+            pkt.lane = self.lane;
+            pkt.seq = flow.next_seq;
+            flow.next_seq += 1;
+            // With bands off every frame travels as plain DATA (packets
+            // may mix classes when aggregation didn't split them).
+            let frame = if qos {
+                pkt.seal(epoch, self.node.wire_integrity)
+            } else {
+                pkt.seal_kind(epoch, self.node.wire_integrity, FrameKind::Data)
+            };
+            flow.stamped_bands.push_back(band);
+            flow.staged.push_back(frame);
         }
-        if !flow.staged.is_empty() {
+        if !flow.staged.is_empty() || flow.has_queued() {
             // Window full: also a form of backpressure (the receiver or
             // the ack path is behind).
             self.node.net_window_stalls.add(1);
@@ -243,6 +322,9 @@ impl<'a> Sender<'a> {
             let mut progressed = false;
             while flow.base <= ack.cum_seq && !flow.unacked.is_empty() {
                 flow.unacked.pop_front();
+                // Refund the acked frame's band credit (stamp order ==
+                // ack order under go-back-N).
+                flow.stamped_bands.pop_front();
                 flow.base += 1;
                 progressed = true;
             }
@@ -358,24 +440,39 @@ pub fn run_supervised(
         // holder this lane's state can ever have is a successor after
         // this thread dies.
         let mut st = lock_state(&state);
-        if st.nodeq.is_none() {
-            // Every slot shares the node's `AggCounters`: one increment
-            // per flush event, so per-slot snapshots can never drift.
-            st.nodeq = Some(NodeQueues::with_policy(
-                node.id,
-                node.nodes,
-                queue_bytes,
-                policy,
-                node.agg.clone(),
-            ));
+        if st.nodeqs.is_empty() {
+            // One queue set per traffic class (QoS on) or a single
+            // shared set (QoS off). RPC classes get tiny buffers and a
+            // 25 µs flush so a lone GET or reply never marinates behind
+            // the bulk flush policy. Every queue set shares the node's
+            // `AggCounters`: one increment per flush event, so per-slot
+            // snapshots can never drift.
+            let classes = if node.qos_bands { NUM_CLASSES } else { 1 };
+            for ci in 0..classes {
+                let rpc_class = node.qos_bands && ci != TrafficClass::Bulk.index();
+                let (bytes, pol) = if rpc_class {
+                    (
+                        queue_bytes.min(2048),
+                        FlushPolicy::Fixed(Duration::from_micros(25)),
+                    )
+                } else {
+                    (queue_bytes, policy)
+                };
+                st.nodeqs.push(NodeQueues::with_policy(
+                    node.id,
+                    node.nodes,
+                    bytes,
+                    pol,
+                    node.agg.clone(),
+                ));
+            }
         }
         let LaneState {
-            nodeq,
+            nodeqs,
             flows,
             pending,
             pos,
         } = &mut *st;
-        let nodeq = nodeq.as_mut().expect("nodeq initialized above");
         let mut sender = Sender::new(&node, lane, transport.as_ref(), flows, &in_flight);
         sender.drain_acks();
         if let Err(e) = sender.poll_retransmits() {
@@ -403,9 +500,21 @@ pub fn run_supervised(
                 // and submitted, and only then does the lane die.
                 let dest = pending[*pos + 1] as usize;
                 debug_assert!(dest < node.nodes, "message to unknown node {dest}");
+                // Runs split on class as well as destination so packets
+                // stay class-pure (the wire kind advertises the class
+                // and the sender schedules whole packets by band).
+                let qi = if node.qos_bands {
+                    TrafficClass::of_command_word(pending[*pos]).index()
+                } else {
+                    0
+                };
                 let mut end = *pos;
                 let mut killed = false;
-                while end < pending.len() && pending[end + 1] as usize == dest {
+                while end < pending.len()
+                    && pending[end + 1] as usize == dest
+                    && (!node.qos_bands
+                        || TrafficClass::of_command_word(pending[end]).index() == qi)
+                {
                     if let Some(c) = chaos.as_deref() {
                         if c.agg_tick(node.id, lane) {
                             killed = true;
@@ -416,7 +525,7 @@ pub fn run_supervised(
                 }
                 if end > *pos {
                     flushed.clear();
-                    nodeq.push_run(dest, &pending[*pos..end], rows, now, &mut flushed);
+                    nodeqs[qi].push_run(dest, &pending[*pos..end], rows, now, &mut flushed);
                     for pkt in flushed.drain(..) {
                         sender.submit(pkt);
                     }
@@ -442,11 +551,13 @@ pub fn run_supervised(
             Consumed::Empty => {
                 node.agg_polls_empty.add(1);
                 let now = Instant::now();
-                let pkts = nodeq.poll_timeouts(now);
-                if !pkts.is_empty() {
-                    let _span = node.tracer.span("agg.flush", "aggregate", node.id);
-                    for pkt in pkts {
-                        sender.submit(pkt);
+                for nodeq in nodeqs.iter_mut() {
+                    let pkts = nodeq.poll_timeouts(now);
+                    if !pkts.is_empty() {
+                        let _span = node.tracer.span("agg.flush", "aggregate", node.id);
+                        for pkt in pkts {
+                            sender.submit(pkt);
+                        }
                     }
                 }
                 // Idle: spin briefly (work usually arrives within
@@ -455,7 +566,10 @@ pub fn run_supervised(
                 // APU spent 65 % of it polling here. The park is bounded
                 // by the earliest pending flush deadline, and kept short
                 // while acks are outstanding (no wakeup channel there).
-                let deadline = nodeq.next_deadline(now);
+                let deadline = nodeqs
+                    .iter()
+                    .filter_map(|q| q.next_deadline(now))
+                    .min();
                 let drained = sender.is_drained();
                 drop(st);
                 if idle.should_spin() {
@@ -479,11 +593,13 @@ pub fn run_supervised(
                 }
             }
             Consumed::Closed => {
-                let pkts = nodeq.flush_all();
-                if !pkts.is_empty() {
-                    let _span = node.tracer.span("agg.flush", "aggregate", node.id);
-                    for pkt in pkts {
-                        sender.submit(pkt);
+                for nodeq in nodeqs.iter_mut() {
+                    let pkts = nodeq.flush_all();
+                    if !pkts.is_empty() {
+                        let _span = node.tracer.span("agg.flush", "aggregate", node.id);
+                        for pkt in pkts {
+                            sender.submit(pkt);
+                        }
                     }
                 }
                 // Drain phase: hold the thread until every flow is

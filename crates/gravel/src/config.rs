@@ -123,6 +123,10 @@ pub struct GravelConfig {
     /// it the oldest entry is evicted, so a babbling peer cannot OOM the
     /// receiver.
     pub quarantine_capacity: usize,
+    /// Request-reply traffic class: QoS band scheduling (with its
+    /// ablation knob), pending-reply table capacity, and the request
+    /// timeout. See DESIGN.md §15.
+    pub rpc: crate::rpc::RpcConfig,
 }
 
 impl GravelConfig {
@@ -152,6 +156,7 @@ impl GravelConfig {
             quiesce_warn_interval: Duration::from_secs(5),
             wire_integrity: WireIntegrity::Crc32c,
             quarantine_capacity: 1024,
+            rpc: crate::rpc::RpcConfig::default(),
         }
     }
 
@@ -185,6 +190,11 @@ impl GravelConfig {
             quiesce_warn_interval: Duration::from_secs(5),
             wire_integrity: WireIntegrity::Crc32c,
             quarantine_capacity: 64,
+            rpc: crate::rpc::RpcConfig {
+                reply_table_cap: 256,
+                timeout: Duration::from_millis(500),
+                ..crate::rpc::RpcConfig::default()
+            },
         }
     }
 
@@ -237,6 +247,11 @@ impl GravelConfig {
             self.quarantine_capacity >= 1,
             "quarantine must hold at least one message"
         );
+        assert!(
+            self.rpc.reply_table_cap >= 1,
+            "pending-reply table must hold at least one request"
+        );
+        assert!(!self.rpc.timeout.is_zero(), "rpc timeout must be nonzero");
         if let Some(hb) = &self.ha.heartbeat {
             assert!(!hb.interval.is_zero(), "heartbeat interval must be nonzero");
             assert!(

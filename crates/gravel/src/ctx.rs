@@ -15,7 +15,10 @@
 //!   Gravel serializes atomics through the network thread
 //!   (configurable: [`GravelConfig::serialize_atomics`](crate::GravelConfig)).
 
-use gravel_gq::Message;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gravel_gq::{Message, ReplySink, RpcFailure};
 use gravel_simt::{LaneVec, Mask, WgCtx};
 
 use crate::node::NodeShared;
@@ -174,6 +177,69 @@ impl<'a> GravelCtx<'a> {
                 Message::inc(dests.get(lane), addrs.get(lane), vals.get(lane))
             });
         }
+    }
+
+    /// PGAS fetch (request-reply): each active lane reads heap word
+    /// `addrs[lane]` from node `dests[lane]`. Returns the work-group's
+    /// completion sink — slot `lane` completes with the value once the
+    /// reply frame arrives, or with a deterministic
+    /// [`RpcFailure`] (timeout, restart, table full) otherwise. Issue
+    /// the whole group's GETs, then `sink.wait_all(..)`: one park for
+    /// the group, the WG-amortized analogue of the offload queue's
+    /// single reservation.
+    pub fn shmem_get(&mut self, dests: &LaneVec<u32>, addrs: &LaneVec<u64>) -> Arc<ReplySink> {
+        self.rpc_offload(dests, |lane, token, dl| {
+            Message::get(dests.get(lane), addrs.get(lane), token, dl)
+        })
+    }
+
+    /// Value-returning active message: each active lane runs returning
+    /// handler `handler` against `args[lane]` on node `dests[lane]` and
+    /// receives the handler's result in its sink slot. Same completion
+    /// contract as [`shmem_get`](Self::shmem_get).
+    pub fn shmem_am_call(
+        &mut self,
+        handler: u32,
+        dests: &LaneVec<u32>,
+        args: &LaneVec<u64>,
+    ) -> Arc<ReplySink> {
+        self.rpc_offload(dests, |lane, token, dl| {
+            Message::am_call(dests.get(lane), handler, args.get(lane), token, dl)
+        })
+    }
+
+    fn rpc_offload(
+        &mut self,
+        dests: &LaneVec<u32>,
+        make: impl Fn(usize, u64, u16) -> Message,
+    ) -> Arc<ReplySink> {
+        let mask = self.wg.active().clone();
+        let sink = Arc::new(ReplySink::new(self.wg.wg_size()));
+        if mask.is_empty() {
+            return sink;
+        }
+        let deadline = Instant::now() + self.node.rpc_timeout;
+        let deadline_ms = self.node.rpc_timeout.as_millis().min(u128::from(u16::MAX)) as u16;
+        // Register every lane's token *before* offloading anything, so
+        // no reply can ever race its own registration. A lane refused by
+        // a full table fails its slot immediately and sends nothing.
+        let mut tokens = vec![0u64; self.wg.wg_size()];
+        let mut ok = vec![false; self.wg.wg_size()];
+        for lane in mask.iter() {
+            match self.node.rpc.register(sink.clone(), lane, deadline) {
+                Ok(t) => {
+                    tokens[lane] = t;
+                    ok[lane] = true;
+                }
+                Err(_) => {
+                    sink.arm();
+                    sink.fail(lane, RpcFailure::TableFull);
+                }
+            }
+        }
+        let send = mask.and(&Mask::from_fn(self.wg.wg_size(), |l| ok[l]));
+        self.offload(&send, dests, |lane| make(lane, tokens[lane], deadline_ms));
+        sink
     }
 
     /// Active message: each active lane invokes handler `handler` on node

@@ -31,6 +31,7 @@ pub mod ha;
 pub mod netthread;
 pub mod node;
 pub mod rings;
+pub mod rpc;
 pub mod runtime;
 pub mod stats;
 
@@ -43,11 +44,13 @@ pub use ha::{
 };
 pub use node::NodeShared;
 pub use rings::ShardedRings;
+pub use rpc::{PendingReplies, RpcConfig, RpcError};
 pub use runtime::GravelRuntime;
-pub use stats::{HaStats, NetStats, NodeStats, RuntimeStats};
+pub use stats::{HaStats, NetStats, NodeStats, RpcStats, RuntimeStats};
 
 // Re-export the layers callers routinely need alongside the runtime.
 pub use gravel_gq as gq;
+pub use gravel_gq::{Band, ReplySink, ReplyState, RpcFailure, TrafficClass};
 pub use gravel_net as net;
 pub use gravel_net::{
     ChaosPlan, FaultConfig, FaultStats, ProcessFault, RetryConfig, TransportKind,

@@ -32,9 +32,9 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use gravel_gq::Message;
+use gravel_gq::{Command, Message};
 use gravel_net::{Ack, ChaosPlan, RecvStatus, Transport};
 use gravel_pgas::{apply, Applied, Packet, QuarantineReason, QuarantinedMessage};
 
@@ -227,11 +227,25 @@ fn apply_packet(node: &NodeShared, pkt: &Packet, resume_at: &mut usize, chaos: O
         // see it retired exactly once.
         let words = pkt.msg_words(*resume_at);
         if let Some(msg) = Message::decode(words) {
+            // Replies consume their pending-table entry instead of
+            // touching the heap; the table itself counts stale and
+            // orphan tokens, so a replayed reply is harmless here.
+            if matches!(msg.command, Command::Reply) {
+                node.rpc.complete(msg.addr, msg.value);
+                batch.done += 1;
+                *resume_at += 1;
+                continue;
+            }
             // Replying handlers re-enter the node's own Gravel path: the
             // reply is enqueued like any GPU-initiated message (and
             // counted for quiescence before this message's batch lands,
             // so `quiesce` cannot return with replies in flight).
-            match apply(&msg, &node.heap, &node.ams, &mut |m| node.host_send(m)) {
+            match apply(&msg, pkt.src, &node.heap, &node.ams, &mut |m| {
+                if matches!(m.command, Command::Reply) {
+                    node.rpc_replies_sent.add(1);
+                }
+                node.host_send(m)
+            }) {
                 Applied::Done => batch.done += 1,
                 Applied::Rejected(reason) => {
                     batch.done += 1;
@@ -299,7 +313,17 @@ pub fn run_with_tap(
     chaos: Option<Arc<ChaosPlan>>,
     tap: Option<Arc<dyn PacketTap>>,
 ) {
+    let mut last_sweep = Instant::now();
     loop {
+        // Evict overdue pending-reply entries so a GET whose reply was
+        // lost (or whose server died) fails deterministically instead
+        // of parking its waiter forever. Throttled to the receive poll
+        // interval so the table lock stays off the apply hot path.
+        let now = Instant::now();
+        if now.duration_since(last_sweep) >= RECV_TIMEOUT {
+            node.rpc.sweep(now);
+            last_sweep = now;
+        }
         let frame = match transport.recv_data(node.id, RECV_TIMEOUT) {
             RecvStatus::Msg(frame) => frame,
             RecvStatus::TimedOut => {

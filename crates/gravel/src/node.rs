@@ -125,6 +125,21 @@ pub struct NodeShared {
     /// this node's network thread fully applies since the last epoch cut,
     /// in apply order. See DESIGN.md §11.
     pub replay: Option<crate::ha::ReplayLog>,
+    /// Pending-reply table: tokens of this node's outstanding GETs and
+    /// AM calls, completed by the network thread (reply interception,
+    /// timeout sweep). See DESIGN.md §15.
+    pub rpc: crate::rpc::PendingReplies,
+    /// Request deadline copied from `cfg.rpc.timeout`.
+    pub rpc_timeout: std::time::Duration,
+    /// QoS band scheduling on this node's send path (copied from
+    /// `cfg.rpc.qos_bands`; `false` = single-band ablation).
+    pub qos_bands: bool,
+    /// Packets held back because their band's in-flight credit was
+    /// exhausted while window room remained (`rpc.credits_stalled`).
+    pub rpc_credits_stalled: Counter,
+    /// Replies this node's network thread generated while applying GETs
+    /// and AM calls (`rpc.replies_sent`).
+    pub rpc_replies_sent: Counter,
 }
 
 impl NodeShared {
@@ -193,6 +208,11 @@ impl NodeShared {
             drain_batch: cfg.drain_batch_slots.max(1),
             packet_latency: registry.histogram(&name("net.packet_latency_ns")),
             replay: cfg.ha.checkpoint.then(crate::ha::ReplayLog::new),
+            rpc: crate::rpc::PendingReplies::bound(&registry, &p, cfg.rpc.reply_table_cap),
+            rpc_timeout: cfg.rpc.timeout,
+            qos_bands: cfg.rpc.qos_bands,
+            rpc_credits_stalled: registry.counter(&name("rpc.credits_stalled")),
+            rpc_replies_sent: registry.counter(&name("rpc.replies_sent")),
             registry,
             tracer,
         }
@@ -299,6 +319,16 @@ impl NodeShared {
                 ack_corrupt_dropped: self.net_ack_corrupt_dropped.get(),
                 quarantined: self.quarantine.total(),
                 quarantine_evicted: self.quarantine.evicted(),
+            },
+            rpc: crate::stats::RpcStats {
+                issued: self.rpc.issued.get(),
+                completed: self.rpc.completed.get(),
+                timeouts: self.rpc.timeouts.get(),
+                stale_rejected: self.rpc.stale_rejected.get(),
+                orphan_replies: self.rpc.orphan_replies.get(),
+                table_full: self.rpc.table_full.get(),
+                credits_stalled: self.rpc_credits_stalled.get(),
+                replies_sent: self.rpc_replies_sent.get(),
             },
         }
     }

@@ -495,6 +495,57 @@ impl GravelRuntime {
         self.nodes[id].quarantine.drain()
     }
 
+    /// Issue one blocking GET from node `src`: read word `addr` of node
+    /// `dest`'s heap through the full request-reply pipeline (queue →
+    /// aggregator → wire → remote apply → reply frame → pending table).
+    /// Returns the value, or the failure the pending table assigned
+    /// (timeout, restart, table full). Host-side convenience — kernels
+    /// use [`GravelCtx::shmem_get`](crate::ctx::GravelCtx::shmem_get).
+    pub fn host_get(&self, src: usize, dest: u32, addr: u64) -> Result<u64, gravel_gq::RpcFailure> {
+        self.host_rpc(src, |token, dl| gravel_gq::Message::get(dest, addr, token, dl))
+    }
+
+    /// Issue one blocking value-returning active-message call from node
+    /// `src`: run returning handler `handler` against `arg` on `dest`
+    /// and return its result. See [`host_get`](Self::host_get).
+    pub fn host_am_call(
+        &self,
+        src: usize,
+        dest: u32,
+        handler: u32,
+        arg: u64,
+    ) -> Result<u64, gravel_gq::RpcFailure> {
+        self.host_rpc(src, |token, dl| {
+            gravel_gq::Message::am_call(dest, handler, arg, token, dl)
+        })
+    }
+
+    fn host_rpc(
+        &self,
+        src: usize,
+        build: impl FnOnce(u64, u16) -> gravel_gq::Message,
+    ) -> Result<u64, gravel_gq::RpcFailure> {
+        use gravel_gq::{ReplySink, ReplyState, RpcFailure};
+        let node = &self.nodes[src];
+        let sink = Arc::new(ReplySink::new(1));
+        let deadline = Instant::now() + node.rpc_timeout;
+        let token = node
+            .rpc
+            .register(sink.clone(), 0, deadline)
+            .map_err(|_| RpcFailure::TableFull)?;
+        let deadline_ms = node.rpc_timeout.as_millis().min(u128::from(u16::MAX)) as u16;
+        node.host_send(build(token, deadline_ms));
+        // The pending-table sweep enforces the real deadline (it fails
+        // the slot as TimedOut); the wait bound here is a generous
+        // backstop so a wedged cluster cannot park the caller forever.
+        sink.wait_all(node.rpc_timeout * 2 + Duration::from_secs(1));
+        match sink.get(0) {
+            ReplyState::Ok(v) => Ok(v),
+            ReplyState::Failed(f) => Err(f),
+            ReplyState::Pending => Err(RpcFailure::TimedOut),
+        }
+    }
+
     /// Snapshot cluster statistics.
     pub fn stats(&self) -> RuntimeStats {
         RuntimeStats {
@@ -580,8 +631,13 @@ impl GravelRuntime {
         // Replayed messages were already counted toward quiescence when
         // first applied, so the replay itself must not touch the vital
         // counters — it only redoes heap effects.
-        let _ = gravel_pgas::apply_words(&words, &node.heap, &node.ams, &mut |_| {});
+        let _ = gravel_pgas::apply_words(&words, 0, &node.heap, &node.ams, &mut |_| {});
         drop(guard);
+        // The node restarted: every reply token it issued before dying
+        // is now unanswerable (the sink that would receive it is gone).
+        // Bumping the generation fails the old waiters and rejects any
+        // late reply carrying a stale token.
+        node.rpc.bump_generation();
         if let Some(state) = self.recv_states.get(id) {
             state
                 .lock()

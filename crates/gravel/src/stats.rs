@@ -72,6 +72,32 @@ impl NetStats {
     }
 }
 
+/// Request-reply counters of one node (the rpc ledger: see DESIGN.md
+/// §15). The invariant the chaos acceptance reconciles is
+/// `issued == completed + timeouts` after every sink resolves, with the
+/// pending-reply table empty.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RpcStats {
+    /// GETs + value-returning AM calls this node issued.
+    pub issued: u64,
+    /// Requests completed with a reply value.
+    pub completed: u64,
+    /// Requests evicted as timed out (surfaced to the caller as a
+    /// deterministic completion error).
+    pub timeouts: u64,
+    /// Replies rejected by the post-restart generation guard.
+    pub stale_rejected: u64,
+    /// Replies whose token named no pending entry.
+    pub orphan_replies: u64,
+    /// Registrations refused because the pending-reply table was full.
+    pub table_full: u64,
+    /// Packets held back by exhausted per-band in-flight credits while
+    /// go-back-N window room remained.
+    pub credits_stalled: u64,
+    /// Replies this node generated serving GETs and AM calls.
+    pub replies_sent: u64,
+}
+
 /// Statistics of one node at shutdown (or snapshot time).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NodeStats {
@@ -98,6 +124,8 @@ pub struct NodeStats {
     pub agg_polls_hit: u64,
     /// Delivery-protocol counters.
     pub net: NetStats,
+    /// Request-reply counters.
+    pub rpc: RpcStats,
 }
 
 impl NodeStats {
@@ -154,6 +182,16 @@ impl NodeStats {
                 ack_corrupt_dropped: c("net.ack_corrupt_dropped"),
                 quarantined: c("net.quarantined"),
                 quarantine_evicted: c("net.quarantine_evicted"),
+            },
+            rpc: RpcStats {
+                issued: c("rpc.issued"),
+                completed: c("rpc.completed"),
+                timeouts: c("rpc.timeouts"),
+                stale_rejected: c("rpc.stale_rejected"),
+                orphan_replies: c("rpc.orphan_replies"),
+                table_full: c("rpc.table_full"),
+                credits_stalled: c("rpc.credits_stalled"),
+                replies_sent: c("rpc.replies_sent"),
             },
         }
     }

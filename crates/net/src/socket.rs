@@ -866,7 +866,10 @@ impl Inner {
             u32::from_le_bytes([frame[at], frame[at + 1], frame[at + 2], frame[at + 3]])
         };
         match kind {
-            0 => {
+            // All data-plane kinds: DATA plus the request-reply frames
+            // (GET / AM_CALL / AM_REPLY). The receiver's verified open
+            // re-checks the kind against the data-plane set.
+            0 | 6 | 7 | 8 => {
                 let df = DataFrame {
                     src: word(8),
                     dest: word(12),

@@ -285,14 +285,20 @@ fn redial_backoff_is_bounded_and_heals() {
 
 /// Satellite: stream reassembly split at *every* byte offset. A valid
 /// multi-frame byte stream cut into two arbitrary reads must reassemble
-/// into the identical frame sequence.
+/// into the identical frame sequence. The stream mixes every plane the
+/// wire carries, including the request-reply kinds (GET and AM_REPLY),
+/// so a reply split across two kernel reads is covered at each offset.
 #[test]
 fn reassembly_survives_a_split_at_every_offset() {
     let mut stream = Vec::new();
     let mut frames = Vec::new();
     let pkt = Packet::from_words(1, 0, &[11, 22, 33, 44, 55, 66, 77, 88]);
+    let get = Packet::from_words(1, 0, &gravel_gq::Message::get(0, 5, 0xAB, 250).encode());
+    let rep = Packet::from_words(0, 1, &gravel_gq::Message::reply(1, 0xAB, 0x5EED).encode());
     for bytes in [
         pkt.seal(1, WireIntegrity::Crc32c).bytes.to_vec(),
+        get.seal(1, WireIntegrity::Crc32c).bytes.to_vec(),
+        rep.seal(1, WireIntegrity::Crc32c).bytes.to_vec(),
         seal_ack(0, 1, 0, 1, 3, WireIntegrity::Crc32c).to_vec(),
         seal_control(1, 0, 2, &[1, 2, 3], WireIntegrity::Crc32c).to_vec(),
     ] {
@@ -312,6 +318,90 @@ fn reassembly_survives_a_split_at_every_offset() {
         assert_eq!(got, frames, "split at byte {cut}");
         assert_eq!(dec.pending(), 0, "split at byte {cut}");
     }
+    // The reassembled request-reply frames still advertise their kind.
+    let kinds: Vec<gravel_pgas::FrameKind> = frames
+        .iter()
+        .filter_map(|f| gravel_pgas::open_data_frame(f, WireIntegrity::Crc32c).ok())
+        .map(|h| h.kind)
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            gravel_pgas::FrameKind::Data,
+            gravel_pgas::FrameKind::Get,
+            gravel_pgas::FrameKind::AmReply
+        ]
+    );
+}
+
+/// End-to-end on a real socket: GET and AM_REPLY frames dripped through
+/// a raw stream one byte per write — after a genuine HELLO handshake —
+/// must reassemble and route to the data plane intact. This is the
+/// requester's view of a server's reply split at arbitrary kernel read
+/// boundaries.
+#[test]
+fn reply_frames_split_at_read_boundaries_reach_the_data_plane() {
+    let path = temp_path("reply-split-listener");
+    let addrs = vec![
+        SocketAddrSpec::Uds(path.clone()),
+        SocketAddrSpec::Uds(temp_path("reply-split-ghost")),
+    ];
+    let mut cfg = SocketConfig::new(0, addrs);
+    cfg.lanes = 2; // lane 0 = bulk, lane 1 = request-reply
+    let t0 = SocketTransport::spawn(cfg).expect("bind");
+
+    // Handshake as "node 1" over a raw stream so every subsequent write
+    // boundary is under the test's control.
+    let mut raw = UnixStream::connect(&path).expect("dial listener");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let hello = seal_hello(
+        &HelloInfo { node: 1, peer: 0, nodes: 2, lanes: 2, epoch: 0 },
+        WireIntegrity::Crc32c,
+    );
+    raw.write_all(&(hello.len() as u32).to_le_bytes()).unwrap();
+    raw.write_all(&hello).unwrap();
+    let mut len = [0u8; 4];
+    raw.read_exact(&mut len).expect("listener answers with its own HELLO");
+    let mut answer = vec![0u8; u32::from_le_bytes(len) as usize];
+    raw.read_exact(&mut answer).unwrap();
+
+    // A GET request and the AM_REPLY answering it, on the RPC lane.
+    let msgs = [
+        gravel_gq::Message::get(0, 5, 0xAB, 250),
+        gravel_gq::Message::reply(0, 0xAB, 0x5EED),
+    ];
+    let mut sent = Vec::new();
+    for (seq, msg) in msgs.iter().enumerate() {
+        let mut pkt = Packet::from_words(1, 0, &msg.encode());
+        pkt.lane = 1;
+        pkt.seq = seq as u64;
+        sent.push(pkt.seal(9, WireIntegrity::Crc32c));
+    }
+    for frame in &sent {
+        raw.write_all(&(frame.bytes.len() as u32).to_le_bytes()).unwrap();
+        for b in frame.bytes.iter() {
+            raw.write_all(std::slice::from_ref(b)).unwrap();
+        }
+    }
+
+    for (i, msg) in msgs.iter().enumerate() {
+        let got = poll(Duration::from_secs(5), || {
+            match t0.recv_data(0, Duration::from_millis(50)) {
+                RecvStatus::Msg(f) => Some(f),
+                _ => None,
+            }
+        });
+        let head =
+            gravel_pgas::open_data_frame(&got.bytes, WireIntegrity::Crc32c).expect("clean frame");
+        let want = if i == 0 { gravel_pgas::FrameKind::Get } else { gravel_pgas::FrameKind::AmReply };
+        assert_eq!(head.kind, want, "frame {i} kind survived the byte-dripped stream");
+        let back = got.open(WireIntegrity::Crc32c).expect("opens on the data plane");
+        assert_eq!((back.lane, back.seq), (1, i as u64));
+        let words: [u64; gravel_gq::MSG_ROWS] =
+            back.words().try_into().expect("one message per RPC packet");
+        assert_eq!(gravel_gq::Message::decode(words), Some(*msg));
+    }
+    t0.close();
 }
 
 /// An oversized length prefix is a framing error, not an allocation.

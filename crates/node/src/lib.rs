@@ -14,6 +14,8 @@
 //! * [`forward`] — the [`PacketTap`](gravel_core::netthread::PacketTap)
 //!   that streams applied packets to the buddy and cuts epochs.
 //! * [`sender`] — deterministic GUPS packetization + go-back-N flows.
+//! * [`rpc_pump`] — request-reply (GET) flows on their own wire lane,
+//!   plus the sentinel probes the cluster test verifies bit-exact.
 //! * [`signal`] — SIGTERM/SIGINT graceful-shutdown plumbing and the
 //!   literal self-`kill -9` chaos switch.
 //! * [`report`] — the JSON the harness asserts on, written atomically.
@@ -21,6 +23,7 @@
 pub mod forward;
 pub mod proto;
 pub mod report;
+pub mod rpc_pump;
 pub mod sender;
 pub mod signal;
 pub mod store;

@@ -37,7 +37,8 @@ use gravel_telemetry::Counter;
 
 use gravel_node::forward::Forwarder;
 use gravel_node::proto::{self, RecoverResp, OP_CKPT, OP_FWD, OP_RECOVER_REQ, OP_RECOVER_RESP};
-use gravel_node::report::{write_report, OutReport, OutStats};
+use gravel_node::report::{write_report, OutReport, OutStats, QuarantineEntry};
+use gravel_node::rpc_pump;
 use gravel_node::sender::{self, SenderConfig};
 use gravel_node::signal;
 use gravel_node::store::WardStores;
@@ -55,6 +56,7 @@ struct Args {
     ckpt_every: u64,
     kill_at: Option<u64>,
     deadline_secs: u64,
+    gets: usize,
     out: PathBuf,
 }
 
@@ -62,7 +64,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: gravel-node --node I --nodes N (--dir PATH | --tcp-base PORT) [--updates U] \
          [--table T] [--seed S] [--integrity crc32c|off] [--msgs-per-packet K] \
-         [--ckpt-every P] [--kill-at N] [--deadline-secs D] [--out FILE]"
+         [--ckpt-every P] [--kill-at N] [--deadline-secs D] [--gets G] [--out FILE]"
     );
     std::process::exit(64);
 }
@@ -81,6 +83,7 @@ fn parse_args() -> Args {
         ckpt_every: 16,
         kill_at: None,
         deadline_secs: 60,
+        gets: 0,
         out: PathBuf::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -105,6 +108,7 @@ fn parse_args() -> Args {
             "--ckpt-every" => a.ckpt_every = val().parse().unwrap_or_else(|_| usage()),
             "--kill-at" => a.kill_at = Some(val().parse().unwrap_or_else(|_| usage())),
             "--deadline-secs" => a.deadline_secs = val().parse().unwrap_or_else(|_| usage()),
+            "--gets" => a.gets = val().parse().unwrap_or_else(|_| usage()),
             "--out" => a.out = PathBuf::from(val()),
             _ => usage(),
         }
@@ -274,6 +278,10 @@ struct Reporter {
     forwarder: Arc<Forwarder>,
     recovered_from_ckpt: bool,
     recovered_log_packets: u64,
+    /// Quarantined messages accumulated across report writes (each
+    /// write drains the node's quarantine, so without this buffer the
+    /// final report would lose what earlier writes already surfaced).
+    quarantine: Mutex<Vec<QuarantineEntry>>,
 }
 
 impl Reporter {
@@ -282,6 +290,17 @@ impl Reporter {
         let snap = self.node.registry.snapshot();
         let me = self.args.node;
         let n = |suffix: &str| format!("node{me}.{suffix}");
+        let quarantine = {
+            let mut q = self.quarantine.lock().unwrap_or_else(|p| p.into_inner());
+            q.extend(self.node.quarantine.drain().into_iter().map(|m| QuarantineEntry {
+                src: m.src,
+                lane: m.lane,
+                seq: m.seq,
+                index: m.index as u64,
+                reason: format!("{:?}", m.reason),
+            }));
+            q.clone()
+        };
         let report = OutReport {
             node: me as u64,
             nodes: self.args.nodes as u64,
@@ -309,7 +328,14 @@ impl Reporter {
                 fwd_sent: snap.counter(&n("fwd.sent")),
                 fwd_dropped: snap.counter(&n("fwd.dropped")),
                 recovered_log_packets: self.recovered_log_packets,
+                gets_issued: snap.counter(&n("gets.issued")),
+                gets_ok: snap.counter(&n("gets.ok")),
+                gets_timed_out: snap.counter(&n("gets.timed_out")),
+                gets_mismatched: snap.counter(&n("gets.mismatched")),
+                rpc_replies_sent: self.node.rpc_replies_sent.get(),
+                quarantined: self.node.quarantine.total(),
             },
+            quarantine,
         };
         if let Err(e) = write_report(&self.args.out, &report) {
             eprintln!("[gravel-node {me}] failed to write {}: {e}", self.args.out.display());
@@ -330,14 +356,29 @@ fn run() -> i32 {
 
     let input = GupsInput { updates: args.updates, table_len: args.table, seed: args.seed };
     let part = gups::partition(&input, nodes);
-    let heap_len = part.local_len(me as usize).max(1);
+    // With GET probes enabled the heap grows one sentinel word past the
+    // GUPS partition (never touched by updates, so its value is a pure
+    // function of the seed — the bit-exact GET target).
+    let heap_len = if args.gets > 0 {
+        part.local_len(me as usize) + 1
+    } else {
+        part.local_len(me as usize).max(1)
+    };
     let mut cfg = GravelConfig::small(nodes, heap_len);
     cfg.wire_integrity = args.integrity;
+    // Generous RPC deadline: a GET must survive a peer's kill -9 →
+    // restart window before it is declared timed out.
+    cfg.rpc.timeout = Duration::from_secs(5);
     let node = Arc::new(NodeShared::new(me, &cfg, Arc::new(AmRegistry::new())));
 
     let mut scfg = SocketConfig::new(me, addrs(&args));
     scfg.integrity = args.integrity;
     scfg.seed = args.seed ^ (me as u64).wrapping_mul(0x9E37_79B9);
+    if args.gets > 0 {
+        // Lane 0 carries the deterministic GUPS flows; lane 1 carries
+        // request-reply traffic (its own ack mailbox).
+        scfg.lanes = 2;
+    }
     let transport = match SocketTransport::spawn(scfg) {
         Ok(t) => t,
         Err(e) => {
@@ -430,7 +471,7 @@ fn run() -> i32 {
     }
     for p in &recovered.log {
         let (disposed, _) =
-            gravel_pgas::apply_words(&p.words, &node.heap, &node.ams, &mut |_reply| {});
+            gravel_pgas::apply_words(&p.words, p.src, &node.heap, &node.ams, &mut |_reply| {});
         node.note_applied(disposed as u64);
         let cur = cursors.entry((p.src, p.lane)).or_insert(0);
         *cur = (*cur).max(p.seq + 1);
@@ -451,6 +492,16 @@ fn run() -> i32 {
         eprintln!(
             "[gravel-node {me}] recovered from buddy {buddy}: ckpt={recovered_from_ckpt} \
              log_packets={recovered_log_packets} epoch={epoch}"
+        );
+    }
+
+    // The sentinel is deterministic, so (re)storing it after recovery
+    // is idempotent — a restarted node and a cold boot publish the same
+    // word.
+    if args.gets > 0 {
+        node.heap.store(
+            part.local_len(me as usize) as u64,
+            rpc_pump::sentinel_value(args.seed, me),
         );
     }
 
@@ -475,6 +526,41 @@ fn run() -> i32 {
         }
     });
 
+    // Request-reply plane: a pump draining the offload queue (GETs we
+    // issue + replies the netthread enqueues for peers) onto lane-1
+    // flows, and a probe stream GETting every peer's sentinel.
+    let gets_done = Arc::new(AtomicBool::new(args.gets == 0));
+    let mut rpc_threads = Vec::new();
+    if args.gets > 0 {
+        rpc_threads.push(std::thread::spawn({
+            let (t, n, stop) = (transport.clone(), node.clone(), stop.clone());
+            move || rpc_pump::run_rpc_pump(&t, &n, &stop, deadline)
+        }));
+        rpc_threads.push(std::thread::spawn({
+            let (n, stop, done) = (node.clone(), stop.clone(), gets_done.clone());
+            let (gets, seed, input) = (args.gets, args.seed, input);
+            move || {
+                let counters = rpc_pump::GetsCounters::bound(&n);
+                let part = gups::partition(&input, nodes);
+                let out = rpc_pump::run_gets(
+                    &n,
+                    nodes,
+                    gets,
+                    seed,
+                    |dest| part.local_len(dest as usize) as u64,
+                    &stop,
+                    deadline,
+                    &counters,
+                );
+                eprintln!(
+                    "[gravel-node {}] gets: issued={} ok={} timed_out={} failed={} mismatched={}",
+                    n.id, out.issued, out.ok, out.timed_out, out.failed, out.mismatched
+                );
+                done.store(true, Ordering::SeqCst);
+            }
+        }));
+    }
+
     let expected: Vec<u64> = (0..nodes)
         .map(|src| sender::expected_packets(&input, nodes, src as u32, me, args.msgs_per_packet))
         .collect();
@@ -485,6 +571,7 @@ fn run() -> i32 {
         forwarder: forwarder.clone(),
         recovered_from_ckpt,
         recovered_log_packets,
+        quarantine: Mutex::new(Vec::new()),
     };
 
     // Main loop: wait for local completion, then linger (serving acks,
@@ -507,6 +594,7 @@ fn run() -> i32 {
         }
         if !completed
             && sender_done.load(Ordering::SeqCst)
+            && gets_done.load(Ordering::SeqCst)
             && receive_complete(&state, &expected)
         {
             completed = true;
@@ -526,7 +614,10 @@ fn run() -> i32 {
 
     stop.store(true, Ordering::SeqCst);
     transport.close();
-    for h in [ctrl, hb, memb, net, snd] {
+    for h in [ctrl, hb, memb, net, snd]
+        .into_iter()
+        .chain(rpc_threads)
+    {
         let _ = h.join();
     }
     code

@@ -29,6 +29,32 @@ pub struct OutStats {
     pub fwd_sent: u64,
     pub fwd_dropped: u64,
     pub recovered_log_packets: u64,
+    #[serde(default)]
+    pub gets_issued: u64,
+    #[serde(default)]
+    pub gets_ok: u64,
+    #[serde(default)]
+    pub gets_timed_out: u64,
+    /// Replies that arrived but did not match the target's sentinel —
+    /// any nonzero value is a correctness bug, not a fault artifact.
+    #[serde(default)]
+    pub gets_mismatched: u64,
+    #[serde(default)]
+    pub rpc_replies_sent: u64,
+    #[serde(default)]
+    pub quarantined: u64,
+}
+
+/// One quarantined message's provenance, surfaced verbatim so the
+/// harness (or an operator) sees *what* poison arrived, not just a
+/// count.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct QuarantineEntry {
+    pub src: u32,
+    pub lane: u32,
+    pub seq: u64,
+    pub index: u64,
+    pub reason: String,
 }
 
 /// Everything the harness asserts on.
@@ -51,6 +77,10 @@ pub struct OutReport {
     /// This node's full heap slice at report time.
     pub heap: Vec<u64>,
     pub stats: OutStats,
+    /// Every message quarantined since the previous report, with full
+    /// provenance (drained from the node's quarantine at write time).
+    #[serde(default)]
+    pub quarantine: Vec<QuarantineEntry>,
 }
 
 /// Atomically (re)write `report` at `path`.

@@ -1,0 +1,283 @@
+//! Request-reply traffic for the multi-process cluster.
+//!
+//! The in-process runtime drains request-reply messages through its
+//! aggregator lanes; this binary has no aggregator (GUPS flows are
+//! pre-packetized by [`crate::sender`]), so RPC traffic gets its own
+//! pump: a thread that drains the node's offload queue — GET requests
+//! issued locally *and* reply messages the network thread enqueues
+//! while serving peers — and drives them as go-back-N flows on **lane
+//! 1**, keeping the deterministic GUPS flows on lane 0 untouched.
+//!
+//! Each node also owns a *sentinel* heap word just past its GUPS
+//! partition, holding a value that is a pure function of `(seed, node)`
+//! and is never touched by updates. A GET probe against a peer's
+//! sentinel therefore has exactly one correct answer on every run,
+//! which is what lets the cluster test assert bit-exact GET results
+//! even across a `kill -9` recovery.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::AtomicBool;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gravel_core::NodeShared;
+use gravel_gq::{Consumed, Message, ReplySink, ReplyState, RpcFailure};
+use gravel_net::{SocketTransport, Transport};
+use gravel_pgas::Packet;
+use gravel_telemetry::Counter;
+
+/// The wire lane RPC flows travel on (GUPS owns lane 0).
+pub const RPC_LANE: u32 = 1;
+
+/// The deterministic sentinel value node `node` publishes for GET
+/// probes under `seed`. Never zero, so a zeroed heap can't fake it.
+pub fn sentinel_value(seed: u64, node: u32) -> u64 {
+    (seed ^ u64::from(node).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .rotate_left((node % 63) + 1)
+        | 1
+}
+
+struct PumpFlow {
+    /// First unacked sequence.
+    base: u64,
+    /// Next sequence to stamp.
+    next: u64,
+    /// Sent, unacknowledged frames in sequence order.
+    unacked: VecDeque<gravel_pgas::DataFrame>,
+    /// Messages drained from the queue, not yet stamped (one message
+    /// per packet: RPC traffic is latency-bound, not bandwidth-bound).
+    queued: VecDeque<[u64; gravel_gq::MSG_ROWS]>,
+    rto: Duration,
+    timer: Instant,
+}
+
+impl PumpFlow {
+    fn new(rto: Duration) -> Self {
+        PumpFlow {
+            base: 0,
+            next: 0,
+            unacked: VecDeque::new(),
+            queued: VecDeque::new(),
+            rto,
+            timer: Instant::now(),
+        }
+    }
+}
+
+const PUMP_WINDOW: usize = 32;
+const PUMP_RTO_BASE: Duration = Duration::from_millis(50);
+const PUMP_RTO_MAX: Duration = Duration::from_millis(500);
+
+/// Drain the node's offload queue into per-destination go-back-N flows
+/// on [`RPC_LANE`] until `stop`, the deadline, or transport close.
+/// Like the GUPS sender there is no retry budget: a dead peer is
+/// expected to come back, and the pending-reply table (not this pump)
+/// enforces each request's deadline.
+pub fn run_rpc_pump(
+    transport: &SocketTransport,
+    node: &NodeShared,
+    stop: &AtomicBool,
+    deadline: Instant,
+) {
+    let integrity = node.wire_integrity;
+    let mut flows: HashMap<u32, PumpFlow> = HashMap::new();
+    let mut batch: Vec<u64> = Vec::new();
+    loop {
+        if stop.load(Relaxed) || Instant::now() >= deadline || transport.is_closed() {
+            return;
+        }
+        let mut progressed = false;
+        // Cumulative acks for the RPC lane.
+        while let Some(frame) = transport.try_recv_ack(node.id, RPC_LANE) {
+            match frame.open(integrity) {
+                Ok(ack) => {
+                    node.net_acks_received.inc();
+                    if let Some(f) = flows.get_mut(&ack.src) {
+                        while f.base <= ack.cum_seq && !f.unacked.is_empty() {
+                            f.unacked.pop_front();
+                            f.base += 1;
+                            progressed = true;
+                        }
+                        if progressed {
+                            f.rto = PUMP_RTO_BASE;
+                            f.timer = Instant::now();
+                        }
+                    }
+                }
+                Err(_) => node.net_ack_corrupt_dropped.inc(),
+            }
+        }
+        // Drain the offload queue: locally issued GETs plus replies the
+        // network thread enqueued while serving peers.
+        for lane in 0..node.queue.lanes() {
+            batch.clear();
+            match node.queue.ring(lane).try_consume_batch(&mut batch, 64) {
+                Consumed::Batch(_) => {
+                    for chunk in batch.chunks_exact(gravel_gq::MSG_ROWS) {
+                        let words: [u64; gravel_gq::MSG_ROWS] =
+                            chunk.try_into().expect("exact chunk");
+                        let dest = words[1] as u32;
+                        flows
+                            .entry(dest)
+                            .or_insert_with(|| PumpFlow::new(PUMP_RTO_BASE))
+                            .queued
+                            .push_back(words);
+                        progressed = true;
+                    }
+                }
+                Consumed::Empty => {}
+                Consumed::Closed => return,
+            }
+        }
+        let epoch = node.wire_epoch.load(Relaxed);
+        for (&dest, f) in flows.iter_mut() {
+            // Stamp queued messages into the window.
+            while f.unacked.len() < PUMP_WINDOW {
+                let Some(words) = f.queued.pop_front() else { break };
+                let mut pkt = Packet::from_words(node.id, dest, &words);
+                pkt.lane = RPC_LANE;
+                pkt.seq = f.next;
+                f.next += 1;
+                // seal() stamps the frame kind from the message class
+                // (GET / AM_REPLY), so the wire advertises the traffic
+                // class even without the in-process QoS scheduler.
+                let frame = pkt.seal(epoch, integrity);
+                let _ = transport.send_data(frame.clone(), Duration::from_millis(5));
+                f.unacked.push_back(frame);
+                f.timer = Instant::now();
+                progressed = true;
+            }
+            // Go-back-N on silent expiry; also the probe that
+            // rediscovers a peer returning from a kill -9.
+            if !f.unacked.is_empty() && f.timer.elapsed() >= f.rto {
+                for frame in &f.unacked {
+                    let _ = transport.send_data(frame.clone(), Duration::from_millis(5));
+                    node.net_retransmits.inc();
+                }
+                f.rto = (f.rto * 2).min(PUMP_RTO_MAX);
+                f.timer = Instant::now();
+            }
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+}
+
+/// Outcome ledger of one node's GET probe stream.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GetsOutcome {
+    pub issued: u64,
+    pub ok: u64,
+    pub timed_out: u64,
+    pub failed: u64,
+    /// Replies that arrived but did not match the target's sentinel —
+    /// must be zero on every run, faults or not.
+    pub mismatched: u64,
+}
+
+/// Issue `gets` sentinel GET probes round-robin across the cluster
+/// (self included — loopback exercises the same path) and verify each
+/// reply bit-exact against [`sentinel_value`]. Returns the ledger;
+/// `issued == ok + timed_out + failed` by construction.
+#[allow(clippy::too_many_arguments)]
+pub fn run_gets(
+    node: &NodeShared,
+    nodes: usize,
+    gets: usize,
+    seed: u64,
+    sentinel_addr: impl Fn(u32) -> u64,
+    stop: &AtomicBool,
+    deadline: Instant,
+    counters: &GetsCounters,
+) -> GetsOutcome {
+    let mut out = GetsOutcome::default();
+    let deadline_ms = node.rpc_timeout.as_millis().min(u128::from(u16::MAX)) as u16;
+    const BATCH: usize = 16;
+    let mut k = 0usize;
+    while k < gets {
+        if stop.load(Relaxed) || Instant::now() >= deadline {
+            break;
+        }
+        let n = BATCH.min(gets - k);
+        let sink = Arc::new(ReplySink::new(n));
+        let rpc_deadline = Instant::now() + node.rpc_timeout;
+        let mut dests = Vec::with_capacity(n);
+        for slot in 0..n {
+            let dest = ((node.id as usize + 1 + k + slot) % nodes) as u32;
+            dests.push(dest);
+            match node.rpc.register(sink.clone(), slot, rpc_deadline) {
+                Ok(token) => {
+                    node.host_send(Message::get(dest, sentinel_addr(dest), token, deadline_ms));
+                }
+                Err(_) => {
+                    sink.arm();
+                    sink.fail(slot, RpcFailure::TableFull);
+                }
+            }
+        }
+        out.issued += n as u64;
+        sink.wait_all(node.rpc_timeout * 2 + Duration::from_secs(1));
+        for (slot, &dest) in dests.iter().enumerate() {
+            match sink.get(slot) {
+                ReplyState::Ok(v) if v == sentinel_value(seed, dest) => out.ok += 1,
+                ReplyState::Ok(_) => {
+                    out.ok += 1;
+                    out.mismatched += 1;
+                }
+                ReplyState::Failed(RpcFailure::TimedOut) | ReplyState::Pending => {
+                    out.timed_out += 1
+                }
+                ReplyState::Failed(_) => out.failed += 1,
+            }
+        }
+        k += n;
+    }
+    counters.issued.add(out.issued);
+    counters.ok.add(out.ok);
+    counters.timed_out.add(out.timed_out);
+    counters.mismatched.add(out.mismatched);
+    out
+}
+
+/// Registry-backed GET-probe counters so the report reads them the same
+/// way it reads every other metric.
+pub struct GetsCounters {
+    pub issued: Counter,
+    pub ok: Counter,
+    pub timed_out: Counter,
+    pub mismatched: Counter,
+}
+
+impl GetsCounters {
+    pub fn bound(node: &NodeShared) -> Self {
+        let me = node.id;
+        let name = |s: &str| format!("node{me}.gets.{s}");
+        GetsCounters {
+            issued: node.registry.counter(&name("issued")),
+            ok: node.registry.counter(&name("ok")),
+            timed_out: node.registry.counter(&name("timed_out")),
+            mismatched: node.registry.counter(&name("mismatched")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_values_are_distinct_and_deterministic() {
+        let a: Vec<u64> = (0..8).map(|n| sentinel_value(42, n)).collect();
+        let b: Vec<u64> = (0..8).map(|n| sentinel_value(42, n)).collect();
+        assert_eq!(a, b);
+        for i in 0..8 {
+            assert_ne!(a[i], 0);
+            for j in 0..i {
+                assert_ne!(a[i], a[j], "sentinels for nodes {i} and {j} collide");
+            }
+        }
+        assert_ne!(sentinel_value(42, 0), sentinel_value(43, 0));
+    }
+}

@@ -227,6 +227,52 @@ fn kill9_mid_run_recovers_bit_exact_over_the_wire() {
 }
 
 #[test]
+fn cluster_gets_complete_bit_exact_across_members() {
+    // Request-reply traffic over the real sockets: every member issues
+    // sentinel GET probes (round-robin across the cluster, self
+    // included) on the dedicated RPC wire lane while the GUPS streams
+    // run on lane 0. Each probe has exactly one correct answer — the
+    // target's (seed, node)-derived sentinel word — so a reply is
+    // verified bit-exact, not just received.
+    let input = GupsInput { updates: 1200, table_len: 96, seed: 13 };
+    let cluster = Cluster::new("gets", input, 4);
+    const GETS: u64 = 32;
+    let extra = vec!["--gets".to_string(), GETS.to_string()];
+    let mut children: Vec<Child> = (0..4).map(|n| cluster.spawn(n, &extra)).collect();
+
+    let reports = cluster.wait_all_completed(Duration::from_secs(60));
+    cluster.assert_bit_exact(&reports);
+    for r in &reports {
+        assert_eq!(r.stats.gets_issued, GETS, "node {} probe count", r.node);
+        assert_eq!(
+            r.stats.gets_mismatched, 0,
+            "node {} received a reply that did not match the sentinel",
+            r.node
+        );
+        assert_eq!(
+            r.stats.gets_ok, GETS,
+            "node {} no-fault probes must all complete (timed_out={})",
+            r.node, r.stats.gets_timed_out
+        );
+        assert_eq!(r.stats.quarantined, 0, "node {} quarantined frames", r.node);
+        assert!(r.quarantine.is_empty(), "node {} quarantine report", r.node);
+    }
+    let finals = sigterm_and_reap(&mut children, |n| cluster.out_path(n));
+    cluster.assert_bit_exact(&finals);
+    for r in &finals {
+        assert!(r.graceful && r.completed, "node {} final report", r.node);
+    }
+    // Each applied GET produced exactly one reply at its server
+    // (retransmitted requests are seq-deduped before apply). Checked on
+    // the *final* reports: a mid-run report snapshots its counters when
+    // that node completes, which can precede a late peer probe; by
+    // teardown every requester has observed every reply, so every
+    // server counted it first.
+    let replies: u64 = finals.iter().map(|r| r.stats.rpc_replies_sent).sum();
+    assert_eq!(replies, 4 * GETS, "cluster-wide replies sent");
+}
+
+#[test]
 fn sigterm_mid_run_exits_zero_with_graceful_report() {
     // A workload big enough that SIGTERM lands mid-stream.
     let input = GupsInput { updates: 60_000, table_len: 256, seed: 5 };

@@ -28,11 +28,19 @@ pub type AmHandler = Box<dyn Fn(&SymmetricHeap, u64, u64) + Send + Sync>;
 pub type AmReplyHandler =
     Box<dyn Fn(&SymmetricHeap, u64, u64, &mut dyn FnMut(Message)) + Send + Sync>;
 
+/// A value-returning handler for the AM_CALL traffic class: runs at the
+/// destination against `(heap, arg)` and its return value travels back
+/// to the requester in an AM_REPLY. A separate id space from
+/// [`AmReplyHandler`] — a call naming a returning id must get a reply or
+/// a deterministic timeout, so the two tables never alias.
+pub type AmReturningHandler = Box<dyn Fn(&SymmetricHeap, u64) -> u64 + Send + Sync>;
+
 /// Registry of active-message handlers, indexed by the id carried in the
 /// message's command word.
 #[derive(Default)]
 pub struct AmRegistry {
     handlers: Vec<AmReplyHandler>,
+    returning: Vec<AmReturningHandler>,
 }
 
 impl AmRegistry {
@@ -54,6 +62,24 @@ impl AmRegistry {
         let id = self.handlers.len() as u32;
         self.handlers.push(handler);
         id
+    }
+
+    /// Register a value-returning handler for AM_CALL, returning its id
+    /// (an independent id space from [`register`](Self::register) /
+    /// [`register_replying`](Self::register_replying)). Registration
+    /// order must match across nodes.
+    pub fn register_returning(&mut self, handler: AmReturningHandler) -> u32 {
+        let id = self.returning.len() as u32;
+        self.returning.push(handler);
+        id
+    }
+
+    /// Run returning handler `id` against `heap` and `arg`. `None` for
+    /// an unknown id — the caller quarantines the call and the requester
+    /// times out deterministically instead of the network thread
+    /// crashing.
+    pub fn invoke_returning(&self, id: u32, heap: &SymmetricHeap, arg: u64) -> Option<u64> {
+        self.returning.get(id as usize).map(|h| h(heap, arg))
     }
 
     /// Number of registered handlers.
@@ -89,7 +115,12 @@ impl AmRegistry {
 
 impl std::fmt::Debug for AmRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "AmRegistry({} handlers)", self.handlers.len())
+        write!(
+            f,
+            "AmRegistry({} handlers, {} returning)",
+            self.handlers.len(),
+            self.returning.len()
+        )
     }
 }
 
@@ -146,6 +177,19 @@ mod tests {
         assert_eq!(heap.load(0), 7);
         reg.invoke(id, &heap, 0, 9, &mut no_reply());
         assert_eq!(heap.load(0), 7);
+    }
+
+    #[test]
+    fn returning_handlers_have_their_own_id_space() {
+        let mut reg = AmRegistry::new();
+        let plain = reg.register(Box::new(|_, _, _| {}));
+        let ret = reg.register_returning(Box::new(|h, a| h.load(a) + 1));
+        // Both start at 0: independent tables.
+        assert_eq!((plain, ret), (0, 0));
+        let heap = SymmetricHeap::new(2);
+        heap.store(1, 41);
+        assert_eq!(reg.invoke_returning(ret, &heap, 1), Some(42));
+        assert_eq!(reg.invoke_returning(9, &heap, 0), None);
     }
 
     #[test]

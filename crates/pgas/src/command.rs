@@ -27,14 +27,17 @@ pub enum Applied {
 }
 
 /// Apply one decoded message to the local heap. Replying active-message
-/// handlers emit follow-up messages through `reply`.
+/// handlers, GETs, and value-returning AM calls emit follow-up messages
+/// through `reply`; `src` is the verified sending node the replies are
+/// addressed to (from the frame header, never from the payload).
 ///
 /// A message addressing beyond the heap is *rejected*, not applied: the
 /// network thread must survive corrupted or misrouted traffic (handlers
 /// receive the raw `addr` and do their own interpretation, so only
-/// PUT/INC are bounds-checked here).
+/// PUT/INC/GET are bounds-checked here).
 pub fn apply(
     msg: &Message,
+    src: u32,
     heap: &SymmetricHeap,
     ams: &AmRegistry,
     reply: &mut dyn FnMut(Message),
@@ -63,6 +66,32 @@ pub fn apply(
             }
         }
         Command::Shutdown => Applied::Shutdown,
+        Command::Get { .. } => {
+            // One-sided read: serve the heap word and echo the request
+            // token (carried in `value`) back to the sender. A GET of an
+            // out-of-range address quarantines like a PUT would; the
+            // requester's pending-reply entry then times out
+            // deterministically instead of receiving garbage.
+            if !in_bounds {
+                return Applied::Rejected(QuarantineReason::OutOfRange);
+            }
+            reply(Message::reply(src, msg.value, heap.load(msg.addr)));
+            Applied::Done
+        }
+        Command::Reply => {
+            // Replies are consumed by the requester's network thread
+            // (pending-reply table) *before* apply; one reaching this
+            // point is a replay or a reply to a restarted node — a
+            // harmless no-op against the heap.
+            Applied::Done
+        }
+        Command::AmCall { handler, .. } => match ams.invoke_returning(handler, heap, msg.addr) {
+            Some(v) => {
+                reply(Message::reply(src, msg.value, v));
+                Applied::Done
+            }
+            None => Applied::Rejected(QuarantineReason::UnknownHandler),
+        },
     }
 }
 
@@ -77,6 +106,7 @@ pub fn apply(
 /// through `reply`.
 pub fn apply_words(
     words: &[u64],
+    src: u32,
     heap: &SymmetricHeap,
     ams: &AmRegistry,
     reply: &mut dyn FnMut(Message),
@@ -86,7 +116,7 @@ pub fn apply_words(
         let Some(msg) = Message::decode([chunk[0], chunk[1], chunk[2], chunk[3]]) else {
             continue;
         };
-        match apply(&msg, heap, ams, reply) {
+        match apply(&msg, src, heap, ams, reply) {
             Applied::Done | Applied::Rejected(_) => disposed += 1,
             Applied::Shutdown => return (disposed, true),
         }
@@ -102,8 +132,8 @@ mod tests {
     fn put_and_inc() {
         let heap = SymmetricHeap::new(4);
         let ams = AmRegistry::new();
-        assert_eq!(apply(&Message::put(0, 1, 9), &heap, &ams, &mut |_| {}), Applied::Done);
-        assert_eq!(apply(&Message::inc(0, 1, 3), &heap, &ams, &mut |_| {}), Applied::Done);
+        assert_eq!(apply(&Message::put(0, 1, 9), 0, &heap, &ams, &mut |_| {}), Applied::Done);
+        assert_eq!(apply(&Message::inc(0, 1, 3), 0, &heap, &ams, &mut |_| {}), Applied::Done);
         assert_eq!(heap.load(1), 12);
     }
 
@@ -112,7 +142,7 @@ mod tests {
         let heap = SymmetricHeap::new(2);
         let mut ams = AmRegistry::new();
         let id = ams.register(Box::new(|h, a, v| h.store(a, v + 1)));
-        assert_eq!(apply(&Message::active(0, id, 0, 41), &heap, &ams, &mut |_| {}), Applied::Done);
+        assert_eq!(apply(&Message::active(0, id, 0, 41), 0, &heap, &ams, &mut |_| {}), Applied::Done);
         assert_eq!(heap.load(0), 42);
     }
 
@@ -121,7 +151,7 @@ mod tests {
         let heap = SymmetricHeap::new(1);
         let ams = AmRegistry::new();
         assert_eq!(
-            apply(&Message::active(0, 9, 0, 0), &heap, &ams, &mut |_| {}),
+            apply(&Message::active(0, 9, 0, 0), 0, &heap, &ams, &mut |_| {}),
             Applied::Rejected(QuarantineReason::UnknownHandler)
         );
     }
@@ -134,7 +164,7 @@ mod tests {
         words.extend(Message::inc(0, 0, 1).encode());
         words.extend(Message::shutdown().encode());
         words.extend(Message::inc(0, 0, 1).encode()); // after shutdown: ignored
-        let (applied, shutdown) = apply_words(&words, &heap, &ams, &mut |_| {});
+        let (applied, shutdown) = apply_words(&words, 0, &heap, &ams, &mut |_| {});
         assert_eq!(applied, 1);
         assert!(shutdown);
         assert_eq!(heap.load(0), 1);
@@ -149,7 +179,7 @@ mod tests {
         let ams = AmRegistry::new();
         let q = crate::Quarantine::detached(16);
         for (i, msg) in [Message::put(0, 99, 1), Message::inc(0, 2, 1)].iter().enumerate() {
-            match apply(msg, &heap, &ams, &mut |_| {}) {
+            match apply(msg, 0, &heap, &ams, &mut |_| {}) {
                 Applied::Rejected(reason) => {
                     assert_eq!(reason, QuarantineReason::OutOfRange);
                     q.push(crate::QuarantinedMessage {
@@ -170,11 +200,69 @@ mod tests {
     }
 
     #[test]
+    fn get_serves_heap_word_and_echoes_token() {
+        let heap = SymmetricHeap::new(4);
+        let ams = AmRegistry::new();
+        heap.store(2, 0xfeed);
+        let mut replies = Vec::new();
+        assert_eq!(
+            apply(&Message::get(1, 2, 777, 50), 9, &heap, &ams, &mut |m| replies.push(m)),
+            Applied::Done
+        );
+        // Reply goes to the *frame* source (9), not the payload dest.
+        assert_eq!(replies, vec![Message::reply(9, 777, 0xfeed)]);
+    }
+
+    #[test]
+    fn get_out_of_range_is_rejected_without_reply() {
+        let heap = SymmetricHeap::new(2);
+        let ams = AmRegistry::new();
+        let mut replies = Vec::new();
+        assert_eq!(
+            apply(&Message::get(1, 99, 1, 50), 0, &heap, &ams, &mut |m| replies.push(m)),
+            Applied::Rejected(QuarantineReason::OutOfRange)
+        );
+        assert!(replies.is_empty());
+    }
+
+    #[test]
+    fn am_call_replies_with_handler_result() {
+        let heap = SymmetricHeap::new(2);
+        let mut ams = AmRegistry::new();
+        heap.store(0, 20);
+        let id = ams.register_returning(Box::new(|h, a| h.load(a) * 2 + 2));
+        let mut replies = Vec::new();
+        assert_eq!(
+            apply(&Message::am_call(1, id, 0, 55, 50), 3, &heap, &ams, &mut |m| replies.push(m)),
+            Applied::Done
+        );
+        assert_eq!(replies, vec![Message::reply(3, 55, 42)]);
+        // Unknown returning handler: rejected, no reply, requester times out.
+        replies.clear();
+        assert_eq!(
+            apply(&Message::am_call(1, 9, 0, 55, 50), 3, &heap, &ams, &mut |m| replies.push(m)),
+            Applied::Rejected(QuarantineReason::UnknownHandler)
+        );
+        assert!(replies.is_empty());
+    }
+
+    #[test]
+    fn stray_reply_is_a_noop() {
+        let heap = SymmetricHeap::new(1);
+        let ams = AmRegistry::new();
+        assert_eq!(
+            apply(&Message::reply(0, 7, 123), 2, &heap, &ams, &mut |_| {}),
+            Applied::Done
+        );
+        assert_eq!(heap.load(0), 0);
+    }
+
+    #[test]
     fn malformed_words_skipped() {
         let heap = SymmetricHeap::new(1);
         let ams = AmRegistry::new();
         let words = [u64::MAX, 0, 0, 0];
-        let (applied, shutdown) = apply_words(&words, &heap, &ams, &mut |_| {});
+        let (applied, shutdown) = apply_words(&words, 0, &heap, &ams, &mut |_| {});
         assert_eq!(applied, 0);
         assert!(!shutdown);
     }

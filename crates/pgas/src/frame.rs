@@ -70,6 +70,16 @@ pub enum FrameKind {
     /// Cluster control plane: checkpoint shipping, replay forwarding,
     /// recovery requests. Payload is op-specific `u64` words.
     Control,
+    /// A packet of one-sided GET requests (payload = packed GET
+    /// messages). Travels the data plane but advertises the LATENCY
+    /// band so receivers and schedulers can prioritize without
+    /// decoding the payload.
+    Get,
+    /// A packet of value-returning active-message calls (NORMAL band).
+    AmCall,
+    /// A packet of replies — GET values or AM return values — headed
+    /// back to the requester (LATENCY band).
+    AmReply,
 }
 
 impl FrameKind {
@@ -81,6 +91,9 @@ impl FrameKind {
             FrameKind::Reject => 3,
             FrameKind::Heartbeat => 4,
             FrameKind::Control => 5,
+            FrameKind::Get => 6,
+            FrameKind::AmCall => 7,
+            FrameKind::AmReply => 8,
         }
     }
 
@@ -92,8 +105,21 @@ impl FrameKind {
             3 => Some(FrameKind::Reject),
             4 => Some(FrameKind::Heartbeat),
             5 => Some(FrameKind::Control),
+            6 => Some(FrameKind::Get),
+            7 => Some(FrameKind::AmCall),
+            8 => Some(FrameKind::AmReply),
             _ => None,
         }
+    }
+
+    /// True for the four kinds that carry packed messages over the data
+    /// plane (sequenced, acked, retransmitted by go-back-N). The other
+    /// kinds each have their own opener.
+    pub fn is_data_plane(self) -> bool {
+        matches!(
+            self,
+            FrameKind::Data | FrameKind::Get | FrameKind::AmCall | FrameKind::AmReply
+        )
     }
 }
 
@@ -576,6 +602,22 @@ pub fn open_frame(
     expect: FrameKind,
     integrity: WireIntegrity,
 ) -> Result<FrameHead, FrameError> {
+    open_frame_where(bytes, |k| k == expect, integrity)
+}
+
+/// Verify `bytes` as one whole frame of any data-plane kind (DATA, GET,
+/// AM_CALL, AM_REPLY — see [`FrameKind::is_data_plane`]) and return its
+/// header. The receive path uses this so request-reply traffic shares
+/// the sequenced go-back-N plane with bulk data.
+pub fn open_data_frame(bytes: &[u8], integrity: WireIntegrity) -> Result<FrameHead, FrameError> {
+    open_frame_where(bytes, FrameKind::is_data_plane, integrity)
+}
+
+fn open_frame_where(
+    bytes: &[u8],
+    accept: impl Fn(FrameKind) -> bool,
+    integrity: WireIntegrity,
+) -> Result<FrameHead, FrameError> {
     if bytes.len() < HEADER_BYTES {
         return Err(FrameError::TooShort { have: bytes.len() });
     }
@@ -588,7 +630,7 @@ pub fn open_frame(
         return Err(FrameError::BadVersion { got: version });
     }
     let kind = FrameKind::decode(bytes[6]).ok_or(FrameError::WrongKind { got: bytes[6] })?;
-    if kind != expect {
+    if !accept(kind) {
         return Err(FrameError::WrongKind { got: bytes[6] });
     }
     let payload_len = read_u32(bytes, 32);
@@ -915,10 +957,11 @@ impl DataFrame {
         self.bytes.is_empty()
     }
 
-    /// Verify the frame and decode it back into a [`Packet`]. The
-    /// payload is a zero-copy slice of the frame bytes.
+    /// Verify the frame and decode it back into a [`Packet`]. Accepts
+    /// any data-plane kind (DATA, GET, AM_CALL, AM_REPLY); the payload
+    /// is a zero-copy slice of the frame bytes.
     pub fn open(&self, integrity: WireIntegrity) -> Result<Packet, FrameError> {
-        let head = open_frame(&self.bytes, FrameKind::Data, integrity)?;
+        let head = open_data_frame(&self.bytes, integrity)?;
         Ok(Packet {
             src: head.src,
             dest: head.dest,
@@ -933,12 +976,27 @@ impl DataFrame {
 }
 
 impl Packet {
-    /// Seal this packet into a wire frame. Called once per packet at
-    /// submit time; retransmissions clone the sealed frame (refcounted
-    /// bytes), so the CRC is never recomputed.
+    /// Seal this packet into a wire frame, advertising its traffic
+    /// class as the frame kind. Called once per packet at submit time;
+    /// retransmissions clone the sealed frame (refcounted bytes), so
+    /// the CRC is never recomputed. The aggregator keeps packets
+    /// class-pure (runs split on class boundaries), so the first
+    /// message's class speaks for the whole payload.
     pub fn seal(&self, epoch: u32, integrity: WireIntegrity) -> DataFrame {
+        let kind = match self.class() {
+            gravel_gq::TrafficClass::Get => FrameKind::Get,
+            gravel_gq::TrafficClass::Reply => FrameKind::AmReply,
+            gravel_gq::TrafficClass::AmCall => FrameKind::AmCall,
+            gravel_gq::TrafficClass::Bulk => FrameKind::Data,
+        };
+        self.seal_kind(epoch, integrity, kind)
+    }
+
+    /// Seal with an explicit frame kind (the class-derived [`seal`]
+    /// is the normal path).
+    pub fn seal_kind(&self, epoch: u32, integrity: WireIntegrity, kind: FrameKind) -> DataFrame {
         let head = FrameHead {
-            kind: FrameKind::Data,
+            kind,
             flags: 0,
             src: self.src,
             dest: self.dest,

@@ -146,6 +146,20 @@ impl Packet {
         (0..self.msg_count()).map(|i| self.msg_words(i))
     }
 
+    /// Traffic class of the packet, decoded from the first message's
+    /// command word. The aggregator splits runs on class boundaries, so
+    /// every packet it emits is class-pure and the first message speaks
+    /// for all of them. An empty (or garbage) payload classifies as
+    /// BULK — the conservative band.
+    pub fn class(&self) -> gravel_gq::TrafficClass {
+        match self.payload.get(0..8) {
+            Some(b) => gravel_gq::TrafficClass::of_command_word(u64::from_le_bytes(
+                b.try_into().unwrap(),
+            )),
+            None => gravel_gq::TrafficClass::Bulk,
+        }
+    }
+
     /// Build a packet from words (test/model helper).
     pub fn from_words(src: u32, dest: u32, words: &[u64]) -> Self {
         let mut buf = BytesMut::with_capacity(words.len() * 8);

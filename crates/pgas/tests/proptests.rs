@@ -99,7 +99,7 @@ proptest! {
         for &a in &addrs {
             words.extend(gravel_gq::Message::inc(0, a, 1).encode());
         }
-        let (applied, shutdown) = apply_words(&words, &heap, &ams, &mut |_| {});
+        let (applied, shutdown) = apply_words(&words, 0, &heap, &ams, &mut |_| {});
         prop_assert_eq!(applied, addrs.len());
         prop_assert!(!shutdown);
         let mut expect = vec![0u64; 32];
@@ -121,7 +121,7 @@ proptest! {
             .enumerate()
             .map(|(i, &w)| if i % 4 == 2 { w % 4 } else { w })
             .collect();
-        let _ = apply_words(&words, &heap, &ams, &mut |_| {});
+        let _ = apply_words(&words, 0, &heap, &ams, &mut |_| {});
     }
 }
 
@@ -164,6 +164,7 @@ proptest! {
         for integrity in [WireIntegrity::Crc32c, WireIntegrity::Off] {
             let _ = open_frame(&junk, FrameKind::Data, integrity);
             let _ = open_frame(&junk, FrameKind::Ack, integrity);
+            let _ = gravel_pgas::open_data_frame(&junk, integrity);
             let _ = open_ack(&junk, integrity);
             let frame = DataFrame {
                 src: 0,
@@ -180,6 +181,55 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Request-reply frames round-trip: a class-pure packet of GET,
+    /// REPLY, or AM_CALL messages seals to the matching frame kind,
+    /// opens through the shared data-plane opener, and decodes back to
+    /// the identical messages — and any single-bit flip is rejected.
+    #[test]
+    fn rpc_frame_kinds_roundtrip_and_reject_flips(
+        which in 0u8..3,
+        n in 1usize..32,
+        addrs in prop::collection::vec(any::<u64>(), 32),
+        tokens in prop::collection::vec(any::<u64>(), 32),
+        deadline in any::<u16>(),
+        handler in any::<u32>(),
+        at in any::<usize>(),
+        bit in 0u32..8,
+    ) {
+        let msgs: Vec<gravel_gq::Message> = (0..n)
+            .map(|i| match which {
+                0 => gravel_gq::Message::get(1, addrs[i], tokens[i], deadline),
+                1 => gravel_gq::Message::reply(1, tokens[i], addrs[i]),
+                _ => gravel_gq::Message::am_call(1, handler, addrs[i], tokens[i], deadline),
+            })
+            .collect();
+        let words: Vec<u64> = msgs.iter().flat_map(|m| m.encode()).collect();
+        let pkt = Packet::from_words(0, 1, &words);
+        let frame = pkt.seal(0, WireIntegrity::Crc32c);
+        // The frame kind advertises the class without decoding payload.
+        let head = gravel_pgas::open_data_frame(&frame.bytes, WireIntegrity::Crc32c).unwrap();
+        let expect_kind = match which {
+            0 => FrameKind::Get,
+            1 => FrameKind::AmReply,
+            _ => FrameKind::AmCall,
+        };
+        prop_assert_eq!(head.kind, expect_kind);
+        // A data-plane opener pinned to DATA must refuse it (kind
+        // confusion is corruption).
+        prop_assert!(open_frame(&frame.bytes, FrameKind::Data, WireIntegrity::Crc32c).is_err());
+        // Payload round-trips bit-exact.
+        let opened = frame.open(WireIntegrity::Crc32c).unwrap();
+        for (i, m) in msgs.iter().enumerate() {
+            prop_assert_eq!(gravel_gq::Message::decode(opened.msg_words(i)), Some(*m));
+        }
+        // Any single-bit flip fails verification.
+        let mut mangled = frame.bytes.to_vec();
+        let i = at % mangled.len();
+        mangled[i] ^= 1 << bit;
+        let bad = DataFrame { bytes: bytes::Bytes::from(mangled), ..frame };
+        prop_assert!(bad.open(WireIntegrity::Crc32c).is_err());
     }
 
     /// Truncating a sealed frame at any boundary classifies as a
