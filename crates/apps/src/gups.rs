@@ -8,7 +8,7 @@
 
 use gravel_cluster::{NodeStep, OpClass, StepTrace, WorkloadTrace};
 use gravel_core::{Checkpoint, GravelRuntime};
-use gravel_pgas::{Layout, Partition};
+use gravel_pgas::{Directory, Layout, Partition};
 use gravel_simt::{LaneVec, Mask};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,6 +45,14 @@ pub fn partition(input: &GupsInput, nodes: usize) -> Partition {
     Partition::new(input.table_len, nodes, Layout::Cyclic)
 }
 
+/// The address directory GUPS routes through — the *only* place a
+/// global table index becomes a `(dest node, local offset)` pair.
+/// Static runs get a fixed view over [`partition`]; an elastic cluster
+/// substitutes a live [`Directory::elastic`] with the same call shape.
+pub fn directory(input: &GupsInput, nodes: usize) -> Directory {
+    Directory::fixed(partition(input, nodes))
+}
+
 /// Run GUPS on the live runtime. The runtime must have `heap_len ≥`
 /// the local table slice on every node. Returns the number of updates
 /// issued.
@@ -57,16 +65,17 @@ pub fn run_live(rt: &GravelRuntime, input: &GupsInput) -> u64 {
             "heap too small for table slice"
         );
     }
+    let dir = directory(input, nodes);
     let mut issued = 0u64;
     for node in 0..nodes {
-        issued += dispatch_node(rt, &part, input, node);
+        issued += dispatch_node(rt, &dir, input, node);
     }
     rt.quiesce();
     issued
 }
 
 /// Dispatch node `node`'s full update stream (one GUPS superstep).
-fn dispatch_node(rt: &GravelRuntime, part: &Partition, input: &GupsInput, node: usize) -> u64 {
+fn dispatch_node(rt: &GravelRuntime, dir: &Directory, input: &GupsInput, node: usize) -> u64 {
     let _span = rt.tracer().span("gups.dispatch", "app", node as u32);
     let updates = node_updates(input, rt.nodes(), node);
     let issued = updates.len() as u64;
@@ -80,11 +89,11 @@ fn dispatch_node(rt: &GravelRuntime, part: &Partition, input: &GupsInput, node: 
             // Fig. 4b line 15: shmem_inc(A + B[GRID_ID], C[GRID_ID]).
             let dests = LaneVec::from_fn(n, |l| {
                 let g = gids.get(l).min(updates.len() - 1);
-                part.owner(updates[g]) as u32
+                dir.route(updates[g]).dest
             });
             let addrs = LaneVec::from_fn(n, |l| {
                 let g = gids.get(l).min(updates.len() - 1);
-                part.local_offset(updates[g])
+                dir.route(updates[g]).offset
             });
             let vals = LaneVec::splat(n, 1u64);
             ctx.shmem_inc(&dests, &addrs, &vals);
@@ -130,9 +139,10 @@ pub fn run_live_checkpointed(
     for node in 0..nodes {
         assert!(rt.config().heap_len >= part.local_len(node), "heap too small for table slice");
     }
+    let dir = directory(input, nodes);
     let mut issued = 0u64;
     for node in (progress.nodes_dispatched as usize)..nodes {
-        issued += dispatch_node(rt, &part, input, node);
+        issued += dispatch_node(rt, &dir, input, node);
         progress.nodes_dispatched = node as u64 + 1;
         rt.cut_epoch_with(Some(progress));
     }
@@ -155,7 +165,7 @@ pub fn run_live_instrumented(
 /// sequential count of the same update streams.
 pub fn verify_live(rt: &GravelRuntime, input: &GupsInput) -> bool {
     let nodes = rt.nodes();
-    let part = partition(input, nodes);
+    let dir = directory(input, nodes);
     let mut expect = vec![0u64; input.table_len];
     for node in 0..nodes {
         for g in node_updates(input, nodes, node) {
@@ -163,21 +173,22 @@ pub fn verify_live(rt: &GravelRuntime, input: &GupsInput) -> bool {
         }
     }
     (0..input.table_len).all(|g| {
-        rt.heap(part.owner(g)).load(part.local_offset(g)) == expect[g]
+        let r = dir.route(g);
+        rt.heap(r.dest as usize).load(r.offset) == expect[g]
     })
 }
 
 /// Communication trace for the cluster model: one superstep of uniform
 /// scatter with exact per-destination counts.
 pub fn trace(input: &GupsInput, nodes: usize) -> WorkloadTrace {
-    let part = partition(input, nodes);
+    let dir = directory(input, nodes);
     let mut t = WorkloadTrace::new("GUPS", nodes);
     let mut step = StepTrace::default();
     for node in 0..nodes {
         let mut routed = vec![0u64; nodes];
         let updates = node_updates(input, nodes, node);
         for &g in &updates {
-            routed[part.owner(g)] += 1;
+            routed[dir.route(g).dest as usize] += 1;
         }
         step.per_node.push(NodeStep {
             gpu_ops: updates.len() as u64, // B/C reads + index math

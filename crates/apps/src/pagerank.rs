@@ -12,7 +12,7 @@
 
 use gravel_cluster::{NodeStep, OpClass, StepTrace, WorkloadTrace};
 use gravel_core::{Checkpoint, GravelRuntime};
-use gravel_pgas::{Layout, Partition};
+use gravel_pgas::{Directory, Layout, Partition};
 use gravel_simt::{LaneVec, Mask};
 
 use crate::graph::{reference, Csr};
@@ -27,6 +27,12 @@ pub fn partition(g: &Csr, nodes: usize) -> Partition {
     Partition::new(g.num_vertices(), nodes, Layout::Block)
 }
 
+/// The address directory PageRank routes through (see
+/// [`gups::directory`](crate::gups::directory) for the rationale).
+pub fn directory(g: &Csr, nodes: usize) -> Directory {
+    Directory::fixed(partition(g, nodes))
+}
+
 /// Run `iters` PageRank iterations on the live runtime. Each node's heap
 /// holds its local vertices' accumulators. Returns the final global rank
 /// vector (gathered).
@@ -38,9 +44,10 @@ pub fn run_live(rt: &GravelRuntime, g: &Csr, iters: usize, damping: u64) -> Vec<
         assert!(rt.config().heap_len >= part.local_len(node), "heap too small");
     }
     let base = (reference::FIXED_ONE - damping) / n as u64;
+    let dir = directory(g, nodes);
     let mut rank = vec![reference::FIXED_ONE / n as u64; n];
     for _ in 0..iters {
-        iterate_once(rt, g, &part, base, damping, &mut rank);
+        iterate_once(rt, g, &dir, base, damping, &mut rank);
     }
     rank
 }
@@ -89,7 +96,7 @@ pub fn run_live_checkpointed(
 ) -> Vec<u64> {
     let n = g.num_vertices();
     let nodes = rt.nodes();
-    let part = partition(g, nodes);
+    let dir = directory(g, nodes);
     let base = (reference::FIXED_ONE - damping) / n as u64;
     let mut rank = if progress.rank.len() == n {
         progress.rank.clone()
@@ -97,7 +104,7 @@ pub fn run_live_checkpointed(
         vec![reference::FIXED_ONE / n as u64; n]
     };
     for _ in (progress.iteration as usize)..iters {
-        iterate_once(rt, g, &part, base, damping, &mut rank);
+        iterate_once(rt, g, &dir, base, damping, &mut rank);
         progress.iteration += 1;
         progress.rank = rank.clone();
         rt.cut_epoch_with(Some(progress));
@@ -109,7 +116,7 @@ pub fn run_live_checkpointed(
 fn iterate_once(
     rt: &GravelRuntime,
     g: &Csr,
-    part: &Partition,
+    dir: &Directory,
     base: u64,
     damping: u64,
     rank: &mut [u64],
@@ -118,11 +125,8 @@ fn iterate_once(
     let nodes = rt.nodes();
     let mut node_edges: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); nodes];
     for (u, v, _) in g.iter_edges() {
-        node_edges[part.owner(u as usize)].push((
-            u,
-            part.owner(v as usize) as u32,
-            part.local_offset(v as usize),
-        ));
+        let rv = dir.route(v as usize);
+        node_edges[dir.route(u as usize).dest as usize].push((u, rv.dest, rv.offset));
     }
     let _span = rt.tracer().span("pagerank.iter", "app", 0);
     let shares: Vec<u64> = (0..n as u32)
@@ -149,8 +153,8 @@ fn iterate_once(
     }
     rt.quiesce();
     for (v, r) in rank.iter_mut().enumerate() {
-        let owner = part.owner(v);
-        let acc = rt.heap(owner).load(part.local_offset(v));
+        let rv = dir.route(v);
+        let acc = rt.heap(rv.dest as usize).load(rv.offset);
         *r = base + ((acc as u128 * damping as u128) >> 32) as u64;
     }
     for node in 0..nodes {

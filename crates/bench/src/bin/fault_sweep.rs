@@ -19,16 +19,27 @@
 //! every sweep cell (per-node counters and packet-latency histograms)
 //! with the integrity ledger (`net.corrupt_dropped`, `net.truncated`,
 //! `net.misrouted`, `net.quarantined`) lifted out per cell.
+//!
+//! A second axis — `reshard_sweep.json` — prices elastic membership
+//! churn (DESIGN.md §16) instead of link faults: the same update
+//! stream is replayed through the real shard directory while
+//! join/leave plans commit at epoch boundaries, recording shard moves,
+//! stale-routed bounces, and migration-copy latency (p50/p99).
 
+use std::collections::VecDeque;
 use std::io::Write;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use gravel_apps::gups::{self, GupsInput};
 use gravel_bench::report::{f2, Table};
+use gravel_core::ha::{Rebalancer, TopologyChange};
 use gravel_core::{
-    FaultConfig, GravelConfig, GravelRuntime, RegistrySnapshot, RpcFailure, TransportKind,
+    FaultConfig, GravelConfig, GravelRuntime, Registry, RegistrySnapshot, RpcFailure,
+    TransportKind,
 };
+use gravel_pgas::{Directory, ShardMap, DEFAULT_SHARDS};
 
 /// One sweep cell's telemetry: the injected fault kind/probability, the
 /// fault-tolerance and wire-integrity headline counters, and the
@@ -55,7 +66,33 @@ struct TelemetryCell {
     rpc_timeouts: u64,
     rpc_replies_sent: u64,
     rpc_credits_stalled: u64,
+    /// Present only on the reshard cells: the directory-churn axis and
+    /// its exactly-once ledger (DESIGN.md §16).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    reshard: Option<ReshardStats>,
     telemetry: RegistrySnapshot,
+}
+
+/// One reshard cell's outcome: how much the directory churned, what the
+/// churn moved, and what it cost the senders that raced it.
+#[derive(serde::Serialize)]
+struct ReshardStats {
+    /// Topology changes committed (map flips) — the cell's sweep axis.
+    flips: u64,
+    /// Final installed `ShardMap` version (`1 + flips`).
+    map_version: u64,
+    /// Shard migrations executed across all committed plans.
+    moves: u64,
+    /// Heap words copied by those migrations.
+    words_moved: u64,
+    /// Updates routed on a stale map and refused by the ownership gate.
+    stale_routed: u64,
+    /// Refused updates re-delivered under the bounced-back map. Must
+    /// equal `stale_routed` — the exactly-once ledger.
+    redelivered: u64,
+    /// Per-shard migration latency (timed copy of the strided words).
+    migration_p50_ns: u64,
+    migration_p99_ns: u64,
 }
 
 /// Write the per-cell snapshots next to the tabular report.
@@ -85,6 +122,155 @@ fn cell_config(kind: &str, p: f64, seed: u64) -> Option<FaultConfig> {
         ("garbage", p) => Some(FaultConfig { garbage: p, ..quiet }),
         other => unreachable!("unknown sweep cell {other:?}"),
     }
+}
+
+/// One reshard cell: replay the elastic membership protocol (DESIGN.md
+/// §16) in-process over the real `Directory`/`ShardMap`/`Rebalancer`
+/// machinery while four senders stream the deterministic GUPS updates.
+/// `flips` join/leave proposals commit one per epoch boundary; every
+/// committed plan pays a timed copy of each moving shard's strided
+/// words (the `migration_ns` histogram behind the p99 column). Senders
+/// route on a snapshot of the map that is refreshed only when the
+/// ownership gate refuses them — exactly the stale-routing NACK path
+/// the socket cluster takes — so the cell prices directory churn
+/// itself: lookups, bounces, re-delivery, and migration copies, with
+/// no socket I/O in the way. The cell asserts bit-exact delivery
+/// against a sequential replay and a balanced stale/redelivered ledger
+/// before it is recorded.
+fn run_reshard_cell(input: &GupsInput, flips: u64) -> (ReshardStats, RegistrySnapshot, u64, Duration) {
+    let senders = 4usize;
+    let capacity = 6usize;
+    let nshards = DEFAULT_SHARDS.min(input.table_len.max(1));
+    let members: Vec<u32> = (0..senders as u32).collect();
+    let dir = Directory::elastic(input.table_len, ShardMap::initial(&members, nshards));
+    let mut heaps: Vec<Vec<u64>> = vec![vec![0u64; input.table_len]; capacity];
+    let mut reb = Rebalancer::new();
+    let registry = Registry::enabled();
+    let migration_ns = registry.histogram("bench.reshard.migration_ns");
+
+    // The same per-node update streams the live sweep issues, drained
+    // round-robin so every flip lands mid-traffic for all senders.
+    let mut streams: Vec<VecDeque<usize>> =
+        (0..senders).map(|s| gups::node_updates(input, senders, s).into()).collect();
+    let total: u64 = streams.iter().map(|q| q.len() as u64).sum();
+    let boundary_every = (total / (flips + 1)).max(1);
+    // Joins and leaves of the two spare slots, interleaved so every
+    // proposal is non-moot under FIFO commit order.
+    let mut schedule: VecDeque<TopologyChange> = (0..flips)
+        .map(|i| match i % 4 {
+            0 => TopologyChange::Join(4),
+            1 => TopologyChange::Join(5),
+            2 => TopologyChange::Leave(4),
+            _ => TopologyChange::Leave(5),
+        })
+        .collect();
+
+    let mut stats = ReshardStats {
+        flips: 0,
+        map_version: 0,
+        moves: 0,
+        words_moved: 0,
+        stale_routed: 0,
+        redelivered: 0,
+        migration_p50_ns: 0,
+        migration_p99_ns: 0,
+    };
+
+    // Commit the next queued change and migrate its shards: a timed
+    // strided copy per move, donor → new owner, then cut the map.
+    let boundary = |reb: &mut Rebalancer,
+                        schedule: &mut VecDeque<TopologyChange>,
+                        heaps: &mut [Vec<u64>],
+                        stats: &mut ReshardStats| {
+        if reb.is_quiescent() {
+            if let Some(change) = schedule.pop_front() {
+                reb.propose(change);
+            }
+        }
+        let current = dir.current_map().expect("elastic directory");
+        if let Some(plan) = reb.boundary_tick(&current) {
+            for m in &plan.moves {
+                let t0 = Instant::now();
+                let mut g = m.shard as usize;
+                let mut words = 0u64;
+                while g < input.table_len {
+                    heaps[m.to as usize][g] = heaps[m.from as usize][g];
+                    g += nshards;
+                    words += 1;
+                }
+                migration_ns.record(t0.elapsed().as_nanos() as u64);
+                stats.words_moved += words;
+                stats.moves += 1;
+                reb.note_shard_ready(m.shard);
+            }
+            assert!(dir.install(plan.map), "map install must be monotonic");
+            stats.flips += 1;
+        }
+    };
+
+    let mut snaps: Vec<Arc<ShardMap>> =
+        (0..senders).map(|_| dir.current_map().expect("elastic directory")).collect();
+    let mut issued = 0u64;
+    let start = Instant::now();
+    loop {
+        let mut any = false;
+        for s in 0..senders {
+            let Some(g) = streams[s].pop_front() else { continue };
+            any = true;
+            // Route on the sender's snapshot; the gate refuses the
+            // update if the installed map owns the word elsewhere, and
+            // the bounce hands the sender the new map to retry under.
+            let mut dest = snaps[s].owner_of(g as u64);
+            let live = dir.current_map().expect("elastic directory");
+            if live.owner_of(g as u64) != dest {
+                stats.stale_routed += 1;
+                snaps[s] = live;
+                dest = snaps[s].owner_of(g as u64);
+                stats.redelivered += 1;
+            }
+            heaps[dest as usize][g] = heaps[dest as usize][g].wrapping_add(1);
+            issued += 1;
+            if issued.is_multiple_of(boundary_every) {
+                boundary(&mut reb, &mut schedule, &mut heaps, &mut stats);
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    // Flips the stream was too short to reach commit after the drain —
+    // the cell's axis stays exact even when traffic can't race them.
+    while !schedule.is_empty() || !reb.is_quiescent() {
+        boundary(&mut reb, &mut schedule, &mut heaps, &mut stats);
+    }
+    let wall = start.elapsed();
+
+    // Bit-exact vs the sequential replay, under the final ownership.
+    let final_map = dir.current_map().expect("elastic directory");
+    let mut expected = vec![0u64; input.table_len];
+    for s in 0..senders {
+        for g in gups::node_updates(input, senders, s) {
+            expected[g] += 1;
+        }
+    }
+    for (g, want) in expected.iter().enumerate() {
+        let owner = final_map.owner_of(g as u64) as usize;
+        assert_eq!(heaps[owner][g], *want, "reshard cell diverged at index {g} (flips={flips})");
+    }
+    assert_eq!(
+        stats.stale_routed, stats.redelivered,
+        "reshard ledger out of balance at flips={flips}"
+    );
+    assert_eq!(stats.flips, flips, "a scheduled topology change went moot at flips={flips}");
+    stats.map_version = final_map.version;
+    assert_eq!(stats.map_version, 1 + flips, "map version must count every commit");
+
+    let telemetry = registry.snapshot();
+    if let Some(h) = telemetry.histogram("bench.reshard.migration_ns") {
+        stats.migration_p50_ns = h.p50();
+        stats.migration_p99_ns = h.p99();
+    }
+    (stats, telemetry, issued, wall)
 }
 
 fn main() {
@@ -204,6 +390,7 @@ fn main() {
             rpc_timeouts,
             rpc_replies_sent: stats.nodes.iter().map(|n| n.rpc.replies_sent).sum(),
             rpc_credits_stalled: stats.nodes.iter().map(|n| n.rpc.credits_stalled).sum(),
+            reshard: None,
             telemetry,
         });
         let rate = issued as f64 / wall.as_secs_f64() / 1e6;
@@ -224,5 +411,62 @@ fn main() {
         ]);
     }
     t.emit();
+
+    // ---- Reshard cells: the same GUPS stream under directory churn
+    // instead of link faults. The axis is committed topology flips;
+    // the measured planes are migration cost (moves, words, p50/p99
+    // copy latency) and what stale routing cost the senders.
+    let mut rt = Table::new(
+        "reshard_sweep",
+        "GUPS under elastic membership churn (model-level reshard replay)",
+        &[
+            "flips",
+            "updates",
+            "wall ms",
+            "Mupdates/s",
+            "map ver",
+            "moves",
+            "words moved",
+            "stale routed",
+            "redelivered",
+            "mig p50 ns",
+            "mig p99 ns",
+        ],
+    );
+    for flips in [0u64, 4, 16, 64] {
+        let (rs, telemetry, issued, wall) = run_reshard_cell(&input, flips);
+        let rate = issued as f64 / wall.as_secs_f64() / 1e6;
+        rt.row(vec![
+            flips.to_string(),
+            issued.to_string(),
+            f2(wall.as_secs_f64() * 1e3),
+            f2(rate),
+            rs.map_version.to_string(),
+            rs.moves.to_string(),
+            rs.words_moved.to_string(),
+            rs.stale_routed.to_string(),
+            rs.redelivered.to_string(),
+            rs.migration_p50_ns.to_string(),
+            rs.migration_p99_ns.to_string(),
+        ]);
+        cells.push(TelemetryCell {
+            fault_kind: "reshard".to_string(),
+            fault_prob: flips as f64,
+            restarts: 0,
+            recoveries: 0,
+            corrupt_dropped: 0,
+            truncated: 0,
+            misrouted: 0,
+            quarantined: 0,
+            rpc_issued: 0,
+            rpc_completed: 0,
+            rpc_timeouts: 0,
+            rpc_replies_sent: 0,
+            rpc_credits_stalled: 0,
+            reshard: Some(rs),
+            telemetry,
+        });
+    }
+    rt.emit();
     save_telemetry(cells);
 }

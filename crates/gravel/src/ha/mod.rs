@@ -31,6 +31,13 @@
 //!    epoch snapshot and the log is replayed, reproducing the exact
 //!    pre-death heap.
 //!
+//! A fourth mechanism builds on the first three: **elastic
+//! rebalancing** ([`rebalance`]) — the coordinator-side state machine
+//! that commits JOIN/LEAVE/EVICT proposals one at a time at epoch
+//! boundaries and tracks the resulting shard migration; the supervisor
+//! owns it so the driver thread can be restarted around intact
+//! protocol state (DESIGN.md §16).
+//!
 //! The chaos side — *injecting* the process faults these mechanisms
 //! absorb — lives in `gravel-net`'s [`ChaosPlan`](gravel_net::ChaosPlan),
 //! next to the link-fault machinery it extends.
@@ -43,10 +50,12 @@
 
 pub mod checkpoint;
 pub mod heartbeat;
+pub mod rebalance;
 pub mod supervisor;
 
 pub use checkpoint::{Checkpoint, EpochSnapshot, ReplayLog};
 pub use heartbeat::{FailureDetector, HeartbeatConfig, PeerStatus};
+pub use rebalance::{RebalancePlan, Rebalancer, TopologyChange};
 pub use supervisor::{Supervisor, SupervisorConfig, WorkerKind};
 
 /// Fault-tolerance configuration of a runtime.

@@ -126,6 +126,28 @@ pub trait PacketTap: Send + Sync {
     fn on_packet_applied(&self, pkt: &Packet);
 }
 
+/// Receiver-side hook consulted for every accepted in-sequence packet
+/// *before* it applies, while the receive-state lock is held. Returning
+/// `None` applies the packet unchanged (the hot-path common case, no
+/// copy); returning `Some(replacement)` applies the replacement
+/// instead — same flow identity (src, lane, seq), possibly fewer
+/// messages. Messages the gate removed are the gate's responsibility:
+/// the elastic reshard layer bounces them back to their sender with the
+/// current shard map rather than dropping them. The packet's sequence
+/// number is consumed and acked either way, and the [`PacketTap`]
+/// observes the *replacement*, so a buddy forward log only ever holds
+/// words that actually applied here.
+///
+/// The gate runs again if a supervised thread restart re-presents the
+/// same sequence number mid-apply, so its decision must be
+/// deterministic for a given (packet, installed map) pair; the
+/// multi-process runtime only changes maps at epoch boundaries and
+/// resets resume cursors on process recovery, which keeps the pair
+/// stable across every replay path.
+pub trait ApplyGate: Send + Sync {
+    fn filter(&self, pkt: &Packet) -> Option<Packet>;
+}
+
 impl Default for RecvState {
     fn default() -> Self {
         RecvState::new()
@@ -313,6 +335,50 @@ pub fn run_with_tap(
     chaos: Option<Arc<ChaosPlan>>,
     tap: Option<Arc<dyn PacketTap>>,
 ) {
+    run_with_gate(node, transport, errors, state, chaos, tap, None)
+}
+
+/// Gate (if any), apply, then tap (if any) — one accepted in-sequence
+/// packet, receive-state lock held by the caller. The tap sees exactly
+/// what applied: the gate's replacement when it filtered, the original
+/// otherwise.
+#[allow(clippy::too_many_arguments)]
+fn gate_apply_tap(
+    node: &NodeShared,
+    pkt: &Packet,
+    resume_at: &mut usize,
+    chaos: Option<&ChaosPlan>,
+    gate: Option<&Arc<dyn ApplyGate>>,
+    tap: Option<&Arc<dyn PacketTap>>,
+) {
+    match gate.and_then(|g| g.filter(pkt)) {
+        Some(repl) => {
+            apply_packet(node, &repl, resume_at, chaos);
+            if let Some(t) = tap {
+                t.on_packet_applied(&repl);
+            }
+        }
+        None => {
+            apply_packet(node, pkt, resume_at, chaos);
+            if let Some(t) = tap {
+                t.on_packet_applied(pkt);
+            }
+        }
+    }
+}
+
+/// [`run_with_tap`] plus an optional [`ApplyGate`] filtering every
+/// accepted packet before it applies (the elastic reshard layer
+/// bounces no-longer-owned messages here).
+pub fn run_with_gate(
+    node: Arc<NodeShared>,
+    transport: Arc<dyn Transport>,
+    errors: Arc<ErrorSlot>,
+    state: Arc<Mutex<RecvState>>,
+    chaos: Option<Arc<ChaosPlan>>,
+    tap: Option<Arc<dyn PacketTap>>,
+    gate: Option<Arc<dyn ApplyGate>>,
+) {
     let mut last_sweep = Instant::now();
     loop {
         // Evict overdue pending-reply entries so a GET whose reply was
@@ -373,21 +439,29 @@ pub fn run_with_tap(
                 node.net_ooo_dropped.add(1);
             }
         } else {
-            apply_packet(&node, &pkt, &mut flow.resume_at, chaos.as_deref());
+            gate_apply_tap(
+                &node,
+                &pkt,
+                &mut flow.resume_at,
+                chaos.as_deref(),
+                gate.as_ref(),
+                tap.as_ref(),
+            );
             flow.expected += 1;
-            if let Some(t) = &tap {
-                t.on_packet_applied(&pkt);
-            }
             // Drain any buffered successors the gap was hiding. A panic
             // mid-drain loses the popped packet but not its messages:
             // `expected` was not yet advanced past it, so the sender's
             // go-back-N retransmission redelivers it in sequence.
             while let Some(next) = flow.ooo.remove(&flow.expected) {
-                apply_packet(&node, &next, &mut flow.resume_at, chaos.as_deref());
+                gate_apply_tap(
+                    &node,
+                    &next,
+                    &mut flow.resume_at,
+                    chaos.as_deref(),
+                    gate.as_ref(),
+                    tap.as_ref(),
+                );
                 flow.expected += 1;
-                if let Some(t) = &tap {
-                    t.on_packet_applied(&next);
-                }
             }
         }
         // Cumulative ack: everything below `expected` is applied. Acks

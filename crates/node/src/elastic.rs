@@ -1,0 +1,997 @@
+//! Elastic membership for `gravel-node` (DESIGN.md §16): live join and
+//! leave with epoch-boundary heap resharding, under the same chaos the
+//! static cluster already survives.
+//!
+//! The moving parts, all keyed off one [`gravel_pgas::Directory`]:
+//!
+//! * **Versioned shard map.** The table is dealt into shards
+//!   (`g % nshards`); a monotonic [`ShardMap`] assigns each shard an
+//!   owner. Every PUT/INC routes via the map — there is no static
+//!   `dest = addr % N` anywhere in the elastic path. Heaps are
+//!   provisioned at the *full* table size and addressed by global
+//!   index, so a message re-routed to a different owner needs no
+//!   offset translation and a shard's words are the stride
+//!   `shard, shard + nshards, shard + 2·nshards, …`.
+//! * **Epoch-boundary commit.** The coordinator (node 0) queues
+//!   JOIN/LEAVE/EVICT proposals and commits at most one at a time: cut
+//!   an epoch, compute the minimal-move map, broadcast `TOPO`. Traffic
+//!   on unaffected shards never stops.
+//! * **Stale-routing bounce.** The receive-side [`ApplyGate`] refuses
+//!   messages for shards it does not own (stale map at the sender) or
+//!   does not *yet* serve (migration still in flight) and bounces them
+//!   to their sender with the current map — the packet's sequence
+//!   number is consumed and acked either way, so the flow never wedges
+//!   and nothing is ever dropped: the sender re-aggregates bounced
+//!   messages under the new map. `reshard.stale_routed` (bounced) and
+//!   `reshard.redelivered` (re-enqueued) reconcile exactly.
+//! * **Pull-based migration.** A shard's new owner re-requests the
+//!   shard until the words arrive — idempotent, so a kill -9 mid
+//!   -migration heals by re-pulling after recovery. The donor's copy is
+//!   frozen the moment it installs the new map (its own gate bounces
+//!   every write), so serving repeated requests from the live heap is
+//!   exact. For an EVICT the donor is dead; the shard is reconstructed
+//!   from the dead node's buddy via [`WardStores::reconstruct_heap`]
+//!   (forward-before-ack makes that reconstruction contain every
+//!   update any sender ever saw acked).
+//! * **Kill-window ordering.** On receipt of shard words:
+//!   write words → mark checkpoint-ready → cut an epoch → serve →
+//!   ack to coordinator. A kill between any two steps is safe: before
+//!   the cut the shard is absent from the buddy checkpoint's `ready`
+//!   set and is re-pulled; after it, recovery restores it as served
+//!   (and the coordinator's outstanding-move entry is re-acked when
+//!   the restarted node sees the snapshot `TOPO`).
+//!
+//! The elastic traffic model is commutative-only (INC with per-message
+//! values) so bounce-redelivery reordering cannot perturb the final
+//! histogram; [`expected_table`] is the sequential truth the acceptance
+//! suite compares against bit-exactly.
+//!
+//! Documented limitations (asserted by tests, not hidden): the
+//! coordinator is fixed at node 0 and cannot leave or be evicted; an
+//! elastic *sender's* restart is unsupported (its pending queue is
+//! volatile — chaos targets joiners mid-migration and drained
+//! evictees); and a member evicted while data packets to it are still
+//! unacked leaves those flows probing forever (the harness drains
+//! before killing, so the suite never enters that window).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use gravel_apps::gups::{self, GupsInput};
+use gravel_core::ha::{Rebalancer, TopologyChange};
+use gravel_core::netthread::ApplyGate;
+use gravel_core::{FailureDetector, NodeShared};
+use gravel_gq::{Command, Message};
+use gravel_net::{SendStatus, SocketTransport, Transport};
+use gravel_pgas::{Directory, Packet, ShardMap};
+use gravel_telemetry::{Counter, Gauge, Histogram};
+
+use crate::forward::Forwarder;
+use crate::proto::{
+    self, BounceMsg, MigrateMsg, TopoKind, TopoMsg, OP_BOUNCE, OP_JOIN_REQ, OP_LEAVE_REQ,
+    OP_MAP_REQ, OP_MIGRATE, OP_MIGRATE_ACK, OP_MIGRATE_REQ, OP_TOPO, OP_WARD_MIGRATE_REQ,
+};
+use crate::sender::SenderConfig;
+use crate::store::WardStores;
+
+/// The fixed coordinator slot (see module docs: single-coordinator
+/// assumption, never killed by the chaos suites).
+pub const COORDINATOR: u32 = 0;
+
+/// Number of table words in `shard` under an identity-strided layout:
+/// the globals `g < table` with `g % nshards == shard`.
+pub fn shard_words(table: usize, nshards: usize, shard: u32) -> usize {
+    let s = shard as usize;
+    if s >= table {
+        0
+    } else {
+        (table - s).div_ceil(nshards)
+    }
+}
+
+/// One pending inbound shard migration.
+struct MoveIn {
+    /// Old owner (the pull target), or the dead node whose buddy we
+    /// pull the ward reconstruction from when `evict`.
+    from: u32,
+    evict: bool,
+    since: Instant,
+}
+
+/// Everything the elastic data plane shares between the gate (network
+/// thread), the control loop, the migration pump, and the sender.
+pub struct ElasticState {
+    pub me: u32,
+    /// Fixed process-slot count (`--nodes`); active membership is a
+    /// subset, tracked by the map.
+    pub capacity: usize,
+    pub table: usize,
+    /// The live routing directory (elastic inner).
+    pub dir: Directory,
+    node: Arc<NodeShared>,
+    transport: Arc<SocketTransport>,
+    /// Shards the gate applies locally (everything else bounces).
+    serving: Mutex<HashSet<u32>>,
+    /// Shards recorded as ready in the *next* epoch cut. Updated
+    /// before the post-migration cut, so a checkpoint's `ready` set
+    /// never claims a shard whose words it does not contain.
+    ckpt_ready: Mutex<HashSet<u32>>,
+    moves_in: Mutex<HashMap<u32, MoveIn>>,
+    /// Shards we are the authoritative donor for: `shard → new owner`.
+    /// Reset from each `TOPO`'s outstanding-move list.
+    moves_out: Mutex<HashMap<u32, u32>>,
+    /// Bounced message quads awaiting re-aggregation by the sender.
+    bounced: Mutex<VecDeque<[u64; 4]>>,
+    topo_seen: AtomicBool,
+    /// `--kill-on-migrate K`: SIGKILL while installing the Kth
+    /// migrated shard, after its words land but before the epoch cut —
+    /// the adversarial mid-migration window.
+    kill_on_migrate: Mutex<Option<u64>>,
+    stale_routed: Counter,
+    redelivered: Counter,
+    bounce_dropped: Counter,
+    moves_in_ctr: Counter,
+    moves_out_ctr: Counter,
+    bytes_migrated: Counter,
+    map_version: Gauge,
+    migration_ns: Histogram,
+}
+
+impl ElasticState {
+    pub fn new(
+        node: Arc<NodeShared>,
+        transport: Arc<SocketTransport>,
+        capacity: usize,
+        table: usize,
+        initial: ShardMap,
+        kill_on_migrate: Option<u64>,
+    ) -> Arc<Self> {
+        let me = node.id;
+        let name = |s: &str| format!("node{me}.reshard.{s}");
+        let registry = node.registry.clone();
+        let version = initial.version;
+        let st = ElasticState {
+            me,
+            capacity,
+            table,
+            dir: Directory::elastic(table, initial),
+            transport,
+            serving: Mutex::new(HashSet::new()),
+            ckpt_ready: Mutex::new(HashSet::new()),
+            moves_in: Mutex::new(HashMap::new()),
+            moves_out: Mutex::new(HashMap::new()),
+            bounced: Mutex::new(VecDeque::new()),
+            topo_seen: AtomicBool::new(me == COORDINATOR),
+            kill_on_migrate: Mutex::new(kill_on_migrate),
+            stale_routed: registry.counter(&name("stale_routed")),
+            redelivered: registry.counter(&name("redelivered")),
+            bounce_dropped: registry.counter(&name("bounce_dropped")),
+            moves_in_ctr: registry.counter(&name("moves_in")),
+            moves_out_ctr: registry.counter(&name("moves_out")),
+            bytes_migrated: registry.counter(&name("bytes_migrated")),
+            map_version: registry.gauge(&name("map_version")),
+            migration_ns: registry.histogram(&name("migration_ns")),
+            node,
+        };
+        st.map_version.set(version as i64);
+        Arc::new(st)
+    }
+
+    /// Mark shards as served *and* checkpoint-ready (startup: a cold
+    /// initial member's dealt shards, or a restarted node's recovered
+    /// `CkptImage::ready` set).
+    pub fn seed_ready(&self, shards: &[u32]) {
+        let mut serving = lock(&self.serving);
+        let mut ckpt = lock(&self.ckpt_ready);
+        for &s in shards {
+            serving.insert(s);
+            ckpt.insert(s);
+        }
+    }
+
+    /// The checkpoint provider: shards whose words are guaranteed
+    /// present in any heap snapshot taken from now on.
+    pub fn ckpt_ready_shards(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = lock(&self.ckpt_ready).iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    pub fn current_map(&self) -> Arc<ShardMap> {
+        self.dir.current_map().expect("elastic directory")
+    }
+
+    pub fn version(&self) -> u64 {
+        self.dir.version()
+    }
+
+    pub fn members(&self) -> Vec<u32> {
+        self.current_map().members.clone()
+    }
+
+    /// Owner per shard under the installed map (report surface: lets a
+    /// harness assemble the authoritative table from owners' heaps).
+    pub fn shard_owners(&self) -> Vec<u32> {
+        let map = self.current_map();
+        (0..map.nshards() as u32).map(|s| map.owner_of_shard(s)).collect()
+    }
+
+    pub fn is_member(&self) -> bool {
+        self.current_map().is_member(self.me)
+    }
+
+    /// Whether any topology frame (including a same-version snapshot)
+    /// has been observed — gates data-plane startup on restarted
+    /// non-coordinator nodes so a stale map never serves traffic.
+    pub fn topo_seen(&self) -> bool {
+        self.topo_seen.load(Ordering::SeqCst)
+    }
+
+    pub fn migrations_pending(&self) -> bool {
+        !lock(&self.moves_in).is_empty()
+    }
+
+    pub fn stale_routed_count(&self) -> u64 {
+        self.stale_routed.get()
+    }
+
+    pub fn redelivered_count(&self) -> u64 {
+        self.redelivered.get()
+    }
+
+    fn install_map(&self, map: &ShardMap) {
+        self.topo_seen.store(true, Ordering::SeqCst);
+        if self.dir.install(map.clone()) {
+            self.map_version.set(map.version as i64);
+            // Ownership moved: stop serving (and checkpointing) any
+            // shard the new map assigns elsewhere. Without this prune a
+            // shard that leaves and later returns would be served from
+            // its stale pre-departure words.
+            let mine: HashSet<u32> = map.shards_of(self.me).into_iter().collect();
+            lock(&self.serving).retain(|s| mine.contains(s));
+            lock(&self.ckpt_ready).retain(|s| mine.contains(s));
+            lock(&self.moves_in).retain(|s, _| mine.contains(s));
+        }
+    }
+
+    /// Handle a `TOPO` broadcast (or snapshot): install the map,
+    /// register inbound moves for re-request, reset the donor registry.
+    pub fn on_topo(&self, t: &TopoMsg) {
+        self.install_map(&t.map);
+        let map = self.current_map();
+        let evict = t.kind == TopoKind::Evict;
+        {
+            let serving = lock(&self.serving);
+            let mut moves_in = lock(&self.moves_in);
+            for m in &t.moves {
+                if m.to != self.me || map.owner_of_shard(m.shard) != self.me {
+                    continue;
+                }
+                if serving.contains(&m.shard) {
+                    // Already installed (a kill landed between our cut
+                    // and the ack): the coordinator is still waiting.
+                    self.transport.send_control(
+                        COORDINATOR,
+                        &proto::encode_migrate_ack(map.version, m.shard),
+                    );
+                } else {
+                    moves_in.entry(m.shard).or_insert(MoveIn {
+                        from: m.from,
+                        evict,
+                        since: Instant::now(),
+                    });
+                }
+            }
+        }
+        {
+            let mut out = lock(&self.moves_out);
+            out.clear();
+            for m in &t.moves {
+                if m.from == self.me {
+                    out.insert(m.shard, m.to);
+                }
+            }
+        }
+        self.request_pending();
+    }
+
+    /// (Re-)request every pending inbound shard. Idempotent by design:
+    /// the pump calls this until the words arrive.
+    pub fn request_pending(&self) {
+        let map = self.current_map();
+        let reqs: Vec<(u32, Vec<u64>)> = lock(&self.moves_in)
+            .iter()
+            .map(|(&shard, mi)| {
+                if mi.evict {
+                    // The donor is dead; its buddy holds the ward.
+                    let keeper = (mi.from + 1) % self.capacity as u32;
+                    (keeper, proto::encode_ward_migrate_req(map.version, shard, mi.from))
+                } else {
+                    (mi.from, proto::encode_migrate_req(map.version, shard))
+                }
+            })
+            .collect();
+        for (to, words) in reqs {
+            self.transport.send_control(to, &words);
+        }
+    }
+
+    /// Install arriving shard words (the migration receive side; see
+    /// module docs for the kill-window ordering).
+    pub fn on_migrate(&self, m: &MigrateMsg, forwarder: &Forwarder) {
+        let map = self.current_map();
+        if map.owner_of_shard(m.shard) != self.me {
+            return;
+        }
+        if lock(&self.serving).contains(&m.shard) {
+            // Duplicate delivery (our ack raced a re-request): re-ack.
+            self.transport
+                .send_control(COORDINATOR, &proto::encode_migrate_ack(map.version, m.shard));
+            return;
+        }
+        if !lock(&self.moves_in).contains_key(&m.shard)
+            || m.words.len() != shard_words(self.table, map.nshards(), m.shard)
+        {
+            return;
+        }
+        // 1. Words land. No lock needed: the gate bounces every write
+        // to a not-yet-served shard, so nothing else touches these
+        // addresses.
+        let stride = map.nshards() as u64;
+        for (k, &w) in m.words.iter().enumerate() {
+            self.node.heap.store(m.shard as u64 + k as u64 * stride, w);
+        }
+        // 2. Checkpoint-ready before the cut that will contain it.
+        lock(&self.ckpt_ready).insert(m.shard);
+        self.chaos_kill_tick(m.shard);
+        // 3. Epoch cut: the buddy's baseline now proves the shard.
+        forwarder.rebaseline();
+        // 4. Serve.
+        let taken = lock(&self.moves_in).remove(&m.shard);
+        lock(&self.serving).insert(m.shard);
+        if let Some(mi) = taken {
+            self.migration_ns.record(mi.since.elapsed().as_nanos() as u64);
+        }
+        self.moves_in_ctr.inc();
+        self.bytes_migrated.add(m.words.len() as u64 * 8);
+        // 5. Tell the coordinator.
+        self.transport
+            .send_control(COORDINATOR, &proto::encode_migrate_ack(map.version, m.shard));
+        eprintln!(
+            "[gravel-node {}] reshard: installed shard {} ({} words) v{}",
+            self.me,
+            m.shard,
+            m.words.len(),
+            map.version
+        );
+    }
+
+    fn chaos_kill_tick(&self, shard: u32) {
+        let mut slot = lock(&self.kill_on_migrate);
+        if let Some(k) = slot.as_mut() {
+            *k -= 1;
+            if *k == 0 {
+                eprintln!(
+                    "[gravel-node {}] chaos: SIGKILL mid-migration (shard {} written, not yet cut)",
+                    self.me, shard
+                );
+                crate::signal::kill_self_hard();
+            }
+        }
+    }
+
+    /// Serve a shard pull from our (frozen) live heap. Only answered
+    /// while the donor registry names the requester — any other copy of
+    /// this shard we might hold is potentially stale.
+    pub fn serve_migrate_req(&self, version: u64, shard: u32, to: u32) {
+        if lock(&self.moves_out).get(&shard) != Some(&to) {
+            return;
+        }
+        let map = self.current_map();
+        let stride = map.nshards() as u64;
+        let words: Vec<u64> = (0..shard_words(self.table, map.nshards(), shard))
+            .map(|k| self.node.heap.load(shard as u64 + k as u64 * stride))
+            .collect();
+        let n = words.len();
+        if self
+            .transport
+            .send_control(to, &proto::encode_migrate(&MigrateMsg { version, shard, words }))
+        {
+            self.moves_out_ctr.inc();
+            self.bytes_migrated.add(n as u64 * 8);
+        }
+    }
+
+    /// Serve a shard pull out of a dead ward's reconstruction (we are
+    /// the evicted node's buddy).
+    pub fn serve_ward_migrate_req(
+        &self,
+        version: u64,
+        shard: u32,
+        ward: u32,
+        to: u32,
+        stores: &WardStores,
+    ) {
+        let map = self.current_map();
+        if map.is_member(ward) || map.owner_of_shard(shard) != to {
+            return;
+        }
+        let Some(heap) = stores.reconstruct_heap(ward) else {
+            return;
+        };
+        if heap.len() != self.table {
+            return;
+        }
+        let stride = map.nshards();
+        let words: Vec<u64> = (0..shard_words(self.table, stride, shard))
+            .map(|k| heap[shard as usize + k * stride])
+            .collect();
+        let n = words.len();
+        if self
+            .transport
+            .send_control(to, &proto::encode_migrate(&MigrateMsg { version, shard, words }))
+        {
+            self.moves_out_ctr.inc();
+            self.bytes_migrated.add(n as u64 * 8);
+        }
+    }
+
+    /// Handle a bounce: adopt the newer map, queue the refused quads
+    /// for re-aggregation.
+    pub fn on_bounce(&self, b: &BounceMsg) {
+        self.install_map(&b.map);
+        self.enqueue_bounced(&b.quads);
+    }
+
+    fn enqueue_bounced(&self, quads: &[u64]) {
+        let mut q = lock(&self.bounced);
+        for quad in quads.chunks_exact(4) {
+            q.push_back(quad.try_into().expect("chunks_exact(4)"));
+        }
+        self.redelivered.add((quads.len() / 4) as u64);
+    }
+
+    /// Drain the bounce queue (sender side).
+    pub fn take_bounced(&self) -> Vec<[u64; 4]> {
+        lock(&self.bounced).drain(..).collect()
+    }
+
+    pub fn bounced_empty(&self) -> bool {
+        lock(&self.bounced).is_empty()
+    }
+}
+
+/// The receive-side stale-routing gate: every accepted packet's
+/// PUT/INC messages are checked against the installed map and the
+/// served-shard set; refused messages bounce to the packet's sender
+/// with the current map and the packet applies without them.
+impl ApplyGate for ElasticState {
+    fn filter(&self, pkt: &Packet) -> Option<Packet> {
+        let map = self.dir.current_map()?;
+        let mut kept: Vec<u64> = Vec::new();
+        let mut refused: Vec<u64> = Vec::new();
+        {
+            let serving = lock(&self.serving);
+            for i in 0..pkt.msg_count() {
+                let words = pkt.msg_words(i);
+                let keep = match Message::decode(words) {
+                    Some(m) if matches!(m.command, Command::Put | Command::Inc) => {
+                        map.owner_of(m.addr) == self.me && serving.contains(&map.shard_of(m.addr))
+                    }
+                    // Poison and non-addressed commands go through to
+                    // the apply path's quarantine/handler logic.
+                    _ => true,
+                };
+                if keep {
+                    kept.extend(words);
+                } else {
+                    refused.extend(words);
+                }
+            }
+        }
+        if refused.is_empty() {
+            return None;
+        }
+        let n = (refused.len() / 4) as u64;
+        self.stale_routed.add(n);
+        if pkt.src == self.me {
+            // Loopback: hand the quads straight to our own sender.
+            self.enqueue_bounced(&refused);
+        } else {
+            let b = BounceMsg { map: (*map).clone(), quads: refused };
+            if !self.transport.send_control(pkt.src, &proto::encode_bounce(&b)) {
+                // Sender's link is down (it died): the messages are
+                // lost to it — surfaced, not silent.
+                self.bounce_dropped.add(n);
+            }
+        }
+        let mut repl = Packet::from_words(pkt.src, pkt.dest, &kept);
+        repl.lane = pkt.lane;
+        repl.seq = pkt.seq;
+        Some(repl)
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+// ---------------------------------------------------------------------
+// Deterministic elastic traffic
+// ---------------------------------------------------------------------
+
+/// This node's elastic update stream: `(global_index, inc_value)`
+/// pairs. Two deterministic halves — a GUPS stream (uniform singles)
+/// and a PageRank-style contribution stream (weighted values) — both
+/// derived from [`gups::node_updates`] so the split across `capacity`
+/// slots is a pure function of the seed, independent of membership.
+/// Only initial members send; joiners and leavers route and serve.
+pub fn elastic_plan(input: &GupsInput, capacity: usize, me: u32) -> Vec<(u64, u64)> {
+    let mut plan: Vec<(u64, u64)> = gups::node_updates(input, capacity, me as usize)
+        .into_iter()
+        .map(|g| (g as u64, 1))
+        .collect();
+    let contrib = GupsInput { seed: input.seed ^ 0xC0FF_EE00_D15C_0B0E, ..*input };
+    plan.extend(
+        gups::node_updates(&contrib, capacity, me as usize)
+            .into_iter()
+            .enumerate()
+            .map(|(k, g)| (g as u64, 1 + (k as u64 % 7))),
+    );
+    plan
+}
+
+/// The sequential truth: the table after `senders`' full streams.
+pub fn expected_table(input: &GupsInput, capacity: usize, senders: &[u32]) -> Vec<u64> {
+    let mut t = vec![0u64; input.table_len];
+    for &m in senders {
+        for (g, v) in elastic_plan(input, capacity, m) {
+            t[g as usize] = t[g as usize].wrapping_add(v);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Elastic sender
+// ---------------------------------------------------------------------
+
+struct ElFlow {
+    base: u64,
+    next: u64,
+    /// `(seq, words)` in-flight packets, exact bytes for go-back-N.
+    unacked: VecDeque<(u64, Vec<u64>)>,
+    rto: Duration,
+    timer: Instant,
+}
+
+impl ElFlow {
+    fn new(rto: Duration) -> Self {
+        ElFlow { base: 0, next: 0, unacked: VecDeque::new(), rto, timer: Instant::now() }
+    }
+}
+
+fn transmit(
+    transport: &SocketTransport,
+    node: &NodeShared,
+    dest: u32,
+    seq: u64,
+    words: &[u64],
+) -> bool {
+    let mut pkt = Packet::from_words(node.id, dest, words);
+    pkt.lane = 0;
+    pkt.seq = seq;
+    let frame = pkt.seal(node.wire_epoch.load(Ordering::Relaxed), node.wire_integrity);
+    !matches!(transport.send_data(frame, Duration::from_millis(5)), SendStatus::TimedOut)
+}
+
+/// Drive this node's elastic update stream. Unlike the static sender
+/// there is no precomputed packetization: each loop routes the pending
+/// queue through the *current* map, so a map flip (or a bounce) simply
+/// re-aggregates messages toward their new owner. Runs until `stop` —
+/// an elastic sender can never declare itself finished (a bounce may
+/// arrive any time another node reshards); instead it continuously
+/// publishes quiescence through `drained`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_elastic_sender(
+    transport: &SocketTransport,
+    node: &NodeShared,
+    state: &ElasticState,
+    plan: Vec<(u64, u64)>,
+    msgs_per_packet: usize,
+    cfg: &SenderConfig,
+    stop: &AtomicBool,
+    deadline: Instant,
+    drained: &AtomicBool,
+) {
+    assert!(msgs_per_packet > 0);
+    // (addr, value, fresh): fresh messages count toward `offloaded`
+    // exactly once; redelivered ones were already counted.
+    let mut pending: VecDeque<(u64, u64, bool)> =
+        plan.into_iter().map(|(a, v)| (a, v, true)).collect();
+    let mut flows: HashMap<u32, ElFlow> = HashMap::new();
+    loop {
+        if stop.load(Ordering::Relaxed) || Instant::now() >= deadline || transport.is_closed() {
+            return;
+        }
+        let mut progressed = false;
+        // Bounced messages re-enter the queue (never dropped).
+        for quad in state.take_bounced() {
+            if let Some(m) = Message::decode(quad) {
+                pending.push_back((m.addr, m.value, false));
+                progressed = true;
+            }
+        }
+        // Cumulative acks advance windows.
+        while let Some(frame) = transport.try_recv_ack(node.id, 0) {
+            match frame.open(node.wire_integrity) {
+                Ok(ack) => {
+                    node.net_acks_received.inc();
+                    if let Some(f) = flows.get_mut(&ack.src) {
+                        if ack.cum_seq + 1 > f.base {
+                            f.base = ack.cum_seq + 1;
+                            while f.unacked.front().is_some_and(|&(s, _)| s < f.base) {
+                                f.unacked.pop_front();
+                            }
+                            f.rto = cfg.rto_base;
+                            f.timer = Instant::now();
+                            progressed = true;
+                        }
+                    }
+                }
+                Err(_) => node.net_ack_corrupt_dropped.inc(),
+            }
+        }
+        // Route the pending queue through the current map, batching
+        // per destination up to msgs_per_packet, respecting windows.
+        let map = state.current_map();
+        let mut stash: VecDeque<(u64, u64, bool)> = VecDeque::new();
+        let mut batches: HashMap<u32, Vec<u64>> = HashMap::new();
+        while let Some((addr, value, fresh)) = pending.pop_front() {
+            let dest = map.owner_of(addr);
+            let flow = flows.entry(dest).or_insert_with(|| ElFlow::new(cfg.rto_base));
+            let in_flight = flow.unacked.len()
+                + usize::from(batches.get(&dest).is_some_and(|b| !b.is_empty()));
+            if in_flight >= cfg.window {
+                stash.push_back((addr, value, fresh));
+                continue;
+            }
+            let batch = batches.entry(dest).or_default();
+            batch.extend(Message::inc(dest, addr, value).encode());
+            if fresh {
+                node.note_offloaded(1);
+            }
+            if batch.len() / gravel_gq::MSG_ROWS >= msgs_per_packet {
+                let words = std::mem::take(batch);
+                let seq = flow.next;
+                flow.next += 1;
+                transmit(transport, node, dest, seq, &words);
+                flow.unacked.push_back((seq, words));
+                flow.timer = Instant::now();
+                progressed = true;
+            }
+        }
+        // Flush partial batches — latency over packing at the tail.
+        for (dest, words) in batches {
+            if words.is_empty() {
+                continue;
+            }
+            let flow = flows.get_mut(&dest).expect("batched flow exists");
+            let seq = flow.next;
+            flow.next += 1;
+            transmit(transport, node, dest, seq, &words);
+            flow.unacked.push_back((seq, words));
+            flow.timer = Instant::now();
+            progressed = true;
+        }
+        pending = stash;
+        // Go-back-N on silent expiry, exact stored bytes.
+        for (&dest, f) in flows.iter_mut() {
+            if !f.unacked.is_empty() && f.timer.elapsed() >= f.rto {
+                for (seq, words) in &f.unacked {
+                    transmit(transport, node, dest, *seq, words);
+                    node.net_retransmits.inc();
+                }
+                f.rto = (f.rto * 2).min(cfg.rto_max);
+                f.timer = Instant::now();
+            }
+        }
+        let quiescent = pending.is_empty()
+            && state.bounced_empty()
+            && flows.values().all(|f| f.unacked.is_empty());
+        drained.store(quiescent, Ordering::SeqCst);
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Control-plane dispatch, pumps, coordinator
+// ---------------------------------------------------------------------
+
+/// Shared wiring the elastic control paths need.
+pub struct ElasticCtx {
+    pub state: Arc<ElasticState>,
+    pub forwarder: Arc<Forwarder>,
+    pub stores: Arc<WardStores>,
+    pub transport: Arc<SocketTransport>,
+    /// `Some` on the coordinator.
+    pub rebalancer: Option<Arc<Mutex<Rebalancer>>>,
+    pub is_joiner: bool,
+}
+
+fn change_kind(c: &TopologyChange) -> TopoKind {
+    match c {
+        TopologyChange::Join(_) => TopoKind::Join,
+        TopologyChange::Leave(_) => TopoKind::Leave,
+        TopologyChange::Evict(_) => TopoKind::Evict,
+    }
+}
+
+/// The coordinator's answer to `MAP_REQ`/`JOIN_REQ`: the current map
+/// plus — if a change is mid-migration — its kind and still-outstanding
+/// moves, so a restarted participant resumes exactly where the plan
+/// stands.
+fn snapshot_topo(ctx: &ElasticCtx) -> TopoMsg {
+    let map = (*ctx.state.current_map()).clone();
+    if let Some(rb) = &ctx.rebalancer {
+        let rb = lock(rb);
+        if let Some(plan) = rb.migrating() {
+            let outstanding: HashSet<u32> = rb.outstanding().iter().copied().collect();
+            return TopoMsg {
+                kind: change_kind(&plan.change),
+                node: plan.change.node(),
+                map,
+                moves: plan
+                    .moves
+                    .iter()
+                    .filter(|m| outstanding.contains(&m.shard))
+                    .copied()
+                    .collect(),
+            };
+        }
+    }
+    TopoMsg { kind: TopoKind::Snapshot, node: 0, map, moves: Vec::new() }
+}
+
+/// Dispatch one control frame's elastic ops. Returns `false` for ops
+/// this layer does not own (the caller's static protocol handles them).
+pub fn handle_ctrl(ctx: &ElasticCtx, src: u32, words: &[u64]) -> bool {
+    let state = &ctx.state;
+    match words.first().copied() {
+        Some(OP_TOPO) => {
+            if let Some(t) = proto::decode_topo(words) {
+                state.on_topo(&t);
+            }
+        }
+        Some(OP_MIGRATE) => {
+            if let Some(m) = proto::decode_migrate(words) {
+                state.on_migrate(&m, &ctx.forwarder);
+            }
+        }
+        Some(OP_MIGRATE_REQ) => {
+            if let Some((v, shard)) = proto::decode_migrate_req(words) {
+                state.serve_migrate_req(v, shard, src);
+            }
+        }
+        Some(OP_WARD_MIGRATE_REQ) => {
+            if let Some((v, shard, ward)) = proto::decode_ward_migrate_req(words) {
+                state.serve_ward_migrate_req(v, shard, ward, src, &ctx.stores);
+            }
+        }
+        Some(OP_MIGRATE_ACK) => {
+            if let (Some(rb), Some((_, shard))) =
+                (&ctx.rebalancer, proto::decode_migrate_ack(words))
+            {
+                if lock(rb).note_shard_ready(shard) {
+                    eprintln!(
+                        "[gravel-node {}] reshard: topology change complete (v{})",
+                        state.me,
+                        state.version()
+                    );
+                }
+            }
+        }
+        Some(OP_JOIN_REQ) => {
+            if let (Some(rb), Some(n)) = (&ctx.rebalancer, proto::decode_join_req(words)) {
+                if (n as usize) < state.capacity {
+                    lock(rb).propose(TopologyChange::Join(n));
+                }
+                // Answer with the current topology either way: an
+                // already-admitted joiner learns it is a member.
+                ctx.transport.send_control(src, &proto::encode_topo(&snapshot_topo(ctx)));
+            }
+        }
+        Some(OP_LEAVE_REQ) => {
+            if let (Some(rb), Some(n)) = (&ctx.rebalancer, proto::decode_leave_req(words)) {
+                // The coordinator cannot leave (single-coordinator
+                // assumption, module docs).
+                if n != COORDINATOR {
+                    lock(rb).propose(TopologyChange::Leave(n));
+                }
+            }
+        }
+        Some(OP_BOUNCE) => {
+            if let Some(b) = proto::decode_bounce(words) {
+                state.on_bounce(&b);
+            }
+        }
+        Some(OP_MAP_REQ) => {
+            if ctx.rebalancer.is_some() {
+                ctx.transport.send_control(src, &proto::encode_topo(&snapshot_topo(ctx)));
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+/// The membership pump every elastic node runs: keep re-requesting
+/// pending migrations, keep a joiner knocking until admitted, turn a
+/// SIGUSR1 into a LEAVE proposal, and resync the map after a restart.
+pub fn run_elastic_pump(ctx: &ElasticCtx, stop: &AtomicBool, deadline: Instant) {
+    let state = &ctx.state;
+    let mut last_req = Instant::now() - Duration::from_secs(1);
+    let mut last_knock = last_req;
+    while !stop.load(Ordering::Relaxed)
+        && !ctx.transport.is_closed()
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(25));
+        if last_req.elapsed() >= Duration::from_millis(100) {
+            last_req = Instant::now();
+            state.request_pending();
+        }
+        if last_knock.elapsed() >= Duration::from_millis(250) {
+            last_knock = Instant::now();
+            if state.me != COORDINATOR && !state.topo_seen() {
+                ctx.transport.send_control(COORDINATOR, &proto::encode_map_req());
+            }
+            // A joiner knocks until admitted — but never again once a
+            // leave was requested, or its own knock would re-admit it
+            // right after the LEAVE commits (a join/leave oscillation).
+            if ctx.is_joiner
+                && state.topo_seen()
+                && !state.is_member()
+                && !crate::signal::leave_requested()
+            {
+                ctx.transport
+                    .send_control(COORDINATOR, &proto::encode_join_req(state.me));
+            }
+            if crate::signal::leave_requested() && state.is_member() && state.me != COORDINATOR {
+                ctx.transport
+                    .send_control(COORDINATOR, &proto::encode_leave_req(state.me));
+            }
+        }
+    }
+}
+
+/// The coordinator driver: watch the failure detector for evictions,
+/// and commit queued proposals one at a time at epoch boundaries.
+pub fn run_coordinator(
+    ctx: &ElasticCtx,
+    detector: &FailureDetector,
+    evict_grace: Duration,
+    stop: &AtomicBool,
+    deadline: Instant,
+) {
+    let rb = ctx.rebalancer.as_ref().expect("coordinator has the rebalancer");
+    let state = &ctx.state;
+    let mut dead_since: HashMap<u32, Instant> = HashMap::new();
+    while !stop.load(Ordering::Relaxed)
+        && !ctx.transport.is_closed()
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(25));
+        // Evict scan: a member continuously dead past the grace window
+        // is expelled. Kills-and-restarts un-latch via the membership
+        // loop's detector reset, which clears the timer here.
+        let dead: HashSet<u32> = detector.dead_peers().into_iter().collect();
+        dead_since.retain(|peer, _| dead.contains(peer));
+        let map = state.current_map();
+        let now = Instant::now();
+        for &peer in &dead {
+            if peer == COORDINATOR || !map.is_member(peer) {
+                continue;
+            }
+            let since = *dead_since.entry(peer).or_insert(now);
+            if now.duration_since(since) < evict_grace {
+                continue;
+            }
+            let mut rbl = lock(rb);
+            // Never evict a node participating in the in-flight plan:
+            // the plan must complete (or the node recover) first.
+            let entangled = rbl.migrating().is_some_and(|p| {
+                p.moves.iter().any(|m| m.from == peer || m.to == peer)
+            });
+            if !entangled && rbl.propose(TopologyChange::Evict(peer)) {
+                eprintln!(
+                    "[gravel-node {}] reshard: proposing EVICT of node {peer} \
+                     (dead past grace)",
+                    state.me
+                );
+            }
+        }
+        // Epoch-boundary commit: at most one change in flight.
+        let plan = {
+            let mut rbl = lock(rb);
+            if rbl.migrating().is_some() || rbl.is_quiescent() {
+                None
+            } else {
+                // The boundary ritual: cut first, so the change lands
+                // between epochs, then flip the map.
+                ctx.forwarder.rebaseline();
+                rbl.boundary_tick(&state.current_map())
+            }
+        };
+        if let Some(plan) = plan {
+            let t = TopoMsg {
+                kind: change_kind(&plan.change),
+                node: plan.change.node(),
+                map: plan.map.clone(),
+                moves: plan.moves.clone(),
+            };
+            let words = proto::encode_topo(&t);
+            for peer in 0..state.capacity as u32 {
+                if peer != state.me {
+                    // Absent slots (a not-yet-started joiner) drop the
+                    // frame; they resync via MAP_REQ at startup.
+                    ctx.transport.send_control(peer, &words);
+                }
+            }
+            state.on_topo(&t);
+            eprintln!(
+                "[gravel-node {}] reshard: committed {:?} v{} ({} moves)",
+                state.me,
+                plan.change,
+                plan.map.version,
+                plan.moves.len()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_words_counts_the_stride() {
+        // table 10, 4 shards: shard 0 owns {0,4,8}, 1 owns {1,5,9},
+        // 2 owns {2,6}, 3 owns {3,7}.
+        assert_eq!(shard_words(10, 4, 0), 3);
+        assert_eq!(shard_words(10, 4, 1), 3);
+        assert_eq!(shard_words(10, 4, 2), 2);
+        assert_eq!(shard_words(10, 4, 3), 2);
+        // Degenerate: more shards than words.
+        assert_eq!(shard_words(3, 8, 5), 0);
+        let total: usize = (0..64).map(|s| shard_words(513, 64, s)).sum();
+        assert_eq!(total, 513);
+    }
+
+    #[test]
+    fn elastic_plan_is_deterministic_and_membership_independent() {
+        let input = GupsInput { updates: 1000, table_len: 64, seed: 9 };
+        assert_eq!(elastic_plan(&input, 6, 2), elastic_plan(&input, 6, 2));
+        assert_ne!(elastic_plan(&input, 6, 2), elastic_plan(&input, 6, 3));
+        // Weighted half really carries weights.
+        assert!(elastic_plan(&input, 6, 0).iter().any(|&(_, v)| v > 1));
+    }
+
+    #[test]
+    fn expected_table_sums_the_sender_streams() {
+        let input = GupsInput { updates: 200, table_len: 32, seed: 5 };
+        let t = expected_table(&input, 4, &[0, 1, 2, 3]);
+        let total: u64 = t.iter().sum();
+        let per_node: u64 = (0..4)
+            .flat_map(|m| elastic_plan(&input, 4, m))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(total, per_node);
+        // A non-sender contributes nothing.
+        assert_eq!(expected_table(&input, 4, &[]), vec![0; 32]);
+    }
+}

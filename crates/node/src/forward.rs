@@ -50,6 +50,10 @@ struct FwdState {
     epoch: u64,
 }
 
+/// Supplies the ready-shard set recorded in each epoch cut (elastic
+/// mode; see [`Forwarder::set_ready_provider`]).
+pub type ReadyProvider = Arc<dyn Fn() -> Vec<u32> + Send + Sync>;
+
 /// Streams applied packets to the buddy and cuts epochs.
 pub struct Forwarder {
     transport: Arc<SocketTransport>,
@@ -66,6 +70,10 @@ pub struct Forwarder {
     chaos: Option<Arc<ChaosPlan>>,
     state: Mutex<FwdState>,
     rebaseline_wanted: AtomicBool,
+    /// Elastic mode: supplies the checkpoint's ready-shard set (the
+    /// shards this node is serving, as recorded *in* each cut — see
+    /// [`CkptImage::ready`]). Static clusters leave it unset (empty).
+    ready_provider: Mutex<Option<ReadyProvider>>,
     fwd_sent: Counter,
     fwd_dropped: Counter,
     epochs_cut: Counter,
@@ -90,11 +98,18 @@ impl Forwarder {
             chaos,
             state: Mutex::new(FwdState { cursors: HashMap::new(), since_cut: 0, epoch: 0 }),
             rebaseline_wanted: AtomicBool::new(false),
+            ready_provider: Mutex::new(None),
             fwd_sent: registry.counter(&name("fwd.sent")),
             fwd_dropped: registry.counter(&name("fwd.dropped")),
             epochs_cut: registry.counter(&name("ha.epochs_cut")),
             node,
         }
+    }
+
+    /// Install the elastic ready-shard provider; every subsequent cut
+    /// records its result in the checkpoint image.
+    pub fn set_ready_provider(&self, f: ReadyProvider) {
+        *self.ready_provider.lock().unwrap_or_else(|p| p.into_inner()) = Some(f);
     }
 
     /// Seed the cursor mirror and epoch after recovery, before the
@@ -136,7 +151,13 @@ impl Forwarder {
         let mut cursors: Vec<(u32, u32, u64)> =
             st.cursors.iter().map(|(&(s, l), &e)| (s, l, e)).collect();
         cursors.sort_unstable();
-        let image = CkptImage { epoch: st.epoch, cursors, heap: self.node.heap.snapshot() };
+        let ready = self
+            .ready_provider
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .as_ref()
+            .map_or_else(Vec::new, |f| f());
+        let image = CkptImage { epoch: st.epoch, cursors, heap: self.node.heap.snapshot(), ready };
         self.transport.send_control(self.buddy, &proto::encode_ckpt(&image));
         self.stamp_epoch(st.epoch);
         self.epochs_cut.inc();

@@ -9,17 +9,22 @@
 //!
 //! Layering:
 //!
-//! * [`proto`]  — control-plane word codec (FWD / CKPT / RECOVER).
+//! * [`proto`]  — control-plane word codec (FWD / CKPT / RECOVER and
+//!   the elastic TOPO / MIGRATE / BOUNCE family).
 //! * [`store`]  — buddy-side storage of a ward's baseline + replay log.
 //! * [`forward`] — the [`PacketTap`](gravel_core::netthread::PacketTap)
 //!   that streams applied packets to the buddy and cuts epochs.
 //! * [`sender`] — deterministic GUPS packetization + go-back-N flows.
+//! * [`elastic`] — live membership: the versioned shard directory, the
+//!   stale-routing bounce gate, pull-based shard migration, and the
+//!   node-0 coordinator (DESIGN.md §16).
 //! * [`rpc_pump`] — request-reply (GET) flows on their own wire lane,
 //!   plus the sentinel probes the cluster test verifies bit-exact.
 //! * [`signal`] — SIGTERM/SIGINT graceful-shutdown plumbing and the
 //!   literal self-`kill -9` chaos switch.
 //! * [`report`] — the JSON the harness asserts on, written atomically.
 
+pub mod elastic;
 pub mod forward;
 pub mod proto;
 pub mod report;

@@ -35,6 +35,7 @@ use gravel_net::{
 use gravel_pgas::{AmRegistry, WireIntegrity};
 use gravel_telemetry::Counter;
 
+use gravel_node::elastic::{self, ElasticCtx, ElasticState};
 use gravel_node::forward::Forwarder;
 use gravel_node::proto::{self, RecoverResp, OP_CKPT, OP_FWD, OP_RECOVER_REQ, OP_RECOVER_RESP};
 use gravel_node::report::{write_report, OutReport, OutStats, QuarantineEntry};
@@ -58,13 +59,31 @@ struct Args {
     deadline_secs: u64,
     gets: usize,
     out: PathBuf,
+    /// Elastic mode: the initial active membership is `0..active`
+    /// (slots `active..nodes` are capacity for joiners). `None` =
+    /// static cluster, the pre-elastic behavior bit for bit.
+    active: Option<usize>,
+    /// This process dials into a running elastic cluster (its slot is
+    /// outside the initial membership); the coordinator it knocks on
+    /// is node 0 of the same `--dir`/`--tcp-base` mesh.
+    join: bool,
+    /// How long a starting elastic node waits for its buddy before
+    /// treating startup as a cold boot (a joiner's buddy slot may not
+    /// exist yet).
+    buddy_wait_ms: u64,
+    /// Coordinator: evict a member continuously dead this long.
+    evict_grace_ms: u64,
+    /// Chaos: SIGKILL while installing the Kth migrated shard (words
+    /// written, epoch not yet cut — the worst mid-migration window).
+    kill_on_migrate: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: gravel-node --node I --nodes N (--dir PATH | --tcp-base PORT) [--updates U] \
          [--table T] [--seed S] [--integrity crc32c|off] [--msgs-per-packet K] \
-         [--ckpt-every P] [--kill-at N] [--deadline-secs D] [--gets G] [--out FILE]"
+         [--ckpt-every P] [--kill-at N] [--deadline-secs D] [--gets G] [--out FILE] \
+         [--active M] [--join] [--buddy-wait-ms W] [--evict-grace-ms E] [--kill-on-migrate K]"
     );
     std::process::exit(64);
 }
@@ -85,6 +104,11 @@ fn parse_args() -> Args {
         deadline_secs: 60,
         gets: 0,
         out: PathBuf::new(),
+        active: None,
+        join: false,
+        buddy_wait_ms: 2000,
+        evict_grace_ms: 1500,
+        kill_on_migrate: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -110,6 +134,13 @@ fn parse_args() -> Args {
             "--deadline-secs" => a.deadline_secs = val().parse().unwrap_or_else(|_| usage()),
             "--gets" => a.gets = val().parse().unwrap_or_else(|_| usage()),
             "--out" => a.out = PathBuf::from(val()),
+            "--active" => a.active = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--join" => a.join = true,
+            "--buddy-wait-ms" => a.buddy_wait_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--evict-grace-ms" => a.evict_grace_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--kill-on-migrate" => {
+                a.kill_on_migrate = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
             _ => usage(),
         }
     }
@@ -117,6 +148,22 @@ fn parse_args() -> Args {
         usage();
     }
     if a.dir.is_none() && a.tcp_base.is_none() {
+        usage();
+    }
+    if let Some(active) = a.active {
+        if active == 0 || active > a.nodes {
+            usage();
+        }
+        // A slot outside the initial membership must opt into joining;
+        // an initial member must not claim to join.
+        if ((a.node as usize) >= active) != a.join {
+            usage();
+        }
+        if a.gets > 0 {
+            eprintln!("[gravel-node {}] --gets is not supported in elastic mode", a.node);
+            usage();
+        }
+    } else if a.join || a.kill_on_migrate.is_some() {
         usage();
     }
     if a.out.as_os_str().is_empty() {
@@ -144,12 +191,14 @@ struct Membership {
 }
 
 /// Control-plane service loop: store the ward's forwards and cuts,
-/// serve recovery requests, route recovery responses to `resp_tx`.
+/// serve recovery requests, route recovery responses to `resp_tx` —
+/// and, in elastic mode, dispatch the TOPO/MIGRATE/BOUNCE family.
 fn ctrl_loop(
     transport: Arc<SocketTransport>,
     stores: Arc<WardStores>,
     resp_tx: mpsc::Sender<RecoverResp>,
     errors: Arc<ErrorSlot>,
+    elastic: Option<Arc<ElasticCtx>>,
 ) {
     loop {
         let msg = match transport.recv_control(Duration::from_millis(50)) {
@@ -162,6 +211,11 @@ fn ctrl_loop(
             }
             RecvStatus::Closed => return,
         };
+        if let Some(ctx) = &elastic {
+            if elastic::handle_ctrl(ctx, msg.src, &msg.words) {
+                continue;
+            }
+        }
         match msg.words.first().copied() {
             Some(OP_FWD) => {
                 if let Some(p) = proto::decode_fwd(&msg.words) {
@@ -192,6 +246,15 @@ fn ctrl_loop(
 /// Membership loop: mirror connection events into counters, un-latch
 /// the failure detector when a dead peer's new incarnation handshakes,
 /// and re-baseline our buddy-held checkpoint when the buddy returns.
+///
+/// Every rebaseline here is gated on `started`: until the main thread
+/// has finished startup recovery and seeded the heap, a cut would ship
+/// an *empty* baseline — at best a useless ward, at worst (the buddy
+/// link coming up mid-startup, which is the common case on a fresh
+/// cluster) it overwrites the very checkpoint recovery is about to
+/// read, turning a cold boot into a phantom "restart" with an empty
+/// ready-set. The post-recovery cut in `run` covers any Up event
+/// suppressed by this gate.
 #[allow(clippy::too_many_arguments)]
 fn membership_loop(
     transport: Arc<SocketTransport>,
@@ -200,6 +263,8 @@ fn membership_loop(
     counters: Membership,
     buddy: u32,
     nodes: usize,
+    rebaseline_on_first_up: bool,
+    started: Arc<AtomicBool>,
 ) {
     let mut seen_down = vec![false; nodes];
     while !transport.is_closed() {
@@ -212,13 +277,19 @@ fn membership_loop(
                     seen_down[peer as usize] = false;
                     counters.rejoins.inc();
                     detector.reset_peer(peer, Instant::now());
-                    if peer == buddy {
+                    if peer == buddy && started.load(Ordering::SeqCst) {
                         // The buddy missed every forward while it was
                         // down; a fresh full checkpoint supersedes them.
                         forwarder.rebaseline();
                     }
                 } else {
                     counters.joins.inc();
+                    if rebaseline_on_first_up && peer == buddy && started.load(Ordering::SeqCst) {
+                        // Elastic: the buddy slot may be a joiner that
+                        // just started — hand it our baseline now that
+                        // someone exists to protect us.
+                        forwarder.rebaseline();
+                    }
                 }
             }
             PeerEvent::Down(peer) => {
@@ -232,15 +303,24 @@ fn membership_loop(
 /// Ask the buddy for our stored state, retrying the request until a
 /// response arrives (the buddy may still be starting). Uniform across
 /// cold boot and restart: a cold cluster answers "nothing stored".
+/// `buddy_wait` bounds how long we wait for the buddy's link (elastic
+/// mode: a joiner's buddy slot may not exist yet — a bounded wait then
+/// a cold boot, instead of blocking to the deadline).
 fn recover_from_buddy(
     transport: &SocketTransport,
     buddy: u32,
     me: u32,
     resp_rx: &mpsc::Receiver<RecoverResp>,
     deadline: Instant,
+    buddy_wait: Option<Duration>,
 ) -> Option<RecoverResp> {
-    if buddy != me && !transport.wait_connected(buddy, deadline.saturating_duration_since(Instant::now())) {
-        return None;
+    let wait = buddy_wait
+        .unwrap_or_else(|| deadline.saturating_duration_since(Instant::now()))
+        .min(deadline.saturating_duration_since(Instant::now()));
+    if buddy != me && !transport.wait_connected(buddy, wait) {
+        // Elastic (`buddy_wait` set): no buddy yet — nothing can be
+        // stored for us. Static: an unreachable buddy is fatal.
+        return buddy_wait.map(|_| RecoverResp::default());
     }
     loop {
         transport.send_control(buddy, &proto::encode_recover_req());
@@ -276,6 +356,8 @@ struct Reporter {
     node: Arc<NodeShared>,
     transport: Arc<SocketTransport>,
     forwarder: Arc<Forwarder>,
+    elastic: Option<Arc<ElasticState>>,
+    sender_drained: Arc<AtomicBool>,
     recovered_from_ckpt: bool,
     recovered_log_packets: u64,
     /// Quarantined messages accumulated across report writes (each
@@ -334,8 +416,21 @@ impl Reporter {
                 gets_mismatched: snap.counter(&n("gets.mismatched")),
                 rpc_replies_sent: self.node.rpc_replies_sent.get(),
                 quarantined: self.node.quarantine.total(),
+                reshard_stale_routed: snap.counter(&n("reshard.stale_routed")),
+                reshard_redelivered: snap.counter(&n("reshard.redelivered")),
+                reshard_bounce_dropped: snap.counter(&n("reshard.bounce_dropped")),
+                reshard_moves_in: snap.counter(&n("reshard.moves_in")),
+                reshard_moves_out: snap.counter(&n("reshard.moves_out")),
+                reshard_bytes_migrated: snap.counter(&n("reshard.bytes_migrated")),
             },
             quarantine,
+            map_version: self.elastic.as_ref().map_or(0, |st| st.version()),
+            members: self.elastic.as_ref().map_or_else(Vec::new, |st| st.members()),
+            shard_owners: self
+                .elastic
+                .as_ref()
+                .map_or_else(Vec::new, |st| st.shard_owners()),
+            sender_drained: self.sender_drained.load(Ordering::SeqCst),
         };
         if let Err(e) = write_report(&self.args.out, &report) {
             eprintln!("[gravel-node {me}] failed to write {}: {e}", self.args.out.display());
@@ -358,8 +453,12 @@ fn run() -> i32 {
     let part = gups::partition(&input, nodes);
     // With GET probes enabled the heap grows one sentinel word past the
     // GUPS partition (never touched by updates, so its value is a pure
-    // function of the seed — the bit-exact GET target).
-    let heap_len = if args.gets > 0 {
+    // function of the seed — the bit-exact GET target). Elastic heaps
+    // are provisioned at the *full* table size: shards address by
+    // global index, so ownership can move without offset translation.
+    let heap_len = if args.active.is_some() {
+        args.table.max(1)
+    } else if args.gets > 0 {
         part.local_len(me as usize) + 1
     } else {
         part.local_len(me as usize).max(1)
@@ -403,12 +502,45 @@ fn run() -> i32 {
         chaos,
     ));
 
+    // Elastic mode: the shard directory, bounce gate, and (on node 0)
+    // the coordinator's rebalancer. The checkpoint provider must be
+    // installed before the first cut so every baseline carries its
+    // ready-shard set.
+    let elastic_state = args.active.map(|active| {
+        let nshards = gravel_pgas::DEFAULT_SHARDS.min(args.table.max(1));
+        let members: Vec<u32> = (0..active as u32).collect();
+        let initial = gravel_pgas::ShardMap::initial(&members, nshards);
+        let st = ElasticState::new(
+            node.clone(),
+            transport.clone(),
+            nodes,
+            args.table,
+            initial,
+            args.kill_on_migrate,
+        );
+        let provider = st.clone();
+        forwarder.set_ready_provider(Arc::new(move || provider.ckpt_ready_shards()));
+        st
+    });
+    let elastic_ctx = elastic_state.as_ref().map(|st| {
+        Arc::new(ElasticCtx {
+            state: st.clone(),
+            forwarder: forwarder.clone(),
+            stores: stores.clone(),
+            transport: transport.clone(),
+            rebalancer: (me == elastic::COORDINATOR)
+                .then(|| Arc::new(Mutex::new(gravel_core::ha::Rebalancer::new()))),
+            is_joiner: args.join,
+        })
+    });
+
     // Control-plane service first: recovery requests (ours and our
     // ward's) need it running before anything blocks.
     let (resp_tx, resp_rx) = mpsc::channel();
     let ctrl = std::thread::spawn({
         let (t, s, e) = (transport.clone(), stores.clone(), errors.clone());
-        move || ctrl_loop(t, s, resp_tx, e)
+        let ctx = elastic_ctx.clone();
+        move || ctrl_loop(t, s, resp_tx, e, ctx)
     });
 
     // Liveness: heartbeats over the wire into a phi-accrual detector.
@@ -435,13 +567,19 @@ fn run() -> i32 {
         losses: node.registry.counter(&format!("node{me}.membership.losses")),
         rejoins: node.registry.counter(&format!("node{me}.membership.rejoins")),
     };
+    let started = Arc::new(AtomicBool::new(false));
     let memb = std::thread::spawn({
         let (t, d, f) = (transport.clone(), detector.clone(), forwarder.clone());
-        move || membership_loop(t, d, f, membership, buddy, nodes)
+        let elastic = args.active.is_some();
+        let started = started.clone();
+        move || membership_loop(t, d, f, membership, buddy, nodes, elastic, started)
     });
 
     // Recover (or cold-boot) from the buddy before consuming anything.
-    let Some(recovered) = recover_from_buddy(&transport, buddy, me, &resp_rx, deadline) else {
+    let buddy_wait = args.active.map(|_| Duration::from_millis(args.buddy_wait_ms));
+    let Some(recovered) =
+        recover_from_buddy(&transport, buddy, me, &resp_rx, deadline, buddy_wait)
+    else {
         transport.close();
         if signal::shutdown_requested() {
             eprintln!("[gravel-node {me}] graceful shutdown during startup recovery");
@@ -482,9 +620,26 @@ fn run() -> i32 {
             st.seed_flow(src, lane, expected);
         }
     }
+    if let Some(st) = &elastic_state {
+        match &recovered.ckpt {
+            // Restart: exactly the shards the last cut proved. A shard
+            // migrated in but never cut is *absent* here and will be
+            // re-pulled; the heap image just restored matches.
+            Some(c) => st.seed_ready(&c.ready),
+            // Cold boot: an initial member starts serving its dealt
+            // shards; a joiner serves nothing until migration.
+            None => {
+                if (me as usize) < args.active.unwrap_or(nodes) && !args.join {
+                    st.seed_ready(&st.current_map().shards_of(me));
+                }
+            }
+        }
+    }
     let triples: Vec<(u32, u32, u64)> =
         cursors.iter().map(|(&(s, l), &e)| (s, l, e)).collect();
     forwarder.seed(&triples, epoch);
+    // Recovery done: membership-event rebaselines are safe from here.
+    started.store(true, Ordering::SeqCst);
     // Baseline cut: truncates the buddy's (possibly stale) log so the
     // stored state always replays from what we just restored.
     forwarder.rebaseline();
@@ -505,26 +660,108 @@ fn run() -> i32 {
         );
     }
 
+    // Elastic, non-coordinator: resync the shard map before serving a
+    // byte of data traffic. A restarted node's built-in map may predate
+    // topology changes; applying under it could accept shards that
+    // moved away. The coordinator is the map authority and skips this.
+    if let Some(st) = &elastic_state {
+        if me != elastic::COORDINATOR {
+            let mut last = Instant::now() - Duration::from_secs(1);
+            while !st.topo_seen() {
+                if signal::shutdown_requested() {
+                    transport.close();
+                    return 0;
+                }
+                if Instant::now() >= deadline {
+                    eprintln!("[gravel-node {me}] no topology from coordinator before deadline");
+                    transport.close();
+                    return 2;
+                }
+                if last.elapsed() >= Duration::from_millis(200) {
+                    last = Instant::now();
+                    transport.send_control(elastic::COORDINATOR, &proto::encode_map_req());
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+
     // Receiver: the shared netthread body, with the forwarder tapping
-    // every applied packet before its ack.
+    // every applied packet before its ack — and, in elastic mode, the
+    // stale-routing gate filtering each accepted packet first.
     let net = std::thread::spawn({
         let (n, t, e, s) = (node.clone(), transport.clone(), errors.clone(), state.clone());
         let tap: Arc<dyn PacketTap> = forwarder.clone();
-        move || netthread::run_with_tap(n, t, e, s, None, Some(tap))
+        let gate = elastic_state
+            .clone()
+            .map(|st| st as Arc<dyn netthread::ApplyGate>);
+        move || netthread::run_with_gate(n, t, e, s, None, Some(tap), gate)
     });
 
-    // Sender: deterministic flows, go-back-N until fully acked.
+    // Sender: deterministic flows, go-back-N until fully acked. The
+    // elastic sender instead routes its queue through the live map
+    // every pass and publishes quiescence continuously (`sender_done`
+    // doubles as the drained flag — a bounce can clear it again).
     let stop = Arc::new(AtomicBool::new(false));
     let sender_done = Arc::new(AtomicBool::new(false));
-    let snd = std::thread::spawn({
-        let (t, n, stop, done) = (transport.clone(), node.clone(), stop.clone(), sender_done.clone());
-        let plans = sender::plan_flows(&input, nodes, me, args.msgs_per_packet);
-        move || {
-            if sender::run_sender(&t, &n, plans, &SenderConfig::default(), &stop, deadline) {
-                done.store(true, Ordering::SeqCst);
+    let snd = if let Some(st) = &elastic_state {
+        std::thread::spawn({
+            let (t, n, stop, drained) =
+                (transport.clone(), node.clone(), stop.clone(), sender_done.clone());
+            let st = st.clone();
+            // Only initial members carry update streams; joiners (and
+            // post-drain leavers) route and serve but send nothing —
+            // which is what makes their restart/kill windows safe (an
+            // elastic sender's pending queue is volatile).
+            let plan = if args.join {
+                Vec::new()
+            } else {
+                elastic::elastic_plan(&input, nodes, me)
+            };
+            let msgs_per_packet = args.msgs_per_packet;
+            move || {
+                elastic::run_elastic_sender(
+                    &t,
+                    &n,
+                    &st,
+                    plan,
+                    msgs_per_packet,
+                    &SenderConfig::default(),
+                    &stop,
+                    deadline,
+                    &drained,
+                );
             }
+        })
+    } else {
+        std::thread::spawn({
+            let (t, n, stop, done) =
+                (transport.clone(), node.clone(), stop.clone(), sender_done.clone());
+            let plans = sender::plan_flows(&input, nodes, me, args.msgs_per_packet);
+            move || {
+                if sender::run_sender(&t, &n, plans, &SenderConfig::default(), &stop, deadline) {
+                    done.store(true, Ordering::SeqCst);
+                }
+            }
+        })
+    };
+
+    // Elastic service threads: the migration/membership pump on every
+    // node, the topology driver on the coordinator.
+    let mut elastic_threads = Vec::new();
+    if let Some(ctx) = &elastic_ctx {
+        elastic_threads.push(std::thread::spawn({
+            let (ctx, stop) = (ctx.clone(), stop.clone());
+            move || elastic::run_elastic_pump(&ctx, &stop, deadline)
+        }));
+        if ctx.rebalancer.is_some() {
+            elastic_threads.push(std::thread::spawn({
+                let (ctx, stop, det) = (ctx.clone(), stop.clone(), detector.clone());
+                let grace = Duration::from_millis(args.evict_grace_ms);
+                move || elastic::run_coordinator(&ctx, &det, grace, &stop, deadline)
+            }));
         }
-    });
+    }
 
     // Request-reply plane: a pump draining the offload queue (GETs we
     // issue + replies the netthread enqueues for peers) onto lane-1
@@ -569,14 +806,20 @@ fn run() -> i32 {
         node: node.clone(),
         transport: transport.clone(),
         forwarder: forwarder.clone(),
+        elastic: elastic_state.clone(),
+        sender_drained: sender_done.clone(),
         recovered_from_ckpt,
         recovered_log_packets,
         quarantine: Mutex::new(Vec::new()),
     };
 
     // Main loop: wait for local completion, then linger (serving acks,
-    // forwards, and recovery for peers) until SIGTERM or deadline.
+    // forwards, and recovery for peers) until SIGTERM or deadline. An
+    // elastic node also republishes its report periodically: drain
+    // state, map version, and the reshard ledger move as the cluster
+    // grows and shrinks, and the harness polls for convergence.
     let mut completed = false;
+    let mut last_periodic = Instant::now();
     let code = loop {
         if errors.is_set() {
             eprintln!("[gravel-node {me}] cluster error: {:?}", errors.take());
@@ -592,14 +835,22 @@ fn run() -> i32 {
             eprintln!("[gravel-node {me}] graceful shutdown (completed={completed})");
             break 0;
         }
-        if !completed
-            && sender_done.load(Ordering::SeqCst)
-            && gets_done.load(Ordering::SeqCst)
-            && receive_complete(&state, &expected)
-        {
+        let locally_done = match &elastic_state {
+            Some(st) => sender_done.load(Ordering::SeqCst) && !st.migrations_pending(),
+            None => {
+                sender_done.load(Ordering::SeqCst)
+                    && gets_done.load(Ordering::SeqCst)
+                    && receive_complete(&state, &expected)
+            }
+        };
+        if !completed && locally_done {
             completed = true;
             reporter.write(true, false);
             eprintln!("[gravel-node {me}] complete; lingering for peers");
+        }
+        if elastic_state.is_some() && last_periodic.elapsed() >= Duration::from_millis(250) {
+            last_periodic = Instant::now();
+            reporter.write(completed, false);
         }
         if Instant::now() >= deadline {
             if !completed {
@@ -617,6 +868,7 @@ fn run() -> i32 {
     for h in [ctrl, hb, memb, net, snd]
         .into_iter()
         .chain(rpc_threads)
+        .chain(elastic_threads)
     {
         let _ = h.join();
     }

@@ -21,6 +21,27 @@
 //! * `RECOVER_REQ`  — a (re)starting node asks its buddy for its state.
 //! * `RECOVER_RESP` — baseline + log in one frame (empty on cold boot,
 //!   so the restart path and the cold-boot path are the same code).
+//!
+//! Elastic-membership ops (DESIGN.md §16) ride the same plane:
+//!
+//! * `TOPO` — the coordinator's committed topology change: the new
+//!   [`ShardMap`] plus the outstanding shard moves. Also the answer to
+//!   `MAP_REQ` and `JOIN_REQ` (kind = snapshot), so "learn the current
+//!   topology" and "observe a change" are one code path.
+//! * `MIGRATE` / `MIGRATE_REQ` / `WARD_MIGRATE_REQ` / `MIGRATE_ACK` —
+//!   shard data pull: the new owner re-requests each pending shard
+//!   until the words arrive (idempotent; heals kills mid-migration),
+//!   from the old owner's live heap — or, for an evicted owner, from
+//!   the dead node's buddy, which reconstructs the shard out of its
+//!   ward checkpoint + replay log. The ack goes to the coordinator.
+//! * `JOIN_REQ` / `LEAVE_REQ` — membership proposals (a `--join`
+//!   process dialing in; a SIGUSR1 drain).
+//! * `BOUNCE` — the stale-routing NACK: message quads the receiver
+//!   refused (it no longer — or does not yet — own their shard) are
+//!   returned to their sender together with the receiver's current
+//!   map, to be re-aggregated and re-sent, never dropped.
+
+use gravel_pgas::{ShardMap, ShardMove};
 
 /// Applied-packet forward (receiver → its buddy).
 pub const OP_FWD: u64 = 1;
@@ -30,6 +51,25 @@ pub const OP_CKPT: u64 = 2;
 pub const OP_RECOVER_REQ: u64 = 3;
 /// Recovery response: stored baseline + log (buddy → restarting node).
 pub const OP_RECOVER_RESP: u64 = 4;
+/// Topology broadcast: new shard map + outstanding moves.
+pub const OP_TOPO: u64 = 5;
+/// Shard data: every word of one shard (old owner → new owner).
+pub const OP_MIGRATE: u64 = 6;
+/// Shard migration complete (new owner → coordinator).
+pub const OP_MIGRATE_ACK: u64 = 7;
+/// Shard data re-request (new owner → old owner).
+pub const OP_MIGRATE_REQ: u64 = 8;
+/// Join proposal (a `--join` process → coordinator).
+pub const OP_JOIN_REQ: u64 = 9;
+/// Leave proposal (a SIGUSR1'd member → coordinator).
+pub const OP_LEAVE_REQ: u64 = 10;
+/// Stale-routing NACK: refused message quads + the refuser's map.
+pub const OP_BOUNCE: u64 = 11;
+/// Current-topology request (restarting node → coordinator).
+pub const OP_MAP_REQ: u64 = 12;
+/// Shard data re-request against a dead node's ward (new owner → the
+/// dead node's buddy, which reconstructs from checkpoint + log).
+pub const OP_WARD_MIGRATE_REQ: u64 = 13;
 
 /// One applied packet as forwarded to the buddy: the flow coordinates
 /// the receiver applied it under, plus the raw message words.
@@ -55,6 +95,13 @@ pub struct CkptImage {
     pub cursors: Vec<(u32, u32, u64)>,
     /// The forwarding node's full heap image at the cut.
     pub heap: Vec<u64>,
+    /// Shards the forwarding node was serving at the cut (elastic mode;
+    /// empty in a static cluster). A restarted node treats exactly
+    /// these as migrated-and-ready — a shard whose words were written
+    /// but never checkpointed is *not* here, so it is safely
+    /// re-requested, and a shard that is here has its post-migration
+    /// traffic in the ward log on top of a baseline that includes it.
+    pub ready: Vec<u32>,
 }
 
 /// Stored recovery state returned by a buddy: the last baseline (if
@@ -99,6 +146,8 @@ fn push_ckpt_body(out: &mut Vec<u64>, c: &CkptImage) {
     }
     out.push(c.heap.len() as u64);
     out.extend_from_slice(&c.heap);
+    out.push(c.ready.len() as u64);
+    out.extend(c.ready.iter().map(|&s| s as u64));
 }
 
 /// Decode a checkpoint body starting at `words[at]`; returns the image
@@ -119,7 +168,15 @@ fn pop_ckpt_body(words: &[u64], at: usize) -> Option<(CkptImage, usize)> {
     i += 1;
     let end = i.checked_add(hlen)?;
     let heap = words.get(i..end)?.to_vec();
-    Some((CkptImage { epoch, cursors, heap }, end))
+    i = end;
+    let nready = usize::try_from(*words.get(i)?).ok()?;
+    i += 1;
+    let mut ready = Vec::with_capacity(nready.min(1024));
+    for _ in 0..nready {
+        ready.push(u32::try_from(*words.get(i)?).ok()?);
+        i += 1;
+    }
+    Some((CkptImage { epoch, cursors, heap, ready }, i))
 }
 
 pub fn encode_ckpt(c: &CkptImage) -> Vec<u64> {
@@ -184,6 +241,207 @@ pub fn decode_recover_resp(words: &[u64]) -> Option<RecoverResp> {
     (i == words.len()).then_some(RecoverResp { ckpt, log })
 }
 
+/// What kind of topology change a `TOPO` frame announces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopoKind {
+    /// A new member was admitted; moves stream from live old owners.
+    Join,
+    /// A member is draining out; moves stream from the (live) leaver.
+    Leave,
+    /// A member was declared dead; moves stream from its buddy's ward.
+    Evict,
+    /// No change — the current map + outstanding moves, answering a
+    /// `MAP_REQ` or `JOIN_REQ` (a restarted node resynchronizing).
+    Snapshot,
+}
+
+impl TopoKind {
+    fn encode(self) -> u64 {
+        match self {
+            TopoKind::Join => 0,
+            TopoKind::Leave => 1,
+            TopoKind::Evict => 2,
+            TopoKind::Snapshot => 3,
+        }
+    }
+
+    fn decode(w: u64) -> Option<Self> {
+        Some(match w {
+            0 => TopoKind::Join,
+            1 => TopoKind::Leave,
+            2 => TopoKind::Evict,
+            3 => TopoKind::Snapshot,
+            _ => return None,
+        })
+    }
+}
+
+/// A topology broadcast: the map every receiver must install plus the
+/// shard moves still outstanding under it. `evict` tells a move's new
+/// owner where to pull from: the old owner's live heap, or (evict) the
+/// old owner's buddy's ward reconstruction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopoMsg {
+    pub kind: TopoKind,
+    /// The node whose membership changed (ignored for `Snapshot`).
+    pub node: u32,
+    pub map: ShardMap,
+    pub moves: Vec<ShardMove>,
+}
+
+pub fn encode_topo(t: &TopoMsg) -> Vec<u64> {
+    let mut w = vec![OP_TOPO, t.kind.encode(), t.node as u64];
+    w.extend(t.map.encode_words());
+    w.push(t.moves.len() as u64);
+    for m in &t.moves {
+        w.extend([m.shard as u64, m.from as u64, m.to as u64]);
+    }
+    w
+}
+
+pub fn decode_topo(words: &[u64]) -> Option<TopoMsg> {
+    if words.first() != Some(&OP_TOPO) {
+        return None;
+    }
+    let kind = TopoKind::decode(*words.get(1)?)?;
+    let node = u32::try_from(*words.get(2)?).ok()?;
+    let (map, mut i) = ShardMap::decode_words(words, 3)?;
+    let nmoves = usize::try_from(*words.get(i)?).ok()?;
+    i += 1;
+    let mut moves = Vec::with_capacity(nmoves.min(1024));
+    for _ in 0..nmoves {
+        let shard = u32::try_from(*words.get(i)?).ok()?;
+        let from = u32::try_from(*words.get(i + 1)?).ok()?;
+        let to = u32::try_from(*words.get(i + 2)?).ok()?;
+        if shard as usize >= map.nshards() {
+            return None;
+        }
+        moves.push(ShardMove { shard, from, to });
+        i += 3;
+    }
+    (i == words.len()).then_some(TopoMsg { kind, node, map, moves })
+}
+
+/// One shard's words, pulled by its new owner. Word `k` is the value
+/// of global index `shard + k * nshards` — the offsets are implicit in
+/// the elastic identity-layout, so the frame is just the opcode, the
+/// map version it answers, the shard id, and the strided values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MigrateMsg {
+    pub version: u64,
+    pub shard: u32,
+    pub words: Vec<u64>,
+}
+
+pub fn encode_migrate(m: &MigrateMsg) -> Vec<u64> {
+    let mut w = vec![OP_MIGRATE, m.version, m.shard as u64, m.words.len() as u64];
+    w.extend_from_slice(&m.words);
+    w
+}
+
+pub fn decode_migrate(words: &[u64]) -> Option<MigrateMsg> {
+    if words.first() != Some(&OP_MIGRATE) {
+        return None;
+    }
+    let version = *words.get(1)?;
+    let shard = u32::try_from(*words.get(2)?).ok()?;
+    let n = usize::try_from(*words.get(3)?).ok()?;
+    if words.len() != n.checked_add(4)? {
+        return None;
+    }
+    Some(MigrateMsg { version, shard, words: words[4..].to_vec() })
+}
+
+pub fn encode_migrate_ack(version: u64, shard: u32) -> Vec<u64> {
+    vec![OP_MIGRATE_ACK, version, shard as u64]
+}
+
+pub fn decode_migrate_ack(words: &[u64]) -> Option<(u64, u32)> {
+    if words.len() != 3 || words[0] != OP_MIGRATE_ACK {
+        return None;
+    }
+    Some((words[1], u32::try_from(words[2]).ok()?))
+}
+
+pub fn encode_migrate_req(version: u64, shard: u32) -> Vec<u64> {
+    vec![OP_MIGRATE_REQ, version, shard as u64]
+}
+
+pub fn decode_migrate_req(words: &[u64]) -> Option<(u64, u32)> {
+    if words.len() != 3 || words[0] != OP_MIGRATE_REQ {
+        return None;
+    }
+    Some((words[1], u32::try_from(words[2]).ok()?))
+}
+
+pub fn encode_ward_migrate_req(version: u64, shard: u32, ward: u32) -> Vec<u64> {
+    vec![OP_WARD_MIGRATE_REQ, version, shard as u64, ward as u64]
+}
+
+pub fn decode_ward_migrate_req(words: &[u64]) -> Option<(u64, u32, u32)> {
+    if words.len() != 4 || words[0] != OP_WARD_MIGRATE_REQ {
+        return None;
+    }
+    Some((words[1], u32::try_from(words[2]).ok()?, u32::try_from(words[3]).ok()?))
+}
+
+pub fn encode_join_req(node: u32) -> Vec<u64> {
+    vec![OP_JOIN_REQ, node as u64]
+}
+
+pub fn decode_join_req(words: &[u64]) -> Option<u32> {
+    if words.len() != 2 || words[0] != OP_JOIN_REQ {
+        return None;
+    }
+    u32::try_from(words[1]).ok()
+}
+
+pub fn encode_leave_req(node: u32) -> Vec<u64> {
+    vec![OP_LEAVE_REQ, node as u64]
+}
+
+pub fn decode_leave_req(words: &[u64]) -> Option<u32> {
+    if words.len() != 2 || words[0] != OP_LEAVE_REQ {
+        return None;
+    }
+    u32::try_from(words[1]).ok()
+}
+
+pub fn encode_map_req() -> Vec<u64> {
+    vec![OP_MAP_REQ]
+}
+
+/// The stale-routing NACK: refused message quads plus the refuser's
+/// current map, so one round trip both re-delivers the messages and
+/// heals the sender's directory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BounceMsg {
+    pub map: ShardMap,
+    /// Raw message words, 4 per refused message.
+    pub quads: Vec<u64>,
+}
+
+pub fn encode_bounce(b: &BounceMsg) -> Vec<u64> {
+    let mut w = vec![OP_BOUNCE];
+    w.extend(b.map.encode_words());
+    w.push((b.quads.len() / 4) as u64);
+    w.extend_from_slice(&b.quads);
+    w
+}
+
+pub fn decode_bounce(words: &[u64]) -> Option<BounceMsg> {
+    if words.first() != Some(&OP_BOUNCE) {
+        return None;
+    }
+    let (map, i) = ShardMap::decode_words(words, 1)?;
+    let n = usize::try_from(*words.get(i)?).ok()?;
+    let quads = words.get(i + 1..)?.to_vec();
+    if quads.len() != n.checked_mul(4)? {
+        return None;
+    }
+    Some(BounceMsg { map, quads })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +455,7 @@ mod tests {
             epoch: 3,
             cursors: vec![(0, 0, 5), (2, 0, 9)],
             heap: vec![7, 0, 0, 11],
+            ready: vec![1, 5, 12],
         }
     }
 
@@ -234,5 +493,63 @@ mod tests {
         let mut lying = encode_fwd(&fwd(0));
         lying[4] = u64::MAX;
         assert_eq!(decode_fwd(&lying), None);
+    }
+
+    fn topo() -> TopoMsg {
+        let map = ShardMap::initial(&[0, 1, 2, 3], 8);
+        let (map, moves) = map.rebalance_join(4).unwrap();
+        TopoMsg { kind: TopoKind::Join, node: 4, map, moves }
+    }
+
+    #[test]
+    fn topo_roundtrips_for_every_kind() {
+        for kind in [TopoKind::Join, TopoKind::Leave, TopoKind::Evict, TopoKind::Snapshot] {
+            let t = TopoMsg { kind, ..topo() };
+            assert_eq!(decode_topo(&encode_topo(&t)), Some(t));
+        }
+        let w = encode_topo(&topo());
+        for cut in 0..w.len() {
+            assert_eq!(decode_topo(&w[..cut]), None, "cut at {cut}");
+        }
+        let mut junk = w.clone();
+        junk.push(0);
+        assert_eq!(decode_topo(&junk), None);
+        let mut bad_kind = w;
+        bad_kind[1] = 9;
+        assert_eq!(decode_topo(&bad_kind), None);
+    }
+
+    #[test]
+    fn migrate_and_small_ops_roundtrip() {
+        let m = MigrateMsg { version: 7, shard: 3, words: vec![5, 0, 9] };
+        assert_eq!(decode_migrate(&encode_migrate(&m)), Some(m.clone()));
+        let mut lying = encode_migrate(&m);
+        lying[3] = u64::MAX;
+        assert_eq!(decode_migrate(&lying), None);
+        assert_eq!(decode_migrate_ack(&encode_migrate_ack(7, 3)), Some((7, 3)));
+        assert_eq!(decode_migrate_req(&encode_migrate_req(2, 11)), Some((2, 11)));
+        assert_eq!(
+            decode_ward_migrate_req(&encode_ward_migrate_req(2, 11, 5)),
+            Some((2, 11, 5))
+        );
+        assert_eq!(decode_join_req(&encode_join_req(4)), Some(4));
+        assert_eq!(decode_leave_req(&encode_leave_req(5)), Some(5));
+        assert_eq!(decode_join_req(&encode_leave_req(5)), None, "wrong op");
+        assert_eq!(encode_map_req(), vec![OP_MAP_REQ]);
+    }
+
+    #[test]
+    fn bounce_roundtrips_and_refuses_partial_quads() {
+        let b = BounceMsg {
+            map: ShardMap::initial(&[0, 1], 4),
+            quads: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        };
+        assert_eq!(decode_bounce(&encode_bounce(&b)), Some(b.clone()));
+        let mut w = encode_bounce(&b);
+        w.pop();
+        assert_eq!(decode_bounce(&w), None, "partial quad refused");
+        for cut in 0..w.len() {
+            assert_eq!(decode_bounce(&w[..cut]), None, "cut at {cut}");
+        }
     }
 }

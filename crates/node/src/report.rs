@@ -43,6 +43,26 @@ pub struct OutStats {
     pub rpc_replies_sent: u64,
     #[serde(default)]
     pub quarantined: u64,
+    /// Messages the elastic gate refused and bounced to their sender
+    /// (stale or not-yet-migrated shard ownership).
+    #[serde(default)]
+    pub reshard_stale_routed: u64,
+    /// Bounced messages re-enqueued by this node's sender. Across a
+    /// whole cluster, `Σ stale_routed == Σ redelivered + Σ dropped`
+    /// once every sender drains — the exactly-once ledger.
+    #[serde(default)]
+    pub reshard_redelivered: u64,
+    /// Bounces that could not reach their (dead) sender.
+    #[serde(default)]
+    pub reshard_bounce_dropped: u64,
+    /// Shards this node pulled in / served out during migrations.
+    #[serde(default)]
+    pub reshard_moves_in: u64,
+    #[serde(default)]
+    pub reshard_moves_out: u64,
+    /// Shard words shipped (both directions), in bytes.
+    #[serde(default)]
+    pub reshard_bytes_migrated: u64,
 }
 
 /// One quarantined message's provenance, surfaced verbatim so the
@@ -81,6 +101,21 @@ pub struct OutReport {
     /// provenance (drained from the node's quarantine at write time).
     #[serde(default)]
     pub quarantine: Vec<QuarantineEntry>,
+    /// Elastic mode: the installed shard-map version (0 = static).
+    #[serde(default)]
+    pub map_version: u64,
+    /// Elastic mode: active members under the installed map.
+    #[serde(default)]
+    pub members: Vec<u32>,
+    /// Elastic mode: owner node per shard under the installed map
+    /// (shard = global index % len). Empty in static mode.
+    #[serde(default)]
+    pub shard_owners: Vec<u32>,
+    /// Elastic mode: the sender's pending + bounce queues are empty and
+    /// every in-flight packet is acked *at report time* (a later bounce
+    /// can clear it again — harnesses poll for it across all nodes).
+    #[serde(default)]
+    pub sender_drained: bool,
 }
 
 /// Atomically (re)write `report` at `path`.

@@ -45,11 +45,11 @@ pub fn plan_flows(
     msgs_per_packet: usize,
 ) -> Vec<FlowPlan> {
     assert!(msgs_per_packet > 0);
-    let part = gups::partition(input, nodes);
+    let dir = gups::directory(input, nodes);
     let mut streams: Vec<Vec<Message>> = vec![Vec::new(); nodes];
     for g in gups::node_updates(input, nodes, me as usize) {
-        let dest = part.owner(g) as u32;
-        streams[dest as usize].push(Message::inc(dest, part.local_offset(g), 1));
+        let r = dir.route(g);
+        streams[r.dest as usize].push(Message::inc(r.dest, r.offset, 1));
     }
     streams
         .into_iter()
@@ -75,10 +75,10 @@ pub fn expected_packets(
     dest: u32,
     msgs_per_packet: usize,
 ) -> u64 {
-    let part = gups::partition(input, nodes);
+    let dir = gups::directory(input, nodes);
     let msgs = gups::node_updates(input, nodes, src as usize)
         .into_iter()
-        .filter(|&g| part.owner(g) == dest as usize)
+        .filter(|&g| dir.route(g).dest == dest)
         .count();
     msgs.div_ceil(msgs_per_packet) as u64
 }

@@ -11,9 +11,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 pub const SIGINT: i32 = 2;
 pub const SIGKILL: i32 = 9;
+pub const SIGUSR1: i32 = 10;
 pub const SIGTERM: i32 = 15;
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static LEAVE: AtomicBool = AtomicBool::new(false);
 
 extern "C" {
     fn signal(signum: i32, handler: usize) -> usize;
@@ -24,11 +26,19 @@ extern "C" fn on_signal(_sig: i32) {
     SHUTDOWN.store(true, Ordering::SeqCst);
 }
 
-/// Install the graceful-shutdown handler for SIGTERM and SIGINT.
+extern "C" fn on_leave(_sig: i32) {
+    LEAVE.store(true, Ordering::SeqCst);
+}
+
+/// Install the graceful-shutdown handler for SIGTERM and SIGINT, and
+/// the drain/leave trigger for SIGUSR1 (elastic membership: the node
+/// proposes its own LEAVE to the coordinator and donates its shards,
+/// but keeps running — and serving — until SIGTERM).
 pub fn install_shutdown_handler() {
     unsafe {
         signal(SIGTERM, on_signal as *const () as usize);
         signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGUSR1, on_leave as *const () as usize);
     }
 }
 
@@ -40,6 +50,11 @@ pub fn shutdown_requested() -> bool {
 /// Pretend a signal arrived (tests of the shutdown path).
 pub fn request_shutdown() {
     SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Whether a SIGUSR1 drain/leave request has arrived since startup.
+pub fn leave_requested() -> bool {
+    LEAVE.load(Ordering::SeqCst)
 }
 
 /// Die exactly like `kill -9`: no unwinding, no atexit, no flush. Used

@@ -66,6 +66,43 @@ impl WardStores {
         self.lock().get(&ward).map_or(0, |s| s.log.len())
     }
 
+    /// Reconstruct `ward`'s heap as of its last forwarded packet:
+    /// the stored baseline image with the replay log applied on top.
+    /// `None` if no baseline is stored (nothing to take over). This is
+    /// the EVICT data source — when the coordinator expels a dead
+    /// member, the new owners of its shards pull from this
+    /// reconstruction instead of the corpse. Forward-before-ack makes
+    /// it exact: every update any sender saw acked is in here.
+    ///
+    /// Only the commutative write commands the elastic traffic model
+    /// emits (`Put`, `Inc`) are replayed; anything else in the log is
+    /// skipped, mirroring `apply_words`' tolerance of pre-validation
+    /// entries.
+    pub fn reconstruct_heap(&self, ward: u32) -> Option<Vec<u64>> {
+        let wards = self.lock();
+        let st = wards.get(&ward)?;
+        let ckpt = st.ckpt.as_ref()?;
+        let mut heap = ckpt.heap.clone();
+        for pkt in &st.log {
+            for quad in pkt.words.chunks_exact(gravel_gq::MSG_ROWS) {
+                let Some(msg) = gravel_gq::Message::decode(
+                    quad.try_into().expect("chunks_exact yields MSG_ROWS"),
+                ) else {
+                    continue;
+                };
+                let Some(slot) = heap.get_mut(msg.addr as usize) else {
+                    continue;
+                };
+                match msg.command {
+                    gravel_gq::Command::Put => *slot = msg.value,
+                    gravel_gq::Command::Inc => *slot = slot.wrapping_add(msg.value),
+                    _ => {}
+                }
+            }
+        }
+        Some(heap)
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u32, WardState>> {
         self.wards.lock().unwrap_or_else(|p| p.into_inner())
     }
@@ -85,7 +122,7 @@ mod tests {
         assert_eq!(s.recover(3), RecoverResp::default(), "cold boot is empty");
         s.on_fwd(3, fwd(0));
         s.on_fwd(3, fwd(1));
-        let cut = CkptImage { epoch: 1, cursors: vec![(0, 0, 2)], heap: vec![9] };
+        let cut = CkptImage { epoch: 1, cursors: vec![(0, 0, 2)], heap: vec![9], ready: vec![] };
         s.on_ckpt(3, cut.clone());
         assert_eq!(s.log_len(3), 0, "cut clears the log");
         s.on_fwd(3, fwd(2));
@@ -94,5 +131,24 @@ mod tests {
         assert_eq!(r.log, vec![fwd(2)]);
         // Wards are independent.
         assert_eq!(s.recover(1), RecoverResp::default());
+    }
+
+    #[test]
+    fn reconstruct_replays_the_log_onto_the_baseline() {
+        use gravel_gq::Message;
+        let s = WardStores::new();
+        assert_eq!(s.reconstruct_heap(2), None, "no baseline, nothing to take over");
+        s.on_ckpt(
+            2,
+            CkptImage { epoch: 1, cursors: vec![], heap: vec![10, 0, 0, 3], ready: vec![0] },
+        );
+        let mut words = Vec::new();
+        words.extend(Message::inc(0, 0, 5).encode());
+        words.extend(Message::put(0, 2, 77).encode());
+        words.extend(Message::inc(0, 3, 1).encode());
+        words.extend([u64::MAX, 0, 0, 0]); // undecodable: skipped
+        words.extend(Message::inc(0, 999, 1).encode()); // out of range: skipped
+        s.on_fwd(2, FwdPacket { src: 1, lane: 0, seq: 0, words });
+        assert_eq!(s.reconstruct_heap(2), Some(vec![15, 0, 77, 4]));
     }
 }

@@ -23,6 +23,7 @@ pub mod heap;
 pub mod nodeq;
 pub mod partition;
 pub mod quarantine;
+pub mod shard;
 
 pub use am::{relax_min_handler, AmHandler, AmRegistry, AmReturningHandler};
 pub use command::{apply, apply_words, Applied};
@@ -39,3 +40,4 @@ pub use nodeq::{
     DEFAULT_TIMEOUT,
 };
 pub use partition::{Layout, Partition};
+pub use shard::{Directory, Route, ShardMap, ShardMove, DEFAULT_SHARDS};

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use gravel_apps::graph::{gen, reference};
-use gravel_apps::{gups, pagerank};
+use gravel_apps::{gups, pagerank, sssp};
 use gravel_core::{
     ChaosPlan, FaultConfig, GravelConfig, GravelRuntime, ProcessFault, TransportKind,
 };
@@ -308,4 +308,33 @@ fn checkpointed_pagerank_survives_aggregator_kill() {
     let stats = rt.shutdown().expect("restart absorbed the kill");
     assert_eq!(stats.ha.restarts, 1);
     assert_eq!(stats.ha.epochs, 3);
+}
+
+#[test]
+fn checkpointed_sssp_survives_aggregator_kill() {
+    // SSSP's progress (distances + frontier) rides the same epoch-cut
+    // machinery as GUPS/PageRank: a mid-run aggregator kill is absorbed
+    // by the supervisor and the distances still match Dijkstra exactly.
+    let g = gen::hugebubbles_like(144, 11);
+    let mut cfg = GravelConfig::small(3, 64);
+    cfg.ha.checkpoint = true;
+    cfg.chaos = Some(Arc::new(ChaosPlan::new(vec![
+        ProcessFault::PanicAggregator {
+            node: 1,
+            slot: 0,
+            at_step: 5,
+        },
+    ])));
+    let mut relax_id = 0;
+    let rt = GravelRuntime::with_handlers(cfg, |reg| {
+        relax_id = sssp::register(reg);
+    });
+    let mut progress = sssp::SsspProgress::default();
+    let live = sssp::run_live_checkpointed(&rt, &g, 0, relax_id, &mut progress, None);
+    assert_eq!(live, reference::sssp(&g, 0));
+    assert!(progress.frontier.is_empty(), "run converged");
+    assert!(progress.round > 0);
+    let stats = rt.shutdown().expect("restart absorbed the kill");
+    assert_eq!(stats.ha.restarts, 1);
+    assert_eq!(stats.ha.epochs, progress.round, "one cut per superstep");
 }

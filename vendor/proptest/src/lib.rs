@@ -20,7 +20,7 @@
 pub mod collection;
 pub mod strategy;
 
-pub use strategy::{any, Any, Arbitrary, Just, Strategy, TestRng};
+pub use strategy::{any, Any, Arbitrary, Just, Strategy, TestRng, Union};
 
 /// Runner configuration; only `cases` is honoured.
 #[derive(Clone, Debug)]
@@ -57,7 +57,7 @@ pub mod prelude {
     pub use crate as prop;
     pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
     pub use crate::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// The `proptest!` block: config header plus `#[test]` functions whose
@@ -116,6 +116,20 @@ macro_rules! __proptest_bind {
         let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
         $crate::__proptest_bind!($rng; $body;)
     }};
+}
+
+/// Weighted (`w => strat`) or uniform choice between strategies that
+/// share a value type, like upstream's `prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<(u32, ::std::boxed::Box<dyn $crate::Strategy<Value = _>>)> =
+            vec![$(($weight, ::std::boxed::Box::new($strat))),+];
+        $crate::Union::new(options)
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Plain assert; kept as a distinct macro so call sites read like
