@@ -8,8 +8,22 @@
 //! tolerance (default 10 %, override with `GRAVEL_GATE_TOLERANCE`)
 //! below its baseline fails the gate with exit code 1.
 //!
-//! With no comparable baseline (first run, or a scale change) the gate
-//! passes vacuously — it polices the trajectory, it cannot invent one.
+//! Zero is not a rate: a cell whose `msgs_per_sec` is 0 on either side
+//! is a measurement that didn't happen, so both-zero pairs are skipped
+//! and a 0 ↔ nonzero flip is reported as a schema change (the cell's
+//! meaning moved between commits) instead of being fed into a division.
+//!
+//! Independent of any baseline, the gate also checks the governed
+//! PageRank lane curve of the *current* entry: the adaptive lane
+//! governor exists so extra lanes are never a loss, so the rate at the
+//! highest measured lane count must hold the lanes=1 rate (within 1.5x
+//! the tolerance — both sides of the ratio come from the same noisy
+//! run). This is what promotes the PageRank cells from informational to
+//! gated.
+//!
+//! With no comparable baseline (first run, or a scale change) the
+//! trajectory half of the gate passes vacuously — it polices the
+//! trajectory, it cannot invent one. The lane-curve check still runs.
 
 use serde::Value;
 
@@ -90,62 +104,122 @@ fn main() {
         }
     };
     let current = history.last().expect("nonempty");
+    let cur_cells = cells(current);
+    let mut failures = Vec::new();
+
+    // --- Lane-curve gate (current entry alone) -------------------------
+    // The governed PageRank cells must show a monotone-flat-or-up lane
+    // curve: rate at the highest measured lane count >= the lanes=1
+    // rate. Both sides of the ratio are cells measured in the same run,
+    // so the noise is doubled relative to a trajectory comparison — the
+    // curve check gets 1.5x the tolerance. The static-mask ablation
+    // ("pagerank_nogov") is deliberately exempt — documenting the loss
+    // the governor removes is its whole job.
+    let curve_tolerance = 1.5 * tolerance;
+    let pr: Vec<&(CellKey, f64)> = cur_cells
+        .iter()
+        .filter(|(k, r)| k.workload == "pagerank" && *r > 0.0)
+        .collect();
+    let pr_base = pr.iter().find(|(k, _)| k.lanes == 1);
+    let pr_top = pr.iter().max_by_key(|(k, _)| k.lanes);
+    if let (Some((_, base)), Some((top_key, top))) = (pr_base, pr_top) {
+        if top_key.lanes > 1 {
+            if *top < base * (1.0 - curve_tolerance) {
+                failures.push(format!(
+                    "pagerank lane curve bends down: lanes={} {:.0} msgs/s < lanes=1 {:.0} msgs/s \
+                     ({:+.1}%, tolerance {:.0}%)",
+                    top_key.lanes,
+                    top,
+                    base,
+                    (top / base - 1.0) * 100.0,
+                    curve_tolerance * 100.0,
+                ));
+            } else {
+                println!(
+                    "bench_gate: pagerank lane curve holds (lanes={} at {:.2}x of lanes=1)",
+                    top_key.lanes,
+                    top / base,
+                );
+            }
+        }
+    }
+
+    // --- Trajectory gate (vs the most recent comparable baseline) ------
     let baseline = history
         .iter()
         .rev()
         .skip(1)
         .find(|e| sha(e) != sha(current) && is_quick(e) == is_quick(current));
-    let Some(baseline) = baseline else {
-        println!(
-            "bench_gate: no earlier {} entry to compare {} against; gate passes vacuously",
+    match baseline {
+        None => println!(
+            "bench_gate: no earlier {} entry to compare {} against; trajectory gate passes vacuously",
             if is_quick(current) { "quick-scale" } else { "full-scale" },
             sha(current),
-        );
-        return;
-    };
-
-    let base_cells = cells(baseline);
-    let mut regressions = Vec::new();
-    let mut compared = 0usize;
-    for (key, rate) in cells(current) {
-        let Some((_, base_rate)) = base_cells.iter().find(|(k, _)| *k == key) else {
-            continue; // new cell this commit: nothing to regress against
-        };
-        if *base_rate <= 0.0 {
-            continue;
-        }
-        compared += 1;
-        let delta = rate / base_rate - 1.0;
-        if delta < -tolerance {
-            regressions.push(format!(
-                "{}/{} lanes={} nodes={}: {:.0} -> {:.0} msgs/s ({:+.1}%)",
-                key.workload,
-                key.wire_integrity,
-                key.lanes,
-                key.nodes,
-                base_rate,
-                rate,
-                delta * 100.0
-            ));
+        ),
+        Some(baseline) => {
+            let base_cells = cells(baseline);
+            let mut schema_changes = Vec::new();
+            let mut compared = 0usize;
+            for (key, rate) in &cur_cells {
+                let Some((_, base_rate)) = base_cells.iter().find(|(k, _)| k == key) else {
+                    continue; // new cell this commit: nothing to regress against
+                };
+                match (*base_rate > 0.0, *rate > 0.0) {
+                    (false, false) => continue, // never measured on either side
+                    (false, true) | (true, false) => {
+                        schema_changes.push(format!(
+                            "{}/{} lanes={} nodes={}: {:.0} -> {:.0} msgs/s (cell changed meaning)",
+                            key.workload,
+                            key.wire_integrity,
+                            key.lanes,
+                            key.nodes,
+                            base_rate,
+                            rate,
+                        ));
+                        continue;
+                    }
+                    (true, true) => {}
+                }
+                compared += 1;
+                let delta = rate / base_rate - 1.0;
+                if delta < -tolerance {
+                    failures.push(format!(
+                        "{}/{} lanes={} nodes={}: {:.0} -> {:.0} msgs/s ({:+.1}%)",
+                        key.workload,
+                        key.wire_integrity,
+                        key.lanes,
+                        key.nodes,
+                        base_rate,
+                        rate,
+                        delta * 100.0
+                    ));
+                }
+            }
+            if !schema_changes.is_empty() {
+                println!(
+                    "bench_gate: {} cell(s) flipped between zero and nonzero vs {} \
+                     (schema change, not compared):",
+                    schema_changes.len(),
+                    sha(baseline),
+                );
+                for s in &schema_changes {
+                    println!("  {s}");
+                }
+            }
+            println!(
+                "bench_gate: {compared} cells compared against baseline {} (current {})",
+                sha(baseline),
+                sha(current),
+            );
         }
     }
 
-    if regressions.is_empty() {
-        println!(
-            "bench_gate: {compared} cells within {:.0}% of baseline {} (current {})",
-            tolerance * 100.0,
-            sha(baseline),
-            sha(current),
-        );
+    if failures.is_empty() {
+        println!("bench_gate: pass (tolerance {:.0}%)", tolerance * 100.0);
     } else {
-        eprintln!(
-            "bench_gate: {} of {compared} cells regressed more than {:.0}% vs {}:",
-            regressions.len(),
-            tolerance * 100.0,
-            sha(baseline),
-        );
-        for r in &regressions {
-            eprintln!("  {r}");
+        eprintln!("bench_gate: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
         }
         std::process::exit(1);
     }

@@ -57,6 +57,23 @@ fn main() {
         "Wire-integrity tax (lanes=1, crc32c vs off): {:.2}%",
         report.integrity_tax * 100.0
     );
+    let top_lanes = *lane_counts.iter().max().unwrap();
+    if let (Some(one), Some(top)) = (report.pagerank_cell(1), report.pagerank_cell(top_lanes)) {
+        let nogov = report
+            .cells
+            .iter()
+            .find(|c| c.workload == "pagerank_nogov" && c.lanes == top_lanes);
+        println!(
+            "PageRank lane curve (governed, lanes={top_lanes} vs 1): {:.2}x{}",
+            top.msgs_per_sec / one.msgs_per_sec,
+            nogov
+                .map(|n| format!(
+                    "  [static mask at lanes={top_lanes}: {:.2}x]",
+                    n.msgs_per_sec / one.msgs_per_sec
+                ))
+                .unwrap_or_default()
+        );
+    }
     let get = |w: &str| report.cells.iter().find(|c| c.workload == w);
     if let (Some(on), Some(off)) = (get("get_rpc"), get("get_rpc_nobands")) {
         println!(

@@ -43,6 +43,7 @@ pub mod mpmc;
 pub mod msg;
 pub mod pad;
 pub mod park;
+pub mod pool;
 pub mod replysink;
 pub mod spsc;
 pub mod stats;
@@ -52,6 +53,7 @@ pub use mpmc::MpmcQueue;
 pub use msg::{Band, Command, Message, TrafficClass, MSG_BYTES, MSG_ROWS, NUM_BANDS, NUM_CLASSES};
 pub use pad::CachePad;
 pub use park::WaitCell;
+pub use pool::BufferPool;
 pub use replysink::{ReplySink, ReplyState, RpcFailure};
 pub use spsc::SpscQueue;
 pub use stats::{QueueStats, StatsSnapshot};

@@ -52,6 +52,14 @@ const UNACKED_POLL: Duration = Duration::from_micros(50);
 /// through them instead.
 const MIN_PARK: Duration = Duration::from_micros(5);
 
+/// Park duration for a lane the governor has routed out of the active
+/// mask. Such a lane receives no traffic until the mask re-expands, and
+/// re-expansion reaches it as a ring publish — which wakes the park
+/// early — so once its residue is flushed and acked it can sleep far
+/// past the normal idle cap without adding wakeup latency anywhere.
+/// The periodic wake that remains is only a liveness backstop.
+const PARKED_LANE_PARK: Duration = Duration::from_millis(20);
+
 /// In-flight packet budget of one QoS band, derived from the go-back-N
 /// window (no separate knob): the LATENCY band may fill the whole
 /// window, NORMAL three quarters, BULK half. A bulk stream therefore
@@ -151,6 +159,10 @@ pub struct LaneState {
     pending: Vec<u64>,
     /// Word offset of the next unprocessed message in `pending`.
     pos: usize,
+    /// Reusable flush scratch: packets travel queue → sender through
+    /// this one vector, so the steady-state drain loop allocates
+    /// nothing per batch.
+    scratch: Vec<Packet>,
 }
 
 impl LaneState {
@@ -160,6 +172,7 @@ impl LaneState {
             flows: Vec::new(),
             pending: Vec::new(),
             pos: 0,
+            scratch: Vec::new(),
         }
     }
 }
@@ -284,9 +297,14 @@ impl<'a> Sender<'a> {
             // With bands off every frame travels as plain DATA (packets
             // may mix classes when aggregation didn't split them).
             let frame = if qos {
-                pkt.seal(epoch, self.node.wire_integrity)
+                pkt.seal_in(epoch, self.node.wire_integrity, self.node.pool.as_ref())
             } else {
-                pkt.seal_kind(epoch, self.node.wire_integrity, FrameKind::Data)
+                pkt.seal_kind_in(
+                    epoch,
+                    self.node.wire_integrity,
+                    FrameKind::Data,
+                    self.node.pool.as_ref(),
+                )
             };
             flow.stamped_bands.push_back(band);
             flow.staged.push_back(frame);
@@ -458,13 +476,12 @@ pub fn run_supervised(
                 } else {
                     (queue_bytes, policy)
                 };
-                st.nodeqs.push(NodeQueues::with_policy(
-                    node.id,
-                    node.nodes,
-                    bytes,
-                    pol,
-                    node.agg.clone(),
-                ));
+                let mut nq =
+                    NodeQueues::with_policy(node.id, node.nodes, bytes, pol, node.agg.clone());
+                if let Some(pool) = &node.pool {
+                    nq = nq.with_pool(pool.clone());
+                }
+                st.nodeqs.push(nq);
             }
         }
         let LaneState {
@@ -472,6 +489,7 @@ pub fn run_supervised(
             flows,
             pending,
             pos,
+            scratch,
         } = &mut *st;
         let mut sender = Sender::new(&node, lane, transport.as_ref(), flows, &in_flight);
         sender.drain_acks();
@@ -487,7 +505,6 @@ pub fn run_supervised(
             // from a predecessor that panicked at the cursor).
             let _span = node.tracer.span("agg.drain", "aggregate", node.id);
             let now = Instant::now();
-            let mut flushed: Vec<Packet> = Vec::new();
             while *pos < pending.len() {
                 // Scan the run of consecutive messages bound for the
                 // same destination and hand it to the node queue in one
@@ -524,9 +541,9 @@ pub fn run_supervised(
                     end += rows;
                 }
                 if end > *pos {
-                    flushed.clear();
-                    nodeqs[qi].push_run(dest, &pending[*pos..end], rows, now, &mut flushed);
-                    for pkt in flushed.drain(..) {
+                    scratch.clear();
+                    nodeqs[qi].push_run(dest, &pending[*pos..end], rows, now, scratch);
+                    for pkt in scratch.drain(..) {
                         sender.submit(pkt);
                     }
                     *pos = end;
@@ -536,6 +553,16 @@ pub fn run_supervised(
                         "chaos: aggregator {}/{} killed at injected drain step",
                         node.id, lane
                     );
+                }
+            }
+            // Busy lane: publish its load signal (max fill EWMA across
+            // this lane's queue sets) and, on lane 0, run the governor's
+            // rate-limited mask decision.
+            if let Some(gov) = &node.governor {
+                let fill = nodeqs.iter().map(|q| q.max_fill_ewma()).fold(0.0, f64::max);
+                gov.publish_fill(lane as usize, fill);
+                if lane == 0 {
+                    gov.decide(&node.queue, Instant::now());
                 }
             }
             continue;
@@ -552,10 +579,11 @@ pub fn run_supervised(
                 node.agg_polls_empty.add(1);
                 let now = Instant::now();
                 for nodeq in nodeqs.iter_mut() {
-                    let pkts = nodeq.poll_timeouts(now);
-                    if !pkts.is_empty() {
+                    scratch.clear();
+                    nodeq.poll_timeouts_into(now, scratch);
+                    if !scratch.is_empty() {
                         let _span = node.tracer.span("agg.flush", "aggregate", node.id);
-                        for pkt in pkts {
+                        for pkt in scratch.drain(..) {
                             sender.submit(pkt);
                         }
                     }
@@ -570,13 +598,42 @@ pub fn run_supervised(
                     .iter()
                     .filter_map(|q| q.next_deadline(now))
                     .min();
+                // Idle lane: publish the real fill while flushes are
+                // still pending, zero once fully empty — a stale EWMA
+                // from a dest that went quiet must not pin the mask
+                // open (or hold it shut) forever.
+                if let Some(gov) = &node.governor {
+                    let fill = if deadline.is_some() {
+                        nodeqs.iter().map(|q| q.max_fill_ewma()).fold(0.0, f64::max)
+                    } else {
+                        0.0
+                    };
+                    gov.publish_fill(lane as usize, fill);
+                    if lane == 0 {
+                        gov.decide(&node.queue, now);
+                    }
+                }
                 let drained = sender.is_drained();
                 drop(st);
-                if idle.should_spin() {
+                // A governed lane outside the active mask, fully
+                // drained with no flush pending, parks long and skips
+                // the spin window entirely: it cannot receive work
+                // until the mask re-expands, and that arrives as a
+                // ring publish which wakes the park. Spinning here
+                // would only steal cycles from the lanes that are in
+                // the mask.
+                let parked_out = node.governor.is_some()
+                    && (lane as usize) >= node.queue.active_lanes()
+                    && drained
+                    && deadline.is_none();
+                if !parked_out && idle.should_spin() {
                     node.net_spin_spins.add(1);
                     std::thread::yield_now();
                 } else {
                     let mut park = idle.next_park();
+                    if parked_out {
+                        park = PARKED_LANE_PARK;
+                    }
                     if let Some(d) = deadline {
                         park = park.min(d);
                     }
@@ -594,10 +651,11 @@ pub fn run_supervised(
             }
             Consumed::Closed => {
                 for nodeq in nodeqs.iter_mut() {
-                    let pkts = nodeq.flush_all();
-                    if !pkts.is_empty() {
+                    scratch.clear();
+                    nodeq.flush_all_into(scratch);
+                    if !scratch.is_empty() {
                         let _span = node.tracer.span("agg.flush", "aggregate", node.id);
-                        for pkt in pkts {
+                        for pkt in scratch.drain(..) {
                             sender.submit(pkt);
                         }
                     }

@@ -127,6 +127,19 @@ pub struct GravelConfig {
     /// ablation knob), pending-reply table capacity, and the request
     /// timeout. See DESIGN.md §15.
     pub rpc: crate::rpc::RpcConfig,
+    /// Adaptive lane governor: when `Some`, a multi-lane node starts
+    /// with one *active* lane and expands/collapses the dest-hash
+    /// routing mask with measured per-lane fill (sparse workloads keep
+    /// single-lane packing, dense ones get full drain parallelism —
+    /// see DESIGN.md §17). `None` is the static-mask ablation: all
+    /// lanes active forever, the pre-governor behavior, and the mode
+    /// for workloads that need strict per-destination PUT ordering
+    /// across the whole run. Irrelevant at `aggregator_threads == 1`.
+    pub lane_governor: Option<crate::governor::GovernorConfig>,
+    /// Recycle packet buffers through the node's lock-free arena
+    /// (aggregator flushes, frame sealing, socket receive) instead of
+    /// allocating per packet. `false` is the allocator ablation.
+    pub buffer_pool: bool,
 }
 
 impl GravelConfig {
@@ -157,6 +170,8 @@ impl GravelConfig {
             wire_integrity: WireIntegrity::Crc32c,
             quarantine_capacity: 1024,
             rpc: crate::rpc::RpcConfig::default(),
+            lane_governor: Some(crate::governor::GovernorConfig::default()),
+            buffer_pool: true,
         }
     }
 
@@ -195,6 +210,8 @@ impl GravelConfig {
                 timeout: Duration::from_millis(500),
                 ..crate::rpc::RpcConfig::default()
             },
+            lane_governor: Some(crate::governor::GovernorConfig::default()),
+            buffer_pool: true,
         }
     }
 
@@ -252,6 +269,9 @@ impl GravelConfig {
             "pending-reply table must hold at least one request"
         );
         assert!(!self.rpc.timeout.is_zero(), "rpc timeout must be nonzero");
+        if let Some(g) = &self.lane_governor {
+            g.validate();
+        }
         if let Some(hb) = &self.ha.heartbeat {
             assert!(!hb.interval.is_zero(), "heartbeat interval must be nonzero");
             assert!(

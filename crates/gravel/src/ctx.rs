@@ -103,19 +103,50 @@ impl<'a> GravelCtx<'a> {
             // Destination-sharded rings: split the work-group by shard so
             // each destination's traffic lands in its owning lane's ring.
             // One reservation per (work-group, shard) — still work-group
-            // granularity within each shard.
-            for shard in 0..lanes {
-                let m = mask.and(&Mask::from_fn(self.wg.wg_size(), |l| {
-                    node.queue.shard_of(dests.get(l)) == shard
-                }));
-                if m.is_empty() {
-                    continue;
-                }
-                self.wg.with_mask(m, |wg| {
+            // granularity within each shard. The routing mask is read
+            // exactly once for the whole split: the lane governor may
+            // move it concurrently, and re-reading it per shard pass
+            // could route one lane into two shards (a duplicate send)
+            // or into none (a lost message).
+            //
+            // SIMT producers drive the governor like host producers do
+            // (see `NodeShared::host_send_batch`): on an oversubscribed
+            // host the producer sees a saturated collapsed ring long
+            // before the descheduled consumer would. Deciding *before*
+            // reading the mask matters twice over — a full ring blocks
+            // `wg_produce`, and a blocked producer can't expand the
+            // mask it is blocked on; and deciding first lets this very
+            // offload route across the widened mask. Cadence-gated, so
+            // this is one relaxed load per offload in the common case.
+            if let Some(gov) = &node.governor {
+                gov.decide(&node.queue, Instant::now());
+            }
+            let active = node.queue.active_lanes();
+            if active == 1 {
+                // Collapsed mask: everything routes to lane 0, no
+                // split to compute.
+                let mask = mask.clone();
+                self.wg.with_mask(mask, |wg| {
                     node.queue
-                        .ring(shard)
+                        .ring(0)
                         .wg_produce(wg, |lane, row| make(lane).encode()[row]);
                 });
+            } else {
+                // `dest % active` never reaches a parked shard, so the
+                // split only visits the active prefix.
+                for shard in 0..active {
+                    let m = mask.and(&Mask::from_fn(self.wg.wg_size(), |l| {
+                        dests.get(l) as usize % active == shard
+                    }));
+                    if m.is_empty() {
+                        continue;
+                    }
+                    self.wg.with_mask(m, |wg| {
+                        node.queue
+                            .ring(shard)
+                            .wg_produce(wg, |lane, row| make(lane).encode()[row]);
+                    });
+                }
             }
         }
         node.note_offloaded(count);

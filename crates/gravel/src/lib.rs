@@ -27,6 +27,7 @@ pub mod backoff;
 pub mod config;
 pub mod ctx;
 pub mod error;
+pub mod governor;
 pub mod ha;
 pub mod netthread;
 pub mod node;
@@ -38,6 +39,7 @@ pub mod stats;
 pub use config::GravelConfig;
 pub use ctx::GravelCtx;
 pub use error::{ErrorSlot, RuntimeError};
+pub use governor::{GovernorConfig, LaneGovernor};
 pub use ha::{
     Checkpoint, EpochSnapshot, FailureDetector, HaConfig, HeartbeatConfig, PeerStatus, ReplayLog,
     Supervisor, SupervisorConfig, WorkerKind,

@@ -17,8 +17,9 @@
 
 use std::sync::atomic::{fence, AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use gravel_gq::{Message, QueueStats};
+use gravel_gq::{BufferPool, Message, QueueStats};
 use gravel_net::RetryConfig;
 use gravel_pgas::{
     AdaptiveFlush, AggCounters, AmRegistry, Quarantine, SymmetricHeap, WireIntegrity,
@@ -26,6 +27,7 @@ use gravel_pgas::{
 use gravel_telemetry::{Counter, Histogram, Registry, Tracer};
 
 use crate::config::GravelConfig;
+use crate::governor::LaneGovernor;
 use crate::rings::ShardedRings;
 use crate::stats::{NetStats, NodeStats};
 
@@ -140,6 +142,15 @@ pub struct NodeShared {
     /// Replies this node's network thread generated while applying GETs
     /// and AM calls (`rpc.replies_sent`).
     pub rpc_replies_sent: Counter,
+    /// Packet-buffer arena shared by this node's aggregator flushes,
+    /// frame sealing, and socket receive path (`Some` when
+    /// `cfg.buffer_pool`; owns the `pool.hits` / `pool.misses` /
+    /// `pool.resident_bytes` metrics). See DESIGN.md §17.
+    pub pool: Option<BufferPool>,
+    /// Adaptive lane governor (`Some` when `cfg.lane_governor` is set
+    /// and the node runs more than one aggregator lane). Lane 0 drives
+    /// [`LaneGovernor::decide`]; every lane publishes its fill signal.
+    pub governor: Option<Arc<LaneGovernor>>,
 }
 
 impl NodeShared {
@@ -167,17 +178,29 @@ impl NodeShared {
         let p = format!("node{id}");
         let name = |suffix: &str| format!("{p}.{suffix}");
         let queue_stats = QueueStats::bound(&registry, &p);
+        let lanes = cfg.aggregator_threads.max(1);
+        let governed = cfg.lane_governor.is_some() && lanes > 1;
         NodeShared {
             id,
             nodes: cfg.nodes,
             heap: SymmetricHeap::new(cfg.heap_len),
             queue: ShardedRings::with_telemetry(
                 cfg.queue,
-                cfg.aggregator_threads.max(1),
+                lanes,
+                governed,
                 queue_stats,
                 tracer.clone(),
                 id,
             ),
+            pool: cfg.buffer_pool.then(|| BufferPool::bound(&registry, &format!("{p}."))),
+            governor: governed.then(|| {
+                Arc::new(LaneGovernor::bound(
+                    cfg.lane_governor.clone().unwrap(),
+                    lanes,
+                    &registry,
+                    &p,
+                ))
+            }),
             ams,
             offloaded: registry.vital_counter(&name("offloaded")),
             applied: registry.vital_counter(&name("applied")),
@@ -271,6 +294,18 @@ impl NodeShared {
                 bufs[s].extend_from_slice(&m.encode());
                 counts[s] += 1;
                 if counts[s] == width {
+                    // Producers drive the governor too: under a
+                    // collapsed mask a dense burst saturates the ring
+                    // long before the (possibly descheduled) lane-0
+                    // consumer notices, and the producer is running by
+                    // definition. Deciding *before* the produce
+                    // matters — a full ring blocks the produce call,
+                    // and a blocked producer can't expand the mask it
+                    // is blocked on. Once per slot keeps this off the
+                    // per-message path; the cadence gate bounds it.
+                    if let Some(gov) = &self.governor {
+                        gov.decide(&self.queue, Instant::now());
+                    }
                     self.queue.ring(s).produce_batch(&bufs[s], counts[s]);
                     bufs[s].clear();
                     counts[s] = 0;

@@ -18,7 +18,15 @@
 //!
 //! The total slot budget of the configured geometry is divided across
 //! the rings (each keeps at least two slots), so enabling lanes does not
-//! multiply the memory footprint.
+//! multiply the memory footprint — governed or not. A governed bank
+//! collapsed to one lane therefore runs on a fraction of the budget,
+//! and that is deliberate: a divided ring that a dense burst saturates
+//! is exactly the backpressure signal the governor's occupancy term
+//! reads to expand the mask (see `governor.rs`), while giving every
+//! ring the full budget was measured to cost GUPS ~5 % in cache
+//! footprint at four lanes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use gravel_gq::{Consumed, GravelQueue, QueueConfig, QueueStats};
 use gravel_telemetry::Tracer;
@@ -26,6 +34,9 @@ use gravel_telemetry::Tracer;
 /// A bank of per-lane offload rings sharing one telemetry surface.
 pub struct ShardedRings {
     rings: Box<[GravelQueue]>,
+    /// Routing mask: destinations hash into the first `active` rings.
+    /// Equals `rings.len()` (and never moves) without a governor.
+    active: AtomicUsize,
     /// Synchronization instrumentation, shared by every ring (cloned
     /// counter handles all feed the same totals).
     pub stats: QueueStats,
@@ -35,15 +46,18 @@ impl ShardedRings {
     /// Build `lanes` rings by dividing `cfg.slots` across them (detached
     /// stats, no tracing — the standalone mode).
     pub fn new(cfg: QueueConfig, lanes: usize) -> Self {
-        Self::with_telemetry(cfg, lanes, QueueStats::default(), Tracer::disabled(), 0)
+        Self::with_telemetry(cfg, lanes, false, QueueStats::default(), Tracer::disabled(), 0)
     }
 
     /// Build `lanes` rings whose counters and spans feed a cluster's
     /// telemetry. Every ring shares (clones of) `stats`, so snapshots
-    /// aggregate the whole bank.
+    /// aggregate the whole bank. `governed` banks start collapsed to
+    /// one active lane; static banks route across all rings forever.
+    /// Both divide the slot budget (see module docs).
     pub fn with_telemetry(
         cfg: QueueConfig,
         lanes: usize,
+        governed: bool,
         stats: QueueStats,
         tracer: Tracer,
         node: u32,
@@ -57,6 +71,7 @@ impl ShardedRings {
             rings: (0..lanes)
                 .map(|_| GravelQueue::with_telemetry(ring_cfg, stats.clone(), tracer.clone(), node))
                 .collect(),
+            active: AtomicUsize::new(if governed { 1 } else { lanes }),
             stats,
         }
     }
@@ -66,15 +81,44 @@ impl ShardedRings {
         self.rings.len()
     }
 
+    /// How many lanes currently receive new traffic. Equals
+    /// [`lanes`](Self::lanes) on an ungoverned bank.
+    pub fn active_lanes(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Point the routing mask at the first `n` lanes (governor only).
+    /// Parked lanes keep draining whatever is already in their ring;
+    /// producers that read the mask a moment late still land in a ring
+    /// whose consumer exists, so no traffic strands.
+    pub fn set_active_lanes(&self, n: usize) {
+        let n = n.clamp(1, self.rings.len());
+        self.active.store(n, Ordering::Relaxed);
+    }
+
+    /// Move the routing mask `from` → `to` only if it still reads
+    /// `from`. Governor transitions go through this: producers drive
+    /// decisions as well as lane 0, and the CAS turns the loser of a
+    /// racing pair into a no-op instead of letting its stale view yank
+    /// the mask backward.
+    pub fn transition_active_lanes(&self, from: usize, to: usize) -> bool {
+        let to = to.clamp(1, self.rings.len());
+        self.active
+            .compare_exchange(from, to, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
     /// The ring drained by lane `lane`.
     pub fn ring(&self, lane: usize) -> &GravelQueue {
         &self.rings[lane]
     }
 
-    /// Which lane owns destination `dest`. Stable for the lifetime of the
-    /// bank — per-destination ordering depends on it.
+    /// Which lane owns destination `dest`. Stable while the active-lane
+    /// mask holds — per-destination ordering within a mask depends on
+    /// it (a governor transition remaps destinations; see DESIGN.md
+    /// §17 for the ordering contract across transitions).
     pub fn shard_of(&self, dest: u32) -> usize {
-        dest as usize % self.rings.len()
+        dest as usize % self.active_lanes()
     }
 
     /// Per-ring geometry (identical across lanes).
@@ -157,6 +201,32 @@ mod tests {
         assert_eq!(bank(2).config().slots, 4);
         // Floor of two slots even when oversubscribed.
         assert_eq!(bank(7).config().slots, 2);
+    }
+
+    #[test]
+    fn governed_bank_starts_collapsed_with_divided_budget() {
+        let cfg = QueueConfig { slots: 8, lane_width: 4, rows: 4 };
+        let b = ShardedRings::with_telemetry(
+            cfg,
+            4,
+            true,
+            QueueStats::default(),
+            Tracer::disabled(),
+            0,
+        );
+        assert_eq!(b.lanes(), 4);
+        assert_eq!(b.active_lanes(), 1, "governed banks start collapsed");
+        assert_eq!(b.config().slots, 2, "budget divides like a static bank");
+        for dest in 0..16 {
+            assert_eq!(b.shard_of(dest), 0, "collapsed mask routes everything to lane 0");
+        }
+        b.set_active_lanes(2);
+        assert_eq!(b.shard_of(3), 1);
+        // Clamped to the physical lane count (and to >= 1).
+        b.set_active_lanes(99);
+        assert_eq!(b.active_lanes(), 4);
+        b.set_active_lanes(0);
+        assert_eq!(b.active_lanes(), 1);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use gravel_gq::BufferPool;
 use gravel_pgas::frame::{
     open_control, open_heartbeat, open_hello, open_reject, seal_heartbeat, seal_hello,
     seal_reject, HelloInfo, RejectReason,
@@ -102,6 +103,11 @@ pub struct SocketConfig {
     pub seed: u64,
     /// Data ingress channel capacity.
     pub ingress_capacity: usize,
+    /// Packet-buffer arena for the data path: inbound data frames are
+    /// sealed into recycled buffers and outbound length-prefix
+    /// assembly reuses pooled scratch, so the steady-state wire loop
+    /// allocates nothing. `None` (the ablation) allocates per frame.
+    pub pool: Option<BufferPool>,
 }
 
 impl SocketConfig {
@@ -116,6 +122,7 @@ impl SocketConfig {
             reconnect: ReconnectConfig::default(),
             seed: 1,
             ingress_capacity: 4096,
+            pool: None,
         }
     }
 }
@@ -292,8 +299,21 @@ impl StreamDecoder {
     /// needed, or `Err(len)` if the length prefix exceeds the ceiling
     /// (the stream is unrecoverable — framing is lost).
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, usize> {
+        let mut out = Vec::new();
+        match self.next_frame_into(&mut out) {
+            Ok(true) => Ok(Some(out)),
+            Ok(false) => Ok(None),
+            Err(len) => Err(len),
+        }
+    }
+
+    /// Allocation-free [`next_frame`](Self::next_frame): the frame is
+    /// written into `out` (cleared first) and `Ok(true)` returned. The
+    /// read loop reuses one scratch vector across frames, so steady-
+    /// state reassembly never allocates.
+    pub fn next_frame_into(&mut self, out: &mut Vec<u8>) -> Result<bool, usize> {
         if self.buf.len() < 4 {
-            return Ok(None);
+            return Ok(false);
         }
         let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
             as usize;
@@ -301,10 +321,20 @@ impl StreamDecoder {
             return Err(len);
         }
         if self.buf.len() < 4 + len {
-            return Ok(None);
+            return Ok(false);
         }
         self.buf.drain(..4);
-        Ok(Some(self.buf.drain(..len).collect()))
+        out.clear();
+        out.reserve(len);
+        let (head, tail) = self.buf.as_slices();
+        if head.len() >= len {
+            out.extend_from_slice(&head[..len]);
+        } else {
+            out.extend_from_slice(head);
+            out.extend_from_slice(&tail[..len - head.len()]);
+        }
+        self.buf.drain(..len);
+        Ok(true)
     }
 }
 
@@ -355,6 +385,7 @@ struct Inner {
     event_rx: Mutex<Receiver<PeerEvent>>,
     stats: Counters,
     tcp_port: AtomicU32,
+    pool: Option<BufferPool>,
 }
 
 /// The socket-backed [`Transport`]. One instance per OS process (one
@@ -442,6 +473,7 @@ impl SocketTransport {
                 garbage_frames: AtomicU64::new(0),
             },
             tcp_port: AtomicU32::new(tcp_port as u32),
+            pool: cfg.pool,
         });
         {
             let inner = Arc::clone(&inner);
@@ -587,22 +619,39 @@ impl Inner {
     /// the peer's own dialer brings it back) and the frame is dropped.
     fn write_to_peer(&self, peer: NodeId, frame: &[u8]) -> bool {
         debug_assert!(frame.len() <= MAX_FRAME_BYTES);
-        let mut buf = Vec::with_capacity(4 + frame.len());
+        // Assemble prefix + frame in one buffer so the stream sees a
+        // single write; the buffer is pooled scratch when the arena is
+        // on (returned via `put` — it never outlives this call).
+        let taken = self.pool.as_ref().map(|pool| pool.take(4 + frame.len()));
+        let (mut buf, ticket) = match taken {
+            Some((v, t)) => (v, Some(t)),
+            None => (Vec::with_capacity(4 + frame.len()), None),
+        };
         buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
         buf.extend_from_slice(frame);
-        let mut slot = self.peers[peer as usize].lock().unwrap();
-        let Some(writer) = slot.writer.as_mut() else {
-            self.stats.link_drops.fetch_add(1, Ordering::Relaxed);
-            return false;
+        let ok = {
+            let mut slot = self.peers[peer as usize].lock().unwrap();
+            match slot.writer.as_mut() {
+                None => {
+                    self.stats.link_drops.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+                Some(writer) => {
+                    if let Err(_e) = writer.write_all(&buf) {
+                        self.stats.link_drops.fetch_add(1, Ordering::Relaxed);
+                        let gen = slot.generation;
+                        self.drop_conn(&mut slot, gen);
+                        false
+                    } else {
+                        true
+                    }
+                }
+            }
         };
-        if let Err(e) = writer.write_all(&buf) {
-            self.stats.link_drops.fetch_add(1, Ordering::Relaxed);
-            let gen = slot.generation;
-            self.drop_conn(&mut slot, gen);
-            let _ = e;
-            return false;
+        if let (Some(pool), Some(t)) = (&self.pool, ticket) {
+            pool.put(buf, t);
         }
-        true
+        ok
     }
 
     /// Tear down the connection in `slot` if it is still generation
@@ -804,6 +853,7 @@ impl Inner {
     fn read_loop(self: Arc<Self>, peer: NodeId, gen: u64, mut stream: Stream) {
         let mut decoder = StreamDecoder::new(MAX_FRAME_BYTES);
         let mut chunk = [0u8; 16 * 1024];
+        let mut frame = Vec::new();
         loop {
             if self.closed.load(Ordering::Relaxed) {
                 return;
@@ -819,9 +869,9 @@ impl Inner {
                 Ok(n) => {
                     decoder.push(&chunk[..n]);
                     loop {
-                        match decoder.next_frame() {
-                            Ok(Some(frame)) => self.route(&frame),
-                            Ok(None) => break,
+                        match decoder.next_frame_into(&mut frame) {
+                            Ok(true) => self.route(&frame),
+                            Ok(false) => break,
                             Err(_) => {
                                 // Length prefix is garbage: framing is
                                 // lost, the stream cannot be trusted.
@@ -870,11 +920,22 @@ impl Inner {
             // (GET / AM_CALL / AM_REPLY). The receiver's verified open
             // re-checks the kind against the data-plane set.
             0 | 6 | 7 | 8 => {
+                // Pool on: the frame bytes live in a recycled slab and
+                // the seal allocates nothing. Pool off (or frame too
+                // big for a bucket — take still serves it): plain copy.
+                let bytes = match &self.pool {
+                    Some(pool) => {
+                        let (mut v, ticket) = pool.take(frame.len());
+                        v.extend_from_slice(frame);
+                        pool.seal(v, ticket)
+                    }
+                    None => Bytes::from(frame.to_vec()),
+                };
                 let df = DataFrame {
                     src: word(8),
                     dest: word(12),
                     born: Instant::now(),
-                    bytes: Bytes::from(frame.to_vec()),
+                    bytes,
                 };
                 if self.data_tx.try_send(df).is_err() {
                     self.stats.mailbox_drops.fetch_add(1, Ordering::Relaxed);

@@ -583,7 +583,11 @@ fn transmit(
     let mut pkt = Packet::from_words(node.id, dest, words);
     pkt.lane = 0;
     pkt.seq = seq;
-    let frame = pkt.seal(node.wire_epoch.load(Ordering::Relaxed), node.wire_integrity);
+    let frame = pkt.seal_in(
+        node.wire_epoch.load(Ordering::Relaxed),
+        node.wire_integrity,
+        node.pool.as_ref(),
+    );
     !matches!(transport.send_data(frame, Duration::from_millis(5)), SendStatus::TimedOut)
 }
 

@@ -473,6 +473,8 @@ fn run() -> i32 {
     let mut scfg = SocketConfig::new(me, addrs(&args));
     scfg.integrity = args.integrity;
     scfg.seed = args.seed ^ (me as u64).wrapping_mul(0x9E37_79B9);
+    // The wire loops draw frame buffers from the node's arena.
+    scfg.pool = node.pool.clone();
     if args.gets > 0 {
         // Lane 0 carries the deterministic GUPS flows; lane 1 carries
         // request-reply traffic (its own ack mailbox).

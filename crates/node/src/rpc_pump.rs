@@ -139,10 +139,12 @@ pub fn run_rpc_pump(
                 pkt.lane = RPC_LANE;
                 pkt.seq = f.next;
                 f.next += 1;
-                // seal() stamps the frame kind from the message class
+                // Sealing stamps the frame kind from the message class
                 // (GET / AM_REPLY), so the wire advertises the traffic
-                // class even without the in-process QoS scheduler.
-                let frame = pkt.seal(epoch, integrity);
+                // class even without the in-process QoS scheduler. The
+                // frame buffer comes from the node's arena when pooling
+                // is on.
+                let frame = pkt.seal_in(epoch, integrity, node.pool.as_ref());
                 let _ = transport.send_data(frame.clone(), Duration::from_millis(5));
                 f.unacked.push_back(frame);
                 f.timer = Instant::now();

@@ -218,7 +218,7 @@ fn transmit(
     pkt.lane = 0;
     pkt.seq = seq;
     let epoch = node.wire_epoch.load(Relaxed);
-    let frame = pkt.seal(epoch, integrity);
+    let frame = pkt.seal_in(epoch, integrity, node.pool.as_ref());
     !matches!(
         transport.send_data(frame, Duration::from_millis(5)),
         SendStatus::TimedOut

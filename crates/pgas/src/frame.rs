@@ -589,6 +589,31 @@ pub fn seal_frame(head: &FrameHead, payload: &[u8], integrity: WireIntegrity) ->
     buf.freeze()
 }
 
+/// [`seal_frame`] drawing the frame buffer from a packet-buffer arena:
+/// allocation-free in steady state (the buffer and its refcount block
+/// both recycle once every clone of the frame drops). `None` falls
+/// back to the allocating path.
+pub fn seal_frame_in(
+    head: &FrameHead,
+    payload: &[u8],
+    integrity: WireIntegrity,
+    pool: Option<&gravel_gq::BufferPool>,
+) -> Bytes {
+    let Some(pool) = pool else {
+        return seal_frame(head, payload, integrity);
+    };
+    debug_assert_eq!(head.payload_len as usize, payload.len());
+    let (mut buf, ticket) = pool.take(HEADER_BYTES + payload.len() + 4);
+    put_header(&mut buf, head);
+    buf.put_slice(payload);
+    let crc = match integrity {
+        WireIntegrity::Crc32c => crc32c(&buf),
+        WireIntegrity::Off => 0,
+    };
+    buf.put_u32_le(crc);
+    pool.seal(buf, ticket)
+}
+
 fn read_u32(b: &[u8], at: usize) -> u32 {
     u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
 }
@@ -983,18 +1008,41 @@ impl Packet {
     /// class-pure (runs split on class boundaries), so the first
     /// message's class speaks for the whole payload.
     pub fn seal(&self, epoch: u32, integrity: WireIntegrity) -> DataFrame {
+        self.seal_in(epoch, integrity, None)
+    }
+
+    /// [`seal`](Self::seal) drawing the frame buffer from a
+    /// packet-buffer arena (allocation-free in steady state).
+    pub fn seal_in(
+        &self,
+        epoch: u32,
+        integrity: WireIntegrity,
+        pool: Option<&gravel_gq::BufferPool>,
+    ) -> DataFrame {
         let kind = match self.class() {
             gravel_gq::TrafficClass::Get => FrameKind::Get,
             gravel_gq::TrafficClass::Reply => FrameKind::AmReply,
             gravel_gq::TrafficClass::AmCall => FrameKind::AmCall,
             gravel_gq::TrafficClass::Bulk => FrameKind::Data,
         };
-        self.seal_kind(epoch, integrity, kind)
+        self.seal_kind_in(epoch, integrity, kind, pool)
     }
 
     /// Seal with an explicit frame kind (the class-derived [`seal`]
     /// is the normal path).
     pub fn seal_kind(&self, epoch: u32, integrity: WireIntegrity, kind: FrameKind) -> DataFrame {
+        self.seal_kind_in(epoch, integrity, kind, None)
+    }
+
+    /// [`seal_kind`](Self::seal_kind) drawing the frame buffer from a
+    /// packet-buffer arena (allocation-free in steady state).
+    pub fn seal_kind_in(
+        &self,
+        epoch: u32,
+        integrity: WireIntegrity,
+        kind: FrameKind,
+        pool: Option<&gravel_gq::BufferPool>,
+    ) -> DataFrame {
         let head = FrameHead {
             kind,
             flags: 0,
@@ -1009,7 +1057,7 @@ impl Packet {
             src: self.src,
             dest: self.dest,
             born: self.born,
-            bytes: seal_frame(&head, &self.payload, integrity),
+            bytes: seal_frame_in(&head, &self.payload, integrity, pool),
         }
     }
 }

@@ -12,6 +12,7 @@
 use std::time::{Duration, Instant};
 
 use bytes::{BufMut, Bytes, BytesMut};
+use gravel_gq::pool::{BufTicket, BufferPool};
 use gravel_telemetry::{Counter, Registry};
 
 /// Default per-node queue size (Table 3).
@@ -179,10 +180,14 @@ impl Packet {
 
 struct AggBuffer {
     buf: BytesMut,
+    /// Pool claim on `buf`'s backing vector, when it came from the
+    /// arena; redeemed at flush so the payload recycles.
+    ticket: Option<BufTicket>,
     opened_at: Option<Instant>,
     messages: u64,
-    /// EWMA of this destination's fill fraction at flush time (0..=1);
-    /// meaningful only under [`FlushPolicy::Adaptive`].
+    /// EWMA of this destination's fill fraction at flush time (0..=1).
+    /// Drives the effective timeout under [`FlushPolicy::Adaptive`]
+    /// and, aggregated per lane, the lane governor's signal.
     fill_ewma: f64,
     /// This destination's current effective flush timeout.
     eff_timeout: Duration,
@@ -290,6 +295,9 @@ pub struct NodeQueues {
     queue_bytes: usize,
     policy: FlushPolicy,
     bufs: Vec<AggBuffer>,
+    /// Buffer arena payload buffers are drawn from and recycled to;
+    /// `None` falls back to per-flush allocation.
+    pool: Option<BufferPool>,
     /// Aggregation counters (detached unless built via
     /// [`with_telemetry`](Self::with_telemetry)).
     counters: AggCounters,
@@ -355,14 +363,24 @@ impl NodeQueues {
             bufs: (0..nodes)
                 .map(|_| AggBuffer {
                     buf: BytesMut::new(),
+                    ticket: None,
                     opened_at: None,
                     messages: 0,
                     fill_ewma: 0.5,
                     eff_timeout: initial,
                 })
                 .collect(),
+            pool: None,
             counters,
         }
+    }
+
+    /// Draw flush payload buffers from `pool` (and recycle them there
+    /// once the frames built on them drop) instead of allocating per
+    /// flush. Builder-style so existing constructors stay untouched.
+    pub fn with_pool(mut self, pool: BufferPool) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Configured per-queue capacity in bytes.
@@ -395,17 +413,35 @@ impl NodeQueues {
     fn flush_dest(&mut self, dest: usize, timed_out: bool) -> Option<Packet> {
         let queue_bytes = self.queue_bytes;
         let policy = self.policy;
+        let pool = self.pool.as_ref();
         let b = &mut self.bufs[dest];
         if b.buf.is_empty() {
             return None;
         }
-        let payload = b.buf.split().freeze();
+        let payload = match pool {
+            Some(pool) => {
+                // Swap in a recycled buffer, seal the filled one into
+                // its slab: the frozen payload is the pooled vector
+                // itself — no allocation, no freeze memcpy — and it
+                // returns to the arena when the last frame view drops.
+                let (next, next_ticket) = pool.take(queue_bytes);
+                let filled = std::mem::replace(&mut b.buf, BytesMut::from_vec(next));
+                match b.ticket.replace(next_ticket) {
+                    Some(t) => pool.seal(filled.into_vec(), t),
+                    // First flush of this destination: the buffer
+                    // predates pooling (warm-up alloc).
+                    None => filled.freeze(),
+                }
+            }
+            None => b.buf.split().freeze(),
+        };
         let born = b.opened_at.take().unwrap_or_else(Instant::now);
+        // Fill fraction of this flush feeds the destination's EWMA —
+        // tracked under every policy (the lane governor reads it);
+        // only the effective timeout is adaptive-gated.
+        let fill = (payload.len() as f64 / queue_bytes as f64).min(1.0);
+        b.fill_ewma = 0.75 * b.fill_ewma + 0.25 * fill;
         if let FlushPolicy::Adaptive(a) = policy {
-            // Fill fraction of this flush feeds the destination's EWMA;
-            // the effective timeout interpolates [min, max] by it.
-            let fill = (payload.len() as f64 / queue_bytes as f64).min(1.0);
-            b.fill_ewma = 0.75 * b.fill_ewma + 0.25 * fill;
             b.eff_timeout = a.min + (a.max - a.min).mul_f64(b.fill_ewma);
         }
         self.counters.packets.inc();
@@ -507,17 +543,26 @@ impl NodeQueues {
     /// Flush every queue whose oldest message is older than its
     /// (destination-effective) timeout.
     pub fn poll_timeouts(&mut self, now: Instant) -> Vec<Packet> {
-        let expired: Vec<usize> = (0..self.nodes)
-            .filter(|&d| {
-                self.bufs[d]
-                    .opened_at
-                    .is_some_and(|t| now.duration_since(t) >= self.bufs[d].eff_timeout)
-            })
-            .collect();
-        expired
-            .into_iter()
-            .filter_map(|d| self.flush_dest(d, true))
-            .collect()
+        let mut out = Vec::new();
+        self.poll_timeouts_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free [`poll_timeouts`](Self::poll_timeouts): flushed
+    /// packets are appended to `out` (the aggregator reuses one
+    /// scratch vector across batches, so the steady state allocates
+    /// nothing here).
+    pub fn poll_timeouts_into(&mut self, now: Instant, out: &mut Vec<Packet>) {
+        for d in 0..self.nodes {
+            let due = self.bufs[d]
+                .opened_at
+                .is_some_and(|t| now.duration_since(t) >= self.bufs[d].eff_timeout);
+            if due {
+                if let Some(p) = self.flush_dest(d, true) {
+                    out.push(p);
+                }
+            }
+        }
     }
 
     /// Time until the earliest pending timeout flush, if any destination
@@ -536,14 +581,39 @@ impl NodeQueues {
 
     /// Flush everything (end of kernel / shutdown).
     pub fn flush_all(&mut self) -> Vec<Packet> {
-        (0..self.nodes)
-            .filter_map(|d| self.flush_dest(d, false))
-            .collect()
+        let mut out = Vec::new();
+        self.flush_all_into(&mut out);
+        out
+    }
+
+    /// Allocation-free [`flush_all`](Self::flush_all), appending to
+    /// `out`.
+    pub fn flush_all_into(&mut self, out: &mut Vec<Packet>) {
+        for d in 0..self.nodes {
+            if let Some(p) = self.flush_dest(d, false) {
+                out.push(p);
+            }
+        }
     }
 
     /// Bytes currently buffered for `dest`.
     pub fn pending_bytes(&self, dest: usize) -> usize {
         self.bufs[dest].buf.len()
+    }
+
+    /// The lane governor's load signal: the *highest* per-destination
+    /// fill EWMA across this queue set. Max (not mean) because one
+    /// dense destination is enough to justify keeping a lane, while
+    /// idle destinations (EWMA decaying from its 0.5 start) shouldn't
+    /// dilute the signal. Destinations that never flushed report their
+    /// neutral 0.5 start only if something is buffered — a completely
+    /// untouched queue set reports 0.
+    pub fn max_fill_ewma(&self) -> f64 {
+        self.bufs
+            .iter()
+            .filter(|b| b.messages > 0 || b.fill_ewma != 0.5 || b.opened_at.is_some())
+            .map(|b| b.fill_ewma)
+            .fold(0.0, f64::max)
     }
 }
 

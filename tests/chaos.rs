@@ -211,6 +211,11 @@ fn lane_sweep_preserves_per_flow_put_order_under_faults() {
     let nodes = 3usize;
     for lanes in [1usize, 2, 4] {
         let mut cfg = lane_cfg(nodes, 64, lanes);
+        // Strict per-flow PUT ordering requires a static destination→lane
+        // mask: a governor transition remaps destinations and opens a
+        // bounded reorder window (DESIGN.md §17), which last-writer-wins
+        // PUT streams are exactly the workload that cannot tolerate.
+        cfg.lane_governor = None;
         let wg = cfg.wg_size;
         cfg.heap_len = nodes * wg; // one private slot per (src, lane) flow
         cfg.transport = TransportKind::Unreliable(FaultConfig::mixed(7_700 + lanes as u64, 0.10));
@@ -284,6 +289,121 @@ fn lane_sweep_survives_seeded_aggregator_kill() {
         assert_eq!(stats.ha.restarts, 1, "lanes {lanes} seed {seed}");
         assert_eq!(stats.total_offloaded(), stats.total_applied());
     }
+}
+
+// ---------------------------------------------------------------------------
+// Governed lane sweep (DESIGN.md §17): the adaptive lane governor moves the
+// destination→lane routing mask at runtime. Transitions open a bounded
+// reorder window but must never duplicate or lose a message — commuting
+// workloads (GUPS INC, PageRank accumulate) stay bit-exact through any
+// interleaving of collapse/expand transitions and process kills. These
+// tests flap the mask far harder than the real governor's hysteresis ever
+// would, from a background thread, while a seeded kill fires mid-run.
+// ---------------------------------------------------------------------------
+
+/// Governed config whose automatic decider is parked far in the future,
+/// so the test thread owns the mask: rings start collapsed exactly as
+/// under the live governor, but every transition is test-driven.
+fn flapped_cfg(nodes: usize, heap: usize, lanes: usize) -> GravelConfig {
+    let mut cfg = lane_cfg(nodes, heap, lanes);
+    cfg.lane_governor = Some(gravel_core::GovernorConfig {
+        decide_every: std::time::Duration::from_secs(3600),
+        ..Default::default()
+    });
+    cfg
+}
+
+/// Cycle every node's active-lane mask through collapse/expand
+/// transitions until `stop` is set.
+fn spawn_mask_flapper(
+    rt: &GravelRuntime,
+    stop: &Arc<std::sync::atomic::AtomicBool>,
+) -> std::thread::JoinHandle<u64> {
+    use std::sync::atomic::Ordering::Relaxed;
+    let nodes: Vec<_> = (0..rt.nodes()).map(|i| rt.node(i).clone()).collect();
+    let stop = stop.clone();
+    std::thread::spawn(move || {
+        let cycle = [2usize, 4, 1, 3];
+        let mut flips = 0u64;
+        while !stop.load(Relaxed) {
+            for n in &nodes {
+                n.queue.set_active_lanes(cycle[flips as usize % cycle.len()]);
+            }
+            flips += 1;
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+        flips
+    })
+}
+
+/// GUPS under mask flapping plus a seeded aggregator-lane kill: INC
+/// commutes, so no matter how the transitions interleave with the kill
+/// and restart, the heaps must end bit-exact with exactly-once
+/// accounting. (A mid-split mask move once routed one GPU lane into two
+/// shards — a duplicate — or into none — a loss; this is the regression
+/// test that pins the snapshot-once produce split.)
+#[test]
+fn governed_gups_is_bit_exact_under_mask_flapping_and_aggregator_kill() {
+    use std::sync::atomic::AtomicBool;
+    let input = gups_input();
+    let baseline = baseline_heaps(&input, 2);
+    let lanes = 4usize;
+    // Kill lane 0: it is never parked, so the kill always fires.
+    let (seed, plan) = seeded_plan_slots(
+        2,
+        lanes,
+        64,
+        |f| matches!(f, ProcessFault::PanicAggregator { slot: 0, .. }),
+    );
+    let mut cfg = flapped_cfg(2, input.table_len, lanes);
+    cfg.chaos = Some(Arc::new(plan));
+    let rt = GravelRuntime::new(cfg);
+    let stop = Arc::new(AtomicBool::new(false));
+    let flapper = spawn_mask_flapper(&rt, &stop);
+    gups::run_live(&rt, &input);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let flips = flapper.join().unwrap();
+    assert!(flips > 0, "mask flapper never ran");
+    assert!(
+        gups::verify_live(&rt, &input),
+        "seed {seed}: histogram wrong under mask flapping"
+    );
+    for (i, expect) in baseline.iter().enumerate() {
+        assert_eq!(
+            &rt.heap(i).snapshot(),
+            expect,
+            "seed {seed}: heap {i} not bit-exact under mask flapping"
+        );
+    }
+    let stats = rt.shutdown().expect("restart absorbed the kill");
+    assert_eq!(stats.ha.restarts, 1, "seed {seed}");
+    assert_eq!(stats.total_offloaded(), stats.total_applied());
+}
+
+/// PageRank under mask flapping plus a seeded network-thread kill: the
+/// accumulate path commutes like GUPS INC, and the net-thread restart
+/// exercises the receiver half (per-(src, lane) sequence expectations
+/// survive while the set of live sender flows is itself shifting).
+#[test]
+fn governed_pagerank_is_bit_exact_under_mask_flapping_and_net_kill() {
+    use std::sync::atomic::AtomicBool;
+    let g = gen::cage15_like(96, 5);
+    let damping = pagerank::default_damping();
+    let mut cfg = flapped_cfg(3, 64, 4);
+    cfg.chaos = Some(Arc::new(ChaosPlan::new(vec![ProcessFault::PanicNet {
+        node: 1,
+        at_step: 5,
+    }])));
+    let rt = GravelRuntime::new(cfg);
+    let stop = Arc::new(AtomicBool::new(false));
+    let flapper = spawn_mask_flapper(&rt, &stop);
+    let live = pagerank::run_live(&rt, &g, 3, damping);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let flips = flapper.join().unwrap();
+    assert!(flips > 0, "mask flapper never ran");
+    assert_eq!(live, reference::pagerank(&g, 3, damping));
+    let stats = rt.shutdown().expect("restart absorbed the kill");
+    assert_eq!(stats.ha.restarts, 1);
 }
 
 #[test]

@@ -3,19 +3,55 @@
 //! Implements the subset the workspace uses — [`BytesMut`] as an
 //! append-only build buffer with [`BufMut`] little-endian writers,
 //! `split().freeze()` to detach a cheaply-clonable immutable [`Bytes`] —
-//! over plain `Vec<u8>`/`Arc<[u8]>`. No vtables, no shared-slab
-//! refcounting; `split` copies nothing (it takes the whole vector) and
-//! `freeze` does one allocation handoff.
+//! over plain `Vec<u8>`/`Arc<[u8]>`. No shared-slab refcounting;
+//! `split` copies nothing (it takes the whole vector) and `freeze`
+//! does one allocation handoff.
+//!
+//! Beyond the plain `Arc<[u8]>` representation, [`Bytes::from_owner`]
+//! mirrors upstream's owner-backed construction: any [`ByteOwner`] can
+//! lend its storage as an immutable `Bytes` without copying, and gets
+//! dropped (running its `Drop`) when the last clone goes away. The
+//! buffer-pool arena uses this to surface pooled `Vec<u8>`s as frame
+//! payloads and reclaim them on drop.
 
 use std::ops::{Deref, DerefMut, Range};
 use std::sync::Arc;
 
+/// Storage that can back a [`Bytes`] without copying. The returned
+/// slice must be stable for the owner's lifetime (the owner sits
+/// behind an `Arc` and is never mutated while lent out).
+pub trait ByteOwner: Send + Sync + 'static {
+    /// The bytes this owner lends out.
+    fn as_slice(&self) -> &[u8];
+}
+
+impl ByteOwner for Vec<u8> {
+    fn as_slice(&self) -> &[u8] {
+        self
+    }
+}
+
+#[derive(Clone)]
+enum Repr {
+    Shared(Arc<[u8]>),
+    Owned(Arc<dyn ByteOwner>),
+}
+
+impl Repr {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Repr::Shared(a) => a,
+            Repr::Owned(o) => o.as_slice(),
+        }
+    }
+}
+
 /// An immutable, cheaply clonable byte buffer — a `(start, end)` view
 /// into a shared allocation, so [`Bytes::slice`] is zero-copy like the
 /// upstream crate.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    repr: Repr,
     start: usize,
     end: usize,
 }
@@ -23,14 +59,30 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]), start: 0, end: 0 }
+        Bytes { repr: Repr::Shared(Arc::from(&[][..])), start: 0, end: 0 }
     }
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         let data: Arc<[u8]> = Arc::from(data);
         let end = data.len();
-        Bytes { data, start: 0, end }
+        Bytes { repr: Repr::Shared(data), start: 0, end }
+    }
+
+    /// Lend an owner's storage as an immutable buffer without copying.
+    /// The owner is dropped when the last clone of the returned `Bytes`
+    /// (and every `slice` of it) is gone.
+    pub fn from_owner(owner: impl ByteOwner) -> Self {
+        Self::from_owner_arc(Arc::new(owner))
+    }
+
+    /// Like [`from_owner`](Self::from_owner) but adopting an existing
+    /// `Arc`, so constructing the `Bytes` allocates nothing. The
+    /// buffer-pool arena recycles the `Arc` allocation itself through
+    /// this — the zero-alloc packet path depends on it.
+    pub fn from_owner_arc(owner: Arc<dyn ByteOwner>) -> Self {
+        let end = owner.as_slice().len();
+        Bytes { repr: Repr::Owned(owner), start: 0, end }
     }
 
     /// Length in bytes.
@@ -47,7 +99,7 @@ impl Bytes {
     pub fn slice(&self, range: Range<usize>) -> Bytes {
         assert!(range.start <= range.end && range.end <= self.len(), "slice out of range");
         Bytes {
-            data: Arc::clone(&self.data),
+            repr: self.repr.clone(),
             start: self.start + range.start,
             end: self.start + range.end,
         }
@@ -57,6 +109,12 @@ impl Bytes {
 impl Default for Bytes {
     fn default() -> Self {
         Bytes::new()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bytes").field("len", &self.len()).finish()
     }
 }
 
@@ -77,7 +135,7 @@ impl std::hash::Hash for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.repr.as_slice()[self.start..self.end]
     }
 }
 
@@ -91,7 +149,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let data: Arc<[u8]> = Arc::from(v.into_boxed_slice());
         let end = data.len();
-        Bytes { data, start: 0, end }
+        Bytes { repr: Repr::Shared(data), start: 0, end }
     }
 }
 
@@ -110,9 +168,26 @@ impl BytesMut {
         BytesMut(Vec::with_capacity(cap))
     }
 
+    /// Adopt an existing vector (cleared or not) as the build buffer,
+    /// keeping its allocation. The pooled-buffer path uses this to
+    /// recycle packet buffers instead of allocating per flush.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        BytesMut(v)
+    }
+
+    /// Surrender the backing vector, allocation and all.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.0
+    }
+
     /// Length in bytes.
     pub fn len(&self) -> usize {
         self.0.len()
+    }
+
+    /// Allocated capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.0.capacity()
     }
 
     /// Whether the buffer is empty.
@@ -121,9 +196,9 @@ impl BytesMut {
     }
 
     /// Remove and return the entire contents, leaving this buffer empty
-    /// (capacity retained). Matches how the aggregator uses upstream
-    /// `bytes`: `split()` detaches the filled prefix — and we only ever
-    /// split full buffers.
+    /// (a fresh zero-capacity vector). Matches how the aggregator uses
+    /// upstream `bytes`: `split` detaches the filled prefix — and we
+    /// only ever split full buffers.
     pub fn split(&mut self) -> BytesMut {
         BytesMut(std::mem::take(&mut self.0))
     }
@@ -265,5 +340,43 @@ mod tests {
         assert!(b.is_empty());
         b.put_u8(1); // usable after split
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn from_owner_lends_without_copying_and_drops_owner() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+        struct Probe(Vec<u8>);
+        impl ByteOwner for Probe {
+            fn as_slice(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let b = Bytes::from_owner(Probe(vec![7, 8, 9, 10]));
+        let view = b.slice(1..3);
+        assert_eq!(&*b, &[7, 8, 9, 10]);
+        assert_eq!(&*view, &[8, 9]);
+        drop(b);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0, "slice keeps the owner alive");
+        drop(view);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1, "owner dropped with last view");
+    }
+
+    #[test]
+    fn from_vec_into_vec_keeps_allocation() {
+        let v = Vec::with_capacity(128);
+        let ptr = v.as_ptr();
+        let mut b = BytesMut::from_vec(v);
+        b.put_u64_le(5);
+        let back = b.into_vec();
+        assert_eq!(back.as_ptr(), ptr);
+        assert_eq!(back.len(), 8);
     }
 }
