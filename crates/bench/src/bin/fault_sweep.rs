@@ -34,10 +34,10 @@ use std::time::{Duration, Instant};
 
 use gravel_apps::gups::{self, GupsInput};
 use gravel_bench::report::{f2, Table};
-use gravel_core::ha::{Rebalancer, TopologyChange};
+use gravel_core::ha::{successor, Rebalancer, TopologyChange};
 use gravel_core::{
-    FaultConfig, GravelConfig, GravelRuntime, Registry, RegistrySnapshot, RpcFailure,
-    TransportKind,
+    FailureDetector, FaultConfig, GravelConfig, GravelRuntime, HeartbeatConfig, LeaseState,
+    PeerStatus, Registry, RegistrySnapshot, RpcFailure, TransportKind, VoteLedger,
 };
 use gravel_pgas::{Directory, ShardMap, DEFAULT_SHARDS};
 
@@ -70,7 +70,32 @@ struct TelemetryCell {
     /// its exactly-once ledger (DESIGN.md §16).
     #[serde(skip_serializing_if = "Option::is_none")]
     reshard: Option<ReshardStats>,
+    /// Present only on the failover cells: the coordinator-failover /
+    /// partition axis (DESIGN.md §18).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    failover: Option<FailoverStats>,
     telemetry: RegistrySnapshot,
+}
+
+/// One failover cell's outcome: how fast (virtual time) the successor
+/// won the lease after the holder died, and how the quorum gate held
+/// under partitions and one-way drops.
+#[derive(Clone, serde::Serialize)]
+struct FailoverStats {
+    scenario: String,
+    members: u64,
+    trials: u64,
+    /// Lease takeovers asserted (coordinator-kill trials: one each).
+    takeovers: u64,
+    /// Eviction rounds denied by a majority that still heard the
+    /// suspect (one-way cells: at least one per trial).
+    evictions_vetoed: u64,
+    /// Distinct map versions observed across the membership at the end
+    /// of the cell — must be 1 (nobody forked the map).
+    forked_maps: u64,
+    /// Virtual kill → takeover latency (detector latch + quorum).
+    takeover_p50_ns: u64,
+    takeover_p99_ns: u64,
 }
 
 /// One reshard cell's outcome: how much the directory churned, what the
@@ -273,6 +298,193 @@ fn run_reshard_cell(input: &GupsInput, flips: u64) -> (ReshardStats, RegistrySna
     (stats, telemetry, issued, wall)
 }
 
+/// One failover cell: replay the coordinator-failover protocol
+/// (DESIGN.md §18) over the real `FailureDetector`/`LeaseState`/
+/// `VoteLedger` machinery in *virtual* time — explicit `Instant`s, no
+/// sleeping — so the measured takeover latency is the protocol's
+/// (detector latch + quorum round), not the harness's.
+///
+/// Scenarios:
+/// * `coordinator-kill` — the term-1 holder goes silent; every
+///   survivor's detector must latch it, the successor collects a
+///   corroborating quorum and asserts term 2. Per-trial latency feeds
+///   the takeover histogram; seeded beat jitter spreads the trials.
+/// * `partition` — a symmetric 3/3 split: each side latches the far
+///   side dead, but 3 corroborating votes can never reach quorum(6)=4,
+///   so no eviction and no takeover on either side; after the heal the
+///   resumed beats clear every latch.
+/// * `one-way` — one node stops hearing the holder; the majority still
+///   does, so its eviction round is *denied* (vetoed) and the lease
+///   never moves.
+fn run_failover_cell(scenario: &str, trials: u64) -> (FailoverStats, RegistrySnapshot) {
+    let cfg = HeartbeatConfig {
+        interval: Duration::from_millis(5),
+        suspect_phi: 3.0,
+        dead_phi: 8.0,
+        min_samples: 3,
+    };
+    let beat = cfg.interval;
+    let registry = Registry::enabled();
+    let takeover_ns = registry.histogram("bench.failover.takeover_ns");
+    let vetoed_ctr = registry.counter("bench.failover.evictions_vetoed");
+
+    let n: usize = match scenario {
+        "partition" => 6,
+        "one-way" => 4,
+        _ => 5,
+    };
+    let members: Vec<u32> = (0..n as u32).collect();
+    let mut stats = FailoverStats {
+        scenario: scenario.to_string(),
+        members: n as u64,
+        trials,
+        takeovers: 0,
+        evictions_vetoed: 0,
+        forked_maps: 1,
+        takeover_p50_ns: 0,
+        takeover_p99_ns: 0,
+    };
+
+    // SplitMix64: seeded per-trial beat jitter so the latency histogram
+    // sees a spread, not one deterministic point.
+    let mut rng_state = 0xFA11_0E4A_F417_0BADu64;
+    let mut rng = move || {
+        rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+
+    for _ in 0..trials {
+        let base = Instant::now();
+        let detectors: Vec<FailureDetector> =
+            (0..n).map(|_| FailureDetector::new(cfg.clone())).collect();
+        // `hears(i, peer, t_ms)`: does observer i receive peer's beat at
+        // virtual time t? Warmup (all links up) runs 0..500ms; the
+        // scenario's fault window opens at 500ms and heals at 2500ms.
+        let fault = |i: usize, peer: usize, t_ms: u64| -> bool {
+            if !(500..2500).contains(&t_ms) {
+                return false;
+            }
+            match scenario {
+                "coordinator-kill" => peer == 0, // the holder is dead
+                "partition" => (i < 3) != (peer < 3),
+                "one-way" => i == n - 1 && peer == 0,
+                other => unreachable!("unknown failover scenario {other:?}"),
+            }
+        };
+        let lease = LeaseState::new(1, 0); // the successor's view
+        let votes = VoteLedger::new();
+        let mut vetoed_this_trial = false;
+        let mut took_over_at: Option<u64> = None;
+        let mut t_ms = 0u64;
+        while t_ms < 3500 {
+            t_ms += beat.as_millis() as u64;
+            let jitter = Duration::from_micros(rng() % 1500);
+            let now = base + Duration::from_millis(t_ms) + jitter;
+            for (i, det) in detectors.iter().enumerate() {
+                for peer in 0..n {
+                    if i != peer && !fault(i, peer, t_ms) {
+                        det.note_beat(peer as u32, now);
+                    }
+                }
+            }
+            // The HA tick (every 25ms of virtual time): vote rounds at
+            // every live member, then the successor's takeover check.
+            if !t_ms.is_multiple_of(25) {
+                continue;
+            }
+            for (i, det) in detectors.iter().enumerate().skip(1) {
+                for &suspect in &members {
+                    if suspect == i as u32 {
+                        continue;
+                    }
+                    let verdict = det.status(suspect, now) == PeerStatus::Dead;
+                    votes.record(suspect, i as u32, verdict);
+                }
+            }
+            for &suspect in &members {
+                if votes.denied(suspect, &members)
+                    && votes.yes_count(suspect) > 0
+                    && votes.note_veto(suspect)
+                {
+                    stats.evictions_vetoed += 1;
+                    vetoed_this_trial = true;
+                    vetoed_ctr.inc();
+                }
+            }
+            // Node 1 steps up only once the quorum-confirmed dead set
+            // makes it the lowest live member — exactly `run_ha`'s rule.
+            let confirmed: Vec<u32> = members
+                .iter()
+                .copied()
+                .filter(|&p| votes.confirmed(p, &members))
+                .collect();
+            if took_over_at.is_none()
+                && confirmed.contains(&lease.holder())
+                && successor(&members, &confirmed) == Some(1)
+            {
+                lease.assert_takeover();
+                took_over_at = Some(t_ms);
+                stats.takeovers += 1;
+                takeover_ns.record((t_ms - 500) * 1_000_000);
+                break;
+            }
+        }
+        match scenario {
+            "coordinator-kill" => assert!(
+                took_over_at.is_some(),
+                "successor never took over after the holder died"
+            ),
+            "partition" | "one-way" => {
+                assert!(
+                    took_over_at.is_none(),
+                    "{scenario}: a minority view moved the lease"
+                );
+                assert_eq!(lease.term(), 1, "{scenario}: term moved");
+            }
+            _ => unreachable!(),
+        }
+        if scenario == "one-way" {
+            assert!(vetoed_this_trial, "one-way suspicion was never vetoed");
+        }
+        // Heal check (non-takeover scenarios): beats resumed after
+        // 2500ms, so every latched verdict clears via the revive rule
+        // (small silence on a latched-dead peer).
+        if took_over_at.is_none() {
+            let now = base + Duration::from_millis(3600);
+            for (i, d) in detectors.iter().enumerate() {
+                for peer in 0..n {
+                    if i == peer {
+                        continue;
+                    }
+                    if d.status(peer as u32, now) == PeerStatus::Dead {
+                        let silence = d
+                            .silence(peer as u32, now)
+                            .expect("tracked peer has a silence");
+                        assert!(
+                            silence < cfg.interval * 40,
+                            "{scenario}: peer {peer} never resumed at observer {i}"
+                        );
+                        d.reset_peer(peer as u32, now);
+                    }
+                }
+                for &suspect in &members {
+                    votes.clear(suspect);
+                }
+            }
+        }
+    }
+
+    let telemetry = registry.snapshot();
+    if let Some(h) = telemetry.histogram("bench.failover.takeover_ns") {
+        stats.takeover_p50_ns = h.p50();
+        stats.takeover_p99_ns = h.p99();
+    }
+    (stats, telemetry)
+}
+
 fn main() {
     let scale = std::env::args().any(|a| a == "--full");
     let input = if scale {
@@ -391,6 +603,7 @@ fn main() {
             rpc_replies_sent: stats.nodes.iter().map(|n| n.rpc.replies_sent).sum(),
             rpc_credits_stalled: stats.nodes.iter().map(|n| n.rpc.credits_stalled).sum(),
             reshard: None,
+            failover: None,
             telemetry,
         });
         let rate = issued as f64 / wall.as_secs_f64() / 1e6;
@@ -464,9 +677,62 @@ fn main() {
             rpc_replies_sent: 0,
             rpc_credits_stalled: 0,
             reshard: Some(rs),
+            failover: None,
             telemetry,
         });
     }
     rt.emit();
+
+    // ---- Failover cells: the coordinator-failover protocol replayed
+    // in virtual time (DESIGN.md §18). The headline numbers are the
+    // kill → takeover latency distribution and the quorum gate holding
+    // under partitions and one-way drops.
+    let mut ft = Table::new(
+        "failover_sweep",
+        "Coordinator failover and partition tolerance (model-level, virtual time)",
+        &[
+            "scenario",
+            "members",
+            "trials",
+            "takeovers",
+            "vetoed",
+            "forked maps",
+            "takeover p50 ms",
+            "takeover p99 ms",
+        ],
+    );
+    let trials = if scale { 200 } else { 50 };
+    for scenario in ["coordinator-kill", "partition", "one-way"] {
+        let (fs, telemetry) = run_failover_cell(scenario, trials);
+        ft.row(vec![
+            fs.scenario.clone(),
+            fs.members.to_string(),
+            fs.trials.to_string(),
+            fs.takeovers.to_string(),
+            fs.evictions_vetoed.to_string(),
+            fs.forked_maps.to_string(),
+            f2(fs.takeover_p50_ns as f64 / 1e6),
+            f2(fs.takeover_p99_ns as f64 / 1e6),
+        ]);
+        cells.push(TelemetryCell {
+            fault_kind: "failover".to_string(),
+            fault_prob: 0.0,
+            restarts: 0,
+            recoveries: 0,
+            corrupt_dropped: 0,
+            truncated: 0,
+            misrouted: 0,
+            quarantined: 0,
+            rpc_issued: 0,
+            rpc_completed: 0,
+            rpc_timeouts: 0,
+            rpc_replies_sent: 0,
+            rpc_credits_stalled: 0,
+            reshard: None,
+            failover: Some(fs),
+            telemetry,
+        });
+    }
+    ft.emit();
     save_telemetry(cells);
 }

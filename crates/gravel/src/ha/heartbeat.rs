@@ -195,6 +195,18 @@ impl FailureDetector {
         dead
     }
 
+    /// How long `peer` has been silent at `now` (time since its last
+    /// observed beat; since tracking began if it never beat). `None`
+    /// for a peer the detector has never heard of. Beats keep updating
+    /// `last` even on a latched-dead peer, so a small silence on a
+    /// dead peer means its beats have *resumed* — the signal the
+    /// membership layer's partition-heal revive sweep keys on.
+    pub fn silence(&self, peer: u32, now: Instant) -> Option<Duration> {
+        let peers = self.peers.lock().unwrap_or_else(|p| p.into_inner());
+        let st = peers.get(&peer)?;
+        Some(now.saturating_duration_since(st.last.unwrap_or(self.started)))
+    }
+
     /// Forget `peer`'s latched verdict and restart its silence clock at
     /// `now`: the membership layer calls this when a declared-dead peer
     /// completes a fresh handshake (a *new* incarnation of the process,
@@ -359,6 +371,26 @@ mod tests {
         assert_eq!(d.dead_peers(), Vec::<u32>::new());
         // And it can die again under renewed silence.
         assert_eq!(d.status(1, rejoin + Duration::from_millis(500)), PeerStatus::Dead);
+    }
+
+    #[test]
+    fn silence_tracks_the_last_beat_even_after_the_latch() {
+        let d = FailureDetector::new(cfg());
+        let t0 = Instant::now();
+        assert_eq!(d.silence(1, t0), None, "untracked peer has no silence");
+        d.track(1, t0);
+        assert_eq!(d.silence(1, t0 + Duration::from_millis(30)), Some(Duration::from_millis(30)));
+        // Latch the death, then let beats resume: silence collapses to
+        // near zero even though the verdict stays Dead — exactly what
+        // the partition-heal revive sweep looks for.
+        let dead_at = t0 + Duration::from_millis(500);
+        assert_eq!(d.status(1, dead_at), PeerStatus::Dead);
+        d.note_beat(1, dead_at + Duration::from_millis(5));
+        assert_eq!(d.status(1, dead_at + Duration::from_millis(6)), PeerStatus::Dead);
+        assert_eq!(
+            d.silence(1, dead_at + Duration::from_millis(6)),
+            Some(Duration::from_millis(1))
+        );
     }
 
     #[test]

@@ -38,6 +38,14 @@
 //! owns it so the driver thread can be restarted around intact
 //! protocol state (DESIGN.md §16).
 //!
+//! A fifth makes the coordinator *role* itself survivable: **lease +
+//! fencing + quorum** ([`lease`]) — a monotonically increasing term
+//! stamped into every topology frame fences off resurrected stale
+//! coordinators, a deterministic lowest-live-member rule elects the
+//! successor, and a death-vote quorum over the last-committed
+//! membership prevents a minority partition from evicting anyone or
+//! forking the map (DESIGN.md §18).
+//!
 //! The chaos side — *injecting* the process faults these mechanisms
 //! absorb — lives in `gravel-net`'s [`ChaosPlan`](gravel_net::ChaosPlan),
 //! next to the link-fault machinery it extends.
@@ -50,11 +58,13 @@
 
 pub mod checkpoint;
 pub mod heartbeat;
+pub mod lease;
 pub mod rebalance;
 pub mod supervisor;
 
 pub use checkpoint::{Checkpoint, EpochSnapshot, ReplayLog};
 pub use heartbeat::{FailureDetector, HeartbeatConfig, PeerStatus};
+pub use lease::{quorum, successor, LeaseState, VoteLedger, INITIAL_TERM};
 pub use rebalance::{RebalancePlan, Rebalancer, TopologyChange};
 pub use supervisor::{Supervisor, SupervisorConfig, WorkerKind};
 

@@ -132,6 +132,33 @@ impl Rebalancer {
         None
     }
 
+    /// Reconstruct in-flight state on a **takeover coordinator**: the
+    /// previous lease holder broadcast this plan (it is the cached last
+    /// TOPO frame, already installed cluster-wide) and died before the
+    /// migration finished acking. The successor seeds the machine as if
+    /// it had committed the plan itself, re-broadcasts it under the new
+    /// term — destinations re-register their pulls idempotently and
+    /// re-ack already-served shards to the sender — and then collects
+    /// acks through [`note_shard_ready`](Self::note_shard_ready)
+    /// exactly like an uninterrupted migration. Shards in `already_acked`
+    /// (acks the successor happened to observe before the takeover) are
+    /// pre-cleared. No-op if a migration is somehow already in flight.
+    pub fn seed_in_flight(&mut self, plan: RebalancePlan, already_acked: &[u32]) {
+        if self.in_flight.is_some() {
+            return;
+        }
+        let outstanding: Vec<u32> = plan
+            .moves
+            .iter()
+            .map(|m| m.shard)
+            .filter(|s| !already_acked.contains(s))
+            .collect();
+        self.committed += 1;
+        if !outstanding.is_empty() {
+            self.in_flight = Some(InFlight { plan, outstanding });
+        }
+    }
+
     /// A shard's new owner acked its migration. Returns `true` when
     /// this ack completes the in-flight plan (the machine is idle
     /// again). Unknown or duplicate shard acks are ignored — migration
@@ -232,6 +259,41 @@ mod tests {
         assert_eq!(plan.change, TopologyChange::Evict(1));
         assert!(!plan.map.is_member(1));
         assert!(plan.moves.iter().all(|m| m.from == 1));
+    }
+
+    #[test]
+    fn takeover_seeds_the_interrupted_migration() {
+        // Old coordinator committed a join, broadcast the plan, died.
+        let mut old = Rebalancer::new();
+        old.propose(TopologyChange::Join(4));
+        let plan = old.boundary_tick(&map4()).unwrap();
+        assert!(plan.moves.len() >= 2, "want a multi-move plan to split acks over");
+
+        // Successor observed one ack before the takeover, then seeds.
+        let seen = plan.moves[0].shard;
+        let mut next = Rebalancer::new();
+        next.seed_in_flight(plan.clone(), &[seen]);
+        assert_eq!(next.committed(), 1);
+        assert_eq!(next.outstanding().len(), plan.moves.len() - 1);
+        assert!(!next.outstanding().contains(&seen));
+        assert!(
+            next.boundary_tick(&plan.map).is_none(),
+            "seeded migration blocks further commits like a native one"
+        );
+
+        // The remaining acks drain it to idle.
+        for mv in &plan.moves[1..] {
+            next.note_shard_ready(mv.shard);
+        }
+        assert!(next.migrating().is_none());
+        assert!(next.is_quiescent());
+
+        // Seeding with every shard already acked is an immediate no-op.
+        let mut all_done = Rebalancer::new();
+        let all: Vec<u32> = plan.moves.iter().map(|m| m.shard).collect();
+        all_done.seed_in_flight(plan, &all);
+        assert!(all_done.is_quiescent());
+        assert_eq!(all_done.committed(), 1, "the map flip still counts");
     }
 
     #[test]

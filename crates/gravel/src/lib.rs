@@ -41,8 +41,8 @@ pub use ctx::GravelCtx;
 pub use error::{ErrorSlot, RuntimeError};
 pub use governor::{GovernorConfig, LaneGovernor};
 pub use ha::{
-    Checkpoint, EpochSnapshot, FailureDetector, HaConfig, HeartbeatConfig, PeerStatus, ReplayLog,
-    Supervisor, SupervisorConfig, WorkerKind,
+    Checkpoint, EpochSnapshot, FailureDetector, HaConfig, HeartbeatConfig, LeaseState, PeerStatus,
+    ReplayLog, Supervisor, SupervisorConfig, VoteLedger, WorkerKind,
 };
 pub use node::NodeShared;
 pub use rings::ShardedRings;

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::partition::LinkFault;
+
 /// Which fabric the runtime should build.
 #[derive(Clone, Debug, Default)]
 pub enum TransportKind {
@@ -54,6 +56,17 @@ pub struct FaultConfig {
     /// Probability a data frame's *routing stamp* is rewritten so it
     /// lands at the wrong node with its contents (and CRC) intact.
     pub misroute: f64,
+    /// Probability a data packet is held back by `delay` +
+    /// seeded jitter in `[0, jitter)` — a latency fault, independent of
+    /// the `reorder` knob (which injects jitter-only holds).
+    pub delay_prob: f64,
+    /// Base extra latency for `delay_prob` holds.
+    pub delay: Duration,
+    /// Declarative connectivity faults (symmetric partitions, one-way
+    /// drops, per-link delays) evaluated against time since the
+    /// transport was built — see [`LinkFault`]. These affect every
+    /// traffic class: data, acks, and heartbeats.
+    pub link_faults: Vec<LinkFault>,
 }
 
 impl FaultConfig {
@@ -76,6 +89,9 @@ impl FaultConfig {
             truncate: 0.0,
             garbage: 0.0,
             misroute: 0.0,
+            delay_prob: 0.0,
+            delay: Duration::ZERO,
+            link_faults: Vec::new(),
         }
     }
 
@@ -114,6 +130,7 @@ impl FaultConfig {
             ("truncate", self.truncate),
             ("garbage", self.garbage),
             ("misroute", self.misroute),
+            ("delay_prob", self.delay_prob),
         ] {
             assert!((0.0..=1.0).contains(&p), "fault probability `{name}` = {p} out of [0, 1]");
         }
@@ -121,6 +138,12 @@ impl FaultConfig {
             assert!(
                 self.link_down_len < self.link_down_period,
                 "link_down_len must be shorter than link_down_period"
+            );
+        }
+        if self.delay_prob > 0.0 {
+            assert!(
+                !self.delay.is_zero() || !self.jitter.is_zero(),
+                "delay_prob without a delay or jitter bound does nothing"
             );
         }
     }
@@ -190,12 +213,16 @@ pub struct FaultStats {
     /// corrupted ack may additionally die in a full mailbox, so
     /// receivers reconcile `<=` against this).
     pub corrupted_acks: u64,
+    /// Frames (any plane) dropped by a symmetric partition window.
+    pub partition_drops: u64,
+    /// Frames (any plane) dropped by a one-way link fault.
+    pub oneway_drops: u64,
 }
 
 impl FaultStats {
     /// Total injected data-plane losses.
     pub fn total_losses(&self) -> u64 {
-        self.dropped_data + self.link_down_drops
+        self.dropped_data + self.link_down_drops + self.partition_drops + self.oneway_drops
     }
 
     /// Total data frames delivered mangled in some way (excludes

@@ -31,12 +31,14 @@
 mod channel;
 pub mod chaos;
 mod fault;
+pub mod partition;
 pub mod socket;
 mod unreliable;
 
 pub use channel::ChannelTransport;
 pub use chaos::{ChaosPlan, ProcessFault};
 pub use fault::{FaultConfig, FaultStats, RetryConfig, TransportKind};
+pub use partition::{LinkFault, LinkSchedule, LinkScheduleStats};
 pub use socket::{
     ControlMsg, PeerEvent, ReconnectConfig, SocketAddrSpec, SocketConfig, SocketStats,
     SocketTransport, StreamDecoder, MAX_FRAME_BYTES,

@@ -1,0 +1,404 @@
+//! Declarative link-level chaos: network partitions, one-way link
+//! drops, and per-link delay injection.
+//!
+//! [`ChaosPlan`](crate::ChaosPlan) schedules *process* faults;
+//! [`FaultConfig`](crate::FaultConfig) rolls *probabilistic* per-frame
+//! faults. This module covers the third family real clusters face —
+//! **structured connectivity failures** — as a declarative, seeded
+//! schedule of [`LinkFault`]s evaluated against wall-clock time since
+//! the schedule was armed:
+//!
+//! - [`LinkFault::Partition`] — a symmetric split: during the window,
+//!   no frame crosses between the island and the rest of the cluster
+//!   in either direction. Both sides keep talking internally.
+//! - [`LinkFault::OneWay`] — an asymmetric drop: `src → dest` frames
+//!   die, `dest → src` frames pass. This is the classic half-broken
+//!   link that makes naive failure detectors declare a live node dead
+//!   on one side only.
+//! - [`LinkFault::Delay`] — every `src → dest` frame is held back by
+//!   `base` plus a seeded jitter in `[0, jitter)`, which also reorders
+//!   it against frames on other links.
+//!
+//! A [`LinkSchedule`] is consulted from a transport's single outbound
+//! chokepoint (socket `write_to_peer`, or `UnreliableTransport`'s send
+//! paths), so *every* traffic class — data, acks, heartbeats, control
+//! frames — experiences the partition, exactly like a cable pull.
+//! Multi-process harnesses hand every node the same textual spec
+//! ([`LinkSchedule::parse`]); windows are measured from each process's
+//! own arm time, so specs should use windows comfortably wider than
+//! process-launch skew.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use crate::NodeId;
+
+/// SplitMix64 finalizer for deriving per-frame delay jitter.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One scheduled connectivity fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkFault {
+    /// Symmetric partition: for `from <= elapsed < until`, frames
+    /// between a node inside `island` and a node outside it are dropped
+    /// in both directions.
+    Partition { island: Vec<NodeId>, from: Duration, until: Duration },
+    /// Asymmetric drop: for `from <= elapsed < until`, frames from
+    /// `src` to `dest` are dropped; the reverse direction is untouched.
+    OneWay { src: NodeId, dest: NodeId, from: Duration, until: Duration },
+    /// Every `src → dest` frame is delayed by `base` plus a seeded
+    /// jitter uniform in `[0, jitter)`. Active for the whole run.
+    Delay { src: NodeId, dest: NodeId, base: Duration, jitter: Duration },
+}
+
+/// A seeded, armable schedule of [`LinkFault`]s plus injection
+/// counters. All methods take `&self`; the hot-path queries are a scan
+/// over a handful of faults with no locks.
+pub struct LinkSchedule {
+    faults: Vec<LinkFault>,
+    seed: u64,
+    /// Set once, at [`arm`](Self::arm) or first query — windows are
+    /// relative to this instant.
+    epoch: OnceLock<Instant>,
+    delay_ctr: AtomicU64,
+    partition_drops: AtomicU64,
+    oneway_drops: AtomicU64,
+    delayed: AtomicU64,
+}
+
+/// Injection counters of a [`LinkSchedule`], for reconciliation against
+/// observer-side telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkScheduleStats {
+    /// Frames dropped because a symmetric partition window covered the
+    /// link.
+    pub partition_drops: u64,
+    /// Frames dropped by a one-way window.
+    pub oneway_drops: u64,
+    /// Frames held back by a delay fault.
+    pub delayed: u64,
+}
+
+impl LinkSchedule {
+    pub fn new(seed: u64, faults: Vec<LinkFault>) -> Self {
+        for f in &faults {
+            match f {
+                LinkFault::Partition { island, from, until } => {
+                    assert!(!island.is_empty(), "empty partition island");
+                    assert!(from < until, "partition window must be nonempty");
+                }
+                LinkFault::OneWay { src, dest, from, until } => {
+                    assert!(src != dest, "one-way fault on loopback");
+                    assert!(from < until, "one-way window must be nonempty");
+                }
+                LinkFault::Delay { src, dest, base, jitter } => {
+                    assert!(src != dest, "delay fault on loopback");
+                    assert!(
+                        !base.is_zero() || !jitter.is_zero(),
+                        "delay fault with zero base and jitter"
+                    );
+                }
+            }
+        }
+        LinkSchedule {
+            faults,
+            seed,
+            epoch: OnceLock::new(),
+            delay_ctr: AtomicU64::new(0),
+            partition_drops: AtomicU64::new(0),
+            oneway_drops: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty schedule (never blocks or delays anything).
+    pub fn none() -> Self {
+        LinkSchedule::new(0, Vec::new())
+    }
+
+    /// Derive a seeded symmetric half/half split of `nodes` nodes
+    /// active during `[from, until)`. Same seed → same island.
+    pub fn seeded_split(seed: u64, nodes: usize, from: Duration, until: Duration) -> LinkFault {
+        assert!(nodes >= 2, "cannot split fewer than 2 nodes");
+        let take = nodes / 2;
+        // Seeded Fisher-Yates prefix: pick `take` distinct nodes.
+        let mut ids: Vec<NodeId> = (0..nodes as u32).collect();
+        for i in 0..take {
+            let j = i + (mix(seed.wrapping_add(i as u64)) as usize) % (nodes - i);
+            ids.swap(i, j);
+        }
+        let mut island = ids[..take].to_vec();
+        island.sort_unstable();
+        LinkFault::Partition { island, from, until }
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[LinkFault] {
+        &self.faults
+    }
+
+    /// True when the schedule contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// True when any [`LinkFault::Delay`] is scheduled (transports use
+    /// this to decide whether to run a delay pump at all).
+    pub fn has_delays(&self) -> bool {
+        self.faults.iter().any(|f| matches!(f, LinkFault::Delay { .. }))
+    }
+
+    /// Start the schedule clock now (idempotent; queries arm lazily if
+    /// never called).
+    pub fn arm(&self) {
+        let _ = self.epoch.set(Instant::now());
+    }
+
+    fn elapsed(&self) -> Duration {
+        self.epoch.get_or_init(Instant::now).elapsed()
+    }
+
+    /// Should a frame from `src` to `dest` be dropped right now?
+    /// Counts the drop when true.
+    pub fn blocked(&self, src: NodeId, dest: NodeId) -> bool {
+        if src == dest || self.faults.is_empty() {
+            return false;
+        }
+        let now = self.elapsed();
+        for f in &self.faults {
+            match f {
+                LinkFault::Partition { island, from, until } => {
+                    if now >= *from
+                        && now < *until
+                        && island.contains(&src) != island.contains(&dest)
+                    {
+                        self.partition_drops.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                }
+                LinkFault::OneWay { src: s, dest: d, from, until } => {
+                    if *s == src && *d == dest && now >= *from && now < *until {
+                        self.oneway_drops.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                }
+                LinkFault::Delay { .. } => {}
+            }
+        }
+        false
+    }
+
+    /// Extra latency to impose on a `src → dest` frame, if a delay
+    /// fault covers the link. Counts the delay when `Some`.
+    pub fn delay(&self, src: NodeId, dest: NodeId) -> Option<Duration> {
+        if src == dest {
+            return None;
+        }
+        for f in &self.faults {
+            if let LinkFault::Delay { src: s, dest: d, base, jitter } = f {
+                if *s == src && *d == dest {
+                    let extra = if jitter.is_zero() {
+                        Duration::ZERO
+                    } else {
+                        let n = self.delay_ctr.fetch_add(1, Ordering::Relaxed);
+                        Duration::from_nanos(
+                            mix(self.seed ^ n) % (jitter.as_nanos() as u64).max(1),
+                        )
+                    };
+                    self.delayed.fetch_add(1, Ordering::Relaxed);
+                    return Some(*base + extra);
+                }
+            }
+        }
+        None
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> LinkScheduleStats {
+        LinkScheduleStats {
+            partition_drops: self.partition_drops.load(Ordering::Relaxed),
+            oneway_drops: self.oneway_drops.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Parse the textual spec multi-process harnesses pass on the
+    /// command line: `;`-separated entries of
+    ///
+    /// ```text
+    /// part:<id>|<id>|...:<from_ms>:<until_ms>
+    /// oneway:<src>:<dest>:<from_ms>:<until_ms>
+    /// delay:<src>:<dest>:<base_ms>:<jitter_ms>
+    /// ```
+    pub fn parse(seed: u64, spec: &str) -> Result<Self, String> {
+        let mut faults = Vec::new();
+        for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+            let parts: Vec<&str> = entry.trim().split(':').collect();
+            let num = |s: &str| -> Result<u64, String> {
+                s.parse::<u64>().map_err(|_| format!("bad number `{s}` in `{entry}`"))
+            };
+            match parts.as_slice() {
+                ["part", island, from, until] => {
+                    let ids = island
+                        .split('|')
+                        .map(|s| num(s).map(|v| v as NodeId))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    faults.push(LinkFault::Partition {
+                        island: ids,
+                        from: Duration::from_millis(num(from)?),
+                        until: Duration::from_millis(num(until)?),
+                    });
+                }
+                ["oneway", src, dest, from, until] => {
+                    faults.push(LinkFault::OneWay {
+                        src: num(src)? as NodeId,
+                        dest: num(dest)? as NodeId,
+                        from: Duration::from_millis(num(from)?),
+                        until: Duration::from_millis(num(until)?),
+                    });
+                }
+                ["delay", src, dest, base, jitter] => {
+                    faults.push(LinkFault::Delay {
+                        src: num(src)? as NodeId,
+                        dest: num(dest)? as NodeId,
+                        base: Duration::from_millis(num(base)?),
+                        jitter: Duration::from_millis(num(jitter)?),
+                    });
+                }
+                _ => return Err(format!("unrecognized link-chaos entry `{entry}`")),
+            }
+        }
+        Ok(LinkSchedule::new(seed, faults))
+    }
+}
+
+impl fmt::Debug for LinkSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LinkSchedule")
+            .field("faults", &self.faults)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn partition_blocks_across_but_not_within_the_island() {
+        let s = LinkSchedule::new(
+            1,
+            vec![LinkFault::Partition { island: vec![0, 1, 2], from: ms(0), until: ms(60_000) }],
+        );
+        s.arm();
+        assert!(s.blocked(0, 3), "island to outside");
+        assert!(s.blocked(4, 1), "outside to island");
+        assert!(!s.blocked(0, 2), "within island");
+        assert!(!s.blocked(3, 5), "within the complement");
+        assert!(!s.blocked(0, 0), "loopback is never partitioned");
+        let st = s.stats();
+        assert_eq!((st.partition_drops, st.oneway_drops), (2, 0));
+    }
+
+    #[test]
+    fn partition_respects_its_window() {
+        let s = LinkSchedule::new(
+            1,
+            vec![LinkFault::Partition { island: vec![0], from: ms(50), until: ms(80) }],
+        );
+        s.arm();
+        assert!(!s.blocked(0, 1), "before the window");
+        std::thread::sleep(ms(55));
+        assert!(s.blocked(0, 1), "inside the window");
+        std::thread::sleep(ms(40));
+        assert!(!s.blocked(0, 1), "after the window — healed");
+    }
+
+    #[test]
+    fn oneway_is_asymmetric() {
+        let s = LinkSchedule::new(
+            1,
+            vec![LinkFault::OneWay { src: 2, dest: 3, from: ms(0), until: ms(60_000) }],
+        );
+        s.arm();
+        assert!(s.blocked(2, 3), "faulted direction drops");
+        assert!(!s.blocked(3, 2), "reverse direction passes");
+        assert!(!s.blocked(2, 4), "other links untouched");
+        assert_eq!(s.stats().oneway_drops, 1);
+    }
+
+    #[test]
+    fn delay_is_seeded_and_bounded() {
+        let make = |seed| {
+            let s = LinkSchedule::new(
+                seed,
+                vec![LinkFault::Delay { src: 0, dest: 1, base: ms(5), jitter: ms(10) }],
+            );
+            s.arm();
+            (0..32).map(|_| s.delay(0, 1).unwrap()).collect::<Vec<_>>()
+        };
+        let a = make(7);
+        assert_eq!(a, make(7), "same seed, same jitter sequence");
+        assert_ne!(a, make(8), "different seed, different sequence");
+        for d in &a {
+            assert!(*d >= ms(5) && *d < ms(15), "delay {d:?} outside [base, base+jitter)");
+        }
+        assert!(a.iter().collect::<std::collections::HashSet<_>>().len() > 1, "jitter varies");
+        let s = LinkSchedule::new(7, vec![LinkFault::Delay { src: 0, dest: 1, base: ms(5), jitter: ms(10) }]);
+        assert_eq!(s.delay(1, 0), None, "reverse direction undelayed");
+        assert_eq!(s.delay(0, 0), None, "loopback undelayed");
+    }
+
+    #[test]
+    fn seeded_split_is_reproducible_and_half_sized() {
+        let a = LinkSchedule::seeded_split(9, 6, ms(100), ms(200));
+        assert_eq!(a, LinkSchedule::seeded_split(9, 6, ms(100), ms(200)));
+        match &a {
+            LinkFault::Partition { island, from, until } => {
+                assert_eq!(island.len(), 3);
+                assert!(island.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+                assert!(island.iter().all(|&n| n < 6));
+                assert_eq!((*from, *until), (ms(100), ms(200)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!((0..20).any(|s| LinkSchedule::seeded_split(s, 6, ms(100), ms(200)) != a));
+    }
+
+    #[test]
+    fn spec_parses_all_three_kinds() {
+        let s = LinkSchedule::parse(3, "part:0|1|2:500:2500; oneway:2:3:100:900;delay:0:1:5:3")
+            .unwrap();
+        assert_eq!(
+            s.faults(),
+            &[
+                LinkFault::Partition { island: vec![0, 1, 2], from: ms(500), until: ms(2500) },
+                LinkFault::OneWay { src: 2, dest: 3, from: ms(100), until: ms(900) },
+                LinkFault::Delay { src: 0, dest: 1, base: ms(5), jitter: ms(3) },
+            ]
+        );
+        assert!(s.has_delays());
+        assert!(LinkSchedule::parse(0, "").unwrap().is_empty());
+        assert!(LinkSchedule::parse(0, "part:0:1").is_err());
+        assert!(LinkSchedule::parse(0, "bogus:1:2:3:4").is_err());
+        assert!(LinkSchedule::parse(0, "oneway:a:b:0:1").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be nonempty")]
+    fn empty_window_is_rejected() {
+        LinkSchedule::new(0, vec![LinkFault::OneWay { src: 0, dest: 1, from: ms(5), until: ms(5) }]);
+    }
+}

@@ -47,6 +47,7 @@ use gravel_pgas::frame::{
 };
 use gravel_pgas::{DataFrame, FrameError, WireIntegrity, ACK_FRAME_BYTES, HEADER_BYTES};
 
+use crate::partition::LinkSchedule;
 use crate::{AckFrame, FaultStats, Heartbeat, NodeId, RecvStatus, SendStatus, Transport};
 
 /// Hard ceiling on a single frame's size on the wire. A length prefix
@@ -108,6 +109,11 @@ pub struct SocketConfig {
     /// assembly reuses pooled scratch, so the steady-state wire loop
     /// allocates nothing. `None` (the ablation) allocates per frame.
     pub pool: Option<BufferPool>,
+    /// Declarative link chaos (partitions, one-way drops, per-link
+    /// delays). Consulted at the single outbound chokepoint, so every
+    /// traffic class — data, acks, heartbeats, control — experiences
+    /// the fault like a pulled cable. Armed at [`SocketTransport::spawn`].
+    pub link_chaos: Option<Arc<LinkSchedule>>,
 }
 
 impl SocketConfig {
@@ -123,6 +129,7 @@ impl SocketConfig {
             seed: 1,
             ingress_capacity: 4096,
             pool: None,
+            link_chaos: None,
         }
     }
 }
@@ -169,6 +176,13 @@ pub struct SocketStats {
     /// Inbound bytes that were not a decodable frame (bad length
     /// prefix, unknown kind, failed control-plane verification).
     pub garbage_frames: u64,
+    /// Outbound frames swallowed by a symmetric partition window of
+    /// the configured link-chaos schedule.
+    pub partition_drops: u64,
+    /// Outbound frames swallowed by a one-way link fault.
+    pub oneway_drops: u64,
+    /// Outbound frames held back by a per-link delay fault.
+    pub chaos_delayed: u64,
 }
 
 /// One live stream, UDS or TCP, unified behind Read/Write.
@@ -386,6 +400,37 @@ struct Inner {
     stats: Counters,
     tcp_port: AtomicU32,
     pool: Option<BufferPool>,
+    link_chaos: Option<Arc<LinkSchedule>>,
+    /// Frames held back by a delay fault, drained by the delay pump.
+    delayq: Mutex<std::collections::BinaryHeap<DelayedWrite>>,
+    delay_id: AtomicU64,
+}
+
+/// One outbound frame held back by a link-chaos delay fault.
+struct DelayedWrite {
+    due: Instant,
+    /// Tiebreak so the heap is a total order.
+    id: u64,
+    peer: NodeId,
+    frame: Vec<u8>,
+}
+
+impl PartialEq for DelayedWrite {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.id == other.id
+    }
+}
+impl Eq for DelayedWrite {}
+impl PartialOrd for DelayedWrite {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayedWrite {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-due-first.
+        other.due.cmp(&self.due).then(other.id.cmp(&self.id))
+    }
 }
 
 /// The socket-backed [`Transport`]. One instance per OS process (one
@@ -474,7 +519,20 @@ impl SocketTransport {
             },
             tcp_port: AtomicU32::new(tcp_port as u32),
             pool: cfg.pool,
+            link_chaos: cfg.link_chaos,
+            delayq: Mutex::new(std::collections::BinaryHeap::new()),
+            delay_id: AtomicU64::new(0),
         });
+        if let Some(sched) = &inner.link_chaos {
+            sched.arm();
+            if sched.has_delays() {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("gravel-delay-{}", inner.me))
+                    .spawn(move || inner.delay_pump())
+                    .expect("spawn delay pump");
+            }
+        }
         {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
@@ -569,6 +627,12 @@ impl SocketTransport {
     /// Counter snapshot.
     pub fn stats(&self) -> SocketStats {
         let c = &self.inner.stats;
+        let chaos = self
+            .inner
+            .link_chaos
+            .as_ref()
+            .map(|s| s.stats())
+            .unwrap_or_default();
         SocketStats {
             handshakes: c.handshakes.load(Ordering::Relaxed),
             reconnects: c.reconnects.load(Ordering::Relaxed),
@@ -578,6 +642,9 @@ impl SocketTransport {
             link_drops: c.link_drops.load(Ordering::Relaxed),
             mailbox_drops: c.mailbox_drops.load(Ordering::Relaxed),
             garbage_frames: c.garbage_frames.load(Ordering::Relaxed),
+            partition_drops: chaos.partition_drops,
+            oneway_drops: chaos.oneway_drops,
+            chaos_delayed: chaos.delayed,
         }
     }
 }
@@ -614,10 +681,65 @@ impl Inner {
 
     // -- outbound ----------------------------------------------------------
 
+    /// Write one length-delimited frame to `peer`'s stream, subject to
+    /// the link-chaos schedule: a partition or one-way window swallows
+    /// the frame silently (the stream stays up — a pulled cable, not a
+    /// closed socket), a delay fault hands it to the delay pump. This
+    /// is the single outbound chokepoint, so data, acks, heartbeats,
+    /// and control frames all experience the chaos identically.
+    fn write_to_peer(&self, peer: NodeId, frame: &[u8]) -> bool {
+        if let Some(sched) = &self.link_chaos {
+            if sched.blocked(self.me, peer) {
+                return true; // swallowed by the partition
+            }
+            if let Some(hold) = sched.delay(self.me, peer) {
+                self.delayq.lock().unwrap().push(DelayedWrite {
+                    due: Instant::now() + hold,
+                    id: self.delay_id.fetch_add(1, Ordering::Relaxed),
+                    peer,
+                    frame: frame.to_vec(),
+                });
+                return true;
+            }
+        }
+        self.write_now(peer, frame)
+    }
+
+    /// The delay pump: deliver held-back frames when they come due.
+    /// Blocked windows are re-checked at delivery time, so a frame
+    /// delayed into a partition window still dies like a real queue
+    /// drained onto a dead link.
+    fn delay_pump(self: Arc<Self>) {
+        while !self.closed.load(Ordering::Relaxed) {
+            loop {
+                let next = {
+                    let mut q = self.delayq.lock().unwrap();
+                    match q.peek() {
+                        Some(d) if d.due <= Instant::now() => q.pop(),
+                        _ => None,
+                    }
+                };
+                match next {
+                    Some(d) => {
+                        let blocked = self
+                            .link_chaos
+                            .as_ref()
+                            .is_some_and(|s| s.blocked(self.me, d.peer));
+                        if !blocked {
+                            self.write_now(d.peer, &d.frame);
+                        }
+                    }
+                    None => break,
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
     /// Write one length-delimited frame to `peer`'s stream. On any
     /// failure the connection is torn down (the redial supervisor or
     /// the peer's own dialer brings it back) and the frame is dropped.
-    fn write_to_peer(&self, peer: NodeId, frame: &[u8]) -> bool {
+    fn write_now(&self, peer: NodeId, frame: &[u8]) -> bool {
         debug_assert!(frame.len() <= MAX_FRAME_BYTES);
         // Assemble prefix + frame in one buffer so the stream sees a
         // single write; the buffer is pooled scratch when the arena is

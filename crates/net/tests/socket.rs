@@ -482,3 +482,70 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn link_chaos_partitions_and_delays_the_socket_mesh() {
+    use gravel_net::{LinkFault, LinkSchedule};
+    let addrs = uds_pair("chaos");
+    // Node 0 gets a schedule: partition from 0 for a window, then a
+    // permanent delay on 0 -> 1. Node 1 runs clean (asymmetric view,
+    // like a real mid-network failure near node 0's rack).
+    let sched = Arc::new(LinkSchedule::new(
+        5,
+        vec![
+            LinkFault::Partition {
+                island: vec![0],
+                from: Duration::ZERO,
+                until: Duration::from_millis(400),
+            },
+            LinkFault::Delay {
+                src: 0,
+                dest: 1,
+                base: Duration::from_millis(10),
+                jitter: Duration::from_millis(5),
+            },
+        ],
+    ));
+    let mut cfg0 = SocketConfig::new(0, addrs.clone());
+    cfg0.reconnect = fast_reconnect();
+    cfg0.link_chaos = Some(Arc::clone(&sched));
+    let mut cfg1 = SocketConfig::new(1, addrs);
+    cfg1.reconnect = fast_reconnect();
+    let t0 = SocketTransport::spawn(cfg0).expect("bind node 0");
+    let t1 = SocketTransport::spawn(cfg1).expect("bind node 1");
+    assert!(t0.wait_connected(1, Duration::from_secs(5)));
+    assert!(t1.wait_connected(0, Duration::from_secs(5)));
+
+    // During the window every outbound plane from 0 is swallowed —
+    // the stream stays up, the bytes just never arrive.
+    t0.send_heartbeat(Heartbeat { src: 0, dest: 1, seq: 1 });
+    assert!(t0.send_control(1, &[1, 2, 3]), "partition looks like a sent frame");
+    let pkt = Packet::from_words(0, 1, &[77]);
+    t0.send_data(pkt.seal(0, WireIntegrity::Crc32c), Duration::from_secs(1));
+    // The reverse direction (1 -> 0) is clean: node 1 has no schedule.
+    t1.send_heartbeat(Heartbeat { src: 1, dest: 0, seq: 9 });
+    let hb = poll(Duration::from_secs(5), || t0.try_recv_heartbeat(0));
+    assert_eq!(hb.seq, 9);
+    assert!(t1.try_recv_heartbeat(1).is_none(), "nothing crossed 0 -> 1");
+    assert!(matches!(t1.recv_control(Duration::from_millis(50)), RecvStatus::TimedOut));
+    let s = t0.stats();
+    assert!(s.partition_drops >= 3, "all three planes were swallowed: {s:?}");
+
+    // After the window heals, frames flow again — via the delay fault,
+    // so they arrive late but intact and in order.
+    std::thread::sleep(Duration::from_millis(450));
+    let sent_at = Instant::now();
+    assert!(t0.send_control(1, &[4, 5, 6]));
+    let msg = poll(Duration::from_secs(5), || match t1.recv_control(Duration::from_millis(20)) {
+        RecvStatus::Msg(m) => Some(m),
+        _ => None,
+    });
+    assert_eq!(msg.words, vec![4, 5, 6]);
+    assert!(
+        sent_at.elapsed() >= Duration::from_millis(10),
+        "the healed link still carries the delay fault"
+    );
+    assert!(t0.stats().chaos_delayed >= 1);
+    t0.close();
+    t1.close();
+}

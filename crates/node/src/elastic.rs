@@ -46,13 +46,27 @@
 //! histogram; [`expected_table`] is the sequential truth the acceptance
 //! suite compares against bit-exactly.
 //!
-//! Documented limitations (asserted by tests, not hidden): the
-//! coordinator is fixed at node 0 and cannot leave or be evicted; an
-//! elastic *sender's* restart is unsupported (its pending queue is
-//! volatile — chaos targets joiners mid-migration and drained
-//! evictees); and a member evicted while data packets to it are still
-//! unacked leaves those flows probing forever (the harness drains
-//! before killing, so the suite never enters that window).
+//! The coordinator role itself is fault tolerant (DESIGN.md §18): a
+//! lease with a monotonically increasing **term** names the acting
+//! coordinator, every TOPO/MAP frame is term-stamped and fenced at the
+//! receiver, the lowest live member takes over when the holder's
+//! phi-accrual lease expires *and a majority of the last-committed
+//! membership corroborates the death*, and an interrupted shard
+//! migration is reconstructed on the successor from the cached last
+//! TOPO broadcast. The same quorum gates every EVICT, so a minority
+//! partition freezes (stale traffic NACK-bounces, nothing forks) until
+//! connectivity heals. The boot holder is the lowest initial member —
+//! node 0 by convention, but it can drain-leave like anyone else by
+//! handing the lease off first.
+//!
+//! Documented limitations (asserted by tests, not hidden): an elastic
+//! *sender's* restart is unsupported (its pending queue is volatile —
+//! chaos targets joiners mid-migration and drained evictees); a member
+//! evicted while data packets to it are still unacked leaves those
+//! flows probing forever (the harness drains before killing, so the
+//! suite never enters that window); and a cluster without a live
+//! majority of its last-committed membership deliberately freezes
+//! rather than guess.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,25 +74,43 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gravel_apps::gups::{self, GupsInput};
-use gravel_core::ha::{Rebalancer, TopologyChange};
+use gravel_core::ha::lease::{successor, LeaseState, VoteLedger};
+use gravel_core::ha::{RebalancePlan, Rebalancer, TopologyChange};
 use gravel_core::netthread::ApplyGate;
-use gravel_core::{FailureDetector, NodeShared};
+use gravel_core::{FailureDetector, NodeShared, PeerStatus};
 use gravel_gq::{Command, Message};
 use gravel_net::{SendStatus, SocketTransport, Transport};
-use gravel_pgas::{Directory, Packet, ShardMap};
+use gravel_pgas::{Directory, FencedInstall, Packet, ShardMap};
 use gravel_telemetry::{Counter, Gauge, Histogram};
 
 use crate::forward::Forwarder;
 use crate::proto::{
-    self, BounceMsg, MigrateMsg, TopoKind, TopoMsg, OP_BOUNCE, OP_JOIN_REQ, OP_LEAVE_REQ,
-    OP_MAP_REQ, OP_MIGRATE, OP_MIGRATE_ACK, OP_MIGRATE_REQ, OP_TOPO, OP_WARD_MIGRATE_REQ,
+    self, BounceMsg, LeaseMsg, MigrateMsg, TopoKind, TopoMsg, OP_BOUNCE, OP_DEATH_VOTE,
+    OP_DEATH_VOTE_REQ, OP_JOIN_REQ, OP_LEASE, OP_LEAVE_REQ, OP_MAP_REQ, OP_MIGRATE,
+    OP_MIGRATE_ACK, OP_MIGRATE_REQ, OP_TOPO, OP_WARD_MIGRATE_REQ,
 };
 use crate::sender::SenderConfig;
 use crate::store::WardStores;
 
-/// The fixed coordinator slot (see module docs: single-coordinator
-/// assumption, never killed by the chaos suites).
-pub const COORDINATOR: u32 = 0;
+/// How often the lease holder broadcasts its beat.
+const LEASE_BEAT_EVERY: Duration = Duration::from_millis(100);
+/// How often latched deaths are (re-)submitted to the vote quorum.
+const VOTE_ROUND_EVERY: Duration = Duration::from_millis(150);
+/// A node that just became (or booted believing itself) the holder
+/// waits this long before committing topology changes, so a live
+/// higher-term holder's beats can demote it first. Lease beats and
+/// MAP_REQ answers are not delayed — stale ones are fenced by term.
+const HOLDER_STABILIZE: Duration = Duration::from_millis(300);
+/// Consecutive HA ticks a latched-dead peer's beats must have resumed
+/// before the revive sweep clears the latch (partition heal: the TCP
+/// stream never dropped, so no reconnect event will do it for us).
+const REVIVE_STREAK: u32 = 2;
+/// A pending (non-evict) shard pull that has gone unanswered this long
+/// escalates: the destination *also* knocks the donor's ward keeper.
+/// Covers a donor that died mid-migration (e.g. the old coordinator) —
+/// the keeper only answers once its own detector latched the donor
+/// dead, so a merely slow donor is never shadow-served.
+const WARD_FALLBACK: Duration = Duration::from_millis(1000);
 
 /// Number of table words in `shard` under an identity-strided layout:
 /// the globals `g < table` with `g % nshards == shard`.
@@ -129,13 +161,26 @@ pub struct ElasticState {
     /// migrated shard, after its words land but before the epoch cut —
     /// the adversarial mid-migration window.
     kill_on_migrate: Mutex<Option<u64>>,
+    /// Coordinator lease: highest accepted (term, holder).
+    lease: LeaseState,
+    /// Death-corroboration ballots observed by this node.
+    pub votes: VoteLedger,
+    /// Last accepted lease beat (the lease renewal clock).
+    lease_beat: Mutex<Instant>,
+    /// Last TOPO frame accepted with moves attached — the takeover
+    /// coordinator's seed for an interrupted migration.
+    last_topo: Mutex<Option<TopoMsg>>,
     stale_routed: Counter,
     redelivered: Counter,
     bounce_dropped: Counter,
     moves_in_ctr: Counter,
     moves_out_ctr: Counter,
     bytes_migrated: Counter,
+    topo_fenced: Counter,
+    takeovers: Counter,
+    evictions_vetoed: Counter,
     map_version: Gauge,
+    ha_term: Gauge,
     migration_ns: Histogram,
 }
 
@@ -152,6 +197,10 @@ impl ElasticState {
         let name = |s: &str| format!("node{me}.reshard.{s}");
         let registry = node.registry.clone();
         let version = initial.version;
+        // Every node boots agreeing: the lowest initial member holds
+        // term 1. No handshake needed before fencing works.
+        let boot_holder =
+            initial.members.iter().copied().min().expect("initial map has members");
         let st = ElasticState {
             me,
             capacity,
@@ -163,19 +212,28 @@ impl ElasticState {
             moves_in: Mutex::new(HashMap::new()),
             moves_out: Mutex::new(HashMap::new()),
             bounced: Mutex::new(VecDeque::new()),
-            topo_seen: AtomicBool::new(me == COORDINATOR),
+            topo_seen: AtomicBool::new(me == boot_holder),
             kill_on_migrate: Mutex::new(kill_on_migrate),
+            lease: LeaseState::new(me, boot_holder),
+            votes: VoteLedger::new(),
+            lease_beat: Mutex::new(Instant::now()),
+            last_topo: Mutex::new(None),
             stale_routed: registry.counter(&name("stale_routed")),
             redelivered: registry.counter(&name("redelivered")),
             bounce_dropped: registry.counter(&name("bounce_dropped")),
             moves_in_ctr: registry.counter(&name("moves_in")),
             moves_out_ctr: registry.counter(&name("moves_out")),
             bytes_migrated: registry.counter(&name("bytes_migrated")),
+            topo_fenced: registry.counter(&name("topo_fenced")),
+            takeovers: registry.vital_counter("ha.takeovers"),
+            evictions_vetoed: registry.vital_counter("ha.evictions_vetoed"),
             map_version: registry.gauge(&name("map_version")),
+            ha_term: registry.gauge(&format!("node{me}.ha.term")),
             migration_ns: registry.histogram(&name("migration_ns")),
             node,
         };
         st.map_version.set(version as i64);
+        st.ha_term.set(st.lease.term() as i64);
         Arc::new(st)
     }
 
@@ -241,9 +299,39 @@ impl ElasticState {
         self.redelivered.get()
     }
 
-    fn install_map(&self, map: &ShardMap) {
+    /// The highest coordinator term this node has accepted.
+    pub fn ha_term(&self) -> u64 {
+        self.lease.term()
+    }
+
+    /// Who this node believes holds the coordinator lease.
+    pub fn ha_holder(&self) -> u32 {
+        self.lease.holder()
+    }
+
+    /// Whether this node currently holds the lease.
+    pub fn is_lease_holder(&self) -> bool {
+        self.lease.is_holder()
+    }
+
+    pub fn takeovers_count(&self) -> u64 {
+        self.takeovers.get()
+    }
+
+    pub fn evictions_vetoed_count(&self) -> u64 {
+        self.evictions_vetoed.get()
+    }
+
+    /// Fenced map install (the only install path for TOPO frames).
+    /// `Stale` means the whole frame must be ignored.
+    fn install_map(&self, map: &ShardMap, term: u64) -> FencedInstall {
+        let outcome = self.dir.install_fenced(map.clone(), term);
+        if outcome == FencedInstall::Stale {
+            self.topo_fenced.inc();
+            return outcome;
+        }
         self.topo_seen.store(true, Ordering::SeqCst);
-        if self.dir.install(map.clone()) {
+        if outcome == FencedInstall::Installed {
             self.map_version.set(map.version as i64);
             // Ownership moved: stop serving (and checkpointing) any
             // shard the new map assigns elsewhere. Without this prune a
@@ -254,12 +342,24 @@ impl ElasticState {
             lock(&self.ckpt_ready).retain(|s| mine.contains(s));
             lock(&self.moves_in).retain(|s, _| mine.contains(s));
         }
+        outcome
     }
 
-    /// Handle a `TOPO` broadcast (or snapshot): install the map,
-    /// register inbound moves for re-request, reset the donor registry.
-    pub fn on_topo(&self, t: &TopoMsg) {
-        self.install_map(&t.map);
+    /// Handle a `TOPO` broadcast (or snapshot) issued by `from`:
+    /// fence by term, install the map, register inbound moves for
+    /// re-request, reset the donor registry. Migration acks go to the
+    /// frame's sender — under a takeover that is the *new* holder, not
+    /// whatever fixed slot first committed the plan.
+    pub fn on_topo(&self, t: &TopoMsg, from: u32) {
+        if self.install_map(&t.map, t.term) == FencedInstall::Stale {
+            return;
+        }
+        // The frame is current, so its issuer's lease claim is too.
+        self.lease.observe(t.term, from);
+        self.ha_term.set(self.lease.term() as i64);
+        if !t.moves.is_empty() {
+            *lock(&self.last_topo) = Some(t.clone());
+        }
         let map = self.current_map();
         let evict = t.kind == TopoKind::Evict;
         {
@@ -271,9 +371,10 @@ impl ElasticState {
                 }
                 if serving.contains(&m.shard) {
                     // Already installed (a kill landed between our cut
-                    // and the ack): the coordinator is still waiting.
+                    // and the ack, or a takeover re-broadcast): the
+                    // sender is still waiting for this ack.
                     self.transport.send_control(
-                        COORDINATOR,
+                        from,
                         &proto::encode_migrate_ack(map.version, m.shard),
                     );
                 } else {
@@ -297,22 +398,46 @@ impl ElasticState {
         self.request_pending();
     }
 
+    /// Handle a lease beat from `from`. A fenced (stale-term) beat is
+    /// ignored; an accepted one renews the lease clock — and if the
+    /// holder's map is ahead of ours, returns `true` so the pump knocks
+    /// with `MAP_REQ` (the same resync path a restarted node uses).
+    pub fn on_lease(&self, l: &LeaseMsg, from: u32) -> bool {
+        // A beat claims the lease for `l.holder`; `from` relays it
+        // (they are the same node in practice — holders beat for
+        // themselves — but trust the frame body, it is what's fenced).
+        let _ = from;
+        if !self.lease.observe(l.term, l.holder) {
+            return false;
+        }
+        self.ha_term.set(self.lease.term() as i64);
+        *lock(&self.lease_beat) = Instant::now();
+        l.map_version > self.version()
+    }
+
     /// (Re-)request every pending inbound shard. Idempotent by design:
-    /// the pump calls this until the words arrive.
+    /// the pump calls this until the words arrive. A non-evict pull
+    /// stalled past [`WARD_FALLBACK`] additionally knocks the donor's
+    /// ward keeper — the donor may have died mid-migration, and the
+    /// keeper's reconstruction is then the only surviving copy.
     pub fn request_pending(&self) {
         let map = self.current_map();
-        let reqs: Vec<(u32, Vec<u64>)> = lock(&self.moves_in)
-            .iter()
-            .map(|(&shard, mi)| {
-                if mi.evict {
-                    // The donor is dead; its buddy holds the ward.
-                    let keeper = (mi.from + 1) % self.capacity as u32;
-                    (keeper, proto::encode_ward_migrate_req(map.version, shard, mi.from))
-                } else {
-                    (mi.from, proto::encode_migrate_req(map.version, shard))
+        let mut reqs: Vec<(u32, Vec<u64>)> = Vec::new();
+        for (&shard, mi) in lock(&self.moves_in).iter() {
+            let keeper = (mi.from + 1) % self.capacity as u32;
+            if mi.evict {
+                // The donor is dead; its buddy holds the ward.
+                reqs.push((keeper, proto::encode_ward_migrate_req(map.version, shard, mi.from)));
+            } else {
+                reqs.push((mi.from, proto::encode_migrate_req(map.version, shard)));
+                if mi.since.elapsed() >= WARD_FALLBACK {
+                    reqs.push((
+                        keeper,
+                        proto::encode_ward_migrate_req(map.version, shard, mi.from),
+                    ));
                 }
-            })
-            .collect();
+            }
+        }
         for (to, words) in reqs {
             self.transport.send_control(to, &words);
         }
@@ -328,7 +453,7 @@ impl ElasticState {
         if lock(&self.serving).contains(&m.shard) {
             // Duplicate delivery (our ack raced a re-request): re-ack.
             self.transport
-                .send_control(COORDINATOR, &proto::encode_migrate_ack(map.version, m.shard));
+                .send_control(self.lease.holder(), &proto::encode_migrate_ack(map.version, m.shard));
             return;
         }
         if !lock(&self.moves_in).contains_key(&m.shard)
@@ -356,9 +481,9 @@ impl ElasticState {
         }
         self.moves_in_ctr.inc();
         self.bytes_migrated.add(m.words.len() as u64 * 8);
-        // 5. Tell the coordinator.
+        // 5. Tell whoever holds the lease (the migration's coordinator).
         self.transport
-            .send_control(COORDINATOR, &proto::encode_migrate_ack(map.version, m.shard));
+            .send_control(self.lease.holder(), &proto::encode_migrate_ack(map.version, m.shard));
         eprintln!(
             "[gravel-node {}] reshard: installed shard {} ({} words) v{}",
             self.me,
@@ -405,7 +530,10 @@ impl ElasticState {
     }
 
     /// Serve a shard pull out of a dead ward's reconstruction (we are
-    /// the evicted node's buddy).
+    /// the dead node's buddy). Answered when the ward was evicted — or
+    /// is still a member but *our own* detector has latched it dead
+    /// (`ward_dead`): a donor killed mid-migration whose eviction
+    /// cannot commit until this very pull completes the plan.
     pub fn serve_ward_migrate_req(
         &self,
         version: u64,
@@ -413,9 +541,10 @@ impl ElasticState {
         ward: u32,
         to: u32,
         stores: &WardStores,
+        ward_dead: bool,
     ) {
         let map = self.current_map();
-        if map.is_member(ward) || map.owner_of_shard(shard) != to {
+        if (map.is_member(ward) && !ward_dead) || map.owner_of_shard(shard) != to {
             return;
         }
         let Some(heap) = stores.reconstruct_heap(ward) else {
@@ -441,7 +570,10 @@ impl ElasticState {
     /// Handle a bounce: adopt the newer map, queue the refused quads
     /// for re-aggregation.
     pub fn on_bounce(&self, b: &BounceMsg) {
-        self.install_map(&b.map);
+        // Bounce maps carry no term of their own — they echo a map that
+        // was originally installed under a fenced TOPO, so version
+        // monotonicity suffices. Install at the current floor.
+        self.install_map(&b.map, self.dir.term());
         self.enqueue_bounced(&b.quads);
     }
 
@@ -722,8 +854,10 @@ pub struct ElasticCtx {
     pub forwarder: Arc<Forwarder>,
     pub stores: Arc<WardStores>,
     pub transport: Arc<SocketTransport>,
-    /// `Some` on the coordinator.
-    pub rebalancer: Option<Arc<Mutex<Rebalancer>>>,
+    /// Every node carries a rebalancer now: any node may become the
+    /// lease holder, and a takeover seeds this from the cached TOPO.
+    pub rebalancer: Arc<Mutex<Rebalancer>>,
+    pub detector: Arc<FailureDetector>,
     pub is_joiner: bool,
 }
 
@@ -735,17 +869,19 @@ fn change_kind(c: &TopologyChange) -> TopoKind {
     }
 }
 
-/// The coordinator's answer to `MAP_REQ`/`JOIN_REQ`: the current map
+/// The lease holder's answer to `MAP_REQ`/`JOIN_REQ`: the current map
 /// plus — if a change is mid-migration — its kind and still-outstanding
 /// moves, so a restarted participant resumes exactly where the plan
-/// stands.
+/// stands. Stamped with the holder's term so fencing applies.
 fn snapshot_topo(ctx: &ElasticCtx) -> TopoMsg {
     let map = (*ctx.state.current_map()).clone();
-    if let Some(rb) = &ctx.rebalancer {
-        let rb = lock(rb);
+    let term = ctx.state.ha_term();
+    {
+        let rb = lock(&ctx.rebalancer);
         if let Some(plan) = rb.migrating() {
             let outstanding: HashSet<u32> = rb.outstanding().iter().copied().collect();
             return TopoMsg {
+                term,
                 kind: change_kind(&plan.change),
                 node: plan.change.node(),
                 map,
@@ -758,7 +894,7 @@ fn snapshot_topo(ctx: &ElasticCtx) -> TopoMsg {
             };
         }
     }
-    TopoMsg { kind: TopoKind::Snapshot, node: 0, map, moves: Vec::new() }
+    TopoMsg { term, kind: TopoKind::Snapshot, node: 0, map, moves: Vec::new() }
 }
 
 /// Dispatch one control frame's elastic ops. Returns `false` for ops
@@ -768,7 +904,7 @@ pub fn handle_ctrl(ctx: &ElasticCtx, src: u32, words: &[u64]) -> bool {
     match words.first().copied() {
         Some(OP_TOPO) => {
             if let Some(t) = proto::decode_topo(words) {
-                state.on_topo(&t);
+                state.on_topo(&t, src);
             }
         }
         Some(OP_MIGRATE) => {
@@ -783,14 +919,16 @@ pub fn handle_ctrl(ctx: &ElasticCtx, src: u32, words: &[u64]) -> bool {
         }
         Some(OP_WARD_MIGRATE_REQ) => {
             if let Some((v, shard, ward)) = proto::decode_ward_migrate_req(words) {
-                state.serve_ward_migrate_req(v, shard, ward, src, &ctx.stores);
+                let ward_dead =
+                    ctx.detector.status(ward, Instant::now()) == PeerStatus::Dead;
+                state.serve_ward_migrate_req(v, shard, ward, src, &ctx.stores, ward_dead);
             }
         }
         Some(OP_MIGRATE_ACK) => {
-            if let (Some(rb), Some((_, shard))) =
-                (&ctx.rebalancer, proto::decode_migrate_ack(words))
-            {
-                if lock(rb).note_shard_ready(shard) {
+            // Always fed: a takeover holder's seeded rebalancer needs
+            // these, and a non-holder's idle rebalancer ignores them.
+            if let Some((_, shard)) = proto::decode_migrate_ack(words) {
+                if lock(&ctx.rebalancer).note_shard_ready(shard) {
                     eprintln!(
                         "[gravel-node {}] reshard: topology change complete (v{})",
                         state.me,
@@ -800,21 +938,26 @@ pub fn handle_ctrl(ctx: &ElasticCtx, src: u32, words: &[u64]) -> bool {
             }
         }
         Some(OP_JOIN_REQ) => {
-            if let (Some(rb), Some(n)) = (&ctx.rebalancer, proto::decode_join_req(words)) {
-                if (n as usize) < state.capacity {
-                    lock(rb).propose(TopologyChange::Join(n));
+            if state.is_lease_holder() {
+                if let Some(n) = proto::decode_join_req(words) {
+                    if (n as usize) < state.capacity {
+                        lock(&ctx.rebalancer).propose(TopologyChange::Join(n));
+                    }
+                    // Answer with the current topology either way: an
+                    // already-admitted joiner learns it is a member.
+                    ctx.transport.send_control(src, &proto::encode_topo(&snapshot_topo(ctx)));
                 }
-                // Answer with the current topology either way: an
-                // already-admitted joiner learns it is a member.
-                ctx.transport.send_control(src, &proto::encode_topo(&snapshot_topo(ctx)));
             }
         }
         Some(OP_LEAVE_REQ) => {
-            if let (Some(rb), Some(n)) = (&ctx.rebalancer, proto::decode_leave_req(words)) {
-                // The coordinator cannot leave (single-coordinator
-                // assumption, module docs).
-                if n != COORDINATOR {
-                    lock(rb).propose(TopologyChange::Leave(n));
+            if state.is_lease_holder() {
+                if let Some(n) = proto::decode_leave_req(words) {
+                    // The holder cannot coordinate its own removal; it
+                    // hands the lease off first (run_ha) and the new
+                    // holder processes the re-sent request.
+                    if n != state.me {
+                        lock(&ctx.rebalancer).propose(TopologyChange::Leave(n));
+                    }
                 }
             }
         }
@@ -824,8 +967,36 @@ pub fn handle_ctrl(ctx: &ElasticCtx, src: u32, words: &[u64]) -> bool {
             }
         }
         Some(OP_MAP_REQ) => {
-            if ctx.rebalancer.is_some() {
+            // Only the current holder answers: a deposed coordinator
+            // replying with its stale map would be fenced anyway, but
+            // staying silent keeps the requester knocking at the right
+            // door once a lease beat reaches it.
+            if state.is_lease_holder() {
                 ctx.transport.send_control(src, &proto::encode_topo(&snapshot_topo(ctx)));
+            }
+        }
+        Some(OP_LEASE) => {
+            if let Some(l) = proto::decode_lease(words) {
+                if state.on_lease(&l, src) {
+                    // The holder's map is ahead of ours: resync.
+                    ctx.transport.send_control(state.ha_holder(), &proto::encode_map_req());
+                }
+            }
+        }
+        Some(OP_DEATH_VOTE_REQ) => {
+            if let Some((term, suspect)) = proto::decode_death_vote_req(words) {
+                // Corroborate only what our own detector has latched.
+                // Votes are advisory (the requester applies quorum), so
+                // no term fencing beyond echoing what we were asked.
+                let dead = suspect != state.me
+                    && ctx.detector.status(suspect, Instant::now()) == PeerStatus::Dead;
+                ctx.transport
+                    .send_control(src, &proto::encode_death_vote(term, suspect, dead));
+            }
+        }
+        Some(OP_DEATH_VOTE) => {
+            if let Some((_, suspect, dead)) = proto::decode_death_vote(words) {
+                state.votes.record(suspect, src, dead);
             }
         }
         _ => return false,
@@ -851,8 +1022,9 @@ pub fn run_elastic_pump(ctx: &ElasticCtx, stop: &AtomicBool, deadline: Instant) 
         }
         if last_knock.elapsed() >= Duration::from_millis(250) {
             last_knock = Instant::now();
-            if state.me != COORDINATOR && !state.topo_seen() {
-                ctx.transport.send_control(COORDINATOR, &proto::encode_map_req());
+            let holder = state.ha_holder();
+            if !state.is_lease_holder() && !state.topo_seen() {
+                ctx.transport.send_control(holder, &proto::encode_map_req());
             }
             // A joiner knocks until admitted — but never again once a
             // leave was requested, or its own knock would re-admit it
@@ -862,66 +1034,293 @@ pub fn run_elastic_pump(ctx: &ElasticCtx, stop: &AtomicBool, deadline: Instant) 
                 && !state.is_member()
                 && !crate::signal::leave_requested()
             {
-                ctx.transport
-                    .send_control(COORDINATOR, &proto::encode_join_req(state.me));
+                ctx.transport.send_control(holder, &proto::encode_join_req(state.me));
             }
-            if crate::signal::leave_requested() && state.is_member() && state.me != COORDINATOR {
-                ctx.transport
-                    .send_control(COORDINATOR, &proto::encode_leave_req(state.me));
+            // A leaving holder first hands the lease off (run_ha), then
+            // this clause fires at the successor.
+            if crate::signal::leave_requested() && state.is_member() && !state.is_lease_holder() {
+                ctx.transport.send_control(holder, &proto::encode_leave_req(state.me));
             }
         }
     }
 }
 
-/// The coordinator driver: watch the failure detector for evictions,
-/// and commit queued proposals one at a time at epoch boundaries.
-pub fn run_coordinator(
+/// Invert a moves-carrying TOPO's kind back into the change it
+/// committed (a takeover re-seeds the rebalancer from this).
+fn kind_change(kind: TopoKind, node: u32) -> Option<TopologyChange> {
+    match kind {
+        TopoKind::Join => Some(TopologyChange::Join(node)),
+        TopoKind::Leave => Some(TopologyChange::Leave(node)),
+        TopoKind::Evict => Some(TopologyChange::Evict(node)),
+        TopoKind::Snapshot => None,
+    }
+}
+
+fn broadcast(ctx: &ElasticCtx, words: &[u64]) {
+    for peer in 0..ctx.state.capacity as u32 {
+        if peer != ctx.state.me {
+            // Absent slots (a not-yet-started joiner) drop the frame;
+            // they resync via MAP_REQ at startup.
+            ctx.transport.send_control(peer, words);
+        }
+    }
+}
+
+fn lease_beat_words(state: &ElasticState) -> Vec<u64> {
+    proto::encode_lease(&LeaseMsg {
+        term: state.ha_term(),
+        holder: state.me,
+        map_version: state.version(),
+    })
+}
+
+/// The HA driver **every** elastic node runs: lease beats and the
+/// epoch-boundary commit loop while holding the lease, the takeover
+/// watchdog while not, and quorum death-voting plus the revive sweep
+/// on both sides. Replaces the old fixed-coordinator `run_coordinator`.
+pub fn run_ha(
     ctx: &ElasticCtx,
-    detector: &FailureDetector,
     evict_grace: Duration,
+    kill_on_commit: bool,
     stop: &AtomicBool,
     deadline: Instant,
 ) {
-    let rb = ctx.rebalancer.as_ref().expect("coordinator has the rebalancer");
     let state = &ctx.state;
+    let detector = &ctx.detector;
     let mut dead_since: HashMap<u32, Instant> = HashMap::new();
+    let mut revive_streak: HashMap<u32, u32> = HashMap::new();
+    let mut holder_since: Option<Instant> =
+        state.is_lease_holder().then(Instant::now);
+    let mut last_beat = Instant::now() - LEASE_BEAT_EVERY;
+    let mut last_vote_round = Instant::now() - VOTE_ROUND_EVERY;
+    let mut handed_off = false;
+    // "Beats resumed" = silence shorter than a few detector intervals.
+    let revive_thresh = detector.config().interval * 3;
     while !stop.load(Ordering::Relaxed)
         && !ctx.transport.is_closed()
         && Instant::now() < deadline
     {
         std::thread::sleep(Duration::from_millis(25));
-        // Evict scan: a member continuously dead past the grace window
-        // is expelled. Kills-and-restarts un-latch via the membership
-        // loop's detector reset, which clears the timer here.
-        let dead: HashSet<u32> = detector.dead_peers().into_iter().collect();
-        dead_since.retain(|peer, _| dead.contains(peer));
-        let map = state.current_map();
         let now = Instant::now();
+        let map = state.current_map();
+        let members = map.members.clone();
+        let i_am_member = map.is_member(state.me);
+
+        // -- Holder-transition tracking. Commits, evictions and
+        // handoff wait out HOLDER_STABILIZE after we become holder, so
+        // a live higher-term holder's beats can demote a stale
+        // restarted claimant before it acts. Beats and MAP_REQ answers
+        // are not delayed — they are fenced anyway.
+        if state.is_lease_holder() {
+            if holder_since.is_none() {
+                holder_since = Some(now);
+            }
+        } else {
+            holder_since = None;
+            handed_off = false;
+        }
+        let stable =
+            holder_since.is_some_and(|t| now.duration_since(t) >= HOLDER_STABILIZE);
+
+        // -- Revive sweep. A socket partition swallows frames but the
+        // TCP stream stays ESTABLISHED, so no reconnect ever resets the
+        // latched-dead verdict; when beats resume (small silence) for
+        // REVIVE_STREAK consecutive ticks, un-latch. Safe: eviction is
+        // quorum-gated, so a premature un-latch only delays it.
+        let mut dead: HashSet<u32> = detector.dead_peers().into_iter().collect();
+        let mut revived: Vec<u32> = Vec::new();
         for &peer in &dead {
-            if peer == COORDINATOR || !map.is_member(peer) {
+            let recent =
+                detector.silence(peer, now).is_some_and(|s| s < revive_thresh);
+            let streak = revive_streak.entry(peer).or_insert(0);
+            *streak = if recent { *streak + 1 } else { 0 };
+            if *streak >= REVIVE_STREAK {
+                revived.push(peer);
+            }
+        }
+        for peer in revived {
+            eprintln!(
+                "[gravel-node {}] ha: node {peer} beats resumed — clearing \
+                 latched death (partition healed?)",
+                state.me
+            );
+            detector.reset_peer(peer, now);
+            state.votes.clear(peer);
+            dead_since.remove(&peer);
+            revive_streak.remove(&peer);
+            dead.remove(&peer);
+        }
+        revive_streak.retain(|p, _| dead.contains(p));
+        dead_since.retain(|p, _| dead.contains(p));
+
+        // -- Death-vote rounds: tally our own verdict and poll the
+        // membership. Replies land in `state.votes` via `handle_ctrl`.
+        if i_am_member && last_vote_round.elapsed() >= VOTE_ROUND_EVERY {
+            last_vote_round = now;
+            for &peer in &dead {
+                if !map.is_member(peer) {
+                    continue;
+                }
+                state.votes.record(peer, state.me, true);
+                let req = proto::encode_death_vote_req(state.ha_term(), peer);
+                for &m in &members {
+                    if m != state.me && m != peer && !dead.contains(&m) {
+                        ctx.transport.send_control(m, &req);
+                    }
+                }
+                // A denied round (so many live "not dead" replies that
+                // a quorum can never form) is a vetoed eviction: our
+                // link to the suspect is down, not the suspect.
+                if state.votes.denied(peer, &members) && state.votes.note_veto(peer) {
+                    state.evictions_vetoed.inc();
+                    eprintln!(
+                        "[gravel-node {}] ha: eviction of node {peer} VETOED \
+                         (majority still hears it — one-way or local fault)",
+                        state.me
+                    );
+                }
+            }
+        }
+
+        // -- Takeover watchdog (non-holders). We step up only if the
+        // quorum-confirmed dead set makes *us* the lowest live member:
+        // an unconfirmed lower-ranked candidate keeps us waiting
+        // rather than racing it for the lease.
+        if !state.is_lease_holder() && i_am_member {
+            let holder = state.ha_holder();
+            let confirmed_dead: Vec<u32> = dead
+                .iter()
+                .copied()
+                .filter(|&p| state.votes.confirmed(p, &members))
+                .collect();
+            if confirmed_dead.contains(&holder)
+                && successor(&members, &confirmed_dead) == Some(state.me)
+            {
+                let term = state.lease.assert_takeover();
+                state.takeovers.inc();
+                state.ha_term.set(term as i64);
+                holder_since = Some(now);
+                eprintln!(
+                    "[gravel-node {}] ha: TAKEOVER — holder {holder} confirmed \
+                     dead by quorum, asserting term {term}",
+                    state.me
+                );
+                broadcast(ctx, &lease_beat_words(state));
+                // Reconstruct the in-flight migration (if any) from the
+                // cached last TOPO: re-broadcast it under the new term
+                // and seed the rebalancer. Destinations already serving
+                // re-ack to us; the rest re-pull from their donors.
+                let cached = lock(&state.last_topo).clone();
+                if let Some(t) = cached {
+                    if t.map.version == map.version && !t.moves.is_empty() {
+                        if let Some(change) = kind_change(t.kind, t.node) {
+                            let already: Vec<u32> = {
+                                let serving = lock(&state.serving);
+                                t.moves
+                                    .iter()
+                                    .filter(|m| {
+                                        m.to == state.me && serving.contains(&m.shard)
+                                    })
+                                    .map(|m| m.shard)
+                                    .collect()
+                            };
+                            let plan = RebalancePlan {
+                                change,
+                                map: t.map.clone(),
+                                moves: t.moves.clone(),
+                            };
+                            lock(&ctx.rebalancer).seed_in_flight(plan, &already);
+                            let t2 = TopoMsg { term, ..t };
+                            broadcast(ctx, &proto::encode_topo(&t2));
+                            eprintln!(
+                                "[gravel-node {}] ha: re-driving interrupted \
+                                 migration v{} under term {term}",
+                                state.me, t2.map.version
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        if !state.is_lease_holder() {
+            continue;
+        }
+
+        // -- Holder duty: lease beats, never stabilization-gated.
+        if last_beat.elapsed() >= LEASE_BEAT_EVERY {
+            last_beat = now;
+            broadcast(ctx, &lease_beat_words(state));
+        }
+        if !stable {
+            continue;
+        }
+
+        // -- Holder duty: quorum-gated evict scan. A member
+        // continuously dead past the grace window is expelled once a
+        // majority of the membership corroborates the death. Minority
+        // side of a partition can never clear this bar: it freezes.
+        for &peer in &dead {
+            if peer == state.me || !map.is_member(peer) {
                 continue;
             }
             let since = *dead_since.entry(peer).or_insert(now);
-            if now.duration_since(since) < evict_grace {
+            if now.duration_since(since) < evict_grace
+                || !state.votes.confirmed(peer, &members)
+            {
                 continue;
             }
-            let mut rbl = lock(rb);
+            let mut rbl = lock(&ctx.rebalancer);
             // Never evict a node participating in the in-flight plan:
             // the plan must complete (or the node recover) first.
-            let entangled = rbl.migrating().is_some_and(|p| {
-                p.moves.iter().any(|m| m.from == peer || m.to == peer)
-            });
+            let entangled = rbl
+                .migrating()
+                .is_some_and(|p| p.moves.iter().any(|m| m.from == peer || m.to == peer));
             if !entangled && rbl.propose(TopologyChange::Evict(peer)) {
                 eprintln!(
                     "[gravel-node {}] reshard: proposing EVICT of node {peer} \
-                     (dead past grace)",
+                     (dead past grace, quorum-confirmed)",
                     state.me
                 );
             }
         }
-        // Epoch-boundary commit: at most one change in flight.
+
+        // -- Holder duty: lease handoff for our own drain-leave. The
+        // holder cannot coordinate its own removal, so once quiescent
+        // it hands the lease to the successor and re-sends LEAVE_REQ
+        // there (the pump's leave clause fires once we are demoted).
+        if crate::signal::leave_requested() && !handed_off && members.len() > 1 {
+            let quiescent = {
+                let rbl = lock(&ctx.rebalancer);
+                rbl.migrating().is_none() && rbl.is_quiescent()
+            };
+            if quiescent {
+                if let Some(succ) = successor(&members, &[state.me]) {
+                    let term = state.lease.handoff(succ);
+                    state.ha_term.set(term as i64);
+                    handed_off = true;
+                    eprintln!(
+                        "[gravel-node {}] ha: handing lease to node {succ} \
+                         (term {term}) before leaving",
+                        state.me
+                    );
+                    broadcast(
+                        ctx,
+                        &proto::encode_lease(&LeaseMsg {
+                            term,
+                            holder: succ,
+                            map_version: state.version(),
+                        }),
+                    );
+                    continue;
+                }
+            }
+        }
+
+        // -- Holder duty: epoch-boundary commit, at most one change in
+        // flight.
         let plan = {
-            let mut rbl = lock(rb);
+            let mut rbl = lock(&ctx.rebalancer);
             if rbl.migrating().is_some() || rbl.is_quiescent() {
                 None
             } else {
@@ -933,20 +1332,29 @@ pub fn run_coordinator(
         };
         if let Some(plan) = plan {
             let t = TopoMsg {
+                term: state.ha_term(),
                 kind: change_kind(&plan.change),
                 node: plan.change.node(),
                 map: plan.map.clone(),
                 moves: plan.moves.clone(),
             };
-            let words = proto::encode_topo(&t);
-            for peer in 0..state.capacity as u32 {
-                if peer != state.me {
-                    // Absent slots (a not-yet-started joiner) drop the
-                    // frame; they resync via MAP_REQ at startup.
-                    ctx.transport.send_control(peer, &words);
-                }
+            broadcast(ctx, &proto::encode_topo(&t));
+            if kill_on_commit && !t.moves.is_empty() {
+                eprintln!(
+                    "[gravel-node {}] chaos: SIGKILL right after committing \
+                     {:?} v{} ({} moves outstanding)",
+                    state.me,
+                    plan.change,
+                    t.map.version,
+                    t.moves.len()
+                );
+                crate::signal::kill_self_hard();
             }
-            state.on_topo(&t);
+            state.on_topo(&t, state.me);
+            if let TopologyChange::Evict(n) = plan.change {
+                state.votes.clear(n);
+                dead_since.remove(&n);
+            }
             eprintln!(
                 "[gravel-node {}] reshard: committed {:?} v{} ({} moves)",
                 state.me,

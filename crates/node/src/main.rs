@@ -76,6 +76,13 @@ struct Args {
     /// Chaos: SIGKILL while installing the Kth migrated shard (words
     /// written, epoch not yet cut — the worst mid-migration window).
     kill_on_migrate: Option<u64>,
+    /// Chaos: the lease holder SIGKILLs itself right after broadcasting
+    /// its next moves-carrying TOPO — a deterministic coordinator death
+    /// mid-shard-migration (the failover acceptance window).
+    kill_on_commit: bool,
+    /// Chaos: a declarative link-fault schedule, e.g.
+    /// `part:0|1|2:500:2500;oneway:2:3:100:900;delay:0:1:5:3`.
+    link_chaos: Option<String>,
 }
 
 fn usage() -> ! {
@@ -83,7 +90,8 @@ fn usage() -> ! {
         "usage: gravel-node --node I --nodes N (--dir PATH | --tcp-base PORT) [--updates U] \
          [--table T] [--seed S] [--integrity crc32c|off] [--msgs-per-packet K] \
          [--ckpt-every P] [--kill-at N] [--deadline-secs D] [--gets G] [--out FILE] \
-         [--active M] [--join] [--buddy-wait-ms W] [--evict-grace-ms E] [--kill-on-migrate K]"
+         [--active M] [--join] [--buddy-wait-ms W] [--evict-grace-ms E] [--kill-on-migrate K] \
+         [--kill-on-commit] [--link-chaos SPEC]"
     );
     std::process::exit(64);
 }
@@ -109,6 +117,8 @@ fn parse_args() -> Args {
         buddy_wait_ms: 2000,
         evict_grace_ms: 1500,
         kill_on_migrate: None,
+        kill_on_commit: false,
+        link_chaos: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -141,6 +151,8 @@ fn parse_args() -> Args {
             "--kill-on-migrate" => {
                 a.kill_on_migrate = Some(val().parse().unwrap_or_else(|_| usage()))
             }
+            "--kill-on-commit" => a.kill_on_commit = true,
+            "--link-chaos" => a.link_chaos = Some(val()),
             _ => usage(),
         }
     }
@@ -422,6 +434,11 @@ impl Reporter {
                 reshard_moves_in: snap.counter(&n("reshard.moves_in")),
                 reshard_moves_out: snap.counter(&n("reshard.moves_out")),
                 reshard_bytes_migrated: snap.counter(&n("reshard.bytes_migrated")),
+                ha_takeovers: self.elastic.as_ref().map_or(0, |st| st.takeovers_count()),
+                ha_evictions_vetoed: self
+                    .elastic
+                    .as_ref()
+                    .map_or(0, |st| st.evictions_vetoed_count()),
             },
             quarantine,
             map_version: self.elastic.as_ref().map_or(0, |st| st.version()),
@@ -431,6 +448,8 @@ impl Reporter {
                 .as_ref()
                 .map_or_else(Vec::new, |st| st.shard_owners()),
             sender_drained: self.sender_drained.load(Ordering::SeqCst),
+            ha_term: self.elastic.as_ref().map_or(0, |st| st.ha_term()),
+            ha_holder: self.elastic.as_ref().map_or(0, |st| st.ha_holder()),
         };
         if let Err(e) = write_report(&self.args.out, &report) {
             eprintln!("[gravel-node {me}] failed to write {}: {e}", self.args.out.display());
@@ -480,6 +499,19 @@ fn run() -> i32 {
         // request-reply traffic (its own ack mailbox).
         scfg.lanes = 2;
     }
+    if let Some(spec) = &args.link_chaos {
+        // Same seed on every node: symmetric faults really are
+        // symmetric, and the partition islands agree across processes.
+        let sched = match gravel_net::LinkSchedule::parse(args.seed, spec) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("[gravel-node {me}] bad --link-chaos spec: {e}");
+                return 64;
+            }
+        };
+        sched.arm();
+        scfg.link_chaos = Some(Arc::new(sched));
+    }
     let transport = match SocketTransport::spawn(scfg) {
         Ok(t) => t,
         Err(e) => {
@@ -524,14 +556,28 @@ fn run() -> i32 {
         forwarder.set_ready_provider(Arc::new(move || provider.ckpt_ready_shards()));
         st
     });
+    // Liveness: heartbeats over the wire into a phi-accrual detector.
+    // The interval is wider than the in-process default — N processes
+    // share cores here, and a falsely latched peer stays dead until
+    // its next handshake. Built before the elastic wiring: the HA
+    // driver corroborates death votes against this detector.
+    let hb_cfg = HeartbeatConfig {
+        interval: Duration::from_millis(15),
+        suspect_phi: 4.0,
+        dead_phi: 8.0,
+        min_samples: 3,
+    };
+    let detector = Arc::new(FailureDetector::new(hb_cfg.clone()));
+
     let elastic_ctx = elastic_state.as_ref().map(|st| {
         Arc::new(ElasticCtx {
             state: st.clone(),
             forwarder: forwarder.clone(),
             stores: stores.clone(),
             transport: transport.clone(),
-            rebalancer: (me == elastic::COORDINATOR)
-                .then(|| Arc::new(Mutex::new(gravel_core::ha::Rebalancer::new()))),
+            // Every node carries one: whoever wins the lease drives it.
+            rebalancer: Arc::new(Mutex::new(gravel_core::ha::Rebalancer::new())),
+            detector: detector.clone(),
             is_joiner: args.join,
         })
     });
@@ -544,18 +590,6 @@ fn run() -> i32 {
         let ctx = elastic_ctx.clone();
         move || ctrl_loop(t, s, resp_tx, e, ctx)
     });
-
-    // Liveness: heartbeats over the wire into a phi-accrual detector.
-    // The interval is wider than the in-process default — N processes
-    // share cores here, and a falsely latched peer stays dead until
-    // its next handshake.
-    let hb_cfg = HeartbeatConfig {
-        interval: Duration::from_millis(15),
-        suspect_phi: 4.0,
-        dead_phi: 8.0,
-        min_samples: 3,
-    };
-    let detector = Arc::new(FailureDetector::new(hb_cfg.clone()));
     let hb = std::thread::spawn({
         let (t, d, e, r) = (transport.clone(), detector.clone(), errors.clone(), node.registry.clone());
         let n = nodes as u32;
@@ -662,29 +696,29 @@ fn run() -> i32 {
         );
     }
 
-    // Elastic, non-coordinator: resync the shard map before serving a
-    // byte of data traffic. A restarted node's built-in map may predate
+    // Elastic, non-holder: resync the shard map before serving a byte
+    // of data traffic. A restarted node's built-in map may predate
     // topology changes; applying under it could accept shards that
-    // moved away. The coordinator is the map authority and skips this.
+    // moved away. The boot lease holder is the map authority and skips
+    // this (topo_seen starts true there); everyone else knocks at
+    // whoever it currently believes holds the lease.
     if let Some(st) = &elastic_state {
-        if me != elastic::COORDINATOR {
-            let mut last = Instant::now() - Duration::from_secs(1);
-            while !st.topo_seen() {
-                if signal::shutdown_requested() {
-                    transport.close();
-                    return 0;
-                }
-                if Instant::now() >= deadline {
-                    eprintln!("[gravel-node {me}] no topology from coordinator before deadline");
-                    transport.close();
-                    return 2;
-                }
-                if last.elapsed() >= Duration::from_millis(200) {
-                    last = Instant::now();
-                    transport.send_control(elastic::COORDINATOR, &proto::encode_map_req());
-                }
-                std::thread::sleep(Duration::from_millis(10));
+        let mut last = Instant::now() - Duration::from_secs(1);
+        while !st.topo_seen() {
+            if signal::shutdown_requested() {
+                transport.close();
+                return 0;
             }
+            if Instant::now() >= deadline {
+                eprintln!("[gravel-node {me}] no topology from lease holder before deadline");
+                transport.close();
+                return 2;
+            }
+            if last.elapsed() >= Duration::from_millis(200) {
+                last = Instant::now();
+                transport.send_control(st.ha_holder(), &proto::encode_map_req());
+            }
+            std::thread::sleep(Duration::from_millis(10));
         }
     }
 
@@ -748,21 +782,22 @@ fn run() -> i32 {
         })
     };
 
-    // Elastic service threads: the migration/membership pump on every
-    // node, the topology driver on the coordinator.
+    // Elastic service threads: the migration/membership pump and the
+    // HA driver (lease beats / takeover watchdog / quorum voting /
+    // epoch commits) on EVERY node — any node may end up holding the
+    // coordinator lease.
     let mut elastic_threads = Vec::new();
     if let Some(ctx) = &elastic_ctx {
         elastic_threads.push(std::thread::spawn({
             let (ctx, stop) = (ctx.clone(), stop.clone());
             move || elastic::run_elastic_pump(&ctx, &stop, deadline)
         }));
-        if ctx.rebalancer.is_some() {
-            elastic_threads.push(std::thread::spawn({
-                let (ctx, stop, det) = (ctx.clone(), stop.clone(), detector.clone());
-                let grace = Duration::from_millis(args.evict_grace_ms);
-                move || elastic::run_coordinator(&ctx, &det, grace, &stop, deadline)
-            }));
-        }
+        elastic_threads.push(std::thread::spawn({
+            let (ctx, stop) = (ctx.clone(), stop.clone());
+            let grace = Duration::from_millis(args.evict_grace_ms);
+            let kill_on_commit = args.kill_on_commit;
+            move || elastic::run_ha(&ctx, grace, kill_on_commit, &stop, deadline)
+        }));
     }
 
     // Request-reply plane: a pump draining the offload queue (GETs we

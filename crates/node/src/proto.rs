@@ -40,6 +40,21 @@
 //!   refused (it no longer — or does not yet — own their shard) are
 //!   returned to their sender together with the receiver's current
 //!   map, to be re-aggregated and re-sent, never dropped.
+//!
+//! Coordinator-failover ops (DESIGN.md §18) make the coordinator role
+//! itself survivable. `TOPO` frames carry the issuing holder's fencing
+//! **term** as their second word; receivers reject terms below their
+//! observed floor, so a resurrected old coordinator cannot clobber a
+//! successor's map:
+//!
+//! * `LEASE` — the holder's periodic lease beat: its term and current
+//!   map version. Followers use the beat to renew the lease, detect a
+//!   map-version gap (then knock with `MAP_REQ`), and learn takeovers.
+//! * `DEATH_VOTE_REQ` / `DEATH_VOTE` — quorum corroboration of a
+//!   phi-accrual death verdict. Nothing is evicted and no takeover
+//!   term is asserted until a majority of the last-committed
+//!   membership votes the suspect dead, which is what keeps a minority
+//!   partition from evicting the other side or forking the map.
 
 use gravel_pgas::{ShardMap, ShardMove};
 
@@ -70,6 +85,14 @@ pub const OP_MAP_REQ: u64 = 12;
 /// Shard data re-request against a dead node's ward (new owner → the
 /// dead node's buddy, which reconstructs from checkpoint + log).
 pub const OP_WARD_MIGRATE_REQ: u64 = 13;
+/// Coordinator lease beat: term + holder + current map version
+/// (holder → everyone, each lease interval).
+pub const OP_LEASE: u64 = 14;
+/// Death-corroboration ballot: "is `suspect` dead by your detector?"
+/// (suspecting node → every live peer).
+pub const OP_DEATH_VOTE_REQ: u64 = 15;
+/// Ballot reply carrying the voter's verdict (peer → requester).
+pub const OP_DEATH_VOTE: u64 = 16;
 
 /// One applied packet as forwarded to the buddy: the flow coordinates
 /// the receiver applied it under, plus the raw message words.
@@ -282,6 +305,11 @@ impl TopoKind {
 /// old owner's buddy's ward reconstruction.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TopoMsg {
+    /// Fencing term of the coordinator lease that issued this frame.
+    /// Receivers feed it through
+    /// [`Directory::install_fenced`](gravel_pgas::Directory::install_fenced):
+    /// a term below their observed floor marks the whole frame stale.
+    pub term: u64,
     pub kind: TopoKind,
     /// The node whose membership changed (ignored for `Snapshot`).
     pub node: u32,
@@ -290,7 +318,7 @@ pub struct TopoMsg {
 }
 
 pub fn encode_topo(t: &TopoMsg) -> Vec<u64> {
-    let mut w = vec![OP_TOPO, t.kind.encode(), t.node as u64];
+    let mut w = vec![OP_TOPO, t.term, t.kind.encode(), t.node as u64];
     w.extend(t.map.encode_words());
     w.push(t.moves.len() as u64);
     for m in &t.moves {
@@ -303,9 +331,10 @@ pub fn decode_topo(words: &[u64]) -> Option<TopoMsg> {
     if words.first() != Some(&OP_TOPO) {
         return None;
     }
-    let kind = TopoKind::decode(*words.get(1)?)?;
-    let node = u32::try_from(*words.get(2)?).ok()?;
-    let (map, mut i) = ShardMap::decode_words(words, 3)?;
+    let term = *words.get(1)?;
+    let kind = TopoKind::decode(*words.get(2)?)?;
+    let node = u32::try_from(*words.get(3)?).ok()?;
+    let (map, mut i) = ShardMap::decode_words(words, 4)?;
     let nmoves = usize::try_from(*words.get(i)?).ok()?;
     i += 1;
     let mut moves = Vec::with_capacity(nmoves.min(1024));
@@ -319,7 +348,57 @@ pub fn decode_topo(words: &[u64]) -> Option<TopoMsg> {
         moves.push(ShardMove { shard, from, to });
         i += 3;
     }
-    (i == words.len()).then_some(TopoMsg { kind, node, map, moves })
+    (i == words.len()).then_some(TopoMsg { term, kind, node, map, moves })
+}
+
+/// The holder's periodic lease beat. `map_version` lets a follower
+/// whose directory lags the holder's detect the gap and knock with
+/// `MAP_REQ` — the same resync path a restarted node uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaseMsg {
+    pub term: u64,
+    pub holder: u32,
+    pub map_version: u64,
+}
+
+pub fn encode_lease(l: &LeaseMsg) -> Vec<u64> {
+    vec![OP_LEASE, l.term, l.holder as u64, l.map_version]
+}
+
+pub fn decode_lease(words: &[u64]) -> Option<LeaseMsg> {
+    if words.len() != 4 || words[0] != OP_LEASE {
+        return None;
+    }
+    Some(LeaseMsg {
+        term: words[1],
+        holder: u32::try_from(words[2]).ok()?,
+        map_version: words[3],
+    })
+}
+
+/// Ask a peer to corroborate `suspect`'s death as observed under
+/// `term`. The requester's identity rides the control frame's `src`.
+pub fn encode_death_vote_req(term: u64, suspect: u32) -> Vec<u64> {
+    vec![OP_DEATH_VOTE_REQ, term, suspect as u64]
+}
+
+pub fn decode_death_vote_req(words: &[u64]) -> Option<(u64, u32)> {
+    if words.len() != 3 || words[0] != OP_DEATH_VOTE_REQ {
+        return None;
+    }
+    Some((words[1], u32::try_from(words[2]).ok()?))
+}
+
+/// A ballot reply: the voter's own detector verdict on `suspect`.
+pub fn encode_death_vote(term: u64, suspect: u32, dead: bool) -> Vec<u64> {
+    vec![OP_DEATH_VOTE, term, suspect as u64, u64::from(dead)]
+}
+
+pub fn decode_death_vote(words: &[u64]) -> Option<(u64, u32, bool)> {
+    if words.len() != 4 || words[0] != OP_DEATH_VOTE || words[3] > 1 {
+        return None;
+    }
+    Some((words[1], u32::try_from(words[2]).ok()?, words[3] == 1))
 }
 
 /// One shard's words, pulled by its new owner. Word `k` is the value
@@ -498,14 +577,16 @@ mod tests {
     fn topo() -> TopoMsg {
         let map = ShardMap::initial(&[0, 1, 2, 3], 8);
         let (map, moves) = map.rebalance_join(4).unwrap();
-        TopoMsg { kind: TopoKind::Join, node: 4, map, moves }
+        TopoMsg { term: 3, kind: TopoKind::Join, node: 4, map, moves }
     }
 
     #[test]
     fn topo_roundtrips_for_every_kind() {
         for kind in [TopoKind::Join, TopoKind::Leave, TopoKind::Evict, TopoKind::Snapshot] {
-            let t = TopoMsg { kind, ..topo() };
-            assert_eq!(decode_topo(&encode_topo(&t)), Some(t));
+            for term in [1, 7, u64::MAX] {
+                let t = TopoMsg { term, kind, ..topo() };
+                assert_eq!(decode_topo(&encode_topo(&t)), Some(t));
+            }
         }
         let w = encode_topo(&topo());
         for cut in 0..w.len() {
@@ -515,8 +596,88 @@ mod tests {
         junk.push(0);
         assert_eq!(decode_topo(&junk), None);
         let mut bad_kind = w;
-        bad_kind[1] = 9;
+        bad_kind[2] = 9;
         assert_eq!(decode_topo(&bad_kind), None);
+    }
+
+    #[test]
+    fn lease_and_death_vote_roundtrip() {
+        let l = LeaseMsg { term: 9, holder: 2, map_version: 14 };
+        assert_eq!(decode_lease(&encode_lease(&l)), Some(l));
+        assert_eq!(decode_death_vote_req(&encode_death_vote_req(9, 5)), Some((9, 5)));
+        for dead in [true, false] {
+            assert_eq!(
+                decode_death_vote(&encode_death_vote(9, 5, dead)),
+                Some((9, 5, dead))
+            );
+        }
+        // Cut loops: every truncation of every new frame decodes to None.
+        for w in [
+            encode_lease(&l),
+            encode_death_vote_req(9, 5),
+            encode_death_vote(9, 5, true),
+        ] {
+            for cut in 0..w.len() {
+                assert_eq!(decode_lease(&w[..cut]), None, "cut at {cut}");
+                assert_eq!(decode_death_vote_req(&w[..cut]), None, "cut at {cut}");
+                assert_eq!(decode_death_vote(&w[..cut]), None, "cut at {cut}");
+            }
+        }
+        // Cross-op confusion and out-of-range fields are refused.
+        assert_eq!(decode_lease(&encode_death_vote(9, 5, true)), None);
+        assert_eq!(decode_death_vote(&encode_lease(&l)), None);
+        let mut bad_verdict = encode_death_vote(9, 5, true);
+        bad_verdict[3] = 2;
+        assert_eq!(decode_death_vote(&bad_verdict), None);
+        let mut wide_holder = encode_lease(&l);
+        wide_holder[2] = u64::MAX;
+        assert_eq!(decode_lease(&wide_holder), None);
+    }
+
+    /// Seeded byte-level fuzz over the failover-frame decoders: random
+    /// word soups and bit-mutated valid encodings must decode to `None`
+    /// or a well-formed message, never panic. Nightly CI widens the
+    /// corpus via `GRAVEL_FUZZ_CASES`.
+    #[test]
+    fn fuzz_failover_frames_never_panic() {
+        let cases: u64 = std::env::var("GRAVEL_FUZZ_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            // SplitMix64: deterministic, dependency-free.
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let decode_all = |w: &[u64]| {
+            let _ = decode_topo(w);
+            let _ = decode_lease(w);
+            let _ = decode_death_vote_req(w);
+            let _ = decode_death_vote(w);
+        };
+        for case in 0..cases {
+            // Random soup, sometimes starting with a valid opcode.
+            let len = (next() % 40) as usize;
+            let mut w: Vec<u64> = (0..len).map(|_| next()).collect();
+            if case % 3 == 0 && !w.is_empty() {
+                w[0] = [OP_TOPO, OP_LEASE, OP_DEATH_VOTE_REQ, OP_DEATH_VOTE]
+                    [(next() % 4) as usize];
+            }
+            decode_all(&w);
+            // A valid frame with one word bit-flipped: decodes to None
+            // or to a message that re-encodes canonically.
+            let mut v = encode_topo(&topo());
+            let i = (next() % v.len() as u64) as usize;
+            v[i] ^= 1u64 << (next() % 64);
+            if let Some(t) = decode_topo(&v) {
+                assert_eq!(encode_topo(&t), v, "decode is the inverse of encode");
+            }
+            decode_all(&v);
+        }
     }
 
     #[test]

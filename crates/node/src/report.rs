@@ -63,6 +63,14 @@ pub struct OutStats {
     /// Shard words shipped (both directions), in bytes.
     #[serde(default)]
     pub reshard_bytes_migrated: u64,
+    /// Times this node asserted a coordinator takeover (won the lease
+    /// after quorum-confirming the holder's death).
+    #[serde(default)]
+    pub ha_takeovers: u64,
+    /// Eviction rounds vetoed because a majority still heard the
+    /// suspect (one-way link or local fault, not a death).
+    #[serde(default)]
+    pub ha_evictions_vetoed: u64,
 }
 
 /// One quarantined message's provenance, surfaced verbatim so the
@@ -116,6 +124,14 @@ pub struct OutReport {
     /// can clear it again — harnesses poll for it across all nodes).
     #[serde(default)]
     pub sender_drained: bool,
+    /// Elastic mode: the highest coordinator term this node accepted
+    /// (0 = static mode; the boot term is 1).
+    #[serde(default)]
+    pub ha_term: u64,
+    /// Elastic mode: who this node believes holds the coordinator
+    /// lease.
+    #[serde(default)]
+    pub ha_holder: u32,
 }
 
 /// Atomically (re)write `report` at `path`.

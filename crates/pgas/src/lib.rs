@@ -40,4 +40,4 @@ pub use nodeq::{
     DEFAULT_TIMEOUT,
 };
 pub use partition::{Layout, Partition};
-pub use shard::{Directory, Route, ShardMap, ShardMove, DEFAULT_SHARDS};
+pub use shard::{Directory, FencedInstall, Route, ShardMap, ShardMove, DEFAULT_SHARDS};

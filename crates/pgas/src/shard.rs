@@ -32,6 +32,7 @@
 //! bounced message re-routes by its `addr` alone.
 
 use crate::partition::Partition;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Default shard count: enough granularity to balance small clusters
@@ -227,8 +228,11 @@ enum DirInner {
     Fixed(Partition),
     /// Elastic cluster: a swappable [`ShardMap`]; local offsets are
     /// global indices (heaps provisioned at table size) so they stay
-    /// stable across resharding.
-    Elastic { total: usize, map: RwLock<Arc<ShardMap>> },
+    /// stable across resharding. `term` is the highest coordinator
+    /// fencing term observed on an installed-or-attempted map — the
+    /// floor below which [`Directory::install_fenced`] rejects frames
+    /// outright.
+    Elastic { total: usize, map: RwLock<Arc<ShardMap>>, term: AtomicU64 },
 }
 
 /// The one address-to-node mapping every producer routes through —
@@ -250,14 +254,20 @@ impl Directory {
     /// An elastic directory over `total` global elements, starting at
     /// `map`.
     pub fn elastic(total: usize, map: ShardMap) -> Self {
-        Directory { inner: DirInner::Elastic { total, map: RwLock::new(Arc::new(map)) } }
+        Directory {
+            inner: DirInner::Elastic {
+                total,
+                map: RwLock::new(Arc::new(map)),
+                term: AtomicU64::new(0),
+            },
+        }
     }
 
     /// Route global index `g` to its owner and local offset.
     pub fn route(&self, g: usize) -> Route {
         match &self.inner {
             DirInner::Fixed(p) => Route { dest: p.owner(g) as u32, offset: p.local_offset(g) },
-            DirInner::Elastic { total, map } => {
+            DirInner::Elastic { total, map, .. } => {
                 debug_assert!(g < *total, "global index {g} out of {total}");
                 let map = map.read().unwrap_or_else(|p| p.into_inner());
                 Route { dest: map.owner_of(g as u64), offset: g as u64 }
@@ -311,6 +321,67 @@ impl Directory {
             }
         }
     }
+
+    /// The highest coordinator term observed via
+    /// [`install_fenced`](Self::install_fenced) (0 for fixed
+    /// directories and before any term-stamped frame arrives).
+    pub fn term(&self) -> u64 {
+        match &self.inner {
+            DirInner::Fixed(_) => 0,
+            DirInner::Elastic { term, .. } => term.load(Ordering::Acquire),
+        }
+    }
+
+    /// Term-fenced install (DESIGN.md §18). The term is the map's
+    /// *provenance* — which coordinator lease issued it — and gates the
+    /// frame before the version is even looked at:
+    ///
+    /// - `term` below the highest observed → [`FencedInstall::Stale`];
+    ///   the frame is from a fenced-off old coordinator and must be
+    ///   ignored wholesale (no re-acks, no migration bookkeeping).
+    /// - otherwise the observed-term floor rises to `term`, and the map
+    ///   installs under the usual monotonic-version rule:
+    ///   [`FencedInstall::Installed`] if `new.version` is higher,
+    ///   [`FencedInstall::Current`] if not (a takeover re-broadcast of
+    ///   a map this node already holds — still a *valid* frame whose
+    ///   migration side effects the caller should replay idempotently).
+    ///
+    /// Versions stay monotonic **across** terms: a higher term never
+    /// licenses a version regression, so a successor that missed the
+    /// old coordinator's last commit cannot roll this node's map back.
+    pub fn install_fenced(&self, new: ShardMap, new_term: u64) -> FencedInstall {
+        match &self.inner {
+            DirInner::Fixed(_) => FencedInstall::Current,
+            DirInner::Elastic { map, term, .. } => {
+                let mut cur = map.write().unwrap_or_else(|p| p.into_inner());
+                // The term floor only moves under the map write lock, so
+                // fencing and installation are atomic together.
+                if new_term < term.load(Ordering::Acquire) {
+                    return FencedInstall::Stale;
+                }
+                term.store(new_term, Ordering::Release);
+                if new.version <= cur.version {
+                    return FencedInstall::Current;
+                }
+                *cur = Arc::new(new);
+                FencedInstall::Installed
+            }
+        }
+    }
+}
+
+/// Outcome of a [`Directory::install_fenced`] attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FencedInstall {
+    /// The frame's term is below the observed floor: it came from a
+    /// fenced-off coordinator. Drop it entirely.
+    Stale,
+    /// Term accepted (floor possibly raised) but the map is not newer
+    /// than the one held — e.g. a takeover re-broadcast. Process the
+    /// frame's idempotent side effects; the routing map is unchanged.
+    Current,
+    /// Term accepted and the newer map is now live.
+    Installed,
 }
 
 #[cfg(test)]
@@ -449,6 +520,55 @@ mod tests {
         for g in 0..100u64 {
             assert_eq!(d.route(g as usize).dest, m2.owner_of(g));
         }
+    }
+
+    #[test]
+    fn fenced_install_rejects_old_terms_and_keeps_versions_monotonic() {
+        let d = Directory::elastic(100, ShardMap::initial(&[0, 1, 2, 3], 8));
+        assert_eq!(d.term(), 0, "no term-stamped frame seen yet");
+
+        let m1 = d.current_map().unwrap();
+        let (v2, _) = m1.rebalance_join(4).unwrap();
+        assert_eq!(d.install_fenced(v2.clone(), 1), FencedInstall::Installed);
+        assert_eq!((d.term(), d.version()), (1, 2));
+
+        // Takeover: the successor re-broadcasts the same map under term 2.
+        assert_eq!(
+            d.install_fenced(v2.clone(), 2),
+            FencedInstall::Current,
+            "same map under a newer term: valid frame, no map change"
+        );
+        assert_eq!(d.term(), 2, "the floor still rises");
+
+        // The fenced-off old coordinator resurrects and re-sends v2 —
+        // or even a newer-looking v3 — under its dead term 1.
+        assert_eq!(d.install_fenced(v2.clone(), 1), FencedInstall::Stale);
+        let (v3, _) = v2.rebalance_leave(4).unwrap();
+        assert_eq!(d.install_fenced(v3.clone(), 1), FencedInstall::Stale);
+        assert_eq!((d.term(), d.version()), (2, 2), "nothing moved");
+
+        // A higher term never licenses a version rollback.
+        assert_eq!(
+            d.install_fenced(ShardMap::initial(&[0, 1], 8), 5),
+            FencedInstall::Current,
+            "version 1 under term 5: term accepted, map refused"
+        );
+        assert_eq!((d.term(), d.version()), (5, 2));
+
+        // And the current term still installs newer maps.
+        assert_eq!(d.install_fenced(v3, 5), FencedInstall::Installed);
+        assert_eq!((d.term(), d.version()), (5, 3));
+    }
+
+    #[test]
+    fn fixed_directories_ignore_fencing() {
+        let d = Directory::fixed(Partition::new(64, 4, Layout::Block));
+        assert_eq!(d.term(), 0);
+        assert_eq!(
+            d.install_fenced(ShardMap::initial(&[0, 1], 8), 7),
+            FencedInstall::Current
+        );
+        assert_eq!(d.term(), 0, "fixed directories never change");
     }
 
     #[test]
